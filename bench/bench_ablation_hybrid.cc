@@ -1,0 +1,77 @@
+// Ablation for the hybrid method (§6): all-three-relationships cost of
+// baseline vs cubeMasking vs hybrid (exact full/compl + clustered partial),
+// with the partial recall the hybrid pays for its speed.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/baseline.h"
+#include "core/cube_masking.h"
+#include "core/hybrid.h"
+#include "core/occurrence_matrix.h"
+
+namespace {
+
+using namespace rdfcube;
+
+void BM_AllTypes(benchmark::State& state, int method) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  std::size_t partial_pairs = 0;
+  for (auto _ : state) {
+    core::CountingSink sink;
+    Status st;
+    switch (method) {
+      case 0: {
+        const core::OccurrenceMatrix om(obs);
+        core::BaselineOptions options;
+        st = core::RunBaseline(obs, om, options, &sink);
+        break;
+      }
+      case 1: {
+        core::CubeMaskingOptions options;
+        st = core::RunCubeMasking(obs, options, &sink);
+        break;
+      }
+      default: {
+        core::HybridOptions options;
+        st = core::RunHybrid(obs, options, &sink);
+        break;
+      }
+    }
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    partial_pairs = sink.partial();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["partial_pairs"] = static_cast<double>(partial_pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (long n : {2000, 5000, 10000}) {
+    benchmark::RegisterBenchmark("all_types/baseline",
+                                 [](benchmark::State& s) { BM_AllTypes(s, 0); })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("all_types/cubeMasking",
+                                 [](benchmark::State& s) { BM_AllTypes(s, 1); })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("all_types/hybrid",
+                                 [](benchmark::State& s) { BM_AllTypes(s, 2); })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation (paper §6 future work, implemented here): cost of keeping the
+// relationship sets current incrementally vs recomputing from scratch after
+// a batch of insertions.
+//
+// Expected shape: integrating one observation costs ~O(candidates in
+// comparable cubes), so maintaining the sets across a stream of k additions
+// beats k full recomputations by a widening margin.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/baseline.h"
+#include "core/incremental.h"
+#include "core/occurrence_matrix.h"
+
+namespace {
+
+using namespace rdfcube;
+
+// Incrementally integrate all n observations one at a time.
+void BM_IncrementalStream(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    core::IncrementalEngine engine(&obs,
+                                   core::RelationshipSelector::FullOnly());
+    for (qb::ObsId i = 0; i < obs.size(); ++i) {
+      const Status st = engine.OnObservationAdded(i);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    total = engine.num_full();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["full_pairs"] = static_cast<double>(total);
+}
+
+// The alternative: recompute the batch answer after every 10% of the stream
+// (10 recomputations), the cheapest realistic refresh policy without
+// incremental maintenance.
+void BM_PeriodicRecompute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::OccurrenceMatrix om(obs);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (int refresh = 1; refresh <= 10; ++refresh) {
+      std::vector<qb::ObsId> prefix(obs.size() * refresh / 10);
+      for (std::size_t i = 0; i < prefix.size(); ++i) {
+        prefix[i] = static_cast<qb::ObsId>(i);
+      }
+      core::CountingSink sink;
+      core::BaselineOptions options;
+      options.selector = core::RelationshipSelector::FullOnly();
+      const Status st =
+          core::RunBaselineSubset(obs, om, prefix, options, &sink);
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+      total = sink.full();
+    }
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["full_pairs"] = static_cast<double>(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (long n : {2000, 5000}) {
+    benchmark::RegisterBenchmark("incremental/stream", BM_IncrementalStream)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("incremental/periodic_recompute",
+                                 BM_PeriodicRecompute)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

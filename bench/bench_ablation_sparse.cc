@@ -1,0 +1,66 @@
+// Ablation for the paper's sparse-matrix remark (§3.1): the dense bit-vector
+// occurrence matrix vs the CSR sparse matrix — memory footprint and baseline
+// runtime on the statistical corpus (wide feature space, few set bits/row).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/baseline.h"
+#include "core/occurrence_matrix.h"
+#include "core/sparse_matrix.h"
+
+namespace {
+
+using namespace rdfcube;
+
+void BM_DenseBaseline(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::OccurrenceMatrix om(obs);
+  for (auto _ : state) {
+    core::CountingSink sink;
+    core::BaselineOptions options;
+    options.selector.partial_containment = false;
+    (void)core::RunBaseline(obs, om, options, &sink);
+    benchmark::DoNotOptimize(sink.full());
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["matrix_bytes"] = static_cast<double>(
+      om.num_rows() * ((om.num_columns() + 63) / 64) * 8);
+}
+
+void BM_SparseBaseline(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::SparseOccurrenceMatrix om(obs);
+  for (auto _ : state) {
+    core::CountingSink sink;
+    core::SparseBaselineOptions options;
+    options.selector.partial_containment = false;
+    (void)core::RunBaselineSparse(obs, om, options, &sink);
+    benchmark::DoNotOptimize(sink.full());
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["matrix_bytes"] = static_cast<double>(om.ApproximateBytes());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (long n : {2000, 5000, 10000}) {
+    benchmark::RegisterBenchmark("baseline/dense", BM_DenseBaseline)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("baseline/sparse", BM_SparseBaseline)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Fig. 5(a): execution time for *complementarity* across the five methods
+// as input size grows (real-world corpus prefixes).
+//
+// Expected shape (paper §4.1): cubeMasking fastest (complementarity only
+// requires within-cube comparisons), baseline quadratic, clustering between,
+// SPARQL/rules adequate only at small sizes then t/o / o/m.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/fig5_method_sweep.h"
+
+int main(int argc, char** argv) {
+  rdfcube::benchutil::RegisterMethodSweep(
+      rdfcube::benchutil::RelationshipKind::kComplementarity);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 5(b): execution time for *full containment* across the five methods
+// as input size grows (real-world corpus prefixes).
+//
+// Expected shape (paper §4.1): roughly one order of magnitude between
+// cubeMasking and the baseline; SPARQL/rules infeasible beyond small inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/fig5_method_sweep.h"
+
+int main(int argc, char** argv) {
+  rdfcube::benchutil::RegisterMethodSweep(
+      rdfcube::benchutil::RelationshipKind::kFull);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 5(c): execution time for *partial containment* across the five
+// methods (note: as in the paper, the SPARQL approach only *detects* partial
+// containment, it does not quantify the degree; the native methods quantify).
+//
+// Expected shape (paper §4.1): partial containment is the most expensive
+// native computation (no whole-row shortcut; every dimension is evaluated),
+// and the lattice prunes less (any-dimension comparability).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/fig5_method_sweep.h"
+
+int main(int argc, char** argv) {
+  rdfcube::benchutil::RegisterMethodSweep(
+      rdfcube::benchutil::RelationshipKind::kPartial);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

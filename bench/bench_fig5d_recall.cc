@@ -1,0 +1,122 @@
+// Fig. 5(d): recall of the three clustering configurations (canopy,
+// hierarchical, x-means — each fitted on a 10% sample) against the baseline
+// ground truth, as input size grows.
+//
+// Expected shape (paper §4.1): "x-means, even when applied to a random 10%
+// sample of the data, outperforms the other two in the resulting recall".
+//
+// Partial-containment recall is estimated over a deterministic 1-in-16 hash
+// sample of pairs (see PartialSamplingSink) because the exact partial set
+// grows quadratically.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/baseline.h"
+#include "core/clustering_method.h"
+#include "core/occurrence_matrix.h"
+
+namespace {
+
+using namespace rdfcube;
+using benchutil::PartialSamplingSink;
+using benchutil::RealWorldPrefix;
+
+constexpr uint32_t kPartialStride = 16;
+
+std::vector<std::size_t> RecallSizes() {
+  if (benchutil::LargeMode()) return {2000, 5000, 10000, 20000, 50000};
+  return {2000, 5000, 10000};
+}
+
+// Ground truth per input size, computed once and shared by all algorithms.
+const PartialSamplingSink& GroundTruth(std::size_t n,
+                                       const core::OccurrenceMatrix& om,
+                                       const qb::ObservationSet& obs) {
+  static std::map<std::size_t, std::unique_ptr<PartialSamplingSink>>* cache =
+      new std::map<std::size_t, std::unique_ptr<PartialSamplingSink>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto sink = std::make_unique<PartialSamplingSink>(kPartialStride);
+    core::BaselineOptions options;
+    const Status st = core::RunBaseline(obs, om, options, sink.get());
+    if (!st.ok()) std::abort();
+    it = cache->emplace(n, std::move(sink)).first;
+  }
+  return *it->second;
+}
+
+// Occurrence matrix per size, shared across algorithms.
+const core::OccurrenceMatrix& Matrix(std::size_t n,
+                                     const qb::ObservationSet& obs) {
+  static std::map<std::size_t, std::unique_ptr<core::OccurrenceMatrix>>*
+      cache = new std::map<std::size_t,
+                           std::unique_ptr<core::OccurrenceMatrix>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<core::OccurrenceMatrix>(obs))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_ClusteringRecall(benchmark::State& state,
+                         core::ClusterAlgorithm algorithm) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = RealWorldPrefix(n);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::OccurrenceMatrix& om = Matrix(n, obs);
+  // Not part of the measured time: ground truth is the reference, only the
+  // clustering method's own runtime is the Fig. 5(a)-(c) story.
+  PartialSamplingSink truth = GroundTruth(n, om, obs);
+
+  benchutil::Recall recall;
+  for (auto _ : state) {
+    PartialSamplingSink lossy(kPartialStride);
+    core::ClusteringMethodOptions options;
+    options.algorithm = algorithm;
+    options.sample_fraction = 0.10;  // the paper's sampling configuration
+    const Status st =
+        core::RunClusteringMethod(obs, om, options, &lossy, nullptr);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    state.PauseTiming();
+    recall = benchutil::ComputeRecall(&truth, &lossy);
+    state.ResumeTiming();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["recall_full"] = recall.full;
+  state.counters["recall_partial"] = recall.partial;
+  state.counters["recall_compl"] = recall.complementary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using core::ClusterAlgorithm;
+  for (std::size_t n : RecallSizes()) {
+    for (auto [name, algorithm] :
+         {std::pair<const char*, ClusterAlgorithm>{
+              "recall/canopy", ClusterAlgorithm::kCanopy},
+          {"recall/hierarchical", ClusterAlgorithm::kHierarchical},
+          {"recall/x-means", ClusterAlgorithm::kXMeans}}) {
+      benchmark::RegisterBenchmark(
+          name,
+          [algorithm](benchmark::State& s) {
+            BM_ClusteringRecall(s, algorithm);
+          })
+          ->Arg(static_cast<long>(n))
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

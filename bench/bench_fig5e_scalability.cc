@@ -1,0 +1,114 @@
+// Fig. 5(e): log-log execution time vs input size on the synthetic corpus
+// (§4.2), for baseline / clustering / cubeMasking.
+//
+// As in the paper, the baseline is *measured* only up to a cutoff and
+// *projected* quadratically beyond it (the paper projected its 2.5M point:
+// "it took more than 7 days to complete"). The projection rows are printed
+// after the measured benchmarks with the `projected` counter set.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace rdfcube;
+
+std::vector<std::size_t> Sizes() {
+  if (benchutil::LargeMode()) {
+    return {10000, 50000, 250000, 1000000, 2500000};
+  }
+  return {5000, 10000, 25000, 50000};
+}
+
+// Baseline is measured only up to this size; larger inputs are projected.
+std::size_t BaselineCutoff() {
+  return benchutil::LargeMode() ? 50000 : 10000;
+}
+
+double g_baseline_secs_at_cutoff = 0.0;
+
+void BM_Scalability(benchmark::State& state, core::Method method) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::Synthetic(n);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    core::CountingSink sink;
+    core::EngineOptions options;
+    options.method = method;
+    // Full containment only: the headline scalability figure.
+    options.selector = core::RelationshipSelector::FullOnly();
+    const Status st =
+        core::ComputeRelationships(*corpus.observations, options, &sink);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    pairs = sink.full();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["projected"] = 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (std::size_t n : Sizes()) {
+    if (n <= BaselineCutoff()) {
+      benchmark::RegisterBenchmark("scalability/baseline",
+                                   [](benchmark::State& s) {
+                                     BM_Scalability(s, core::Method::kBaseline);
+                                   })
+          ->Arg(static_cast<long>(n))
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+    benchmark::RegisterBenchmark("scalability/clustering",
+                                 [](benchmark::State& s) {
+                                   BM_Scalability(s, core::Method::kClustering);
+                                 })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "scalability/cubeMasking",
+        [](benchmark::State& s) {
+          BM_Scalability(s, core::Method::kCubeMasking);
+        })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Quadratic projection of the baseline beyond the cutoff (the paper did
+  // exactly this for its 2.5M synthetic point). Re-measure the cutoff cheaply
+  // here rather than plumbing state out of the registered benchmarks.
+  {
+    const std::size_t cutoff = BaselineCutoff();
+    const qb::Corpus& corpus = benchutil::Synthetic(cutoff);
+    Stopwatch watch;
+    core::CountingSink sink;
+    core::EngineOptions options;
+    options.method = core::Method::kBaseline;
+    options.selector = core::RelationshipSelector::FullOnly();
+    (void)core::ComputeRelationships(*corpus.observations, options, &sink);
+    g_baseline_secs_at_cutoff = watch.ElapsedSeconds();
+    std::printf("\n--- baseline projection (quadratic, measured at %zu = %.2fs) ---\n",
+                cutoff, g_baseline_secs_at_cutoff);
+    for (std::size_t n : Sizes()) {
+      if (n <= cutoff) continue;
+      const double factor = static_cast<double>(n) / static_cast<double>(cutoff);
+      std::printf("scalability/baseline/%zu (PROJECTED)   %.1f ms\n", n,
+                  g_baseline_secs_at_cutoff * factor * factor * 1e3);
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

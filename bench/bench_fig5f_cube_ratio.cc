@@ -1,0 +1,66 @@
+// Fig. 5(f): ratio of discovered cubes (populated lattice nodes) to
+// observation count as the input grows, on both the real-world prefixes and
+// the synthetic corpus.
+//
+// Expected shape (paper §4.1): "the number of cubes in a collection of
+// datasets will increase in a lower rate than the number of input
+// observations" — the ratio falls monotonically, which is what makes
+// cubeMasking scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/lattice.h"
+
+namespace {
+
+using namespace rdfcube;
+
+void BM_CubeRatioRealWorld(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  std::size_t cubes = 0;
+  for (auto _ : state) {
+    const core::Lattice lattice(*corpus.observations);
+    cubes = lattice.num_cubes();
+    benchmark::DoNotOptimize(cubes);
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["cubes"] = static_cast<double>(cubes);
+  state.counters["cubes_per_obs"] =
+      static_cast<double>(cubes) / static_cast<double>(n);
+}
+
+void BM_CubeRatioSynthetic(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = benchutil::Synthetic(n);
+  std::size_t cubes = 0;
+  for (auto _ : state) {
+    const core::Lattice lattice(*corpus.observations);
+    cubes = lattice.num_cubes();
+    benchmark::DoNotOptimize(cubes);
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["cubes"] = static_cast<double>(cubes);
+  state.counters["cubes_per_obs"] =
+      static_cast<double>(cubes) / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (std::size_t n : rdfcube::benchutil::NativeSweepSizes()) {
+    benchmark::RegisterBenchmark("cube_ratio/real_world", BM_CubeRatioRealWorld)
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("cube_ratio/synthetic", BM_CubeRatioSynthetic)
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Tables 2 and 3 of the paper: the occurrence matrix, one per-dimension
+// containment matrix, and the overall containment matrix of the running
+// example (Figures 1-2), printed verbatim, plus micro-benchmarks of
+// computeOCM / baseline / cubeMasking on that example.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/baseline.h"
+#include "core/containment_matrix.h"
+#include "core/cube_masking.h"
+#include "core/occurrence_matrix.h"
+#include "tests/test_corpus.h"
+
+namespace {
+
+using namespace rdfcube;
+
+const qb::Corpus& Example() {
+  static const qb::Corpus* corpus =
+      new qb::Corpus(testutil::MakeRunningExample());
+  return *corpus;
+}
+
+void BM_BuildOccurrenceMatrix(benchmark::State& state) {
+  const qb::ObservationSet& obs = *Example().observations;
+  for (auto _ : state) {
+    core::OccurrenceMatrix om(obs);
+    benchmark::DoNotOptimize(om.num_columns());
+  }
+}
+BENCHMARK(BM_BuildOccurrenceMatrix);
+
+void BM_ComputeOcm(benchmark::State& state) {
+  const qb::ObservationSet& obs = *Example().observations;
+  const core::OccurrenceMatrix om(obs);
+  for (auto _ : state) {
+    auto matrices = core::ContainmentMatrices::Compute(om);
+    benchmark::DoNotOptimize(matrices.ok());
+  }
+}
+BENCHMARK(BM_ComputeOcm);
+
+void BM_BaselineExample(benchmark::State& state) {
+  const qb::ObservationSet& obs = *Example().observations;
+  const core::OccurrenceMatrix om(obs);
+  for (auto _ : state) {
+    core::CountingSink sink;
+    (void)core::RunBaseline(obs, om, core::BaselineOptions{}, &sink);
+    benchmark::DoNotOptimize(sink.full());
+  }
+}
+BENCHMARK(BM_BaselineExample);
+
+void BM_CubeMaskingExample(benchmark::State& state) {
+  const qb::ObservationSet& obs = *Example().observations;
+  const core::Lattice lattice(obs);
+  for (auto _ : state) {
+    core::CountingSink sink;
+    (void)core::RunCubeMasking(obs, lattice, core::CubeMaskingOptions{},
+                               &sink);
+    benchmark::DoNotOptimize(sink.full());
+  }
+}
+BENCHMARK(BM_CubeMaskingExample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const qb::ObservationSet& obs = *Example().observations;
+  const core::OccurrenceMatrix om(obs);
+  std::printf("=== Table 2: occurrence matrix OM ===\n%s\n",
+              om.ToTable(obs).c_str());
+  auto matrices = core::ContainmentMatrices::Compute(om);
+  if (matrices.ok()) {
+    std::printf("=== Table 3(a): CM for refArea ===\n%s\n",
+                matrices->ToTable(obs, 0).c_str());
+    std::printf("=== Table 3(b): overall containment matrix OCM ===\n%s\n",
+                matrices->ToTable(obs).c_str());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,124 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "datagen/realworld.h"
+#include "datagen/synthetic.h"
+#include "qb/exporter.h"
+
+namespace rdfcube {
+namespace benchutil {
+
+bool LargeMode() {
+  const char* env = std::getenv("RDFCUBE_BENCH_LARGE");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<std::size_t> NativeSweepSizes() {
+  if (LargeMode()) {
+    // The paper's sweep: 2k, then 20k..250k in 20k-40k steps.
+    return {2000, 20000, 60000, 100000, 150000, 200000, 250000};
+  }
+  return {2000, 5000, 10000, 20000};
+}
+
+std::vector<std::size_t> ComparisonSweepSizes() {
+  if (LargeMode()) return {100, 300, 1000, 3000};
+  return {100, 300, 600};
+}
+
+double ComparisonTimeoutSeconds() { return LargeMode() ? 300.0 : 20.0; }
+
+const qb::Corpus& RealWorldPrefix(std::size_t n) {
+  static std::map<std::size_t, qb::Corpus>* cache =
+      new std::map<std::size_t, qb::Corpus>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto corpus = datagen::GenerateRealWorldPrefix(n, /*seed=*/42);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "corpus generation failed: %s\n",
+                   corpus.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache->emplace(n, std::move(*corpus)).first;
+  }
+  return it->second;
+}
+
+const qb::Corpus& Synthetic(std::size_t n) {
+  static std::map<std::size_t, qb::Corpus>* cache =
+      new std::map<std::size_t, qb::Corpus>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    datagen::SyntheticOptions options;
+    options.num_observations = n;
+    auto corpus = datagen::GenerateSyntheticCorpus(options);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "synthetic generation failed: %s\n",
+                   corpus.status().ToString().c_str());
+      std::abort();
+    }
+    it = cache->emplace(n, std::move(*corpus)).first;
+  }
+  return it->second;
+}
+
+const rdf::TripleStore& RealWorldPrefixRdf(std::size_t n) {
+  static std::map<std::size_t, rdf::TripleStore>* cache =
+      new std::map<std::size_t, rdf::TripleStore>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    rdf::TripleStore store;
+    const Status st = qb::ExportCorpusToRdf(RealWorldPrefix(n), &store);
+    if (!st.ok()) {
+      std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    it = cache->emplace(n, std::move(store)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+double RatioOr1(std::size_t hits, std::size_t total) {
+  if (total == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+Recall ComputeRecall(core::CollectingSink* truth, core::CollectingSink* lossy) {
+  truth->Canonicalize();
+  lossy->Canonicalize();
+  Recall recall;
+  {
+    std::set<std::pair<qb::ObsId, qb::ObsId>> found(lossy->full().begin(),
+                                                    lossy->full().end());
+    std::size_t hits = 0;
+    for (const auto& p : truth->full()) hits += found.count(p);
+    recall.full = RatioOr1(hits, truth->full().size());
+  }
+  {
+    std::set<std::pair<qb::ObsId, qb::ObsId>> found(
+        lossy->complementary().begin(), lossy->complementary().end());
+    std::size_t hits = 0;
+    for (const auto& p : truth->complementary()) hits += found.count(p);
+    recall.complementary = RatioOr1(hits, truth->complementary().size());
+  }
+  {
+    std::set<std::pair<qb::ObsId, qb::ObsId>> found;
+    for (const auto& p : lossy->partial()) found.insert({p.a, p.b});
+    std::size_t hits = 0;
+    for (const auto& p : truth->partial()) hits += found.count({p.a, p.b});
+    recall.partial = RatioOr1(hits, truth->partial().size());
+  }
+  return recall;
+}
+
+}  // namespace benchutil
+}  // namespace rdfcube

@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harnesses: corpus caches (so repeated
+// benchmark registrations reuse one generated corpus per size), method
+// runners with timeout reporting, and recall computation.
+//
+// Sizing: by default the harnesses sweep reduced input sizes so that the
+// whole bench suite finishes in minutes on one core; set RDFCUBE_BENCH_LARGE=1
+// to sweep the paper's full 2k..250k (and 2.5M synthetic) range.
+
+#ifndef RDFCUBE_BENCH_BENCH_UTIL_H_
+#define RDFCUBE_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/relationship.h"
+#include "qb/corpus.h"
+#include "rdf/triple_store.h"
+
+namespace rdfcube {
+namespace benchutil {
+
+/// True when RDFCUBE_BENCH_LARGE=1: sweep the paper's full input range.
+bool LargeMode();
+
+/// Input sizes for the native-method sweeps (Fig. 5(a)-(c)).
+/// Reduced: {2k, 5k, 10k, 20k}; large: {2k, 20k, ..., 250k} per the paper.
+std::vector<std::size_t> NativeSweepSizes();
+
+/// Input sizes for the SPARQL/rule comparison methods (they explode early;
+/// the paper reports >1h at 20k and t/o beyond).
+std::vector<std::size_t> ComparisonSweepSizes();
+
+/// Timeout applied to SPARQL/rule runs (seconds).
+double ComparisonTimeoutSeconds();
+
+/// Returns the cached real-world corpus prefix of `n` observations
+/// (generated once per size; see datagen::GenerateRealWorldPrefix).
+const qb::Corpus& RealWorldPrefix(std::size_t n);
+
+/// Returns the cached synthetic corpus of `n` observations (§4.2 generator).
+const qb::Corpus& Synthetic(std::size_t n);
+
+/// Returns the cached RDF export of the real-world prefix of `n`
+/// observations (for the SPARQL/rule methods).
+const rdf::TripleStore& RealWorldPrefixRdf(std::size_t n);
+
+/// \brief Recall of a lossy result against the baseline ground truth.
+struct Recall {
+  double full = 1.0;
+  double partial = 1.0;
+  double complementary = 1.0;
+};
+
+/// Computes per-type recall of `lossy` against `truth` (both canonicalized
+/// internally). Empty truth counts as recall 1.
+Recall ComputeRecall(core::CollectingSink* truth, core::CollectingSink* lossy);
+
+/// \brief CollectingSink variant that keeps every full/complementarity pair
+/// but only a deterministic 1-in-`stride` hash sample of partial pairs.
+///
+/// Partial containment sets grow as ~0.25 * n^2 on the statistical corpus
+/// (hundreds of millions of pairs at paper scale); sampling the same pair
+/// subset on both the ground-truth and the lossy run yields an unbiased
+/// recall estimate with bounded memory.
+class PartialSamplingSink : public core::CollectingSink {
+ public:
+  explicit PartialSamplingSink(uint32_t stride) : stride_(stride) {}
+
+  void OnPartialContainment(qb::ObsId a, qb::ObsId b, double degree,
+                            uint64_t dim_mask) override {
+    if (((a * 2654435761u) ^ b) % stride_ != 0) return;
+    core::CollectingSink::OnPartialContainment(a, b, degree, dim_mask);
+  }
+
+ private:
+  uint32_t stride_;
+};
+
+}  // namespace benchutil
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,180 @@
+// Shared implementation of the Fig. 5(a)/(b)/(c) harnesses: execution time
+// of one relationship type across the five methods (baseline, clustering,
+// cubeMasking, SPARQL-based, rule-based) as the input size grows.
+//
+// Each binary instantiates RegisterMethodSweep with the relationship type.
+// Timeouts / row caps of the comparison methods are reported through the
+// `timed_out` / `out_of_memory` counters — the paper's "t/o" and "o/m" cells.
+
+#ifndef RDFCUBE_BENCH_FIG5_METHOD_SWEEP_H_
+#define RDFCUBE_BENCH_FIG5_METHOD_SWEEP_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "rules/paper_rules.h"
+#include "sparql/paper_queries.h"
+
+namespace rdfcube {
+namespace benchutil {
+
+enum class RelationshipKind { kFull, kPartial, kComplementarity };
+
+inline core::RelationshipSelector SelectorFor(RelationshipKind kind) {
+  switch (kind) {
+    case RelationshipKind::kFull:
+      return core::RelationshipSelector::FullOnly();
+    case RelationshipKind::kPartial:
+      return core::RelationshipSelector::PartialOnly();
+    case RelationshipKind::kComplementarity:
+      return core::RelationshipSelector::ComplOnly();
+  }
+  return {};
+}
+
+inline void BM_NativeMethod(benchmark::State& state, core::Method method,
+                            RelationshipKind kind) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const qb::Corpus& corpus = RealWorldPrefix(n);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    core::CountingSink sink;
+    core::EngineOptions options;
+    options.method = method;
+    options.selector = SelectorFor(kind);
+    const Status st =
+        core::ComputeRelationships(*corpus.observations, options, &sink);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    pairs = sink.full() + sink.partial() + sink.complementary();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+inline void BM_SparqlMethod(benchmark::State& state, RelationshipKind kind) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const rdf::TripleStore& store = RealWorldPrefixRdf(n);
+  std::string query;
+  switch (kind) {
+    case RelationshipKind::kFull:
+      query = sparql::FullContainmentQuery();
+      break;
+    case RelationshipKind::kPartial:
+      query = sparql::PartialContainmentQuery();
+      break;
+    case RelationshipKind::kComplementarity:
+      query = sparql::ComplementarityQuery();
+      break;
+  }
+  bool timed_out = false, oom = false;
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    auto result = sparql::RunRelationshipQuery(
+        store, query, ComparisonTimeoutSeconds(), /*max_rows=*/5000000);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    timed_out = result->timed_out;
+    oom = result->out_of_memory;
+    pairs = result->pairs.size();
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["timed_out"] = timed_out ? 1 : 0;    // the paper's "t/o"
+  state.counters["out_of_memory"] = oom ? 1 : 0;      // the paper's "o/m"
+}
+
+inline void BM_RuleMethod(benchmark::State& state, RelationshipKind kind) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  // Restrict the rule set to the closure rules plus the rule of the
+  // benchmarked relationship, mirroring the paper's per-type runs.
+  const char* keep = kind == RelationshipKind::kFull ? "full-containment"
+                     : kind == RelationshipKind::kPartial
+                         ? "partial-containment"
+                         : "complementarity";
+  bool timed_out = false, oom = false;
+  std::size_t derived = 0;
+  for (auto _ : state) {
+    // The rule engine mutates the store: rebuild a fresh copy per iteration
+    // (copy cost is negligible next to the chaining itself).
+    rdf::TripleStore store = RealWorldPrefixRdf(n);
+    std::vector<rules::Rule> rules;
+    for (auto& rule : rules::PaperRules()) {
+      if (rule.name.find("broader") == 0 || rule.name == keep) {
+        rules.push_back(std::move(rule));
+      }
+    }
+    rules::ChainOptions options;
+    options.deadline = Deadline(ComparisonTimeoutSeconds());
+    options.max_derived = 5000000;
+    auto stats = rules::RunForwardChaining(rules, &store, options);
+    if (!stats.ok()) {
+      timed_out = stats.status().IsTimedOut();
+      oom = stats.status().IsResourceExhausted();
+    } else {
+      derived = stats->derived;
+    }
+  }
+  state.counters["observations"] = static_cast<double>(n);
+  state.counters["derived"] = static_cast<double>(derived);
+  state.counters["timed_out"] = timed_out ? 1 : 0;
+  state.counters["out_of_memory"] = oom ? 1 : 0;
+}
+
+/// Registers the five-method sweep for one relationship type.
+inline void RegisterMethodSweep(RelationshipKind kind) {
+  const std::string suffix = kind == RelationshipKind::kFull ? "full"
+                             : kind == RelationshipKind::kPartial
+                                 ? "partial"
+                                 : "complementarity";
+  for (std::size_t n : NativeSweepSizes()) {
+    benchmark::RegisterBenchmark(
+        ("baseline/" + suffix).c_str(),
+        [kind](benchmark::State& s) {
+          BM_NativeMethod(s, core::Method::kBaseline, kind);
+        })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("clustering/" + suffix).c_str(),
+        [kind](benchmark::State& s) {
+          BM_NativeMethod(s, core::Method::kClustering, kind);
+        })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("cubeMasking/" + suffix).c_str(),
+        [kind](benchmark::State& s) {
+          BM_NativeMethod(s, core::Method::kCubeMasking, kind);
+        })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  for (std::size_t n : ComparisonSweepSizes()) {
+    benchmark::RegisterBenchmark(
+        ("sparql/" + suffix).c_str(),
+        [kind](benchmark::State& s) { BM_SparqlMethod(s, kind); })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("rules/" + suffix).c_str(),
+        [kind](benchmark::State& s) { BM_RuleMethod(s, kind); })
+        ->Arg(static_cast<long>(n))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace benchutil
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_BENCH_FIG5_METHOD_SWEEP_H_

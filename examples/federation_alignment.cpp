@@ -1,0 +1,106 @@
+// Federation with dimension alignment: two publishers code the same regions
+// under different URI conventions; the align module (the paper's LIMES
+// substitute, §4) links the code lists, the corpus is rebuilt over the
+// reconciled dimension bus, and complementarity reveals which remote
+// observations describe the same points.
+//
+// Build & run:  ./build/examples/federation_alignment
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "rdfcube/rdfcube.h"
+
+using namespace rdfcube;
+
+int main() {
+  // --- Source A codes (the journalist's reference vocabulary). --------------
+  const std::vector<std::string> reference = {
+      "http://ref.example.org/code/Athens",
+      "http://ref.example.org/code/Ioannina",
+      "http://ref.example.org/code/Rome",
+      "http://ref.example.org/code/Milan",
+      "http://ref.example.org/code/Berlin",
+      "http://ref.example.org/code/Hamburg",
+      "http://ref.example.org/code/Paris",
+      "http://ref.example.org/code/Madrid",
+  };
+
+  // --- Source B publishes the same places under its own namespace with
+  // case/separator noise (simulated remote source).
+  datagen::PerturbOptions perturb;
+  perturb.seed = 7;
+  perturb.suffix_prob = 0.0;
+  const std::vector<std::string> remote = datagen::PerturbUris(reference, perturb);
+
+  std::printf("reference codes: %zu, remote codes: %zu\n", reference.size(),
+              remote.size());
+  std::printf("example remote URI: %s\n\n", remote[0].c_str());
+
+  // --- Alignment (cosine over URI local-name trigrams, like the paper's
+  // LIMES configuration).
+  align::MatcherOptions matcher;
+  matcher.threshold = 0.55;
+  const std::vector<align::Link> links = align::MatchUris(remote, reference, matcher);
+  std::printf("alignment found %zu links:\n", links.size());
+  std::unordered_map<std::string, std::string> to_reference;
+  for (const align::Link& link : links) {
+    std::printf("  %-55s -> %-45s (%.2f)\n", link.source.c_str(),
+                link.target.c_str(), link.similarity);
+    to_reference[link.source] = link.target;
+  }
+  if (links.size() != remote.size()) {
+    std::fprintf(stderr, "alignment incomplete; raise the threshold data\n");
+    return 1;
+  }
+
+  // --- Build the reconciled corpus: source B's observations are translated
+  // to reference codes before loading (the paper: incoming data are
+  // "translated to a reference vocabulary before being used").
+  qb::CorpusBuilder builder;
+  builder.AddDimension("ex:city", "AllCities");
+  for (const std::string& code : reference) {
+    builder.AddCode("ex:city", code, "AllCities");
+  }
+  builder.AddMeasure("ex:population");
+  builder.AddMeasure("ex:airQuality");
+  builder.AddDataset("sourceA", {"ex:city"}, {"ex:population"});
+  builder.AddDataset("sourceB", {"ex:city"}, {"ex:airQuality"});
+
+  // Source A rows.
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    builder.AddObservation("sourceA", "A/obs" + std::to_string(i),
+                           {{"ex:city", reference[i]}},
+                           {{"ex:population", 1.0e5 * double(i + 1)}});
+  }
+  // Source B rows arrive with remote codes; translate through the alignment.
+  for (std::size_t i = 0; i < remote.size(); ++i) {
+    builder.AddObservation("sourceB", "B/obs" + std::to_string(i),
+                           {{"ex:city", to_reference.at(remote[i])}},
+                           {{"ex:airQuality", 10.0 + double(i)}});
+  }
+  auto corpus = std::move(builder).Build();
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Complementarity across the two sources. -------------------------------
+  core::CollectingSink sink;
+  core::EngineOptions options;
+  options.method = core::Method::kCubeMasking;
+  const Status st =
+      core::ComputeRelationships(*corpus->observations, options, &sink);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncomplementary pairs after reconciliation: %zu\n",
+              sink.complementary().size());
+  for (const auto& [a, b] : sink.complementary()) {
+    std::printf("  %s <-> %s\n", corpus->observations->obs(a).iri.c_str(),
+                corpus->observations->obs(b).iri.c_str());
+  }
+  std::printf("\n(each pair joins population with air quality for one city)\n");
+  return 0;
+}

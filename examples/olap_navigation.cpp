@@ -1,0 +1,106 @@
+// OLAP-style exploration on top of containment: roll-up / drill-down
+// navigation between observations of a generated statistical corpus, skyline
+// extraction (the "top-level observations" of the paper's related work), and
+// k-dominant skylines.
+//
+// Build & run:  ./build/examples/olap_navigation
+
+#include <cstdio>
+#include <map>
+
+#include "rdfcube/rdfcube.h"
+#include "util/string_util.h"
+
+using namespace rdfcube;
+
+namespace {
+
+std::string Coord(const qb::ObservationSet& obs, qb::ObsId id) {
+  const qb::CubeSpace& space = obs.space();
+  std::string out = "(";
+  bool first = true;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    const hierarchy::CodeId c = obs.ValueOrRoot(id, d);
+    if (c == space.code_list(d).root()) continue;  // hide roots for brevity
+    if (!first) out += ", ";
+    out += std::string(IriLocalName(space.code_list(d).name(c)));
+    first = false;
+  }
+  out += first ? "ALL)" : ")";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // A small slice of the paper's seven-dataset statistical corpus.
+  auto corpus = datagen::GenerateRealWorldPrefix(/*total_observations=*/1500,
+                                                 /*seed=*/42);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  const qb::ObservationSet& obs = *corpus->observations;
+  std::printf("corpus: %zu observations, %zu datasets, %zu dimensions\n",
+              obs.size(), obs.num_datasets(), obs.space().num_dimensions());
+
+  const core::Lattice lattice(obs);
+  std::printf("lattice: %zu populated cubes\n\n", lattice.num_cubes());
+
+  // --- Roll-up / drill-down navigation via full containment. ----------------
+  core::CollectingSink sink;
+  core::CubeMaskingOptions options;
+  options.selector = core::RelationshipSelector::FullOnly();
+  Status st = core::RunCubeMasking(obs, lattice, options, &sink);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("full containment pairs: %zu\n", sink.full().size());
+
+  // Pick the observation with the most drill-down targets and show its
+  // navigation neighbourhood.
+  std::map<qb::ObsId, std::vector<qb::ObsId>> drill_down, roll_up;
+  for (const auto& [a, b] : sink.full()) {
+    drill_down[a].push_back(b);
+    roll_up[b].push_back(a);
+  }
+  qb::ObsId hub = 0;
+  std::size_t best = 0;
+  for (const auto& [a, targets] : drill_down) {
+    if (targets.size() > best) {
+      best = targets.size();
+      hub = a;
+    }
+  }
+  if (best > 0) {
+    std::printf("\n--- navigation from %s %s ---\n", obs.obs(hub).iri.c_str(),
+                Coord(obs, hub).c_str());
+    std::printf("drill-down targets (it fully contains %zu):\n", best);
+    std::size_t shown = 0;
+    for (qb::ObsId b : drill_down[hub]) {
+      std::printf("  v %s %s\n", obs.obs(b).iri.c_str(),
+                  Coord(obs, b).c_str());
+      if (++shown == 5) {
+        std::printf("  ... (%zu more)\n", best - shown);
+        break;
+      }
+    }
+    if (!roll_up[hub].empty()) {
+      std::printf("roll-up targets (%zu observations contain it)\n",
+                  roll_up[hub].size());
+    }
+  }
+
+  // --- Skylines. --------------------------------------------------------------
+  const auto skyline = core::ComputeSkyline(obs, lattice);
+  std::printf("\nskyline: %zu of %zu observations are not strictly contained\n",
+              skyline.size(), obs.size());
+  const std::size_t k = obs.space().num_dimensions() - 2;
+  const auto k_dominant = core::ComputeKDominantSkyline(obs, k);
+  std::printf("%zu-dominant skyline: %zu observations\n", k,
+              k_dominant.size());
+  std::printf("(k-dominance prunes %s aggressively, per Chan et al. [6])\n",
+              k_dominant.size() <= skyline.size() ? "more" : "less");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "align/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace align {
+
+namespace {
+
+// Trigram multiset as a sparse count map (padded with sentinels so short
+// strings still produce trigrams).
+std::unordered_map<std::string, int> Trigrams(const std::string& s) {
+  std::unordered_map<std::string, int> grams;
+  const std::string padded = "^^" + s + "$$";
+  for (std::size_t i = 0; i + 3 <= padded.size(); ++i) {
+    ++grams[padded.substr(i, 3)];
+  }
+  return grams;
+}
+
+double Cosine(const std::unordered_map<std::string, int>& a,
+              const std::unordered_map<std::string, int>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [gram, count] : a) {
+    na += static_cast<double>(count) * count;
+    auto it = b.find(gram);
+    if (it != b.end()) dot += static_cast<double>(count) * it->second;
+  }
+  for (const auto& [gram, count] : b) {
+    nb += static_cast<double>(count) * count;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::string Normalize(const std::string& uri, const MatcherOptions& options) {
+  std::string s = options.local_name_only
+                      ? std::string(IriLocalName(uri))
+                      : uri;
+  if (options.case_insensitive) s = ToLowerAscii(s);
+  return s;
+}
+
+}  // namespace
+
+double TrigramCosine(const std::string& a, const std::string& b) {
+  return Cosine(Trigrams(a), Trigrams(b));
+}
+
+std::vector<Link> MatchUris(const std::vector<std::string>& sources,
+                            const std::vector<std::string>& targets,
+                            const MatcherOptions& options) {
+  // Precompute target trigram profiles.
+  std::vector<std::unordered_map<std::string, int>> target_grams;
+  target_grams.reserve(targets.size());
+  for (const std::string& t : targets) {
+    target_grams.push_back(Trigrams(Normalize(t, options)));
+  }
+  std::vector<bool> target_used(targets.size(), false);
+
+  std::vector<Link> links;
+  for (const std::string& source : sources) {
+    const auto source_grams = Trigrams(Normalize(source, options));
+    double best = -1.0;
+    std::size_t best_t = 0;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (target_used[t]) continue;
+      const double sim = Cosine(source_grams, target_grams[t]);
+      if (sim > best) {
+        best = sim;
+        best_t = t;
+      }
+    }
+    if (best >= options.threshold) {
+      target_used[best_t] = true;
+      links.push_back({source, targets[best_t], best});
+    }
+  }
+  return links;
+}
+
+}  // namespace align
+}  // namespace rdfcube

@@ -1,0 +1,51 @@
+// Dimension-value alignment (LIMES substitute): the paper's preprocessing
+// step links equivalent hierarchy nodes across sources by cosine similarity
+// over URI identifiers (§4: "used their cosine distance in order to find
+// close matches based on the identifiers usually found in the suffix part of
+// a URI"). This module provides the same capability with a trigram cosine
+// matcher so the pipeline is runnable end-to-end without external tooling.
+
+#ifndef RDFCUBE_ALIGN_MATCHER_H_
+#define RDFCUBE_ALIGN_MATCHER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rdfcube {
+namespace align {
+
+/// \brief One alignment link (source URI -> target URI) with its score.
+struct Link {
+  std::string source;
+  std::string target;
+  double similarity;  // cosine in [0, 1]
+};
+
+struct MatcherOptions {
+  /// Links below this cosine similarity are dropped.
+  double threshold = 0.7;
+  /// Compare only the URI local name (after the last '/' or '#'), like the
+  /// paper's configuration; false compares whole URIs.
+  bool local_name_only = true;
+  /// Lower-case before extracting trigrams.
+  bool case_insensitive = true;
+};
+
+/// \brief Computes, for every source URI, the best-scoring target URI above
+/// the threshold (stable greedy one-to-one matching: each target is used at
+/// most once, ties broken by source order).
+std::vector<Link> MatchUris(const std::vector<std::string>& sources,
+                            const std::vector<std::string>& targets,
+                            const MatcherOptions& options = {});
+
+/// Character-trigram cosine similarity between two strings (exposed for
+/// tests and custom pipelines).
+double TrigramCosine(const std::string& a, const std::string& b);
+
+}  // namespace align
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_ALIGN_MATCHER_H_

@@ -1,0 +1,92 @@
+#include "cluster/agglomerative.h"
+
+#include <limits>
+#include <vector>
+
+namespace rdfcube {
+namespace cluster {
+
+Result<CentroidModel> Agglomerative(
+    const std::vector<const BitVector*>& points,
+    const AgglomerativeOptions& options, std::vector<uint32_t>* assignment) {
+  if (points.empty()) {
+    return Status::InvalidArgument("agglomerative: no points");
+  }
+  if (options.target_k == 0) {
+    return Status::InvalidArgument("agglomerative: target_k == 0");
+  }
+  const std::size_t n = points.size();
+  const std::size_t dims = points[0]->size();
+
+  // Pairwise Jaccard distances (upper triangle), then Lance-Williams
+  // average-linkage updates on merge.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = JaccardDistance(*points[i], *points[j]);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> size(n, 1);
+  std::vector<int> parent(n, -1);  // merge target for dead clusters
+  std::size_t num_alive = n;
+
+  while (num_alive > options.target_k) {
+    // Find the closest live pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (dist[i * n + j] < best) {
+          best = dist[i * n + j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > options.max_merge_distance) break;
+    // Merge bj into bi; average-linkage distance update.
+    const double wi = static_cast<double>(size[bi]);
+    const double wj = static_cast<double>(size[bj]);
+    for (std::size_t x = 0; x < n; ++x) {
+      if (!alive[x] || x == bi || x == bj) continue;
+      const double d =
+          (wi * dist[bi * n + x] + wj * dist[bj * n + x]) / (wi + wj);
+      dist[bi * n + x] = d;
+      dist[x * n + bi] = d;
+    }
+    alive[bj] = false;
+    parent[bj] = static_cast<int>(bi);
+    size[bi] += size[bj];
+    --num_alive;
+  }
+
+  // Resolve each point's final cluster representative.
+  auto find_rep = [&](std::size_t i) {
+    while (parent[i] >= 0) i = static_cast<std::size_t>(parent[i]);
+    return i;
+  };
+  // Compact representatives into dense cluster ids and build centroids.
+  std::vector<int> dense(n, -1);
+  CentroidModel model;
+  std::vector<uint32_t> assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rep = find_rep(i);
+    if (dense[rep] < 0) {
+      dense[rep] = static_cast<int>(model.centroids.size());
+      model.centroids.emplace_back(dims);
+    }
+    assign[i] = static_cast<uint32_t>(dense[rep]);
+    model.centroids[assign[i]].Accumulate(*points[i]);
+  }
+  for (Centroid& c : model.centroids) c.Normalize();
+  if (assignment != nullptr) *assignment = assign;
+  return model;
+}
+
+}  // namespace cluster
+}  // namespace rdfcube

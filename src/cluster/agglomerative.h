@@ -1,0 +1,34 @@
+// Bottom-up (agglomerative) hierarchical clustering with average linkage —
+// the third clustering configuration of the paper (§3.2).
+
+#ifndef RDFCUBE_CLUSTER_AGGLOMERATIVE_H_
+#define RDFCUBE_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace cluster {
+
+struct AgglomerativeOptions {
+  /// Stop merging when this many clusters remain.
+  std::size_t target_k = 16;
+  /// Also stop when the closest pair is farther than this Jaccard distance.
+  double max_merge_distance = 0.95;
+};
+
+/// \brief Average-linkage hierarchical clustering (O(n^2) distance matrix;
+/// intended for the sampled subset, per the paper's sample-then-assign
+/// scheme). Returns the resulting clusters as a CentroidModel.
+Result<CentroidModel> Agglomerative(
+    const std::vector<const BitVector*>& points,
+    const AgglomerativeOptions& options,
+    std::vector<uint32_t>* assignment = nullptr);
+
+}  // namespace cluster
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,55 @@
+#include "cluster/canopy.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfcube {
+namespace cluster {
+
+Result<CentroidModel> Canopy(const std::vector<const BitVector*>& points,
+                             const CanopyOptions& options,
+                             std::vector<uint32_t>* assignment) {
+  if (points.empty()) return Status::InvalidArgument("canopy: no points");
+  if (!(options.t2 < options.t1)) {
+    return Status::InvalidArgument("canopy requires t2 < t1");
+  }
+  const std::size_t n = points.size();
+  const std::size_t dims = points[0]->size();
+  Rng rng(options.seed);
+
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  CentroidModel model;
+
+  while (!pool.empty()) {
+    // Pick a random remaining point as a canopy center.
+    const std::size_t pick = static_cast<std::size_t>(rng.Uniform(pool.size()));
+    const std::size_t center = pool[pick];
+    Centroid c(dims);
+    c.Accumulate(*points[center]);
+    c.Normalize();
+    model.centroids.push_back(std::move(c));
+
+    // Remove all points within the tight threshold from the pool.
+    std::vector<std::size_t> remaining;
+    remaining.reserve(pool.size());
+    for (std::size_t idx : pool) {
+      if (idx == center) continue;
+      const double d = JaccardDistance(*points[idx], *points[center]);
+      if (d > options.t2) remaining.push_back(idx);
+    }
+    pool.swap(remaining);
+  }
+
+  if (assignment != nullptr) {
+    assignment->assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*assignment)[i] = static_cast<uint32_t>(model.Assign(*points[i]));
+    }
+  }
+  return model;
+}
+
+}  // namespace cluster
+}  // namespace rdfcube

@@ -1,0 +1,37 @@
+// Canopy clustering (McCallum, Nigam & Ungar [21]): fast threshold-based
+// center selection with a cheap distance, used by the paper as one of the
+// three clustering configurations.
+
+#ifndef RDFCUBE_CLUSTER_CANOPY_H_
+#define RDFCUBE_CLUSTER_CANOPY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace cluster {
+
+struct CanopyOptions {
+  /// Loose threshold: points within t1 of a center join its canopy.
+  double t1 = 0.75;
+  /// Tight threshold (t2 < t1): points within t2 are removed from the
+  /// candidate pool and cannot seed new canopies.
+  double t2 = 0.45;
+  uint64_t seed = 42;
+};
+
+/// \brief Runs canopy selection over `points` with Jaccard distance and
+/// returns the canopy centers as a CentroidModel (assignment by nearest
+/// center), so it composes with the same per-cluster baseline driver as
+/// k-means/x-means.
+Result<CentroidModel> Canopy(const std::vector<const BitVector*>& points,
+                             const CanopyOptions& options,
+                             std::vector<uint32_t>* assignment = nullptr);
+
+}  // namespace cluster
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CLUSTER_CANOPY_H_

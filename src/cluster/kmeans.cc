@@ -1,0 +1,100 @@
+#include "cluster/kmeans.h"
+
+#include <limits>
+
+namespace rdfcube {
+namespace cluster {
+
+std::size_t CentroidModel::Assign(const BitVector& p) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = CentroidDistance(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Result<CentroidModel> KMeans(const std::vector<const BitVector*>& points,
+                             const KMeansOptions& options,
+                             std::vector<uint32_t>* assignment) {
+  if (points.empty()) return Status::InvalidArgument("k-means: no points");
+  if (options.k == 0) return Status::InvalidArgument("k-means: k == 0");
+  const std::size_t n = points.size();
+  const std::size_t dims = points[0]->size();
+  const std::size_t k = options.k < n ? options.k : n;
+  Rng rng(options.seed);
+
+  // k-means++ seeding: first center uniform, then D^2-weighted.
+  CentroidModel model;
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  {
+    const std::size_t first = static_cast<std::size_t>(rng.Uniform(n));
+    Centroid c(dims);
+    c.Accumulate(*points[first]);
+    c.Normalize();
+    model.centroids.push_back(std::move(c));
+  }
+  while (model.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = CentroidDistance(*points[i], model.centroids.back());
+      if (d < min_dist[i]) min_dist[i] = d;
+      total += min_dist[i] * min_dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_dist[i] * min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(rng.Uniform(n));
+    }
+    Centroid c(dims);
+    c.Accumulate(*points[chosen]);
+    c.Normalize();
+    model.centroids.push_back(std::move(c));
+  }
+
+  // Lloyd iterations.
+  std::vector<uint32_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const uint32_t c = static_cast<uint32_t>(model.Assign(*points[i]));
+      if (c != assign[i]) {
+        assign[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::vector<Centroid> next(model.centroids.size(), Centroid(dims));
+    for (std::size_t i = 0; i < n; ++i) next[assign[i]].Accumulate(*points[i]);
+    for (std::size_t c = 0; c < next.size(); ++c) {
+      if (next[c].count == 0) {
+        // Re-seed empty clusters on a random point.
+        next[c].Accumulate(*points[rng.Uniform(n)]);
+      }
+      next[c].Normalize();
+    }
+    model.centroids = std::move(next);
+  }
+  if (assignment != nullptr) {
+    assignment->assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*assignment)[i] = static_cast<uint32_t>(model.Assign(*points[i]));
+    }
+  }
+  return model;
+}
+
+}  // namespace cluster
+}  // namespace rdfcube

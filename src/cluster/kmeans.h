@@ -1,0 +1,43 @@
+// Lloyd k-means over binary points with generalized-Jaccard assignment.
+
+#ifndef RDFCUBE_CLUSTER_KMEANS_H_
+#define RDFCUBE_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/metric.h"
+#include "util/bitvector.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace cluster {
+
+/// \brief A fitted centroid model: cluster points by nearest centroid.
+struct CentroidModel {
+  std::vector<Centroid> centroids;
+
+  /// Index of the nearest centroid to `p` (generalized Jaccard).
+  std::size_t Assign(const BitVector& p) const;
+};
+
+struct KMeansOptions {
+  std::size_t k = 8;
+  std::size_t max_iterations = 20;
+  uint64_t seed = 42;
+};
+
+/// \brief Runs Lloyd's algorithm on `points` (k-means++ style seeding).
+///
+/// Returns the fitted model; `assignment` (if non-null) receives the final
+/// cluster index of each input point. Fails when points is empty or
+/// k == 0. If k exceeds the number of points it is clamped.
+Result<CentroidModel> KMeans(const std::vector<const BitVector*>& points,
+                             const KMeansOptions& options,
+                             std::vector<uint32_t>* assignment = nullptr);
+
+}  // namespace cluster
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CLUSTER_KMEANS_H_

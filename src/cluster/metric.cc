@@ -1,0 +1,41 @@
+#include "cluster/metric.h"
+
+namespace rdfcube {
+namespace cluster {
+
+void Centroid::Accumulate(const BitVector& p) {
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    if (p.Test(i)) mean[i] += 1.0;
+  }
+  ++count;
+}
+
+void Centroid::Normalize() {
+  if (count == 0) return;
+  const double inv = 1.0 / static_cast<double>(count);
+  for (double& m : mean) m *= inv;
+}
+
+double CentroidDistance(const BitVector& p, const Centroid& c) {
+  double min_sum = 0.0, max_sum = 0.0;
+  for (std::size_t i = 0; i < c.mean.size(); ++i) {
+    const double x = p.Test(i) ? 1.0 : 0.0;
+    const double y = c.mean[i];
+    min_sum += x < y ? x : y;
+    max_sum += x > y ? x : y;
+  }
+  if (max_sum == 0.0) return 0.0;
+  return 1.0 - min_sum / max_sum;
+}
+
+double SquaredEuclidean(const BitVector& p, const Centroid& c) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < c.mean.size(); ++i) {
+    const double d = (p.Test(i) ? 1.0 : 0.0) - c.mean[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace cluster
+}  // namespace rdfcube

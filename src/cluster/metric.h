@@ -1,0 +1,47 @@
+// Distance metrics over the binary feature space of occurrence-matrix rows.
+// The paper (§4) uses the Jaccard coefficient "as a similarity metric for our
+// binary feature space".
+
+#ifndef RDFCUBE_CLUSTER_METRIC_H_
+#define RDFCUBE_CLUSTER_METRIC_H_
+
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace rdfcube {
+namespace cluster {
+
+/// Jaccard distance 1 - |a AND b|/|a OR b| between two binary points.
+inline double JaccardDistance(const BitVector& a, const BitVector& b) {
+  return 1.0 - a.Jaccard(b);
+}
+
+/// \brief Real-valued centroid of binary points.
+///
+/// Centroids are per-column means in [0, 1]; distance to a binary point uses
+/// the generalized (Ruzicka) Jaccard: 1 - sum(min) / sum(max), which reduces
+/// to the plain Jaccard distance when the centroid is itself binary.
+struct Centroid {
+  std::vector<double> mean;
+  std::size_t count = 0;
+
+  explicit Centroid(std::size_t dims = 0) : mean(dims, 0.0) {}
+
+  /// Adds one binary point to the running mean.
+  void Accumulate(const BitVector& p);
+
+  /// Finishes the mean after all Accumulate calls.
+  void Normalize();
+};
+
+/// Generalized Jaccard distance between a binary point and a centroid.
+double CentroidDistance(const BitVector& p, const Centroid& c);
+
+/// Squared Euclidean distance (used by the x-means BIC computation).
+double SquaredEuclidean(const BitVector& p, const Centroid& c);
+
+}  // namespace cluster
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CLUSTER_METRIC_H_

@@ -1,0 +1,111 @@
+#include "cluster/xmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rdfcube {
+namespace cluster {
+
+namespace {
+
+// BIC of a set of points under `model` (spherical Gaussian, shared variance),
+// per Pelleg & Moore. Higher is better.
+double Bic(const std::vector<const BitVector*>& points,
+           const CentroidModel& model) {
+  const std::size_t n = points.size();
+  const std::size_t k = model.centroids.size();
+  const std::size_t dims = points.empty() ? 0 : points[0]->size();
+  if (n <= k) return -std::numeric_limits<double>::infinity();
+
+  // Cluster sizes and pooled variance.
+  std::vector<std::size_t> sizes(k, 0);
+  double ssq = 0.0;
+  for (const BitVector* p : points) {
+    const std::size_t c = model.Assign(*p);
+    ++sizes[c];
+    ssq += SquaredEuclidean(*p, model.centroids[c]);
+  }
+  const double variance =
+      ssq / static_cast<double>(n - k) + 1e-9;  // avoid log(0) on duplicates
+
+  double loglik = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double rn = static_cast<double>(sizes[c]);
+    if (rn <= 0.0) continue;
+    loglik += rn * std::log(rn) - rn * std::log(static_cast<double>(n)) -
+              rn / 2.0 * std::log(2.0 * M_PI) -
+              rn * static_cast<double>(dims) / 2.0 * std::log(variance) -
+              (rn - static_cast<double>(k)) / 2.0;
+  }
+  const double free_params =
+      static_cast<double>(k - 1 + k * dims + 1);  // weights + means + variance
+  return loglik - free_params / 2.0 * std::log(static_cast<double>(n));
+}
+
+}  // namespace
+
+Result<CentroidModel> XMeans(const std::vector<const BitVector*>& points,
+                             const XMeansOptions& options,
+                             std::vector<uint32_t>* assignment) {
+  if (points.empty()) return Status::InvalidArgument("x-means: no points");
+  KMeansOptions base;
+  base.k = options.min_k;
+  base.max_iterations = options.kmeans_iterations;
+  base.seed = options.seed;
+  std::vector<uint32_t> assign;
+  RDFCUBE_ASSIGN_OR_RETURN(CentroidModel model, KMeans(points, base, &assign));
+
+  // Improve-structure loop: try splitting each cluster in two; keep splits
+  // whose local BIC beats the unsplit parent's.
+  bool changed = true;
+  uint64_t seed = options.seed;
+  while (changed && model.centroids.size() < options.max_k) {
+    changed = false;
+    std::vector<Centroid> next_centroids;
+    for (std::size_t c = 0; c < model.centroids.size(); ++c) {
+      std::vector<const BitVector*> members;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (assign[i] == c) members.push_back(points[i]);
+      }
+      // Cluster count if this cluster is split and all remaining ones kept.
+      const std::size_t projected =
+          next_centroids.size() + 2 + (model.centroids.size() - c - 1);
+      if (members.size() < 4 || projected > options.max_k) {
+        next_centroids.push_back(model.centroids[c]);
+        continue;
+      }
+      // Parent model: this single centroid.
+      CentroidModel parent;
+      parent.centroids.push_back(model.centroids[c]);
+      const double parent_bic = Bic(members, parent);
+
+      KMeansOptions split_opts;
+      split_opts.k = 2;
+      split_opts.max_iterations = options.kmeans_iterations;
+      split_opts.seed = ++seed;
+      auto child = KMeans(members, split_opts, nullptr);
+      if (!child.ok()) {
+        next_centroids.push_back(model.centroids[c]);
+        continue;
+      }
+      const double child_bic = Bic(members, *child);
+      if (child_bic > parent_bic) {
+        next_centroids.push_back(child->centroids[0]);
+        next_centroids.push_back(child->centroids[1]);
+        changed = true;
+      } else {
+        next_centroids.push_back(model.centroids[c]);
+      }
+    }
+    model.centroids = std::move(next_centroids);
+    // Re-assign after structural change.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      assign[i] = static_cast<uint32_t>(model.Assign(*points[i]));
+    }
+  }
+  if (assignment != nullptr) *assignment = assign;
+  return model;
+}
+
+}  // namespace cluster
+}  // namespace rdfcube

@@ -1,0 +1,37 @@
+// X-means (Pelleg & Moore [26]): k-means with BIC-driven estimation of the
+// number of clusters. The clustering configuration the paper found best
+// (§4.1: "x-means outperformed the other two methods greatly in terms of
+// recall achieved in comparable time frames").
+
+#ifndef RDFCUBE_CLUSTER_XMEANS_H_
+#define RDFCUBE_CLUSTER_XMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace cluster {
+
+struct XMeansOptions {
+  std::size_t min_k = 2;
+  std::size_t max_k = 64;
+  std::size_t kmeans_iterations = 15;
+  uint64_t seed = 42;
+};
+
+/// \brief Runs x-means: starts from min_k centroids and recursively splits
+/// clusters in two while the split improves the BIC score, until max_k.
+///
+/// BIC uses the identity spherical-Gaussian model of the original paper
+/// (variance estimated from within-cluster squared Euclidean distances).
+Result<CentroidModel> XMeans(const std::vector<const BitVector*>& points,
+                             const XMeansOptions& options,
+                             std::vector<uint32_t>* assignment = nullptr);
+
+}  // namespace cluster
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CLUSTER_XMEANS_H_

@@ -1,0 +1,71 @@
+// Roll-up aggregation on top of containment (paper §2: "all contained
+// observations must be aggregated (e.g., a roll-up operation) for being
+// observation complement with the containing one").
+//
+// Given a target coordinate (a value per dimension, roots allowed), this
+// module finds the observations the target would fully contain and
+// aggregates their measures, materializing the roll-up the containment
+// relationships promise.
+
+#ifndef RDFCUBE_CORE_AGGREGATE_H_
+#define RDFCUBE_CORE_AGGREGATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/lattice.h"
+#include "qb/observation_set.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace core {
+
+/// How measure values of contained observations are combined.
+enum class AggregateFn {
+  kSum,
+  kAverage,
+  kMin,
+  kMax,
+  kCount,
+};
+
+/// \brief One aggregated measure of a roll-up.
+struct AggregatedMeasure {
+  qb::MeasureId measure;
+  double value;
+  /// Observations that contributed a value for this measure.
+  std::size_t contributors;
+};
+
+/// \brief Result of RollUp.
+struct RollUpResult {
+  /// Target coordinate, root-padded (parallel to global dimensions).
+  std::vector<hierarchy::CodeId> coordinate;
+  std::vector<AggregatedMeasure> measures;
+  /// All observations dimensionally contained by the coordinate.
+  std::vector<qb::ObsId> contained;
+};
+
+/// \brief Aggregates every observation whose (root-padded) coordinates are
+/// contained by `target` — the materialization of a roll-up to that point.
+///
+/// `target` maps DimId -> CodeId for the pinned dimensions; unpinned
+/// dimensions default to the code-list root (aggregate over everything).
+/// Only *strictly deeper or equal* observations contribute; an observation
+/// exactly at the target coordinate contributes like any other.
+///
+/// Double-counting caveat: the input may already contain aggregate rows
+/// (a Greece row next to its city rows). With `leaves_only` (default), an
+/// in-scope observation is excluded when it strictly contains another
+/// in-scope observation of the same dataset with an overlapping measure —
+/// i.e. coarse rows whose finer rows are also being aggregated are dropped,
+/// so each fact is counted once.
+Result<RollUpResult> RollUp(
+    const qb::ObservationSet& obs, const Lattice& lattice,
+    const std::vector<std::pair<qb::DimId, hierarchy::CodeId>>& target,
+    AggregateFn fn = AggregateFn::kSum, bool leaves_only = true);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_AGGREGATE_H_

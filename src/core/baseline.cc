@@ -1,0 +1,107 @@
+#include "core/baseline.h"
+
+#include <numeric>
+#include <vector>
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+// Processes the ordered pair (a, b) in both directions. Returns void; all
+// emission goes through the sink.
+inline void ProcessPair(const qb::ObservationSet& obs,
+                        const OccurrenceMatrix& om, qb::ObsId a, qb::ObsId b,
+                        const RelationshipSelector& sel,
+                        RelationshipSink* sink) {
+  const std::size_t k = om.num_dimensions();
+  const bool shares = obs.SharesMeasure(a, b);
+
+  if (!sel.partial_containment) {
+    // Fast path: only whole-row covering checks are needed.
+    const bool ab = om.ContainsAll(a, b);
+    const bool ba = om.ContainsAll(b, a);
+    if (sel.full_containment && shares) {
+      if (ab) sink->OnFullContainment(a, b);
+      if (ba) sink->OnFullContainment(b, a);
+    }
+    if (sel.complementarity && ab && ba) {
+      sink->OnComplementarity(a < b ? a : b, a < b ? b : a);
+    }
+    return;
+  }
+
+  // Quantifying path: per-dimension CM row for both directions.
+  std::size_t count_ab = 0, count_ba = 0;
+  uint64_t mask_ab = 0, mask_ba = 0;
+  for (qb::DimId d = 0; d < k; ++d) {
+    if (om.Contains(a, b, d)) {
+      ++count_ab;
+      if (sel.partial_dimension_map) mask_ab |= (uint64_t{1} << d);
+    }
+    if (om.Contains(b, a, d)) {
+      ++count_ba;
+      if (sel.partial_dimension_map) mask_ba |= (uint64_t{1} << d);
+    }
+  }
+  const bool full_ab = count_ab == k;
+  const bool full_ba = count_ba == k;
+  if (shares) {
+    if (sel.full_containment) {
+      if (full_ab) sink->OnFullContainment(a, b);
+      if (full_ba) sink->OnFullContainment(b, a);
+    }
+    if (count_ab > 0 && !full_ab) {
+      sink->OnPartialContainment(
+          a, b, static_cast<double>(count_ab) / static_cast<double>(k),
+          mask_ab);
+    }
+    if (count_ba > 0 && !full_ba) {
+      sink->OnPartialContainment(
+          b, a, static_cast<double>(count_ba) / static_cast<double>(k),
+          mask_ba);
+    }
+  }
+  if (sel.complementarity && full_ab && full_ba) {
+    sink->OnComplementarity(a < b ? a : b, a < b ? b : a);
+  }
+}
+
+}  // namespace
+
+Status RunBaselineSubset(const qb::ObservationSet& obs,
+                         const OccurrenceMatrix& om,
+                         const std::vector<qb::ObsId>& ids,
+                         const BaselineOptions& options,
+                         RelationshipSink* sink) {
+  constexpr std::size_t kDeadlineStride = 4096;
+  std::size_t since_check = 0;
+  for (std::size_t x = 0; x < ids.size(); ++x) {
+    for (std::size_t y = x + 1; y < ids.size(); ++y) {
+      ProcessPair(obs, om, ids[x], ids[y], options.selector, sink);
+      if (++since_check >= kDeadlineStride) {
+        since_check = 0;
+        if (options.deadline.Expired()) {
+          return Status::TimedOut("baseline exceeded its deadline");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RunBaseline(const qb::ObservationSet& obs, const OccurrenceMatrix& om,
+                   const BaselineOptions& options, RelationshipSink* sink) {
+  std::vector<qb::ObsId> ids(obs.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return RunBaselineSubset(obs, om, ids, options, sink);
+}
+
+Status RunBaseline(const qb::ObservationSet& obs,
+                   const BaselineOptions& options, RelationshipSink* sink) {
+  const OccurrenceMatrix om(obs);
+  return RunBaseline(obs, om, options, sink);
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,58 @@
+// The streaming baseline method (paper §3.1, Algorithms 1+2 fused): visits
+// every ordered pair of observations exactly once and emits relationships
+// without materializing the OCM.
+
+#ifndef RDFCUBE_CORE_BASELINE_H_
+#define RDFCUBE_CORE_BASELINE_H_
+
+#include "core/occurrence_matrix.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Options for the baseline run.
+struct BaselineOptions {
+  RelationshipSelector selector;
+  /// Cooperative timeout; returns Status::TimedOut when exceeded (relations
+  /// already emitted stay emitted).
+  Deadline deadline;
+};
+
+/// \brief Runs the O(n^2) baseline over `om`, emitting into `sink`.
+///
+/// Per the paper's own optimization notes: when partial containment is not
+/// requested, pairs are ruled out with two whole-row bit-vector covering
+/// checks (early-exiting inside the AND loop) instead of per-dimension
+/// iteration; when partial containment is requested, the per-dimension CM
+/// row is evaluated to quantify the degree.
+///
+/// Relationship semantics (identical across all methods):
+///  * full:    measures overlap AND every dimension (root-padded) of a
+///             covers b,
+///  * partial: measures overlap AND 0 < #covering dims < |P|,
+///  * compl:   mutual full dimensional containment (no measure condition;
+///             Def. 3 is purely dimensional), reported once per unordered
+///             pair.
+Status RunBaseline(const qb::ObservationSet& obs, const OccurrenceMatrix& om,
+                   const BaselineOptions& options, RelationshipSink* sink);
+
+/// Convenience overload: builds the OccurrenceMatrix internally.
+Status RunBaseline(const qb::ObservationSet& obs,
+                   const BaselineOptions& options, RelationshipSink* sink);
+
+/// \brief Baseline over an explicit subset of observation ids (used by the
+/// clustering method to run per-cluster; Algorithm 3 line 5).
+Status RunBaselineSubset(const qb::ObservationSet& obs,
+                         const OccurrenceMatrix& om,
+                         const std::vector<qb::ObsId>& ids,
+                         const BaselineOptions& options,
+                         RelationshipSink* sink);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_BASELINE_H_

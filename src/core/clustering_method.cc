@@ -1,0 +1,102 @@
+#include "core/clustering_method.h"
+
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "cluster/canopy.h"
+#include "cluster/kmeans.h"
+#include "cluster/xmeans.h"
+#include "core/baseline.h"
+#include "util/random.h"
+
+namespace rdfcube {
+namespace core {
+
+const char* ClusterAlgorithmName(ClusterAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kXMeans:
+      return "x-means";
+    case ClusterAlgorithm::kCanopy:
+      return "canopy";
+    case ClusterAlgorithm::kHierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
+Status RunClusteringMethod(const qb::ObservationSet& obs,
+                           const OccurrenceMatrix& om,
+                           const ClusteringMethodOptions& options,
+                           RelationshipSink* sink,
+                           ClusteringMethodStats* stats) {
+  const std::size_t n = om.num_rows();
+  if (n == 0) return Status::OK();
+
+  // --- Sample ---------------------------------------------------------------
+  Rng rng(options.seed);
+  std::size_t sample_size =
+      static_cast<std::size_t>(static_cast<double>(n) * options.sample_fraction);
+  if (sample_size < 2) sample_size = n < 2 ? n : 2;
+  if (sample_size > n) sample_size = n;
+  const std::vector<std::size_t> sample_ids =
+      rng.SampleWithoutReplacement(n, sample_size);
+  std::vector<const BitVector*> sample;
+  sample.reserve(sample_ids.size());
+  for (std::size_t i : sample_ids) sample.push_back(&om.row(i));
+  if (stats != nullptr) stats->sample_size = sample.size();
+
+  // --- Fit ------------------------------------------------------------------
+  cluster::CentroidModel model;
+  switch (options.algorithm) {
+    case ClusterAlgorithm::kXMeans: {
+      cluster::XMeansOptions xo;
+      xo.max_k = options.max_clusters;
+      xo.seed = options.seed;
+      RDFCUBE_ASSIGN_OR_RETURN(model, cluster::XMeans(sample, xo));
+      break;
+    }
+    case ClusterAlgorithm::kCanopy: {
+      cluster::CanopyOptions co;
+      co.seed = options.seed;
+      RDFCUBE_ASSIGN_OR_RETURN(model, cluster::Canopy(sample, co));
+      break;
+    }
+    case ClusterAlgorithm::kHierarchical: {
+      cluster::AgglomerativeOptions ao;
+      ao.target_k = options.max_clusters;
+      RDFCUBE_ASSIGN_OR_RETURN(model, cluster::Agglomerative(sample, ao));
+      break;
+    }
+  }
+  if (options.deadline.Expired()) {
+    return Status::TimedOut("clustering method exceeded its deadline");
+  }
+
+  // --- Assign all points to fitted clusters ----------------------------------
+  std::vector<std::vector<qb::ObsId>> members(model.centroids.size());
+  for (qb::ObsId i = 0; i < n; ++i) {
+    members[model.Assign(om.row(i))].push_back(i);
+  }
+  if (stats != nullptr) {
+    stats->num_clusters = members.size();
+    for (const auto& m : members) {
+      if (m.size() > stats->largest_cluster) {
+        stats->largest_cluster = m.size();
+      }
+    }
+  }
+
+  // --- Baseline within each cluster (Algorithm 3, lines 3-6) -----------------
+  BaselineOptions bo;
+  bo.selector = options.selector;
+  bo.deadline = options.deadline;
+  for (const auto& cluster_members : members) {
+    if (cluster_members.size() < 2) continue;
+    RDFCUBE_RETURN_IF_ERROR(
+        RunBaselineSubset(obs, om, cluster_members, bo, sink));
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

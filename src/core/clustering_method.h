@@ -1,0 +1,58 @@
+// The clustering computation method (paper §3.2, Algorithm 3): cluster the
+// occurrence matrix, then run the baseline within each cluster. Trades recall
+// for speed — relationships across clusters are lost.
+
+#ifndef RDFCUBE_CORE_CLUSTERING_METHOD_H_
+#define RDFCUBE_CORE_CLUSTERING_METHOD_H_
+
+#include <cstdint>
+
+#include "core/occurrence_matrix.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace core {
+
+/// Which clustering configuration to use (the three the paper evaluates).
+enum class ClusterAlgorithm {
+  kXMeans,
+  kCanopy,
+  kHierarchical,
+};
+
+const char* ClusterAlgorithmName(ClusterAlgorithm algorithm);
+
+struct ClusteringMethodOptions {
+  RelationshipSelector selector;
+  Deadline deadline;
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kXMeans;
+  /// Fraction of observations used to fit the clustering (the paper fits on
+  /// a 10% random sample and assigns the rest to the fitted clusters).
+  double sample_fraction = 0.10;
+  /// Fallbacks / caps for the individual algorithms.
+  std::size_t max_clusters = 64;
+  uint64_t seed = 42;
+};
+
+struct ClusteringMethodStats {
+  std::size_t sample_size = 0;
+  std::size_t num_clusters = 0;
+  std::size_t largest_cluster = 0;
+};
+
+/// \brief Runs Algorithm 3: fit clusters on a sample of OM rows, assign all
+/// observations, then run the baseline within each cluster, unioning results
+/// into `sink`.
+Status RunClusteringMethod(const qb::ObservationSet& obs,
+                           const OccurrenceMatrix& om,
+                           const ClusteringMethodOptions& options,
+                           RelationshipSink* sink,
+                           ClusteringMethodStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_CLUSTERING_METHOD_H_

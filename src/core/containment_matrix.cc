@@ -1,0 +1,97 @@
+#include "core/containment_matrix.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace core {
+
+Result<ContainmentMatrices> ContainmentMatrices::Compute(
+    const OccurrenceMatrix& om, std::size_t max_cells) {
+  const std::size_t n = om.num_rows();
+  if (n != 0 && n > max_cells / n) {
+    return Status::ResourceExhausted(
+        "materialized OCM would need " + std::to_string(n) + "^2 cells; use "
+        "the streaming baseline for corpora this large");
+  }
+  ContainmentMatrices out;
+  out.n_ = n;
+  out.counts_.assign(n * n, 0);
+  out.cm_.resize(om.num_dimensions());
+  for (qb::DimId d = 0; d < om.num_dimensions(); ++d) {
+    std::vector<uint8_t>& cm = out.cm_[d];
+    cm.assign(n * n, 0);
+    for (qb::ObsId a = 0; a < n; ++a) {
+      for (qb::ObsId b = 0; b < n; ++b) {
+        if (om.Contains(a, b, d)) {
+          cm[a * n + b] = 1;
+          ++out.counts_[a * n + b];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ContainmentMatrices::EmitRelationships(const qb::ObservationSet& obs,
+                                            const RelationshipSelector& selector,
+                                            RelationshipSink* sink) const {
+  const std::size_t k = cm_.size();
+  for (qb::ObsId i = 0; i < n_; ++i) {
+    for (qb::ObsId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const uint16_t count = counts_[i * n_ + j];
+      if (count == k) {
+        const bool mutual = counts_[j * n_ + i] == k;
+        if (selector.full_containment && obs.SharesMeasure(i, j)) {
+          sink->OnFullContainment(i, j);
+        }
+        // Complementarity is symmetric; report once per unordered pair.
+        if (selector.complementarity && mutual && i < j) {
+          sink->OnComplementarity(i, j);
+        }
+      } else if (count > 0) {
+        if (selector.partial_containment && obs.SharesMeasure(i, j)) {
+          uint64_t mask = 0;
+          if (selector.partial_dimension_map) {
+            for (qb::DimId d = 0; d < k; ++d) {
+              if (cm_[d][i * n_ + j]) mask |= (uint64_t{1} << d);
+            }
+          }
+          sink->OnPartialContainment(
+              i, j, static_cast<double>(count) / static_cast<double>(k), mask);
+        }
+      }
+    }
+  }
+}
+
+std::string ContainmentMatrices::ToTable(const qb::ObservationSet& obs,
+                                         int dim) const {
+  std::string out;
+  out += dim < 0 ? "OCM" : "CM[" + std::string(IriLocalName(
+                               obs.space().dimension_iri(dim))) + "]";
+  for (qb::ObsId j = 0; j < n_; ++j) {
+    out.push_back(' ');
+    out += std::string(IriLocalName(obs.obs(j).iri));
+  }
+  out.push_back('\n');
+  for (qb::ObsId i = 0; i < n_; ++i) {
+    out += std::string(IriLocalName(obs.obs(i).iri));
+    for (qb::ObsId j = 0; j < n_; ++j) {
+      char buf[16];
+      if (dim < 0) {
+        std::snprintf(buf, sizeof(buf), " %.2f", ocm(i, j));
+      } else {
+        std::snprintf(buf, sizeof(buf), " %d", cm(dim, i, j) ? 1 : 0);
+      }
+      out += buf;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,68 @@
+// Materialized containment matrices CM_i and the Overall Containment Matrix
+// OCM (paper §3.1, Algorithm 1, Tables 3(a)/3(b)). Quadratic in memory —
+// meant for small corpora, interactive inspection, and the running-example
+// reproduction; large runs use the streaming baseline (baseline.h).
+
+#ifndef RDFCUBE_CORE_CONTAINMENT_MATRIX_H_
+#define RDFCUBE_CORE_CONTAINMENT_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/occurrence_matrix.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Per-dimension boolean containment matrices plus their normalized
+/// sum.
+///
+/// CM_d[a][b] == 1 iff sf(o_a, o_b)|p_d holds (row a covers row b on
+/// dimension d's columns); OCM[a][b] = (1/|P|) * sum_d CM_d[a][b].
+class ContainmentMatrices {
+ public:
+  /// Runs Algorithm 1 (computeOCM) over the occurrence matrix. Fails with
+  /// ResourceExhausted when n^2 would exceed `max_cells` (default 10^8).
+  static Result<ContainmentMatrices> Compute(const OccurrenceMatrix& om,
+                                             std::size_t max_cells = 100000000);
+
+  std::size_t n() const { return n_; }
+  std::size_t num_dimensions() const { return cm_.size(); }
+
+  /// CM_d cell. 1 means o_a's value contains o_b's on dimension d.
+  bool cm(qb::DimId d, qb::ObsId a, qb::ObsId b) const {
+    return cm_[d][a * n_ + b];
+  }
+
+  /// OCM cell in [0, 1]: 1 = full dimensional containment, 0 = none.
+  double ocm(qb::ObsId a, qb::ObsId b) const {
+    return static_cast<double>(counts_[a * n_ + b]) /
+           static_cast<double>(cm_.size());
+  }
+
+  /// Runs Algorithm 2 (baseline) over the materialized matrices, applying
+  /// the measure-overlap gate of Def. 4 for containment.
+  void EmitRelationships(const qb::ObservationSet& obs,
+                         const RelationshipSelector& selector,
+                         RelationshipSink* sink) const;
+
+  /// Renders OCM (or a CM_d when `dim` >= 0) as a text table mirroring
+  /// Table 3 of the paper.
+  std::string ToTable(const qb::ObservationSet& obs, int dim = -1) const;
+
+ private:
+  std::size_t n_ = 0;
+  // cm_[d] is an n*n row-major boolean matrix.
+  std::vector<std::vector<uint8_t>> cm_;
+  // counts_[a*n+b] = number of dimensions with CM_d[a][b] == 1.
+  std::vector<uint16_t> counts_;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_CONTAINMENT_MATRIX_H_

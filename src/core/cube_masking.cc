@@ -1,0 +1,265 @@
+#include "core/cube_masking.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+constexpr std::size_t kDeadlineStride = 4096;
+
+// Shared state of one run.
+struct Run {
+  Run(const qb::ObservationSet& obs_in, const Lattice& lattice_in,
+      const CubeMaskingOptions& options_in, RelationshipSink* sink_in,
+      CubeMaskingStats* stats_in, const CubeChildrenIndex* children_in)
+      : obs(obs_in),
+        lattice(lattice_in),
+        options(options_in),
+        sink(sink_in),
+        stats(stats_in),
+        children(children_in) {}
+
+  const qb::ObservationSet& obs;
+  const Lattice& lattice;
+  const CubeMaskingOptions& options;
+  RelationshipSink* sink;
+  CubeMaskingStats* stats;
+  const CubeChildrenIndex* children;
+  std::size_t since_deadline_check = 0;
+
+  std::size_t num_dims() const { return obs.space().num_dimensions(); }
+
+  Status CheckDeadline() {
+    if (++since_deadline_check >= kDeadlineStride) {
+      since_deadline_check = 0;
+      if (options.deadline.Expired()) {
+        return Status::TimedOut("cubeMasking exceeded its deadline");
+      }
+    }
+    return Status::OK();
+  }
+
+  // checkFullCont of Algorithm 4 (dimension part only; the measure gate is
+  // applied by callers since complementarity must not use it).
+  bool DimsContain(qb::ObsId a, qb::ObsId b) const {
+    const qb::CubeSpace& space = obs.space();
+    for (qb::DimId d = 0; d < num_dims(); ++d) {
+      if (!space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
+                                               obs.ValueOrRoot(b, d))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Number of dimensions where a's value contains b's, with optional mask.
+  std::size_t CountContainingDims(qb::ObsId a, qb::ObsId b,
+                                  uint64_t* mask) const {
+    const qb::CubeSpace& space = obs.space();
+    std::size_t count = 0;
+    for (qb::DimId d = 0; d < num_dims(); ++d) {
+      if (space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
+                                              obs.ValueOrRoot(b, d))) {
+        ++count;
+        if (mask != nullptr) *mask |= (uint64_t{1} << d);
+      }
+    }
+    return count;
+  }
+
+  bool ValuesEqual(qb::ObsId a, qb::ObsId b) const {
+    for (qb::DimId d = 0; d < num_dims(); ++d) {
+      if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) return false;
+    }
+    return true;
+  }
+
+  // Visits every ordered cube pair (j, k) where j's signature dominates k's
+  // (all dims when `all_required`, any dim otherwise). With a pre-fetched
+  // children index, iterates its lists directly instead of scanning.
+  template <typename Fn>
+  Status ForComparableCubePairs(bool all_required, Fn&& fn) {
+    const std::size_t c = lattice.num_cubes();
+    if (children != nullptr) {
+      for (CubeId j = 0; j < c; ++j) {
+        const std::vector<CubeId>& list = all_required
+                                              ? children->all_dominated(j)
+                                              : children->any_dominated(j);
+        for (CubeId k : list) {
+          if (stats != nullptr) ++stats->cube_pairs_comparable;
+          RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+          RDFCUBE_RETURN_IF_ERROR(fn(j, k));
+        }
+      }
+      return Status::OK();
+    }
+    for (CubeId j = 0; j < c; ++j) {
+      const CubeSignature& sj = lattice.signature(j);
+      for (CubeId k = 0; k < c; ++k) {
+        if (stats != nullptr) ++stats->cube_pairs_checked;
+        RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+        const CubeSignature& sk = lattice.signature(k);
+        const bool comparable =
+            all_required ? sj.DominatesAll(sk) : sj.DominatesAny(sk);
+        if (!comparable) continue;
+        if (stats != nullptr) ++stats->cube_pairs_comparable;
+        RDFCUBE_RETURN_IF_ERROR(fn(j, k));
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- Per-type passes (prefetch_children == false) --------------------------
+  // Each relationship type re-iterates the lattice and the observation pairs
+  // independently, as in a literal reading of Algorithm 4 run once per type.
+
+  Status FullPass() {
+    return ForComparableCubePairs(
+        /*all_required=*/true, [&](CubeId j, CubeId k) {
+          for (qb::ObsId a : lattice.members(j)) {
+            for (qb::ObsId b : lattice.members(k)) {
+              if (a == b) continue;
+              RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+              if (stats != nullptr) ++stats->observation_pairs_compared;
+              if (obs.SharesMeasure(a, b) && DimsContain(a, b)) {
+                sink->OnFullContainment(a, b);
+              }
+            }
+          }
+          return Status::OK();
+        });
+  }
+
+  Status PartialPass() {
+    const std::size_t kd = num_dims();
+    const bool want_mask = options.selector.partial_dimension_map;
+    return ForComparableCubePairs(
+        /*all_required=*/false, [&](CubeId j, CubeId k) {
+          for (qb::ObsId a : lattice.members(j)) {
+            for (qb::ObsId b : lattice.members(k)) {
+              if (a == b) continue;
+              RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+              if (stats != nullptr) ++stats->observation_pairs_compared;
+              if (!obs.SharesMeasure(a, b)) continue;
+              uint64_t mask = 0;
+              const std::size_t count =
+                  CountContainingDims(a, b, want_mask ? &mask : nullptr);
+              if (count > 0 && count < kd) {
+                sink->OnPartialContainment(
+                    a, b,
+                    static_cast<double>(count) / static_cast<double>(kd),
+                    mask);
+              }
+            }
+          }
+          return Status::OK();
+        });
+  }
+
+  // Complementarity requires mutual full dimensional containment, which
+  // forces identical level signatures: only within-cube pairs qualify.
+  Status ComplPass() {
+    for (CubeId c = 0; c < lattice.num_cubes(); ++c) {
+      const auto& ms = lattice.members(c);
+      for (std::size_t x = 0; x < ms.size(); ++x) {
+        for (std::size_t y = x + 1; y < ms.size(); ++y) {
+          RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+          if (stats != nullptr) ++stats->observation_pairs_compared;
+          if (ValuesEqual(ms[x], ms[y])) {
+            sink->OnComplementarity(std::min(ms[x], ms[y]),
+                                    std::max(ms[x], ms[y]));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- Fused pass (prefetch_children == true) ---------------------------------
+  // The Fig. 5(g) optimization: one lattice iteration is unavoidable for one
+  // of the relationship types; with the per-cube comparable lists (children)
+  // held in memory, that same iteration serves the other two types as well,
+  // so every observation pair is evaluated exactly once for all selected
+  // relationship types.
+  Status FusedPass() {
+    const RelationshipSelector& sel = options.selector;
+    const std::size_t kd = num_dims();
+    const bool want_mask = sel.partial_dimension_map;
+    const bool need_counts = sel.partial_containment;
+    return ForComparableCubePairs(
+        /*all_required=*/!sel.partial_containment,
+        [&](CubeId j, CubeId k) {
+          const bool same_cube = j == k;
+          const bool all_dom =
+              !sel.partial_containment ||
+              lattice.signature(j).DominatesAll(lattice.signature(k));
+          for (qb::ObsId a : lattice.members(j)) {
+            for (qb::ObsId b : lattice.members(k)) {
+              if (a == b) continue;
+              RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
+              if (stats != nullptr) ++stats->observation_pairs_compared;
+              const bool shares = obs.SharesMeasure(a, b);
+              if (shares && need_counts) {
+                uint64_t mask = 0;
+                const std::size_t count =
+                    CountContainingDims(a, b, want_mask ? &mask : nullptr);
+                if (count == kd) {
+                  if (sel.full_containment) sink->OnFullContainment(a, b);
+                } else if (count > 0 && sel.partial_containment) {
+                  sink->OnPartialContainment(
+                      a, b,
+                      static_cast<double>(count) / static_cast<double>(kd),
+                      mask);
+                }
+              } else if (shares && sel.full_containment && all_dom) {
+                if (DimsContain(a, b)) sink->OnFullContainment(a, b);
+              }
+              if (sel.complementarity && same_cube && a < b &&
+                  ValuesEqual(a, b)) {
+                sink->OnComplementarity(a, b);
+              }
+            }
+          }
+          return Status::OK();
+        });
+  }
+};
+
+}  // namespace
+
+Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
+                      const CubeMaskingOptions& options, RelationshipSink* sink,
+                      CubeMaskingStats* stats, const CubeChildrenIndex* children) {
+  Run run(obs, lattice, options, sink, stats, children);
+  if (stats != nullptr) stats->num_cubes = lattice.num_cubes();
+  const RelationshipSelector& sel = options.selector;
+  const int selected = (sel.full_containment ? 1 : 0) +
+                       (sel.partial_containment ? 1 : 0) +
+                       (sel.complementarity ? 1 : 0);
+  if (options.prefetch_children && selected > 1) {
+    return run.FusedPass();
+  }
+  if (sel.partial_containment) {
+    RDFCUBE_RETURN_IF_ERROR(run.PartialPass());
+  }
+  if (sel.full_containment) {
+    RDFCUBE_RETURN_IF_ERROR(run.FullPass());
+  }
+  if (sel.complementarity) {
+    RDFCUBE_RETURN_IF_ERROR(run.ComplPass());
+  }
+  return Status::OK();
+}
+
+Status RunCubeMasking(const qb::ObservationSet& obs,
+                      const CubeMaskingOptions& options, RelationshipSink* sink,
+                      CubeMaskingStats* stats) {
+  const Lattice lattice(obs);
+  return RunCubeMasking(obs, lattice, options, sink, stats);
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,61 @@
+// The cubeMasking method (paper §3.3, Algorithm 4): prune observation
+// comparisons through the level lattice, keeping 100% recall.
+
+#ifndef RDFCUBE_CORE_CUBE_MASKING_H_
+#define RDFCUBE_CORE_CUBE_MASKING_H_
+
+#include "core/lattice.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Options for the cubeMasking run.
+struct CubeMaskingOptions {
+  RelationshipSelector selector;
+  Deadline deadline;
+  /// The Fig. 5(g) optimization ("storing for each cube the full set of its
+  /// children in memory ... an unavoidable iteration for one of the
+  /// relationship types can be taken advantage of for the other two"):
+  /// when more than one relationship type is selected, a single fused
+  /// lattice iteration evaluates every observation pair once for all
+  /// selected types, instead of one independent lattice+pair scan per type.
+  /// With a single selected type the flag has no effect.
+  bool prefetch_children = true;
+};
+
+/// \brief Per-run statistics (feeds Fig. 5(f): cube-to-observation ratio).
+struct CubeMaskingStats {
+  std::size_t num_cubes = 0;
+  std::size_t cube_pairs_checked = 0;
+  std::size_t cube_pairs_comparable = 0;
+  std::size_t observation_pairs_compared = 0;
+};
+
+/// \brief Runs cubeMasking over a pre-built lattice.
+///
+/// Relationship semantics match RunBaseline exactly (the method is lossless);
+/// only the enumeration order of emitted relationships differs.
+///
+/// `children` is the optional pre-fetched comparable-cube index (Fig. 5(g)):
+/// when provided, every pass enumerates its lists instead of scanning all
+/// lattice pairs; when null and `options.prefetch_children` holds, the run
+/// fuses the selected relationship types into one lattice iteration.
+Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
+                      const CubeMaskingOptions& options, RelationshipSink* sink,
+                      CubeMaskingStats* stats = nullptr,
+                      const CubeChildrenIndex* children = nullptr);
+
+/// Convenience overload building the lattice internally (the paper's
+/// linear-time step i+ii).
+Status RunCubeMasking(const qb::ObservationSet& obs,
+                      const CubeMaskingOptions& options, RelationshipSink* sink,
+                      CubeMaskingStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_CUBE_MASKING_H_

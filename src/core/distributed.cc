@@ -1,0 +1,132 @@
+#include "core/distributed.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/cube_masking.h"
+#include "core/lattice.h"
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+// Evaluates one ordered cross-partition observation pair under the fused
+// semantics (mirrors cube_masking.cc's FusedPass body).
+void EvaluatePair(const qb::ObservationSet& obs,
+                  const RelationshipSelector& sel, qb::ObsId a, qb::ObsId b,
+                  bool same_signature, RelationshipSink* sink) {
+  const qb::CubeSpace& space = obs.space();
+  const std::size_t kd = space.num_dimensions();
+  const bool shares = obs.SharesMeasure(a, b);
+  if (shares && (sel.full_containment || sel.partial_containment)) {
+    uint64_t mask = 0;
+    std::size_t count = 0;
+    for (qb::DimId d = 0; d < kd; ++d) {
+      if (space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
+                                              obs.ValueOrRoot(b, d))) {
+        ++count;
+        if (sel.partial_dimension_map) mask |= (uint64_t{1} << d);
+      }
+    }
+    if (count == kd) {
+      if (sel.full_containment) sink->OnFullContainment(a, b);
+    } else if (count > 0 && sel.partial_containment) {
+      sink->OnPartialContainment(
+          a, b, static_cast<double>(count) / static_cast<double>(kd), mask);
+    }
+  }
+  if (sel.complementarity && same_signature && a < b) {
+    bool equal = true;
+    for (qb::DimId d = 0; d < kd; ++d) {
+      if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) sink->OnComplementarity(a, b);
+  }
+}
+
+}  // namespace
+
+Status RunDistributedMasking(const qb::ObservationSet& obs,
+                             const DistributedOptions& options,
+                             RelationshipSink* sink,
+                             DistributedStats* stats) {
+  const std::size_t workers =
+      options.num_workers == 0 ? 1 : options.num_workers;
+  const RelationshipSelector& sel = options.selector;
+
+  // --- Partition (round-robin) and build worker-local lattices. -------------
+  std::vector<Lattice> local(workers);
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    local[i % workers].AddObservation(obs, i);
+  }
+  if (stats != nullptr) {
+    stats->num_workers = workers;
+    for (const Lattice& lattice : local) stats->local_cubes += lattice.num_cubes();
+  }
+
+  // --- Local phase: each worker relates its own observations. --------------
+  for (std::size_t w = 0; w < workers; ++w) {
+    CubeMaskingOptions masking;
+    masking.selector = sel;
+    masking.deadline = options.deadline;
+    CubeMaskingStats mstats;
+    RDFCUBE_RETURN_IF_ERROR(
+        RunCubeMasking(obs, local[w], masking, sink, &mstats));
+    if (stats != nullptr) stats->local_pairs += mstats.observation_pairs_compared;
+  }
+
+  // --- Cross phase: signature exchange, then candidate-cube shipping. -------
+  constexpr std::size_t kDeadlineStride = 4096;
+  std::size_t since_check = 0;
+  for (std::size_t u = 0; u < workers; ++u) {
+    for (std::size_t v = u + 1; v < workers; ++v) {
+      if (stats != nullptr) stats->signature_messages += 2;  // sigs both ways
+      // Which of v's cubes must ship to u (any comparability in either
+      // direction makes the pair a candidate).
+      std::unordered_set<CubeId> shipped_cubes;
+      for (CubeId cu = 0; cu < local[u].num_cubes(); ++cu) {
+        const CubeSignature& su = local[u].signature(cu);
+        for (CubeId cv = 0; cv < local[v].num_cubes(); ++cv) {
+          const CubeSignature& sv = local[v].signature(cv);
+          const bool forward = sel.partial_containment
+                                   ? su.DominatesAny(sv)
+                                   : su.DominatesAll(sv);
+          const bool backward = sel.partial_containment
+                                    ? sv.DominatesAny(su)
+                                    : sv.DominatesAll(su);
+          if (!forward && !backward) continue;
+          if (stats != nullptr && shipped_cubes.insert(cv).second) {
+            stats->shipped_observations += local[v].members(cv).size();
+          }
+          const bool same_signature = su == sv;
+          for (qb::ObsId a : local[u].members(cu)) {
+            for (qb::ObsId b : local[v].members(cv)) {
+              if (++since_check >= kDeadlineStride) {
+                since_check = 0;
+                if (options.deadline.Expired()) {
+                  return Status::TimedOut(
+                      "distributed masking exceeded its deadline");
+                }
+              }
+              if (stats != nullptr) stats->cross_pairs += 2;
+              if (forward) {
+                EvaluatePair(obs, sel, a, b, same_signature, sink);
+              }
+              if (backward) {
+                EvaluatePair(obs, sel, b, a, same_signature, sink);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,83 @@
+#include "core/engine.h"
+
+#include "core/baseline.h"
+#include "core/occurrence_matrix.h"
+
+namespace rdfcube {
+namespace core {
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBaseline:
+      return "baseline";
+    case Method::kClustering:
+      return "clustering";
+    case Method::kCubeMasking:
+      return "cubeMasking";
+    case Method::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+Status ComputeRelationships(const qb::ObservationSet& obs,
+                            const EngineOptions& options,
+                            RelationshipSink* sink, EngineReport* report) {
+  Stopwatch watch;
+  const Deadline deadline = options.timeout_seconds > 0
+                                ? Deadline(options.timeout_seconds)
+                                : Deadline();
+  Status status;
+  switch (options.method) {
+    case Method::kBaseline: {
+      const OccurrenceMatrix om(obs);
+      BaselineOptions bo;
+      bo.selector = options.selector;
+      bo.deadline = deadline;
+      status = RunBaseline(obs, om, bo, sink);
+      break;
+    }
+    case Method::kClustering: {
+      const OccurrenceMatrix om(obs);
+      ClusteringMethodOptions co;
+      co.selector = options.selector;
+      co.deadline = deadline;
+      co.algorithm = options.cluster_algorithm;
+      co.sample_fraction = options.cluster_sample_fraction;
+      co.seed = options.seed;
+      status = RunClusteringMethod(obs, om, co, sink,
+                                   report ? &report->cluster : nullptr);
+      break;
+    }
+    case Method::kCubeMasking: {
+      CubeMaskingOptions mo;
+      mo.selector = options.selector;
+      mo.deadline = deadline;
+      mo.prefetch_children = options.prefetch_children;
+      status = RunCubeMasking(obs, mo, sink,
+                              report ? &report->masking : nullptr);
+      break;
+    }
+    case Method::kHybrid: {
+      HybridOptions ho;
+      ho.deadline = deadline;
+      ho.cluster_algorithm = options.cluster_algorithm;
+      ho.cluster_sample_fraction = options.cluster_sample_fraction;
+      ho.seed = options.seed;
+      ho.partial_dimension_map = options.selector.partial_dimension_map;
+      ho.compute_partial = options.selector.partial_containment;
+      HybridStats hstats;
+      status = RunHybrid(obs, ho, sink, &hstats);
+      if (report != nullptr) {
+        report->masking = hstats.masking;
+        report->cluster = hstats.cluster;
+      }
+      break;
+    }
+  }
+  if (report != nullptr) report->elapsed_seconds = watch.ElapsedSeconds();
+  return status;
+}
+
+}  // namespace core
+}  // namespace rdfcube

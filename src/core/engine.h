@@ -1,0 +1,65 @@
+// Engine: one entry point over the three native computation methods.
+
+#ifndef RDFCUBE_CORE_ENGINE_H_
+#define RDFCUBE_CORE_ENGINE_H_
+
+#include <string>
+
+#include "core/clustering_method.h"
+#include "core/cube_masking.h"
+#include "core/hybrid.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace core {
+
+/// The paper's three proposed methods plus the §6 hybrid. (The SPARQL- and
+/// rule-based comparison approaches live in src/sparql and src/rules and are
+/// invoked through their own engines; they are baselines *against* this
+/// system, not part of it.)
+enum class Method {
+  kBaseline,
+  kClustering,
+  kCubeMasking,
+  /// §6 hybrid: exact cubeMasking for full containment + complementarity,
+  /// clustering approximation for partial containment. The selector's
+  /// partial_containment flag controls whether the lossy stage runs.
+  kHybrid,
+};
+
+const char* MethodName(Method method);
+
+struct EngineOptions {
+  Method method = Method::kCubeMasking;
+  RelationshipSelector selector;
+  /// Wall-clock limit in seconds; <= 0 means unlimited.
+  double timeout_seconds = -1.0;
+  /// Clustering-specific knobs (ignored by other methods).
+  ClusterAlgorithm cluster_algorithm = ClusterAlgorithm::kXMeans;
+  double cluster_sample_fraction = 0.10;
+  uint64_t seed = 42;
+  /// cubeMasking-specific knob (Fig. 5(g)).
+  bool prefetch_children = true;
+};
+
+/// \brief Post-run report.
+struct EngineReport {
+  double elapsed_seconds = 0.0;
+  CubeMaskingStats masking;       // filled by kCubeMasking / kHybrid
+  ClusteringMethodStats cluster;  // filled by kClustering / kHybrid
+};
+
+/// \brief Computes containment/complementarity relationships over `obs` with
+/// the selected method, streaming results into `sink`.
+Status ComputeRelationships(const qb::ObservationSet& obs,
+                            const EngineOptions& options,
+                            RelationshipSink* sink,
+                            EngineReport* report = nullptr);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_ENGINE_H_

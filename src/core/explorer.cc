@@ -1,0 +1,101 @@
+#include "core/explorer.h"
+
+namespace rdfcube {
+namespace core {
+
+CubeExplorer::CubeExplorer(const qb::ObservationSet* obs)
+    : obs_(obs), lattice_(*obs), children_(lattice_) {
+  dominators_.resize(lattice_.num_cubes());
+  for (CubeId j = 0; j < lattice_.num_cubes(); ++j) {
+    for (CubeId k : children_.all_dominated(j)) {
+      dominators_[k].push_back(j);
+    }
+  }
+}
+
+bool CubeExplorer::DimsContain(qb::ObsId a, qb::ObsId b) const {
+  const qb::CubeSpace& space = obs_->space();
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    if (!space.code_list(d).IsAncestorOrSelf(obs_->ValueOrRoot(a, d),
+                                             obs_->ValueOrRoot(b, d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CubeExplorer::CountContainingDims(qb::ObsId a, qb::ObsId b) const {
+  const qb::CubeSpace& space = obs_->space();
+  std::size_t count = 0;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    if (space.code_list(d).IsAncestorOrSelf(obs_->ValueOrRoot(a, d),
+                                            obs_->ValueOrRoot(b, d))) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<qb::ObsId> CubeExplorer::ContainedBy(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  for (CubeId cube : children_.all_dominated(lattice_.cube_of(id))) {
+    for (qb::ObsId other : lattice_.members(cube)) {
+      if (other == id) continue;
+      if (obs_->SharesMeasure(id, other) && DimsContain(id, other)) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<qb::ObsId> CubeExplorer::Containers(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  for (CubeId cube : dominators_[lattice_.cube_of(id)]) {
+    for (qb::ObsId other : lattice_.members(cube)) {
+      if (other == id) continue;
+      if (obs_->SharesMeasure(id, other) && DimsContain(other, id)) {
+        out.push_back(other);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<qb::ObsId> CubeExplorer::Complements(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  const qb::CubeSpace& space = obs_->space();
+  for (qb::ObsId other : lattice_.members(lattice_.cube_of(id))) {
+    if (other == id) continue;
+    bool equal = true;
+    for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+      if (obs_->ValueOrRoot(id, d) != obs_->ValueOrRoot(other, d)) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) out.push_back(other);
+  }
+  return out;
+}
+
+std::vector<CubeExplorer::PartialMatch> CubeExplorer::PartiallyContained(
+    qb::ObsId id, double min_degree) const {
+  std::vector<PartialMatch> out;
+  const std::size_t kd = obs_->space().num_dimensions();
+  const CubeId my_cube = lattice_.cube_of(id);
+  for (CubeId cube : children_.any_dominated(my_cube)) {
+    for (qb::ObsId other : lattice_.members(cube)) {
+      if (other == id || !obs_->SharesMeasure(id, other)) continue;
+      const std::size_t count = CountContainingDims(id, other);
+      if (count == 0 || count == kd) continue;
+      const double degree =
+          static_cast<double>(count) / static_cast<double>(kd);
+      if (degree >= min_degree) out.push_back({other, degree});
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,62 @@
+// Online exploration API: point queries against one observation instead of
+// batch pair enumeration (the paper's §1 motivation: "provide
+// recommendations for online browsing ... navigate and explore remote
+// cubes"). Built on the lattice + pre-fetched children index, so a query
+// touches only observations in comparable cubes.
+
+#ifndef RDFCUBE_CORE_EXPLORER_H_
+#define RDFCUBE_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "core/lattice.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Per-observation relationship queries.
+///
+/// Construction builds the lattice and the comparable-cube index once
+/// (O(n + #cubes^2)); each query then costs O(observations in comparable
+/// cubes). The ObservationSet must outlive the explorer and not grow while
+/// it is in use (use IncrementalEngine for evolving sets).
+class CubeExplorer {
+ public:
+  explicit CubeExplorer(const qb::ObservationSet* obs);
+
+  /// Observations that `id` fully contains (its drill-down targets).
+  std::vector<qb::ObsId> ContainedBy(qb::ObsId id) const;
+
+  /// Observations that fully contain `id` (its roll-up targets).
+  std::vector<qb::ObsId> Containers(qb::ObsId id) const;
+
+  /// Observations complementary to `id` (same padded coordinates).
+  std::vector<qb::ObsId> Complements(qb::ObsId id) const;
+
+  /// Observations partially contained by `id`, with degree >= min_degree.
+  struct PartialMatch {
+    qb::ObsId other;
+    double degree;
+  };
+  std::vector<PartialMatch> PartiallyContained(qb::ObsId id,
+                                               double min_degree = 0.0) const;
+
+  const Lattice& lattice() const { return lattice_; }
+
+ private:
+  bool DimsContain(qb::ObsId a, qb::ObsId b) const;
+  std::size_t CountContainingDims(qb::ObsId a, qb::ObsId b) const;
+
+  const qb::ObservationSet* obs_;
+  Lattice lattice_;
+  CubeChildrenIndex children_;
+  // Reverse adjacency: cubes that dominate cube c (for Containers()).
+  std::vector<std::vector<CubeId>> dominators_;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_EXPLORER_H_

@@ -1,0 +1,45 @@
+#include "core/hybrid.h"
+
+#include "core/occurrence_matrix.h"
+
+namespace rdfcube {
+namespace core {
+
+Status RunHybrid(const qb::ObservationSet& obs, const HybridOptions& options,
+                 RelationshipSink* sink, HybridStats* stats) {
+  // Stage 1: exact full containment + complementarity via cubeMasking.
+  {
+    Stopwatch watch;
+    CubeMaskingOptions masking;
+    masking.selector.full_containment = true;
+    masking.selector.complementarity = true;
+    masking.selector.partial_containment = false;
+    masking.deadline = options.deadline;
+    RDFCUBE_RETURN_IF_ERROR(RunCubeMasking(
+        obs, masking, sink, stats != nullptr ? &stats->masking : nullptr));
+    if (stats != nullptr) stats->masking_seconds = watch.ElapsedSeconds();
+  }
+  if (!options.compute_partial) return Status::OK();
+
+  // Stage 2: approximate partial containment via per-cluster baselines.
+  {
+    Stopwatch watch;
+    const OccurrenceMatrix om(obs);
+    ClusteringMethodOptions clustering;
+    clustering.selector.full_containment = false;
+    clustering.selector.complementarity = false;
+    clustering.selector.partial_containment = true;
+    clustering.selector.partial_dimension_map = options.partial_dimension_map;
+    clustering.deadline = options.deadline;
+    clustering.algorithm = options.cluster_algorithm;
+    clustering.sample_fraction = options.cluster_sample_fraction;
+    clustering.seed = options.seed;
+    RDFCUBE_RETURN_IF_ERROR(RunClusteringMethod(
+        obs, om, clustering, sink, stats != nullptr ? &stats->cluster : nullptr));
+    if (stats != nullptr) stats->clustering_seconds = watch.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,50 @@
+// Hybrid method (paper §6: "hybrid probabilistic methods that take into
+// advantage the positive points of the clustering and cubeMasking
+// algorithms"): full containment and complementarity — where lattice pruning
+// is strong — run through lossless cubeMasking, while partial containment —
+// the expensive, weakly-prunable type — runs through the lossy clustering
+// method. Exact where exactness is cheap, approximate where it is not.
+
+#ifndef RDFCUBE_CORE_HYBRID_H_
+#define RDFCUBE_CORE_HYBRID_H_
+
+#include "core/clustering_method.h"
+#include "core/cube_masking.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace core {
+
+struct HybridOptions {
+  Deadline deadline;
+  /// Clustering configuration for the partial-containment stage.
+  ClusterAlgorithm cluster_algorithm = ClusterAlgorithm::kXMeans;
+  double cluster_sample_fraction = 0.10;
+  uint64_t seed = 42;
+  /// Request the per-dimension map on partial containments.
+  bool partial_dimension_map = false;
+  /// Skip the partial stage entirely (degenerates to exact cubeMasking on
+  /// full + complementarity).
+  bool compute_partial = true;
+};
+
+struct HybridStats {
+  CubeMaskingStats masking;
+  ClusteringMethodStats cluster;
+  double masking_seconds = 0.0;
+  double clustering_seconds = 0.0;
+};
+
+/// \brief Runs the hybrid: exact full containment + complementarity, then
+/// approximate partial containment. Full/compl results are identical to the
+/// baseline's; partial results are a subset (recall as in Fig. 5(d)).
+Status RunHybrid(const qb::ObservationSet& obs, const HybridOptions& options,
+                 RelationshipSink* sink, HybridStats* stats = nullptr);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_HYBRID_H_

@@ -1,0 +1,147 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+namespace rdfcube {
+namespace core {
+
+IncrementalEngine::IncrementalEngine(const qb::ObservationSet* obs,
+                                     const RelationshipSelector& selector)
+    : obs_(obs), selector_(selector) {}
+
+Status IncrementalEngine::OnObservationAdded(qb::ObsId id) {
+  if (id >= obs_->size()) {
+    return Status::InvalidArgument("observation id not in the set");
+  }
+  if (id < live_.size() && live_[id]) {
+    return Status::AlreadyExists("observation already integrated");
+  }
+  // Register in the lattice first so its cube exists.
+  const CubeId my_cube = lattice_.AddObservation(*obs_, id);
+  if (live_.size() <= id) live_.resize(id + 1, false);
+  live_[id] = true;
+
+  // Candidate partners: observations in cubes comparable to mine in either
+  // direction (any-dominates covers the partial case, which subsumes the
+  // full/compl candidates as well).
+  const CubeSignature& mine = lattice_.signature(my_cube);
+  for (CubeId c = 0; c < lattice_.num_cubes(); ++c) {
+    const CubeSignature& other = lattice_.signature(c);
+    const bool forward = selector_.partial_containment
+                             ? mine.DominatesAny(other)
+                             : mine.DominatesAll(other);
+    const bool backward = selector_.partial_containment
+                              ? other.DominatesAny(mine)
+                              : other.DominatesAll(mine);
+    if (!forward && !backward) continue;
+    for (qb::ObsId partner : lattice_.members(c)) {
+      if (partner == id || !live_[partner]) continue;
+      Compare(id, partner);
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::OnObservationRetired(qb::ObsId id) {
+  if (id >= live_.size() || !live_[id]) {
+    return Status::NotFound("observation is not live");
+  }
+  live_[id] = false;
+  lattice_.RemoveObservation(id);
+  auto it = partners_.find(id);
+  if (it != partners_.end()) {
+    for (qb::ObsId partner : it->second) {
+      full_.erase(Key(id, partner));
+      full_.erase(Key(partner, id));
+      partial_.erase(Key(id, partner));
+      partial_.erase(Key(partner, id));
+      compl_.erase(Key(std::min(id, partner), std::max(id, partner)));
+      // Drop the back-reference.
+      auto pit = partners_.find(partner);
+      if (pit != partners_.end()) {
+        auto& v = pit->second;
+        v.erase(std::remove(v.begin(), v.end(), id), v.end());
+      }
+    }
+    partners_.erase(it);
+  }
+  return Status::OK();
+}
+
+double IncrementalEngine::PartialDegree(qb::ObsId a, qb::ObsId b) const {
+  auto it = partial_.find(Key(a, b));
+  return it == partial_.end() ? 0.0 : it->second;
+}
+
+void IncrementalEngine::Link(qb::ObsId a, qb::ObsId b) {
+  partners_[a].push_back(b);
+  partners_[b].push_back(a);
+}
+
+void IncrementalEngine::Compare(qb::ObsId a, qb::ObsId b) {
+  const qb::CubeSpace& space = obs_->space();
+  const std::size_t k = space.num_dimensions();
+  std::size_t count_ab = 0, count_ba = 0;
+  for (qb::DimId d = 0; d < k; ++d) {
+    const hierarchy::CodeList& list = space.code_list(d);
+    const hierarchy::CodeId va = obs_->ValueOrRoot(a, d);
+    const hierarchy::CodeId vb = obs_->ValueOrRoot(b, d);
+    if (list.IsAncestorOrSelf(va, vb)) ++count_ab;
+    if (list.IsAncestorOrSelf(vb, va)) ++count_ba;
+  }
+  const bool shares = obs_->SharesMeasure(a, b);
+  bool linked = false;
+  auto link_once = [&] {
+    if (!linked) {
+      Link(a, b);
+      linked = true;
+    }
+  };
+  if (shares) {
+    if (selector_.full_containment) {
+      if (count_ab == k) {
+        full_.insert(Key(a, b));
+        link_once();
+      }
+      if (count_ba == k) {
+        full_.insert(Key(b, a));
+        link_once();
+      }
+    }
+    if (selector_.partial_containment) {
+      if (count_ab > 0 && count_ab < k) {
+        partial_.emplace(Key(a, b),
+                         static_cast<double>(count_ab) / static_cast<double>(k));
+        link_once();
+      }
+      if (count_ba > 0 && count_ba < k) {
+        partial_.emplace(Key(b, a),
+                         static_cast<double>(count_ba) / static_cast<double>(k));
+        link_once();
+      }
+    }
+  }
+  if (selector_.complementarity && count_ab == k && count_ba == k) {
+    compl_.insert(Key(std::min(a, b), std::max(a, b)));
+    link_once();
+  }
+}
+
+void IncrementalEngine::Export(RelationshipSink* sink) const {
+  for (uint64_t key : full_) {
+    sink->OnFullContainment(static_cast<qb::ObsId>(key >> 32),
+                            static_cast<qb::ObsId>(key & 0xffffffffu));
+  }
+  for (const auto& [key, degree] : partial_) {
+    sink->OnPartialContainment(static_cast<qb::ObsId>(key >> 32),
+                               static_cast<qb::ObsId>(key & 0xffffffffu),
+                               degree, 0);
+  }
+  for (uint64_t key : compl_) {
+    sink->OnComplementarity(static_cast<qb::ObsId>(key >> 32),
+                            static_cast<qb::ObsId>(key & 0xffffffffu));
+  }
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,87 @@
+// Incremental maintenance of relationship sets (paper §6 lists incremental
+// techniques as future work; implemented here): observations can be added or
+// retired one at a time, and the stored S_F / S_P / S_C sets are updated by
+// comparing only against lattice-comparable cubes.
+
+#ifndef RDFCUBE_CORE_INCREMENTAL_H_
+#define RDFCUBE_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/lattice.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Maintains materialized relationship sets under observation
+/// insertions and retirements.
+///
+/// The engine references an ObservationSet that the caller appends to; after
+/// each append, call OnObservationAdded(id). Retiring an observation removes
+/// every stored relationship involving it (the ObservationSet itself is
+/// append-only; retired ids are simply excluded from future comparisons).
+///
+/// Invariant (tested property): after any sequence of adds/retires, the
+/// stored sets equal a from-scratch batch run over the live observations.
+class IncrementalEngine {
+ public:
+  /// `obs` must outlive the engine. `selector` fixes which relationship
+  /// types are maintained.
+  IncrementalEngine(const qb::ObservationSet* obs,
+                    const RelationshipSelector& selector);
+
+  /// Integrates observation `id` (must already be in the set, not yet seen
+  /// by the engine).
+  Status OnObservationAdded(qb::ObsId id);
+
+  /// Retires `id`: removes all stored relationships that involve it.
+  Status OnObservationRetired(qb::ObsId id);
+
+  // --- Queries ---------------------------------------------------------------
+  bool HasFullContainment(qb::ObsId a, qb::ObsId b) const {
+    return full_.count(Key(a, b)) != 0;
+  }
+  bool HasComplementarity(qb::ObsId a, qb::ObsId b) const {
+    return compl_.count(Key(a < b ? a : b, a < b ? b : a)) != 0;
+  }
+  /// Degree of Cont_partial(a, b), or 0 when absent.
+  double PartialDegree(qb::ObsId a, qb::ObsId b) const;
+
+  std::size_t num_full() const { return full_.size(); }
+  std::size_t num_partial() const { return partial_.size(); }
+  std::size_t num_complementary() const { return compl_.size(); }
+
+  /// Dumps the current sets into a sink (ordering unspecified).
+  void Export(RelationshipSink* sink) const;
+
+ private:
+  static uint64_t Key(qb::ObsId a, qb::ObsId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  // Pairwise evaluation of the new observation against one candidate.
+  void Compare(qb::ObsId a, qb::ObsId b);
+  void Link(qb::ObsId a, qb::ObsId b);
+
+  const qb::ObservationSet* obs_;
+  RelationshipSelector selector_;
+  Lattice lattice_;
+  std::vector<bool> live_;
+
+  std::unordered_set<uint64_t> full_;
+  std::unordered_map<uint64_t, double> partial_;
+  std::unordered_set<uint64_t> compl_;
+  // For O(degree) retirement: all partners an observation participates with.
+  std::unordered_map<qb::ObsId, std::vector<qb::ObsId>> partners_;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_INCREMENTAL_H_

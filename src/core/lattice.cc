@@ -1,0 +1,75 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+
+namespace rdfcube {
+namespace core {
+
+std::string CubeSignature::ToString() const {
+  std::string out;
+  out.reserve(levels.size());
+  for (uint8_t l : levels) {
+    if (l < 10) {
+      out.push_back(static_cast<char>('0' + l));
+    } else {
+      out.push_back('(');
+      out += std::to_string(l);
+      out.push_back(')');
+    }
+  }
+  return out;
+}
+
+Lattice::Lattice(const qb::ObservationSet& obs) {
+  cube_of_.reserve(obs.size());
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    AddObservation(obs, i);
+  }
+}
+
+CubeId Lattice::AddObservation(const qb::ObservationSet& obs, qb::ObsId i) {
+  const std::size_t k = obs.space().num_dimensions();
+  CubeSignature sig;
+  sig.levels.resize(k);
+  for (qb::DimId d = 0; d < k; ++d) {
+    sig.levels[d] = static_cast<uint8_t>(obs.LevelOf(i, d));
+  }
+  auto [it, inserted] =
+      index_.emplace(sig, static_cast<CubeId>(signatures_.size()));
+  if (inserted) {
+    signatures_.push_back(std::move(sig));
+    members_.emplace_back();
+  }
+  const CubeId cube = it->second;
+  members_[cube].push_back(i);
+  if (cube_of_.size() <= i) cube_of_.resize(i + 1, 0);
+  cube_of_[i] = cube;
+  return cube;
+}
+
+void Lattice::RemoveObservation(qb::ObsId i) {
+  const CubeId cube = cube_of_[i];
+  auto& v = members_[cube];
+  v.erase(std::remove(v.begin(), v.end(), i), v.end());
+}
+
+CubeChildrenIndex::CubeChildrenIndex(const Lattice& lattice) {
+  const std::size_t c = lattice.num_cubes();
+  all_dom_.resize(c);
+  any_dom_.resize(c);
+  for (CubeId j = 0; j < c; ++j) {
+    const CubeSignature& sj = lattice.signature(j);
+    for (CubeId k = 0; k < c; ++k) {
+      const CubeSignature& sk = lattice.signature(k);
+      if (sj.DominatesAll(sk)) {
+        all_dom_[j].push_back(k);
+        any_dom_[j].push_back(k);
+      } else if (sj.DominatesAny(sk)) {
+        any_dom_[j].push_back(k);
+      }
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,65 @@
+#include "core/occurrence_matrix.h"
+
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace core {
+
+OccurrenceMatrix::OccurrenceMatrix(const qb::ObservationSet& obs) {
+  const qb::CubeSpace& space = obs.space();
+  dim_begin_.resize(space.num_dimensions());
+  std::size_t col = 0;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    dim_begin_[d] = col;
+    col += space.code_list(d).size();
+  }
+  num_columns_ = col;
+
+  rows_.reserve(obs.size());
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    BitVector row(num_columns_);
+    for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+      const hierarchy::CodeList& list = space.code_list(d);
+      // Root-padding for absent dimensions, then bottom-up ancestor closure.
+      const hierarchy::CodeId value = obs.ValueOrRoot(i, d);
+      for (hierarchy::CodeId c : list.AncestorsOrSelf(value)) {
+        row.Set(dim_begin_[d] + c);
+      }
+    }
+    rows_.push_back(std::move(row));
+  }
+}
+
+std::string OccurrenceMatrix::ToTable(const qb::ObservationSet& obs) const {
+  const qb::CubeSpace& space = obs.space();
+  std::string out;
+  // Header: dimension group line, then code columns.
+  out += "obs";
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    const hierarchy::CodeList& list = space.code_list(d);
+    out += " |";
+    out += " [";
+    out += std::string(IriLocalName(space.dimension_iri(d)));
+    out += "]";
+    for (hierarchy::CodeId c = 0; c < list.size(); ++c) {
+      out.push_back(' ');
+      out += std::string(IriLocalName(list.name(c)));
+    }
+  }
+  out.push_back('\n');
+  for (qb::ObsId i = 0; i < rows_.size(); ++i) {
+    out += std::string(IriLocalName(obs.obs(i).iri));
+    for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+      out += " |";
+      for (std::size_t c = dim_begin(d); c < dim_end(d); ++c) {
+        out.push_back(' ');
+        out.push_back(rows_[i].Test(c) ? '1' : '0');
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rdfcube

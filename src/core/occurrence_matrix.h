@@ -1,0 +1,75 @@
+// The occurrence matrix OM of the paper (§3.1, Table 2): one bit-vector row
+// per observation over the concatenated code-list feature space, with
+// hierarchical closure (a value sets itself and all of its ancestors).
+
+#ifndef RDFCUBE_CORE_OCCURRENCE_MATRIX_H_
+#define RDFCUBE_CORE_OCCURRENCE_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qb/observation_set.h"
+#include "util/bitvector.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief The |O| x |C| occurrence matrix.
+///
+/// Columns are grouped per dimension: dimension d occupies the half-open
+/// column range [dim_begin(d), dim_end(d)), one column per code in its code
+/// list (code id == offset within the range). Setting a value h_a^j sets the
+/// columns of h_a^j and every ancestor up to the root; observations lacking
+/// dimension d set only the root column (paper: "dimensions not appearing in
+/// a schema are mapped to the top concept").
+class OccurrenceMatrix {
+ public:
+  /// Encodes every observation of `obs`. The set must outlive the matrix.
+  explicit OccurrenceMatrix(const qb::ObservationSet& obs);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return num_columns_; }
+  std::size_t num_dimensions() const { return dim_begin_.size(); }
+
+  const BitVector& row(qb::ObsId i) const { return rows_[i]; }
+  const std::vector<BitVector>& rows() const { return rows_; }
+
+  /// Column range of dimension d (the sub-matrix OM_d).
+  std::size_t dim_begin(qb::DimId d) const { return dim_begin_[d]; }
+  std::size_t dim_end(qb::DimId d) const {
+    return d + 1 < dim_begin_.size() ? dim_begin_[d + 1] : num_columns_;
+  }
+
+  /// The paper's conditional function sf(o_a, o_b)|p_d: true iff o_a's value
+  /// contains (is an ancestor-or-self of) o_b's value on dimension d.
+  ///
+  /// With hierarchical closure encoding, an ancestor's bit set is a *subset*
+  /// of its descendant's (the descendant sets its own bit plus all ancestor
+  /// bits), so the check is "row(b) AND row(a) == row(a)" on d's columns —
+  /// matching the paper's Table 3(a), where CM_refArea[o21][o11] = 1 because
+  /// Greece (o21) contains Athens (o11).
+  bool Contains(qb::ObsId a, qb::ObsId b, qb::DimId d) const {
+    return rows_[b].CoversRange(rows_[a], dim_begin(d), dim_end(d));
+  }
+
+  /// Whole-row covering check: equivalent to Contains over every dimension
+  /// (full dimensional containment in one pass).
+  bool ContainsAll(qb::ObsId a, qb::ObsId b) const {
+    return rows_[b].Covers(rows_[a]);
+  }
+
+  /// Renders the matrix as an aligned text table with per-dimension column
+  /// headers (Table 2 of the paper). Intended for small examples.
+  std::string ToTable(const qb::ObservationSet& obs) const;
+
+ private:
+  std::size_t num_columns_ = 0;
+  std::vector<std::size_t> dim_begin_;
+  std::vector<BitVector> rows_;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_OCCURRENCE_MATRIX_H_

@@ -1,0 +1,109 @@
+#include "core/parallel_masking.h"
+
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+// Worker body: the cube-pair passes of cubeMasking restricted to outer cubes
+// j with j % stride == shard.
+void ProcessShard(const qb::ObservationSet& obs, const Lattice& lattice,
+                  const RelationshipSelector& sel, std::size_t shard,
+                  std::size_t stride, CollectingSink* out) {
+  const qb::CubeSpace& space = obs.space();
+  const std::size_t kd = space.num_dimensions();
+  const std::size_t c = lattice.num_cubes();
+
+  auto count_dims = [&](qb::ObsId a, qb::ObsId b) {
+    std::size_t count = 0;
+    for (qb::DimId d = 0; d < kd; ++d) {
+      if (space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
+                                              obs.ValueOrRoot(b, d))) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  for (CubeId j = shard; j < c; j += stride) {
+    const CubeSignature& sj = lattice.signature(j);
+    for (CubeId k = 0; k < c; ++k) {
+      const CubeSignature& sk = lattice.signature(k);
+      const bool all_dom = sj.DominatesAll(sk);
+      const bool any_dom = sel.partial_containment && sj.DominatesAny(sk);
+      if (!all_dom && !any_dom) continue;
+      const bool same_cube = j == k;
+      for (qb::ObsId a : lattice.members(j)) {
+        for (qb::ObsId b : lattice.members(k)) {
+          if (a == b) continue;
+          const bool shares = obs.SharesMeasure(a, b);
+          if (sel.partial_containment && shares) {
+            const std::size_t count = count_dims(a, b);
+            if (count == kd) {
+              if (sel.full_containment) out->OnFullContainment(a, b);
+            } else if (count > 0) {
+              out->OnPartialContainment(
+                  a, b, static_cast<double>(count) / static_cast<double>(kd),
+                  0);
+            }
+          } else if (all_dom && shares && sel.full_containment) {
+            if (count_dims(a, b) == kd) out->OnFullContainment(a, b);
+          }
+          // Complementarity: same-cube, value-equal, report once (a < b).
+          if (sel.complementarity && same_cube && a < b) {
+            bool equal = true;
+            for (qb::DimId d = 0; d < kd; ++d) {
+              if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) {
+                equal = false;
+                break;
+              }
+            }
+            if (equal) out->OnComplementarity(a, b);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status RunCubeMaskingParallel(const qb::ObservationSet& obs,
+                              const Lattice& lattice,
+                              const ParallelMaskingOptions& options,
+                              RelationshipSink* sink) {
+  const std::size_t threads = options.num_threads == 0 ? 1 : options.num_threads;
+  std::vector<std::unique_ptr<CollectingSink>> shards;
+  shards.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    shards.push_back(std::make_unique<CollectingSink>());
+  }
+  {
+    ThreadPool pool(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      CollectingSink* out = shards[t].get();
+      pool.Submit([&obs, &lattice, &options, t, threads, out] {
+        ProcessShard(obs, lattice, options.selector, t, threads, out);
+      });
+    }
+    pool.Wait();
+  }
+  for (const auto& shard : shards) {
+    for (const auto& [a, b] : shard->full()) sink->OnFullContainment(a, b);
+    for (const auto& p : shard->partial()) {
+      sink->OnPartialContainment(p.a, p.b, p.degree, p.dim_mask);
+    }
+    for (const auto& [a, b] : shard->complementary()) {
+      sink->OnComplementarity(a, b);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,35 @@
+// Parallel cubeMasking (paper §6 lists distributed/parallel execution as
+// future work): shards the comparable-cube-pair work list over a thread pool.
+
+#ifndef RDFCUBE_CORE_PARALLEL_MASKING_H_
+#define RDFCUBE_CORE_PARALLEL_MASKING_H_
+
+#include <cstddef>
+
+#include "core/cube_masking.h"
+#include "core/lattice.h"
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace core {
+
+struct ParallelMaskingOptions {
+  RelationshipSelector selector;
+  std::size_t num_threads = 4;
+};
+
+/// \brief Runs cubeMasking with the outer cube loop partitioned across
+/// `num_threads` workers. Each worker collects into a private sink; results
+/// are merged into `sink` afterwards, so `sink` needs no synchronization.
+/// Emits exactly the same relationships as RunCubeMasking.
+Status RunCubeMaskingParallel(const qb::ObservationSet& obs,
+                              const Lattice& lattice,
+                              const ParallelMaskingOptions& options,
+                              RelationshipSink* sink);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_PARALLEL_MASKING_H_

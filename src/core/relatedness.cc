@@ -1,0 +1,112 @@
+#include "core/relatedness.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rdfcube {
+namespace core {
+
+double CodeSimilarity(const hierarchy::CodeList& list, hierarchy::CodeId a,
+                      hierarchy::CodeId b) {
+  if (a == b) return 1.0;
+  // Deepest common ancestor: walk the deeper node up until it subsumes the
+  // other; chains are short (hierarchy depth).
+  hierarchy::CodeId x = a, y = b;
+  while (!list.IsAncestorOrSelf(x, y)) x = list.parent(x);
+  const uint32_t lca_level = list.level(x);
+  const uint32_t deeper = std::max(list.level(a), list.level(b));
+  if (deeper == 0) return 1.0;  // both at the root
+  return static_cast<double>(lca_level) / static_cast<double>(deeper);
+}
+
+double ObservationSimilarity(const qb::ObservationSet& obs, qb::ObsId a,
+                             qb::ObsId b) {
+  const qb::CubeSpace& space = obs.space();
+  const std::size_t k = space.num_dimensions();
+  if (k == 0) return 1.0;
+  double sum = 0.0;
+  for (qb::DimId d = 0; d < k; ++d) {
+    sum += CodeSimilarity(space.code_list(d), obs.ValueOrRoot(a, d),
+                          obs.ValueOrRoot(b, d));
+  }
+  return sum / static_cast<double>(k);
+}
+
+RelatednessSink::RelatednessSink(const qb::ObservationSet* obs)
+    : obs_(obs), num_datasets_(obs->num_datasets()) {
+  full_.assign(num_datasets_ * num_datasets_, 0);
+  partial_.assign(num_datasets_ * num_datasets_, 0);
+  compl_.assign(num_datasets_ * num_datasets_, 0);
+}
+
+std::size_t RelatednessSink::PairIndex(qb::ObsId a, qb::ObsId b) const {
+  qb::DatasetId da = obs_->obs(a).dataset;
+  qb::DatasetId db = obs_->obs(b).dataset;
+  if (da > db) std::swap(da, db);
+  return da * num_datasets_ + db;
+}
+
+void RelatednessSink::OnFullContainment(qb::ObsId a, qb::ObsId b) {
+  if (obs_->obs(a).dataset != obs_->obs(b).dataset) ++full_[PairIndex(a, b)];
+}
+
+void RelatednessSink::OnPartialContainment(qb::ObsId a, qb::ObsId b,
+                                           double /*degree*/,
+                                           uint64_t /*dim_mask*/) {
+  if (obs_->obs(a).dataset != obs_->obs(b).dataset) {
+    ++partial_[PairIndex(a, b)];
+  }
+}
+
+void RelatednessSink::OnComplementarity(qb::ObsId a, qb::ObsId b) {
+  if (obs_->obs(a).dataset != obs_->obs(b).dataset) ++compl_[PairIndex(a, b)];
+}
+
+namespace {
+
+double MaskJaccard(uint64_t a, uint64_t b) {
+  const int uni = std::popcount(a | b);
+  if (uni == 0) return 1.0;
+  return static_cast<double>(std::popcount(a & b)) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+std::vector<DatasetRelatedness> RelatednessSink::Compute() const {
+  std::vector<DatasetRelatedness> out;
+  for (qb::DatasetId a = 0; a < num_datasets_; ++a) {
+    for (qb::DatasetId b = a + 1; b < num_datasets_; ++b) {
+      DatasetRelatedness r;
+      r.a = a;
+      r.b = b;
+      const qb::DatasetMeta& ma = obs_->dataset(a);
+      const qb::DatasetMeta& mb = obs_->dataset(b);
+      r.dimension_overlap = MaskJaccard(ma.dim_mask, mb.dim_mask);
+      r.measure_overlap = MaskJaccard(ma.measure_mask, mb.measure_mask);
+      const std::size_t idx = a * num_datasets_ + b;
+      r.full_containments = full_[idx];
+      r.partial_containments = partial_[idx];
+      r.complementarities = compl_[idx];
+      // Fraction of cross-dataset observation pairs that are related
+      // (full/compl weighted over partial), blended with schema overlap.
+      const double cross_pairs =
+          static_cast<double>(ma.observations.size()) *
+          static_cast<double>(mb.observations.size());
+      double instance = 0.0;
+      if (cross_pairs > 0) {
+        instance = (static_cast<double>(r.full_containments) +
+                    static_cast<double>(r.complementarities) +
+                    0.25 * static_cast<double>(r.partial_containments)) /
+                   cross_pairs;
+        instance = std::min(1.0, instance);
+      }
+      r.score = 0.5 * (0.5 * r.dimension_overlap + 0.5 * r.measure_overlap) +
+                0.5 * instance;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,73 @@
+// Source-level relatedness (paper §1: containment/complementarity knowledge
+// lets the analyst "quantify the degree of relatedness between data
+// sources") and the hierarchy-based similarity metric the paper attaches to
+// containment pairs ("as well as assigning them a hierarchy-based similarity
+// metric", §1).
+
+#ifndef RDFCUBE_CORE_RELATEDNESS_H_
+#define RDFCUBE_CORE_RELATEDNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace core {
+
+/// \brief Hierarchy-based similarity of two codes within one code list:
+/// depth(deepest common ancestor) / depth(deeper of the two), in [0, 1].
+/// 1 when equal; 0 when they only meet at the root.
+double CodeSimilarity(const hierarchy::CodeList& list, hierarchy::CodeId a,
+                      hierarchy::CodeId b);
+
+/// \brief Observation similarity: the mean CodeSimilarity across all global
+/// dimensions (root-padded), the "hierarchy-based similarity metric" of §1.
+double ObservationSimilarity(const qb::ObservationSet& obs, qb::ObsId a,
+                             qb::ObsId b);
+
+/// \brief Pairwise relatedness of two datasets.
+struct DatasetRelatedness {
+  qb::DatasetId a, b;
+  /// Jaccard overlap of the schema dimension sets.
+  double dimension_overlap = 0.0;
+  /// Jaccard overlap of the measure sets.
+  double measure_overlap = 0.0;
+  /// Cross-dataset relationship counts (from a relationship run).
+  std::size_t full_containments = 0;
+  std::size_t partial_containments = 0;
+  std::size_t complementarities = 0;
+  /// Combined score in [0, 1]: schema overlap weighted with the fraction of
+  /// observation pairs that are related.
+  double score = 0.0;
+};
+
+/// \brief Sink that tallies cross-dataset relationships per dataset pair
+/// (feed it to any computation method), then produces the relatedness
+/// matrix.
+class RelatednessSink : public RelationshipSink {
+ public:
+  explicit RelatednessSink(const qb::ObservationSet* obs);
+
+  void OnFullContainment(qb::ObsId a, qb::ObsId b) override;
+  void OnPartialContainment(qb::ObsId a, qb::ObsId b, double degree,
+                            uint64_t dim_mask) override;
+  void OnComplementarity(qb::ObsId a, qb::ObsId b) override;
+
+  /// All dataset pairs (a < b) with schema overlaps and tallies filled in.
+  std::vector<DatasetRelatedness> Compute() const;
+
+ private:
+  std::size_t PairIndex(qb::ObsId a, qb::ObsId b) const;
+
+  const qb::ObservationSet* obs_;
+  std::size_t num_datasets_;
+  // Dense (num_datasets^2) tallies, indexed by unordered dataset pair.
+  std::vector<std::size_t> full_, partial_, compl_;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_RELATEDNESS_H_

@@ -1,0 +1,19 @@
+#include "core/relationship.h"
+
+#include <algorithm>
+
+namespace rdfcube {
+namespace core {
+
+void CollectingSink::Canonicalize() {
+  std::sort(full_.begin(), full_.end());
+  std::sort(partial_.begin(), partial_.end(),
+            [](const Partial& x, const Partial& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  std::sort(compl_.begin(), compl_.end());
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,152 @@
+#include "core/relationship_rdf.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+bool LooksLikeIri(const std::string& s) {
+  return s.find("://") != std::string::npos ||
+         s.rfind("urn:", 0) == 0;
+}
+
+std::string ObsIri(const std::string& name) {
+  return LooksLikeIri(name) ? name : "urn:rdfcube:obs:" + name;
+}
+
+}  // namespace
+
+RdfMaterializingSink::RdfMaterializingSink(const qb::ObservationSet* obs,
+                                           rdf::TripleStore* store)
+    : obs_(obs), store_(store) {}
+
+rdf::Term RdfMaterializingSink::ObsTerm(qb::ObsId id) const {
+  return rdf::Term::Iri(ObsIri(obs_->obs(id).iri));
+}
+
+void RdfMaterializingSink::OnFullContainment(qb::ObsId a, qb::ObsId b) {
+  store_->Insert(ObsTerm(a),
+                 rdf::Term::Iri(std::string(relvocab::kFullyContains)),
+                 ObsTerm(b));
+  ++triples_written_;
+}
+
+void RdfMaterializingSink::OnPartialContainment(qb::ObsId a, qb::ObsId b,
+                                                double degree,
+                                                uint64_t /*dim_mask*/) {
+  // Reified so the degree (the OCM value) is preserved.
+  const rdf::Term node = rdf::Term::Iri(
+      "urn:rdfcube:partial:" + std::to_string(partial_counter_++));
+  store_->Insert(node,
+                 rdf::Term::Iri(
+                     "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                 rdf::Term::Iri(std::string(relvocab::kPartialContainment)));
+  store_->Insert(node, rdf::Term::Iri(std::string(relvocab::kContainer)),
+                 ObsTerm(a));
+  store_->Insert(node, rdf::Term::Iri(std::string(relvocab::kContained)),
+                 ObsTerm(b));
+  store_->Insert(
+      node, rdf::Term::Iri(std::string(relvocab::kContainmentDegree)),
+      rdf::Term::TypedLiteral(std::to_string(degree),
+                              "http://www.w3.org/2001/XMLSchema#double"));
+  // Plus the direct (unquantified) link for cheap traversal.
+  store_->Insert(ObsTerm(a),
+                 rdf::Term::Iri(std::string(relvocab::kPartiallyContains)),
+                 ObsTerm(b));
+  triples_written_ += 5;
+}
+
+void RdfMaterializingSink::OnComplementarity(qb::ObsId a, qb::ObsId b) {
+  const rdf::Term pred =
+      rdf::Term::Iri(std::string(relvocab::kComplements));
+  store_->Insert(ObsTerm(a), pred, ObsTerm(b));
+  store_->Insert(ObsTerm(b), pred, ObsTerm(a));  // symmetric
+  triples_written_ += 2;
+}
+
+Status LoadMaterializedRelationships(const rdf::TripleStore& store,
+                                     const qb::ObservationSet& obs,
+                                     RelationshipSink* sink,
+                                     std::size_t* skipped) {
+  const rdf::Dictionary& dict = store.dictionary();
+  // Observation IRI -> ObsId.
+  std::unordered_map<std::string, qb::ObsId> by_iri;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    by_iri.emplace(ObsIri(obs.obs(i).iri), i);
+  }
+  std::size_t skip_count = 0;
+  auto resolve = [&](rdf::TermId id, qb::ObsId* out) {
+    auto it = by_iri.find(dict.Get(id).value());
+    if (it == by_iri.end()) return false;
+    *out = it->second;
+    return true;
+  };
+
+  auto full_pred = dict.Find(
+      rdf::Term::Iri(std::string(relvocab::kFullyContains)));
+  if (full_pred.has_value()) {
+    store.Match(rdf::kNoTerm, *full_pred, rdf::kNoTerm,
+                [&](const rdf::Triple& t) {
+                  qb::ObsId a, b;
+                  if (resolve(t.s, &a) && resolve(t.o, &b)) {
+                    sink->OnFullContainment(a, b);
+                  } else {
+                    ++skip_count;
+                  }
+                  return true;
+                });
+  }
+  auto compl_pred =
+      dict.Find(rdf::Term::Iri(std::string(relvocab::kComplements)));
+  if (compl_pred.has_value()) {
+    store.Match(rdf::kNoTerm, *compl_pred, rdf::kNoTerm,
+                [&](const rdf::Triple& t) {
+                  qb::ObsId a, b;
+                  if (resolve(t.s, &a) && resolve(t.o, &b)) {
+                    // Report once per unordered pair (the export wrote both
+                    // directions).
+                    if (a < b) sink->OnComplementarity(a, b);
+                  } else {
+                    ++skip_count;
+                  }
+                  return true;
+                });
+  }
+  // Reified partial containments.
+  auto type_pred = dict.Find(rdf::Term::Iri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"));
+  auto partial_cls = dict.Find(
+      rdf::Term::Iri(std::string(relvocab::kPartialContainment)));
+  auto container_pred =
+      dict.Find(rdf::Term::Iri(std::string(relvocab::kContainer)));
+  auto contained_pred =
+      dict.Find(rdf::Term::Iri(std::string(relvocab::kContained)));
+  auto degree_pred = dict.Find(
+      rdf::Term::Iri(std::string(relvocab::kContainmentDegree)));
+  if (type_pred.has_value() && partial_cls.has_value() &&
+      container_pred.has_value() && contained_pred.has_value() &&
+      degree_pred.has_value()) {
+    for (rdf::TermId node : store.SubjectsOf(*type_pred, *partial_cls)) {
+      const rdf::TermId container = store.ObjectOf(node, *container_pred);
+      const rdf::TermId contained = store.ObjectOf(node, *contained_pred);
+      const rdf::TermId degree_term = store.ObjectOf(node, *degree_pred);
+      qb::ObsId a, b;
+      if (container == rdf::kNoTerm || contained == rdf::kNoTerm ||
+          degree_term == rdf::kNoTerm || !resolve(container, &a) ||
+          !resolve(contained, &b)) {
+        ++skip_count;
+        continue;
+      }
+      const double degree = std::stod(dict.Get(degree_term).value());
+      sink->OnPartialContainment(a, b, degree, 0);
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

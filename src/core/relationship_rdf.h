@@ -1,0 +1,84 @@
+// Materializing computed relationships back into RDF.
+//
+// The paper (§1, §5 and its precursor [22]) motivates materialization: the
+// derived relationships "help speed up online exploration" and are published
+// with an RDF vocabulary extending QB. This module writes the S_F / S_P /
+// S_C sets as triples using that vocabulary, and can reload them.
+
+#ifndef RDFCUBE_CORE_RELATIONSHIP_RDF_H_
+#define RDFCUBE_CORE_RELATIONSHIP_RDF_H_
+
+#include <string_view>
+
+#include "core/relationship.h"
+#include "qb/observation_set.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace core {
+
+/// Vocabulary terms of the materialized relationships (namespace modeled on
+/// the QB4CC extension sketched in the paper's workshop precursor [22]).
+namespace relvocab {
+inline constexpr std::string_view kNs = "http://rdfcube.org/qb4cc#";
+inline constexpr std::string_view kFullyContains =
+    "http://rdfcube.org/qb4cc#fullyContains";
+inline constexpr std::string_view kPartiallyContains =
+    "http://rdfcube.org/qb4cc#partiallyContains";
+inline constexpr std::string_view kComplements =
+    "http://rdfcube.org/qb4cc#complements";
+inline constexpr std::string_view kContainmentDegree =
+    "http://rdfcube.org/qb4cc#containmentDegree";
+inline constexpr std::string_view kPartialContainment =
+    "http://rdfcube.org/qb4cc#PartialContainment";
+inline constexpr std::string_view kContainer =
+    "http://rdfcube.org/qb4cc#container";
+inline constexpr std::string_view kContained =
+    "http://rdfcube.org/qb4cc#contained";
+}  // namespace relvocab
+
+/// \brief Sink that materializes relationships as RDF triples.
+///
+/// Full containment and complementarity become direct triples
+/// (`<a> qb4cc:fullyContains <b>`, `<a> qb4cc:complements <b>` — emitted in
+/// both directions since Compl is symmetric). Partial containments are
+/// reified (a qb4cc:PartialContainment node carrying container, contained
+/// and the degree) so the OCM value survives.
+///
+/// Observation IRIs come from the ObservationSet; non-IRI names are minted
+/// under `urn:rdfcube:obs:` exactly as qb::ExportCorpusToRdf does, so the
+/// two exports compose into one publishable graph.
+class RdfMaterializingSink : public RelationshipSink {
+ public:
+  RdfMaterializingSink(const qb::ObservationSet* obs, rdf::TripleStore* store);
+
+  void OnFullContainment(qb::ObsId a, qb::ObsId b) override;
+  void OnPartialContainment(qb::ObsId a, qb::ObsId b, double degree,
+                            uint64_t dim_mask) override;
+  void OnComplementarity(qb::ObsId a, qb::ObsId b) override;
+
+  std::size_t triples_written() const { return triples_written_; }
+
+ private:
+  rdf::Term ObsTerm(qb::ObsId id) const;
+
+  const qb::ObservationSet* obs_;
+  rdf::TripleStore* store_;
+  std::size_t triples_written_ = 0;
+  std::size_t partial_counter_ = 0;
+};
+
+/// \brief Reads materialized relationships back from a graph into a sink
+/// (inverse of RdfMaterializingSink for round-trip pipelines). Observation
+/// IRIs are resolved against `obs`; triples about unknown observations are
+/// skipped and counted in `skipped`.
+Status LoadMaterializedRelationships(const rdf::TripleStore& store,
+                                     const qb::ObservationSet& obs,
+                                     RelationshipSink* sink,
+                                     std::size_t* skipped = nullptr);
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_RELATIONSHIP_RDF_H_

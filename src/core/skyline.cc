@@ -1,0 +1,96 @@
+#include "core/skyline.h"
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+// True iff a contains b in every dimension, strictly in at least one.
+bool StrictlyContainsAll(const qb::ObservationSet& obs, qb::ObsId a,
+                         qb::ObsId b) {
+  const qb::CubeSpace& space = obs.space();
+  bool strict = false;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    const hierarchy::CodeId va = obs.ValueOrRoot(a, d);
+    const hierarchy::CodeId vb = obs.ValueOrRoot(b, d);
+    if (!space.code_list(d).IsAncestorOrSelf(va, vb)) return false;
+    if (va != vb) strict = true;
+  }
+  return strict;
+}
+
+// Number of dimensions where a contains b; sets *strict when one is strict.
+std::size_t ContainingDims(const qb::ObservationSet& obs, qb::ObsId a,
+                           qb::ObsId b, bool* strict) {
+  const qb::CubeSpace& space = obs.space();
+  std::size_t count = 0;
+  *strict = false;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    const hierarchy::CodeId va = obs.ValueOrRoot(a, d);
+    const hierarchy::CodeId vb = obs.ValueOrRoot(b, d);
+    if (space.code_list(d).IsAncestorOrSelf(va, vb)) {
+      ++count;
+      if (va != vb) *strict = true;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<qb::ObsId> ComputeSkyline(const qb::ObservationSet& obs,
+                                      const Lattice& lattice,
+                                      const SkylineOptions& options) {
+  const std::size_t c = lattice.num_cubes();
+  std::vector<bool> dominated(obs.size(), false);
+  // A dominator must live in a cube whose signature dominates (<= levels);
+  // enumerate ordered comparable cube pairs dominator -> dominated.
+  for (CubeId j = 0; j < c; ++j) {
+    const CubeSignature& sj = lattice.signature(j);
+    for (CubeId k = 0; k < c; ++k) {
+      if (!sj.DominatesAll(lattice.signature(k))) continue;
+      for (qb::ObsId b : lattice.members(k)) {
+        if (dominated[b]) continue;
+        for (qb::ObsId a : lattice.members(j)) {
+          if (a == b) continue;
+          if (options.require_shared_measure && !obs.SharesMeasure(a, b)) {
+            continue;
+          }
+          if (StrictlyContainsAll(obs, a, b)) {
+            dominated[b] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::vector<qb::ObsId> skyline;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    if (!dominated[i]) skyline.push_back(i);
+  }
+  return skyline;
+}
+
+std::vector<qb::ObsId> ComputeKDominantSkyline(const qb::ObservationSet& obs,
+                                               std::size_t k,
+                                               const SkylineOptions& options) {
+  // k-dominance is not transitive (Chan et al.), so no lattice pruning by
+  // full dominance applies; quadratic scan with early exit.
+  std::vector<qb::ObsId> skyline;
+  for (qb::ObsId b = 0; b < obs.size(); ++b) {
+    bool k_dominated = false;
+    for (qb::ObsId a = 0; a < obs.size() && !k_dominated; ++a) {
+      if (a == b) continue;
+      if (options.require_shared_measure && !obs.SharesMeasure(a, b)) continue;
+      bool strict = false;
+      if (ContainingDims(obs, a, b, &strict) >= k && strict) {
+        k_dominated = true;
+      }
+    }
+    if (!k_dominated) skyline.push_back(b);
+  }
+  return skyline;
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,44 @@
+// Skyline and k-dominant skyline computation from containment (paper §1:
+// "computation of containment between observations provides a means to
+// directly access skyline, or k-dominant skyline points"; k-dominance per
+// Chan et al. [6]).
+
+#ifndef RDFCUBE_CORE_SKYLINE_H_
+#define RDFCUBE_CORE_SKYLINE_H_
+
+#include <vector>
+
+#include "core/lattice.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace core {
+
+struct SkylineOptions {
+  /// Only observations sharing a measure can dominate each other (Def. 4's
+  /// condition (3)); set false for purely dimensional skylines.
+  bool require_shared_measure = true;
+};
+
+/// \brief The containment skyline: observations not strictly fully contained
+/// by any other observation (the "top-level observations" of §5).
+///
+/// o_b is dominated when some o_a != o_b fully contains it with at least one
+/// strictly deeper dimension (otherwise equal points would eliminate each
+/// other). Uses the lattice to prune dominance checks.
+std::vector<qb::ObsId> ComputeSkyline(const qb::ObservationSet& obs,
+                                      const Lattice& lattice,
+                                      const SkylineOptions& options = {});
+
+/// \brief The k-dominant skyline: o_b is k-dominated when some o_a contains
+/// its values in at least `k` dimensions, at least one strictly; points not
+/// k-dominated form the k-dominant skyline. k == |P| degenerates to
+/// ComputeSkyline.
+std::vector<qb::ObsId> ComputeKDominantSkyline(
+    const qb::ObservationSet& obs, std::size_t k,
+    const SkylineOptions& options = {});
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_SKYLINE_H_

@@ -1,0 +1,143 @@
+#include "core/sparse_matrix.h"
+
+#include <algorithm>
+
+namespace rdfcube {
+namespace core {
+
+SparseOccurrenceMatrix::SparseOccurrenceMatrix(const qb::ObservationSet& obs) {
+  const qb::CubeSpace& space = obs.space();
+  dim_begin_.resize(space.num_dimensions());
+  std::size_t col = 0;
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    dim_begin_[d] = col;
+    col += space.code_list(d).size();
+  }
+  num_columns_ = col;
+
+  row_offsets_.reserve(obs.size() + 1);
+  row_offsets_.push_back(0);
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+      const hierarchy::CodeList& list = space.code_list(d);
+      for (hierarchy::CodeId c : list.AncestorsOrSelf(obs.ValueOrRoot(i, d))) {
+        columns_.push_back(static_cast<uint32_t>(dim_begin_[d] + c));
+      }
+    }
+    // Sort this row's entries (chains are emitted leaf-to-root per
+    // dimension, so the row is not globally sorted yet).
+    std::sort(columns_.begin() + row_offsets_.back(), columns_.end());
+    row_offsets_.push_back(static_cast<uint32_t>(columns_.size()));
+  }
+}
+
+namespace {
+
+// True iff every element of [a_lo, a_hi) appears in [b_lo, b_hi); both
+// ranges sorted ascending.
+bool SortedSubset(const uint32_t* a_lo, const uint32_t* a_hi,
+                  const uint32_t* b_lo, const uint32_t* b_hi) {
+  while (a_lo != a_hi) {
+    while (b_lo != b_hi && *b_lo < *a_lo) ++b_lo;
+    if (b_lo == b_hi || *b_lo != *a_lo) return false;
+    ++a_lo;
+    ++b_lo;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SparseOccurrenceMatrix::Contains(qb::ObsId a, qb::ObsId b,
+                                      qb::DimId d) const {
+  const uint32_t lo = static_cast<uint32_t>(dim_begin_[d]);
+  const uint32_t hi = static_cast<uint32_t>(
+      d + 1 < dim_begin_.size() ? dim_begin_[d + 1] : num_columns_);
+  auto row_range = [&](qb::ObsId r, const uint32_t** out_lo,
+                       const uint32_t** out_hi) {
+    const uint32_t* begin = columns_.data() + row_offsets_[r];
+    const uint32_t* end = columns_.data() + row_offsets_[r + 1];
+    *out_lo = std::lower_bound(begin, end, lo);
+    *out_hi = std::lower_bound(begin, end, hi);
+  };
+  const uint32_t *a_lo, *a_hi, *b_lo, *b_hi;
+  row_range(a, &a_lo, &a_hi);
+  row_range(b, &b_lo, &b_hi);
+  return SortedSubset(a_lo, a_hi, b_lo, b_hi);
+}
+
+bool SparseOccurrenceMatrix::ContainsAll(qb::ObsId a, qb::ObsId b) const {
+  return SortedSubset(columns_.data() + row_offsets_[a],
+                      columns_.data() + row_offsets_[a + 1],
+                      columns_.data() + row_offsets_[b],
+                      columns_.data() + row_offsets_[b + 1]);
+}
+
+Status RunBaselineSparse(const qb::ObservationSet& obs,
+                         const SparseOccurrenceMatrix& om,
+                         const SparseBaselineOptions& options,
+                         RelationshipSink* sink) {
+  const std::size_t n = om.num_rows();
+  const std::size_t k = om.num_dimensions();
+  const RelationshipSelector& sel = options.selector;
+  constexpr std::size_t kDeadlineStride = 4096;
+  std::size_t since_check = 0;
+  for (qb::ObsId a = 0; a < n; ++a) {
+    for (qb::ObsId b = a + 1; b < n; ++b) {
+      if (++since_check >= kDeadlineStride) {
+        since_check = 0;
+        if (options.deadline.Expired()) {
+          return Status::TimedOut("sparse baseline exceeded its deadline");
+        }
+      }
+      const bool shares = obs.SharesMeasure(a, b);
+      if (!sel.partial_containment) {
+        const bool ab = om.ContainsAll(a, b);
+        const bool ba = om.ContainsAll(b, a);
+        if (sel.full_containment && shares) {
+          if (ab) sink->OnFullContainment(a, b);
+          if (ba) sink->OnFullContainment(b, a);
+        }
+        if (sel.complementarity && ab && ba) sink->OnComplementarity(a, b);
+        continue;
+      }
+      std::size_t count_ab = 0, count_ba = 0;
+      uint64_t mask_ab = 0, mask_ba = 0;
+      for (qb::DimId d = 0; d < k; ++d) {
+        if (om.Contains(a, b, d)) {
+          ++count_ab;
+          if (sel.partial_dimension_map) mask_ab |= (uint64_t{1} << d);
+        }
+        if (om.Contains(b, a, d)) {
+          ++count_ba;
+          if (sel.partial_dimension_map) mask_ba |= (uint64_t{1} << d);
+        }
+      }
+      const bool full_ab = count_ab == k;
+      const bool full_ba = count_ba == k;
+      if (shares) {
+        if (sel.full_containment) {
+          if (full_ab) sink->OnFullContainment(a, b);
+          if (full_ba) sink->OnFullContainment(b, a);
+        }
+        if (count_ab > 0 && !full_ab) {
+          sink->OnPartialContainment(
+              a, b, static_cast<double>(count_ab) / static_cast<double>(k),
+              mask_ab);
+        }
+        if (count_ba > 0 && !full_ba) {
+          sink->OnPartialContainment(
+              b, a, static_cast<double>(count_ba) / static_cast<double>(k),
+              mask_ba);
+        }
+      }
+      if (sel.complementarity && full_ab && full_ba) {
+        sink->OnComplementarity(a, b);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,35 @@
+#include "datagen/perturb.h"
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace datagen {
+
+std::vector<std::string> PerturbUris(const std::vector<std::string>& uris,
+                                     const PerturbOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::string> out;
+  out.reserve(uris.size());
+  for (const std::string& uri : uris) {
+    std::string local(IriLocalName(uri));
+    if (rng.Chance(options.lowercase_prob)) local = ToLowerAscii(local);
+    if (rng.Chance(options.separator_swap_prob)) {
+      for (char& c : local) {
+        if (c == '-') {
+          c = '_';
+        } else if (c == '_') {
+          c = '-';
+        }
+      }
+    }
+    if (rng.Chance(options.suffix_prob)) {
+      local += "-v" + std::to_string(rng.Uniform(4) + 1);
+    }
+    out.push_back(options.new_namespace + local);
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace rdfcube

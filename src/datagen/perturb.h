@@ -1,0 +1,34 @@
+// URI perturbation for alignment experiments: produces "remote-source"
+// variants of code URIs (case changes, namespace swap, separator changes) so
+// align::MatchUris has realistic interlinking work to do.
+
+#ifndef RDFCUBE_DATAGEN_PERTURB_H_
+#define RDFCUBE_DATAGEN_PERTURB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfcube {
+namespace datagen {
+
+struct PerturbOptions {
+  /// Replacement namespace for the perturbed copies.
+  std::string new_namespace = "http://other-source.example.com/code/";
+  /// Probability of lower-casing the local name.
+  double lowercase_prob = 0.5;
+  /// Probability of swapping '-' and '_' separators.
+  double separator_swap_prob = 0.3;
+  /// Probability of appending a numeric suffix (simulates versioned codes).
+  double suffix_prob = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Returns perturbed variants, parallel to `uris`.
+std::vector<std::string> PerturbUris(const std::vector<std::string>& uris,
+                                     const PerturbOptions& options = {});
+
+}  // namespace datagen
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_DATAGEN_PERTURB_H_

@@ -1,0 +1,323 @@
+#include "datagen/realworld.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace rdfcube {
+namespace datagen {
+
+namespace {
+
+constexpr char kNs[] = "http://example.org/";
+
+std::string Dim(const char* local) { return std::string(kNs) + "dim/" + local; }
+std::string Meas(const char* local) {
+  return std::string(kNs) + "measure/" + local;
+}
+
+// ---------------------------------------------------------------------------
+// Code-list construction. Counts are tuned so the corpus carries ~2.3k
+// distinct hierarchical values (paper: 2.6k) across 9 dimensions.
+// ---------------------------------------------------------------------------
+
+struct DimBuild {
+  std::string iri;
+  std::string root;
+  // (code, parent) pairs in parent-first order.
+  std::vector<std::pair<std::string, std::string>> codes;
+};
+
+void AddChildren(DimBuild* b, const std::string& parent,
+                 const std::string& stem, std::size_t count,
+                 std::vector<std::string>* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string code = stem + std::to_string(i);
+    b->codes.emplace_back(code, parent);
+    if (out != nullptr) out->push_back(std::move(code));
+  }
+}
+
+DimBuild BuildRefArea() {
+  DimBuild b{Dim("refArea"), "World", {}};
+  std::vector<std::string> continents, countries, regions;
+  AddChildren(&b, "World", "Continent", 5, &continents);
+  for (const std::string& continent : continents) {
+    AddChildren(&b, continent, continent + "-Country", 12, &countries);
+  }
+  for (const std::string& country : countries) {
+    AddChildren(&b, country, country + "-Region", 4, &regions);
+  }
+  for (const std::string& region : regions) {
+    AddChildren(&b, region, region + "-City", 3, nullptr);
+  }
+  return b;  // 1 + 5 + 60 + 240 + 720 = 1026 codes, depth 4
+}
+
+DimBuild BuildRefPeriod() {
+  DimBuild b{Dim("refPeriod"), "AllTime", {}};
+  std::vector<std::string> decades, years, quarters;
+  AddChildren(&b, "AllTime", "Decade", 3, &decades);
+  for (const std::string& decade : decades) {
+    AddChildren(&b, decade, decade + "-Y", 10, &years);
+  }
+  for (const std::string& year : years) {
+    AddChildren(&b, year, year + "-Q", 4, &quarters);
+  }
+  for (const std::string& quarter : quarters) {
+    AddChildren(&b, quarter, quarter + "-M", 3, nullptr);
+  }
+  return b;  // 1 + 3 + 30 + 120 + 360 = 514 codes, depth 4
+}
+
+DimBuild BuildSex() {
+  DimBuild b{Dim("sex"), "Total", {}};
+  b.codes.emplace_back("Female", "Total");
+  b.codes.emplace_back("Male", "Total");
+  return b;
+}
+
+DimBuild BuildUnit() {
+  DimBuild b{Dim("unit"), "AnyUnit", {}};
+  for (const char* u : {"Persons", "Thousand-Persons", "EUR", "Million-EUR",
+                        "Percent", "Per-1000", "Index", "Households"}) {
+    b.codes.emplace_back(u, "AnyUnit");
+  }
+  return b;
+}
+
+DimBuild BuildAge() {
+  DimBuild b{Dim("age"), "TotalAge", {}};
+  std::vector<std::string> bands;
+  AddChildren(&b, "TotalAge", "AgeBand", 5, &bands);
+  for (const std::string& band : bands) {
+    AddChildren(&b, band, band + "-Group", 4, nullptr);
+  }
+  return b;  // 26 codes, depth 2
+}
+
+DimBuild BuildEconomicActivity() {
+  DimBuild b{Dim("economicActivity"), "AllNace", {}};
+  std::vector<std::string> sections;
+  AddChildren(&b, "AllNace", "Section", 10, &sections);
+  for (const std::string& section : sections) {
+    AddChildren(&b, section, section + "-Div", 3, nullptr);
+  }
+  return b;  // 41 codes, depth 2
+}
+
+DimBuild BuildCitizenship() {
+  DimBuild b{Dim("citizenship"), "AllCitizenships", {}};
+  std::vector<std::string> groups;
+  AddChildren(&b, "AllCitizenships", "CitGroup", 4, &groups);
+  for (const std::string& group : groups) {
+    AddChildren(&b, group, group + "-Cit", 12, nullptr);
+  }
+  return b;  // 53 codes, depth 2
+}
+
+DimBuild BuildEducation() {
+  DimBuild b{Dim("education"), "AllIsced", {}};
+  AddChildren(&b, "AllIsced", "Isced", 8, nullptr);
+  return b;
+}
+
+DimBuild BuildHouseholdSize() {
+  DimBuild b{Dim("householdSize"), "AnySize", {}};
+  AddChildren(&b, "AnySize", "Size", 6, nullptr);
+  return b;
+}
+
+std::vector<DimBuild> AllDimBuilds() {
+  return {BuildRefArea(),       BuildRefPeriod(),   BuildSex(),
+          BuildUnit(),          BuildAge(),         BuildEconomicActivity(),
+          BuildCitizenship(),   BuildEducation(),   BuildHouseholdSize()};
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& RealWorldSpecs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"D1",
+       {Dim("refArea"), Dim("refPeriod"), Dim("sex"), Dim("unit"), Dim("age"),
+        Dim("citizenship")},
+       Meas("population"),
+       58000},
+      {"D2",
+       {Dim("refArea"), Dim("refPeriod"), Dim("unit"), Dim("householdSize")},
+       Meas("members"),
+       4200},
+      {"D3",
+       {Dim("refArea"), Dim("refPeriod"), Dim("sex"), Dim("unit"), Dim("age"),
+        Dim("education")},
+       Meas("population"),
+       6700},
+      {"D4",
+       {Dim("refArea"), Dim("refPeriod"), Dim("unit")},
+       Meas("births"),
+       15000},
+      {"D5",
+       {Dim("refArea"), Dim("refPeriod"), Dim("sex"), Dim("unit"), Dim("age"),
+        Dim("citizenship")},
+       Meas("deaths"),
+       68000},
+      {"D6",
+       {Dim("refArea"), Dim("refPeriod"), Dim("unit")},
+       Meas("gdp"),
+       73000},
+      {"D7",
+       {Dim("refArea"), Dim("refPeriod"), Dim("economicActivity")},
+       Meas("compensation"),
+       21600},
+  };
+  return kSpecs;
+}
+
+Result<qb::Corpus> GenerateRealWorldCorpus(const RealWorldOptions& options) {
+  qb::CorpusBuilder builder;
+
+  // Dimensions + code lists. Track codes per dimension for sampling.
+  std::vector<DimBuild> dims = AllDimBuilds();
+  std::vector<std::vector<std::string>> codes_of_dim(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    RDFCUBE_RETURN_IF_ERROR(builder.AddDimension(dims[d].iri, dims[d].root));
+    codes_of_dim[d].push_back(dims[d].root);
+    for (const auto& [code, parent] : dims[d].codes) {
+      RDFCUBE_RETURN_IF_ERROR(builder.AddCode(dims[d].iri, code, parent));
+      codes_of_dim[d].push_back(code);
+    }
+  }
+  std::unordered_map<std::string, std::size_t> dim_index;
+  for (std::size_t d = 0; d < dims.size(); ++d) dim_index[dims[d].iri] = d;
+
+  // Measures.
+  std::unordered_set<std::string> seen_measures;
+  for (const DatasetSpec& spec : RealWorldSpecs()) {
+    if (seen_measures.insert(spec.measure).second) {
+      RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(spec.measure));
+    }
+  }
+
+  // Parent lookup for roll-up derivation: code -> parent (per dimension).
+  std::vector<std::unordered_map<std::string, std::string>> parent_of(
+      dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    for (const auto& [code, parent] : dims[d].codes) {
+      parent_of[d].emplace(code, parent);
+    }
+  }
+
+  // Datasets + observations. Real statistical exports are heavy with
+  // aggregates and cross-source coordinate reuse, which is where containment
+  // and complementarity come from. Each observation is generated as either:
+  //   * a roll-up of an earlier one (some dimension values replaced by
+  //     ancestors)  -> full/partial containment chains,
+  //   * a mirror of another dataset's coordinates on the shared dimensions
+  //     -> complementarity candidates, or
+  //   * a fresh random point, leaf-biased across hierarchy levels.
+  Rng rng(options.seed);
+  // Coordinates generated so far, per dataset, as (dim IRI -> code) maps.
+  using Coord = std::vector<std::pair<std::string, std::string>>;
+  std::vector<std::vector<Coord>> history(RealWorldSpecs().size());
+
+  for (std::size_t s = 0; s < RealWorldSpecs().size(); ++s) {
+    const DatasetSpec& spec = RealWorldSpecs()[s];
+    RDFCUBE_RETURN_IF_ERROR(
+        builder.AddDataset(spec.name, spec.dimensions, {spec.measure}));
+    const std::size_t target = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(spec.observations_at_scale1) *
+                  options.scale));
+    std::unordered_set<std::string> used_keys;
+    std::size_t made = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = target * 40 + 200;
+    while (made < target && attempts < max_attempts) {
+      ++attempts;
+      Coord values;
+      const double mode = rng.NextDouble();
+      if (mode < 0.25 && !history[s].empty()) {
+        // Roll-up of an earlier observation from this dataset.
+        values = history[s][rng.Uniform(history[s].size())];
+        for (auto& [dim_iri, code] : values) {
+          const std::size_t d = dim_index[dim_iri];
+          // Walk up 1-2 levels with probability 1/2 per dimension.
+          if (!rng.Chance(0.5)) continue;
+          for (int up = 0; up < 2; ++up) {
+            auto it = parent_of[d].find(code);
+            if (it == parent_of[d].end()) break;  // reached the root
+            code = it->second;
+            if (rng.Chance(0.5)) break;
+          }
+        }
+      } else if (mode < 0.40 && s > 0) {
+        // Mirror another dataset's coordinates on the shared dimensions.
+        const std::size_t other = rng.Uniform(s);
+        if (history[other].empty()) continue;
+        const Coord& src = history[other][rng.Uniform(history[other].size())];
+        for (const std::string& dim_iri : spec.dimensions) {
+          bool copied = false;
+          for (const auto& [src_dim, src_code] : src) {
+            if (src_dim == dim_iri) {
+              values.emplace_back(dim_iri, src_code);
+              copied = true;
+              break;
+            }
+          }
+          if (!copied) {
+            // Dimension not in the source: leave at the root (omitted).
+          }
+        }
+      } else {
+        // Fresh leaf-biased point.
+        for (const std::string& dim_iri : spec.dimensions) {
+          const auto& codes = codes_of_dim[dim_index[dim_iri]];
+          std::size_t idx;
+          if (rng.Chance(options.leaf_bias)) {
+            idx = codes.size() / 2 +
+                  static_cast<std::size_t>(
+                      rng.Uniform(codes.size() - codes.size() / 2));
+          } else {
+            idx = static_cast<std::size_t>(rng.Uniform(codes.size()));
+          }
+          values.emplace_back(dim_iri, codes[idx]);
+        }
+      }
+      std::string key;
+      for (const auto& [dim_iri, code] : values) {
+        key += code;
+        key.push_back('|');
+      }
+      if (!used_keys.insert(key).second) continue;  // IC-12: distinct keys
+      const double measured = 10.0 + rng.NextDouble() * 1.0e6;
+      RDFCUBE_RETURN_IF_ERROR(builder.AddObservation(
+          spec.name, spec.name + "/obs/" + std::to_string(made), values,
+          {{spec.measure, measured}}));
+      history[s].push_back(std::move(values));
+      ++made;
+    }
+    if (made < target) {
+      return Status::Internal("generator could not reach " +
+                              std::to_string(target) +
+                              " distinct keys for dataset " + spec.name);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<qb::Corpus> GenerateRealWorldPrefix(std::size_t total_observations,
+                                           uint64_t seed) {
+  std::size_t total_at_scale1 = 0;
+  for (const DatasetSpec& spec : RealWorldSpecs()) {
+    total_at_scale1 += spec.observations_at_scale1;
+  }
+  RealWorldOptions options;
+  options.scale = static_cast<double>(total_observations) /
+                  static_cast<double>(total_at_scale1);
+  options.seed = seed;
+  return GenerateRealWorldCorpus(options);
+}
+
+}  // namespace datagen
+}  // namespace rdfcube

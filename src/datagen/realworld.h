@@ -1,0 +1,57 @@
+// Deterministic generator reproducing the statistical shape of the paper's
+// seven real-world datasets (Table 4): same per-dataset schemas, observation
+// counts, shared dimensions/code lists and measures. Stands in for the
+// Eurostat / linked-statistics.gr / World Bank downloads (see DESIGN.md,
+// "Substitutions").
+
+#ifndef RDFCUBE_DATAGEN_REALWORLD_H_
+#define RDFCUBE_DATAGEN_REALWORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qb/corpus.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace datagen {
+
+/// \brief Static description of one of the seven datasets (one Table 4 row).
+struct DatasetSpec {
+  std::string name;
+  std::vector<std::string> dimensions;  // dimension IRIs (ex: namespace)
+  std::string measure;                  // measure IRI
+  std::size_t observations_at_scale1;   // the Table 4 count (58k, 4.2k, ...)
+};
+
+/// The seven Table 4 rows (D1..D7; 246.5k observations at scale 1).
+const std::vector<DatasetSpec>& RealWorldSpecs();
+
+struct RealWorldOptions {
+  /// Scales every dataset's observation count (0.01 -> ~2.5k total).
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// Skew of value-depth selection: higher favours leaf-level codes, as real
+  /// statistical data does (most observations are city/month level with some
+  /// aggregate rows).
+  double leaf_bias = 0.6;
+};
+
+/// \brief Generates the corpus: 9 shared dimensions with hierarchical code
+/// lists (~2.3k codes), 6 measures, 7 datasets. Observations get distinct
+/// dimension keys within each dataset (QB IC-12), values drawn across all
+/// hierarchy levels so containment and complementarity relationships arise
+/// naturally.
+Result<qb::Corpus> GenerateRealWorldCorpus(const RealWorldOptions& options = {});
+
+/// \brief Generates only the first `limit` observations-worth of the corpus
+/// (proportionally across datasets); used for the paper's 2k..250k input
+/// sweeps.
+Result<qb::Corpus> GenerateRealWorldPrefix(std::size_t total_observations,
+                                           uint64_t seed = 42);
+
+}  // namespace datagen
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_DATAGEN_REALWORLD_H_

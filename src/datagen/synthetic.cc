@@ -1,0 +1,164 @@
+#include "datagen/synthetic.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfcube {
+namespace datagen {
+
+namespace {
+
+constexpr char kNs[] = "http://example.org/synthetic/";
+
+// Codes of one synthetic dimension, grouped by level. level_codes[l] holds
+// the names of all codes at level l (level 0 = the root).
+struct SynthDim {
+  std::string iri;
+  std::vector<std::vector<std::string>> level_codes;
+};
+
+// Builds a complete fanout^depth tree for dimension `d`.
+SynthDim BuildDim(std::size_t d, std::size_t fanout, std::size_t depth,
+                  qb::CorpusBuilder* builder, Status* status) {
+  SynthDim dim;
+  dim.iri = std::string(kNs) + "dim" + std::to_string(d);
+  const std::string root = "d" + std::to_string(d) + "-ALL";
+  *status = builder->AddDimension(dim.iri, root);
+  if (!status->ok()) return dim;
+  dim.level_codes.push_back({root});
+  for (std::size_t level = 1; level <= depth; ++level) {
+    std::vector<std::string> codes;
+    for (const std::string& parent : dim.level_codes[level - 1]) {
+      for (std::size_t f = 0; f < fanout; ++f) {
+        std::string code = parent + "." + std::to_string(f);
+        *status = builder->AddCode(dim.iri, code, parent);
+        if (!status->ok()) return dim;
+        codes.push_back(std::move(code));
+      }
+    }
+    dim.level_codes.push_back(std::move(codes));
+  }
+  return dim;
+}
+
+}  // namespace
+
+std::size_t ProjectedCubeCount(const SyntheticOptions& options) {
+  const double possible =
+      std::pow(static_cast<double>(options.hierarchy_depth + 1),
+               static_cast<double>(options.num_dimensions));
+  double target = options.cube_factor *
+                  std::pow(static_cast<double>(options.num_observations),
+                           options.cube_exponent);
+  if (target > possible) target = possible;
+  if (target < 1.0) target = 1.0;
+  return static_cast<std::size_t>(target);
+}
+
+Result<qb::Corpus> GenerateSyntheticCorpus(const SyntheticOptions& options) {
+  if (options.num_dimensions == 0 || options.num_datasets == 0) {
+    return Status::InvalidArgument("synthetic: need >= 1 dimension/dataset");
+  }
+  qb::CorpusBuilder builder;
+  Status status;
+  std::vector<SynthDim> dims;
+  std::vector<std::string> dim_iris;
+  for (std::size_t d = 0; d < options.num_dimensions; ++d) {
+    dims.push_back(BuildDim(d, options.hierarchy_fanout,
+                            options.hierarchy_depth, &builder, &status));
+    RDFCUBE_RETURN_IF_ERROR(status);
+    dim_iris.push_back(dims.back().iri);
+  }
+
+  // One shared measure (gives cross-dataset measure overlap) plus one
+  // distinct measure per dataset (gives complementarity opportunities).
+  const std::string shared_measure = std::string(kNs) + "measure/shared";
+  RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(shared_measure));
+  std::vector<std::string> own_measures;
+  for (std::size_t ds = 0; ds < options.num_datasets; ++ds) {
+    own_measures.push_back(std::string(kNs) + "measure/m" + std::to_string(ds));
+    RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(own_measures.back()));
+  }
+  std::vector<std::string> dataset_names;
+  for (std::size_t ds = 0; ds < options.num_datasets; ++ds) {
+    dataset_names.push_back("S" + std::to_string(ds + 1));
+    RDFCUBE_RETURN_IF_ERROR(builder.AddDataset(
+        dataset_names.back(), dim_iris,
+        {shared_measure, own_measures[ds]}));
+  }
+
+  // Choose the populated level signatures (cubes). A signature is only
+  // eligible when its value space is large enough to hold an even share of
+  // the observations with distinct keys per dataset (IC-12); e.g. the
+  // all-roots signature has exactly one possible key and cannot absorb an
+  // even share.
+  Rng rng(options.seed);
+  const std::size_t num_cubes = ProjectedCubeCount(options);
+  const double per_cube_load =
+      static_cast<double>(options.num_observations) /
+      (static_cast<double>(num_cubes) *
+       static_cast<double>(options.num_datasets));
+  std::unordered_set<std::string> signature_keys;
+  std::vector<std::vector<std::size_t>> signatures;
+  std::size_t guard = 0;
+  while (signatures.size() < num_cubes && guard < num_cubes * 1000 + 10000) {
+    ++guard;
+    std::vector<std::size_t> sig(options.num_dimensions);
+    std::string key;
+    double capacity = 1.0;
+    for (std::size_t d = 0; d < options.num_dimensions; ++d) {
+      sig[d] = static_cast<std::size_t>(
+          rng.Uniform(options.hierarchy_depth + 1));
+      capacity *= static_cast<double>(dims[d].level_codes[sig[d]].size());
+      key += std::to_string(sig[d]);
+      key.push_back(',');
+    }
+    if (capacity < 4.0 * per_cube_load + 4.0) continue;
+    if (signature_keys.insert(key).second) signatures.push_back(std::move(sig));
+  }
+  if (signatures.empty()) {
+    return Status::InvalidArgument(
+        "synthetic: hierarchy too small for the requested size");
+  }
+
+  // Populate the cubes evenly; the dataset rotates so every dataset holds a
+  // share of every cube. Keys must stay unique per dataset (IC-12).
+  std::vector<std::unordered_set<std::string>> used_keys(options.num_datasets);
+  std::size_t made = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options.num_observations * 20 + 1000;
+  while (made < options.num_observations && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t cube = made % signatures.size();
+    const std::size_t ds = (made / signatures.size()) % options.num_datasets;
+    std::vector<std::pair<std::string, std::string>> values;
+    std::string key;
+    for (std::size_t d = 0; d < options.num_dimensions; ++d) {
+      const auto& codes = dims[d].level_codes[signatures[cube][d]];
+      const std::string& code =
+          codes[static_cast<std::size_t>(rng.Uniform(codes.size()))];
+      values.emplace_back(dim_iris[d], code);
+      key += code;
+      key.push_back('|');
+    }
+    if (!used_keys[ds].insert(key).second) continue;
+    RDFCUBE_RETURN_IF_ERROR(builder.AddObservation(
+        dataset_names[ds], dataset_names[ds] + "/obs/" + std::to_string(made),
+        values,
+        {{shared_measure, rng.NextDouble() * 1000.0},
+         {own_measures[ds], rng.NextDouble() * 1000.0}}));
+    ++made;
+  }
+  if (made < options.num_observations) {
+    return Status::Internal(
+        "synthetic generator could not reach the requested size (space too "
+        "small for distinct keys)");
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace datagen
+}  // namespace rdfcube

@@ -1,0 +1,88 @@
+#include "hierarchy/code_list.h"
+
+namespace rdfcube {
+namespace hierarchy {
+
+CodeList::CodeList(std::string root_name) {
+  names_.push_back(std::move(root_name));
+  parents_.push_back(kNoCode);
+  children_.emplace_back();
+  by_name_.emplace(names_[0], 0);
+}
+
+Result<CodeId> CodeList::Add(const std::string& name, CodeId parent) {
+  if (parent >= names_.size()) {
+    return Status::InvalidArgument("parent code id out of range");
+  }
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    if (parents_[it->second] != parent) {
+      return Status::InvalidArgument("code '" + name +
+                                     "' re-added with a different parent");
+    }
+    return it->second;
+  }
+  const CodeId id = static_cast<CodeId>(names_.size());
+  names_.push_back(name);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  by_name_.emplace(name, id);
+  finalized_ = false;
+  return id;
+}
+
+std::optional<CodeId> CodeList::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status CodeList::Finalize() {
+  const std::size_t n = names_.size();
+  levels_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  max_level_ = 0;
+
+  // Iterative DFS from the root assigning Euler-tour intervals. Since Add()
+  // only accepts existing parents, the structure is guaranteed acyclic and
+  // single-rooted; the visit count check below is a defensive invariant.
+  uint32_t clock = 0;
+  std::size_t visited = 0;
+  // Stack of (node, next-child-index).
+  std::vector<std::pair<CodeId, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  tin_[0] = clock++;
+  ++visited;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < children_[node].size()) {
+      const CodeId child = children_[node][next++];
+      levels_[child] = levels_[node] + 1;
+      if (levels_[child] > max_level_) max_level_ = levels_[child];
+      tin_[child] = clock++;
+      ++visited;
+      stack.emplace_back(child, 0);
+    } else {
+      tout_[node] = clock++;
+      stack.pop_back();
+    }
+  }
+  if (visited != n) {
+    return Status::Internal("code list hierarchy is not a single tree");
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::vector<CodeId> CodeList::AncestorsOrSelf(CodeId c) const {
+  std::vector<CodeId> chain;
+  for (CodeId cur = c; cur != kNoCode; cur = parents_[cur]) {
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+}  // namespace hierarchy
+}  // namespace rdfcube

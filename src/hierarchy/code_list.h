@@ -1,0 +1,99 @@
+// Hierarchical code lists (paper Def. 2): each dimension draws its values
+// from a coded list with a tree hierarchy rooted at an ALL concept.
+
+#ifndef RDFCUBE_HIERARCHY_CODE_LIST_H_
+#define RDFCUBE_HIERARCHY_CODE_LIST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace hierarchy {
+
+/// Dense identifier of a code within one CodeList.
+using CodeId = uint32_t;
+
+/// Sentinel for "no code".
+inline constexpr CodeId kNoCode = UINT32_MAX;
+
+/// \brief One dimension's hierarchical code list.
+///
+/// Codes are added with an optional parent, then Finalize() validates the
+/// structure (single root, no cycles) and computes for every code:
+///  * its level (root = 0),
+///  * Euler-tour interval labels, making IsAncestorOrSelf an O(1) interval
+///    test — this is the `levels` hash table plus `hierarchy.isParent` of the
+///    paper's Algorithm 4, with the constant-time check the paper requires.
+///
+/// Ancestry is reflexive (`c ≻ c`), matching Def. 2.
+class CodeList {
+ public:
+  /// Creates a code list whose root concept carries the given name
+  /// (typically an "ALL" IRI). The root has level 0 and id 0.
+  explicit CodeList(std::string root_name);
+
+  /// Adds a code under `parent` (defaults to the root). Returns the new id,
+  /// or the existing id if `name` was already added (the parent must then
+  /// match, else InvalidArgument).
+  Result<CodeId> Add(const std::string& name, CodeId parent = 0);
+
+  /// Looks up a code by name.
+  std::optional<CodeId> Find(const std::string& name) const;
+
+  /// Finishes construction: computes levels and interval labels.
+  /// Must be called before the query methods below. Idempotent; adding more
+  /// codes after Finalize() requires calling it again.
+  Status Finalize();
+
+  /// True iff `a` is an ancestor of `b` or a == b (the paper's `a ≻ b`).
+  /// Precondition: Finalize() succeeded.
+  bool IsAncestorOrSelf(CodeId a, CodeId b) const {
+    return tin_[a] <= tin_[b] && tout_[b] <= tout_[a];
+  }
+
+  /// True iff `a` is a strict ancestor of `b`.
+  bool IsStrictAncestor(CodeId a, CodeId b) const {
+    return a != b && IsAncestorOrSelf(a, b);
+  }
+
+  CodeId root() const { return 0; }
+  const std::string& name(CodeId c) const { return names_[c]; }
+  CodeId parent(CodeId c) const { return parents_[c]; }
+
+  /// Depth of `c`; the root is level 0. Precondition: finalized.
+  uint32_t level(CodeId c) const { return levels_[c]; }
+
+  /// Deepest level present. Precondition: finalized.
+  uint32_t max_level() const { return max_level_; }
+
+  std::size_t size() const { return names_.size(); }
+  bool finalized() const { return finalized_; }
+
+  /// Chain of ancestors from `c` up to and including the root (c first).
+  std::vector<CodeId> AncestorsOrSelf(CodeId c) const;
+
+  /// Direct children of `c`. Precondition: finalized.
+  const std::vector<CodeId>& children(CodeId c) const { return children_[c]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<CodeId> parents_;           // parents_[0] == kNoCode
+  std::vector<std::vector<CodeId>> children_;
+  std::unordered_map<std::string, CodeId> by_name_;
+
+  bool finalized_ = false;
+  std::vector<uint32_t> levels_;
+  std::vector<uint32_t> tin_, tout_;  // Euler-tour interval labels
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace hierarchy
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_HIERARCHY_CODE_LIST_H_

@@ -1,0 +1,109 @@
+#include "hierarchy/skos_loader.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/vocab.h"
+
+namespace rdfcube {
+namespace hierarchy {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::kNoTerm;
+
+Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
+                                      const std::string& scheme_iri) {
+  const rdf::Dictionary& dict = store.dictionary();
+  auto scheme = dict.Find(Term::Iri(scheme_iri));
+  if (!scheme.has_value()) {
+    return Status::NotFound("concept scheme not in graph: " + scheme_iri);
+  }
+  auto in_scheme = dict.Find(Term::Iri(std::string(rdf::vocab::kSkosInScheme)));
+  if (!in_scheme.has_value()) {
+    return Status::NotFound("graph has no skos:inScheme triples");
+  }
+  const std::vector<TermId> members = store.SubjectsOf(*in_scheme, *scheme);
+  if (members.empty()) {
+    return Status::NotFound("concept scheme has no members: " + scheme_iri);
+  }
+  std::unordered_set<TermId> member_set(members.begin(), members.end());
+
+  // Resolve each member's broader parent (must be unique and in-scheme).
+  auto broader_opt = dict.Find(Term::Iri(std::string(rdf::vocab::kSkosBroader)));
+  std::unordered_map<TermId, TermId> parent_of;  // member -> parent (or absent)
+  std::vector<TermId> tops;
+  for (TermId m : members) {
+    TermId parent = kNoTerm;
+    if (broader_opt.has_value()) {
+      const std::vector<TermId> parents = store.ObjectsOf(m, *broader_opt);
+      if (parents.size() > 1) {
+        return Status::ParseError("concept has multiple skos:broader parents: " +
+                                  dict.Get(m).value());
+      }
+      if (parents.size() == 1) {
+        if (!member_set.count(parents[0])) {
+          return Status::ParseError("skos:broader target outside scheme: " +
+                                    dict.Get(parents[0]).value());
+        }
+        parent = parents[0];
+      }
+    }
+    if (parent == kNoTerm) {
+      tops.push_back(m);
+    } else {
+      parent_of.emplace(m, parent);
+    }
+  }
+  if (tops.empty()) {
+    return Status::ParseError("concept scheme has no top concept (cycle?): " +
+                              scheme_iri);
+  }
+
+  // Choose or synthesize the root.
+  const bool single_top = tops.size() == 1;
+  CodeList list(single_top ? dict.Get(tops[0]).value() : scheme_iri + "/ALL");
+
+  // Topological insertion: repeatedly add members whose parent is placed.
+  std::unordered_map<TermId, CodeId> placed;
+  if (single_top) {
+    placed.emplace(tops[0], list.root());
+  } else {
+    for (TermId t : tops) {
+      RDFCUBE_ASSIGN_OR_RETURN(CodeId id,
+                               list.Add(dict.Get(t).value(), list.root()));
+      placed.emplace(t, id);
+    }
+  }
+  std::vector<TermId> pending;
+  for (const auto& [child, parent] : parent_of) {
+    (void)parent;
+    pending.push_back(child);
+  }
+  while (!pending.empty()) {
+    std::vector<TermId> next;
+    bool progressed = false;
+    for (TermId m : pending) {
+      auto it = placed.find(parent_of.at(m));
+      if (it == placed.end()) {
+        next.push_back(m);
+        continue;
+      }
+      RDFCUBE_ASSIGN_OR_RETURN(CodeId id,
+                               list.Add(dict.Get(m).value(), it->second));
+      placed.emplace(m, id);
+      progressed = true;
+    }
+    if (!progressed) {
+      return Status::ParseError("skos:broader cycle detected in scheme: " +
+                                scheme_iri);
+    }
+    pending.swap(next);
+  }
+  RDFCUBE_RETURN_IF_ERROR(list.Finalize());
+  return list;
+}
+
+}  // namespace hierarchy
+}  // namespace rdfcube

@@ -1,0 +1,31 @@
+// Builds CodeLists from SKOS concept schemes in an RDF graph.
+
+#ifndef RDFCUBE_HIERARCHY_SKOS_LOADER_H_
+#define RDFCUBE_HIERARCHY_SKOS_LOADER_H_
+
+#include <string>
+
+#include "hierarchy/code_list.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace hierarchy {
+
+/// \brief Extracts the concept scheme `scheme_iri` from `store` as a CodeList.
+///
+/// Members are subjects of `skos:inScheme <scheme>`; parent links come from
+/// `skos:broader` (child -> parent). If the scheme has exactly one top
+/// concept (a member with no in-scheme broader), that concept becomes the
+/// root (the paper's c_jroot, e.g. a "Total"/"World" code); otherwise a
+/// synthetic root named `<scheme_iri>/ALL` is created above the top concepts.
+///
+/// Fails with ParseError on broader-cycles, multi-parent concepts, or broader
+/// targets outside the scheme; the returned list is finalized.
+Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
+                                      const std::string& scheme_iri);
+
+}  // namespace hierarchy
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_HIERARCHY_SKOS_LOADER_H_

@@ -1,0 +1,43 @@
+// Compact binary serialization of a Corpus.
+//
+// The paper's pipeline assumes data conversion is "amortized over time
+// (esp., if data collection from 'favorite' sources is recurring)" (§3.1
+// footnote discussion): once aligned and encoded, a corpus should reload in
+// milliseconds instead of re-parsing RDF. This module writes the encoded
+// form (schema space + observations) to a versioned little-endian binary
+// file and reads it back.
+
+#ifndef RDFCUBE_QB_BINARY_IO_H_
+#define RDFCUBE_QB_BINARY_IO_H_
+
+#include <string>
+
+#include "qb/corpus.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// Magic + version written at the head of every file.
+inline constexpr char kBinaryMagic[8] = {'R', 'D', 'F', 'C',
+                                         'U', 'B', 'E', '1'};
+
+/// Serializes `corpus` to `out` (an in-memory byte string; see the file
+/// overloads below for disk I/O).
+Result<std::string> SerializeCorpus(const Corpus& corpus);
+
+/// Parses a byte string produced by SerializeCorpus. Fails with ParseError
+/// on bad magic, truncation, or out-of-range indices (every index is
+/// validated — a corrupt file can not produce an inconsistent corpus).
+Result<Corpus> DeserializeCorpus(const std::string& bytes);
+
+/// Writes the corpus to `path`.
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus from `path`.
+Result<Corpus> LoadCorpusBinary(const std::string& path);
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_BINARY_IO_H_

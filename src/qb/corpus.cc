@@ -1,0 +1,146 @@
+#include "qb/corpus.h"
+
+namespace rdfcube {
+namespace qb {
+
+Status CorpusBuilder::AddDimension(const std::string& dim_iri,
+                                   const std::string& root_code) {
+  if (code_lists_.count(dim_iri)) {
+    return Status::AlreadyExists("dimension already declared: " + dim_iri);
+  }
+  dim_order_.push_back(dim_iri);
+  code_lists_.emplace(dim_iri, hierarchy::CodeList(root_code));
+  return Status::OK();
+}
+
+Status CorpusBuilder::AddCode(const std::string& dim_iri,
+                              const std::string& code,
+                              const std::string& parent) {
+  auto it = code_lists_.find(dim_iri);
+  if (it == code_lists_.end()) {
+    return Status::NotFound("unknown dimension: " + dim_iri);
+  }
+  auto parent_id = it->second.Find(parent);
+  if (!parent_id.has_value()) {
+    return Status::NotFound("unknown parent code '" + parent +
+                            "' in dimension " + dim_iri);
+  }
+  Result<hierarchy::CodeId> added = it->second.Add(code, *parent_id);
+  return added.ok() ? Status::OK() : added.status();
+}
+
+Status CorpusBuilder::AddMeasure(const std::string& measure_iri) {
+  for (const std::string& m : measure_order_) {
+    if (m == measure_iri) {
+      return Status::AlreadyExists("measure already declared: " + measure_iri);
+    }
+  }
+  measure_order_.push_back(measure_iri);
+  return Status::OK();
+}
+
+Status CorpusBuilder::AddDataset(const std::string& dataset_iri,
+                                 const std::vector<std::string>& dims,
+                                 const std::vector<std::string>& measures) {
+  for (const std::string& d : dims) {
+    if (!code_lists_.count(d)) {
+      return Status::NotFound("dataset references unknown dimension: " + d);
+    }
+  }
+  for (const std::string& m : measures) {
+    bool found = false;
+    for (const std::string& known : measure_order_) {
+      if (known == m) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound("dataset references unknown measure: " + m);
+  }
+  datasets_.push_back(PendingDataset{dataset_iri, dims, measures});
+  return Status::OK();
+}
+
+Status CorpusBuilder::AddObservation(
+    const std::string& dataset_iri, const std::string& obs_iri,
+    const std::vector<std::pair<std::string, std::string>>& dim_values,
+    const std::vector<std::pair<std::string, double>>& measure_values) {
+  observations_.push_back(
+      PendingObservation{dataset_iri, obs_iri, dim_values, measure_values});
+  return Status::OK();
+}
+
+Result<Corpus> CorpusBuilder::Build() && {
+  Corpus corpus;
+  corpus.space = std::make_unique<CubeSpace>();
+
+  std::unordered_map<std::string, DimId> dim_ids;
+  for (const std::string& dim : dim_order_) {
+    hierarchy::CodeList& list = code_lists_.at(dim);
+    RDFCUBE_RETURN_IF_ERROR(list.Finalize());
+    RDFCUBE_ASSIGN_OR_RETURN(DimId id,
+                             corpus.space->AddDimension(dim, std::move(list)));
+    dim_ids.emplace(dim, id);
+  }
+  std::unordered_map<std::string, MeasureId> measure_ids;
+  for (const std::string& m : measure_order_) {
+    RDFCUBE_ASSIGN_OR_RETURN(MeasureId id, corpus.space->AddMeasure(m));
+    measure_ids.emplace(m, id);
+  }
+
+  corpus.observations = std::make_unique<ObservationSet>(corpus.space.get());
+  std::unordered_map<std::string, DatasetId> dataset_ids;
+  for (const PendingDataset& ds : datasets_) {
+    std::vector<DimId> dims;
+    for (const std::string& d : ds.dims) dims.push_back(dim_ids.at(d));
+    std::vector<MeasureId> measures;
+    for (const std::string& m : ds.measures) {
+      measures.push_back(measure_ids.at(m));
+    }
+    RDFCUBE_ASSIGN_OR_RETURN(
+        DatasetId id, corpus.observations->AddDataset(ds.iri, dims, measures));
+    if (!dataset_ids.emplace(ds.iri, id).second) {
+      return Status::AlreadyExists("duplicate dataset: " + ds.iri);
+    }
+  }
+
+  for (const PendingObservation& po : observations_) {
+    auto ds_it = dataset_ids.find(po.dataset);
+    if (ds_it == dataset_ids.end()) {
+      return Status::NotFound("observation " + po.iri +
+                              " references unknown dataset: " + po.dataset);
+    }
+    std::vector<std::pair<DimId, hierarchy::CodeId>> dims;
+    for (const auto& [dim_iri, code_name] : po.dims) {
+      auto dim_it = dim_ids.find(dim_iri);
+      if (dim_it == dim_ids.end()) {
+        return Status::NotFound("observation " + po.iri +
+                                " references unknown dimension: " + dim_iri);
+      }
+      const hierarchy::CodeList& list = corpus.space->code_list(dim_it->second);
+      auto code = list.Find(code_name);
+      if (!code.has_value()) {
+        return Status::NotFound("observation " + po.iri + " uses unknown code '" +
+                                code_name + "' for dimension " + dim_iri);
+      }
+      dims.emplace_back(dim_it->second, *code);
+    }
+    std::vector<std::pair<MeasureId, double>> measures;
+    for (const auto& [measure_iri, value] : po.measures) {
+      auto m_it = measure_ids.find(measure_iri);
+      if (m_it == measure_ids.end()) {
+        return Status::NotFound("observation " + po.iri +
+                                " references unknown measure: " + measure_iri);
+      }
+      measures.emplace_back(m_it->second, value);
+    }
+    RDFCUBE_RETURN_IF_ERROR(
+        corpus.observations
+            ->AddObservation(ds_it->second, po.iri, dims, measures)
+            .status());
+  }
+  return corpus;
+}
+
+}  // namespace qb
+}  // namespace rdfcube

@@ -1,0 +1,101 @@
+// Corpus: an owned (CubeSpace, ObservationSet) pair plus a string-keyed
+// builder for assembling one programmatically.
+
+#ifndef RDFCUBE_QB_CORPUS_H_
+#define RDFCUBE_QB_CORPUS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief Owns a schema space and the observations encoded over it.
+///
+/// Movable; the internal unique_ptrs keep the CubeSpace address stable for
+/// the ObservationSet's back-pointer.
+struct Corpus {
+  std::unique_ptr<CubeSpace> space;
+  std::unique_ptr<ObservationSet> observations;
+};
+
+/// \brief String-keyed builder for a Corpus.
+///
+/// Example:
+/// \code
+///   CorpusBuilder b;
+///   b.AddDimension("ex:refArea", "World");
+///   b.AddCode("ex:refArea", "Europe", "World");
+///   b.AddCode("ex:refArea", "Greece", "Europe");
+///   b.AddMeasure("ex:population");
+///   b.AddDataset("D1", {"ex:refArea"}, {"ex:population"});
+///   b.AddObservation("D1", "o1", {{"ex:refArea", "Greece"}},
+///                    {{"ex:population", 10.7e6}});
+///   Result<Corpus> corpus = std::move(b).Build();
+/// \endcode
+///
+/// All Add* methods record data; name resolution errors surface immediately,
+/// hierarchy finalization errors at Build().
+class CorpusBuilder {
+ public:
+  /// Declares a dimension whose code-list root is `root_code` (the `ALL`
+  /// concept of the paper, e.g. "World" or "Total").
+  Status AddDimension(const std::string& dim_iri,
+                      const std::string& root_code);
+
+  /// Adds `code` under `parent` in the dimension's code list. The parent must
+  /// already exist. Re-adding an existing code with the same parent is a
+  /// no-op.
+  Status AddCode(const std::string& dim_iri, const std::string& code,
+                 const std::string& parent);
+
+  /// Declares a measure property.
+  Status AddMeasure(const std::string& measure_iri);
+
+  /// Declares a dataset with its schema.
+  Status AddDataset(const std::string& dataset_iri,
+                    const std::vector<std::string>& dims,
+                    const std::vector<std::string>& measures);
+
+  /// Records an observation. Dimension values are code names; missing schema
+  /// dimensions are root-padded at Build time.
+  Status AddObservation(
+      const std::string& dataset_iri, const std::string& obs_iri,
+      const std::vector<std::pair<std::string, std::string>>& dim_values,
+      const std::vector<std::pair<std::string, double>>& measure_values);
+
+  /// Assembles the Corpus: finalizes code lists, registers schemas, encodes
+  /// observations. Consumes the builder.
+  Result<Corpus> Build() &&;
+
+ private:
+  struct PendingObservation {
+    std::string dataset;
+    std::string iri;
+    std::vector<std::pair<std::string, std::string>> dims;
+    std::vector<std::pair<std::string, double>> measures;
+  };
+  struct PendingDataset {
+    std::string iri;
+    std::vector<std::string> dims;
+    std::vector<std::string> measures;
+  };
+
+  std::vector<std::string> dim_order_;
+  std::unordered_map<std::string, hierarchy::CodeList> code_lists_;
+  std::vector<std::string> measure_order_;
+  std::vector<PendingDataset> datasets_;
+  std::vector<PendingObservation> observations_;
+};
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_CORPUS_H_

@@ -1,0 +1,69 @@
+#include "qb/csv_importer.h"
+
+#include <cstdlib>
+
+namespace rdfcube {
+namespace qb {
+
+Status ImportCsvDataset(const CsvTable& table, const CsvDatasetSpec& spec,
+                        CorpusBuilder* builder) {
+  if (spec.columns.size() > table.header.size()) {
+    return Status::InvalidArgument(
+        "column spec is longer than the CSV header");
+  }
+  // Resolve column property IRIs (default: header text).
+  std::vector<std::string> props(spec.columns.size());
+  std::vector<std::string> dims, measures;
+  for (std::size_t c = 0; c < spec.columns.size(); ++c) {
+    props[c] = spec.columns[c].property_iri.empty()
+                   ? table.header[c]
+                   : spec.columns[c].property_iri;
+    switch (spec.columns[c].role) {
+      case CsvColumnSpec::Role::kDimension:
+        dims.push_back(props[c]);
+        break;
+      case CsvColumnSpec::Role::kMeasure:
+        measures.push_back(props[c]);
+        break;
+      case CsvColumnSpec::Role::kIgnore:
+        break;
+    }
+  }
+  RDFCUBE_RETURN_IF_ERROR(builder->AddDataset(spec.dataset_iri, dims, measures));
+
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    std::vector<std::pair<std::string, std::string>> dim_values;
+    std::vector<std::pair<std::string, double>> measure_values;
+    for (std::size_t c = 0; c < spec.columns.size(); ++c) {
+      const std::string& cell = row[c];
+      switch (spec.columns[c].role) {
+        case CsvColumnSpec::Role::kDimension:
+          if (!cell.empty()) dim_values.emplace_back(props[c], cell);
+          break;
+        case CsvColumnSpec::Role::kMeasure: {
+          if (cell.empty()) break;
+          char* end = nullptr;
+          const double value = std::strtod(cell.c_str(), &end);
+          if (end != cell.c_str() + cell.size()) {
+            return Status::ParseError("row " + std::to_string(r + 1) +
+                                      ": non-numeric measure value '" + cell +
+                                      "'");
+          }
+          measure_values.emplace_back(props[c], value);
+          break;
+        }
+        case CsvColumnSpec::Role::kIgnore:
+          break;
+      }
+    }
+    RDFCUBE_RETURN_IF_ERROR(builder->AddObservation(
+        spec.dataset_iri,
+        spec.dataset_iri + "/obs/" + std::to_string(r + 1), dim_values,
+        measure_values));
+  }
+  return Status::OK();
+}
+
+}  // namespace qb
+}  // namespace rdfcube

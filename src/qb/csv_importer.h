@@ -1,0 +1,49 @@
+// CSV -> Corpus import, following the paper's conversion approach (§4):
+// "we converted CSV column headers to dimension URIs, and rows to
+// observations, by automatically matching cell values to existing code list
+// terms based on their IDs".
+
+#ifndef RDFCUBE_QB_CSV_IMPORTER_H_
+#define RDFCUBE_QB_CSV_IMPORTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qb/corpus.h"
+#include "util/csv.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief Declares how one CSV column maps into the cube.
+struct CsvColumnSpec {
+  enum class Role { kDimension, kMeasure, kIgnore };
+  Role role = Role::kIgnore;
+  /// Property IRI for the dimension/measure; defaults to the header text.
+  std::string property_iri;
+};
+
+/// \brief One CSV source file plus its column mapping.
+struct CsvDatasetSpec {
+  std::string dataset_iri;
+  /// Per-column roles, parallel to the CSV header. Columns beyond this
+  /// vector are ignored.
+  std::vector<CsvColumnSpec> columns;
+};
+
+/// \brief Imports CSV tables into an existing CorpusBuilder.
+///
+/// Dimension cell values must already exist in the dimension's code list
+/// (matching "existing code list terms based on their IDs"); unknown values
+/// produce a ParseError naming the row. Measure cells must parse as doubles;
+/// empty measure cells are skipped. Dimensions must be declared on the
+/// builder before import.
+Status ImportCsvDataset(const CsvTable& table, const CsvDatasetSpec& spec,
+                        CorpusBuilder* builder);
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_CSV_IMPORTER_H_

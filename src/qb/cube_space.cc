@@ -1,0 +1,48 @@
+#include "qb/cube_space.h"
+
+namespace rdfcube {
+namespace qb {
+
+Result<DimId> CubeSpace::AddDimension(const std::string& iri,
+                                      hierarchy::CodeList code_list) {
+  if (dims_by_iri_.count(iri)) {
+    return Status::AlreadyExists("dimension already registered: " + iri);
+  }
+  if (!code_list.finalized()) {
+    return Status::FailedPrecondition(
+        "code list for dimension must be finalized: " + iri);
+  }
+  const DimId id = static_cast<DimId>(dim_iris_.size());
+  dim_iris_.push_back(iri);
+  code_lists_.push_back(std::move(code_list));
+  dims_by_iri_.emplace(iri, id);
+  return id;
+}
+
+Result<MeasureId> CubeSpace::AddMeasure(const std::string& iri) {
+  if (measures_by_iri_.count(iri)) {
+    return Status::AlreadyExists("measure already registered: " + iri);
+  }
+  if (measure_iris_.size() >= 64) {
+    return Status::ResourceExhausted("at most 64 measures are supported");
+  }
+  const MeasureId id = static_cast<MeasureId>(measure_iris_.size());
+  measure_iris_.push_back(iri);
+  measures_by_iri_.emplace(iri, id);
+  return id;
+}
+
+std::optional<DimId> CubeSpace::FindDimension(const std::string& iri) const {
+  auto it = dims_by_iri_.find(iri);
+  if (it == dims_by_iri_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MeasureId> CubeSpace::FindMeasure(const std::string& iri) const {
+  auto it = measures_by_iri_.find(iri);
+  if (it == measures_by_iri_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qb
+}  // namespace rdfcube

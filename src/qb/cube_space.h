@@ -1,0 +1,68 @@
+// CubeSpace: the reconciled multidimensional schema bus shared by all input
+// datasets — the global dimension set P, measure set M (paper Def. 1), and
+// one hierarchical code list per dimension (Def. 2).
+
+#ifndef RDFCUBE_QB_CUBE_SPACE_H_
+#define RDFCUBE_QB_CUBE_SPACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarchy/code_list.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// Dense index of a dimension property in the global dimension set P.
+using DimId = uint32_t;
+/// Dense index of a measure property in the global measure set M.
+using MeasureId = uint32_t;
+
+/// \brief The global schema space: dimensions with their code lists, and
+/// measures.
+///
+/// After the (out-of-scope per the paper, simulated in src/align) dimension
+/// alignment step, every dataset's dimension and measure properties resolve
+/// into this one space; observations then carry dense per-dimension code ids.
+///
+/// At most 64 measures are supported (observation measure sets are bitmasks;
+/// the paper's corpus has 6).
+class CubeSpace {
+ public:
+  /// Registers a dimension with its finalized code list. Fails if the IRI is
+  /// already registered or the list is not finalized.
+  Result<DimId> AddDimension(const std::string& iri,
+                             hierarchy::CodeList code_list);
+
+  /// Registers a measure property. Fails if already registered or if the
+  /// 64-measure limit would be exceeded.
+  Result<MeasureId> AddMeasure(const std::string& iri);
+
+  std::optional<DimId> FindDimension(const std::string& iri) const;
+  std::optional<MeasureId> FindMeasure(const std::string& iri) const;
+
+  std::size_t num_dimensions() const { return dim_iris_.size(); }
+  std::size_t num_measures() const { return measure_iris_.size(); }
+
+  const std::string& dimension_iri(DimId d) const { return dim_iris_[d]; }
+  const std::string& measure_iri(MeasureId m) const { return measure_iris_[m]; }
+
+  const hierarchy::CodeList& code_list(DimId d) const { return code_lists_[d]; }
+  hierarchy::CodeList& mutable_code_list(DimId d) { return code_lists_[d]; }
+
+ private:
+  std::vector<std::string> dim_iris_;
+  std::vector<hierarchy::CodeList> code_lists_;
+  std::unordered_map<std::string, DimId> dims_by_iri_;
+  std::vector<std::string> measure_iris_;
+  std::unordered_map<std::string, MeasureId> measures_by_iri_;
+};
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_CUBE_SPACE_H_

@@ -1,0 +1,153 @@
+#include "qb/exporter.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "rdf/vocab.h"
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace qb {
+
+namespace {
+
+using rdf::Term;
+namespace vocab = rdf::vocab;
+
+bool LooksLikeIri(const std::string& s) {
+  return s.find("://") != std::string::npos || StartsWith(s, "urn:");
+}
+
+// Mints an IRI for a code name when it is not already one.
+std::string CodeIri(const std::string& dim_iri, const std::string& code_name) {
+  if (LooksLikeIri(code_name)) return code_name;
+  std::string local;
+  for (char c : code_name) {
+    local.push_back(
+        (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_')
+            ? c
+            : '_');
+  }
+  return dim_iri + "/code/" + local;
+}
+
+std::string DimIri(const std::string& name) {
+  return LooksLikeIri(name) ? name : "urn:rdfcube:dim:" + name;
+}
+
+std::string MeasureIri(const std::string& name) {
+  return LooksLikeIri(name) ? name : "urn:rdfcube:measure:" + name;
+}
+
+std::string DatasetIri(const std::string& name) {
+  return LooksLikeIri(name) ? name : "urn:rdfcube:dataset:" + name;
+}
+
+std::string ObsIri(const std::string& name) {
+  return LooksLikeIri(name) ? name : "urn:rdfcube:obs:" + name;
+}
+
+}  // namespace
+
+Status ExportCorpusToRdf(const Corpus& corpus, rdf::TripleStore* store) {
+  if (corpus.space == nullptr || corpus.observations == nullptr) {
+    return Status::InvalidArgument("corpus is not built");
+  }
+  const CubeSpace& space = *corpus.space;
+  const ObservationSet& obs_set = *corpus.observations;
+
+  const Term rdf_type = Term::Iri(std::string(vocab::kRdfType));
+  const Term skos_concept = Term::Iri(std::string(vocab::kSkosConcept));
+  const Term skos_scheme_cls = Term::Iri(std::string(vocab::kSkosConceptScheme));
+  const Term skos_in_scheme = Term::Iri(std::string(vocab::kSkosInScheme));
+  const Term skos_broader = Term::Iri(std::string(vocab::kSkosBroader));
+  const Term qb_code_list = Term::Iri(std::string(vocab::kQbCodeList));
+  const Term qb_dim_prop_cls = Term::Iri(std::string(vocab::kQbDimensionProperty));
+  const Term qb_measure_prop_cls =
+      Term::Iri(std::string(vocab::kQbMeasureProperty));
+  const Term qb_dsd_cls = Term::Iri(std::string(vocab::kQbDsd));
+  const Term qb_component = Term::Iri(std::string(vocab::kQbComponent));
+  const Term qb_dimension = Term::Iri(std::string(vocab::kQbDimension));
+  const Term qb_measure = Term::Iri(std::string(vocab::kQbMeasure));
+  const Term qb_dataset_cls = Term::Iri(std::string(vocab::kQbDataSet));
+  const Term qb_structure = Term::Iri(std::string(vocab::kQbStructure));
+  const Term qb_observation_cls = Term::Iri(std::string(vocab::kQbObservation));
+  const Term qb_dataset_prop = Term::Iri(std::string(vocab::kQbDataSetProp));
+
+  // --- Code lists as SKOS schemes. -----------------------------------------
+  for (DimId d = 0; d < space.num_dimensions(); ++d) {
+    const std::string dim_iri = DimIri(space.dimension_iri(d));
+    const hierarchy::CodeList& list = space.code_list(d);
+    const Term scheme = Term::Iri(dim_iri + "/scheme");
+    store->Insert(scheme, rdf_type, skos_scheme_cls);
+    store->Insert(Term::Iri(dim_iri), rdf_type, qb_dim_prop_cls);
+    store->Insert(Term::Iri(dim_iri), qb_code_list, scheme);
+    for (hierarchy::CodeId c = 0; c < list.size(); ++c) {
+      const Term code = Term::Iri(CodeIri(dim_iri, list.name(c)));
+      store->Insert(code, rdf_type, skos_concept);
+      store->Insert(code, skos_in_scheme, scheme);
+      if (c != list.root()) {
+        const Term parent = Term::Iri(CodeIri(dim_iri, list.name(list.parent(c))));
+        store->Insert(code, skos_broader, parent);
+      }
+    }
+  }
+  for (MeasureId m = 0; m < space.num_measures(); ++m) {
+    store->Insert(Term::Iri(MeasureIri(space.measure_iri(m))), rdf_type,
+                  qb_measure_prop_cls);
+  }
+
+  // --- Datasets with DSDs. ---------------------------------------------------
+  for (DatasetId ds = 0; ds < obs_set.num_datasets(); ++ds) {
+    const DatasetMeta& meta = obs_set.dataset(ds);
+    const std::string ds_iri = DatasetIri(meta.iri);
+    const Term dataset = Term::Iri(ds_iri);
+    const Term dsd = Term::Iri(ds_iri + "/dsd");
+    store->Insert(dataset, rdf_type, qb_dataset_cls);
+    store->Insert(dataset, qb_structure, dsd);
+    store->Insert(dsd, rdf_type, qb_dsd_cls);
+    int comp_no = 0;
+    for (DimId d = 0; d < space.num_dimensions(); ++d) {
+      if ((meta.dim_mask & (uint64_t{1} << d)) == 0) continue;
+      const Term comp = Term::Iri(ds_iri + "/component/" +
+                                  std::to_string(comp_no++));
+      store->Insert(dsd, qb_component, comp);
+      store->Insert(comp, qb_dimension,
+                    Term::Iri(DimIri(space.dimension_iri(d))));
+    }
+    for (MeasureId m = 0; m < space.num_measures(); ++m) {
+      if ((meta.measure_mask & (uint64_t{1} << m)) == 0) continue;
+      const Term comp = Term::Iri(ds_iri + "/component/" +
+                                  std::to_string(comp_no++));
+      store->Insert(dsd, qb_component, comp);
+      store->Insert(comp, qb_measure,
+                    Term::Iri(MeasureIri(space.measure_iri(m))));
+    }
+  }
+
+  // --- Observations. ----------------------------------------------------------
+  for (ObsId i = 0; i < obs_set.size(); ++i) {
+    const Observation& o = obs_set.obs(i);
+    const Term obs = Term::Iri(ObsIri(o.iri));
+    store->Insert(obs, rdf_type, qb_observation_cls);
+    store->Insert(obs, qb_dataset_prop,
+                  Term::Iri(DatasetIri(obs_set.dataset(o.dataset).iri)));
+    for (DimId d = 0; d < space.num_dimensions(); ++d) {
+      if (o.dims[d] == hierarchy::kNoCode) continue;
+      const std::string dim_iri = DimIri(space.dimension_iri(d));
+      store->Insert(
+          obs, Term::Iri(dim_iri),
+          Term::Iri(CodeIri(dim_iri, space.code_list(d).name(o.dims[d]))));
+    }
+    for (const auto& [m, value] : o.values) {
+      store->Insert(obs, Term::Iri(MeasureIri(space.measure_iri(m))),
+                    Term::TypedLiteral(std::to_string(value),
+                                       std::string(vocab::kXsdDecimal)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qb
+}  // namespace rdfcube

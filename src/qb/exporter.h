@@ -1,0 +1,28 @@
+// Serializes a Corpus back to RDF (QB + SKOS), the inverse of LoadCorpusFromRdf.
+
+#ifndef RDFCUBE_QB_EXPORTER_H_
+#define RDFCUBE_QB_EXPORTER_H_
+
+#include "qb/corpus.h"
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief Emits the full corpus as RDF triples into `store`:
+///  * one SKOS concept scheme per dimension (`<dim>/scheme`) with
+///    skos:inScheme members and skos:broader links,
+///  * one qb:DataStructureDefinition per dataset with component nodes,
+///  * qb:DataSet resources, and
+///  * qb:Observation resources with dimension/measure values.
+///
+/// Code names that are not IRIs (builder corpora may use plain labels like
+/// "Athens") are minted under `<dim>/code/`. Round-trips through
+/// LoadCorpusFromRdf: the reloaded corpus yields identical relationship sets.
+Status ExportCorpusToRdf(const Corpus& corpus, rdf::TripleStore* store);
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_EXPORTER_H_

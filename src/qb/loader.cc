@@ -1,0 +1,263 @@
+#include "qb/loader.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hierarchy/skos_loader.h"
+#include "rdf/vocab.h"
+
+namespace rdfcube {
+namespace qb {
+
+namespace {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::kNoTerm;
+namespace vocab = rdf::vocab;
+
+// Resolved ids of the vocabulary terms we navigate with; kNoTerm when the
+// term does not occur in the graph at all.
+struct VocabIds {
+  TermId rdf_type, qb_dataset_cls, qb_dataset_prop, qb_structure, qb_component;
+  TermId qb_dimension, qb_measure, qb_attribute, qb_code_list, qb_observation;
+
+  explicit VocabIds(const rdf::Dictionary& dict) {
+    auto find = [&dict](std::string_view iri) {
+      auto id = dict.Find(Term::Iri(std::string(iri)));
+      return id.has_value() ? *id : kNoTerm;
+    };
+    rdf_type = find(vocab::kRdfType);
+    qb_dataset_cls = find(vocab::kQbDataSet);
+    qb_dataset_prop = find(vocab::kQbDataSetProp);
+    qb_structure = find(vocab::kQbStructure);
+    qb_component = find(vocab::kQbComponent);
+    qb_dimension = find(vocab::kQbDimension);
+    qb_measure = find(vocab::kQbMeasure);
+    qb_attribute = find(vocab::kQbAttribute);
+    qb_code_list = find(vocab::kQbCodeList);
+    qb_observation = find(vocab::kQbObservation);
+  }
+};
+
+// Schema of one dataset as term ids.
+struct DsdInfo {
+  std::vector<TermId> dimensions;  // includes attributes when configured
+  std::vector<TermId> measures;
+};
+
+Result<DsdInfo> ReadDsd(const rdf::TripleStore& store, const VocabIds& ids,
+                        TermId dsd, const LoaderOptions& options) {
+  DsdInfo info;
+  if (ids.qb_component == kNoTerm) {
+    return Status::ParseError("graph has no qb:component triples");
+  }
+  const std::vector<TermId> components = store.ObjectsOf(dsd, ids.qb_component);
+  if (components.empty()) {
+    return Status::ParseError("DSD has no components: " +
+                              store.dictionary().Get(dsd).ToString());
+  }
+  for (TermId comp : components) {
+    bool recognized = false;
+    if (ids.qb_dimension != kNoTerm) {
+      for (TermId d : store.ObjectsOf(comp, ids.qb_dimension)) {
+        info.dimensions.push_back(d);
+        recognized = true;
+      }
+    }
+    if (ids.qb_measure != kNoTerm) {
+      for (TermId m : store.ObjectsOf(comp, ids.qb_measure)) {
+        info.measures.push_back(m);
+        recognized = true;
+      }
+    }
+    if (ids.qb_attribute != kNoTerm) {
+      for (TermId a : store.ObjectsOf(comp, ids.qb_attribute)) {
+        if (options.attributes_as_dimensions) info.dimensions.push_back(a);
+        recognized = true;
+      }
+    }
+    if (!recognized) {
+      return Status::ParseError(
+          "component specifies no qb:dimension/measure/attribute");
+    }
+  }
+  return info;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  // Statistical exports sometimes format integers with thousands separators
+  // (Listing 1 of the paper: "82,350,000"^^xmls:integer); strip them.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (c == ',') continue;
+    cleaned.push_back(c);
+  }
+  if (cleaned.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(cleaned.c_str(), &end);
+  return end == cleaned.c_str() + cleaned.size();
+}
+
+}  // namespace
+
+Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
+                                 const LoaderOptions& options) {
+  const rdf::Dictionary& dict = store.dictionary();
+  const VocabIds ids(dict);
+  CorpusBuilder builder;
+
+  if (ids.rdf_type == kNoTerm || ids.qb_dataset_cls == kNoTerm) {
+    return Status::NotFound("graph contains no qb:DataSet resources");
+  }
+  const std::vector<TermId> datasets =
+      store.SubjectsOf(ids.rdf_type, ids.qb_dataset_cls);
+  if (datasets.empty()) {
+    return Status::NotFound("graph contains no qb:DataSet resources");
+  }
+
+  // ---- Pass 1: schemas. Collect the global dimension/measure sets. --------
+  std::map<TermId, DsdInfo> schema_of;  // dataset -> schema
+  std::set<TermId> all_dims, all_measures;
+  std::unordered_map<TermId, TermId> code_list_of_dim;
+  for (TermId ds : datasets) {
+    if (ids.qb_structure == kNoTerm) {
+      return Status::ParseError("dataset lacks qb:structure: " +
+                                dict.Get(ds).ToString());
+    }
+    const TermId dsd = store.ObjectOf(ds, ids.qb_structure);
+    if (dsd == kNoTerm) {
+      return Status::ParseError("dataset lacks qb:structure: " +
+                                dict.Get(ds).ToString());
+    }
+    RDFCUBE_ASSIGN_OR_RETURN(DsdInfo info, ReadDsd(store, ids, dsd, options));
+    for (TermId d : info.dimensions) {
+      all_dims.insert(d);
+      if (ids.qb_code_list != kNoTerm) {
+        const TermId scheme = store.ObjectOf(d, ids.qb_code_list);
+        if (scheme != kNoTerm) code_list_of_dim.emplace(d, scheme);
+      }
+    }
+    for (TermId m : info.measures) all_measures.insert(m);
+    schema_of.emplace(ds, std::move(info));
+  }
+
+  // ---- Pass 2: code lists. -------------------------------------------------
+  // Dimensions with qb:codeList load their SKOS scheme; the rest get a flat
+  // list synthesized from observed values (pass 3 adds the values).
+  std::set<TermId> flat_dims;
+  for (TermId d : all_dims) {
+    const std::string& dim_iri = dict.Get(d).value();
+    auto it = code_list_of_dim.find(d);
+    if (it == code_list_of_dim.end()) {
+      if (!options.synthesize_flat_code_lists) {
+        return Status::ParseError("dimension has no qb:codeList: " + dim_iri);
+      }
+      flat_dims.insert(d);
+      RDFCUBE_RETURN_IF_ERROR(builder.AddDimension(dim_iri, dim_iri + "/ALL"));
+      continue;
+    }
+    RDFCUBE_ASSIGN_OR_RETURN(
+        hierarchy::CodeList list,
+        hierarchy::LoadCodeListFromSkos(store, dict.Get(it->second).value()));
+    // Re-register through the builder: root first, then children in BFS
+    // order so parents always precede children.
+    RDFCUBE_RETURN_IF_ERROR(builder.AddDimension(dim_iri, list.name(0)));
+    std::vector<hierarchy::CodeId> queue = {list.root()};
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      for (hierarchy::CodeId child : list.children(queue[qi])) {
+        RDFCUBE_RETURN_IF_ERROR(
+            builder.AddCode(dim_iri, list.name(child), list.name(queue[qi])));
+        queue.push_back(child);
+      }
+    }
+  }
+  for (TermId m : all_measures) {
+    RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(dict.Get(m).value()));
+  }
+
+  // ---- Pass 3: observations. -----------------------------------------------
+  if (ids.qb_observation == kNoTerm) {
+    return Status::NotFound("graph contains no qb:Observation resources");
+  }
+  if (ids.qb_dataset_prop == kNoTerm &&
+      !store.SubjectsOf(ids.rdf_type, ids.qb_observation).empty()) {
+    return Status::ParseError(
+        "observations present but no qb:dataSet links exist");
+  }
+
+  // Register datasets with the builder.
+  for (TermId ds : datasets) {
+    const DsdInfo& info = schema_of.at(ds);
+    std::vector<std::string> dim_iris, measure_iris;
+    for (TermId d : info.dimensions) dim_iris.push_back(dict.Get(d).value());
+    for (TermId m : info.measures) measure_iris.push_back(dict.Get(m).value());
+    RDFCUBE_RETURN_IF_ERROR(
+        builder.AddDataset(dict.Get(ds).value(), dim_iris, measure_iris));
+  }
+
+  // Collect flat-dimension values first so codes exist before encoding.
+  const std::vector<TermId> observations =
+      store.SubjectsOf(ids.rdf_type, ids.qb_observation);
+  if (!flat_dims.empty()) {
+    for (TermId obs : observations) {
+      for (TermId d : flat_dims) {
+        const TermId v = store.ObjectOf(obs, d);
+        if (v == kNoTerm) continue;
+        const std::string& dim_iri = dict.Get(d).value();
+        RDFCUBE_RETURN_IF_ERROR(
+            builder.AddCode(dim_iri, dict.Get(v).value(), dim_iri + "/ALL"));
+      }
+    }
+  }
+
+  // Index measure/dimension term ids for fast classification.
+  std::unordered_set<TermId> dim_set(all_dims.begin(), all_dims.end());
+  std::unordered_set<TermId> measure_set(all_measures.begin(),
+                                         all_measures.end());
+
+  for (TermId obs : observations) {
+    const TermId ds = store.ObjectOf(obs, ids.qb_dataset_prop);
+    if (ds == kNoTerm) {
+      return Status::ParseError("observation lacks qb:dataSet: " +
+                                dict.Get(obs).ToString());
+    }
+    if (!schema_of.count(ds)) {
+      return Status::ParseError("observation references undeclared dataset: " +
+                                dict.Get(ds).ToString());
+    }
+    std::vector<std::pair<std::string, std::string>> dim_values;
+    std::vector<std::pair<std::string, double>> measure_values;
+    Status row_error;
+    store.Match(obs, kNoTerm, kNoTerm, [&](const rdf::Triple& t) {
+      if (dim_set.count(t.p)) {
+        dim_values.emplace_back(dict.Get(t.p).value(), dict.Get(t.o).value());
+      } else if (measure_set.count(t.p)) {
+        double value = 0.0;
+        if (!ParseDouble(dict.Get(t.o).value(), &value)) {
+          row_error = Status::ParseError(
+              "non-numeric measure value on " + dict.Get(obs).ToString() +
+              ": " + dict.Get(t.o).ToString());
+          return false;
+        }
+        measure_values.emplace_back(dict.Get(t.p).value(), value);
+      }
+      return true;
+    });
+    RDFCUBE_RETURN_IF_ERROR(row_error);
+    RDFCUBE_RETURN_IF_ERROR(
+        builder.AddObservation(dict.Get(ds).value(), dict.Get(obs).value(),
+                               dim_values, measure_values));
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace qb
+}  // namespace rdfcube

@@ -1,0 +1,46 @@
+// Loads a Corpus from an RDF graph using the W3C Data Cube vocabulary.
+
+#ifndef RDFCUBE_QB_LOADER_H_
+#define RDFCUBE_QB_LOADER_H_
+
+#include "qb/corpus.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief Options controlling RDF -> Corpus extraction.
+struct LoaderOptions {
+  /// When a dimension property has no qb:codeList, build a flat code list
+  /// from the values observed in the data (root `<dim>/ALL` + one child per
+  /// value). When false, such dimensions are an error.
+  bool synthesize_flat_code_lists = true;
+
+  /// Treat qb:AttributeProperty components (e.g. sdmx-attr:unitMeasure) as
+  /// dimensions, as the paper's corpus does with `unit` (Table 4 lists unit
+  /// among the dimensions).
+  bool attributes_as_dimensions = true;
+};
+
+/// \brief Extracts every qb:DataSet (with its DSD, code lists and
+/// observations) from `store` into one Corpus over a shared CubeSpace.
+///
+/// Expected graph shape (Listing 1 of the paper):
+///  * `<ds> a qb:DataSet ; qb:structure <dsd>.`
+///  * `<dsd> a qb:DataStructureDefinition ; qb:component [...]` where each
+///    component node carries qb:dimension / qb:measure / qb:attribute.
+///  * dimension properties may carry `qb:codeList <scheme>`; schemes are SKOS
+///    concept schemes with skos:inScheme members and skos:broader links.
+///  * `<obs> a qb:Observation ; qb:dataSet <ds> ; <dim> <code> ;
+///    <measure> "v"^^xsd:...`.
+///
+/// Fails with ParseError/NotFound on structurally broken cubes (observation
+/// without dataset, unknown code value, non-numeric measure, missing DSD).
+Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
+                                 const LoaderOptions& options = {});
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_LOADER_H_

@@ -1,0 +1,109 @@
+#include "qb/slice.h"
+
+#include <unordered_map>
+
+#include "rdf/vocab.h"
+
+namespace rdfcube {
+namespace qb {
+
+namespace {
+
+using rdf::Term;
+using rdf::TermId;
+using rdf::kNoTerm;
+namespace vocab = rdf::vocab;
+
+}  // namespace
+
+Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
+                                             const Corpus& corpus) {
+  const rdf::Dictionary& dict = store.dictionary();
+  std::vector<Slice> slices;
+  auto type = dict.Find(Term::Iri(std::string(vocab::kRdfType)));
+  auto slice_cls = dict.Find(Term::Iri(std::string(vocab::kQbSlice)));
+  if (!type.has_value() || !slice_cls.has_value()) return slices;
+  auto obs_prop = dict.Find(Term::Iri(std::string(vocab::kQbObservationProp)));
+
+  // Observation IRI -> ObsId.
+  const ObservationSet& obs_set = *corpus.observations;
+  std::unordered_map<std::string, ObsId> obs_by_iri;
+  for (ObsId i = 0; i < obs_set.size(); ++i) {
+    obs_by_iri.emplace(obs_set.obs(i).iri, i);
+  }
+  // Dimension IRI -> DimId.
+  const CubeSpace& space = *corpus.space;
+
+  for (TermId node : store.SubjectsOf(*type, *slice_cls)) {
+    Slice slice;
+    slice.iri = dict.Get(node).value();
+    Status error;
+    store.Match(node, kNoTerm, kNoTerm, [&](const rdf::Triple& t) {
+      const std::string& pred = dict.Get(t.p).value();
+      if (obs_prop.has_value() && t.p == *obs_prop) {
+        auto it = obs_by_iri.find(dict.Get(t.o).value());
+        if (it == obs_by_iri.end()) {
+          error = Status::ParseError("slice " + slice.iri +
+                                     " references unknown observation " +
+                                     dict.Get(t.o).value());
+          return false;
+        }
+        slice.observations.push_back(it->second);
+        return true;
+      }
+      auto dim = space.FindDimension(pred);
+      if (dim.has_value()) {
+        const hierarchy::CodeList& list = space.code_list(*dim);
+        auto code = list.Find(dict.Get(t.o).value());
+        if (!code.has_value()) {
+          error = Status::ParseError("slice " + slice.iri +
+                                     " fixes unknown code " +
+                                     dict.Get(t.o).value());
+          return false;
+        }
+        slice.fixed.emplace_back(*dim, *code);
+      }
+      return true;
+    });
+    RDFCUBE_RETURN_IF_ERROR(error);
+    slices.push_back(std::move(slice));
+  }
+  return slices;
+}
+
+std::vector<SliceViolation> ValidateSlices(const std::vector<Slice>& slices,
+                                           const Corpus& corpus) {
+  std::vector<SliceViolation> violations;
+  const ObservationSet& obs = *corpus.observations;
+  for (const Slice& slice : slices) {
+    for (ObsId member : slice.observations) {
+      for (const auto& [dim, code] : slice.fixed) {
+        if (obs.ValueOrRoot(member, dim) != code) {
+          violations.push_back(
+              {slice.iri, obs.obs(member).iri, dim});
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+bool SliceContains(const Slice& a, const Slice& b, const Corpus& corpus) {
+  const CubeSpace& space = *corpus.space;
+  // Gather fixed values per dimension (root when free).
+  auto value_of = [&](const Slice& s, DimId d) {
+    for (const auto& [dim, code] : s.fixed) {
+      if (dim == d) return code;
+    }
+    return space.code_list(d).root();
+  };
+  for (DimId d = 0; d < space.num_dimensions(); ++d) {
+    if (!space.code_list(d).IsAncestorOrSelf(value_of(a, d), value_of(b, d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qb
+}  // namespace rdfcube

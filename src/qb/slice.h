@@ -1,0 +1,58 @@
+// qb:Slice support: a slice fixes a subset of dimension values and groups
+// the observations that share them ("parts of datasets", paper §1/§2).
+// Slice-level containment gives a coarser, cheaper navigation granularity
+// than observation pairs.
+
+#ifndef RDFCUBE_QB_SLICE_H_
+#define RDFCUBE_QB_SLICE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qb/corpus.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief One slice: fixed dimension values plus member observations.
+struct Slice {
+  std::string iri;
+  /// Fixed (dimension, value) pairs; dimensions not listed are free.
+  std::vector<std::pair<DimId, hierarchy::CodeId>> fixed;
+  /// Member observations (resolved to ObsIds of the corpus).
+  std::vector<ObsId> observations;
+};
+
+/// \brief Extracts every `qb:Slice` from `store` against an already-loaded
+/// corpus: fixed values come from the slice node's dimension-property
+/// triples, members from `qb:observation` links.
+///
+/// Fails with ParseError when a slice references an observation absent from
+/// the corpus or fixes an unknown dimension/code.
+Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
+                                             const Corpus& corpus);
+
+/// \brief One consistency finding: a member observation whose value on a
+/// fixed dimension differs from the slice's fixed value (QB IC-18 analogue).
+struct SliceViolation {
+  std::string slice_iri;
+  std::string observation_iri;
+  DimId dimension;
+};
+
+/// Checks every member of every slice against the fixed values.
+std::vector<SliceViolation> ValidateSlices(const std::vector<Slice>& slices,
+                                           const Corpus& corpus);
+
+/// True iff slice `a` dimensionally contains slice `b`: on every dimension,
+/// a's fixed value (root when free) is an ancestor-or-self of b's. The
+/// slice-level analogue of Cont_full, usable as a coarse pre-filter.
+bool SliceContains(const Slice& a, const Slice& b, const Corpus& corpus);
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_SLICE_H_

@@ -1,0 +1,109 @@
+#include "qb/validate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rdfcube {
+namespace qb {
+
+namespace {
+
+// Hash of an observation's full dimension-value vector (root-padded).
+std::size_t KeyHash(const ObservationSet& obs, ObsId i) {
+  std::size_t h = 1469598103934665603ull;
+  for (DimId d = 0; d < obs.space().num_dimensions(); ++d) {
+    h ^= obs.ValueOrRoot(i, d);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool SameKey(const ObservationSet& obs, ObsId a, ObsId b) {
+  for (DimId d = 0; d < obs.space().num_dimensions(); ++d) {
+    if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ValidationReport ValidateCorpus(const Corpus& corpus) {
+  ValidationReport report;
+  const ObservationSet& obs = *corpus.observations;
+  const CubeSpace& space = *corpus.space;
+
+  for (DatasetId ds = 0; ds < obs.num_datasets(); ++ds) {
+    const DatasetMeta& meta = obs.dataset(ds);
+    if (meta.observations.empty()) {
+      report.issues.push_back(
+          {ValidationIssue::Kind::kEmptyDataset, meta.iri});
+      continue;
+    }
+    // IC-12 analogue: no two observations of one dataset may share all
+    // dimension values.
+    std::unordered_map<std::size_t, std::vector<ObsId>> buckets;
+    for (ObsId i : meta.observations) {
+      auto& bucket = buckets[KeyHash(obs, i)];
+      for (ObsId j : bucket) {
+        if (SameKey(obs, i, j)) {
+          report.issues.push_back({ValidationIssue::Kind::kDuplicateKey,
+                                   meta.iri + ": " + obs.obs(i).iri + " vs " +
+                                       obs.obs(j).iri});
+          break;
+        }
+      }
+      bucket.push_back(i);
+    }
+    // Observations without any measure.
+    for (ObsId i : meta.observations) {
+      if (obs.obs(i).measure_mask == 0) {
+        report.issues.push_back(
+            {ValidationIssue::Kind::kNoMeasure, obs.obs(i).iri});
+      }
+    }
+    // Schema dimensions never instantiated below root.
+    for (DimId d = 0; d < space.num_dimensions(); ++d) {
+      if ((meta.dim_mask & (uint64_t{1} << d)) == 0) continue;
+      bool used = false;
+      for (ObsId i : meta.observations) {
+        const hierarchy::CodeId c = obs.obs(i).dims[d];
+        if (c != hierarchy::kNoCode && c != space.code_list(d).root()) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        report.issues.push_back({ValidationIssue::Kind::kUnusedDimension,
+                                 meta.iri + ": " + space.dimension_iri(d)});
+      }
+    }
+  }
+  return report;
+}
+
+std::string FormatReport(const ValidationReport& report) {
+  if (report.ok()) return "corpus OK\n";
+  std::string out;
+  for (const ValidationIssue& issue : report.issues) {
+    switch (issue.kind) {
+      case ValidationIssue::Kind::kDuplicateKey:
+        out += "duplicate-key: ";
+        break;
+      case ValidationIssue::Kind::kEmptyDataset:
+        out += "empty-dataset: ";
+        break;
+      case ValidationIssue::Kind::kNoMeasure:
+        out += "no-measure: ";
+        break;
+      case ValidationIssue::Kind::kUnusedDimension:
+        out += "unused-dimension: ";
+        break;
+    }
+    out += issue.detail;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace qb
+}  // namespace rdfcube

@@ -1,0 +1,46 @@
+// Well-formedness checks over a built Corpus, modeled on the normative
+// integrity constraints of the W3C Data Cube recommendation (IC-1, IC-11,
+// IC-12 analogues) restricted to the parts this system relies on.
+
+#ifndef RDFCUBE_QB_VALIDATE_H_
+#define RDFCUBE_QB_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "qb/corpus.h"
+
+namespace rdfcube {
+namespace qb {
+
+/// \brief One validation finding.
+struct ValidationIssue {
+  enum class Kind {
+    kDuplicateKey,        // two observations in one dataset share all
+                          // dimension values (QB IC-12)
+    kEmptyDataset,        // dataset declares no observations
+    kNoMeasure,           // observation carries no measure value
+    kUnusedDimension,     // dataset schema dimension never instantiated by
+                          // any of its observations (always root)
+  };
+  Kind kind;
+  std::string detail;
+};
+
+/// \brief Result of ValidateCorpus.
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  bool ok() const { return issues.empty(); }
+};
+
+/// Runs all checks; never fails hard — structural errors are caught earlier
+/// by the builder/loader, these are data-quality findings.
+ValidationReport ValidateCorpus(const Corpus& corpus);
+
+/// Human-readable rendering of a report.
+std::string FormatReport(const ValidationReport& report);
+
+}  // namespace qb
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_QB_VALIDATE_H_

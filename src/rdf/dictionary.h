@@ -1,0 +1,50 @@
+// Dictionary encoding: Term <-> dense integer TermId.
+
+#ifndef RDFCUBE_RDF_DICTIONARY_H_
+#define RDFCUBE_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfcube {
+namespace rdf {
+
+/// Dense identifier of a term within one Dictionary. Ids start at 0 and are
+/// assigned in first-seen order, so they double as stable array indexes.
+using TermId = uint32_t;
+
+/// Sentinel "no term" id (used for wildcards in triple patterns).
+inline constexpr TermId kNoTerm = UINT32_MAX;
+
+/// \brief Bidirectional Term <-> TermId mapping.
+///
+/// All triples in a TripleStore are dictionary-encoded; the algorithms in
+/// src/core operate purely on ids, which keeps the occurrence matrix and
+/// hierarchy structures integer-indexed (RocksDB-style: keep the hot path on
+/// integers, strings only at the edges).
+class Dictionary {
+ public:
+  /// Returns the id of `term`, interning it if previously unseen.
+  TermId Intern(const Term& term);
+
+  /// Looks up an existing term; returns std::nullopt if not interned.
+  std::optional<TermId> Find(const Term& term) const;
+
+  /// Returns the term with the given id. Precondition: id < size().
+  const Term& Get(TermId id) const { return terms_[id]; }
+
+  std::size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<Term, TermId, TermHash> ids_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_DICTIONARY_H_

@@ -1,0 +1,65 @@
+#include "rdf/term.h"
+
+namespace rdfcube {
+namespace rdf {
+
+namespace {
+
+// Escapes backslash, quote, and control characters per N-Triples rules.
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  std::string out;
+  switch (kind_) {
+    case TermKind::kIri:
+      out.push_back('<');
+      out += value_;
+      out.push_back('>');
+      break;
+    case TermKind::kBlank:
+      out += "_:";
+      out += value_;
+      break;
+    case TermKind::kLiteral:
+      out.push_back('"');
+      AppendEscaped(value_, &out);
+      out.push_back('"');
+      if (!lang_.empty()) {
+        out.push_back('@');
+        out += lang_;
+      } else if (!datatype_.empty()) {
+        out += "^^<";
+        out += datatype_;
+        out.push_back('>');
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace rdfcube

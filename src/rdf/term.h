@@ -1,0 +1,124 @@
+// RDF terms: IRIs, literals, and blank nodes.
+
+#ifndef RDFCUBE_RDF_TERM_H_
+#define RDFCUBE_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace rdfcube {
+namespace rdf {
+
+/// \brief The kind of an RDF term.
+enum class TermKind : unsigned char {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// \brief One RDF term.
+///
+/// Literals carry an optional datatype IRI and language tag (mutually
+/// exclusive per RDF 1.1; plain literals have neither). IRIs and blank nodes
+/// store only their lexical value (blank label without the "_:" prefix).
+class Term {
+ public:
+  Term() : kind_(TermKind::kIri) {}
+
+  /// Creates an IRI term.
+  static Term Iri(std::string value) {
+    Term t;
+    t.kind_ = TermKind::kIri;
+    t.value_ = std::move(value);
+    return t;
+  }
+
+  /// Creates a plain literal (no datatype, no language).
+  static Term Literal(std::string value) {
+    Term t;
+    t.kind_ = TermKind::kLiteral;
+    t.value_ = std::move(value);
+    return t;
+  }
+
+  /// Creates a typed literal, e.g. "42"^^xsd:integer.
+  static Term TypedLiteral(std::string value, std::string datatype_iri) {
+    Term t;
+    t.kind_ = TermKind::kLiteral;
+    t.value_ = std::move(value);
+    t.datatype_ = std::move(datatype_iri);
+    return t;
+  }
+
+  /// Creates a language-tagged literal, e.g. "Athens"@en.
+  static Term LangLiteral(std::string value, std::string lang) {
+    Term t;
+    t.kind_ = TermKind::kLiteral;
+    t.value_ = std::move(value);
+    t.lang_ = std::move(lang);
+    return t;
+  }
+
+  /// Creates a blank node with the given label (no "_:" prefix).
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind_ = TermKind::kBlank;
+    t.value_ = std::move(label);
+    return t;
+  }
+
+  TermKind kind() const { return kind_; }
+  bool IsIri() const { return kind_ == TermKind::kIri; }
+  bool IsLiteral() const { return kind_ == TermKind::kLiteral; }
+  bool IsBlank() const { return kind_ == TermKind::kBlank; }
+
+  /// Lexical value: IRI string, literal lexical form, or blank label.
+  const std::string& value() const { return value_; }
+
+  /// Datatype IRI for typed literals; empty otherwise.
+  const std::string& datatype() const { return datatype_; }
+
+  /// Language tag for language literals; empty otherwise.
+  const std::string& lang() const { return lang_; }
+
+  bool operator==(const Term& o) const {
+    return kind_ == o.kind_ && value_ == o.value_ && datatype_ == o.datatype_ &&
+           lang_ == o.lang_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  /// Deterministic ordering (kind, value, datatype, lang) for sorted indexes.
+  bool operator<(const Term& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    if (value_ != o.value_) return value_ < o.value_;
+    if (datatype_ != o.datatype_) return datatype_ < o.datatype_;
+    return lang_ < o.lang_;
+  }
+
+  /// N-Triples style rendering: <iri>, "lit"^^<dt>, "lit"@lang, _:label.
+  std::string ToString() const;
+
+ private:
+  TermKind kind_;
+  std::string value_;
+  std::string datatype_;
+  std::string lang_;
+};
+
+/// Hash over all term components, usable with std::unordered_map.
+struct TermHash {
+  std::size_t operator()(const Term& t) const {
+    std::size_t h = std::hash<std::string>()(t.value());
+    h = h * 31 + static_cast<std::size_t>(t.kind());
+    h = h * 31 + std::hash<std::string>()(t.datatype());
+    h = h * 31 + std::hash<std::string>()(t.lang());
+    return h;
+  }
+};
+
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_TERM_H_

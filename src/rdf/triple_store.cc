@@ -1,0 +1,150 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace rdfcube {
+namespace rdf {
+
+namespace {
+
+// Key extraction per permutation: returns (a, b, c) in index order.
+struct SpoKey {
+  static Triple Reorder(const Triple& t) { return t; }
+};
+struct PosKey {
+  static Triple Reorder(const Triple& t) { return Triple{t.p, t.o, t.s}; }
+};
+struct OspKey {
+  static Triple Reorder(const Triple& t) { return Triple{t.o, t.s, t.p}; }
+};
+
+bool LessSpo(const Triple& x, const Triple& y) {
+  if (x.s != y.s) return x.s < y.s;
+  if (x.p != y.p) return x.p < y.p;
+  return x.o < y.o;
+}
+bool LessPos(const Triple& x, const Triple& y) {
+  if (x.p != y.p) return x.p < y.p;
+  if (x.o != y.o) return x.o < y.o;
+  return x.s < y.s;
+}
+bool LessOsp(const Triple& x, const Triple& y) {
+  if (x.o != y.o) return x.o < y.o;
+  if (x.s != y.s) return x.s < y.s;
+  return x.p < y.p;
+}
+
+// Scans the sorted run of `index` whose first (and optionally second / third)
+// components equal the bound values; wildcard components are kNoTerm.
+// `get1/get2/get3` project a triple onto the index's component order.
+template <typename Less, typename Get1, typename Get2, typename Get3>
+void ScanIndex(const std::vector<Triple>& index, TermId k1, TermId k2,
+               TermId k3, Less less, Get1 get1, Get2 get2, Get3 get3,
+               const std::function<bool(const Triple&)>& fn) {
+  (void)less;
+  // Binary search the start of the k1 run.
+  auto lo = std::partition_point(index.begin(), index.end(),
+                                 [&](const Triple& t) { return get1(t) < k1; });
+  for (auto it = lo; it != index.end() && get1(*it) == k1; ++it) {
+    if (k2 != kNoTerm && get2(*it) != k2) {
+      if (get2(*it) > k2) break;  // sorted: run for k2 is over
+      continue;
+    }
+    if (k3 != kNoTerm && get3(*it) != k3) continue;
+    if (!fn(*it)) return;
+  }
+}
+
+}  // namespace
+
+bool TripleStore::Insert(const Term& s, const Term& p, const Term& o) {
+  return InsertEncoded(
+      Triple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
+}
+
+bool TripleStore::InsertEncoded(const Triple& t) {
+  auto [it, inserted] = seen_.emplace(t, true);
+  (void)it;
+  if (!inserted) return false;
+  triples_.push_back(t);
+  indexes_valid_ = false;
+  return true;
+}
+
+void TripleStore::EnsureIndexes() const {
+  if (indexes_valid_) return;
+  spo_ = triples_;
+  std::sort(spo_.begin(), spo_.end(), LessSpo);
+  pos_ = triples_;
+  std::sort(pos_.begin(), pos_.end(), LessPos);
+  osp_ = triples_;
+  std::sort(osp_.begin(), osp_.end(), LessOsp);
+  indexes_valid_ = true;
+}
+
+void TripleStore::Match(TermId s, TermId p, TermId o,
+                        const std::function<bool(const Triple&)>& fn) const {
+  EnsureIndexes();
+  const auto get_s = [](const Triple& t) { return t.s; };
+  const auto get_p = [](const Triple& t) { return t.p; };
+  const auto get_o = [](const Triple& t) { return t.o; };
+  if (s != kNoTerm) {
+    ScanIndex(spo_, s, p, o, LessSpo, get_s, get_p, get_o, fn);
+    return;
+  }
+  if (p != kNoTerm) {
+    ScanIndex(pos_, p, o, s, LessPos, get_p, get_o, get_s, fn);
+    return;
+  }
+  if (o != kNoTerm) {
+    ScanIndex(osp_, o, s, p, LessOsp, get_o, get_s, get_p, fn);
+    return;
+  }
+  // Fully unbound: scan everything.
+  for (const Triple& t : spo_) {
+    if (!fn(t)) return;
+  }
+}
+
+std::vector<Triple> TripleStore::MatchAll(TermId s, TermId p, TermId o) const {
+  std::vector<Triple> out;
+  Match(s, p, o, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+TermId TripleStore::ObjectOf(TermId s, TermId p) const {
+  TermId result = kNoTerm;
+  Match(s, p, kNoTerm, [&](const Triple& t) {
+    result = t.o;
+    return false;
+  });
+  return result;
+}
+
+std::vector<TermId> TripleStore::ObjectsOf(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  Match(s, p, kNoTerm, [&](const Triple& t) {
+    out.push_back(t.o);
+    return true;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::SubjectsOf(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  Match(kNoTerm, p, o, [&](const Triple& t) {
+    out.push_back(t.s);
+    return true;
+  });
+  return out;
+}
+
+bool TripleStore::Contains(TermId s, TermId p, TermId o) const {
+  return seen_.find(Triple{s, p, o}) != seen_.end();
+}
+
+}  // namespace rdf
+}  // namespace rdfcube

@@ -1,0 +1,100 @@
+// In-memory dictionary-encoded triple store with SPO/POS/OSP indexes.
+
+#ifndef RDFCUBE_RDF_TRIPLE_STORE_H_
+#define RDFCUBE_RDF_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfcube {
+namespace rdf {
+
+/// \brief One dictionary-encoded triple.
+struct Triple {
+  TermId s;
+  TermId p;
+  TermId o;
+
+  bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+};
+
+/// \brief In-memory triple store.
+///
+/// Triples are appended to a log; three sorted permutation indexes (SPO, POS,
+/// OSP) are built lazily on first pattern access after a mutation, then reused
+/// (the workload is load-once / query-many, as in the paper's batch setting).
+/// Pattern matching picks the index with the longest bound prefix and binary-
+/// searches the matching run.
+class TripleStore {
+ public:
+  /// Interns the terms and inserts the triple. Duplicate triples are ignored
+  /// (RDF graphs are sets). Returns true if the triple was new.
+  bool Insert(const Term& s, const Term& p, const Term& o);
+
+  /// Inserts a pre-encoded triple (terms must come from dictionary()).
+  bool InsertEncoded(const Triple& t);
+
+  /// Number of distinct triples.
+  std::size_t size() const { return triples_.size(); }
+
+  const Dictionary& dictionary() const { return dict_; }
+  Dictionary& dictionary() { return dict_; }
+
+  /// Calls `fn` for every triple matching the pattern; kNoTerm components are
+  /// wildcards. Returning false from `fn` stops iteration early.
+  void Match(TermId s, TermId p, TermId o,
+             const std::function<bool(const Triple&)>& fn) const;
+
+  /// Convenience: all matches collected into a vector.
+  std::vector<Triple> MatchAll(TermId s, TermId p, TermId o) const;
+
+  /// Convenience: the object of the first (s, p, *) match, or kNoTerm.
+  TermId ObjectOf(TermId s, TermId p) const;
+
+  /// Convenience: all objects of (s, p, *) matches.
+  std::vector<TermId> ObjectsOf(TermId s, TermId p) const;
+
+  /// Convenience: all subjects of (*, p, o) matches.
+  std::vector<TermId> SubjectsOf(TermId p, TermId o) const;
+
+  /// True iff the fully-ground triple is present.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// All triples in insertion order (for serialization).
+  const std::vector<Triple>& triples() const { return triples_; }
+
+ private:
+  enum class IndexKind { kSpo, kPos, kOsp };
+
+  void EnsureIndexes() const;
+
+  Dictionary dict_;
+  std::vector<Triple> triples_;
+  // Hashes of inserted triples for duplicate suppression.
+  struct TripleHash {
+    std::size_t operator()(const Triple& t) const {
+      std::size_t h = t.s;
+      h = h * 1000003 + t.p;
+      h = h * 1000003 + t.o;
+      return h;
+    }
+  };
+  std::unordered_map<Triple, bool, TripleHash> seen_;
+
+  // Lazily maintained sorted permutations. mutable: rebuilt from const Match.
+  mutable bool indexes_valid_ = false;
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+};
+
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_TRIPLE_STORE_H_

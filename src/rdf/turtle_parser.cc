@@ -1,0 +1,402 @@
+#include "rdf/turtle_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "rdf/vocab.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace rdf {
+
+namespace {
+
+// Recursive-descent parser over the raw text. Keeps a prefix map and a base
+// IRI; produces triples directly into the store.
+class Parser {
+ public:
+  Parser(std::string_view text, TripleStore* store)
+      : text_(text), store_(store) {}
+
+  Status Run() {
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Status::OK();
+      if (Peek() == '@' || PeekKeyword("PREFIX") || PeekKeyword("BASE")) {
+        RDFCUBE_RETURN_IF_ERROR(ParseDirective());
+        continue;
+      }
+      RDFCUBE_RETURN_IF_ERROR(ParseTriplesBlock());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char Advance() { return text_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+        continue;
+      }
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status ErrorHere(std::string_view msg) const {
+    return Status::ParseError("turtle line " + std::to_string(line_) + ": " +
+                              std::string(msg));
+  }
+
+  Status Expect(char c) {
+    SkipWs();
+    if (AtEnd() || Peek() != c) {
+      return ErrorHere(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseDirective() {
+    const bool at_form = Peek() == '@';
+    if (at_form) ++pos_;
+    if (PeekKeyword("PREFIX")) {
+      pos_ += 6;
+      SkipWs();
+      // prefix name up to ':'
+      std::string prefix;
+      while (!AtEnd() && Peek() != ':') prefix.push_back(Advance());
+      RDFCUBE_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      RDFCUBE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      prefixes_[prefix] = iri;
+      if (at_form) RDFCUBE_RETURN_IF_ERROR(Expect('.'));
+      return Status::OK();
+    }
+    if (PeekKeyword("BASE")) {
+      pos_ += 4;
+      SkipWs();
+      RDFCUBE_ASSIGN_OR_RETURN(base_, ParseIriRef());
+      if (at_form) RDFCUBE_RETURN_IF_ERROR(Expect('.'));
+      return Status::OK();
+    }
+    return ErrorHere("unknown directive");
+  }
+
+  // subject predicateObjectList '.'
+  Status ParseTriplesBlock() {
+    RDFCUBE_ASSIGN_OR_RETURN(Term subject, ParseSubject());
+    while (true) {
+      SkipWs();
+      RDFCUBE_ASSIGN_OR_RETURN(Term predicate, ParsePredicate());
+      while (true) {
+        RDFCUBE_ASSIGN_OR_RETURN(Term object, ParseObject());
+        store_->Insert(subject, predicate, object);
+        SkipWs();
+        if (!AtEnd() && Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipWs();
+      if (!AtEnd() && Peek() == ';') {
+        ++pos_;
+        SkipWs();
+        // Tolerate trailing ';' before '.'
+        if (!AtEnd() && Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    return Expect('.');
+  }
+
+  Result<Term> ParseSubject() {
+    SkipWs();
+    if (AtEnd()) return ErrorHere("expected subject");
+    const char c = Peek();
+    if (c == '<') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    if (c == '_') return ParseBlank();
+    if (c == '[') return ParseAnonBlank();
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParsePredicate() {
+    SkipWs();
+    if (AtEnd()) return ErrorHere("expected predicate");
+    const char c = Peek();
+    if (c == 'a') {
+      // 'a' keyword only when followed by whitespace.
+      if (pos_ + 1 < text_.size() &&
+          std::isspace(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        ++pos_;
+        return Term::Iri(std::string(vocab::kRdfType));
+      }
+    }
+    if (c == '<') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseObject() {
+    SkipWs();
+    if (AtEnd()) return ErrorHere("expected object");
+    const char c = Peek();
+    if (c == '<') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    if (c == '"' || c == '\'') return ParseStringLiteral();
+    if (c == '_') return ParseBlank();
+    if (c == '[') return ParseAnonBlank();
+    if (c == '(') return ErrorHere("RDF collections are not supported");
+    if (c == '+' || c == '-' || c == '.' ||
+        std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumericLiteral();
+    }
+    if (PeekKeyword("TRUE") &&
+        !IsNameChar(pos_ + 4 < text_.size() ? text_[pos_ + 4] : ' ')) {
+      pos_ += 4;
+      return Term::TypedLiteral("true",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    if (PeekKeyword("FALSE") &&
+        !IsNameChar(pos_ + 5 < text_.size() ? text_[pos_ + 5] : ' ')) {
+      pos_ += 5;
+      return Term::TypedLiteral("false",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<std::string> ParseIriRef() {
+    SkipWs();
+    if (AtEnd() || Peek() != '<') return ErrorHere("expected '<'");
+    ++pos_;
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') {
+      if (Peek() == '\n') return ErrorHere("newline inside IRI");
+      iri.push_back(Advance());
+    }
+    if (AtEnd()) return ErrorHere("unterminated IRI");
+    ++pos_;  // '>'
+    if (!base_.empty() && iri.find("://") == std::string::npos) {
+      iri = base_ + iri;
+    }
+    return iri;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == '%';
+  }
+
+  Result<Term> ParsePrefixedName() {
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':' && IsNameChar(Peek())) {
+      prefix.push_back(Advance());
+    }
+    if (AtEnd() || Peek() != ':') {
+      return ErrorHere("expected prefixed name (missing ':' after '" + prefix +
+                       "')");
+    }
+    ++pos_;
+    std::string local;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      // A '.' followed by whitespace/EOF terminates the statement, not the
+      // local name (Turtle's PN_LOCAL cannot end in '.').
+      if (Peek() == '.') {
+        const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : ' ';
+        if (!IsNameChar(next) || next == '.') break;
+      }
+      local.push_back(Advance());
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return ErrorHere("undefined prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  Result<Term> ParseBlank() {
+    // "_:" label
+    if (pos_ + 1 >= text_.size() || text_[pos_] != '_' ||
+        text_[pos_ + 1] != ':') {
+      return ErrorHere("expected blank node");
+    }
+    pos_ += 2;
+    std::string label;
+    while (!AtEnd() && IsNameChar(Peek())) label.push_back(Advance());
+    if (label.empty()) return ErrorHere("empty blank node label");
+    return Term::Blank(std::move(label));
+  }
+
+  Result<Term> ParseAnonBlank() {
+    ++pos_;  // '['
+    SkipWs();
+    if (AtEnd() || Peek() != ']') {
+      return ErrorHere("blank node property lists are not supported");
+    }
+    ++pos_;
+    return Term::Blank("anon" + std::to_string(anon_counter_++));
+  }
+
+  Result<Term> ParseStringLiteral() {
+    const char quote = Advance();
+    // Check for long quotes (""" / ''') — treat as unsupported for clarity.
+    if (pos_ + 1 < text_.size() && text_[pos_] == quote &&
+        text_[pos_ + 1] == quote) {
+      return ErrorHere("long (triple-quoted) literals are not supported");
+    }
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Advance();
+      if (c == '\\') {
+        if (AtEnd()) return ErrorHere("dangling escape in literal");
+        const char esc = Advance();
+        switch (esc) {
+          case 'n':
+            value.push_back('\n');
+            break;
+          case 'r':
+            value.push_back('\r');
+            break;
+          case 't':
+            value.push_back('\t');
+            break;
+          case '"':
+          case '\'':
+          case '\\':
+            value.push_back(esc);
+            break;
+          default:
+            return ErrorHere(std::string("unsupported escape '\\") + esc + "'");
+        }
+        continue;
+      }
+      if (c == '\n') ++line_;
+      value.push_back(c);
+    }
+    if (AtEnd()) return ErrorHere("unterminated string literal");
+    ++pos_;  // closing quote
+    // Optional @lang or ^^datatype.
+    if (!AtEnd() && Peek() == '@') {
+      ++pos_;
+      std::string lang;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        lang.push_back(Advance());
+      }
+      if (lang.empty()) return ErrorHere("empty language tag");
+      return Term::LangLiteral(std::move(value), std::move(lang));
+    }
+    if (pos_ + 1 < text_.size() && text_[pos_] == '^' &&
+        text_[pos_ + 1] == '^') {
+      pos_ += 2;
+      SkipWs();
+      if (!AtEnd() && Peek() == '<') {
+        RDFCUBE_ASSIGN_OR_RETURN(std::string dt, ParseIriRef());
+        return Term::TypedLiteral(std::move(value), std::move(dt));
+      }
+      RDFCUBE_ASSIGN_OR_RETURN(Term dt_term, ParsePrefixedName());
+      return Term::TypedLiteral(std::move(value), dt_term.value());
+    }
+    return Term::Literal(std::move(value));
+  }
+
+  Result<Term> ParseNumericLiteral() {
+    std::string num;
+    bool is_decimal = false;
+    bool is_double = false;
+    if (Peek() == '+' || Peek() == '-') num.push_back(Advance());
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        num.push_back(Advance());
+        continue;
+      }
+      if (c == '.') {
+        // '.' is the statement terminator unless followed by a digit.
+        const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : ' ';
+        if (!std::isdigit(static_cast<unsigned char>(next))) break;
+        is_decimal = true;
+        num.push_back(Advance());
+        continue;
+      }
+      if (c == 'e' || c == 'E') {
+        is_double = true;
+        num.push_back(Advance());
+        if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+          num.push_back(Advance());
+        }
+        continue;
+      }
+      break;
+    }
+    if (num.empty() || num == "+" || num == "-") {
+      return ErrorHere("malformed numeric literal");
+    }
+    std::string dt(is_double ? "http://www.w3.org/2001/XMLSchema#double"
+                   : is_decimal
+                       ? "http://www.w3.org/2001/XMLSchema#decimal"
+                       : "http://www.w3.org/2001/XMLSchema#integer");
+    return Term::TypedLiteral(std::move(num), std::move(dt));
+  }
+
+  std::string_view text_;
+  TripleStore* store_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t anon_counter_ = 0;
+  std::string base_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Status ParseTurtle(std::string_view text, TripleStore* store) {
+  Parser parser(text, store);
+  return parser.Run();
+}
+
+Status ParseTurtleFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTurtle(buf.str(), store);
+}
+
+}  // namespace rdf
+}  // namespace rdfcube

@@ -1,0 +1,41 @@
+// Turtle parser (W3C Turtle subset sufficient for QB / SKOS data).
+
+#ifndef RDFCUBE_RDF_TURTLE_PARSER_H_
+#define RDFCUBE_RDF_TURTLE_PARSER_H_
+
+#include <string_view>
+
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace rdf {
+
+/// \brief Parses Turtle text into a TripleStore.
+///
+/// Supported syntax:
+///  * `@prefix` / `@base` directives (and SPARQL-style `PREFIX` / `BASE`),
+///  * IRIs in angle brackets, prefixed names, and the `a` keyword,
+///  * predicate lists (`;`) and object lists (`,`),
+///  * string literals with `\"` escapes, `^^` datatypes, `@lang` tags,
+///  * numeric shorthand literals (integer / decimal / double),
+///  * boolean shorthand literals (`true` / `false`),
+///  * blank node labels (`_:b1`) and anonymous nodes `[]` (without property
+///    lists),
+///  * `#` comments.
+///
+/// Unsupported (rejected with Status::ParseError): collections `( ... )` and
+/// nested blank-node property lists `[ p o ]` — the paper's datasets do not
+/// use them.
+///
+/// Errors carry a line number. Parsing stops at the first error; triples
+/// already parsed remain in `store`.
+Status ParseTurtle(std::string_view text, TripleStore* store);
+
+/// Reads a file from disk and parses it with ParseTurtle.
+Status ParseTurtleFile(const std::string& path, TripleStore* store);
+
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_TURTLE_PARSER_H_

@@ -1,0 +1,88 @@
+#include "rdf/turtle_writer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace rdfcube {
+namespace rdf {
+
+std::string WriteNTriples(const TripleStore& store) {
+  std::string out;
+  const Dictionary& dict = store.dictionary();
+  for (const Triple& t : store.triples()) {
+    out += dict.Get(t.s).ToString();
+    out.push_back(' ');
+    out += dict.Get(t.p).ToString();
+    out.push_back(' ');
+    out += dict.Get(t.o).ToString();
+    out += " .\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Renders a term in Turtle syntax, compressing IRIs with the prefix table.
+std::string RenderTerm(
+    const Term& t,
+    const std::vector<std::pair<std::string, std::string>>& prefixes) {
+  if (t.IsIri()) {
+    for (const auto& [prefix, ns] : prefixes) {
+      if (StartsWith(t.value(), ns)) {
+        const std::string_view local(t.value().data() + ns.size(),
+                                     t.value().size() - ns.size());
+        // Only compress when the local part is a simple name.
+        bool simple = !local.empty();
+        for (char c : local) {
+          if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '-')) {
+            simple = false;
+            break;
+          }
+        }
+        if (simple) return prefix + ":" + std::string(local);
+      }
+    }
+  }
+  return t.ToString();
+}
+
+}  // namespace
+
+std::string WriteTurtle(
+    const TripleStore& store,
+    const std::vector<std::pair<std::string, std::string>>& prefixes) {
+  std::string out;
+  for (const auto& [prefix, ns] : prefixes) {
+    out += "@prefix " + prefix + ": <" + ns + "> .\n";
+  }
+  out.push_back('\n');
+
+  // Group triples by subject, preserving first-seen subject order.
+  const Dictionary& dict = store.dictionary();
+  std::vector<TermId> subject_order;
+  std::map<TermId, std::vector<Triple>> by_subject;
+  for (const Triple& t : store.triples()) {
+    auto [it, inserted] = by_subject.try_emplace(t.s);
+    if (inserted) subject_order.push_back(t.s);
+    it->second.push_back(t);
+  }
+  for (TermId s : subject_order) {
+    const auto& ts = by_subject[s];
+    out += RenderTerm(dict.Get(s), prefixes);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      out += (i == 0) ? " " : " ;\n    ";
+      out += RenderTerm(dict.Get(ts[i].p), prefixes);
+      out.push_back(' ');
+      out += RenderTerm(dict.Get(ts[i].o), prefixes);
+    }
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace rdfcube

@@ -1,0 +1,29 @@
+// Serializers: N-Triples (canonical) and Turtle (prefix-compressed).
+
+#ifndef RDFCUBE_RDF_TURTLE_WRITER_H_
+#define RDFCUBE_RDF_TURTLE_WRITER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace rdfcube {
+namespace rdf {
+
+/// Serializes the whole store as N-Triples, one triple per line, in
+/// insertion order. Round-trips through ParseTurtle.
+std::string WriteNTriples(const TripleStore& store);
+
+/// Serializes the store as Turtle, emitting @prefix directives for the given
+/// (prefix, namespace) pairs and grouping triples by subject with ';'
+/// predicate lists. Round-trips through ParseTurtle.
+std::string WriteTurtle(
+    const TripleStore& store,
+    const std::vector<std::pair<std::string, std::string>>& prefixes);
+
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_TURTLE_WRITER_H_

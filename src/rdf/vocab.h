@@ -1,0 +1,103 @@
+// Well-known vocabulary IRIs: RDF, RDFS, XSD, SKOS, the W3C Data Cube (QB)
+// vocabulary, and SDMX attribute terms used by the paper's datasets.
+
+#ifndef RDFCUBE_RDF_VOCAB_H_
+#define RDFCUBE_RDF_VOCAB_H_
+
+#include <string_view>
+
+namespace rdfcube {
+namespace rdf {
+namespace vocab {
+
+// --- Namespaces -------------------------------------------------------------
+inline constexpr std::string_view kRdfNs =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfsNs = "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr std::string_view kXsdNs = "http://www.w3.org/2001/XMLSchema#";
+inline constexpr std::string_view kSkosNs = "http://www.w3.org/2004/02/skos/core#";
+inline constexpr std::string_view kQbNs = "http://purl.org/linked-data/cube#";
+inline constexpr std::string_view kSdmxAttrNs =
+    "http://purl.org/linked-data/sdmx/2009/attribute#";
+
+// --- RDF / RDFS / XSD -------------------------------------------------------
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+
+// --- SKOS (code lists / hierarchies) ----------------------------------------
+inline constexpr std::string_view kSkosConcept =
+    "http://www.w3.org/2004/02/skos/core#Concept";
+inline constexpr std::string_view kSkosConceptScheme =
+    "http://www.w3.org/2004/02/skos/core#ConceptScheme";
+inline constexpr std::string_view kSkosInScheme =
+    "http://www.w3.org/2004/02/skos/core#inScheme";
+inline constexpr std::string_view kSkosBroader =
+    "http://www.w3.org/2004/02/skos/core#broader";
+inline constexpr std::string_view kSkosBroaderTransitive =
+    "http://www.w3.org/2004/02/skos/core#broaderTransitive";
+inline constexpr std::string_view kSkosNarrower =
+    "http://www.w3.org/2004/02/skos/core#narrower";
+inline constexpr std::string_view kSkosHasTopConcept =
+    "http://www.w3.org/2004/02/skos/core#hasTopConcept";
+inline constexpr std::string_view kSkosTopConceptOf =
+    "http://www.w3.org/2004/02/skos/core#topConceptOf";
+
+// --- Data Cube vocabulary (QB) ----------------------------------------------
+inline constexpr std::string_view kQbObservation =
+    "http://purl.org/linked-data/cube#Observation";
+inline constexpr std::string_view kQbDataSet =
+    "http://purl.org/linked-data/cube#DataSet";
+inline constexpr std::string_view kQbDataSetProp =
+    "http://purl.org/linked-data/cube#dataSet";
+inline constexpr std::string_view kQbStructure =
+    "http://purl.org/linked-data/cube#structure";
+inline constexpr std::string_view kQbDsd =
+    "http://purl.org/linked-data/cube#DataStructureDefinition";
+inline constexpr std::string_view kQbComponent =
+    "http://purl.org/linked-data/cube#component";
+inline constexpr std::string_view kQbComponentSpec =
+    "http://purl.org/linked-data/cube#ComponentSpecification";
+inline constexpr std::string_view kQbDimension =
+    "http://purl.org/linked-data/cube#dimension";
+inline constexpr std::string_view kQbMeasure =
+    "http://purl.org/linked-data/cube#measure";
+inline constexpr std::string_view kQbAttribute =
+    "http://purl.org/linked-data/cube#attribute";
+inline constexpr std::string_view kQbDimensionProperty =
+    "http://purl.org/linked-data/cube#DimensionProperty";
+inline constexpr std::string_view kQbMeasureProperty =
+    "http://purl.org/linked-data/cube#MeasureProperty";
+inline constexpr std::string_view kQbAttributeProperty =
+    "http://purl.org/linked-data/cube#AttributeProperty";
+inline constexpr std::string_view kQbCodeList =
+    "http://purl.org/linked-data/cube#codeList";
+inline constexpr std::string_view kQbSlice =
+    "http://purl.org/linked-data/cube#Slice";
+inline constexpr std::string_view kQbSliceProp =
+    "http://purl.org/linked-data/cube#slice";
+inline constexpr std::string_view kQbObservationProp =
+    "http://purl.org/linked-data/cube#observation";
+inline constexpr std::string_view kQbSliceStructure =
+    "http://purl.org/linked-data/cube#sliceStructure";
+inline constexpr std::string_view kQbSliceKey =
+    "http://purl.org/linked-data/cube#SliceKey";
+inline constexpr std::string_view kQbComponentProperty =
+    "http://purl.org/linked-data/cube#componentProperty";
+
+// --- SDMX -------------------------------------------------------------------
+inline constexpr std::string_view kSdmxUnitMeasure =
+    "http://purl.org/linked-data/sdmx/2009/attribute#unitMeasure";
+
+}  // namespace vocab
+}  // namespace rdf
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RDF_VOCAB_H_

@@ -1,0 +1,56 @@
+// Umbrella header: the full public API of the rdfcube library.
+//
+// Quick tour (see examples/quickstart.cpp for runnable code):
+//   1. Build or load a corpus:
+//        qb::CorpusBuilder / qb::LoadCorpusFromRdf / qb::ImportCsvDataset /
+//        datagen::GenerateRealWorldCorpus.
+//   2. Compute relationships:
+//        core::ComputeRelationships(obs, options, &sink)  — baseline,
+//        clustering, or cubeMasking (the paper's three methods).
+//   3. Consume results through a core::RelationshipSink.
+//   4. Extras: core::ComputeSkyline, core::IncrementalEngine,
+//      core::RunCubeMaskingParallel, sparql::/rules:: comparison engines.
+
+#ifndef RDFCUBE_RDFCUBE_H_
+#define RDFCUBE_RDFCUBE_H_
+
+#include "align/matcher.h"                 // IWYU pragma: export
+#include "core/aggregate.h"                // IWYU pragma: export
+#include "core/baseline.h"                 // IWYU pragma: export
+#include "core/containment_matrix.h"       // IWYU pragma: export
+#include "core/cube_masking.h"             // IWYU pragma: export
+#include "core/distributed.h"              // IWYU pragma: export
+#include "core/explorer.h"                 // IWYU pragma: export
+#include "core/hybrid.h"                   // IWYU pragma: export
+#include "core/clustering_method.h"        // IWYU pragma: export
+#include "core/engine.h"                   // IWYU pragma: export
+#include "core/incremental.h"              // IWYU pragma: export
+#include "core/lattice.h"                  // IWYU pragma: export
+#include "core/occurrence_matrix.h"        // IWYU pragma: export
+#include "core/parallel_masking.h"         // IWYU pragma: export
+#include "core/relationship.h"             // IWYU pragma: export
+#include "core/relationship_rdf.h"         // IWYU pragma: export
+#include "core/sparse_matrix.h"            // IWYU pragma: export
+#include "core/skyline.h"                  // IWYU pragma: export
+#include "datagen/perturb.h"               // IWYU pragma: export
+#include "datagen/realworld.h"             // IWYU pragma: export
+#include "datagen/synthetic.h"             // IWYU pragma: export
+#include "hierarchy/code_list.h"           // IWYU pragma: export
+#include "hierarchy/skos_loader.h"         // IWYU pragma: export
+#include "qb/corpus.h"                     // IWYU pragma: export
+#include "qb/csv_importer.h"               // IWYU pragma: export
+#include "qb/exporter.h"                   // IWYU pragma: export
+#include "qb/loader.h"                     // IWYU pragma: export
+#include "qb/slice.h"                      // IWYU pragma: export
+#include "qb/validate.h"                   // IWYU pragma: export
+#include "rdf/triple_store.h"              // IWYU pragma: export
+#include "rdf/turtle_parser.h"             // IWYU pragma: export
+#include "rdf/turtle_writer.h"             // IWYU pragma: export
+#include "rdf/vocab.h"                     // IWYU pragma: export
+#include "rules/paper_rules.h"             // IWYU pragma: export
+#include "sparql/engine.h"                 // IWYU pragma: export
+#include "sparql/paper_queries.h"          // IWYU pragma: export
+#include "util/result.h"                   // IWYU pragma: export
+#include "util/status.h"                   // IWYU pragma: export
+
+#endif  // RDFCUBE_RDFCUBE_H_

@@ -1,0 +1,179 @@
+#include "rules/engine.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace rdfcube {
+namespace rules {
+
+namespace {
+
+using rdf::TermId;
+using rdf::kNoTerm;
+
+class Matcher {
+ public:
+  Matcher(rdf::TripleStore* store, const ChainOptions& options)
+      : store_(store), options_(options) {}
+
+  bool timed_out() const { return timed_out_; }
+
+  // Evaluates `group` and calls `emit` for each solution (over current env).
+  // Returns false if enumeration was cut (timeout or emit said stop). The
+  // callback is type-erased so recursive NAF nesting doesn't blow up
+  // template instantiation.
+  bool EvalGroup(const RuleGroup& group, std::size_t pi,
+                 const std::function<bool()>& emit) {
+    if (timed_out_) return false;
+    if (pi == group.patterns.size()) {
+      for (const NotEqual& ne : group.not_equals) {
+        const TermId a = Get(ne.lhs);
+        const TermId b = Get(ne.rhs);
+        if (a != kNoTerm && b != kNoTerm && a == b) return true;
+      }
+      for (const RuleGroup& neg : group.negations) {
+        bool exists = false;
+        EvalGroup(neg, 0, [&exists] {
+          exists = true;
+          return false;
+        });
+        if (timed_out_) return false;
+        if (exists) return true;  // NAF: a witness kills this solution
+      }
+      return emit();
+    }
+    const RulePattern& pattern = group.patterns[pi];
+    bool absent = false;
+    const TermId s = Resolve(pattern.s, &absent);
+    const TermId p = Resolve(pattern.p, &absent);
+    const TermId o = Resolve(pattern.o, &absent);
+    if (absent) return true;
+
+    bool keep_going = true;
+    store_->Match(s, p, o, [&](const rdf::Triple& t) {
+      if (Expired()) {
+        keep_going = false;
+        return false;
+      }
+      std::vector<std::string> bound;
+      bool ok = true;
+      if (pattern.s.is_var && s == kNoTerm) ok = Bind(pattern.s.var, t.s, &bound);
+      if (ok && pattern.p.is_var && p == kNoTerm) {
+        ok = Bind(pattern.p.var, t.p, &bound);
+      }
+      if (ok && pattern.o.is_var && o == kNoTerm) {
+        ok = Bind(pattern.o.var, t.o, &bound);
+      }
+      if (ok) keep_going = EvalGroup(group, pi + 1, emit);
+      for (const std::string& var : bound) env_.erase(var);
+      return keep_going;
+    });
+    return keep_going;
+  }
+
+  // Instantiates the head pattern under the current environment. Constants
+  // are interned: head predicates/objects (derived vocabulary) may be new to
+  // the store.
+  bool InstantiateHead(const RulePattern& head, rdf::Triple* out) {
+    const TermId s = ResolveInterning(head.s);
+    const TermId p = ResolveInterning(head.p);
+    const TermId o = ResolveInterning(head.o);
+    if (s == kNoTerm || p == kNoTerm || o == kNoTerm) return false;
+    *out = rdf::Triple{s, p, o};
+    return true;
+  }
+
+ private:
+  TermId Get(const std::string& var) const {
+    auto it = env_.find(var);
+    return it == env_.end() ? kNoTerm : it->second;
+  }
+
+  bool Bind(const std::string& var, TermId value,
+            std::vector<std::string>* log) {
+    auto [it, inserted] = env_.emplace(var, value);
+    if (!inserted) return it->second == value;
+    log->push_back(var);
+    return true;
+  }
+
+  TermId Resolve(const RTerm& t, bool* absent) const {
+    if (t.is_var) return Get(t.var);
+    auto id = store_->dictionary().Find(t.term);
+    if (!id.has_value()) {
+      *absent = true;
+      return kNoTerm;
+    }
+    return *id;
+  }
+
+  // Head constants may be new to the store (derived predicates): intern them.
+  TermId ResolveInterning(const RTerm& t) {
+    if (t.is_var) return Get(t.var);
+    return store_->dictionary().Intern(t.term);
+  }
+
+  bool Expired() {
+    if (++steps_ % 2048 == 0 && options_.deadline.Expired()) timed_out_ = true;
+    return timed_out_;
+  }
+
+  rdf::TripleStore* store_;
+  const ChainOptions& options_;
+  std::unordered_map<std::string, TermId> env_;
+  std::size_t steps_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace
+
+Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
+                                      rdf::TripleStore* store,
+                                      const ChainOptions& options) {
+  ChainStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats.rounds;
+    if (options.deadline.Expired()) {
+      return Status::TimedOut("forward chaining timed out");
+    }
+    for (const Rule& rule : rules) {
+      Matcher matcher(store, options);
+      // Collect derivations first; inserting mid-enumeration would
+      // invalidate the store's lazily built indexes.
+      std::vector<rdf::Triple> derived;
+      bool exhausted = false;
+      matcher.EvalGroup(rule.body, 0, [&]() -> bool {
+        rdf::Triple t{};
+        if (matcher.InstantiateHead(rule.head, &t)) {
+          derived.push_back(t);
+          if (options.max_derived != 0 &&
+              stats.derived + derived.size() > options.max_derived) {
+            exhausted = true;
+            return false;
+          }
+        }
+        return true;
+      });
+      if (matcher.timed_out()) {
+        return Status::TimedOut("forward chaining timed out in rule " +
+                                rule.name);
+      }
+      if (exhausted) {
+        return Status::ResourceExhausted(
+            "forward chaining exceeded max_derived in rule " + rule.name);
+      }
+      for (const rdf::Triple& t : derived) {
+        if (store->InsertEncoded(t)) {
+          ++stats.derived;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace rules
+}  // namespace rdfcube

@@ -1,0 +1,44 @@
+// Naive fixpoint evaluation of forward rules over a TripleStore.
+
+#ifndef RDFCUBE_RULES_ENGINE_H_
+#define RDFCUBE_RULES_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "rules/rule.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace rules {
+
+struct ChainOptions {
+  Deadline deadline;
+  /// Abort with ResourceExhausted beyond this many derived triples
+  /// (models the paper's o/m outcomes); 0 = unlimited.
+  std::size_t max_derived = 0;
+};
+
+struct ChainStats {
+  std::size_t rounds = 0;
+  std::size_t derived = 0;
+};
+
+/// \brief Runs the rules to fixpoint over `store`, inserting derived triples
+/// into the same store (so rules chain, e.g. the broaderTransitive closure).
+///
+/// Evaluation is deliberately the generic, naive strategy — every rule is
+/// re-evaluated each round until no rule derives a new triple — because the
+/// point of this module is to reproduce the scaling behaviour of a generic
+/// reasoner (§4.1: rule methods "either hit the time-out limits or consume
+/// all memory resources").
+Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
+                                      rdf::TripleStore* store,
+                                      const ChainOptions& options = {});
+
+}  // namespace rules
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RULES_ENGINE_H_

@@ -1,0 +1,156 @@
+#include "rules/paper_rules.h"
+
+#include "rdf/vocab.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace rules {
+
+namespace {
+
+namespace vocab = rdf::vocab;
+
+RulePattern P(RTerm s, RTerm p, RTerm o) {
+  return RulePattern{std::move(s), std::move(p), std::move(o)};
+}
+
+RTerm V(const char* name) { return RTerm::Var(name); }
+RTerm I(std::string_view iri) { return RTerm::Iri(std::string(iri)); }
+
+}  // namespace
+
+std::vector<Rule> PaperRules() {
+  std::vector<Rule> rules;
+
+  // --- Closure: broader => broaderTransitive; transitivity. ----------------
+  {
+    Rule r;
+    r.name = "broader-base";
+    r.body.patterns.push_back(
+        P(V("x"), I(vocab::kSkosBroader), V("y")));
+    r.head = P(V("x"), I(vocab::kSkosBroaderTransitive), V("y"));
+    rules.push_back(std::move(r));
+  }
+  {
+    Rule r;
+    r.name = "broader-transitive";
+    r.body.patterns.push_back(
+        P(V("x"), I(vocab::kSkosBroaderTransitive), V("y")));
+    r.body.patterns.push_back(
+        P(V("y"), I(vocab::kSkosBroaderTransitive), V("z")));
+    r.head = P(V("x"), I(vocab::kSkosBroaderTransitive), V("z"));
+    rules.push_back(std::move(r));
+  }
+
+  // --- Partial containment: ∃ shared dimension with ancestor value. --------
+  {
+    Rule r;
+    r.name = "partial-containment";
+    r.body.patterns.push_back(P(V("o1"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.patterns.push_back(P(V("o2"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.patterns.push_back(P(V("o1"), V("d"), V("v1")));
+    r.body.patterns.push_back(P(V("o2"), V("d"), V("v2")));
+    // skos:broader points child -> parent: v1 is an ancestor of v2.
+    r.body.patterns.push_back(
+        P(V("v2"), I(vocab::kSkosBroaderTransitive), V("v1")));
+    r.body.not_equals.push_back({"o1", "o2"});
+    r.head = P(V("o1"), I(kPartialContainmentIri), V("o2"));
+    rules.push_back(std::move(r));
+  }
+
+  // --- Full containment: ∃ strict + ∀ ancestor-or-equal (nested NAF). ------
+  {
+    Rule r;
+    r.name = "full-containment";
+    r.body.patterns.push_back(P(V("o1"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.patterns.push_back(P(V("o2"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.patterns.push_back(P(V("o1"), V("da"), V("va")));
+    r.body.patterns.push_back(P(V("o2"), V("da"), V("vb")));
+    r.body.patterns.push_back(
+        P(V("vb"), I(vocab::kSkosBroaderTransitive), V("va")));
+    r.body.not_equals.push_back({"o1", "o2"});
+    // NOT (some shared dimension d where v1 does not contain v2):
+    RuleGroup violation;
+    violation.patterns.push_back(P(V("d"), I(vocab::kRdfType),
+                                   I(vocab::kQbDimensionProperty)));
+    violation.patterns.push_back(P(V("o1"), V("d"), V("v1")));
+    violation.patterns.push_back(P(V("o2"), V("d"), V("v2")));
+    violation.not_equals.push_back({"v1", "v2"});
+    RuleGroup contains;
+    contains.patterns.push_back(
+        P(V("v2"), I(vocab::kSkosBroaderTransitive), V("v1")));
+    violation.negations.push_back(std::move(contains));
+    r.body.negations.push_back(std::move(violation));
+    r.head = P(V("o1"), I(kFullContainmentIri), V("o2"));
+    rules.push_back(std::move(r));
+  }
+
+  // --- Complementarity: no shared dimension with differing values. ---------
+  {
+    Rule r;
+    r.name = "complementarity";
+    r.body.patterns.push_back(P(V("o1"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.patterns.push_back(P(V("o2"), I(vocab::kRdfType),
+                                I(vocab::kQbObservation)));
+    r.body.not_equals.push_back({"o1", "o2"});
+    RuleGroup differing;
+    differing.patterns.push_back(P(V("d"), I(vocab::kRdfType),
+                                   I(vocab::kQbDimensionProperty)));
+    differing.patterns.push_back(P(V("o1"), V("d"), V("v1")));
+    differing.patterns.push_back(P(V("o2"), V("d"), V("v2")));
+    differing.not_equals.push_back({"v1", "v2"});
+    r.body.negations.push_back(std::move(differing));
+    r.head = P(V("o1"), I(kComplementarityIri), V("o2"));
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
+                                         double timeout_seconds,
+                                         std::size_t max_derived) {
+  ChainOptions options;
+  if (timeout_seconds > 0) options.deadline = Deadline(timeout_seconds);
+  options.max_derived = max_derived;
+  Stopwatch watch;
+  RuleRunResult result;
+  auto stats = RunForwardChaining(PaperRules(), store, options);
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  if (!stats.ok()) {
+    if (stats.status().IsTimedOut()) {
+      result.timed_out = true;
+      return result;
+    }
+    if (stats.status().IsResourceExhausted()) {
+      result.out_of_memory = true;
+      return result;
+    }
+    return stats.status();
+  }
+  result.stats = *stats;
+
+  const rdf::Dictionary& dict = store->dictionary();
+  auto extract = [&](const char* predicate,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+    auto pred = dict.Find(rdf::Term::Iri(predicate));
+    if (!pred.has_value()) return;
+    store->Match(rdf::kNoTerm, *pred, rdf::kNoTerm,
+                 [&](const rdf::Triple& t) {
+                   out->emplace_back(dict.Get(t.s).value(),
+                                     dict.Get(t.o).value());
+                   return true;
+                 });
+  };
+  extract(kFullContainmentIri, &result.full);
+  extract(kPartialContainmentIri, &result.partial);
+  extract(kComplementarityIri, &result.complementary);
+  return result;
+}
+
+}  // namespace rules
+}  // namespace rdfcube

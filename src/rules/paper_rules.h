@@ -1,0 +1,58 @@
+// The paper's three forward-chaining rules (§4, "Rule-based") plus the
+// skos:broaderTransitive closure rules they depend on, and a driver that
+// runs them over an RDF corpus export.
+
+#ifndef RDFCUBE_RULES_PAPER_RULES_H_
+#define RDFCUBE_RULES_PAPER_RULES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "rules/engine.h"
+#include "rules/rule.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace rules {
+
+/// Derived-predicate IRIs asserted by the rules.
+inline constexpr const char kFullContainmentIri[] =
+    "urn:rdfcube:derived:fullContainment";
+inline constexpr const char kPartialContainmentIri[] =
+    "urn:rdfcube:derived:partialContainment";
+inline constexpr const char kComplementarityIri[] =
+    "urn:rdfcube:derived:complementarity";
+
+/// \brief The rule set:
+///  * broader -> broaderTransitive, and its transitivity (the closure the
+///    paper notes makes the search space explode),
+///  * partial containment: some shared dimension with an ancestor value,
+///  * full containment: existential + universal (via nested NAF groups),
+///  * complementarity: no shared dimension with differing values.
+/// Like the SPARQL variant, the schema conditions are relaxed and the inner
+/// groups range over qb:DimensionProperty predicates.
+std::vector<Rule> PaperRules();
+
+/// \brief Outcome of a rule-based relationship computation.
+struct RuleRunResult {
+  std::vector<std::pair<std::string, std::string>> full;
+  std::vector<std::pair<std::string, std::string>> partial;
+  std::vector<std::pair<std::string, std::string>> complementary;
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+  bool out_of_memory = false;
+  ChainStats stats;
+};
+
+/// Runs PaperRules() to fixpoint on a copy-free in-place basis (derived
+/// triples are inserted into `store`) and extracts the derived pairs.
+Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
+                                         double timeout_seconds,
+                                         std::size_t max_derived = 0);
+
+}  // namespace rules
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RULES_PAPER_RULES_H_

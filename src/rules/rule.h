@@ -1,0 +1,64 @@
+// Generic forward-chaining rule engine in the style of the Jena generic rule
+// reasoner, with negation-as-failure groups to emulate the universal
+// quantification the paper's rules need (§4, "Rule-based").
+
+#ifndef RDFCUBE_RULES_RULE_H_
+#define RDFCUBE_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfcube {
+namespace rules {
+
+/// \brief A rule term: variable or constant.
+struct RTerm {
+  bool is_var = false;
+  std::string var;   // without '?'
+  rdf::Term term;    // valid when !is_var
+
+  static RTerm Var(std::string name) {
+    RTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static RTerm Iri(std::string iri) {
+    RTerm t;
+    t.term = rdf::Term::Iri(std::move(iri));
+    return t;
+  }
+};
+
+/// \brief Triple pattern in a rule body or head.
+struct RulePattern {
+  RTerm s, p, o;
+};
+
+/// \brief notEqual(x, y) builtin (the only one the paper's rules need).
+struct NotEqual {
+  std::string lhs, rhs;
+};
+
+/// \brief A conjunctive group with recursive negation:
+/// matches when all patterns match, all notEqual builtins hold, and none of
+/// the negated subgroups has a solution (negation as failure).
+struct RuleGroup {
+  std::vector<RulePattern> patterns;
+  std::vector<NotEqual> not_equals;
+  std::vector<RuleGroup> negations;
+};
+
+/// \brief body => head.
+struct Rule {
+  std::string name;
+  RuleGroup body;
+  RulePattern head;
+};
+
+}  // namespace rules
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_RULES_RULE_H_

@@ -1,0 +1,86 @@
+// AST for the SPARQL subset needed by the paper's comparison approach (§4):
+// BGPs with variable predicates, property paths over skos:broader(Transitive),
+// FILTER(?a != ?b), and (nested) FILTER NOT EXISTS.
+
+#ifndef RDFCUBE_SPARQL_AST_H_
+#define RDFCUBE_SPARQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfcube {
+namespace sparql {
+
+/// \brief A subject/predicate/object position: variable or constant term.
+struct NodeRef {
+  bool is_var = false;
+  std::string var;   // without '?'
+  rdf::Term term;    // valid when !is_var
+
+  static NodeRef Var(std::string name) {
+    NodeRef n;
+    n.is_var = true;
+    n.var = std::move(name);
+    return n;
+  }
+  static NodeRef Const(rdf::Term t) {
+    NodeRef n;
+    n.term = std::move(t);
+    return n;
+  }
+};
+
+/// \brief One step of a property path: an IRI with an optional modifier.
+struct PathStep {
+  enum class Mod { kOne, kStar, kPlus };
+  std::string predicate_iri;
+  Mod mod = Mod::kOne;
+};
+
+/// \brief A sequence path (steps joined with '/'). Empty means "plain
+/// predicate" (the pattern's `p` NodeRef applies instead).
+using PropertyPath = std::vector<PathStep>;
+
+/// \brief Triple pattern; when `path` is non-empty it replaces `p`.
+struct TriplePattern {
+  NodeRef s, p, o;
+  PropertyPath path;
+};
+
+struct GroupPattern;
+
+/// \brief FILTER(?a != ?b) or FILTER NOT EXISTS { ... }.
+struct Filter {
+  enum class Kind { kNotEquals, kNotExists };
+  Kind kind = Kind::kNotEquals;
+  std::string lhs_var, rhs_var;          // kNotEquals
+  std::unique_ptr<GroupPattern> group;   // kNotExists
+};
+
+/// \brief A brace-delimited group: triple patterns plus filters, evaluated
+/// as their conjunction.
+struct GroupPattern {
+  std::vector<TriplePattern> patterns;
+  std::vector<Filter> filters;
+};
+
+/// \brief SELECT query.
+///
+/// When `union_groups` is non-empty the WHERE clause was written as
+/// `{ G1 } UNION { G2 } ...` and `where` is unused: the solutions are the
+/// union of the branches' solutions. `limit` == 0 means unlimited.
+struct Query {
+  bool distinct = false;
+  std::vector<std::string> select_vars;  // without '?'
+  GroupPattern where;
+  std::vector<GroupPattern> union_groups;
+  std::size_t limit = 0;
+};
+
+}  // namespace sparql
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SPARQL_AST_H_

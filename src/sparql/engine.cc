@@ -1,0 +1,323 @@
+#include "sparql/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sparql/parser.h"
+
+namespace rdfcube {
+namespace sparql {
+
+namespace {
+
+using rdf::TermId;
+using rdf::kNoTerm;
+
+// Variable environment: name -> bound TermId (kNoTerm = unbound).
+class Env {
+ public:
+  TermId Get(const std::string& var) const {
+    auto it = vars_.find(var);
+    return it == vars_.end() ? kNoTerm : it->second;
+  }
+  // Binds var; returns false on conflict with an existing binding.
+  bool Bind(const std::string& var, TermId value, std::vector<std::string>* log) {
+    auto [it, inserted] = vars_.emplace(var, value);
+    if (!inserted) return it->second == value;
+    log->push_back(var);
+    return true;
+  }
+  void Unbind(const std::string& var) { vars_.erase(var); }
+
+ private:
+  std::unordered_map<std::string, TermId> vars_;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const rdf::TripleStore& store, const EvalOptions& options)
+      : store_(store), options_(options) {}
+
+  Status Run(const GroupPattern& group, const std::vector<std::string>& project,
+             bool distinct, std::vector<Row>* out) {
+    if (options_.deadline.Expired()) {
+      return Status::TimedOut("sparql evaluation timed out");
+    }
+    Status status;
+    std::unordered_set<std::string> seen;
+    const Status eval_status = EvalGroup(group, 0, 0, [&]() -> bool {
+      Row row;
+      row.reserve(project.size());
+      std::string key;
+      for (const std::string& var : project) {
+        const TermId id = env_.Get(var);
+        row.push_back(id);
+        key += std::to_string(id);
+        key.push_back('|');
+      }
+      if (distinct && !seen.insert(key).second) return true;
+      out->push_back(std::move(row));
+      if (options_.max_rows != 0 && out->size() > options_.max_rows) {
+        status = Status::ResourceExhausted(
+            "sparql result set exceeded max_rows");
+        return false;
+      }
+      return true;
+    });
+    if (!eval_status.ok()) return eval_status;
+    return status;
+  }
+
+ private:
+  // Resolves a NodeRef under the current environment. Returns kNoTerm for
+  // unbound variables and for constants absent from the dictionary (in which
+  // case *absent is set: no triple can match a term the store has never seen).
+  TermId Resolve(const NodeRef& n, bool* absent) const {
+    if (n.is_var) return env_.Get(n.var);
+    auto id = store_.dictionary().Find(n.term);
+    if (!id.has_value()) {
+      *absent = true;
+      return kNoTerm;
+    }
+    return *id;
+  }
+
+  // Cooperative deadline check, called per candidate triple.
+  bool Expired() {
+    if (++steps_ % 2048 == 0 && options_.deadline.Expired()) {
+      timed_out_ = true;
+    }
+    return timed_out_;
+  }
+
+  // Evaluates group patterns[pi...] then filters; calls `emit` per solution.
+  // `emit` returns false to stop enumeration. A type-erased callback (not a
+  // template) so recursive NOT EXISTS nesting doesn't explode instantiations.
+  Status EvalGroup(const GroupPattern& group, std::size_t pi,
+                   std::size_t depth, const std::function<bool()>& emit) {
+    if (timed_out_) return Status::TimedOut("sparql evaluation timed out");
+    if (pi == group.patterns.size()) {
+      // All triple patterns matched; apply filters.
+      for (const Filter& f : group.filters) {
+        if (f.kind == Filter::Kind::kNotEquals) {
+          const TermId a = env_.Get(f.lhs_var);
+          const TermId b = env_.Get(f.rhs_var);
+          if (a != kNoTerm && b != kNoTerm && a == b) return Status::OK();
+        } else {
+          bool exists = false;
+          // The witness search sets stop_ to cut enumeration; that must not
+          // leak into the outer evaluation.
+          const bool saved_stop = stop_;
+          RDFCUBE_RETURN_IF_ERROR(
+              EvalGroup(*f.group, 0, depth + 1, [&exists]() -> bool {
+                exists = true;
+                return false;  // one witness suffices
+              }));
+          stop_ = saved_stop;
+          if (exists) return Status::OK();
+        }
+      }
+      if (!emit()) stop_ = true;
+      return Status::OK();
+    }
+
+    const TriplePattern& tp = group.patterns[pi];
+    if (!tp.path.empty()) {
+      return EvalPath(group, pi, depth, emit);
+    }
+
+    bool absent = false;
+    const TermId s = Resolve(tp.s, &absent);
+    const TermId p = Resolve(tp.p, &absent);
+    const TermId o = Resolve(tp.o, &absent);
+    if (absent) return Status::OK();
+
+    Status inner;
+    store_.Match(s, p, o, [&](const rdf::Triple& t) {
+      if (Expired() || stop_) return false;
+      std::vector<std::string> bound;
+      bool ok = true;
+      if (tp.s.is_var && s == kNoTerm) ok = env_.Bind(tp.s.var, t.s, &bound);
+      if (ok && tp.p.is_var && p == kNoTerm) {
+        ok = env_.Bind(tp.p.var, t.p, &bound);
+      }
+      if (ok && tp.o.is_var && o == kNoTerm) {
+        ok = env_.Bind(tp.o.var, t.o, &bound);
+      }
+      if (ok) {
+        inner = EvalGroup(group, pi + 1, depth, emit);
+      }
+      for (const std::string& var : bound) env_.Unbind(var);
+      return inner.ok() && !stop_ && !timed_out_;
+    });
+    if (timed_out_) return Status::TimedOut("sparql evaluation timed out");
+    return inner;
+  }
+
+  // Expands `frontier` by one path step (single predicate application).
+  void StepForward(TermId pred, const std::unordered_set<TermId>& frontier,
+                   std::unordered_set<TermId>* out) {
+    for (TermId node : frontier) {
+      store_.Match(node, pred, kNoTerm, [&](const rdf::Triple& t) {
+        out->insert(t.o);
+        return true;
+      });
+    }
+  }
+
+  // All nodes reachable from `start` via the path (sequence of modified
+  // steps). Star = reflexive-transitive on that step; plus = transitive.
+  std::unordered_set<TermId> PathTargets(TermId start,
+                                         const PropertyPath& path) {
+    std::unordered_set<TermId> current = {start};
+    for (const PathStep& step : path) {
+      auto pred_opt = store_.dictionary().Find(
+          rdf::Term::Iri(step.predicate_iri));
+      if (!pred_opt.has_value()) {
+        if (step.mod == PathStep::Mod::kOne ||
+            step.mod == PathStep::Mod::kPlus) {
+          return {};
+        }
+        continue;  // star over a missing predicate: identity
+      }
+      const TermId pred = *pred_opt;
+      std::unordered_set<TermId> next;
+      if (step.mod == PathStep::Mod::kOne) {
+        StepForward(pred, current, &next);
+      } else {
+        // BFS closure; star keeps the sources.
+        std::unordered_set<TermId> visited =
+            step.mod == PathStep::Mod::kStar ? current
+                                             : std::unordered_set<TermId>{};
+        std::unordered_set<TermId> frontier = current;
+        while (!frontier.empty()) {
+          std::unordered_set<TermId> expanded;
+          StepForward(pred, frontier, &expanded);
+          std::unordered_set<TermId> fresh;
+          for (TermId n : expanded) {
+            if (visited.insert(n).second) fresh.insert(n);
+          }
+          frontier.swap(fresh);
+        }
+        next = std::move(visited);
+        if (step.mod == PathStep::Mod::kPlus) {
+          // Plus: exclude pure sources unless re-reached. `visited` started
+          // empty, so it already only holds reached nodes.
+        }
+      }
+      current.swap(next);
+    }
+    return current;
+  }
+
+  // Path pattern evaluation: requires s bound or constant (the paper's
+  // queries always bind ?v1 through a preceding pattern); falls back to
+  // enumerating all subjects of the first step otherwise.
+  Status EvalPath(const GroupPattern& group, std::size_t pi, std::size_t depth,
+                  const std::function<bool()>& emit) {
+    const TriplePattern& tp = group.patterns[pi];
+    bool absent = false;
+    const TermId s = Resolve(tp.s, &absent);
+    const TermId o = Resolve(tp.o, &absent);
+    if (absent) return Status::OK();
+
+    std::vector<TermId> starts;
+    if (s != kNoTerm) {
+      starts.push_back(s);
+    } else {
+      // Enumerate candidate subjects: every subject of the first predicate.
+      auto pred_opt = store_.dictionary().Find(
+          rdf::Term::Iri(tp.path.front().predicate_iri));
+      if (!pred_opt.has_value()) return Status::OK();
+      std::unordered_set<TermId> subjects;
+      store_.Match(kNoTerm, *pred_opt, kNoTerm, [&](const rdf::Triple& t) {
+        subjects.insert(t.s);
+        return true;
+      });
+      starts.assign(subjects.begin(), subjects.end());
+    }
+
+    Status inner;
+    for (TermId start : starts) {
+      if (Expired() || stop_) break;
+      const std::unordered_set<TermId> targets = PathTargets(start, tp.path);
+      for (TermId target : targets) {
+        if (Expired() || stop_) break;
+        if (o != kNoTerm && o != target) continue;
+        std::vector<std::string> bound;
+        bool ok = true;
+        if (tp.s.is_var && s == kNoTerm) {
+          ok = env_.Bind(tp.s.var, start, &bound);
+        }
+        if (ok && tp.o.is_var && o == kNoTerm) {
+          ok = env_.Bind(tp.o.var, target, &bound);
+        }
+        if (ok) inner = EvalGroup(group, pi + 1, depth, emit);
+        for (const std::string& var : bound) env_.Unbind(var);
+        if (!inner.ok()) return inner;
+      }
+    }
+    if (timed_out_) return Status::TimedOut("sparql evaluation timed out");
+    return inner;
+  }
+
+  const rdf::TripleStore& store_;
+  const EvalOptions& options_;
+  Env env_;
+  std::size_t steps_ = 0;
+  bool timed_out_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
+                                  const Query& query,
+                                  const EvalOptions& options) {
+  std::vector<Row> rows;
+  if (query.union_groups.empty()) {
+    Evaluator evaluator(store, options);
+    RDFCUBE_RETURN_IF_ERROR(
+        evaluator.Run(query.where, query.select_vars, query.distinct, &rows));
+  } else {
+    // UNION: concatenate branch solutions; DISTINCT is applied across
+    // branches afterwards.
+    for (const GroupPattern& branch : query.union_groups) {
+      Evaluator evaluator(store, options);
+      std::vector<Row> branch_rows;
+      RDFCUBE_RETURN_IF_ERROR(evaluator.Run(branch, query.select_vars,
+                                            /*distinct=*/false, &branch_rows));
+      rows.insert(rows.end(), branch_rows.begin(), branch_rows.end());
+    }
+    if (query.distinct) {
+      std::unordered_set<std::string> seen;
+      std::vector<Row> unique;
+      for (Row& row : rows) {
+        std::string key;
+        for (rdf::TermId id : row) {
+          key += std::to_string(id);
+          key.push_back('|');
+        }
+        if (seen.insert(key).second) unique.push_back(std::move(row));
+      }
+      rows.swap(unique);
+    }
+  }
+  if (query.limit != 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> EvaluateText(const rdf::TripleStore& store,
+                                      std::string_view query_text,
+                                      const EvalOptions& options) {
+  RDFCUBE_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
+  return Evaluate(store, query, options);
+}
+
+}  // namespace sparql
+}  // namespace rdfcube

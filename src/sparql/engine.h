@@ -1,0 +1,51 @@
+// Evaluator for the SPARQL subset: nested-loop BGP joins over the triple
+// store indexes, BFS property paths, and per-binding NOT EXISTS anti-joins.
+//
+// This module exists to reproduce the paper's *comparison* approach. It is a
+// faithful generic evaluator, not an optimized one: like the Virtuoso runs in
+// the paper, the relationship queries are super-quadratic here, which is the
+// experimental point (§4.1: SPARQL "perform[s] adequately for small inputs"
+// then times out or exhausts memory).
+
+#ifndef RDFCUBE_SPARQL_ENGINE_H_
+#define RDFCUBE_SPARQL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace sparql {
+
+/// \brief One result row: term ids parallel to Query::select_vars.
+using Row = std::vector<rdf::TermId>;
+
+struct EvalOptions {
+  /// Cooperative timeout (the paper capped runs; "t/o" entries).
+  Deadline deadline;
+  /// Safety valve on result-set size (the paper's "o/m" out-of-memory
+  /// entries); 0 = unlimited.
+  std::size_t max_rows = 0;
+};
+
+/// \brief Evaluates `query` against `store`.
+///
+/// Returns TimedOut / ResourceExhausted when the corresponding EvalOptions
+/// limit is hit. DISTINCT is applied to the projected rows.
+Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
+                                  const Query& query,
+                                  const EvalOptions& options = {});
+
+/// Parses and evaluates in one call.
+Result<std::vector<Row>> EvaluateText(const rdf::TripleStore& store,
+                                      std::string_view query_text,
+                                      const EvalOptions& options = {});
+
+}  // namespace sparql
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SPARQL_ENGINE_H_

@@ -1,0 +1,100 @@
+#include "sparql/paper_queries.h"
+
+#include "sparql/engine.h"
+
+namespace rdfcube {
+namespace sparql {
+
+namespace {
+
+const char kPrefixes[] =
+    "PREFIX qb: <http://purl.org/linked-data/cube#>\n"
+    "PREFIX skos: <http://www.w3.org/2004/02/skos/core#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+}  // namespace
+
+std::string PartialContainmentQuery() {
+  // skos:broader points child -> parent, so "?v2 broader/broader* ?v1" makes
+  // ?v1 a (strict) ancestor of ?v2: o1's value contains o2's.
+  return std::string(kPrefixes) +
+         "SELECT DISTINCT ?o1 ?o2 WHERE {\n"
+         "  ?o1 a qb:Observation .\n"
+         "  ?o2 a qb:Observation .\n"
+         "  ?o1 ?d1 ?v1 .\n"
+         "  ?o2 ?d1 ?v2 .\n"
+         "  ?v2 skos:broader/skos:broader* ?v1 .\n"
+         "  FILTER(?o1 != ?o2)\n"
+         "}";
+}
+
+std::string ComplementarityQuery() {
+  return std::string(kPrefixes) +
+         "SELECT DISTINCT ?o1 ?o2 WHERE {\n"
+         "  ?o1 a qb:Observation .\n"
+         "  ?o2 a qb:Observation .\n"
+         "  FILTER(?o1 != ?o2)\n"
+         "  FILTER NOT EXISTS {\n"
+         "    ?d a qb:DimensionProperty .\n"
+         "    ?o1 ?d ?v1 .\n"
+         "    ?o2 ?d ?v2 .\n"
+         "    FILTER(?v1 != ?v2)\n"
+         "  }\n"
+         "}";
+}
+
+std::string FullContainmentQuery() {
+  // ∃ strictly containing dimension, ∀ shared dimensions ancestor-or-equal
+  // (the universal via doubly-nested NOT EXISTS).
+  return std::string(kPrefixes) +
+         "SELECT DISTINCT ?o1 ?o2 WHERE {\n"
+         "  ?o1 a qb:Observation .\n"
+         "  ?o2 a qb:Observation .\n"
+         "  ?da a qb:DimensionProperty .\n"
+         "  ?o1 ?da ?va .\n"
+         "  ?o2 ?da ?vb .\n"
+         "  ?vb skos:broader/skos:broader* ?va .\n"
+         "  FILTER(?o1 != ?o2)\n"
+         "  FILTER NOT EXISTS {\n"
+         "    ?d a qb:DimensionProperty .\n"
+         "    ?o1 ?d ?v1 .\n"
+         "    ?o2 ?d ?v2 .\n"
+         "    FILTER(?v1 != ?v2)\n"
+         "    FILTER NOT EXISTS { ?v2 skos:broader/skos:broader* ?v1 }\n"
+         "  }\n"
+         "}";
+}
+
+Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
+                                            const std::string& query_text,
+                                            double timeout_seconds,
+                                            std::size_t max_rows) {
+  EvalOptions options;
+  if (timeout_seconds > 0) options.deadline = Deadline(timeout_seconds);
+  options.max_rows = max_rows;
+  Stopwatch watch;
+  QueryRunResult result;
+  auto rows = EvaluateText(store, query_text, options);
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  if (!rows.ok()) {
+    if (rows.status().IsTimedOut()) {
+      result.timed_out = true;
+      return result;
+    }
+    if (rows.status().IsResourceExhausted()) {
+      result.out_of_memory = true;
+      return result;
+    }
+    return rows.status();
+  }
+  const rdf::Dictionary& dict = store.dictionary();
+  result.pairs.reserve(rows->size());
+  for (const Row& row : *rows) {
+    result.pairs.emplace_back(dict.Get(row[0]).value(),
+                              dict.Get(row[1]).value());
+  }
+  return result;
+}
+
+}  // namespace sparql
+}  // namespace rdfcube

@@ -1,0 +1,333 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "rdf/vocab.h"
+
+namespace rdfcube {
+namespace sparql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Query> Run() {
+    Query q;
+    SkipWs();
+    while (PeekKeyword("PREFIX")) {
+      RDFCUBE_RETURN_IF_ERROR(ParsePrefix());
+      SkipWs();
+    }
+    if (!ConsumeKeyword("SELECT")) return Error("expected SELECT");
+    SkipWs();
+    if (PeekKeyword("DISTINCT")) {
+      ConsumeKeyword("DISTINCT");
+      q.distinct = true;
+    }
+    SkipWs();
+    while (!AtEnd() && Peek() == '?') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string var, ParseVarName());
+      q.select_vars.push_back(std::move(var));
+      SkipWs();
+    }
+    if (q.select_vars.empty()) return Error("SELECT needs at least one ?var");
+    if (!ConsumeKeyword("WHERE")) return Error("expected WHERE");
+    // WHERE { { G1 } UNION { G2 } ... }  or a plain group.
+    SkipWs();
+    if (AtEnd() || Peek() != '{') return Error("expected {");
+    const std::size_t where_start = pos_;
+    ++pos_;
+    SkipWs();
+    if (!AtEnd() && Peek() == '{') {
+      while (true) {
+        RDFCUBE_ASSIGN_OR_RETURN(GroupPattern branch, ParseGroup());
+        q.union_groups.push_back(std::move(branch));
+        SkipWs();
+        if (PeekKeyword("UNION")) {
+          ConsumeKeyword("UNION");
+          SkipWs();
+          continue;
+        }
+        break;
+      }
+      if (q.union_groups.size() < 2) {
+        return Error("expected UNION between group branches");
+      }
+      SkipWs();
+      if (AtEnd() || Peek() != '}') return Error("expected } closing WHERE");
+      ++pos_;
+    } else {
+      pos_ = where_start;
+      RDFCUBE_ASSIGN_OR_RETURN(q.where, ParseGroup());
+    }
+    SkipWs();
+    if (PeekKeyword("LIMIT")) {
+      ConsumeKeyword("LIMIT");
+      SkipWs();
+      std::size_t value = 0;
+      bool any = false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + static_cast<std::size_t>(Peek() - '0');
+        ++pos_;
+        any = true;
+      }
+      if (!any) return Error("LIMIT expects a number");
+      q.limit = value;
+      SkipWs();
+    }
+    if (!AtEnd()) return Error("trailing input after query");
+    return q;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      if (Peek() == '#') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool PeekKeyword(std::string_view kw) const {
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    // Keyword must not continue as an identifier.
+    if (pos_ + kw.size() < text_.size()) {
+      const char next = text_[pos_ + kw.size()];
+      if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipWs();
+    if (!PeekKeyword(kw)) return false;
+    pos_ += kw.size();
+    return true;
+  }
+
+  Status Error(std::string_view msg) const {
+    return Status::ParseError("sparql: " + std::string(msg) + " (at offset " +
+                              std::to_string(pos_) + ")");
+  }
+
+  Status ParsePrefix() {
+    ConsumeKeyword("PREFIX");
+    SkipWs();
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':') prefix.push_back(text_[pos_++]);
+    if (AtEnd()) return Error("unterminated PREFIX");
+    ++pos_;  // ':'
+    SkipWs();
+    if (AtEnd() || Peek() != '<') return Error("PREFIX expects <iri>");
+    ++pos_;
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') iri.push_back(text_[pos_++]);
+    if (AtEnd()) return Error("unterminated IRI");
+    ++pos_;
+    prefixes_[prefix] = iri;
+    return Status::OK();
+  }
+
+  Result<std::string> ParseVarName() {
+    if (AtEnd() || Peek() != '?') return Error("expected ?var");
+    ++pos_;
+    std::string name;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      name.push_back(text_[pos_++]);
+    }
+    if (name.empty()) return Error("empty variable name");
+    return name;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseIriOrPrefixed() {
+    SkipWs();
+    if (AtEnd()) return Error("expected IRI");
+    if (Peek() == '<') {
+      ++pos_;
+      std::string iri;
+      while (!AtEnd() && Peek() != '>') iri.push_back(text_[pos_++]);
+      if (AtEnd()) return Error("unterminated IRI");
+      ++pos_;
+      return iri;
+    }
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':' && IsNameChar(Peek())) {
+      prefix.push_back(text_[pos_++]);
+    }
+    if (AtEnd() || Peek() != ':') return Error("expected prefixed name");
+    ++pos_;
+    std::string local;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      if (Peek() == '.') {
+        const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : ' ';
+        if (!IsNameChar(next) || next == '.') break;
+      }
+      local.push_back(text_[pos_++]);
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) return Error("undefined prefix '" + prefix + "'");
+    return it->second + local;
+  }
+
+  Result<NodeRef> ParseNode() {
+    SkipWs();
+    if (AtEnd()) return Error("expected term");
+    if (Peek() == '?') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string var, ParseVarName());
+      return NodeRef::Var(std::move(var));
+    }
+    if (Peek() == '"') {
+      ++pos_;
+      std::string value;
+      while (!AtEnd() && Peek() != '"') value.push_back(text_[pos_++]);
+      if (AtEnd()) return Error("unterminated literal");
+      ++pos_;
+      return NodeRef::Const(rdf::Term::Literal(std::move(value)));
+    }
+    RDFCUBE_ASSIGN_OR_RETURN(std::string iri, ParseIriOrPrefixed());
+    return NodeRef::Const(rdf::Term::Iri(std::move(iri)));
+  }
+
+  // Predicate position: 'a', variable, or a property path.
+  Status ParsePredicate(TriplePattern* pattern) {
+    SkipWs();
+    if (AtEnd()) return Error("expected predicate");
+    if (Peek() == '?') {
+      RDFCUBE_ASSIGN_OR_RETURN(std::string var, ParseVarName());
+      pattern->p = NodeRef::Var(std::move(var));
+      return Status::OK();
+    }
+    if (Peek() == 'a' && pos_ + 1 < text_.size() &&
+        std::isspace(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      ++pos_;
+      pattern->p =
+          NodeRef::Const(rdf::Term::Iri(std::string(rdf::vocab::kRdfType)));
+      return Status::OK();
+    }
+    // Path: step ('/' step)* where step = iri ('*'|'+')?
+    PropertyPath path;
+    while (true) {
+      PathStep step;
+      RDFCUBE_ASSIGN_OR_RETURN(step.predicate_iri, ParseIriOrPrefixed());
+      if (!AtEnd() && Peek() == '*') {
+        step.mod = PathStep::Mod::kStar;
+        ++pos_;
+      } else if (!AtEnd() && Peek() == '+') {
+        step.mod = PathStep::Mod::kPlus;
+        ++pos_;
+      }
+      path.push_back(std::move(step));
+      SkipWs();
+      if (!AtEnd() && Peek() == '/') {
+        ++pos_;
+        SkipWs();
+        continue;
+      }
+      break;
+    }
+    if (path.size() == 1 && path[0].mod == PathStep::Mod::kOne) {
+      pattern->p = NodeRef::Const(rdf::Term::Iri(path[0].predicate_iri));
+    } else {
+      pattern->path = std::move(path);
+    }
+    return Status::OK();
+  }
+
+  Result<Filter> ParseFilter() {
+    ConsumeKeyword("FILTER");
+    SkipWs();
+    Filter f;
+    if (PeekKeyword("NOT")) {
+      ConsumeKeyword("NOT");
+      if (!ConsumeKeyword("EXISTS")) return Error("expected EXISTS after NOT");
+      f.kind = Filter::Kind::kNotExists;
+      RDFCUBE_ASSIGN_OR_RETURN(GroupPattern group, ParseGroup());
+      f.group = std::make_unique<GroupPattern>(std::move(group));
+      return f;
+    }
+    if (AtEnd() || Peek() != '(') return Error("expected ( after FILTER");
+    ++pos_;
+    RDFCUBE_ASSIGN_OR_RETURN(f.lhs_var, ParseVarName());
+    SkipWs();
+    if (pos_ + 1 >= text_.size() || text_[pos_] != '!' ||
+        text_[pos_ + 1] != '=') {
+      return Error("only != filters are supported");
+    }
+    pos_ += 2;
+    SkipWs();
+    RDFCUBE_ASSIGN_OR_RETURN(f.rhs_var, ParseVarName());
+    SkipWs();
+    if (AtEnd() || Peek() != ')') return Error("expected ) closing FILTER");
+    ++pos_;
+    f.kind = Filter::Kind::kNotEquals;
+    return f;
+  }
+
+  Result<GroupPattern> ParseGroup() {
+    SkipWs();
+    if (AtEnd() || Peek() != '{') return Error("expected {");
+    ++pos_;
+    GroupPattern group;
+    while (true) {
+      SkipWs();
+      if (AtEnd()) return Error("unterminated group");
+      if (Peek() == '}') {
+        ++pos_;
+        return group;
+      }
+      if (Peek() == '.') {  // stray separator
+        ++pos_;
+        continue;
+      }
+      if (PeekKeyword("FILTER")) {
+        RDFCUBE_ASSIGN_OR_RETURN(Filter f, ParseFilter());
+        group.filters.push_back(std::move(f));
+        continue;
+      }
+      TriplePattern pattern;
+      RDFCUBE_ASSIGN_OR_RETURN(pattern.s, ParseNode());
+      RDFCUBE_RETURN_IF_ERROR(ParsePredicate(&pattern));
+      RDFCUBE_ASSIGN_OR_RETURN(pattern.o, ParseNode());
+      group.patterns.push_back(std::move(pattern));
+      SkipWs();
+      if (!AtEnd() && Peek() == '.') ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  Parser parser(text);
+  return parser.Run();
+}
+
+}  // namespace sparql
+}  // namespace rdfcube

@@ -1,0 +1,35 @@
+// Text parser for the SPARQL subset described in ast.h.
+
+#ifndef RDFCUBE_SPARQL_PARSER_H_
+#define RDFCUBE_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/result.h"
+
+namespace rdfcube {
+namespace sparql {
+
+/// \brief Parses a query of the form
+///
+///   PREFIX qb: <...>
+///   SELECT DISTINCT ?o1 ?o2 WHERE {
+///     ?o1 a qb:Observation .
+///     ?o1 ?d ?v1 .
+///     ?v1 skos:broader/skos:broader* ?v2 .
+///     FILTER(?o1 != ?o2)
+///     FILTER NOT EXISTS { ... }
+///   }
+///
+/// Supported: PREFIX directives, SELECT [DISTINCT] with an explicit variable
+/// list, triple patterns whose terms are variables, <IRIs>, prefixed names or
+/// the `a` keyword, sequence property paths with `*`/`+` modifiers,
+/// FILTER(?x != ?y), and arbitrarily nested FILTER NOT EXISTS groups.
+/// Anything else returns ParseError.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace sparql
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SPARQL_PARSER_H_

@@ -1,0 +1,123 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+namespace rdfcube {
+
+namespace {
+
+// Returns a mask selecting bits [lo, hi) of a single word, 0 <= lo <= hi <= 64.
+inline uint64_t RangeMask(std::size_t lo, std::size_t hi) {
+  const uint64_t hi_mask =
+      hi == 64 ? ~uint64_t{0} : ((uint64_t{1} << hi) - 1);
+  const uint64_t lo_mask = (uint64_t{1} << lo) - 1;
+  return hi_mask & ~lo_mask;
+}
+
+}  // namespace
+
+std::size_t BitVector::Count() const {
+  std::size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVector::CountRange(std::size_t begin, std::size_t end) const {
+  if (begin >= end) return 0;
+  const std::size_t first_word = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    const uint64_t m = RangeMask(begin & 63, ((end - 1) & 63) + 1);
+    return static_cast<std::size_t>(std::popcount(words_[first_word] & m));
+  }
+  std::size_t n = static_cast<std::size_t>(
+      std::popcount(words_[first_word] & RangeMask(begin & 63, 64)));
+  for (std::size_t w = first_word + 1; w < last_word; ++w) {
+    n += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  n += static_cast<std::size_t>(
+      std::popcount(words_[last_word] & RangeMask(0, ((end - 1) & 63) + 1)));
+  return n;
+}
+
+bool BitVector::Covers(const BitVector& other) const {
+  const std::size_t n = words_.size() < other.words_.size()
+                            ? words_.size()
+                            : other.words_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != other.words_[i]) return false;
+  }
+  // Any extra set bits in a longer `other` cannot be covered.
+  for (std::size_t i = n; i < other.words_.size(); ++i) {
+    if (other.words_[i] != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::CoversRange(const BitVector& other, std::size_t begin,
+                            std::size_t end) const {
+  if (begin >= end) return true;
+  const std::size_t first_word = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    const std::size_t lo = (w == first_word) ? (begin & 63) : 0;
+    const std::size_t hi = (w == last_word) ? (((end - 1) & 63) + 1) : 64;
+    const uint64_t m = RangeMask(lo, hi);
+    const uint64_t b = other.words_[w] & m;
+    if ((words_[w] & b) != b) return false;
+  }
+  return true;
+}
+
+bool BitVector::EqualsRange(const BitVector& other, std::size_t begin,
+                            std::size_t end) const {
+  if (begin >= end) return true;
+  const std::size_t first_word = begin >> 6;
+  const std::size_t last_word = (end - 1) >> 6;
+  for (std::size_t w = first_word; w <= last_word; ++w) {
+    const std::size_t lo = (w == first_word) ? (begin & 63) : 0;
+    const std::size_t hi = (w == last_word) ? (((end - 1) & 63) + 1) : 64;
+    const uint64_t m = RangeMask(lo, hi);
+    if ((words_[w] & m) != (other.words_[w] & m)) return false;
+  }
+  return true;
+}
+
+std::size_t BitVector::IntersectCount(const BitVector& other) const {
+  const std::size_t n = words_.size() < other.words_.size()
+                            ? words_.size()
+                            : other.words_.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return count;
+}
+
+std::size_t BitVector::UnionCount(const BitVector& other) const {
+  const std::size_t n = words_.size() > other.words_.size()
+                            ? words_.size()
+                            : other.words_.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const uint64_t a = i < words_.size() ? words_[i] : 0;
+    const uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    count += static_cast<std::size_t>(std::popcount(a | b));
+  }
+  return count;
+}
+
+double BitVector::Jaccard(const BitVector& other) const {
+  const std::size_t u = UnionCount(other);
+  if (u == 0) return 1.0;
+  return static_cast<double>(IntersectCount(other)) / static_cast<double>(u);
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+}  // namespace rdfcube

@@ -1,0 +1,94 @@
+// BitVector: dense dynamic bitset used for occurrence-matrix rows.
+
+#ifndef RDFCUBE_UTIL_BITVECTOR_H_
+#define RDFCUBE_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfcube {
+
+/// \brief Fixed-size (after construction) dense bit vector.
+///
+/// Rows of the occurrence matrix (paper §3.1) are BitVectors over the
+/// concatenated code-list feature space. The containment check of the paper —
+/// `a AND b == b` — is provided both over whole vectors and over a [begin,end)
+/// column slice, the latter implementing the per-dimension sub-matrix OM_i
+/// without materializing it.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of `nbits` zero bits.
+  explicit BitVector(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  /// Sets bit `i` to 1. Precondition: i < size().
+  void Set(std::size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  /// Clears bit `i`. Precondition: i < size().
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Reads bit `i`. Precondition: i < size().
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// Number of set bits in the half-open range [begin, end).
+  std::size_t CountRange(std::size_t begin, std::size_t end) const;
+
+  /// True iff `(*this AND other) == other`, i.e. this is a superset of
+  /// `other`'s set bits. This is the paper's conditional function sf applied
+  /// over the whole feature space.
+  bool Covers(const BitVector& other) const;
+
+  /// Superset test restricted to the column slice [begin, end): the
+  /// per-dimension containment check sf(o_a, o_b)|p_i of §3.1.
+  bool CoversRange(const BitVector& other, std::size_t begin,
+                   std::size_t end) const;
+
+  /// True iff the two vectors have identical bits in [begin, end).
+  bool EqualsRange(const BitVector& other, std::size_t begin,
+                   std::size_t end) const;
+
+  /// Number of positions set in both vectors (|a AND b|).
+  std::size_t IntersectCount(const BitVector& other) const;
+
+  /// Number of positions set in either vector (|a OR b|).
+  std::size_t UnionCount(const BitVector& other) const;
+
+  /// Jaccard similarity |a AND b| / |a OR b|; 1.0 when both are empty.
+  double Jaccard(const BitVector& other) const;
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// "0101..." rendering, most significant position last (index order).
+  std::string ToString() const;
+
+  /// Raw word storage (read-only), for hashing and bulk scans.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  // Mask covering the valid bits of the final partial word.
+  uint64_t TailMask() const {
+    const std::size_t rem = nbits_ & 63;
+    return rem == 0 ? ~uint64_t{0} : ((uint64_t{1} << rem) - 1);
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_BITVECTOR_H_

@@ -1,0 +1,120 @@
+#include "util/csv.h"
+
+#include <cstddef>
+
+namespace rdfcube {
+
+namespace {
+
+// Parses one CSV record starting at *pos; advances *pos past the record's
+// trailing newline. Returns false at end of input.
+bool ParseRecord(std::string_view text, std::size_t* pos, char sep,
+                 std::vector<std::string>* fields, Status* error) {
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (*pos + 1 < text.size() && text[*pos + 1] == '"') {
+          field.push_back('"');
+          *pos += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++*pos;
+        continue;
+      }
+      field.push_back(c);
+      ++*pos;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++*pos;
+      continue;
+    }
+    if (c == sep) {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++*pos;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      // Consume \n, \r, or \r\n.
+      ++*pos;
+      if (c == '\r' && *pos < text.size() && text[*pos] == '\n') ++*pos;
+      break;
+    }
+    field.push_back(c);
+    ++*pos;
+  }
+  if (in_quotes) {
+    *error = Status::ParseError("unterminated quoted CSV field");
+    return false;
+  }
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(std::string_view field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text, char sep) {
+  CsvTable table;
+  std::size_t pos = 0;
+  Status error;
+  if (!ParseRecord(text, &pos, sep, &table.header, &error)) {
+    if (!error.ok()) return error;
+    return Status::ParseError("empty CSV input");
+  }
+  std::vector<std::string> fields;
+  while (ParseRecord(text, &pos, sep, &fields, &error)) {
+    // Skip blank trailing lines.
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != table.header.size()) {
+      return Status::ParseError("CSV row has " + std::to_string(fields.size()) +
+                                " fields, header has " +
+                                std::to_string(table.header.size()));
+    }
+    table.rows.push_back(fields);
+  }
+  if (!error.ok()) return error;
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table, char sep) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(sep);
+      if (NeedsQuoting(row[i], sep)) {
+        out.push_back('"');
+        for (char c : row[i]) {
+          if (c == '"') out.push_back('"');
+          out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  };
+  append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+}  // namespace rdfcube

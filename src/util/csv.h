@@ -1,0 +1,32 @@
+// Minimal CSV reader/writer. The paper's pipeline ingests statistical CSVs
+// and converts them to RDF QB (per [28] / CSV2RDF); qb::CsvImporter builds on
+// this module.
+
+#ifndef RDFCUBE_UTIL_CSV_H_
+#define RDFCUBE_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rdfcube {
+
+/// \brief A parsed CSV table: a header row plus data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text with a header line. Supports double-quoted fields with
+/// embedded separators and doubled-quote escapes; rejects rows whose field
+/// count differs from the header.
+Result<CsvTable> ParseCsv(std::string_view text, char sep = ',');
+
+/// Serializes a table back to CSV, quoting fields that need it.
+std::string WriteCsv(const CsvTable& table, char sep = ',');
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_CSV_H_

@@ -1,0 +1,36 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace rdfcube {
+
+std::size_t Rng::Zipf(std::size_t n, double exponent) {
+  if (n == 0) return 0;
+  if (exponent <= 0.0) return static_cast<std::size_t>(Uniform(n));
+  // Inverse-CDF over the truncated harmonic series. n in our generators is
+  // small (hierarchy fanouts, code-list sizes), so the linear scan is fine.
+  double norm = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), exponent);
+  double u = NextDouble() * norm;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(double(i), exponent);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  // Partial Fisher-Yates over an index array.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  if (k > n) k = n;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(Uniform(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace rdfcube

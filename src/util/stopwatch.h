@@ -1,0 +1,55 @@
+// Wall-clock stopwatch used by the benchmark harnesses and timeout guards.
+
+#ifndef RDFCUBE_UTIL_STOPWATCH_H_
+#define RDFCUBE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rdfcube {
+
+/// \brief Monotonic wall-clock timer.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Cooperative deadline for long-running comparison methods.
+///
+/// The paper reports SPARQL/rule methods as "t/o" (timed out) beyond small
+/// inputs; benches pass a Deadline into those engines so they abandon work
+/// and report a TimedOut status the way the original experiments capped runs.
+class Deadline {
+ public:
+  /// No deadline: never expires.
+  Deadline() : limit_seconds_(-1.0) {}
+
+  /// Expires `seconds` from now.
+  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
+
+  bool Expired() const {
+    return limit_seconds_ >= 0.0 && watch_.ElapsedSeconds() > limit_seconds_;
+  }
+
+ private:
+  Stopwatch watch_;
+  double limit_seconds_;
+};
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_STOPWATCH_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+
+#ifndef RDFCUBE_UTIL_STRING_UTIL_H_
+#define RDFCUBE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfcube {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Local name of an IRI: the part after the last '#' or '/'.
+std::string_view IriLocalName(std::string_view iri);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view s);
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,55 @@
+// Fixed-size thread pool used by the parallel cubeMasking variant (§6 of the
+// paper lists parallel computation as future work; we implement it).
+
+#ifndef RDFCUBE_UTIL_THREAD_POOL_H_
+#define RDFCUBE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rdfcube {
+
+/// \brief Minimal fixed-size thread pool with a Wait() barrier.
+///
+/// Tasks are plain std::function<void()>; exceptions must not escape tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,150 @@
+// Tests for the roll-up aggregation module.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/lattice.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRunningExample;
+
+class RollUpTest : public ::testing::Test {
+ protected:
+  RollUpTest()
+      : corpus_(MakeRunningExample()),
+        lattice_(*corpus_.observations) {}
+
+  const qb::ObservationSet& obs() const { return *corpus_.observations; }
+  const qb::CubeSpace& space() const { return *corpus_.space; }
+
+  qb::DimId Dim(const char* iri) const { return *space().FindDimension(iri); }
+  hierarchy::CodeId Code(const char* dim, const char* code) const {
+    return *space().code_list(Dim(dim)).Find(code);
+  }
+  qb::MeasureId Measure(const char* iri) const {
+    return *space().FindMeasure(iri);
+  }
+
+  qb::Corpus corpus_;
+  Lattice lattice_;
+};
+
+TEST_F(RollUpTest, GreeceJan2011SumsCityUnemployment) {
+  // Roll up to (Greece, Jan2011): contains o32 (Athens, 30) and o34
+  // (Ioannina, 15).
+  auto result = RollUp(obs(), lattice_,
+                       {{Dim(testutil::kRefArea), Code(testutil::kRefArea, "Greece")},
+                        {Dim(testutil::kRefPeriod),
+                         Code(testutil::kRefPeriod, "Jan2011")}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->contained.size(), 2u);
+  ASSERT_EQ(result->measures.size(), 1u);
+  EXPECT_EQ(result->measures[0].measure, Measure(testutil::kUnemployment));
+  EXPECT_DOUBLE_EQ(result->measures[0].value, 45.0);  // 30 + 15
+  EXPECT_EQ(result->measures[0].contributors, 2u);
+}
+
+TEST_F(RollUpTest, AverageAndMinMaxAndCount) {
+  const std::vector<std::pair<qb::DimId, hierarchy::CodeId>> target = {
+      {Dim(testutil::kRefArea), Code(testutil::kRefArea, "Greece")},
+      {Dim(testutil::kRefPeriod), Code(testutil::kRefPeriod, "Jan2011")}};
+  auto avg = RollUp(obs(), lattice_, target, AggregateFn::kAverage);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->measures[0].value, 22.5);
+  auto min = RollUp(obs(), lattice_, target, AggregateFn::kMin);
+  ASSERT_TRUE(min.ok());
+  EXPECT_DOUBLE_EQ(min->measures[0].value, 15.0);
+  auto max = RollUp(obs(), lattice_, target, AggregateFn::kMax);
+  ASSERT_TRUE(max.ok());
+  EXPECT_DOUBLE_EQ(max->measures[0].value, 30.0);
+  auto count = RollUp(obs(), lattice_, target, AggregateFn::kCount);
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(count->measures[0].value, 2.0);
+}
+
+TEST_F(RollUpTest, LeavesOnlyDropsInScopeAggregates) {
+  // Roll up to (World, 2011) over unemployment: in scope are o21 (Greece,
+  // 26), o22 (Italy, 20), o32/o33/o34 (cities), o35 (Austin, 3).
+  // o21 strictly contains o32/o34 within D2? No — o32 is in D3. Same
+  // dataset + shared measure is required, so o21/o22 (D2) are NOT treated
+  // as aggregates of the D3 city rows and everything contributes.
+  const std::vector<std::pair<qb::DimId, hierarchy::CodeId>> target = {
+      {Dim(testutil::kRefPeriod), Code(testutil::kRefPeriod, "2011")}};
+  auto all = RollUp(obs(), lattice_, target, AggregateFn::kSum,
+                    /*leaves_only=*/true);
+  ASSERT_TRUE(all.ok());
+  double unemp = 0;
+  for (const auto& m : all->measures) {
+    if (m.measure == Measure(testutil::kUnemployment)) unemp = m.value;
+  }
+  EXPECT_DOUBLE_EQ(unemp, 26 + 20 + 30 + 7 + 15 + 3);
+
+  // Within D3 alone: roll up to (Athens, 2011). o32 (Jan) is the only
+  // in-scope D3 row; nothing to drop.
+  auto athens = RollUp(
+      obs(), lattice_,
+      {{Dim(testutil::kRefArea), Code(testutil::kRefArea, "Athens")},
+       {Dim(testutil::kRefPeriod), Code(testutil::kRefPeriod, "2011")}});
+  ASSERT_TRUE(athens.ok());
+  ASSERT_EQ(athens->measures.size(), 1u);
+  EXPECT_DOUBLE_EQ(athens->measures[0].value, 30.0);
+}
+
+TEST_F(RollUpTest, LeavesOnlyWithinOneDataset) {
+  // Build a dataset that carries both a coarse row and its fine rows.
+  qb::CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "GR", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "Ath", "GR").ok());
+  ASSERT_TRUE(b.AddCode("d", "Ioa", "GR").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "gr", {{"d", "GR"}}, {{"m", 100.0}}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "ath", {{"d", "Ath"}}, {{"m", 60.0}}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "ioa", {{"d", "Ioa"}}, {{"m", 39.0}}).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  const Lattice lattice(*corpus->observations);
+
+  // Roll up to ALL: with leaves_only the GR aggregate row (which strictly
+  // contains ath/ioa in the same dataset) is dropped: 60 + 39.
+  auto leaves = RollUp(*corpus->observations, lattice, {}, AggregateFn::kSum,
+                       /*leaves_only=*/true);
+  ASSERT_TRUE(leaves.ok());
+  ASSERT_EQ(leaves->measures.size(), 1u);
+  EXPECT_DOUBLE_EQ(leaves->measures[0].value, 99.0);  // 60 + 39
+  EXPECT_EQ(leaves->measures[0].contributors, 2u);
+
+  // Without leaves_only everything is summed (double counting): 100+60+39.
+  auto raw = RollUp(*corpus->observations, lattice, {}, AggregateFn::kSum,
+                    /*leaves_only=*/false);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_DOUBLE_EQ(raw->measures[0].value, 199.0);
+  EXPECT_EQ(raw->contained.size(), 3u);
+}
+
+TEST_F(RollUpTest, InvalidTargetsFail) {
+  EXPECT_TRUE(RollUp(obs(), lattice_, {{99, 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(RollUp(obs(), lattice_, {{0, 9999}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(RollUpTest, EmptyScopeYieldsNoMeasures) {
+  // (Ioannina, 2001): no observation lives under it.
+  auto result = RollUp(
+      obs(), lattice_,
+      {{Dim(testutil::kRefArea), Code(testutil::kRefArea, "Ioannina")},
+       {Dim(testutil::kRefPeriod), Code(testutil::kRefPeriod, "2001")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->contained.empty());
+  EXPECT_TRUE(result->measures.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

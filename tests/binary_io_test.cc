@@ -1,0 +1,151 @@
+// Tests for the binary corpus format: round-trips, file I/O, and corrupt-
+// input failure injection (the deserializer must reject, never crash or
+// build an inconsistent corpus).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/baseline.h"
+#include "core/occurrence_matrix.h"
+#include "datagen/realworld.h"
+#include "qb/binary_io.h"
+#include "tests/test_corpus.h"
+#include "util/random.h"
+
+namespace rdfcube {
+namespace qb {
+namespace {
+
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+// Full/partial/compl counts for equivalence checks.
+struct Counts {
+  std::size_t full, partial, compl_count;
+  bool operator==(const Counts& o) const {
+    return full == o.full && partial == o.partial &&
+           compl_count == o.compl_count;
+  }
+};
+
+Counts CountsOf(const ObservationSet& obs) {
+  const core::OccurrenceMatrix om(obs);
+  core::CountingSink sink;
+  EXPECT_TRUE(core::RunBaseline(obs, om, core::BaselineOptions{}, &sink).ok());
+  return {sink.full(), sink.partial(), sink.complementary()};
+}
+
+TEST(BinaryIoTest, RoundTripPreservesEverything) {
+  Corpus original = MakeRunningExample();
+  auto bytes = SerializeCorpus(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto reloaded = DeserializeCorpus(*bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  const CubeSpace& s1 = *original.space;
+  const CubeSpace& s2 = *reloaded->space;
+  ASSERT_EQ(s2.num_dimensions(), s1.num_dimensions());
+  ASSERT_EQ(s2.num_measures(), s1.num_measures());
+  for (DimId d = 0; d < s1.num_dimensions(); ++d) {
+    EXPECT_EQ(s2.dimension_iri(d), s1.dimension_iri(d));
+    ASSERT_EQ(s2.code_list(d).size(), s1.code_list(d).size());
+    for (hierarchy::CodeId c = 0; c < s1.code_list(d).size(); ++c) {
+      EXPECT_EQ(s2.code_list(d).name(c), s1.code_list(d).name(c));
+      EXPECT_EQ(s2.code_list(d).level(c), s1.code_list(d).level(c));
+    }
+  }
+  const ObservationSet& o1 = *original.observations;
+  const ObservationSet& o2 = *reloaded->observations;
+  ASSERT_EQ(o2.size(), o1.size());
+  ASSERT_EQ(o2.num_datasets(), o1.num_datasets());
+  for (ObsId i = 0; i < o1.size(); ++i) {
+    EXPECT_EQ(o2.obs(i).iri, o1.obs(i).iri);
+    EXPECT_EQ(o2.obs(i).dataset, o1.obs(i).dataset);
+    EXPECT_EQ(o2.obs(i).dims, o1.obs(i).dims);
+    EXPECT_EQ(o2.obs(i).measure_mask, o1.obs(i).measure_mask);
+    EXPECT_EQ(o2.obs(i).values, o1.obs(i).values);
+  }
+  EXPECT_EQ(CountsOf(o2), CountsOf(o1));
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  Corpus original = MakeRunningExample();
+  const std::string path = ::testing::TempDir() + "/corpus.rdfcube";
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  auto reloaded = LoadCorpusBinary(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->observations->size(), original.observations->size());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(LoadCorpusBinary("/no/such/file.bin").status().IsNotFound());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  EXPECT_TRUE(DeserializeCorpus("NOTMAGIC").status().IsParseError());
+  EXPECT_TRUE(DeserializeCorpus("").status().IsParseError());
+}
+
+TEST(BinaryIoTest, RejectsEveryTruncation) {
+  Corpus original = MakeRunningExample();
+  auto bytes = SerializeCorpus(original);
+  ASSERT_TRUE(bytes.ok());
+  // Every strict prefix must be rejected (and never crash).
+  for (std::size_t cut = 0; cut < bytes->size(); cut += 7) {
+    auto result = DeserializeCorpus(bytes->substr(0, cut));
+    EXPECT_FALSE(result.ok()) << "prefix " << cut << " accepted";
+  }
+  // Trailing garbage is rejected too.
+  EXPECT_TRUE(DeserializeCorpus(*bytes + "x").status().IsParseError());
+}
+
+class BinaryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BinaryFuzzTest, RandomCorruptionNeverCrashes) {
+  Corpus original = MakeRandomCorpus(GetParam(), 30);
+  auto bytes = SerializeCorpus(original);
+  ASSERT_TRUE(bytes.ok());
+  Rng rng(GetParam() * 101 + 17);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = *bytes;
+    const std::size_t flips = 1 + rng.Uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto result = DeserializeCorpus(mutated);
+    if (result.ok()) {
+      // A mutation may leave the file valid (e.g. flips inside an IRI or a
+      // double); the result must still be a *consistent* corpus.
+      const ObservationSet& obs = *result->observations;
+      for (ObsId i = 0; i < obs.size(); ++i) {
+        for (DimId d = 0; d < result->space->num_dimensions(); ++d) {
+          const hierarchy::CodeId c = obs.obs(i).dims[d];
+          if (c != hierarchy::kNoCode) {
+            ASSERT_LT(c, result->space->code_list(d).size());
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(BinaryIoTest, GeneratedCorpusRoundTrip) {
+  auto corpus = datagen::GenerateRealWorldPrefix(500, 21);
+  ASSERT_TRUE(corpus.ok());
+  auto bytes = SerializeCorpus(*corpus);
+  ASSERT_TRUE(bytes.ok());
+  auto reloaded = DeserializeCorpus(*bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(CountsOf(*reloaded->observations),
+            CountsOf(*corpus->observations));
+}
+
+}  // namespace
+}  // namespace qb
+}  // namespace rdfcube

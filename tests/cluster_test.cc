@@ -1,0 +1,319 @@
+// Tests for src/cluster (metrics, k-means, x-means, canopy, agglomerative)
+// and the clustering computation method (Algorithm 3).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/canopy.h"
+#include "cluster/kmeans.h"
+#include "cluster/metric.h"
+#include "cluster/xmeans.h"
+#include "core/baseline.h"
+#include "core/clustering_method.h"
+#include "core/occurrence_matrix.h"
+#include "tests/test_corpus.h"
+#include "util/random.h"
+
+namespace rdfcube {
+namespace cluster {
+namespace {
+
+// Two well-separated groups of binary points.
+std::vector<BitVector> TwoBlobs(std::size_t per_blob, std::size_t dims,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector> points;
+  for (std::size_t blob = 0; blob < 2; ++blob) {
+    // Blob b occupies columns [b*dims/2, (b+1)*dims/2).
+    const std::size_t lo = blob * dims / 2;
+    const std::size_t hi = (blob + 1) * dims / 2;
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      BitVector v(dims);
+      for (std::size_t c = lo; c < hi; ++c) {
+        if (rng.Chance(0.8)) v.Set(c);
+      }
+      points.push_back(std::move(v));
+    }
+  }
+  return points;
+}
+
+std::vector<const BitVector*> Ptrs(const std::vector<BitVector>& points) {
+  std::vector<const BitVector*> out;
+  for (const auto& p : points) out.push_back(&p);
+  return out;
+}
+
+// --- Metric ------------------------------------------------------------------
+
+TEST(MetricTest, JaccardDistanceBounds) {
+  BitVector a(10), b(10);
+  a.Set(1);
+  b.Set(1);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 0.0);
+  b.Reset(1);
+  b.Set(2);
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 1.0);
+}
+
+TEST(MetricTest, CentroidReducesToJaccardOnBinary) {
+  BitVector a(8), b(8);
+  a.Set(0);
+  a.Set(1);
+  b.Set(1);
+  b.Set(2);
+  Centroid c(8);
+  c.Accumulate(b);
+  c.Normalize();
+  EXPECT_NEAR(CentroidDistance(a, c), JaccardDistance(a, b), 1e-12);
+}
+
+TEST(MetricTest, CentroidAveraging) {
+  BitVector a(4), b(4);
+  a.Set(0);
+  b.Set(1);
+  Centroid c(4);
+  c.Accumulate(a);
+  c.Accumulate(b);
+  c.Normalize();
+  EXPECT_DOUBLE_EQ(c.mean[0], 0.5);
+  EXPECT_DOUBLE_EQ(c.mean[1], 0.5);
+  EXPECT_DOUBLE_EQ(c.mean[2], 0.0);
+  EXPECT_EQ(c.count, 2u);
+}
+
+TEST(MetricTest, SquaredEuclidean) {
+  BitVector a(3);
+  a.Set(0);
+  Centroid c(3);
+  c.mean = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, c), 2.0);
+}
+
+// --- KMeans -------------------------------------------------------------------
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  const auto points = TwoBlobs(20, 40, 1);
+  KMeansOptions options;
+  options.k = 2;
+  std::vector<uint32_t> assignment;
+  auto model = KMeans(Ptrs(points), options, &assignment);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->centroids.size(), 2u);
+  ASSERT_EQ(assignment.size(), 40u);
+  // All of blob 0 together, all of blob 1 together, different clusters.
+  for (std::size_t i = 1; i < 20; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (std::size_t i = 21; i < 40; ++i) {
+    EXPECT_EQ(assignment[i], assignment[20]);
+  }
+  EXPECT_NE(assignment[0], assignment[20]);
+}
+
+TEST(KMeansTest, ErrorsOnBadInput) {
+  EXPECT_TRUE(KMeans({}, KMeansOptions{}).status().IsInvalidArgument());
+  const auto points = TwoBlobs(2, 8, 1);
+  KMeansOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_TRUE(KMeans(Ptrs(points), zero_k).status().IsInvalidArgument());
+}
+
+TEST(KMeansTest, ClampsKToPointCount) {
+  const auto points = TwoBlobs(2, 8, 2);  // 4 points
+  KMeansOptions options;
+  options.k = 100;
+  auto model = KMeans(Ptrs(points), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->centroids.size(), 4u);
+}
+
+TEST(KMeansTest, DeterministicUnderSeed) {
+  const auto points = TwoBlobs(15, 30, 3);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 77;
+  std::vector<uint32_t> a1, a2;
+  ASSERT_TRUE(KMeans(Ptrs(points), options, &a1).ok());
+  ASSERT_TRUE(KMeans(Ptrs(points), options, &a2).ok());
+  EXPECT_EQ(a1, a2);
+}
+
+// --- XMeans -------------------------------------------------------------------
+
+TEST(XMeansTest, FindsAtLeastTwoClustersOnBlobs) {
+  const auto points = TwoBlobs(25, 40, 4);
+  XMeansOptions options;
+  options.min_k = 2;
+  options.max_k = 8;
+  std::vector<uint32_t> assignment;
+  auto model = XMeans(Ptrs(points), options, &assignment);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->centroids.size(), 2u);
+  EXPECT_LE(model->centroids.size(), 8u);
+  // The two blobs must not share a cluster.
+  std::set<uint32_t> blob0(assignment.begin(), assignment.begin() + 25);
+  std::set<uint32_t> blob1(assignment.begin() + 25, assignment.end());
+  for (uint32_t c : blob0) EXPECT_FALSE(blob1.count(c));
+}
+
+TEST(XMeansTest, RespectsMaxK) {
+  const auto points = TwoBlobs(30, 60, 5);
+  XMeansOptions options;
+  options.min_k = 2;
+  options.max_k = 3;
+  auto model = XMeans(Ptrs(points), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LE(model->centroids.size(), 3u);
+}
+
+TEST(XMeansTest, ErrorsOnEmpty) {
+  EXPECT_TRUE(XMeans({}, XMeansOptions{}).status().IsInvalidArgument());
+}
+
+// --- Canopy -------------------------------------------------------------------
+
+TEST(CanopyTest, CoversAllPoints) {
+  const auto points = TwoBlobs(20, 40, 6);
+  CanopyOptions options;
+  std::vector<uint32_t> assignment;
+  auto model = Canopy(Ptrs(points), options, &assignment);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->centroids.size(), 1u);
+  EXPECT_EQ(assignment.size(), points.size());
+  for (uint32_t a : assignment) EXPECT_LT(a, model->centroids.size());
+}
+
+TEST(CanopyTest, TightThresholdBoundsCenters) {
+  // With t2 >= 1 (the maximum Jaccard distance), every point falls inside
+  // the first canopy's tight radius: a single center remains.
+  const auto points = TwoBlobs(10, 20, 7);
+  CanopyOptions options;
+  options.t1 = 1.05;
+  options.t2 = 1.0;
+  auto model = Canopy(Ptrs(points), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->centroids.size(), 1u);
+}
+
+TEST(CanopyTest, RequiresT2BelowT1) {
+  const auto points = TwoBlobs(4, 8, 8);
+  CanopyOptions options;
+  options.t1 = 0.3;
+  options.t2 = 0.5;
+  EXPECT_TRUE(Canopy(Ptrs(points), options).status().IsInvalidArgument());
+}
+
+// --- Agglomerative ----------------------------------------------------------------
+
+TEST(AgglomerativeTest, MergesDownToTargetK) {
+  const auto points = TwoBlobs(10, 30, 9);
+  AgglomerativeOptions options;
+  options.target_k = 2;
+  std::vector<uint32_t> assignment;
+  auto model = Agglomerative(Ptrs(points), options, &assignment);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->centroids.size(), 2u);
+  // Blob purity.
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (std::size_t i = 11; i < 20; ++i) {
+    EXPECT_EQ(assignment[i], assignment[10]);
+  }
+}
+
+TEST(AgglomerativeTest, MaxMergeDistanceStopsEarly) {
+  const auto points = TwoBlobs(5, 30, 10);
+  AgglomerativeOptions options;
+  options.target_k = 1;
+  options.max_merge_distance = 0.2;  // blobs are ~1.0 apart: cannot merge
+  auto model = Agglomerative(Ptrs(points), options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model->centroids.size(), 2u);
+}
+
+TEST(AgglomerativeTest, ErrorsOnBadInput) {
+  EXPECT_TRUE(
+      Agglomerative({}, AgglomerativeOptions{}).status().IsInvalidArgument());
+  const auto points = TwoBlobs(2, 8, 11);
+  AgglomerativeOptions zero;
+  zero.target_k = 0;
+  EXPECT_TRUE(Agglomerative(Ptrs(points), zero).status().IsInvalidArgument());
+}
+
+// --- Clustering computation method (Algorithm 3) ------------------------------------
+
+using core::ClusterAlgorithm;
+using core::ClusteringMethodOptions;
+using core::ClusteringMethodStats;
+using core::CollectingSink;
+using core::OccurrenceMatrix;
+
+class ClusteringMethodTest
+    : public ::testing::TestWithParam<ClusterAlgorithm> {};
+
+TEST_P(ClusteringMethodTest, ProducesSubsetOfBaselineWithDecentRecall) {
+  qb::Corpus corpus = testutil::MakeRandomCorpus(31, 150);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const OccurrenceMatrix om(obs);
+
+  CollectingSink base_sink;
+  core::BaselineOptions base_options;
+  ASSERT_TRUE(core::RunBaseline(obs, om, base_options, &base_sink).ok());
+
+  CollectingSink cluster_sink;
+  ClusteringMethodOptions options;
+  options.algorithm = GetParam();
+  options.sample_fraction = 0.2;
+  ClusteringMethodStats stats;
+  ASSERT_TRUE(
+      core::RunClusteringMethod(obs, om, options, &cluster_sink, &stats).ok());
+  EXPECT_GT(stats.num_clusters, 0u);
+  EXPECT_GT(stats.sample_size, 0u);
+
+  std::set<std::pair<qb::ObsId, qb::ObsId>> base_full(base_sink.full().begin(),
+                                                      base_sink.full().end());
+  for (const auto& p : cluster_sink.full()) {
+    EXPECT_TRUE(base_full.count(p)) << p.first << "," << p.second;
+  }
+  std::set<std::pair<qb::ObsId, qb::ObsId>> base_compl(
+      base_sink.complementary().begin(), base_sink.complementary().end());
+  for (const auto& p : cluster_sink.complementary()) {
+    EXPECT_TRUE(base_compl.count(p));
+  }
+  // Recall is data-dependent but must be positive on this corpus for the
+  // centroid methods (identical observations always share a cluster).
+  if (!base_compl.empty()) {
+    EXPECT_GT(cluster_sink.complementary().size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ClusteringMethodTest,
+                         ::testing::Values(ClusterAlgorithm::kXMeans,
+                                           ClusterAlgorithm::kCanopy,
+                                           ClusterAlgorithm::kHierarchical),
+                         [](const auto& info) {
+                           return core::ClusterAlgorithmName(info.param) ==
+                                          std::string("x-means")
+                                      ? "XMeans"
+                                      : core::ClusterAlgorithmName(info.param) ==
+                                                std::string("canopy")
+                                            ? "Canopy"
+                                            : "Hierarchical";
+                         });
+
+TEST(ClusteringMethodTest2, EmptyInputIsOk) {
+  qb::CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  const OccurrenceMatrix om(*corpus->observations);
+  CollectingSink sink;
+  EXPECT_TRUE(core::RunClusteringMethod(*corpus->observations, om,
+                                        ClusteringMethodOptions{}, &sink)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace rdfcube

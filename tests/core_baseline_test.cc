@@ -1,0 +1,320 @@
+// Tests for the occurrence matrix, containment matrices (Tables 2/3 of the
+// paper) and the streaming baseline on the running example.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baseline.h"
+#include "core/containment_matrix.h"
+#include "core/occurrence_matrix.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRunningExample;
+using testutil::kO11;
+using testutil::kO12;
+using testutil::kO13;
+using testutil::kO21;
+using testutil::kO22;
+using testutil::kO31;
+using testutil::kO32;
+using testutil::kO33;
+using testutil::kO34;
+using testutil::kO35;
+
+using Pair = std::pair<qb::ObsId, qb::ObsId>;
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  RunningExampleTest() : corpus_(MakeRunningExample()), om_(*corpus_.observations) {}
+
+  const qb::ObservationSet& obs() const { return *corpus_.observations; }
+  const qb::CubeSpace& space() const { return *corpus_.space; }
+
+  qb::Corpus corpus_;
+  OccurrenceMatrix om_;
+};
+
+// --- Occurrence matrix (paper §3.1, Table 2) ---------------------------------
+
+TEST_F(RunningExampleTest, MatrixShape) {
+  EXPECT_EQ(om_.num_rows(), 10u);
+  // refArea 11 codes + refPeriod 5 + sex 3 = 19 feature columns.
+  EXPECT_EQ(om_.num_columns(), 19u);
+  EXPECT_EQ(om_.num_dimensions(), 3u);
+  EXPECT_EQ(om_.dim_begin(0), 0u);
+  EXPECT_EQ(om_.dim_end(0), 11u);
+  EXPECT_EQ(om_.dim_end(2), 19u);
+}
+
+// Column index of a named code within dimension `dim_iri`.
+std::size_t Col(const qb::CubeSpace& space, const OccurrenceMatrix& om,
+                const char* dim_iri, const char* code) {
+  const qb::DimId d = *space.FindDimension(dim_iri);
+  return om.dim_begin(d) + *space.code_list(d).Find(code);
+}
+
+TEST_F(RunningExampleTest, HierarchicalClosureBitsForO11) {
+  // o11 = (Athens, 2001, Total): World/Europe/Greece/Athens set; Italy not.
+  const BitVector& row = om_.row(kO11);
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefArea, "World")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefArea, "Europe")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefArea, "Greece")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefArea, "Athens")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kRefArea, "Italy")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kRefArea, "Ioannina")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefPeriod, "AllTime")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kRefPeriod, "2001")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kRefPeriod, "2011")));
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kSex, "Total")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kSex, "Male")));
+}
+
+TEST_F(RunningExampleTest, RootPaddingBitsForO21) {
+  // o21 (D2) has no sex dimension: only the root bit of sex is set
+  // ("dimensions not appearing in a schema are mapped to the top concept").
+  const BitVector& row = om_.row(kO21);
+  EXPECT_TRUE(row.Test(Col(space(), om_, testutil::kSex, "Total")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kSex, "Female")));
+  EXPECT_FALSE(row.Test(Col(space(), om_, testutil::kSex, "Male")));
+}
+
+TEST_F(RunningExampleTest, PerDimensionContains) {
+  // sf(o21, o32)|refArea = 1 (Greece contains Athens).
+  const qb::DimId area = *space().FindDimension(testutil::kRefArea);
+  const qb::DimId period = *space().FindDimension(testutil::kRefPeriod);
+  EXPECT_TRUE(om_.Contains(kO21, kO32, area));
+  EXPECT_FALSE(om_.Contains(kO32, kO21, area));
+  // sf(o21, o31)|refPeriod = 0 (2011 does not contain 2001).
+  EXPECT_FALSE(om_.Contains(kO21, kO31, period));
+  EXPECT_TRUE(om_.Contains(kO21, kO32, period));
+  // Whole-row cover equals per-dimension conjunction.
+  EXPECT_TRUE(om_.ContainsAll(kO21, kO32));
+  EXPECT_FALSE(om_.ContainsAll(kO21, kO31));
+}
+
+TEST_F(RunningExampleTest, ToTableRendersHeaderAndRows) {
+  const std::string table = om_.ToTable(obs());
+  EXPECT_NE(table.find("refArea"), std::string::npos);
+  EXPECT_NE(table.find("o11"), std::string::npos);
+  // One header plus ten observation lines.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 11);
+}
+
+// --- Containment matrices (Algorithm 1; Table 3) --------------------------------
+
+class ContainmentMatrixTest : public RunningExampleTest {
+ protected:
+  ContainmentMatrixTest() {
+    auto computed = ContainmentMatrices::Compute(om_);
+    EXPECT_TRUE(computed.ok());
+    cm_ = std::make_unique<ContainmentMatrices>(std::move(*computed));
+  }
+  std::unique_ptr<ContainmentMatrices> cm_;
+};
+
+TEST_F(ContainmentMatrixTest, DiagonalIsOne) {
+  for (qb::ObsId i = 0; i < obs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(cm_->ocm(i, i), 1.0);
+  }
+}
+
+TEST_F(ContainmentMatrixTest, KnownCellsMatchPaperSemantics) {
+  // o11 vs o31 share identical coordinates: OCM 1 both ways.
+  EXPECT_DOUBLE_EQ(cm_->ocm(kO11, kO31), 1.0);
+  EXPECT_DOUBLE_EQ(cm_->ocm(kO31, kO11), 1.0);
+  // o21 dimensionally contains o32 fully.
+  EXPECT_DOUBLE_EQ(cm_->ocm(kO21, kO32), 1.0);
+  // o21 vs o31: refArea contains, refPeriod does not, sex root==root:
+  // 2 of 3 dimensions.
+  EXPECT_NEAR(cm_->ocm(kO21, kO31), 2.0 / 3.0, 1e-9);
+  // o22 vs o12: refArea Italy vs Austin fails; refPeriod equal; sex
+  // Total contains Male: 2/3.
+  EXPECT_NEAR(cm_->ocm(kO22, kO12), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(ContainmentMatrixTest, CmMatricesFeedOcm) {
+  const qb::DimId area = *space().FindDimension(testutil::kRefArea);
+  const qb::DimId period = *space().FindDimension(testutil::kRefPeriod);
+  const qb::DimId sex = *space().FindDimension(testutil::kSex);
+  const double sum = (cm_->cm(area, kO21, kO31) ? 1 : 0) +
+                     (cm_->cm(period, kO21, kO31) ? 1 : 0) +
+                     (cm_->cm(sex, kO21, kO31) ? 1 : 0);
+  EXPECT_NEAR(cm_->ocm(kO21, kO31), sum / 3.0, 1e-9);
+  EXPECT_TRUE(cm_->cm(area, kO21, kO31));
+  EXPECT_FALSE(cm_->cm(period, kO21, kO31));
+  EXPECT_TRUE(cm_->cm(sex, kO21, kO31));
+}
+
+TEST_F(ContainmentMatrixTest, RefusesHugeInputs) {
+  auto result = ContainmentMatrices::Compute(om_, /*max_cells=*/50);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST_F(ContainmentMatrixTest, ToTableRenders) {
+  const std::string ocm_table = cm_->ToTable(obs());
+  EXPECT_NE(ocm_table.find("OCM"), std::string::npos);
+  EXPECT_NE(ocm_table.find("1.00"), std::string::npos);
+  const std::string cm_table = cm_->ToTable(obs(), 0);
+  EXPECT_NE(cm_table.find("CM[refArea]"), std::string::npos);
+}
+
+// --- Relationship extraction (Algorithm 2 semantics) -----------------------------
+
+// Expected sets on the running example (hand-derived; see DESIGN.md §1):
+//   full: (o13 ⊐ o12), (o21 ⊐ o32), (o21 ⊐ o34), (o22 ⊐ o33),
+//         plus the equal-coordinate mutual pairs with shared measures:
+//         (o31 ⊐ o32)? no — 2001 vs Jan2011 fails. (o32,o34) differ in
+//         refArea siblings. (o35 ⊐ o32)? Austin vs Athens no. None besides
+//         the four directed ones... except equal-coordinate pairs
+//         (o11,o31),(o13,o35) lack shared measures, and (o32,o34) are not
+//         comparable. Also (o21 ⊐ o31) fails on refPeriod.
+//   compl: (o11,o31), (o13,o35).
+std::set<Pair> ExpectedFull() {
+  return {{kO13, kO12}, {kO21, kO32}, {kO21, kO34}, {kO22, kO33}};
+}
+std::set<Pair> ExpectedCompl() {
+  return {{kO11, kO31}, {kO13, kO35}};
+}
+
+TEST_F(ContainmentMatrixTest, EmitRelationshipsMatchesExpectations) {
+  CollectingSink sink;
+  cm_->EmitRelationships(obs(), RelationshipSelector::All(), &sink);
+  sink.Canonicalize();
+  std::set<Pair> full(sink.full().begin(), sink.full().end());
+  EXPECT_EQ(full, ExpectedFull());
+  std::set<Pair> compl_set(sink.complementary().begin(),
+                           sink.complementary().end());
+  EXPECT_EQ(compl_set, ExpectedCompl());
+  // Spot partial facts: o21 partially contains o31 at degree 2/3.
+  bool found = false;
+  for (const auto& p : sink.partial()) {
+    if (p.a == kO21 && p.b == kO31) {
+      found = true;
+      EXPECT_NEAR(p.degree, 2.0 / 3.0, 1e-9);
+    }
+    // Full pairs must not be double-reported as partial.
+    EXPECT_FALSE(ExpectedFull().count({p.a, p.b})) << p.a << "," << p.b;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RunningExampleTest, StreamingBaselineMatchesMaterialized) {
+  auto matrices = ContainmentMatrices::Compute(om_);
+  ASSERT_TRUE(matrices.ok());
+  CollectingSink materialized;
+  matrices->EmitRelationships(obs(), RelationshipSelector::All(),
+                              &materialized);
+  materialized.Canonicalize();
+
+  CollectingSink streaming;
+  BaselineOptions options;
+  ASSERT_TRUE(RunBaseline(obs(), om_, options, &streaming).ok());
+  streaming.Canonicalize();
+
+  EXPECT_EQ(streaming.full(), materialized.full());
+  EXPECT_EQ(streaming.complementary(), materialized.complementary());
+  ASSERT_EQ(streaming.partial().size(), materialized.partial().size());
+  for (std::size_t i = 0; i < streaming.partial().size(); ++i) {
+    EXPECT_EQ(streaming.partial()[i].a, materialized.partial()[i].a);
+    EXPECT_EQ(streaming.partial()[i].b, materialized.partial()[i].b);
+    EXPECT_NEAR(streaming.partial()[i].degree,
+                materialized.partial()[i].degree, 1e-9);
+  }
+}
+
+TEST_F(RunningExampleTest, PartialDimensionMapIdentifiesDimensions) {
+  CollectingSink sink;
+  BaselineOptions options;
+  options.selector.partial_dimension_map = true;
+  ASSERT_TRUE(RunBaseline(obs(), om_, options, &sink).ok());
+  const qb::DimId area = *space().FindDimension(testutil::kRefArea);
+  const qb::DimId period = *space().FindDimension(testutil::kRefPeriod);
+  const qb::DimId sex = *space().FindDimension(testutil::kSex);
+  bool found = false;
+  for (const auto& p : sink.partial()) {
+    if (p.a == kO21 && p.b == kO31) {
+      found = true;
+      EXPECT_TRUE(p.dim_mask & (uint64_t{1} << area));
+      EXPECT_FALSE(p.dim_mask & (uint64_t{1} << period));
+      EXPECT_TRUE(p.dim_mask & (uint64_t{1} << sex));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RunningExampleTest, FastPathMatchesQuantifyingPathOnFullAndCompl) {
+  CollectingSink quantifying, fast;
+  BaselineOptions all;
+  ASSERT_TRUE(RunBaseline(obs(), om_, all, &quantifying).ok());
+  BaselineOptions no_partial;
+  no_partial.selector.partial_containment = false;
+  ASSERT_TRUE(RunBaseline(obs(), om_, no_partial, &fast).ok());
+  quantifying.Canonicalize();
+  fast.Canonicalize();
+  EXPECT_EQ(fast.full(), quantifying.full());
+  EXPECT_EQ(fast.complementary(), quantifying.complementary());
+  EXPECT_TRUE(fast.partial().empty());
+}
+
+TEST_F(RunningExampleTest, MeasureGateExcludesContainmentNotComplementarity) {
+  // o11/o31 have identical coordinates but disjoint measures: they are
+  // complementary but neither fully contains the other (Def. 4 cond. (3)).
+  CollectingSink sink;
+  BaselineOptions options;
+  ASSERT_TRUE(RunBaseline(obs(), om_, options, &sink).ok());
+  for (const auto& [a, b] : sink.full()) {
+    EXPECT_TRUE(obs().SharesMeasure(a, b));
+  }
+  std::set<Pair> compl_set(sink.complementary().begin(),
+                           sink.complementary().end());
+  EXPECT_TRUE(compl_set.count({kO11, kO31}));
+}
+
+TEST_F(RunningExampleTest, DeadlineAbortsBaseline) {
+  CollectingSink sink;
+  BaselineOptions options;
+  options.deadline = Deadline(0.0);
+  // With a stride of 4096 pair visits per check, the 45-pair example always
+  // finishes before the first deadline check; use a bigger corpus.
+  qb::Corpus big = testutil::MakeRandomCorpus(7, /*num_obs=*/400);
+  const OccurrenceMatrix big_om(*big.observations);
+  const Status st = RunBaseline(*big.observations, big_om, options, &sink);
+  EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
+}
+
+TEST_F(RunningExampleTest, SelectorSubsetsEmitSubsets) {
+  CollectingSink full_only;
+  BaselineOptions options;
+  options.selector = RelationshipSelector::FullOnly();
+  ASSERT_TRUE(RunBaseline(obs(), om_, options, &full_only).ok());
+  EXPECT_EQ(full_only.full().size(), ExpectedFull().size());
+  EXPECT_TRUE(full_only.complementary().empty());
+  EXPECT_TRUE(full_only.partial().empty());
+
+  CollectingSink compl_only;
+  options.selector = RelationshipSelector::ComplOnly();
+  ASSERT_TRUE(RunBaseline(obs(), om_, options, &compl_only).ok());
+  EXPECT_TRUE(compl_only.full().empty());
+  EXPECT_EQ(compl_only.complementary().size(), ExpectedCompl().size());
+}
+
+TEST(CountingSinkTest, CountsWithoutStoring) {
+  CountingSink sink;
+  sink.OnFullContainment(1, 2);
+  sink.OnFullContainment(2, 1);
+  sink.OnPartialContainment(1, 3, 0.5, 0);
+  sink.OnComplementarity(4, 5);
+  EXPECT_EQ(sink.full(), 2u);
+  EXPECT_EQ(sink.partial(), 1u);
+  EXPECT_EQ(sink.complementary(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

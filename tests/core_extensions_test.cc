@@ -1,0 +1,241 @@
+// Tests for the extension features: skyline / k-dominant skyline and the
+// incremental engine (batch-equivalence property).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baseline.h"
+#include "core/incremental.h"
+#include "core/occurrence_matrix.h"
+#include "core/skyline.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+// --- Skyline -----------------------------------------------------------------
+
+TEST(SkylineTest, RunningExampleSkyline) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Lattice lattice(obs);
+  const auto skyline = ComputeSkyline(obs, lattice);
+  const std::set<qb::ObsId> sky(skyline.begin(), skyline.end());
+  // Strictly dominated observations (with measure sharing): o12 (by o13),
+  // o32 & o34 (by o21), o33 (by o22). Everything else is on the skyline.
+  EXPECT_FALSE(sky.count(testutil::kO12));
+  EXPECT_FALSE(sky.count(testutil::kO32));
+  EXPECT_FALSE(sky.count(testutil::kO34));
+  EXPECT_FALSE(sky.count(testutil::kO33));
+  EXPECT_TRUE(sky.count(testutil::kO11));
+  EXPECT_TRUE(sky.count(testutil::kO13));
+  EXPECT_TRUE(sky.count(testutil::kO21));
+  EXPECT_TRUE(sky.count(testutil::kO22));
+  EXPECT_TRUE(sky.count(testutil::kO31));
+  EXPECT_TRUE(sky.count(testutil::kO35));
+}
+
+TEST(SkylineTest, WithoutMeasureGateMoreDominationHappens) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Lattice lattice(obs);
+  SkylineOptions options;
+  options.require_shared_measure = false;
+  const auto skyline = ComputeSkyline(obs, lattice, options);
+  const std::set<qb::ObsId> sky(skyline.begin(), skyline.end());
+  // o31 (Athens 2001) is now dominated by... nothing still (no ancestor obs
+  // at 2001), but o32 stays dominated and o35 becomes dominated? o35 =
+  // (Austin, 2011, root); a strict dominator must sit at ancestor values:
+  // none exists in D1/D2 (o21/o22 are Greece/Italy). It remains undominated.
+  // The gate-free skyline can only shrink or stay equal.
+  const auto gated = ComputeSkyline(obs, lattice);
+  EXPECT_LE(sky.size(), gated.size());
+  for (qb::ObsId id : sky) {
+    EXPECT_TRUE(std::find(gated.begin(), gated.end(), id) != gated.end());
+  }
+}
+
+// Property: the skyline is exactly the set of observations that are not the
+// target of a strict full-containment-with-shared-measure pair.
+class SkylinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkylinePropertyTest, MatchesBaselineDerivation) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam(), 70);
+  const qb::ObservationSet& obs = *corpus.observations;
+
+  // Ground truth from the baseline full-containment pairs (strict = the
+  // coordinates differ somewhere).
+  const OccurrenceMatrix om(obs);
+  CollectingSink sink;
+  BaselineOptions options;
+  options.selector = RelationshipSelector::FullOnly();
+  ASSERT_TRUE(RunBaseline(obs, om, options, &sink).ok());
+  std::set<qb::ObsId> dominated;
+  for (const auto& [a, b] : sink.full()) {
+    bool strict = false;
+    for (qb::DimId d = 0; d < obs.space().num_dimensions(); ++d) {
+      if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) {
+        strict = true;
+        break;
+      }
+    }
+    if (strict) dominated.insert(b);
+  }
+  std::set<qb::ObsId> expected;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    if (!dominated.count(i)) expected.insert(i);
+  }
+
+  const Lattice lattice(obs);
+  const auto skyline = ComputeSkyline(obs, lattice);
+  EXPECT_EQ(std::set<qb::ObsId>(skyline.begin(), skyline.end()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylinePropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(KDominantSkylineTest, DegeneratesToSkylineAtFullK) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Lattice lattice(obs);
+  const auto sky = ComputeSkyline(obs, lattice);
+  const auto kd = ComputeKDominantSkyline(obs, obs.space().num_dimensions());
+  EXPECT_EQ(std::set<qb::ObsId>(sky.begin(), sky.end()),
+            std::set<qb::ObsId>(kd.begin(), kd.end()));
+}
+
+TEST(KDominantSkylineTest, SmallerKPrunesMore) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const auto k3 = ComputeKDominantSkyline(obs, 3);
+  const auto k2 = ComputeKDominantSkyline(obs, 2);
+  const auto k1 = ComputeKDominantSkyline(obs, 1);
+  EXPECT_LE(k1.size(), k2.size());
+  EXPECT_LE(k2.size(), k3.size());
+  // k=2: o31 is 2-dominated by o21 (refArea strictly, sex equal).
+  EXPECT_TRUE(std::find(k2.begin(), k2.end(), testutil::kO31) == k2.end());
+}
+
+// --- Incremental engine ---------------------------------------------------------
+
+// Property: after adding all observations one at a time (in varying orders)
+// and retiring some, the engine matches a batch run over the live subset.
+class IncrementalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalPropertyTest, EqualsBatchAfterAddsAndRetires) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam() * 17 + 1, 50);
+  const qb::ObservationSet& obs = *corpus.observations;
+  Rng rng(GetParam());
+
+  // Insertion order: random permutation.
+  std::vector<qb::ObsId> order(obs.size());
+  for (qb::ObsId i = 0; i < obs.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+
+  IncrementalEngine engine(&obs, RelationshipSelector::All());
+  for (qb::ObsId id : order) {
+    ASSERT_TRUE(engine.OnObservationAdded(id).ok());
+  }
+
+  // Retire ~25%.
+  std::set<qb::ObsId> retired;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    if (rng.Chance(0.25)) {
+      ASSERT_TRUE(engine.OnObservationRetired(i).ok());
+      retired.insert(i);
+    }
+  }
+
+  // Batch ground truth over live observations only.
+  const OccurrenceMatrix om(obs);
+  std::vector<qb::ObsId> live;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    if (!retired.count(i)) live.push_back(i);
+  }
+  CollectingSink sink;
+  BaselineOptions options;
+  ASSERT_TRUE(RunBaselineSubset(obs, om, live, options, &sink).ok());
+
+  std::set<std::pair<qb::ObsId, qb::ObsId>> batch_full(sink.full().begin(),
+                                                       sink.full().end());
+  std::set<std::pair<qb::ObsId, qb::ObsId>> batch_compl(
+      sink.complementary().begin(), sink.complementary().end());
+  std::size_t batch_partial = sink.partial().size();
+
+  EXPECT_EQ(engine.num_full(), batch_full.size());
+  EXPECT_EQ(engine.num_complementary(), batch_compl.size());
+  EXPECT_EQ(engine.num_partial(), batch_partial);
+  for (const auto& [a, b] : batch_full) {
+    EXPECT_TRUE(engine.HasFullContainment(a, b)) << a << "->" << b;
+  }
+  for (const auto& [a, b] : batch_compl) {
+    EXPECT_TRUE(engine.HasComplementarity(a, b));
+    EXPECT_TRUE(engine.HasComplementarity(b, a));  // symmetric query
+  }
+  for (const auto& p : sink.partial()) {
+    EXPECT_NEAR(engine.PartialDegree(p.a, p.b), p.degree, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(IncrementalEngineTest, RunningExampleQueries) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  IncrementalEngine engine(&obs, RelationshipSelector::All());
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    ASSERT_TRUE(engine.OnObservationAdded(i).ok());
+  }
+  EXPECT_TRUE(engine.HasFullContainment(testutil::kO21, testutil::kO32));
+  EXPECT_FALSE(engine.HasFullContainment(testutil::kO32, testutil::kO21));
+  EXPECT_TRUE(engine.HasComplementarity(testutil::kO11, testutil::kO31));
+  EXPECT_NEAR(engine.PartialDegree(testutil::kO21, testutil::kO31), 2.0 / 3.0,
+              1e-12);
+  EXPECT_EQ(engine.num_full(), 4u);
+  EXPECT_EQ(engine.num_complementary(), 2u);
+
+  // Retiring o21 removes its relationships.
+  ASSERT_TRUE(engine.OnObservationRetired(testutil::kO21).ok());
+  EXPECT_FALSE(engine.HasFullContainment(testutil::kO21, testutil::kO32));
+  EXPECT_EQ(engine.PartialDegree(testutil::kO21, testutil::kO31), 0.0);
+  EXPECT_EQ(engine.num_full(), 2u);  // o13>o12 and o22>o33 remain
+}
+
+TEST(IncrementalEngineTest, ErrorsOnMisuse) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  IncrementalEngine engine(&obs, RelationshipSelector::All());
+  EXPECT_TRUE(engine.OnObservationAdded(999).IsInvalidArgument());
+  ASSERT_TRUE(engine.OnObservationAdded(0).ok());
+  EXPECT_TRUE(engine.OnObservationAdded(0).IsAlreadyExists());
+  EXPECT_TRUE(engine.OnObservationRetired(5).IsNotFound());
+  ASSERT_TRUE(engine.OnObservationRetired(0).ok());
+  EXPECT_TRUE(engine.OnObservationRetired(0).IsNotFound());
+}
+
+TEST(IncrementalEngineTest, ExportDumpsStoredSets) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  IncrementalEngine engine(&obs, RelationshipSelector::All());
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    ASSERT_TRUE(engine.OnObservationAdded(i).ok());
+  }
+  CollectingSink sink;
+  engine.Export(&sink);
+  EXPECT_EQ(sink.full().size(), engine.num_full());
+  EXPECT_EQ(sink.partial().size(), engine.num_partial());
+  EXPECT_EQ(sink.complementary().size(), engine.num_complementary());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,287 @@
+// Tests for the lattice, cubeMasking (equivalence with the baseline — the
+// paper's losslessness claim), the prefetch option, and parallel masking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baseline.h"
+#include "core/cube_masking.h"
+#include "core/engine.h"
+#include "core/occurrence_matrix.h"
+#include "core/parallel_masking.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+// Canonical snapshot of a sink for set comparison.
+struct Snapshot {
+  std::set<std::pair<qb::ObsId, qb::ObsId>> full;
+  std::set<std::pair<qb::ObsId, qb::ObsId>> compl_pairs;
+  std::set<std::tuple<qb::ObsId, qb::ObsId, int>> partial;  // degree in 1/1000
+
+  static Snapshot From(const CollectingSink& sink) {
+    Snapshot s;
+    for (const auto& p : sink.full()) s.full.insert(p);
+    for (const auto& p : sink.complementary()) s.compl_pairs.insert(p);
+    for (const auto& p : sink.partial()) {
+      s.partial.insert({p.a, p.b, static_cast<int>(p.degree * 1000 + 0.5)});
+    }
+    return s;
+  }
+  bool operator==(const Snapshot& o) const {
+    return full == o.full && compl_pairs == o.compl_pairs &&
+           partial == o.partial;
+  }
+};
+
+Snapshot RunBaselineSnapshot(const qb::ObservationSet& obs) {
+  const OccurrenceMatrix om(obs);
+  CollectingSink sink;
+  BaselineOptions options;
+  EXPECT_TRUE(RunBaseline(obs, om, options, &sink).ok());
+  return Snapshot::From(sink);
+}
+
+Snapshot RunMaskingSnapshot(const qb::ObservationSet& obs, bool prefetch) {
+  CollectingSink sink;
+  CubeMaskingOptions options;
+  options.prefetch_children = prefetch;
+  EXPECT_TRUE(RunCubeMasking(obs, options, &sink).ok());
+  return Snapshot::From(sink);
+}
+
+// --- Lattice ---------------------------------------------------------------------
+
+TEST(LatticeTest, RunningExampleCubes) {
+  qb::Corpus corpus = MakeRunningExample();
+  const Lattice lattice(*corpus.observations);
+  // Signatures: o11 (3,1,0), o12 (5,1,1), o13 (5,1,0), o21/o22 (2,1,0),
+  // o31 (3,1,0), o32/o33/o34 (3,2,0), o35 (5,1,0)  ->  5 distinct cubes.
+  EXPECT_EQ(lattice.num_cubes(), 5u);
+  EXPECT_EQ(lattice.cube_of(testutil::kO11), lattice.cube_of(testutil::kO31));
+  EXPECT_EQ(lattice.cube_of(testutil::kO21), lattice.cube_of(testutil::kO22));
+  EXPECT_EQ(lattice.cube_of(testutil::kO13), lattice.cube_of(testutil::kO35));
+  EXPECT_NE(lattice.cube_of(testutil::kO11), lattice.cube_of(testutil::kO12));
+  EXPECT_EQ(lattice.cube_of(testutil::kO32), lattice.cube_of(testutil::kO34));
+}
+
+TEST(LatticeTest, SignatureDominance) {
+  CubeSignature a{{1, 1, 0}};
+  CubeSignature b{{2, 1, 0}};
+  CubeSignature c{{0, 2, 1}};
+  EXPECT_TRUE(a.DominatesAll(b));
+  EXPECT_FALSE(b.DominatesAll(a));
+  EXPECT_TRUE(a.DominatesAll(a));
+  EXPECT_FALSE(a.DominatesAll(c));
+  EXPECT_TRUE(a.DominatesAny(c));   // dim 0: 1 > 0? no: 1 <= ... dim1 1<=2 yes
+  EXPECT_TRUE(c.DominatesAny(a));
+}
+
+TEST(LatticeTest, ToStringSignature) {
+  CubeSignature s{{2, 1, 0}};
+  EXPECT_EQ(s.ToString(), "210");
+  CubeSignature deep{{12}};
+  EXPECT_EQ(deep.ToString(), "(12)");
+}
+
+TEST(LatticeTest, AddRemoveObservation) {
+  qb::Corpus corpus = MakeRunningExample();
+  Lattice lattice(*corpus.observations);
+  const CubeId cube = lattice.cube_of(testutil::kO11);
+  EXPECT_EQ(lattice.members(cube).size(), 2u);  // o11, o31
+  lattice.RemoveObservation(testutil::kO11);
+  EXPECT_EQ(lattice.members(cube).size(), 1u);
+}
+
+// --- cubeMasking equivalence ------------------------------------------------------
+
+TEST(CubeMaskingTest, MatchesBaselineOnRunningExample) {
+  qb::Corpus corpus = MakeRunningExample();
+  const Snapshot base = RunBaselineSnapshot(*corpus.observations);
+  EXPECT_EQ(RunMaskingSnapshot(*corpus.observations, true), base);
+  EXPECT_EQ(RunMaskingSnapshot(*corpus.observations, false), base);
+  EXPECT_FALSE(base.full.empty());
+  EXPECT_FALSE(base.compl_pairs.empty());
+}
+
+TEST(CubeMaskingTest, StatsReportCubes) {
+  qb::Corpus corpus = MakeRunningExample();
+  CollectingSink sink;
+  CubeMaskingStats stats;
+  ASSERT_TRUE(RunCubeMasking(*corpus.observations, CubeMaskingOptions{}, &sink,
+                             &stats)
+                  .ok());
+  EXPECT_EQ(stats.num_cubes, 5u);
+  EXPECT_GT(stats.cube_pairs_checked, 0u);
+  EXPECT_GT(stats.observation_pairs_compared, 0u);
+  EXPECT_LE(stats.cube_pairs_comparable, stats.cube_pairs_checked);
+}
+
+TEST(CubeMaskingTest, PrunesComparisons) {
+  // cubeMasking must compare strictly fewer observation pairs than the
+  // baseline's n^2 when several incomparable cubes exist.
+  qb::Corpus corpus = MakeRandomCorpus(3, 80);
+  CountingSink sink;
+  CubeMaskingStats stats;
+  CubeMaskingOptions options;
+  options.selector.partial_containment = false;  // strongest pruning case
+  ASSERT_TRUE(
+      RunCubeMasking(*corpus.observations, options, &sink, &stats).ok());
+  const std::size_t n = corpus.observations->size();
+  EXPECT_LT(stats.observation_pairs_compared, n * (n - 1));
+}
+
+TEST(CubeMaskingTest, DeadlineAborts) {
+  qb::Corpus corpus = MakeRandomCorpus(11, 500);
+  CollectingSink sink;
+  CubeMaskingOptions options;
+  options.deadline = Deadline(0.0);
+  EXPECT_TRUE(RunCubeMasking(*corpus.observations, options, &sink).IsTimedOut());
+}
+
+// Property sweep: on random corpora, cubeMasking (both prefetch modes) and
+// the parallel variant produce exactly the baseline's relationship sets.
+class MaskingEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskingEquivalenceTest, LosslessAcrossMethods) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam(), 50 + GetParam() % 40);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = RunBaselineSnapshot(obs);
+  EXPECT_EQ(RunMaskingSnapshot(obs, true), base) << "prefetch=true";
+  EXPECT_EQ(RunMaskingSnapshot(obs, false), base) << "prefetch=false";
+
+  const Lattice lattice(obs);
+  CollectingSink parallel_sink;
+  ParallelMaskingOptions par;
+  par.num_threads = 3;
+  ASSERT_TRUE(RunCubeMaskingParallel(obs, lattice, par, &parallel_sink).ok());
+  EXPECT_EQ(Snapshot::From(parallel_sink), base) << "parallel";
+}
+
+TEST_P(MaskingEquivalenceTest, SelectorsAreConsistentProjections) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam() * 131, 40);
+  const qb::ObservationSet& obs = *corpus.observations;
+  CollectingSink all_sink, full_sink, compl_sink;
+  CubeMaskingOptions all_opts;
+  ASSERT_TRUE(RunCubeMasking(obs, all_opts, &all_sink).ok());
+  CubeMaskingOptions full_opts;
+  full_opts.selector = RelationshipSelector::FullOnly();
+  ASSERT_TRUE(RunCubeMasking(obs, full_opts, &full_sink).ok());
+  CubeMaskingOptions compl_opts;
+  compl_opts.selector = RelationshipSelector::ComplOnly();
+  ASSERT_TRUE(RunCubeMasking(obs, compl_opts, &compl_sink).ok());
+  const Snapshot all = Snapshot::From(all_sink);
+  EXPECT_EQ(Snapshot::From(full_sink).full, all.full);
+  EXPECT_EQ(Snapshot::From(compl_sink).compl_pairs, all.compl_pairs);
+}
+
+TEST_P(MaskingEquivalenceTest, ChildrenIndexPathIsEquivalent) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam() * 7 + 3, 45);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = RunBaselineSnapshot(obs);
+  const Lattice lattice(obs);
+  const CubeChildrenIndex index(lattice);
+  ASSERT_EQ(index.num_cubes(), lattice.num_cubes());
+  for (bool prefetch : {false, true}) {
+    CollectingSink sink;
+    CubeMaskingOptions options;
+    options.prefetch_children = prefetch;
+    ASSERT_TRUE(
+        RunCubeMasking(obs, lattice, options, &sink, nullptr, &index).ok());
+    EXPECT_EQ(Snapshot::From(sink), base) << "prefetch=" << prefetch;
+  }
+  // Index invariants: all_dominated is a sublist of any_dominated and every
+  // cube dominates itself.
+  for (CubeId c = 0; c < index.num_cubes(); ++c) {
+    EXPECT_LE(index.all_dominated(c).size(), index.any_dominated(c).size());
+    EXPECT_NE(std::find(index.all_dominated(c).begin(),
+                        index.all_dominated(c).end(), c),
+              index.all_dominated(c).end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskingEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+// --- Engine facade ------------------------------------------------------------------
+
+TEST(EngineTest, AllMethodsAgreeOnFullAndCompl) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  CollectingSink baseline_sink, masking_sink;
+  EngineOptions options;
+  options.method = Method::kBaseline;
+  EngineReport report;
+  ASSERT_TRUE(ComputeRelationships(obs, options, &baseline_sink, &report).ok());
+  EXPECT_GE(report.elapsed_seconds, 0.0);
+  options.method = Method::kCubeMasking;
+  ASSERT_TRUE(ComputeRelationships(obs, options, &masking_sink, &report).ok());
+  EXPECT_EQ(report.masking.num_cubes, 5u);
+  EXPECT_EQ(Snapshot::From(baseline_sink), Snapshot::From(masking_sink));
+}
+
+TEST(EngineTest, ClusteringIsSubsetOfBaseline) {
+  qb::Corpus corpus = MakeRandomCorpus(21, 120);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = RunBaselineSnapshot(obs);
+  CollectingSink cluster_sink;
+  EngineOptions options;
+  options.method = Method::kClustering;
+  options.cluster_sample_fraction = 0.25;
+  EngineReport report;
+  ASSERT_TRUE(ComputeRelationships(obs, options, &cluster_sink, &report).ok());
+  EXPECT_GT(report.cluster.num_clusters, 0u);
+  const Snapshot clustered = Snapshot::From(cluster_sink);
+  for (const auto& p : clustered.full) EXPECT_TRUE(base.full.count(p));
+  for (const auto& p : clustered.compl_pairs) {
+    EXPECT_TRUE(base.compl_pairs.count(p));
+  }
+  for (const auto& p : clustered.partial) EXPECT_TRUE(base.partial.count(p));
+}
+
+TEST(EngineTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kBaseline), "baseline");
+  EXPECT_STREQ(MethodName(Method::kClustering), "clustering");
+  EXPECT_STREQ(MethodName(Method::kCubeMasking), "cubeMasking");
+  EXPECT_STREQ(MethodName(Method::kHybrid), "hybrid");
+}
+
+TEST(EngineTest, HybridThroughFacade) {
+  qb::Corpus corpus = MakeRandomCorpus(41, 80);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = RunBaselineSnapshot(obs);
+  CollectingSink sink;
+  EngineOptions options;
+  options.method = Method::kHybrid;
+  EngineReport report;
+  ASSERT_TRUE(ComputeRelationships(obs, options, &sink, &report).ok());
+  const Snapshot hybrid = Snapshot::From(sink);
+  EXPECT_EQ(hybrid.full, base.full);            // exact stage
+  EXPECT_EQ(hybrid.compl_pairs, base.compl_pairs);
+  for (const auto& p : hybrid.partial) {        // lossy stage: subset
+    EXPECT_TRUE(base.partial.count(p));
+  }
+  EXPECT_GT(report.masking.num_cubes, 0u);
+  EXPECT_GT(report.cluster.num_clusters, 0u);
+}
+
+TEST(EngineTest, TimeoutPropagates) {
+  qb::Corpus corpus = MakeRandomCorpus(5, 600);
+  CollectingSink sink;
+  EngineOptions options;
+  options.method = Method::kBaseline;
+  options.timeout_seconds = 1e-9;
+  EXPECT_TRUE(
+      ComputeRelationships(*corpus.observations, options, &sink).IsTimedOut());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,224 @@
+// Tests for the data generators (Table 4 corpus, synthetic scalability
+// corpus, URI perturbation) and the alignment matcher.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "align/matcher.h"
+#include "core/lattice.h"
+#include "datagen/perturb.h"
+#include "datagen/realworld.h"
+#include "datagen/synthetic.h"
+#include "qb/validate.h"
+
+namespace rdfcube {
+namespace datagen {
+namespace {
+
+// --- Real-world corpus (Table 4) ------------------------------------------------
+
+TEST(RealWorldSpecsTest, MatchesTable4) {
+  const auto& specs = RealWorldSpecs();
+  ASSERT_EQ(specs.size(), 7u);
+  std::size_t total = 0;
+  std::set<std::string> measures;
+  for (const auto& spec : specs) {
+    total += spec.observations_at_scale1;
+    measures.insert(spec.measure);
+    // Every dataset has refArea and refPeriod (Table 4: all Y/Y).
+    EXPECT_NE(std::find(spec.dimensions.begin(), spec.dimensions.end(),
+                        "http://example.org/dim/refArea"),
+              spec.dimensions.end());
+    EXPECT_NE(std::find(spec.dimensions.begin(), spec.dimensions.end(),
+                        "http://example.org/dim/refPeriod"),
+              spec.dimensions.end());
+  }
+  EXPECT_EQ(total, 246500u);       // 58k+4.2k+6.7k+15k+68k+73k+21.6k
+  EXPECT_EQ(measures.size(), 6u);  // population shared by D1 and D3
+  EXPECT_EQ(specs[0].observations_at_scale1, 58000u);
+  EXPECT_EQ(specs[1].observations_at_scale1, 4200u);
+}
+
+TEST(RealWorldCorpusTest, SmallScaleGeneration) {
+  RealWorldOptions options;
+  options.scale = 0.004;  // ~1k observations
+  auto corpus = GenerateRealWorldCorpus(options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->space->num_dimensions(), 9u);
+  EXPECT_EQ(corpus->space->num_measures(), 6u);
+  EXPECT_EQ(corpus->observations->num_datasets(), 7u);
+  // Observation total ~ ceil of each dataset's scaled size.
+  EXPECT_GE(corpus->observations->size(), 980u);
+  EXPECT_LE(corpus->observations->size(), 1020u);
+  // Shared code bus: ~2.3k distinct hierarchical values.
+  std::size_t codes = 0;
+  for (qb::DimId d = 0; d < corpus->space->num_dimensions(); ++d) {
+    codes += corpus->space->code_list(d).size();
+  }
+  EXPECT_GT(codes, 1500u);
+  EXPECT_LT(codes, 3000u);
+}
+
+TEST(RealWorldCorpusTest, SatisfiesIc12) {
+  auto corpus = GenerateRealWorldPrefix(800);
+  ASSERT_TRUE(corpus.ok());
+  const qb::ValidationReport report = qb::ValidateCorpus(*corpus);
+  for (const auto& issue : report.issues) {
+    EXPECT_NE(issue.kind, qb::ValidationIssue::Kind::kDuplicateKey)
+        << issue.detail;
+    EXPECT_NE(issue.kind, qb::ValidationIssue::Kind::kNoMeasure);
+  }
+}
+
+TEST(RealWorldCorpusTest, DeterministicUnderSeed) {
+  auto a = GenerateRealWorldPrefix(300, 9);
+  auto b = GenerateRealWorldPrefix(300, 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().observations->size(), b.value().observations->size());
+  for (qb::ObsId i = 0; i < a.value().observations->size(); ++i) {
+    EXPECT_EQ(a.value().observations->obs(i).dims,
+              b.value().observations->obs(i).dims);
+  }
+}
+
+TEST(RealWorldCorpusTest, ValuesSpanHierarchyLevels) {
+  auto corpus = GenerateRealWorldPrefix(1000);
+  ASSERT_TRUE(corpus.ok());
+  const qb::DimId area = *corpus->space->FindDimension(
+      "http://example.org/dim/refArea");
+  std::set<uint32_t> levels;
+  for (qb::ObsId i = 0; i < corpus->observations->size(); ++i) {
+    levels.insert(corpus->observations->LevelOf(i, area));
+  }
+  // Containment needs multi-level data: at least 3 distinct levels in use.
+  EXPECT_GE(levels.size(), 3u);
+}
+
+// --- Synthetic corpus -----------------------------------------------------------
+
+TEST(SyntheticCorpusTest, GeneratesRequestedSize) {
+  SyntheticOptions options;
+  options.num_observations = 2000;
+  auto corpus = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->observations->size(), 2000u);
+  EXPECT_EQ(corpus->space->num_dimensions(), options.num_dimensions);
+}
+
+TEST(SyntheticCorpusTest, PopulatesProjectedCubesEvenly) {
+  SyntheticOptions options;
+  options.num_observations = 3000;
+  options.seed = 5;
+  const std::size_t projected = ProjectedCubeCount(options);
+  auto corpus = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(corpus.ok());
+  const core::Lattice lattice(*corpus->observations);
+  // All projected signatures get populated (even split).
+  EXPECT_EQ(lattice.num_cubes(), projected);
+  // Even distribution: largest cube at most ~2x the smallest.
+  std::size_t smallest = SIZE_MAX, largest = 0;
+  for (core::CubeId c = 0; c < lattice.num_cubes(); ++c) {
+    smallest = std::min(smallest, lattice.members(c).size());
+    largest = std::max(largest, lattice.members(c).size());
+  }
+  EXPECT_LE(largest, 2 * smallest + 2);
+}
+
+TEST(SyntheticCorpusTest, CubeRatioDecreasesWithSize) {
+  // Fig. 5(f): cubes-per-observation falls as input grows.
+  SyntheticOptions small;
+  small.num_observations = 500;
+  SyntheticOptions large;
+  large.num_observations = 8000;
+  const double ratio_small =
+      static_cast<double>(ProjectedCubeCount(small)) / 500.0;
+  const double ratio_large =
+      static_cast<double>(ProjectedCubeCount(large)) / 8000.0;
+  EXPECT_LT(ratio_large, ratio_small);
+}
+
+TEST(SyntheticCorpusTest, RejectsZeroDimensions) {
+  SyntheticOptions options;
+  options.num_dimensions = 0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(options).status().IsInvalidArgument());
+}
+
+TEST(SyntheticCorpusTest, MeasureOverlapAcrossDatasets) {
+  SyntheticOptions options;
+  options.num_observations = 200;
+  options.num_datasets = 3;
+  auto corpus = GenerateSyntheticCorpus(options);
+  ASSERT_TRUE(corpus.ok());
+  // Observations from different datasets share the common measure.
+  const qb::ObservationSet& obs = *corpus->observations;
+  qb::ObsId a = obs.dataset(0).observations[0];
+  qb::ObsId b = obs.dataset(1).observations[0];
+  EXPECT_TRUE(obs.SharesMeasure(a, b));
+}
+
+// --- Perturbation + alignment ----------------------------------------------------
+
+TEST(PerturbTest, KeepsParallelOrderAndChangesNamespace) {
+  const std::vector<std::string> uris = {
+      "http://example.org/code/Athens", "http://example.org/code/Rome",
+      "http://example.org/code/Jan-2011"};
+  const auto perturbed = PerturbUris(uris);
+  ASSERT_EQ(perturbed.size(), 3u);
+  for (const auto& p : perturbed) {
+    EXPECT_EQ(p.find("http://other-source.example.com/code/"), 0u);
+  }
+}
+
+TEST(AlignMatcherTest, TrigramCosineBasics) {
+  EXPECT_DOUBLE_EQ(align::TrigramCosine("athens", "athens"), 1.0);
+  EXPECT_GT(align::TrigramCosine("athens", "athens-v1"), 0.6);
+  EXPECT_LT(align::TrigramCosine("athens", "rome"), 0.2);
+  EXPECT_DOUBLE_EQ(align::TrigramCosine("", "x"), 0.0);
+}
+
+TEST(AlignMatcherTest, RecoversPerturbedUris) {
+  // The LIMES-substitute pipeline: original codes vs a perturbed remote copy.
+  std::vector<std::string> originals;
+  for (const char* name :
+       {"Athens", "Ioannina", "Rome", "Milan", "Berlin", "Hamburg", "Paris",
+        "Lyon", "Madrid", "Seville", "Vienna", "Prague"}) {
+    originals.push_back(std::string("http://example.org/code/") + name);
+  }
+  PerturbOptions perturb;
+  perturb.suffix_prob = 0.0;  // pure case/separator noise
+  const auto remote = PerturbUris(originals, perturb);
+  align::MatcherOptions options;
+  options.threshold = 0.5;
+  const auto links = align::MatchUris(remote, originals, options);
+  // Every remote URI links back to its original.
+  ASSERT_EQ(links.size(), originals.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    // links are in source order (remote order).
+    if (links[i].target == originals[i]) ++correct;
+  }
+  EXPECT_EQ(correct, originals.size());
+}
+
+TEST(AlignMatcherTest, ThresholdDropsPoorMatches) {
+  const std::vector<std::string> sources = {"http://a/completely-different"};
+  const std::vector<std::string> targets = {"http://b/zzz"};
+  align::MatcherOptions options;
+  options.threshold = 0.9;
+  EXPECT_TRUE(align::MatchUris(sources, targets, options).empty());
+}
+
+TEST(AlignMatcherTest, OneToOneMatching) {
+  const std::vector<std::string> sources = {"http://a/athens",
+                                            "http://b/athens"};
+  const std::vector<std::string> targets = {"http://c/Athens"};
+  align::MatcherOptions options;
+  options.threshold = 0.5;
+  const auto links = align::MatchUris(sources, targets, options);
+  EXPECT_EQ(links.size(), 1u);  // the single target is consumed once
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace rdfcube

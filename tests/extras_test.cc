@@ -1,0 +1,283 @@
+// Tests for the materialized-relationship RDF vocabulary, the CubeExplorer
+// point-query API, and qb:Slice support.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baseline.h"
+#include "core/explorer.h"
+#include "core/occurrence_matrix.h"
+#include "core/relationship_rdf.h"
+#include "qb/exporter.h"
+#include "qb/loader.h"
+#include "qb/slice.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/turtle_writer.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace {
+
+using core::CollectingSink;
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+// --- RDF materialization ------------------------------------------------------
+
+class RelationshipRdfTest : public ::testing::Test {
+ protected:
+  RelationshipRdfTest() : corpus_(MakeRunningExample()) {}
+  qb::Corpus corpus_;
+};
+
+TEST_F(RelationshipRdfTest, MaterializeAndReloadRoundTrips) {
+  const qb::ObservationSet& obs = *corpus_.observations;
+  const core::OccurrenceMatrix om(obs);
+
+  rdf::TripleStore rel_store;
+  core::RdfMaterializingSink rdf_sink(&obs, &rel_store);
+  CollectingSink reference;
+  // Tee into both sinks through two runs (deterministic).
+  ASSERT_TRUE(core::RunBaseline(obs, om, core::BaselineOptions{}, &rdf_sink).ok());
+  ASSERT_TRUE(
+      core::RunBaseline(obs, om, core::BaselineOptions{}, &reference).ok());
+  EXPECT_GT(rdf_sink.triples_written(), 0u);
+
+  // Serialize + reparse the materialized graph, then reload.
+  rdf::TripleStore reparsed;
+  ASSERT_TRUE(rdf::ParseTurtle(rdf::WriteNTriples(rel_store), &reparsed).ok());
+  CollectingSink reloaded;
+  std::size_t skipped = 0;
+  ASSERT_TRUE(core::LoadMaterializedRelationships(reparsed, obs, &reloaded,
+                                                  &skipped)
+                  .ok());
+  EXPECT_EQ(skipped, 0u);
+
+  reference.Canonicalize();
+  reloaded.Canonicalize();
+  EXPECT_EQ(reloaded.full(), reference.full());
+  EXPECT_EQ(reloaded.complementary(), reference.complementary());
+  ASSERT_EQ(reloaded.partial().size(), reference.partial().size());
+  for (std::size_t i = 0; i < reloaded.partial().size(); ++i) {
+    EXPECT_EQ(reloaded.partial()[i].a, reference.partial()[i].a);
+    EXPECT_EQ(reloaded.partial()[i].b, reference.partial()[i].b);
+    EXPECT_NEAR(reloaded.partial()[i].degree, reference.partial()[i].degree,
+                1e-6);
+  }
+}
+
+TEST_F(RelationshipRdfTest, ComplementarityIsWrittenSymmetrically) {
+  const qb::ObservationSet& obs = *corpus_.observations;
+  rdf::TripleStore store;
+  core::RdfMaterializingSink sink(&obs, &store);
+  sink.OnComplementarity(testutil::kO11, testutil::kO31);
+  auto pred = store.dictionary().Find(
+      rdf::Term::Iri(std::string(core::relvocab::kComplements)));
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_EQ(store.MatchAll(rdf::kNoTerm, *pred, rdf::kNoTerm).size(), 2u);
+}
+
+TEST_F(RelationshipRdfTest, UnknownObservationsAreSkippedOnLoad) {
+  const qb::ObservationSet& obs = *corpus_.observations;
+  rdf::TripleStore store;
+  store.Insert(rdf::Term::Iri("urn:rdfcube:obs:ghost"),
+               rdf::Term::Iri(std::string(core::relvocab::kFullyContains)),
+               rdf::Term::Iri("urn:rdfcube:obs:o11"));
+  CollectingSink sink;
+  std::size_t skipped = 0;
+  ASSERT_TRUE(
+      core::LoadMaterializedRelationships(store, obs, &sink, &skipped).ok());
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_TRUE(sink.full().empty());
+}
+
+// --- CubeExplorer ----------------------------------------------------------------
+
+TEST(CubeExplorerTest, RunningExampleNeighbourhoods) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::CubeExplorer explorer(&obs);
+
+  // o21 drills down to o32 and o34.
+  auto contained = explorer.ContainedBy(testutil::kO21);
+  std::set<qb::ObsId> contained_set(contained.begin(), contained.end());
+  EXPECT_EQ(contained_set,
+            (std::set<qb::ObsId>{testutil::kO32, testutil::kO34}));
+
+  // o32 rolls up to o21.
+  auto containers = explorer.Containers(testutil::kO32);
+  ASSERT_EQ(containers.size(), 1u);
+  EXPECT_EQ(containers[0], testutil::kO21);
+
+  // o11 and o31 complement each other.
+  auto compl_o11 = explorer.Complements(testutil::kO11);
+  ASSERT_EQ(compl_o11.size(), 1u);
+  EXPECT_EQ(compl_o11[0], testutil::kO31);
+
+  // o21 partially contains o31 at degree 2/3 >= 0.5.
+  auto partial = explorer.PartiallyContained(testutil::kO21, 0.5);
+  bool found = false;
+  for (const auto& match : partial) {
+    if (match.other == testutil::kO31) {
+      found = true;
+      EXPECT_NEAR(match.degree, 2.0 / 3.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Property: explorer point queries agree with the batch baseline.
+class ExplorerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExplorerPropertyTest, AgreesWithBatchBaseline) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam() * 13 + 5, 40);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const core::OccurrenceMatrix om(obs);
+  CollectingSink batch;
+  ASSERT_TRUE(
+      core::RunBaseline(obs, om, core::BaselineOptions{}, &batch).ok());
+
+  std::set<std::pair<qb::ObsId, qb::ObsId>> batch_full(batch.full().begin(),
+                                                       batch.full().end());
+  std::set<std::pair<qb::ObsId, qb::ObsId>> batch_compl(
+      batch.complementary().begin(), batch.complementary().end());
+
+  const core::CubeExplorer explorer(&obs);
+  std::set<std::pair<qb::ObsId, qb::ObsId>> explored_full, explored_compl;
+  for (qb::ObsId id = 0; id < obs.size(); ++id) {
+    for (qb::ObsId o : explorer.ContainedBy(id)) explored_full.insert({id, o});
+    for (qb::ObsId o : explorer.Complements(id)) {
+      explored_compl.insert({std::min(id, o), std::max(id, o)});
+    }
+    // Containers is the inverse of ContainedBy.
+    for (qb::ObsId o : explorer.Containers(id)) {
+      EXPECT_TRUE(batch_full.count({o, id})) << o << "->" << id;
+    }
+  }
+  EXPECT_EQ(explored_full, batch_full);
+  EXPECT_EQ(explored_compl, batch_compl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplorerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// --- Slices ---------------------------------------------------------------------
+
+constexpr char kSliceDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix e: <http://e/> .
+
+e:geoScheme a skos:ConceptScheme .
+e:World skos:inScheme e:geoScheme .
+e:Greece skos:inScheme e:geoScheme ; skos:broader e:World .
+e:Athens skos:inScheme e:geoScheme ; skos:broader e:Greece .
+e:geo a qb:DimensionProperty ; qb:codeList e:geoScheme .
+e:year a qb:DimensionProperty .
+e:pop a qb:MeasureProperty .
+e:dsd a qb:DataStructureDefinition ; qb:component e:c1, e:c2, e:c3 .
+e:c1 qb:dimension e:geo .
+e:c2 qb:dimension e:year .
+e:c3 qb:measure e:pop .
+e:ds a qb:DataSet ; qb:structure e:dsd .
+
+e:o1 a qb:Observation ; qb:dataSet e:ds ; e:geo e:Greece ; e:year e:Y1 ; e:pop 1 .
+e:o2 a qb:Observation ; qb:dataSet e:ds ; e:geo e:Athens ; e:year e:Y1 ; e:pop 2 .
+e:o3 a qb:Observation ; qb:dataSet e:ds ; e:geo e:Athens ; e:year e:Y2 ; e:pop 3 .
+
+e:sliceY1 a qb:Slice ; e:year e:Y1 ; qb:observation e:o1, e:o2 .
+e:sliceAthens a qb:Slice ; e:geo e:Athens ; qb:observation e:o2, e:o3 .
+e:sliceGreeceY1 a qb:Slice ; e:geo e:Greece ; e:year e:Y1 ;
+  qb:observation e:o1 .
+)";
+
+class SliceTest : public ::testing::Test {
+ protected:
+  SliceTest() {
+    EXPECT_TRUE(rdf::ParseTurtle(kSliceDoc, &store_).ok());
+    auto corpus = qb::LoadCorpusFromRdf(store_);
+    EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = std::move(*corpus);
+  }
+  rdf::TripleStore store_;
+  qb::Corpus corpus_;
+};
+
+TEST_F(SliceTest, LoadsSlicesWithFixedValuesAndMembers) {
+  auto slices = qb::LoadSlicesFromRdf(store_, corpus_);
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  ASSERT_EQ(slices->size(), 3u);
+  const qb::Slice* y1 = nullptr;
+  for (const auto& s : *slices) {
+    if (s.iri == "http://e/sliceY1") y1 = &s;
+  }
+  ASSERT_NE(y1, nullptr);
+  EXPECT_EQ(y1->fixed.size(), 1u);
+  EXPECT_EQ(y1->observations.size(), 2u);
+}
+
+TEST_F(SliceTest, ValidatesMembersAgainstFixedValues) {
+  auto slices = qb::LoadSlicesFromRdf(store_, corpus_);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_TRUE(qb::ValidateSlices(*slices, corpus_).empty());
+
+  // Corrupt a slice: claim o3 (Y2) belongs to the Y1 slice.
+  for (auto& s : *slices) {
+    if (s.iri == "http://e/sliceY1") {
+      // o3's id: find by IRI.
+      for (qb::ObsId i = 0; i < corpus_.observations->size(); ++i) {
+        if (corpus_.observations->obs(i).iri == "http://e/o3") {
+          s.observations.push_back(i);
+        }
+      }
+    }
+  }
+  const auto violations = qb::ValidateSlices(*slices, corpus_);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].observation_iri, "http://e/o3");
+}
+
+TEST_F(SliceTest, SliceContainment) {
+  auto slices = qb::LoadSlicesFromRdf(store_, corpus_);
+  ASSERT_TRUE(slices.ok());
+  const qb::Slice *y1 = nullptr, *athens = nullptr, *greece_y1 = nullptr;
+  for (const auto& s : *slices) {
+    if (s.iri == "http://e/sliceY1") y1 = &s;
+    if (s.iri == "http://e/sliceAthens") athens = &s;
+    if (s.iri == "http://e/sliceGreeceY1") greece_y1 = &s;
+  }
+  ASSERT_TRUE(y1 && athens && greece_y1);
+  // The Y1 slice (geo free = World) contains the Greece-Y1 slice.
+  EXPECT_TRUE(qb::SliceContains(*y1, *greece_y1, corpus_));
+  EXPECT_FALSE(qb::SliceContains(*greece_y1, *y1, corpus_));
+  // Athens-any-year vs Greece-Y1: neither contains the other.
+  EXPECT_FALSE(qb::SliceContains(*athens, *greece_y1, corpus_));
+  EXPECT_FALSE(qb::SliceContains(*greece_y1, *athens, corpus_));
+  // Reflexive.
+  EXPECT_TRUE(qb::SliceContains(*y1, *y1, corpus_));
+}
+
+TEST_F(SliceTest, UnknownMemberFails) {
+  rdf::TripleStore bad = store_;
+  ASSERT_TRUE(rdf::ParseTurtle(
+                  "@prefix qb: <http://purl.org/linked-data/cube#> .\n"
+                  "@prefix e: <http://e/> .\n"
+                  "e:sliceBad a qb:Slice ; qb:observation e:ghost .\n",
+                  &bad)
+                  .ok());
+  EXPECT_TRUE(qb::LoadSlicesFromRdf(bad, corpus_).status().IsParseError());
+}
+
+TEST(SliceNoSlicesTest, EmptyGraphYieldsNoSlices) {
+  qb::Corpus corpus = MakeRunningExample();
+  rdf::TripleStore store;
+  ASSERT_TRUE(qb::ExportCorpusToRdf(corpus, &store).ok());
+  auto slices = qb::LoadSlicesFromRdf(store, corpus);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_TRUE(slices->empty());
+}
+
+}  // namespace
+}  // namespace rdfcube

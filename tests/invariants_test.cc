@@ -1,0 +1,183 @@
+// Algebraic invariants of the relationship definitions, checked on random
+// corpora: these hold by Def. 2-4 and must hold for every implementation.
+//
+//  * dimensional containment (root-padded, ancestor-or-self on all dims) is
+//    a partial order: reflexive, transitive, antisymmetric up to coordinate
+//    equality;
+//  * complementarity is an equivalence relation on padded coordinates:
+//    symmetric, transitive, and exactly the mutual-containment pairs;
+//  * full containment (with the measure gate) is contained in dimensional
+//    containment and is transitive *within a fixed shared measure*;
+//  * partial degree is monotone: full containment implies degree 1 on every
+//    dimension; the reported degree equals the per-dimension count / |P|;
+//  * the skyline is an antichain under strict dominance.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/baseline.h"
+#include "core/occurrence_matrix.h"
+#include "core/skyline.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRandomCorpus;
+
+class InvariantTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void Load(uint64_t seed) {
+    corpus_ = MakeRandomCorpus(seed, 50);
+    obs_ = corpus_.observations.get();
+    om_ = std::make_unique<OccurrenceMatrix>(*obs_);
+  }
+
+  // Dimensional (measure-free) containment via the occurrence matrix.
+  bool DimContains(qb::ObsId a, qb::ObsId b) const {
+    return om_->ContainsAll(a, b);
+  }
+
+  bool SameCoordinates(qb::ObsId a, qb::ObsId b) const {
+    for (qb::DimId d = 0; d < obs_->space().num_dimensions(); ++d) {
+      if (obs_->ValueOrRoot(a, d) != obs_->ValueOrRoot(b, d)) return false;
+    }
+    return true;
+  }
+
+  qb::Corpus corpus_;
+  const qb::ObservationSet* obs_ = nullptr;
+  std::unique_ptr<OccurrenceMatrix> om_;
+};
+
+TEST_P(InvariantTest, DimensionalContainmentIsAPartialOrder) {
+  Load(GetParam());
+  const std::size_t n = obs_->size();
+  // Reflexive.
+  for (qb::ObsId a = 0; a < n; ++a) {
+    EXPECT_TRUE(DimContains(a, a));
+  }
+  // Antisymmetric up to coordinate equality + transitive.
+  for (qb::ObsId a = 0; a < n; ++a) {
+    for (qb::ObsId b = 0; b < n; ++b) {
+      if (DimContains(a, b) && DimContains(b, a)) {
+        EXPECT_TRUE(SameCoordinates(a, b)) << a << "," << b;
+      }
+      if (!DimContains(a, b)) continue;
+      for (qb::ObsId c = 0; c < n; ++c) {
+        if (DimContains(b, c)) {
+          EXPECT_TRUE(DimContains(a, c))
+              << "transitivity broken: " << a << ">" << b << ">" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(InvariantTest, ComplementarityIsAnEquivalenceOnCoordinates) {
+  Load(GetParam() * 3 + 1);
+  CollectingSink sink;
+  BaselineOptions options;
+  options.selector = RelationshipSelector::ComplOnly();
+  ASSERT_TRUE(RunBaseline(*obs_, *om_, options, &sink).ok());
+  std::set<std::pair<qb::ObsId, qb::ObsId>> compl_pairs(
+      sink.complementary().begin(), sink.complementary().end());
+
+  auto has = [&](qb::ObsId a, qb::ObsId b) {
+    return compl_pairs.count({std::min(a, b), std::max(a, b)}) != 0;
+  };
+  const std::size_t n = obs_->size();
+  for (qb::ObsId a = 0; a < n; ++a) {
+    for (qb::ObsId b = a + 1; b < n; ++b) {
+      // Compl(a,b) <=> identical padded coordinates.
+      EXPECT_EQ(has(a, b), SameCoordinates(a, b)) << a << "," << b;
+      // Transitivity through any witness c.
+      if (!has(a, b)) continue;
+      for (qb::ObsId c = b + 1; c < n; ++c) {
+        if (has(b, c)) {
+          EXPECT_TRUE(has(a, c));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(InvariantTest, FullContainmentRespectsGateAndTransitivityPerMeasure) {
+  Load(GetParam() * 7 + 5);
+  CollectingSink sink;
+  BaselineOptions options;
+  options.selector = RelationshipSelector::FullOnly();
+  ASSERT_TRUE(RunBaseline(*obs_, *om_, options, &sink).ok());
+  std::set<std::pair<qb::ObsId, qb::ObsId>> full(sink.full().begin(),
+                                                 sink.full().end());
+  for (const auto& [a, b] : full) {
+    EXPECT_TRUE(DimContains(a, b));
+    EXPECT_TRUE(obs_->SharesMeasure(a, b));
+  }
+  // Transitivity restricted to a common measure across all three.
+  for (const auto& [a, b] : full) {
+    for (const auto& [b2, c] : full) {
+      if (b2 != b || c == a) continue;
+      const uint64_t common = obs_->obs(a).measure_mask &
+                              obs_->obs(b).measure_mask &
+                              obs_->obs(c).measure_mask;
+      if (common != 0) {
+        EXPECT_TRUE(full.count({a, c}))
+            << "per-measure transitivity broken: " << a << ">" << b << ">"
+            << c;
+      }
+    }
+  }
+}
+
+TEST_P(InvariantTest, PartialDegreeEqualsDimensionCount) {
+  Load(GetParam() * 11 + 3);
+  CollectingSink sink;
+  BaselineOptions options;
+  options.selector.partial_dimension_map = true;
+  ASSERT_TRUE(RunBaseline(*obs_, *om_, options, &sink).ok());
+  const std::size_t k = obs_->space().num_dimensions();
+  for (const auto& p : sink.partial()) {
+    // Recount dimensions directly.
+    std::size_t count = 0;
+    for (qb::DimId d = 0; d < k; ++d) {
+      if (om_->Contains(p.a, p.b, d)) ++count;
+    }
+    EXPECT_NEAR(p.degree, static_cast<double>(count) / static_cast<double>(k),
+                1e-12);
+    EXPECT_GT(count, 0u);
+    EXPECT_LT(count, k);
+    // The dimension map has exactly `count` bits and matches Contains.
+    std::size_t mask_bits = 0;
+    for (qb::DimId d = 0; d < k; ++d) {
+      const bool in_mask = (p.dim_mask >> d) & 1;
+      EXPECT_EQ(in_mask, om_->Contains(p.a, p.b, d));
+      mask_bits += in_mask ? 1 : 0;
+    }
+    EXPECT_EQ(mask_bits, count);
+  }
+}
+
+TEST_P(InvariantTest, SkylineIsAnAntichain) {
+  Load(GetParam() * 13 + 11);
+  const Lattice lattice(*obs_);
+  const auto skyline = ComputeSkyline(*obs_, lattice);
+  // No skyline member strictly dominates another with a shared measure.
+  for (qb::ObsId a : skyline) {
+    for (qb::ObsId b : skyline) {
+      if (a == b || !obs_->SharesMeasure(a, b)) continue;
+      const bool dominates = DimContains(a, b) && !SameCoordinates(a, b);
+      EXPECT_FALSE(dominates) << a << " dominates skyline member " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,459 @@
+// Tests for src/qb: cube space, observation set, corpus builder, validator,
+// CSV import, RDF loader and exporter (including the round-trip).
+
+#include <gtest/gtest.h>
+
+#include "qb/corpus.h"
+#include "qb/csv_importer.h"
+#include "qb/cube_space.h"
+#include "qb/exporter.h"
+#include "qb/loader.h"
+#include "qb/observation_set.h"
+#include "qb/validate.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/turtle_writer.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace qb {
+namespace {
+
+using testutil::MakeRunningExample;
+
+// --- CubeSpace ----------------------------------------------------------------
+
+TEST(CubeSpaceTest, RegistersDimensionsAndMeasures) {
+  CubeSpace space;
+  hierarchy::CodeList list("ALL");
+  list.Add("a", 0).value();
+  ASSERT_TRUE(list.Finalize().ok());
+  auto d = space.AddDimension("dim:geo", std::move(list));
+  ASSERT_TRUE(d.ok());
+  auto m = space.AddMeasure("m:pop");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(space.num_dimensions(), 1u);
+  EXPECT_EQ(space.num_measures(), 1u);
+  EXPECT_EQ(space.dimension_iri(*d), "dim:geo");
+  EXPECT_EQ(space.measure_iri(*m), "m:pop");
+  EXPECT_EQ(*space.FindDimension("dim:geo"), *d);
+  EXPECT_FALSE(space.FindDimension("dim:none").has_value());
+  EXPECT_FALSE(space.FindMeasure("m:none").has_value());
+}
+
+TEST(CubeSpaceTest, RejectsDuplicates) {
+  CubeSpace space;
+  hierarchy::CodeList l1("ALL");
+  ASSERT_TRUE(l1.Finalize().ok());
+  ASSERT_TRUE(space.AddDimension("d", std::move(l1)).ok());
+  hierarchy::CodeList l2("ALL");
+  ASSERT_TRUE(l2.Finalize().ok());
+  EXPECT_TRUE(space.AddDimension("d", std::move(l2)).status().IsAlreadyExists());
+  ASSERT_TRUE(space.AddMeasure("m").ok());
+  EXPECT_TRUE(space.AddMeasure("m").status().IsAlreadyExists());
+}
+
+TEST(CubeSpaceTest, RejectsUnfinalizedCodeList) {
+  CubeSpace space;
+  hierarchy::CodeList list("ALL");
+  EXPECT_TRUE(space.AddDimension("d", std::move(list))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// --- ObservationSet -------------------------------------------------------------
+
+TEST(ObservationSetTest, RootPaddingForMissingDimensions) {
+  Corpus corpus = MakeRunningExample();
+  const ObservationSet& obs = *corpus.observations;
+  const CubeSpace& space = *corpus.space;
+  const DimId sex = *space.FindDimension(testutil::kSex);
+  // o21 (D2) has no sex dimension: padded to root ("Total").
+  EXPECT_EQ(obs.obs(testutil::kO21).dims[sex], hierarchy::kNoCode);
+  EXPECT_EQ(obs.ValueOrRoot(testutil::kO21, sex), space.code_list(sex).root());
+  // o12 has sex = Male.
+  EXPECT_EQ(obs.ValueOrRoot(testutil::kO12, sex),
+            *space.code_list(sex).Find("Male"));
+}
+
+TEST(ObservationSetTest, LevelsAndMeasureSharing) {
+  Corpus corpus = MakeRunningExample();
+  const ObservationSet& obs = *corpus.observations;
+  const DimId area = *corpus.space->FindDimension(testutil::kRefArea);
+  EXPECT_EQ(obs.LevelOf(testutil::kO11, area), 3u);  // Athens
+  EXPECT_EQ(obs.LevelOf(testutil::kO21, area), 2u);  // Greece
+  // o21 (unemployment+poverty) and o31 (unemployment) share a measure.
+  EXPECT_TRUE(obs.SharesMeasure(testutil::kO21, testutil::kO31));
+  // o11 (population) and o31 (unemployment) do not.
+  EXPECT_FALSE(obs.SharesMeasure(testutil::kO11, testutil::kO31));
+}
+
+TEST(ObservationSetTest, DatasetBookkeeping) {
+  Corpus corpus = MakeRunningExample();
+  const ObservationSet& obs = *corpus.observations;
+  EXPECT_EQ(obs.num_datasets(), 3u);
+  EXPECT_EQ(obs.size(), 10u);
+  EXPECT_EQ(obs.dataset(0).observations.size(), 3u);  // D1
+  EXPECT_EQ(obs.dataset(2).observations.size(), 5u);  // D3
+}
+
+TEST(ObservationSetTest, RejectsOutOfSchemaValues) {
+  Corpus corpus = MakeRunningExample();
+  ObservationSet& obs = *corpus.observations;
+  const DimId sex = *corpus.space->FindDimension(testutil::kSex);
+  const MeasureId pop = *corpus.space->FindMeasure(testutil::kPopulation);
+  // D3 (dataset 2) has no sex dimension and no population measure.
+  EXPECT_TRUE(obs.AddObservation(2, "bad1", {{sex, 0}}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(obs.AddObservation(2, "bad2", {}, {{pop, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(obs.AddObservation(99, "bad3", {}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// --- CorpusBuilder ---------------------------------------------------------------
+
+TEST(CorpusBuilderTest, ErrorsOnUnknownNames) {
+  CorpusBuilder b;
+  EXPECT_TRUE(b.AddCode("nodim", "x", "y").IsNotFound());
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  EXPECT_TRUE(b.AddCode("d", "x", "noparent").IsNotFound());
+  EXPECT_TRUE(b.AddDataset("D", {"other"}, {}).IsNotFound());
+  EXPECT_TRUE(b.AddDataset("D", {"d"}, {"nomeasure"}).IsNotFound());
+}
+
+TEST(CorpusBuilderTest, BuildResolvesObservationsLazily) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  // Code added *after* the observation that references it: still fine,
+  // resolution happens at Build().
+  ASSERT_TRUE(b.AddObservation("D", "o1", {{"d", "x"}}, {{"m", 1.0}}).ok());
+  ASSERT_TRUE(b.AddCode("d", "x", "ALL").ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->observations->size(), 1u);
+}
+
+TEST(CorpusBuilderTest, BuildFailsOnUnknownCode) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "o1", {{"d", "ghost"}}, {}).ok());
+  EXPECT_TRUE(std::move(b).Build().status().IsNotFound());
+}
+
+TEST(CorpusBuilderTest, BuildFailsOnUnknownDataset) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddObservation("noDS", "o1", {}, {}).ok());
+  EXPECT_TRUE(std::move(b).Build().status().IsNotFound());
+}
+
+TEST(CorpusBuilderTest, DuplicateDimensionFails) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  EXPECT_TRUE(b.AddDimension("d", "ALL").IsAlreadyExists());
+}
+
+// --- Validator --------------------------------------------------------------------
+
+TEST(ValidateTest, CleanCorpusPasses) {
+  Corpus corpus = MakeRunningExample();
+  const ValidationReport report = ValidateCorpus(corpus);
+  EXPECT_TRUE(report.ok()) << FormatReport(report);
+}
+
+TEST(ValidateTest, FlagsDuplicateKeys) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "x", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "o1", {{"d", "x"}}, {{"m", 1.0}}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "o2", {{"d", "x"}}, {{"m", 2.0}}).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  const ValidationReport report = ValidateCorpus(*corpus);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kDuplicateKey);
+}
+
+TEST(ValidateTest, FlagsEmptyDatasetAndNoMeasure) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "x", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("Dempty", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "o1", {{"d", "x"}}, {}).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  const ValidationReport report = ValidateCorpus(*corpus);
+  bool saw_empty = false, saw_nomeasure = false;
+  for (const auto& issue : report.issues) {
+    saw_empty |= issue.kind == ValidationIssue::Kind::kEmptyDataset;
+    saw_nomeasure |= issue.kind == ValidationIssue::Kind::kNoMeasure;
+  }
+  EXPECT_TRUE(saw_empty);
+  EXPECT_TRUE(saw_nomeasure);
+}
+
+TEST(ValidateTest, FlagsUnusedDimension) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "x", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  ASSERT_TRUE(b.AddDataset("D", {"d"}, {"m"}).ok());
+  ASSERT_TRUE(b.AddObservation("D", "o1", {}, {{"m", 1.0}}).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  const ValidationReport report = ValidateCorpus(*corpus);
+  ASSERT_FALSE(report.ok());
+  bool saw = false;
+  for (const auto& issue : report.issues) {
+    saw |= issue.kind == ValidationIssue::Kind::kUnusedDimension;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// --- CSV import --------------------------------------------------------------------
+
+TEST(CsvImporterTest, ImportsRowsAsObservations) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("dim:geo", "World").ok());
+  ASSERT_TRUE(b.AddCode("dim:geo", "Greece", "World").ok());
+  ASSERT_TRUE(b.AddCode("dim:geo", "Italy", "World").ok());
+  ASSERT_TRUE(b.AddMeasure("m:pop").ok());
+
+  auto table = ParseCsv("geo,pop\nGreece,10.7\nItaly,59.1\n");
+  ASSERT_TRUE(table.ok());
+  CsvDatasetSpec spec;
+  spec.dataset_iri = "csv:D1";
+  spec.columns = {{CsvColumnSpec::Role::kDimension, "dim:geo"},
+                  {CsvColumnSpec::Role::kMeasure, "m:pop"}};
+  ASSERT_TRUE(ImportCsvDataset(*table, spec, &b).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->observations->size(), 2u);
+  EXPECT_EQ(corpus->observations->obs(0).values[0].second, 10.7);
+}
+
+TEST(CsvImporterTest, RejectsNonNumericMeasure) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  auto table = ParseCsv("d,m\nALL,abc\n");
+  ASSERT_TRUE(table.ok());
+  CsvDatasetSpec spec;
+  spec.dataset_iri = "D";
+  spec.columns = {{CsvColumnSpec::Role::kDimension, "d"},
+                  {CsvColumnSpec::Role::kMeasure, "m"}};
+  EXPECT_TRUE(ImportCsvDataset(*table, spec, &b).IsParseError());
+}
+
+TEST(CsvImporterTest, UnknownCellValueFailsAtBuild) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  auto table = ParseCsv("d,m\nUnknownPlace,5\n");
+  ASSERT_TRUE(table.ok());
+  CsvDatasetSpec spec;
+  spec.dataset_iri = "D";
+  spec.columns = {{CsvColumnSpec::Role::kDimension, "d"},
+                  {CsvColumnSpec::Role::kMeasure, "m"}};
+  ASSERT_TRUE(ImportCsvDataset(*table, spec, &b).ok());
+  EXPECT_TRUE(std::move(b).Build().status().IsNotFound());
+}
+
+TEST(CsvImporterTest, IgnoreColumnsAndEmptyCells) {
+  CorpusBuilder b;
+  ASSERT_TRUE(b.AddDimension("d", "ALL").ok());
+  ASSERT_TRUE(b.AddCode("d", "x", "ALL").ok());
+  ASSERT_TRUE(b.AddMeasure("m").ok());
+  auto table = ParseCsv("d,junk,m\nx,zzz,5\nx2,zzz,\n");
+  ASSERT_TRUE(table.ok());
+  // Second row: empty measure cell is skipped; "x2" unknown would fail, so
+  // use an ignored column trick: make d column value x for both rows.
+  table->rows[1][0] = "x";
+  CsvDatasetSpec spec;
+  spec.dataset_iri = "D";
+  spec.columns = {{CsvColumnSpec::Role::kDimension, "d"},
+                  {CsvColumnSpec::Role::kIgnore, ""},
+                  {CsvColumnSpec::Role::kMeasure, "m"}};
+  ASSERT_TRUE(ImportCsvDataset(*table, spec, &b).ok());
+  auto corpus = std::move(b).Build();
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->observations->size(), 2u);
+  EXPECT_EQ(corpus->observations->obs(1).measure_mask, 0u);
+}
+
+// --- RDF loader / exporter ------------------------------------------------------
+
+TEST(LoaderTest, LoadsMinimalCube) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix e: <http://e/> .
+
+e:geoScheme a skos:ConceptScheme .
+e:World skos:inScheme e:geoScheme .
+e:Greece skos:inScheme e:geoScheme ; skos:broader e:World .
+e:geo a qb:DimensionProperty ; qb:codeList e:geoScheme .
+e:pop a qb:MeasureProperty .
+
+e:dsd a qb:DataStructureDefinition ;
+  qb:component e:c1, e:c2 .
+e:c1 qb:dimension e:geo .
+e:c2 qb:measure e:pop .
+
+e:ds a qb:DataSet ; qb:structure e:dsd .
+e:o1 a qb:Observation ; qb:dataSet e:ds ; e:geo e:Greece ; e:pop 10.7 .
+e:o2 a qb:Observation ; qb:dataSet e:ds ; e:geo e:World ; e:pop 7000.0 .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  auto corpus = LoadCorpusFromRdf(store);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->space->num_dimensions(), 1u);
+  EXPECT_EQ(corpus->space->num_measures(), 1u);
+  EXPECT_EQ(corpus->observations->size(), 2u);
+  const DimId geo = *corpus->space->FindDimension("http://e/geo");
+  const hierarchy::CodeList& list = corpus->space->code_list(geo);
+  EXPECT_EQ(list.name(list.root()), "http://e/World");
+  EXPECT_TRUE(list.Find("http://e/Greece").has_value());
+}
+
+TEST(LoaderTest, SynthesizesFlatCodeLists) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix e: <http://e/> .
+e:dsd a qb:DataStructureDefinition ; qb:component e:c1, e:c2 .
+e:c1 qb:dimension e:year .
+e:c2 qb:measure e:pop .
+e:ds a qb:DataSet ; qb:structure e:dsd .
+e:o1 a qb:Observation ; qb:dataSet e:ds ; e:year e:Y2001 ; e:pop 5 .
+e:o2 a qb:Observation ; qb:dataSet e:ds ; e:year e:Y2002 ; e:pop 6 .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  auto corpus = LoadCorpusFromRdf(store);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  const DimId year = *corpus->space->FindDimension("http://e/year");
+  EXPECT_EQ(corpus->space->code_list(year).size(), 3u);  // ALL + 2 years
+  EXPECT_EQ(corpus->space->code_list(year).max_level(), 1u);
+}
+
+TEST(LoaderTest, AttributesBecomeDimensionsWhenConfigured) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix e: <http://e/> .
+e:dsd a qb:DataStructureDefinition ; qb:component e:c1, e:c2, e:c3 .
+e:c1 qb:dimension e:geo .
+e:c2 qb:measure e:pop .
+e:c3 qb:attribute e:unit .
+e:ds a qb:DataSet ; qb:structure e:dsd .
+e:o1 a qb:Observation ; qb:dataSet e:ds ; e:geo e:GR ; e:unit e:Persons ; e:pop 5 .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  auto with = LoadCorpusFromRdf(store);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->space->num_dimensions(), 2u);
+  LoaderOptions opt;
+  opt.attributes_as_dimensions = false;
+  auto without = LoadCorpusFromRdf(store, opt);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->space->num_dimensions(), 1u);
+}
+
+TEST(LoaderTest, FailsOnMissingStructure) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix e: <http://e/> .
+e:ds a qb:DataSet .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  EXPECT_TRUE(LoadCorpusFromRdf(store).status().IsParseError());
+}
+
+TEST(LoaderTest, FailsOnObservationWithoutDataset) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix e: <http://e/> .
+e:dsd a qb:DataStructureDefinition ; qb:component e:c1 .
+e:c1 qb:measure e:pop .
+e:ds a qb:DataSet ; qb:structure e:dsd .
+e:o1 a qb:Observation ; e:pop 5 .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  EXPECT_TRUE(LoadCorpusFromRdf(store).status().IsParseError());
+}
+
+TEST(LoaderTest, FailsOnNonNumericMeasure) {
+  const char kDoc[] = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix e: <http://e/> .
+e:dsd a qb:DataStructureDefinition ; qb:component e:c1 .
+e:c1 qb:measure e:pop .
+e:ds a qb:DataSet ; qb:structure e:dsd .
+e:o1 a qb:Observation ; qb:dataSet e:ds ; e:pop "not-a-number" .
+)";
+  rdf::TripleStore store;
+  ASSERT_TRUE(rdf::ParseTurtle(kDoc, &store).ok());
+  EXPECT_TRUE(LoadCorpusFromRdf(store).status().IsParseError());
+}
+
+TEST(LoaderTest, FailsOnEmptyGraph) {
+  rdf::TripleStore store;
+  EXPECT_TRUE(LoadCorpusFromRdf(store).status().IsNotFound());
+}
+
+TEST(ExporterTest, RoundTripPreservesStructure) {
+  Corpus original = MakeRunningExample();
+  rdf::TripleStore store;
+  ASSERT_TRUE(ExportCorpusToRdf(original, &store).ok());
+  EXPECT_GT(store.size(), 50u);
+
+  auto reloaded = LoadCorpusFromRdf(store);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->space->num_dimensions(),
+            original.space->num_dimensions());
+  EXPECT_EQ(reloaded->space->num_measures(), original.space->num_measures());
+  EXPECT_EQ(reloaded->observations->size(), original.observations->size());
+  EXPECT_EQ(reloaded->observations->num_datasets(),
+            original.observations->num_datasets());
+  // Code-list sizes survive (names are minted IRIs but structure is equal).
+  for (DimId d = 0; d < original.space->num_dimensions(); ++d) {
+    const std::string& iri = original.space->dimension_iri(d);
+    const std::string minted = "urn:rdfcube:dim:" + iri;
+    auto rd = reloaded->space->FindDimension(minted);
+    ASSERT_TRUE(rd.has_value()) << minted;
+    EXPECT_EQ(reloaded->space->code_list(*rd).size(),
+              original.space->code_list(d).size());
+    EXPECT_EQ(reloaded->space->code_list(*rd).max_level(),
+              original.space->code_list(d).max_level());
+  }
+}
+
+TEST(ExporterTest, SerializedTurtleReloads) {
+  Corpus original = MakeRunningExample();
+  rdf::TripleStore store;
+  ASSERT_TRUE(ExportCorpusToRdf(original, &store).ok());
+  const std::string text = rdf::WriteNTriples(store);
+  rdf::TripleStore reparsed;
+  ASSERT_TRUE(rdf::ParseTurtle(text, &reparsed).ok());
+  EXPECT_EQ(reparsed.size(), store.size());
+  auto corpus = LoadCorpusFromRdf(reparsed);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->observations->size(), original.observations->size());
+}
+
+}  // namespace
+}  // namespace qb
+}  // namespace rdfcube

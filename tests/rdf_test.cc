@@ -1,0 +1,341 @@
+// Unit tests for src/rdf: terms, dictionary, triple store pattern matching,
+// Turtle parsing (valid + malformed inputs), and serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/turtle_writer.h"
+#include "rdf/vocab.h"
+
+namespace rdfcube {
+namespace rdf {
+namespace {
+
+// --- Term ------------------------------------------------------------------
+
+TEST(TermTest, Kinds) {
+  EXPECT_TRUE(Term::Iri("http://x").IsIri());
+  EXPECT_TRUE(Term::Literal("v").IsLiteral());
+  EXPECT_TRUE(Term::Blank("b").IsBlank());
+}
+
+TEST(TermTest, EqualityDistinguishesDatatypeAndLang) {
+  EXPECT_EQ(Term::Literal("5"), Term::Literal("5"));
+  EXPECT_NE(Term::Literal("5"),
+            Term::TypedLiteral("5", std::string(vocab::kXsdInteger)));
+  EXPECT_NE(Term::LangLiteral("x", "en"), Term::LangLiteral("x", "el"));
+  EXPECT_NE(Term::Iri("a"), Term::Literal("a"));
+}
+
+TEST(TermTest, ToStringRendering) {
+  EXPECT_EQ(Term::Iri("http://x").ToString(), "<http://x>");
+  EXPECT_EQ(Term::Blank("b1").ToString(), "_:b1");
+  EXPECT_EQ(Term::Literal("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::LangLiteral("hi", "en").ToString(), "\"hi\"@en");
+  EXPECT_EQ(Term::TypedLiteral("5", "http://dt").ToString(),
+            "\"5\"^^<http://dt>");
+}
+
+TEST(TermTest, ToStringEscapes) {
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToString(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+// --- Dictionary --------------------------------------------------------------
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const TermId a = dict.Intern(Term::Iri("http://a"));
+  const TermId b = dict.Intern(Term::Iri("http://b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern(Term::Iri("http://a")), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Get(a).value(), "http://a");
+}
+
+TEST(DictionaryTest, FindMissing) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Find(Term::Iri("http://nope")).has_value());
+}
+
+// --- TripleStore ---------------------------------------------------------------
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s1_ = store_.dictionary().Intern(Term::Iri("s1"));
+    s2_ = store_.dictionary().Intern(Term::Iri("s2"));
+    p1_ = store_.dictionary().Intern(Term::Iri("p1"));
+    p2_ = store_.dictionary().Intern(Term::Iri("p2"));
+    o1_ = store_.dictionary().Intern(Term::Iri("o1"));
+    o2_ = store_.dictionary().Intern(Term::Iri("o2"));
+    store_.InsertEncoded({s1_, p1_, o1_});
+    store_.InsertEncoded({s1_, p2_, o2_});
+    store_.InsertEncoded({s2_, p1_, o1_});
+    store_.InsertEncoded({s2_, p1_, o2_});
+  }
+  TripleStore store_;
+  TermId s1_, s2_, p1_, p2_, o1_, o2_;
+};
+
+TEST_F(TripleStoreTest, DeduplicatesInserts) {
+  EXPECT_EQ(store_.size(), 4u);
+  EXPECT_FALSE(store_.InsertEncoded({s1_, p1_, o1_}));
+  EXPECT_EQ(store_.size(), 4u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  EXPECT_EQ(store_.MatchAll(s1_, kNoTerm, kNoTerm).size(), 2u);
+  EXPECT_EQ(store_.MatchAll(s2_, kNoTerm, kNoTerm).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicate) {
+  EXPECT_EQ(store_.MatchAll(kNoTerm, p1_, kNoTerm).size(), 3u);
+  EXPECT_EQ(store_.MatchAll(kNoTerm, p2_, kNoTerm).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, MatchByObject) {
+  EXPECT_EQ(store_.MatchAll(kNoTerm, kNoTerm, o1_).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchFullyBound) {
+  EXPECT_EQ(store_.MatchAll(s2_, p1_, o2_).size(), 1u);
+  EXPECT_EQ(store_.MatchAll(s2_, p2_, o2_).size(), 0u);
+}
+
+TEST_F(TripleStoreTest, MatchUnbound) {
+  EXPECT_EQ(store_.MatchAll(kNoTerm, kNoTerm, kNoTerm).size(), 4u);
+}
+
+TEST_F(TripleStoreTest, MatchPartialCombos) {
+  EXPECT_EQ(store_.MatchAll(s2_, p1_, kNoTerm).size(), 2u);
+  EXPECT_EQ(store_.MatchAll(kNoTerm, p1_, o1_).size(), 2u);
+  EXPECT_EQ(store_.MatchAll(s1_, kNoTerm, o2_).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, EarlyTermination) {
+  int count = 0;
+  store_.Match(kNoTerm, kNoTerm, kNoTerm, [&count](const Triple&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(TripleStoreTest, ConvenienceAccessors) {
+  EXPECT_EQ(store_.ObjectOf(s1_, p2_), o2_);
+  EXPECT_EQ(store_.ObjectOf(s1_, store_.dictionary().Intern(Term::Iri("px"))),
+            kNoTerm);
+  EXPECT_EQ(store_.ObjectsOf(s2_, p1_).size(), 2u);
+  EXPECT_EQ(store_.SubjectsOf(p1_, o1_).size(), 2u);
+  EXPECT_TRUE(store_.Contains(s1_, p1_, o1_));
+  EXPECT_FALSE(store_.Contains(s1_, p1_, o2_));
+}
+
+TEST_F(TripleStoreTest, InsertAfterMatchRebuildsIndexes) {
+  EXPECT_EQ(store_.MatchAll(kNoTerm, p1_, kNoTerm).size(), 3u);
+  store_.InsertEncoded({s1_, p1_, o2_});
+  EXPECT_EQ(store_.MatchAll(kNoTerm, p1_, kNoTerm).size(), 4u);
+}
+
+// --- Turtle parser ---------------------------------------------------------------
+
+TEST(TurtleParserTest, ParsesListingOneStyle) {
+  // Listing 1 of the paper (observation with prefixed names and a typed
+  // literal with thousands separators).
+  const char kDoc[] = R"(
+@prefix ex: <http://example.org/> .
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix sdmx-attr: <http://purl.org/linked-data/sdmx/2009/attribute#> .
+@prefix xmls: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:obs1 a qb:Observation ;
+    qb:dataSet ex:dataset ;
+    ex:time ex:Y2001 ;
+    sdmx-attr:unitMeasure ex:unit ;
+    ex:geo ex:DE ;
+    ex:population "82,350,000"^^xmls:integer .
+)";
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle(kDoc, &store).ok());
+  EXPECT_EQ(store.size(), 6u);
+  const auto obs = store.dictionary().Find(Term::Iri("http://example.org/obs1"));
+  ASSERT_TRUE(obs.has_value());
+  const auto type = store.dictionary().Find(
+      Term::Iri(std::string(vocab::kRdfType)));
+  ASSERT_TRUE(type.has_value());
+  const auto cls = store.dictionary().Find(
+      Term::Iri(std::string(vocab::kQbObservation)));
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_TRUE(store.Contains(*obs, *type, *cls));
+  // The measure literal keeps its datatype.
+  const auto pop =
+      store.dictionary().Find(Term::Iri("http://example.org/population"));
+  ASSERT_TRUE(pop.has_value());
+  const TermId value = store.ObjectOf(*obs, *pop);
+  ASSERT_NE(value, kNoTerm);
+  EXPECT_EQ(store.dictionary().Get(value).value(), "82,350,000");
+  EXPECT_EQ(store.dictionary().Get(value).datatype(),
+            "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(TurtleParserTest, ObjectLists) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:p e:a, e:b, e:c .",
+                          &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(TurtleParserTest, NumericAndBooleanShorthand) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:i 42 ; e:d 3.14 ; e:e 1e3 ; e:n -7 ;"
+                          " e:t true ; e:f false .",
+                          &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 6u);
+  const Dictionary& dict = store.dictionary();
+  EXPECT_TRUE(dict.Find(Term::TypedLiteral(
+                            "42", "http://www.w3.org/2001/XMLSchema#integer"))
+                  .has_value());
+  EXPECT_TRUE(dict.Find(Term::TypedLiteral(
+                            "3.14", "http://www.w3.org/2001/XMLSchema#decimal"))
+                  .has_value());
+  EXPECT_TRUE(dict.Find(Term::TypedLiteral(
+                            "1e3", "http://www.w3.org/2001/XMLSchema#double"))
+                  .has_value());
+  EXPECT_TRUE(dict.Find(Term::TypedLiteral(
+                            "true", "http://www.w3.org/2001/XMLSchema#boolean"))
+                  .has_value());
+}
+
+TEST(TurtleParserTest, LangTagsAndEscapes) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:l \"Ath\\u00\" .",
+                          &store)
+                  .IsParseError());  // unsupported escape
+  TripleStore store2;
+  ASSERT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:l \"Athens\"@en ; e:m \"a\\\"b\" .",
+                          &store2)
+                  .ok());
+  EXPECT_TRUE(store2.dictionary()
+                  .Find(Term::LangLiteral("Athens", "en"))
+                  .has_value());
+  EXPECT_TRUE(store2.dictionary().Find(Term::Literal("a\"b")).has_value());
+}
+
+TEST(TurtleParserTest, BlankNodes) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "_:b1 e:p e:o .\n"
+                          "e:s e:q _:b1 .",
+                          &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.dictionary().Find(Term::Blank("b1")).has_value());
+}
+
+TEST(TurtleParserTest, SparqlStylePrefix) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("PREFIX e: <http://e/>\n"
+                          "e:s e:p e:o .",
+                          &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TurtleParserTest, Comments) {
+  TripleStore store;
+  ASSERT_TRUE(ParseTurtle("# leading comment\n"
+                          "@prefix e: <http://e/> . # trailing\n"
+                          "e:s e:p e:o . # done\n",
+                          &store)
+                  .ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TurtleParserTest, ErrorsCarryLineNumbers) {
+  TripleStore store;
+  const Status st = ParseTurtle("@prefix e: <http://e/> .\n"
+                                "e:s e:p \"unterminated .\n",
+                                &store);
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line"), std::string::npos);
+}
+
+TEST(TurtleParserTest, RejectsUndefinedPrefix) {
+  TripleStore store;
+  EXPECT_TRUE(ParseTurtle("nope:s nope:p nope:o .", &store).IsParseError());
+}
+
+TEST(TurtleParserTest, RejectsCollections) {
+  TripleStore store;
+  EXPECT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:p (e:a e:b) .",
+                          &store)
+                  .IsParseError());
+}
+
+TEST(TurtleParserTest, RejectsMissingDot) {
+  TripleStore store;
+  EXPECT_TRUE(ParseTurtle("@prefix e: <http://e/> .\n"
+                          "e:s e:p e:o",
+                          &store)
+                  .IsParseError());
+}
+
+TEST(TurtleParserTest, FileNotFound) {
+  TripleStore store;
+  EXPECT_TRUE(ParseTurtleFile("/nonexistent/file.ttl", &store).IsNotFound());
+}
+
+// --- Serialization round-trips -----------------------------------------------
+
+TEST(TurtleWriterTest, NTriplesRoundTrip) {
+  TripleStore store;
+  store.Insert(Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+               Term::TypedLiteral("5", std::string(vocab::kXsdInteger)));
+  store.Insert(Term::Iri("http://e/s"), Term::Iri("http://e/q"),
+               Term::LangLiteral("Athens", "en"));
+  store.Insert(Term::Blank("b"), Term::Iri("http://e/p"),
+               Term::Literal("plain \"quoted\""));
+  const std::string nt = WriteNTriples(store);
+  TripleStore reparsed;
+  ASSERT_TRUE(ParseTurtle(nt, &reparsed).ok()) << nt;
+  EXPECT_EQ(reparsed.size(), store.size());
+  // Every original triple must exist in the reparsed store.
+  for (const Triple& t : store.triples()) {
+    const Dictionary& d = store.dictionary();
+    auto s = reparsed.dictionary().Find(d.Get(t.s));
+    auto p = reparsed.dictionary().Find(d.Get(t.p));
+    auto o = reparsed.dictionary().Find(d.Get(t.o));
+    ASSERT_TRUE(s.has_value() && p.has_value() && o.has_value());
+    EXPECT_TRUE(reparsed.Contains(*s, *p, *o));
+  }
+}
+
+TEST(TurtleWriterTest, TurtleRoundTripWithPrefixes) {
+  TripleStore store;
+  store.Insert(Term::Iri("http://e/s"), Term::Iri("http://e/p"),
+               Term::Iri("http://e/o"));
+  store.Insert(Term::Iri("http://e/s"), Term::Iri("http://e/p2"),
+               Term::Literal("v"));
+  const std::string ttl = WriteTurtle(store, {{"e", "http://e/"}});
+  EXPECT_NE(ttl.find("@prefix e:"), std::string::npos);
+  EXPECT_NE(ttl.find("e:s"), std::string::npos);
+  TripleStore reparsed;
+  ASSERT_TRUE(ParseTurtle(ttl, &reparsed).ok()) << ttl;
+  EXPECT_EQ(reparsed.size(), store.size());
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace rdfcube

@@ -1,0 +1,126 @@
+// Tests for hierarchy-based similarity and dataset relatedness.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/occurrence_matrix.h"
+#include "core/relatedness.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRunningExample;
+
+class SimilarityTest : public ::testing::Test {
+ protected:
+  SimilarityTest() : corpus_(MakeRunningExample()) {}
+  const qb::CubeSpace& space() const { return *corpus_.space; }
+  const hierarchy::CodeList& geo() const {
+    return space().code_list(*space().FindDimension(testutil::kRefArea));
+  }
+  hierarchy::CodeId Geo(const char* name) const { return *geo().Find(name); }
+  qb::Corpus corpus_;
+};
+
+TEST_F(SimilarityTest, CodeSimilarityBasics) {
+  // Identical codes: 1.
+  EXPECT_DOUBLE_EQ(CodeSimilarity(geo(), Geo("Athens"), Geo("Athens")), 1.0);
+  // Siblings under Greece (level 3, LCA level 2): 2/3.
+  EXPECT_NEAR(CodeSimilarity(geo(), Geo("Athens"), Geo("Ioannina")),
+              2.0 / 3.0, 1e-9);
+  // Athens (3) vs Rome (3), LCA Europe (1): 1/3.
+  EXPECT_NEAR(CodeSimilarity(geo(), Geo("Athens"), Geo("Rome")), 1.0 / 3.0,
+              1e-9);
+  // Athens vs Austin: meet only at World (0): 0.
+  EXPECT_DOUBLE_EQ(CodeSimilarity(geo(), Geo("Athens"), Geo("Austin")), 0.0);
+  // Ancestor-descendant: Greece (2) vs Athens (3): LCA Greece -> 2/3.
+  EXPECT_NEAR(CodeSimilarity(geo(), Geo("Greece"), Geo("Athens")), 2.0 / 3.0,
+              1e-9);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(CodeSimilarity(geo(), Geo("Athens"), Geo("Greece")),
+                   CodeSimilarity(geo(), Geo("Greece"), Geo("Athens")));
+  // Root vs root.
+  EXPECT_DOUBLE_EQ(CodeSimilarity(geo(), geo().root(), geo().root()), 1.0);
+}
+
+TEST_F(SimilarityTest, ObservationSimilarity) {
+  const qb::ObservationSet& obs = *corpus_.observations;
+  // Identical coordinates: 1.
+  EXPECT_DOUBLE_EQ(ObservationSimilarity(obs, testutil::kO11, testutil::kO31),
+                   1.0);
+  // o21 (Greece, 2011, root) vs o32 (Athens, Jan2011, root):
+  // geo LCA Greece: 2/3; period LCA 2011: 1/2; sex equal: 1 -> mean.
+  EXPECT_NEAR(ObservationSimilarity(obs, testutil::kO21, testutil::kO32),
+              (2.0 / 3.0 + 0.5 + 1.0) / 3.0, 1e-9);
+  // Similarity is symmetric.
+  EXPECT_DOUBLE_EQ(
+      ObservationSimilarity(obs, testutil::kO21, testutil::kO32),
+      ObservationSimilarity(obs, testutil::kO32, testutil::kO21));
+  // Bounded.
+  for (qb::ObsId a = 0; a < obs.size(); ++a) {
+    for (qb::ObsId b = 0; b < obs.size(); ++b) {
+      const double s = ObservationSimilarity(obs, a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(RelatednessTest, RunningExampleDatasetPairs) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  const OccurrenceMatrix om(obs);
+  RelatednessSink sink(&obs);
+  ASSERT_TRUE(RunBaseline(obs, om, BaselineOptions{}, &sink).ok());
+  const auto matrix = sink.Compute();
+  ASSERT_EQ(matrix.size(), 3u);  // (D1,D2), (D1,D3), (D2,D3)
+
+  auto find = [&](qb::DatasetId a, qb::DatasetId b) {
+    for (const auto& r : matrix) {
+      if (r.a == a && r.b == b) return r;
+    }
+    ADD_FAILURE();
+    return matrix[0];
+  };
+  // D2 (unemployment+poverty) vs D3 (unemployment): full containments
+  // o21>o32, o21>o34, o22>o33 all cross D2->D3.
+  const auto d2d3 = find(1, 2);
+  EXPECT_EQ(d2d3.full_containments, 3u);
+  EXPECT_GT(d2d3.measure_overlap, 0.0);  // shared unemployment
+  // D1 vs D3: complementary pairs (o11,o31), (o13,o35); no shared measure.
+  const auto d1d3 = find(0, 2);
+  EXPECT_EQ(d1d3.complementarities, 2u);
+  EXPECT_EQ(d1d3.full_containments, 0u);
+  EXPECT_DOUBLE_EQ(d1d3.measure_overlap, 0.0);
+  // D1 vs D2: no shared measures, no equal coordinates -> only schema
+  // overlap contributes.
+  const auto d1d2 = find(0, 1);
+  EXPECT_EQ(d1d2.full_containments, 0u);
+  EXPECT_EQ(d1d2.complementarities, 0u);
+  EXPECT_GT(d1d2.dimension_overlap, 0.0);  // refArea+refPeriod shared
+  // D2-D3 should score higher than D1-D2 (instance-level evidence).
+  EXPECT_GT(d2d3.score, d1d2.score);
+  // Scores bounded.
+  for (const auto& r : matrix) {
+    EXPECT_GE(r.score, 0.0);
+    EXPECT_LE(r.score, 1.0);
+  }
+}
+
+TEST(RelatednessTest, IntraDatasetPairsAreIgnored) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  RelatednessSink sink(&obs);
+  // o13 fully contains o12, both in D1: must not be tallied.
+  sink.OnFullContainment(testutil::kO13, testutil::kO12);
+  const auto matrix = sink.Compute();
+  for (const auto& r : matrix) {
+    EXPECT_EQ(r.full_containments, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

@@ -1,0 +1,131 @@
+// Robustness / failure-injection tests: the parsers must return ParseError
+// (never crash, hang, or accept) on arbitrary garbage and on systematically
+// truncated or mutated valid documents.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qb/loader.h"
+#include "rdf/turtle_parser.h"
+#include "sparql/parser.h"
+#include "util/random.h"
+
+namespace rdfcube {
+namespace {
+
+constexpr char kValidDoc[] =
+    "@prefix qb: <http://purl.org/linked-data/cube#> .\n"
+    "@prefix skos: <http://www.w3.org/2004/02/skos/core#> .\n"
+    "@prefix e: <http://e/> .\n"
+    "e:World skos:inScheme e:scheme .\n"
+    "e:o1 a qb:Observation ; qb:dataSet e:ds ; e:geo e:World ; "
+    "e:pop \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+
+constexpr char kValidQuery[] =
+    "PREFIX e: <http://e/>\n"
+    "SELECT DISTINCT ?a ?b WHERE {\n"
+    "  ?a e:p ?b .\n"
+    "  FILTER(?a != ?b)\n"
+    "  FILTER NOT EXISTS { ?a e:q ?b . }\n"
+    "}";
+
+// --- Random-bytes fuzzing ------------------------------------------------------
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, TurtleParserSurvivesRandomBytes) {
+  Rng rng(GetParam());
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    const std::size_t len = rng.Uniform(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    rdf::TripleStore store;
+    // Must terminate and not crash; any Status is acceptable.
+    (void)rdf::ParseTurtle(text, &store);
+  }
+}
+
+TEST_P(FuzzTest, TurtleParserSurvivesStructuredNoise) {
+  // Printable subset with Turtle-significant characters over-represented.
+  static const char kAlphabet[] =
+      "<>@.;,\"'()[]^^ \n\t:#ex123abcPREFIXfalse";
+  Rng rng(GetParam() * 31 + 5);
+  for (int doc = 0; doc < 100; ++doc) {
+    std::string text;
+    const std::size_t len = rng.Uniform(300);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    rdf::TripleStore store;
+    (void)rdf::ParseTurtle(text, &store);
+  }
+}
+
+TEST_P(FuzzTest, SparqlParserSurvivesRandomBytes) {
+  Rng rng(GetParam() * 7 + 3);
+  for (int doc = 0; doc < 50; ++doc) {
+    std::string text;
+    const std::size_t len = rng.Uniform(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    (void)sparql::ParseQuery(text);
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidTurtleNeverCrashes) {
+  Rng rng(GetParam() * 13 + 7);
+  const std::string base = kValidDoc;
+  for (int doc = 0; doc < 100; ++doc) {
+    std::string text = base;
+    // 1-4 random single-byte mutations.
+    const std::size_t mutations = 1 + rng.Uniform(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      text[rng.Uniform(text.size())] = static_cast<char>(rng.Uniform(128));
+    }
+    rdf::TripleStore store;
+    const Status st = rdf::ParseTurtle(text, &store);
+    if (st.ok()) {
+      // If it still parses, loading must also terminate cleanly.
+      (void)qb::LoadCorpusFromRdf(store);
+    }
+  }
+}
+
+TEST_P(FuzzTest, MutatedValidQueryNeverCrashes) {
+  Rng rng(GetParam() * 17 + 11);
+  const std::string base = kValidQuery;
+  for (int doc = 0; doc < 100; ++doc) {
+    std::string text = base;
+    const std::size_t mutations = 1 + rng.Uniform(3);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      text[rng.Uniform(text.size())] = static_cast<char>(rng.Uniform(128));
+    }
+    (void)sparql::ParseQuery(text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(1, 11));
+
+// --- Truncation sweeps -------------------------------------------------------------
+
+TEST(TruncationTest, TurtleEveryPrefixTerminates) {
+  const std::string base = kValidDoc;
+  for (std::size_t cut = 0; cut <= base.size(); ++cut) {
+    rdf::TripleStore store;
+    (void)rdf::ParseTurtle(base.substr(0, cut), &store);
+  }
+}
+
+TEST(TruncationTest, SparqlEveryPrefixTerminates) {
+  const std::string base = kValidQuery;
+  for (std::size_t cut = 0; cut <= base.size(); ++cut) {
+    (void)sparql::ParseQuery(base.substr(0, cut));
+  }
+}
+
+}  // namespace
+}  // namespace rdfcube

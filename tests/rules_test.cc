@@ -1,0 +1,242 @@
+// Tests for the forward-chaining rule engine and the paper's rule set run
+// against the RDF export of the running example.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qb/exporter.h"
+#include "rdf/turtle_parser.h"
+#include "rdf/vocab.h"
+#include "rules/engine.h"
+#include "rules/paper_rules.h"
+#include "sparql/paper_queries.h"
+#include "tests/test_corpus.h"
+
+namespace rdfcube {
+namespace rules {
+namespace {
+
+namespace vocab = rdf::vocab;
+
+rdf::TripleStore ParseStore(const char* ttl) {
+  rdf::TripleStore store;
+  const Status st = rdf::ParseTurtle(ttl, &store);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return store;
+}
+
+// Counts (s, p, o) matches of a fully-unbound predicate by IRI.
+std::size_t CountPredicate(const rdf::TripleStore& store,
+                           std::string_view predicate) {
+  auto p = store.dictionary().Find(rdf::Term::Iri(std::string(predicate)));
+  if (!p.has_value()) return 0;
+  return store.MatchAll(rdf::kNoTerm, *p, rdf::kNoTerm).size();
+}
+
+// --- Engine basics -----------------------------------------------------------
+
+TEST(RuleEngineTest, TransitiveClosure) {
+  auto store = ParseStore(R"(
+@prefix skos: <http://www.w3.org/2004/02/skos/core#> .
+@prefix e: <http://e/> .
+e:Athens skos:broader e:Greece .
+e:Greece skos:broader e:Europe .
+e:Europe skos:broader e:World .
+)");
+  std::vector<Rule> rules;
+  {
+    Rule base;
+    base.name = "base";
+    base.body.patterns.push_back(
+        {RTerm::Var("x"), RTerm::Iri(std::string(vocab::kSkosBroader)),
+         RTerm::Var("y")});
+    base.head = {RTerm::Var("x"),
+                 RTerm::Iri(std::string(vocab::kSkosBroaderTransitive)),
+                 RTerm::Var("y")};
+    rules.push_back(std::move(base));
+  }
+  {
+    Rule trans;
+    trans.name = "trans";
+    trans.body.patterns.push_back(
+        {RTerm::Var("x"),
+         RTerm::Iri(std::string(vocab::kSkosBroaderTransitive)),
+         RTerm::Var("y")});
+    trans.body.patterns.push_back(
+        {RTerm::Var("y"),
+         RTerm::Iri(std::string(vocab::kSkosBroaderTransitive)),
+         RTerm::Var("z")});
+    trans.head = {RTerm::Var("x"),
+                  RTerm::Iri(std::string(vocab::kSkosBroaderTransitive)),
+                  RTerm::Var("z")};
+    rules.push_back(std::move(trans));
+  }
+  auto stats = RunForwardChaining(rules, &store);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Closure: 3 base + Athens->Europe, Athens->World, Greece->World = 6.
+  EXPECT_EQ(CountPredicate(store, vocab::kSkosBroaderTransitive), 6u);
+  EXPECT_GE(stats->rounds, 2u);
+  EXPECT_EQ(stats->derived, 6u);
+}
+
+TEST(RuleEngineTest, NotEqualBuiltinFilters) {
+  auto store = ParseStore(R"(
+@prefix e: <http://e/> .
+e:a e:knows e:b .
+e:a e:knows e:a .
+)");
+  Rule r;
+  r.name = "distinct-knows";
+  r.body.patterns.push_back(
+      {RTerm::Var("x"), RTerm::Iri("http://e/knows"), RTerm::Var("y")});
+  r.body.not_equals.push_back({"x", "y"});
+  r.head = {RTerm::Var("x"), RTerm::Iri("http://e/knowsOther"),
+            RTerm::Var("y")};
+  auto stats = RunForwardChaining({r}, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(CountPredicate(store, "http://e/knowsOther"), 1u);
+}
+
+TEST(RuleEngineTest, NegationAsFailure) {
+  auto store = ParseStore(R"(
+@prefix e: <http://e/> .
+e:a a e:Node .
+e:b a e:Node .
+e:a e:blocked e:yes .
+)");
+  Rule r;
+  r.name = "unblocked";
+  r.body.patterns.push_back({RTerm::Var("x"),
+                             RTerm::Iri(std::string(vocab::kRdfType)),
+                             RTerm::Iri("http://e/Node")});
+  RuleGroup neg;
+  neg.patterns.push_back(
+      {RTerm::Var("x"), RTerm::Iri("http://e/blocked"), RTerm::Var("any")});
+  r.body.negations.push_back(std::move(neg));
+  r.head = {RTerm::Var("x"), RTerm::Iri("http://e/status"),
+            RTerm::Iri("http://e/free")};
+  auto stats = RunForwardChaining({r}, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(CountPredicate(store, "http://e/status"), 1u);
+  auto free_subjects = store.SubjectsOf(
+      *store.dictionary().Find(rdf::Term::Iri("http://e/status")),
+      *store.dictionary().Find(rdf::Term::Iri("http://e/free")));
+  ASSERT_EQ(free_subjects.size(), 1u);
+  EXPECT_EQ(store.dictionary().Get(free_subjects[0]).value(), "http://e/b");
+}
+
+TEST(RuleEngineTest, MaxDerivedTriggersResourceExhausted) {
+  auto store = ParseStore(R"(
+@prefix e: <http://e/> .
+e:n0 e:next e:n1 . e:n1 e:next e:n2 . e:n2 e:next e:n3 .
+e:n3 e:next e:n4 . e:n4 e:next e:n5 .
+)");
+  // Transitive closure of `next` derives ~10 new facts; cap at 3.
+  Rule r;
+  r.name = "trans";
+  r.body.patterns.push_back(
+      {RTerm::Var("x"), RTerm::Iri("http://e/next"), RTerm::Var("y")});
+  r.body.patterns.push_back(
+      {RTerm::Var("y"), RTerm::Iri("http://e/next"), RTerm::Var("z")});
+  r.head = {RTerm::Var("x"), RTerm::Iri("http://e/next"), RTerm::Var("z")};
+  ChainOptions options;
+  options.max_derived = 3;
+  EXPECT_TRUE(
+      RunForwardChaining({r}, &store, options).status().IsResourceExhausted());
+}
+
+TEST(RuleEngineTest, DeadlineTriggersTimeout) {
+  rdf::TripleStore store;
+  for (int i = 0; i < 3000; ++i) {
+    store.Insert(rdf::Term::Iri("s" + std::to_string(i)),
+                 rdf::Term::Iri("http://e/p"), rdf::Term::Iri("http://e/o"));
+  }
+  Rule r;
+  r.name = "copy";
+  r.body.patterns.push_back(
+      {RTerm::Var("x"), RTerm::Iri("http://e/p"), RTerm::Var("y")});
+  r.head = {RTerm::Var("x"), RTerm::Iri("http://e/q"), RTerm::Var("y")};
+  ChainOptions options;
+  options.deadline = Deadline(0.0);
+  EXPECT_TRUE(RunForwardChaining({r}, &store, options).status().IsTimedOut());
+}
+
+TEST(RuleEngineTest, EmptyRuleSetIsFixpointImmediately) {
+  auto store = ParseStore("@prefix e: <http://e/> . e:a e:p e:b .");
+  auto stats = RunForwardChaining({}, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->derived, 0u);
+  EXPECT_EQ(stats->rounds, 1u);
+}
+
+// --- Paper rules on the running example ------------------------------------------
+
+class PaperRulesTest : public ::testing::Test {
+ protected:
+  PaperRulesTest() {
+    qb::Corpus corpus = testutil::MakeRunningExample();
+    EXPECT_TRUE(qb::ExportCorpusToRdf(corpus, &store_).ok());
+  }
+
+  static std::pair<std::string, std::string> Obs(const char* a,
+                                                 const char* b) {
+    return {std::string("urn:rdfcube:obs:") + a,
+            std::string("urn:rdfcube:obs:") + b};
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(PaperRulesTest, DerivesTheRelationships) {
+  auto result = RunRuleBasedMethod(&store_, /*timeout_seconds=*/60.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->timed_out);
+  ASSERT_FALSE(result->out_of_memory);
+
+  std::set<std::pair<std::string, std::string>> full(result->full.begin(),
+                                                     result->full.end());
+  // Same relaxed semantics as the SPARQL variant (strict ∃ + universal ∀).
+  EXPECT_TRUE(full.count(Obs("o21", "o32")));
+  EXPECT_TRUE(full.count(Obs("o21", "o34")));
+  EXPECT_TRUE(full.count(Obs("o22", "o33")));
+  EXPECT_TRUE(full.count(Obs("o13", "o12")));
+  EXPECT_FALSE(full.count(Obs("o32", "o21")));
+
+  std::set<std::pair<std::string, std::string>> partial(
+      result->partial.begin(), result->partial.end());
+  EXPECT_TRUE(partial.count(Obs("o21", "o31")));
+  EXPECT_TRUE(partial.count(Obs("o21", "o32")));
+
+  std::set<std::pair<std::string, std::string>> compl_pairs(
+      result->complementary.begin(), result->complementary.end());
+  EXPECT_TRUE(compl_pairs.count(Obs("o11", "o31")));
+  EXPECT_TRUE(compl_pairs.count(Obs("o31", "o11")));
+  EXPECT_TRUE(compl_pairs.count(Obs("o13", "o35")));
+}
+
+TEST_F(PaperRulesTest, AgreesWithSparqlOnFullContainment) {
+  // Cross-validation of the two comparison engines: both implement the same
+  // relaxed semantics, so their full-containment answers must coincide.
+  rdf::TripleStore rules_store = store_;
+  auto rules_result = RunRuleBasedMethod(&rules_store, 60.0);
+  ASSERT_TRUE(rules_result.ok());
+  auto sparql_result = sparql::RunRelationshipQuery(
+      store_, sparql::FullContainmentQuery(), 60.0);
+  ASSERT_TRUE(sparql_result.ok());
+  const std::set<std::pair<std::string, std::string>> from_rules(
+      rules_result->full.begin(), rules_result->full.end());
+  const std::set<std::pair<std::string, std::string>> from_sparql(
+      sparql_result->pairs.begin(), sparql_result->pairs.end());
+  EXPECT_EQ(from_rules, from_sparql);
+}
+
+TEST_F(PaperRulesTest, TimeoutReported) {
+  auto result = RunRuleBasedMethod(&store_, 1e-9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->timed_out);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace rdfcube

@@ -1,0 +1,172 @@
+#include "tests/test_corpus.h"
+
+#include <cassert>
+#include <vector>
+
+namespace rdfcube {
+namespace testutil {
+
+namespace {
+
+void Check(const Status& status) {
+  assert(status.ok());
+  (void)status;
+}
+
+}  // namespace
+
+qb::Corpus MakeRunningExample() {
+  qb::CorpusBuilder b;
+  // refArea (Figure 1 / Table 2 column order).
+  Check(b.AddDimension(kRefArea, "World"));
+  Check(b.AddCode(kRefArea, "Europe", "World"));
+  Check(b.AddCode(kRefArea, "America", "World"));
+  Check(b.AddCode(kRefArea, "Greece", "Europe"));
+  Check(b.AddCode(kRefArea, "Italy", "Europe"));
+  Check(b.AddCode(kRefArea, "Athens", "Greece"));
+  Check(b.AddCode(kRefArea, "Ioannina", "Greece"));
+  Check(b.AddCode(kRefArea, "Rome", "Italy"));
+  Check(b.AddCode(kRefArea, "US", "America"));
+  Check(b.AddCode(kRefArea, "TX", "US"));
+  Check(b.AddCode(kRefArea, "Austin", "TX"));
+  // refPeriod.
+  Check(b.AddDimension(kRefPeriod, "AllTime"));
+  Check(b.AddCode(kRefPeriod, "2001", "AllTime"));
+  Check(b.AddCode(kRefPeriod, "2011", "AllTime"));
+  Check(b.AddCode(kRefPeriod, "Jan2011", "2011"));
+  Check(b.AddCode(kRefPeriod, "Feb2011", "2011"));
+  // sex.
+  Check(b.AddDimension(kSex, "Total"));
+  Check(b.AddCode(kSex, "Female", "Total"));
+  Check(b.AddCode(kSex, "Male", "Total"));
+
+  Check(b.AddMeasure(kPopulation));
+  Check(b.AddMeasure(kUnemployment));
+  Check(b.AddMeasure(kPoverty));
+
+  Check(b.AddDataset("D1", {kRefArea, kRefPeriod, kSex}, {kPopulation}));
+  Check(b.AddDataset("D2", {kRefArea, kRefPeriod},
+                     {kUnemployment, kPoverty}));
+  Check(b.AddDataset("D3", {kRefArea, kRefPeriod}, {kUnemployment}));
+
+  Check(b.AddObservation("D1", "o11",
+                         {{kRefArea, "Athens"},
+                          {kRefPeriod, "2001"},
+                          {kSex, "Total"}},
+                         {{kPopulation, 5.0e6}}));
+  Check(b.AddObservation("D1", "o12",
+                         {{kRefArea, "Austin"},
+                          {kRefPeriod, "2011"},
+                          {kSex, "Male"}},
+                         {{kPopulation, 445000}}));
+  Check(b.AddObservation("D1", "o13",
+                         {{kRefArea, "Austin"},
+                          {kRefPeriod, "2011"},
+                          {kSex, "Total"}},
+                         {{kPopulation, 885000}}));
+  Check(b.AddObservation("D2", "o21",
+                         {{kRefArea, "Greece"}, {kRefPeriod, "2011"}},
+                         {{kUnemployment, 26.0}, {kPoverty, 15.0}}));
+  Check(b.AddObservation("D2", "o22",
+                         {{kRefArea, "Italy"}, {kRefPeriod, "2011"}},
+                         {{kUnemployment, 20.0}, {kPoverty, 10.0}}));
+  Check(b.AddObservation("D3", "o31",
+                         {{kRefArea, "Athens"}, {kRefPeriod, "2001"}},
+                         {{kUnemployment, 10.0}}));
+  Check(b.AddObservation("D3", "o32",
+                         {{kRefArea, "Athens"}, {kRefPeriod, "Jan2011"}},
+                         {{kUnemployment, 30.0}}));
+  Check(b.AddObservation("D3", "o33",
+                         {{kRefArea, "Rome"}, {kRefPeriod, "Feb2011"}},
+                         {{kUnemployment, 7.0}}));
+  Check(b.AddObservation("D3", "o34",
+                         {{kRefArea, "Ioannina"}, {kRefPeriod, "Jan2011"}},
+                         {{kUnemployment, 15.0}}));
+  Check(b.AddObservation("D3", "o35",
+                         {{kRefArea, "Austin"}, {kRefPeriod, "2011"}},
+                         {{kUnemployment, 3.0}}));
+
+  auto corpus = std::move(b).Build();
+  assert(corpus.ok());
+  return std::move(corpus).value();
+}
+
+qb::Corpus MakeRandomCorpus(uint64_t seed, std::size_t num_obs,
+                            std::size_t num_dims, std::size_t num_datasets) {
+  Rng rng(seed);
+  qb::CorpusBuilder b;
+
+  // Random tree code lists.
+  std::vector<std::string> dim_iris;
+  std::vector<std::vector<std::string>> codes_of_dim(num_dims);
+  for (std::size_t d = 0; d < num_dims; ++d) {
+    const std::string dim = "rand:dim" + std::to_string(d);
+    dim_iris.push_back(dim);
+    const std::string root = "d" + std::to_string(d) + "ALL";
+    Check(b.AddDimension(dim, root));
+    codes_of_dim[d].push_back(root);
+    std::vector<std::string> frontier = {root};
+    const std::size_t depth = 1 + rng.Uniform(3);
+    for (std::size_t level = 0; level < depth; ++level) {
+      std::vector<std::string> next;
+      for (const std::string& parent : frontier) {
+        const std::size_t fanout = 2 + rng.Uniform(3);
+        for (std::size_t f = 0; f < fanout; ++f) {
+          const std::string code = parent + "." + std::to_string(f);
+          Check(b.AddCode(dim, code, parent));
+          codes_of_dim[d].push_back(code);
+          next.push_back(code);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  // Measures: num_datasets + 1; dataset i uses measures {i, last} so every
+  // pair of datasets overlaps via the shared last measure.
+  std::vector<std::string> measures;
+  for (std::size_t m = 0; m <= num_datasets; ++m) {
+    measures.push_back("rand:m" + std::to_string(m));
+    Check(b.AddMeasure(measures.back()));
+  }
+
+  // Datasets: random non-empty dimension subsets.
+  std::vector<std::vector<std::string>> schema_of(num_datasets);
+  for (std::size_t ds = 0; ds < num_datasets; ++ds) {
+    std::vector<std::string> schema;
+    for (std::size_t d = 0; d < num_dims; ++d) {
+      if (rng.Chance(0.7)) schema.push_back(dim_iris[d]);
+    }
+    if (schema.empty()) schema.push_back(dim_iris[0]);
+    schema_of[ds] = schema;
+    Check(b.AddDataset("rand:D" + std::to_string(ds), schema,
+                       {measures[ds], measures[num_datasets]}));
+  }
+
+  // Observations: values at random codes (any level); duplicate keys within
+  // a dataset are fine for relationship-engine property tests (the engines
+  // never assume IC-12), so no dedup here.
+  for (std::size_t i = 0; i < num_obs; ++i) {
+    const std::size_t ds = rng.Uniform(num_datasets);
+    std::vector<std::pair<std::string, std::string>> values;
+    for (const std::string& dim : schema_of[ds]) {
+      // Find the dimension index.
+      std::size_t d = 0;
+      while (dim_iris[d] != dim) ++d;
+      // Occasionally omit the value (exercises root padding).
+      if (rng.Chance(0.15)) continue;
+      const auto& codes = codes_of_dim[d];
+      values.emplace_back(dim, codes[rng.Uniform(codes.size())]);
+    }
+    Check(b.AddObservation(
+        "rand:D" + std::to_string(ds), "rand:o" + std::to_string(i), values,
+        {{measures[ds], rng.NextDouble()},
+         {measures[num_datasets], rng.NextDouble()}}));
+  }
+  auto corpus = std::move(b).Build();
+  assert(corpus.ok());
+  return std::move(corpus).value();
+}
+
+}  // namespace testutil
+}  // namespace rdfcube

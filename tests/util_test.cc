@@ -1,0 +1,417 @@
+// Unit tests for src/util: Status/Result, BitVector, strings, CSV, Rng,
+// ThreadPool, Stopwatch/Deadline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/bitvector.h"
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace rdfcube {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_FALSE(st.IsParseError());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyingSharesRepresentation) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_TRUE(b.IsInternal());
+  EXPECT_EQ(b.message(), "boom");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  RDFCUBE_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.ValueOr(-1), 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(UseAssignOrReturn(-1, &out).IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+// --- BitVector ----------------------------------------------------------------
+
+TEST(BitVectorTest, SetTestReset) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_FALSE(v.Test(0));
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Reset(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, CoversBasics) {
+  BitVector a(70), b(70);
+  a.Set(3);
+  a.Set(65);
+  b.Set(3);
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  EXPECT_TRUE(a.Covers(a));
+  b.Set(10);
+  EXPECT_FALSE(a.Covers(b));
+}
+
+TEST(BitVectorTest, CoversRangeIsolatesColumns) {
+  BitVector a(128), b(128);
+  a.Set(5);
+  b.Set(5);
+  b.Set(100);  // outside the checked range
+  EXPECT_TRUE(a.CoversRange(b, 0, 64));
+  EXPECT_FALSE(a.CoversRange(b, 64, 128));
+  EXPECT_FALSE(a.Covers(b));
+}
+
+TEST(BitVectorTest, CoversRangeWordBoundaries) {
+  BitVector a(192), b(192);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_FALSE(a.CoversRange(b, 63, 65));
+  a.Set(63);
+  a.Set(64);
+  EXPECT_TRUE(a.CoversRange(b, 63, 65));
+  EXPECT_FALSE(a.CoversRange(b, 63, 128));
+  a.Set(127);
+  EXPECT_TRUE(a.CoversRange(b, 0, 192));
+}
+
+TEST(BitVectorTest, EqualsRange) {
+  BitVector a(100), b(100);
+  a.Set(10);
+  b.Set(10);
+  a.Set(90);
+  EXPECT_TRUE(a.EqualsRange(b, 0, 64));
+  EXPECT_FALSE(a.EqualsRange(b, 64, 100));
+}
+
+TEST(BitVectorTest, CountRange) {
+  BitVector v(256);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(200);
+  EXPECT_EQ(v.CountRange(0, 64), 2u);
+  EXPECT_EQ(v.CountRange(64, 65), 1u);
+  EXPECT_EQ(v.CountRange(65, 200), 0u);
+  EXPECT_EQ(v.CountRange(0, 256), 4u);
+  EXPECT_EQ(v.CountRange(10, 10), 0u);
+}
+
+TEST(BitVectorTest, JaccardAndCounts) {
+  BitVector a(64), b(64);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(a.IntersectCount(b), 1u);
+  EXPECT_EQ(a.UnionCount(b), 3u);
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 1.0 / 3.0);
+  BitVector e1(64), e2(64);
+  EXPECT_DOUBLE_EQ(e1.Jaccard(e2), 1.0);  // both empty
+}
+
+TEST(BitVectorTest, ToStringRendering) {
+  BitVector v(4);
+  v.Set(1);
+  v.Set(3);
+  EXPECT_EQ(v.ToString(), "0101");
+}
+
+// Property sweep: CoversRange agrees with a naive per-bit check on random
+// vectors over varied range boundaries.
+class BitVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorPropertyTest, CoversRangeMatchesNaive) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.Uniform(300);
+  BitVector a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Chance(0.4)) a.Set(i);
+    if (rng.Chance(0.4)) b.Set(i);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t lo = rng.Uniform(n + 1);
+    std::size_t hi = rng.Uniform(n + 1);
+    if (lo > hi) std::swap(lo, hi);
+    bool naive = true;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (b.Test(i) && !a.Test(i)) {
+        naive = false;
+        break;
+      }
+    }
+    EXPECT_EQ(a.CoversRange(b, lo, hi), naive)
+        << "n=" << n << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST_P(BitVectorPropertyTest, CountRangeMatchesNaive) {
+  Rng rng(GetParam() * 31 + 7);
+  const std::size_t n = 1 + rng.Uniform(300);
+  BitVector a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Chance(0.3)) a.Set(i);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t lo = rng.Uniform(n + 1);
+    std::size_t hi = rng.Uniform(n + 1);
+    if (lo > hi) std::swap(lo, hi);
+    std::size_t naive = 0;
+    for (std::size_t i = lo; i < hi; ++i) naive += a.Test(i) ? 1 : 0;
+    EXPECT_EQ(a.CountRange(lo, hi), naive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Strings -------------------------------------------------------------------
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("file.ttl", ".ttl"));
+  EXPECT_FALSE(EndsWith("x", "xyz"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, IriLocalName) {
+  EXPECT_EQ(IriLocalName("http://ex.org/path#frag"), "frag");
+  EXPECT_EQ(IriLocalName("http://ex.org/a/b"), "b");
+  EXPECT_EQ(IriLocalName("plain"), "plain");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AtHeNs-2011"), "athens-2011");
+}
+
+// --- CSV -----------------------------------------------------------------------
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto t = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][1], "4");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto t = ParseCsv("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "x,y");
+  EXPECT_EQ(t->rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto t = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsParseError());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto t = ParseCsv("a\n\"unterminated\n");
+  ASSERT_FALSE(t.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->rows[0][0], "1");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"x", "a,b"}, {"y", "with \"quotes\""}};
+  auto parsed = ParseCsv(WriteCsv(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+// --- Rng -----------------------------------------------------------------------
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RngTest, SampleClampsOversizedRequest) {
+  Rng rng(5);
+  EXPECT_EQ(rng.SampleWithoutReplacement(10, 50).size(), 10u);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(7);
+  std::size_t low = 0, total = 10000;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rng.Zipf(100, 1.2) < 10) ++low;
+  }
+  // Top-10 of 100 should take far more than its 10% uniform share.
+  EXPECT_GT(low, total / 4);
+}
+
+// --- ThreadPool -------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  ParallelFor(&pool, hits.size(),
+              [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+// --- Stopwatch / Deadline ------------------------------------------------------
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ZeroExpiresImmediately) {
+  Deadline d(0.0);
+  // Elapsed > 0 after any work.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  EXPECT_TRUE(d.Expired());
+}
+
+}  // namespace
+}  // namespace rdfcube

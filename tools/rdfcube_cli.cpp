@@ -1,0 +1,282 @@
+// rdfcube command-line tool: validate, analyze and relate RDF Data Cube
+// files without writing C++.
+//
+//   rdfcube_cli stats    <file.ttl>             corpus overview
+//   rdfcube_cli validate <file.ttl>             QB well-formedness report
+//   rdfcube_cli relate   <file.ttl> [options]   compute relationships
+//       --method=baseline|clustering|masking|hybrid  (default masking)
+//       --types=full,partial,compl              (default all)
+//       --out=<relationships.nt>                materialize as RDF
+//       --timeout=<seconds>
+//   rdfcube_cli skyline  <file.ttl>             containment skyline IRIs
+//   rdfcube_cli explore  <file.ttl> <obs-iri>   neighbours of one observation
+//   rdfcube_cli rollup   <file.ttl> <dim-iri>=<code> [...]
+//                                               aggregate the contained
+//                                               observations at a coordinate
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/explorer.h"
+#include "core/relationship_rdf.h"
+#include "rdfcube/rdfcube.h"
+#include "util/string_util.h"
+
+using namespace rdfcube;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<qb::Corpus> LoadFile(const std::string& path) {
+  rdf::TripleStore store;
+  RDFCUBE_RETURN_IF_ERROR(rdf::ParseTurtleFile(path, &store));
+  return qb::LoadCorpusFromRdf(store);
+}
+
+int CmdStats(const std::string& path) {
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::CubeSpace& space = *corpus->space;
+  std::printf("observations: %zu\n", obs.size());
+  std::printf("datasets:     %zu\n", obs.num_datasets());
+  for (qb::DatasetId d = 0; d < obs.num_datasets(); ++d) {
+    std::printf("  %-40s %zu observations\n", obs.dataset(d).iri.c_str(),
+                obs.dataset(d).observations.size());
+  }
+  std::printf("dimensions:   %zu\n", space.num_dimensions());
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    std::printf("  %-40s %zu codes, depth %u\n",
+                space.dimension_iri(d).c_str(), space.code_list(d).size(),
+                space.code_list(d).max_level());
+  }
+  std::printf("measures:     %zu\n", space.num_measures());
+  const core::Lattice lattice(obs);
+  std::printf("lattice:      %zu populated cubes (%.4f per observation)\n",
+              lattice.num_cubes(),
+              obs.size() ? static_cast<double>(lattice.num_cubes()) /
+                               static_cast<double>(obs.size())
+                         : 0.0);
+  return 0;
+}
+
+int CmdValidate(const std::string& path) {
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ValidationReport report = qb::ValidateCorpus(*corpus);
+  std::fputs(qb::FormatReport(report).c_str(), stdout);
+  return report.ok() ? 0 : 2;
+}
+
+int CmdRelate(const std::string& path, const std::vector<std::string>& args) {
+  core::EngineOptions options;
+  std::string out_path;
+  for (const std::string& arg : args) {
+    if (StartsWith(arg, "--method=")) {
+      const std::string m = arg.substr(9);
+      if (m == "baseline") {
+        options.method = core::Method::kBaseline;
+      } else if (m == "clustering") {
+        options.method = core::Method::kClustering;
+      } else if (m == "masking") {
+        options.method = core::Method::kCubeMasking;
+      } else if (m == "hybrid") {
+        options.method = core::Method::kHybrid;
+      } else {
+        std::fprintf(stderr, "unknown method: %s\n", m.c_str());
+        return 1;
+      }
+    } else if (StartsWith(arg, "--types=")) {
+      options.selector = core::RelationshipSelector{false, false, false, false};
+      for (const std::string& t : Split(arg.substr(8), ',')) {
+        if (t == "full") {
+          options.selector.full_containment = true;
+        } else if (t == "partial") {
+          options.selector.partial_containment = true;
+        } else if (t == "compl") {
+          options.selector.complementarity = true;
+        } else {
+          std::fprintf(stderr, "unknown relationship type: %s\n", t.c_str());
+          return 1;
+        }
+      }
+    } else if (StartsWith(arg, "--out=")) {
+      out_path = arg.substr(6);
+    } else if (StartsWith(arg, "--timeout=")) {
+      options.timeout_seconds = std::stod(arg.substr(10));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ObservationSet& obs = *corpus->observations;
+
+  core::EngineReport report;
+  Status st;
+  if (out_path.empty()) {
+    core::CountingSink sink;
+    st = core::ComputeRelationships(obs, options, &sink, &report);
+    if (!st.ok()) return Fail(st);
+    std::printf("full containment:    %zu\n", sink.full());
+    std::printf("partial containment: %zu\n", sink.partial());
+    std::printf("complementarity:     %zu\n", sink.complementary());
+  } else {
+    rdf::TripleStore out_store;
+    core::RdfMaterializingSink sink(&obs, &out_store);
+    st = core::ComputeRelationships(obs, options, &sink, &report);
+    if (!st.ok()) return Fail(st);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << rdf::WriteNTriples(out_store);
+    std::printf("materialized %zu triples to %s\n", sink.triples_written(),
+                out_path.c_str());
+  }
+  std::printf("method: %s, %.3f s\n", core::MethodName(options.method),
+              report.elapsed_seconds);
+  return 0;
+}
+
+int CmdSkyline(const std::string& path) {
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ObservationSet& obs = *corpus->observations;
+  const core::Lattice lattice(obs);
+  const auto skyline = core::ComputeSkyline(obs, lattice);
+  for (qb::ObsId id : skyline) {
+    std::printf("%s\n", obs.obs(id).iri.c_str());
+  }
+  std::fprintf(stderr, "%zu of %zu observations on the skyline\n",
+               skyline.size(), obs.size());
+  return 0;
+}
+
+int CmdExplore(const std::string& path, const std::string& obs_iri) {
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ObservationSet& obs = *corpus->observations;
+  qb::ObsId id = 0;
+  bool found = false;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    if (obs.obs(i).iri == obs_iri) {
+      id = i;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "observation not found: %s\n", obs_iri.c_str());
+    return 1;
+  }
+  const core::CubeExplorer explorer(&obs);
+  std::printf("containers (roll-up):\n");
+  for (qb::ObsId o : explorer.Containers(id)) {
+    std::printf("  %s\n", obs.obs(o).iri.c_str());
+  }
+  std::printf("contained (drill-down):\n");
+  for (qb::ObsId o : explorer.ContainedBy(id)) {
+    std::printf("  %s\n", obs.obs(o).iri.c_str());
+  }
+  std::printf("complements:\n");
+  for (qb::ObsId o : explorer.Complements(id)) {
+    std::printf("  %s\n", obs.obs(o).iri.c_str());
+  }
+  std::printf("partially contains (degree >= 0.5):\n");
+  for (const auto& match : explorer.PartiallyContained(id, 0.5)) {
+    std::printf("  %s (%.2f)\n", obs.obs(match.other).iri.c_str(),
+                match.degree);
+  }
+  return 0;
+}
+
+int CmdRollup(const std::string& path, const std::vector<std::string>& args) {
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::CubeSpace& space = *corpus->space;
+
+  std::vector<std::pair<qb::DimId, hierarchy::CodeId>> target;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "expected <dim-iri>=<code>, got %s\n", arg.c_str());
+      return 1;
+    }
+    auto dim = space.FindDimension(arg.substr(0, eq));
+    if (!dim.has_value()) {
+      std::fprintf(stderr, "unknown dimension: %s\n",
+                   arg.substr(0, eq).c_str());
+      return 1;
+    }
+    auto code = space.code_list(*dim).Find(arg.substr(eq + 1));
+    if (!code.has_value()) {
+      std::fprintf(stderr, "unknown code: %s\n", arg.substr(eq + 1).c_str());
+      return 1;
+    }
+    target.emplace_back(*dim, *code);
+  }
+
+  const core::Lattice lattice(obs);
+  auto result = core::RollUp(obs, lattice, target);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("coordinate:");
+  for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
+    std::printf(" %s",
+                std::string(IriLocalName(
+                    space.code_list(d).name(result->coordinate[d]))).c_str());
+  }
+  std::printf("\ncontained observations: %zu\n", result->contained.size());
+  for (const auto& m : result->measures) {
+    std::printf("  sum(%s) = %g  (%zu contributors)\n",
+                space.measure_iri(m.measure).c_str(), m.value,
+                m.contributors);
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fputs(
+      "usage: rdfcube_cli <command> <file.ttl> [args]\n"
+      "commands: stats | validate | relate | skyline | explore <obs-iri> | rollup\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> rest;
+  for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
+
+  if (command == "stats") return CmdStats(path);
+  if (command == "validate") return CmdValidate(path);
+  if (command == "relate") return CmdRelate(path, rest);
+  if (command == "skyline") return CmdSkyline(path);
+  if (command == "rollup") return CmdRollup(path, rest);
+  if (command == "explore") {
+    if (rest.empty()) {
+      Usage();
+      return 1;
+    }
+    return CmdExplore(path, rest[0]);
+  }
+  Usage();
+  return 1;
+}
