@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_complementarity.dir/bench_fig5a_complementarity.cc.o"
+  "CMakeFiles/bench_fig5a_complementarity.dir/bench_fig5a_complementarity.cc.o.d"
+  "bench_fig5a_complementarity"
+  "bench_fig5a_complementarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_complementarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/rdfcube_benchutil.dir/bench_util.cc.o.d"
+  "librdfcube_benchutil.a"
+  "librdfcube_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_journalist.dir/data_journalist.cpp.o"
+  "CMakeFiles/data_journalist.dir/data_journalist.cpp.o.d"
+  "data_journalist"
+  "data_journalist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_journalist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_alignment.dir/federation_alignment.cpp.o"
+  "CMakeFiles/federation_alignment.dir/federation_alignment.cpp.o.d"
+  "federation_alignment"
+  "federation_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

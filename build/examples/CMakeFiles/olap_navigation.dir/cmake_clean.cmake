@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_navigation.dir/olap_navigation.cpp.o"
+  "CMakeFiles/olap_navigation.dir/olap_navigation.cpp.o.d"
+  "olap_navigation"
+  "olap_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_relatedness.dir/source_relatedness.cpp.o"
+  "CMakeFiles/source_relatedness.dir/source_relatedness.cpp.o.d"
+  "source_relatedness"
+  "source_relatedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_relatedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

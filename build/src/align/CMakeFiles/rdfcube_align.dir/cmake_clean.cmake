@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_align.dir/matcher.cc.o"
+  "CMakeFiles/rdfcube_align.dir/matcher.cc.o.d"
+  "librdfcube_align.a"
+  "librdfcube_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

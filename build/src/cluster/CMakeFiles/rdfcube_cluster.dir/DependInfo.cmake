@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/agglomerative.cc.o" "gcc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/canopy.cc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/canopy.cc.o" "gcc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/canopy.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/metric.cc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/metric.cc.o" "gcc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/metric.cc.o.d"
+  "/root/repo/src/cluster/xmeans.cc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/xmeans.cc.o" "gcc" "src/cluster/CMakeFiles/rdfcube_cluster.dir/xmeans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

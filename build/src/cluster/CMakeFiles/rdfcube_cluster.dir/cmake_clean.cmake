@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_cluster.dir/agglomerative.cc.o"
+  "CMakeFiles/rdfcube_cluster.dir/agglomerative.cc.o.d"
+  "CMakeFiles/rdfcube_cluster.dir/canopy.cc.o"
+  "CMakeFiles/rdfcube_cluster.dir/canopy.cc.o.d"
+  "CMakeFiles/rdfcube_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/rdfcube_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/rdfcube_cluster.dir/metric.cc.o"
+  "CMakeFiles/rdfcube_cluster.dir/metric.cc.o.d"
+  "CMakeFiles/rdfcube_cluster.dir/xmeans.cc.o"
+  "CMakeFiles/rdfcube_cluster.dir/xmeans.cc.o.d"
+  "librdfcube_cluster.a"
+  "librdfcube_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

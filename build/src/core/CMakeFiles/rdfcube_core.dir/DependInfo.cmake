@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/rdfcube_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/rdfcube_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/clustering_method.cc" "src/core/CMakeFiles/rdfcube_core.dir/clustering_method.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/clustering_method.cc.o.d"
+  "/root/repo/src/core/containment_matrix.cc" "src/core/CMakeFiles/rdfcube_core.dir/containment_matrix.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/containment_matrix.cc.o.d"
+  "/root/repo/src/core/cube_masking.cc" "src/core/CMakeFiles/rdfcube_core.dir/cube_masking.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/cube_masking.cc.o.d"
+  "/root/repo/src/core/distributed.cc" "src/core/CMakeFiles/rdfcube_core.dir/distributed.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/distributed.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/rdfcube_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/rdfcube_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/rdfcube_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/core/CMakeFiles/rdfcube_core.dir/incremental.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/incremental.cc.o.d"
+  "/root/repo/src/core/lattice.cc" "src/core/CMakeFiles/rdfcube_core.dir/lattice.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/lattice.cc.o.d"
+  "/root/repo/src/core/occurrence_matrix.cc" "src/core/CMakeFiles/rdfcube_core.dir/occurrence_matrix.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/occurrence_matrix.cc.o.d"
+  "/root/repo/src/core/parallel_masking.cc" "src/core/CMakeFiles/rdfcube_core.dir/parallel_masking.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/parallel_masking.cc.o.d"
+  "/root/repo/src/core/relatedness.cc" "src/core/CMakeFiles/rdfcube_core.dir/relatedness.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/relatedness.cc.o.d"
+  "/root/repo/src/core/relationship.cc" "src/core/CMakeFiles/rdfcube_core.dir/relationship.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/relationship.cc.o.d"
+  "/root/repo/src/core/relationship_rdf.cc" "src/core/CMakeFiles/rdfcube_core.dir/relationship_rdf.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/relationship_rdf.cc.o.d"
+  "/root/repo/src/core/skyline.cc" "src/core/CMakeFiles/rdfcube_core.dir/skyline.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/skyline.cc.o.d"
+  "/root/repo/src/core/sparse_matrix.cc" "src/core/CMakeFiles/rdfcube_core.dir/sparse_matrix.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qb/CMakeFiles/rdfcube_qb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdfcube_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_datagen.dir/perturb.cc.o"
+  "CMakeFiles/rdfcube_datagen.dir/perturb.cc.o.d"
+  "CMakeFiles/rdfcube_datagen.dir/realworld.cc.o"
+  "CMakeFiles/rdfcube_datagen.dir/realworld.cc.o.d"
+  "CMakeFiles/rdfcube_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/rdfcube_datagen.dir/synthetic.cc.o.d"
+  "librdfcube_datagen.a"
+  "librdfcube_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/code_list.cc" "src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/code_list.cc.o" "gcc" "src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/code_list.cc.o.d"
+  "/root/repo/src/hierarchy/skos_loader.cc" "src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/skos_loader.cc.o" "gcc" "src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/skos_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

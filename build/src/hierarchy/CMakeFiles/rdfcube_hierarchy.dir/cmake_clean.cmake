@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_hierarchy.dir/code_list.cc.o"
+  "CMakeFiles/rdfcube_hierarchy.dir/code_list.cc.o.d"
+  "CMakeFiles/rdfcube_hierarchy.dir/skos_loader.cc.o"
+  "CMakeFiles/rdfcube_hierarchy.dir/skos_loader.cc.o.d"
+  "librdfcube_hierarchy.a"
+  "librdfcube_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qb/binary_io.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/binary_io.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/binary_io.cc.o.d"
+  "/root/repo/src/qb/corpus.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/corpus.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/corpus.cc.o.d"
+  "/root/repo/src/qb/csv_importer.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/csv_importer.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/csv_importer.cc.o.d"
+  "/root/repo/src/qb/cube_space.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/cube_space.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/cube_space.cc.o.d"
+  "/root/repo/src/qb/exporter.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/exporter.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/exporter.cc.o.d"
+  "/root/repo/src/qb/loader.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/loader.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/loader.cc.o.d"
+  "/root/repo/src/qb/observation_set.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/observation_set.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/observation_set.cc.o.d"
+  "/root/repo/src/qb/slice.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/slice.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/slice.cc.o.d"
+  "/root/repo/src/qb/validate.cc" "src/qb/CMakeFiles/rdfcube_qb.dir/validate.cc.o" "gcc" "src/qb/CMakeFiles/rdfcube_qb.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_qb.dir/binary_io.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/binary_io.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/corpus.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/corpus.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/csv_importer.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/csv_importer.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/cube_space.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/cube_space.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/exporter.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/exporter.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/loader.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/loader.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/observation_set.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/observation_set.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/slice.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/slice.cc.o.d"
+  "CMakeFiles/rdfcube_qb.dir/validate.cc.o"
+  "CMakeFiles/rdfcube_qb.dir/validate.cc.o.d"
+  "librdfcube_qb.a"
+  "librdfcube_qb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_qb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfcube_qb.
+# This may be replaced when dependencies are built.

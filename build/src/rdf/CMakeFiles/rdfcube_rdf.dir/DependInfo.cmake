@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dictionary.cc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/dictionary.cc.o" "gcc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/dictionary.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/term.cc.o" "gcc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/term.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/triple_store.cc.o" "gcc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/triple_store.cc.o.d"
+  "/root/repo/src/rdf/turtle_parser.cc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/turtle_parser.cc.o" "gcc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/turtle_parser.cc.o.d"
+  "/root/repo/src/rdf/turtle_writer.cc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/turtle_writer.cc.o" "gcc" "src/rdf/CMakeFiles/rdfcube_rdf.dir/turtle_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

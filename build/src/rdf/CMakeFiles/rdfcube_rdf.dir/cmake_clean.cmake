@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/rdfcube_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/rdfcube_rdf.dir/term.cc.o"
+  "CMakeFiles/rdfcube_rdf.dir/term.cc.o.d"
+  "CMakeFiles/rdfcube_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/rdfcube_rdf.dir/triple_store.cc.o.d"
+  "CMakeFiles/rdfcube_rdf.dir/turtle_parser.cc.o"
+  "CMakeFiles/rdfcube_rdf.dir/turtle_parser.cc.o.d"
+  "CMakeFiles/rdfcube_rdf.dir/turtle_writer.cc.o"
+  "CMakeFiles/rdfcube_rdf.dir/turtle_writer.cc.o.d"
+  "librdfcube_rdf.a"
+  "librdfcube_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

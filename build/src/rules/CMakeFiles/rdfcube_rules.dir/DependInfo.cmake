@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/engine.cc" "src/rules/CMakeFiles/rdfcube_rules.dir/engine.cc.o" "gcc" "src/rules/CMakeFiles/rdfcube_rules.dir/engine.cc.o.d"
+  "/root/repo/src/rules/paper_rules.cc" "src/rules/CMakeFiles/rdfcube_rules.dir/paper_rules.cc.o" "gcc" "src/rules/CMakeFiles/rdfcube_rules.dir/paper_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_rules.dir/engine.cc.o"
+  "CMakeFiles/rdfcube_rules.dir/engine.cc.o.d"
+  "CMakeFiles/rdfcube_rules.dir/paper_rules.cc.o"
+  "CMakeFiles/rdfcube_rules.dir/paper_rules.cc.o.d"
+  "librdfcube_rules.a"
+  "librdfcube_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/engine.cc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/engine.cc.o" "gcc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/engine.cc.o.d"
+  "/root/repo/src/sparql/paper_queries.cc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/paper_queries.cc.o" "gcc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/paper_queries.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/rdfcube_sparql.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_sparql.dir/engine.cc.o"
+  "CMakeFiles/rdfcube_sparql.dir/engine.cc.o.d"
+  "CMakeFiles/rdfcube_sparql.dir/paper_queries.cc.o"
+  "CMakeFiles/rdfcube_sparql.dir/paper_queries.cc.o.d"
+  "CMakeFiles/rdfcube_sparql.dir/parser.cc.o"
+  "CMakeFiles/rdfcube_sparql.dir/parser.cc.o.d"
+  "librdfcube_sparql.a"
+  "librdfcube_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

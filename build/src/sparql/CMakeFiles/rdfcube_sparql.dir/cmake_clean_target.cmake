@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfcube_sparql.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_util.dir/bitvector.cc.o"
+  "CMakeFiles/rdfcube_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/csv.cc.o"
+  "CMakeFiles/rdfcube_util.dir/csv.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/random.cc.o"
+  "CMakeFiles/rdfcube_util.dir/random.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/status.cc.o"
+  "CMakeFiles/rdfcube_util.dir/status.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/string_util.cc.o"
+  "CMakeFiles/rdfcube_util.dir/string_util.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/thread_pool.cc.o"
+  "CMakeFiles/rdfcube_util.dir/thread_pool.cc.o.d"
+  "librdfcube_util.a"
+  "librdfcube_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_baseline_test.dir/core_baseline_test.cc.o"
+  "CMakeFiles/core_baseline_test.dir/core_baseline_test.cc.o.d"
+  "core_baseline_test"
+  "core_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_masking_test.dir/core_masking_test.cc.o"
+  "CMakeFiles/core_masking_test.dir/core_masking_test.cc.o.d"
+  "core_masking_test"
+  "core_masking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

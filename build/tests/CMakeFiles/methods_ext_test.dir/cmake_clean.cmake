@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methods_ext_test.dir/methods_ext_test.cc.o"
+  "CMakeFiles/methods_ext_test.dir/methods_ext_test.cc.o.d"
+  "methods_ext_test"
+  "methods_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methods_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

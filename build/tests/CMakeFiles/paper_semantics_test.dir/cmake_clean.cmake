@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_semantics_test.dir/paper_semantics_test.cc.o"
+  "CMakeFiles/paper_semantics_test.dir/paper_semantics_test.cc.o.d"
+  "paper_semantics_test"
+  "paper_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

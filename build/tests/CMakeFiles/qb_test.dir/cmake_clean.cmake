@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qb_test.dir/qb_test.cc.o"
+  "CMakeFiles/qb_test.dir/qb_test.cc.o.d"
+  "qb_test"
+  "qb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_testutil.dir/test_corpus.cc.o"
+  "CMakeFiles/rdfcube_testutil.dir/test_corpus.cc.o.d"
+  "librdfcube_testutil.a"
+  "librdfcube_testutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_testutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relatedness_test.dir/relatedness_test.cc.o"
+  "CMakeFiles/relatedness_test.dir/relatedness_test.cc.o.d"
+  "relatedness_test"
+  "relatedness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relatedness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

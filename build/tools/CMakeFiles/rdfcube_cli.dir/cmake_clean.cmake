@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfcube_cli.dir/rdfcube_cli.cpp.o"
+  "CMakeFiles/rdfcube_cli.dir/rdfcube_cli.cpp.o.d"
+  "rdfcube_cli"
+  "rdfcube_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfcube_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
