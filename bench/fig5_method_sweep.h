@@ -74,7 +74,8 @@ inline void BM_SparqlMethod(benchmark::State& state, RelationshipKind kind) {
   std::size_t pairs = 0;
   for (auto _ : state) {
     auto result = sparql::RunRelationshipQuery(
-        store, query, ComparisonTimeoutSeconds(), /*max_rows=*/5000000);
+        store, query, Deadline(ComparisonTimeoutSeconds()),
+        /*max_rows=*/5000000);
     if (!result.ok()) {
       state.SkipWithError(result.status().ToString().c_str());
       break;

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_recovery.cc" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cc.o" "gcc" "bench/CMakeFiles/bench_fault_recovery.dir/bench_fault_recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rdfcube_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rdfcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/rdfcube_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/rdfcube_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/rdfcube_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/qb/CMakeFiles/rdfcube_qb.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdfcube_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -221,12 +221,13 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/checkpoint.h \
+ /root/repo/src/core/cube_masking.h \
  /root/repo/src/core/containment_matrix.h \
- /root/repo/src/core/cube_masking.h /root/repo/src/core/distributed.h \
- /root/repo/src/core/explorer.h /root/repo/src/core/hybrid.h \
- /root/repo/src/core/clustering_method.h /root/repo/src/core/engine.h \
- /root/repo/src/core/incremental.h /root/repo/src/core/parallel_masking.h \
+ /root/repo/src/core/distributed.h /root/repo/src/core/explorer.h \
+ /root/repo/src/core/hybrid.h /root/repo/src/core/clustering_method.h \
+ /root/repo/src/core/engine.h /root/repo/src/core/incremental.h \
+ /root/repo/src/core/parallel_masking.h \
  /root/repo/src/core/relationship_rdf.h /root/repo/src/rdf/triple_store.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
@@ -244,4 +245,33 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/rdf/turtle_writer.h /root/repo/src/rdf/vocab.h \
  /root/repo/src/rules/paper_rules.h /root/repo/src/rules/engine.h \
  /root/repo/src/rules/rule.h /root/repo/src/sparql/engine.h \
- /root/repo/src/sparql/ast.h /root/repo/src/sparql/paper_queries.h
+ /root/repo/src/sparql/ast.h /root/repo/src/sparql/paper_queries.h \
+ /root/repo/src/util/fault.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/random.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/bits/random.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/rdfcube_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/aggregate.cc.o.d"
   "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/rdfcube_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/rdfcube_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/checkpoint.cc.o.d"
   "/root/repo/src/core/clustering_method.cc" "src/core/CMakeFiles/rdfcube_core.dir/clustering_method.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/clustering_method.cc.o.d"
   "/root/repo/src/core/containment_matrix.cc" "src/core/CMakeFiles/rdfcube_core.dir/containment_matrix.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/containment_matrix.cc.o.d"
   "/root/repo/src/core/cube_masking.cc" "src/core/CMakeFiles/rdfcube_core.dir/cube_masking.cc.o" "gcc" "src/core/CMakeFiles/rdfcube_core.dir/cube_masking.cc.o.d"

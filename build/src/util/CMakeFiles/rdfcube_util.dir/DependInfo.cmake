@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/bitvector.cc" "src/util/CMakeFiles/rdfcube_util.dir/bitvector.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/bitvector.cc.o.d"
   "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/rdfcube_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/fault.cc" "src/util/CMakeFiles/rdfcube_util.dir/fault.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/fault.cc.o.d"
   "/root/repo/src/util/random.cc" "src/util/CMakeFiles/rdfcube_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/random.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/rdfcube_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/status.cc.o.d"
   "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/rdfcube_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/rdfcube_util.dir/string_util.cc.o.d"

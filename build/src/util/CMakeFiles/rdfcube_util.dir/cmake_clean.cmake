@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/rdfcube_util.dir/bitvector.cc.o.d"
   "CMakeFiles/rdfcube_util.dir/csv.cc.o"
   "CMakeFiles/rdfcube_util.dir/csv.cc.o.d"
+  "CMakeFiles/rdfcube_util.dir/fault.cc.o"
+  "CMakeFiles/rdfcube_util.dir/fault.cc.o.d"
   "CMakeFiles/rdfcube_util.dir/random.cc.o"
   "CMakeFiles/rdfcube_util.dir/random.cc.o.d"
   "CMakeFiles/rdfcube_util.dir/status.cc.o"

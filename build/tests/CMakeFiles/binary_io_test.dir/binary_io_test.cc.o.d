@@ -293,7 +293,11 @@ tests/CMakeFiles/binary_io_test.dir/binary_io_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/baseline.h /root/repo/src/core/occurrence_matrix.h \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/baseline.h \
+ /root/repo/src/core/occurrence_matrix.h \
  /root/repo/src/qb/observation_set.h /root/repo/src/hierarchy/code_list.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
  /root/repo/src/qb/cube_space.h /root/repo/src/util/bitvector.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_test.cc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o" "gcc" "tests/CMakeFiles/fault_test.dir/fault_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rdfcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qb/CMakeFiles/rdfcube_qb.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/rdfcube_testutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rdfcube_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/rdfcube_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfcube_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdfcube_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -293,14 +293,16 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/qb/loader.h /root/repo/src/qb/corpus.h \
+ /root/repo/src/qb/binary_io.h /root/repo/src/qb/corpus.h \
  /root/repo/src/qb/cube_space.h /root/repo/src/hierarchy/code_list.h \
  /root/repo/src/util/result.h /root/repo/src/util/status.h \
- /root/repo/src/qb/observation_set.h /root/repo/src/rdf/triple_store.h \
- /root/repo/src/rdf/dictionary.h /root/repo/src/rdf/term.h \
+ /root/repo/src/qb/observation_set.h /root/repo/src/qb/loader.h \
+ /root/repo/src/rdf/triple_store.h /root/repo/src/rdf/dictionary.h \
+ /root/repo/src/rdf/term.h /root/repo/src/qb/validate.h \
  /root/repo/src/rdf/turtle_parser.h /root/repo/src/sparql/parser.h \
- /root/repo/src/sparql/ast.h /root/repo/src/util/random.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/sparql/ast.h /root/repo/tests/test_corpus.h \
+ /root/repo/src/util/random.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

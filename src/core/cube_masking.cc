@@ -77,14 +77,16 @@ struct Run {
     return true;
   }
 
-  // Visits every ordered cube pair (j, k) where j's signature dominates k's
-  // (all dims when `all_required`, any dim otherwise). With a pre-fetched
-  // children index, iterates its lists directly instead of scanning.
+  // Visits every ordered cube pair (j, k) with outer cube j in
+  // [begin_cube, end_cube) where j's signature dominates k's (all dims when
+  // `all_required`, any dim otherwise). With a pre-fetched children index,
+  // iterates its lists directly instead of scanning.
   template <typename Fn>
-  Status ForComparableCubePairs(bool all_required, Fn&& fn) {
+  Status ForComparableCubePairs(bool all_required, CubeId begin_cube,
+                                CubeId end_cube, Fn&& fn) {
     const std::size_t c = lattice.num_cubes();
     if (children != nullptr) {
-      for (CubeId j = 0; j < c; ++j) {
+      for (CubeId j = begin_cube; j < end_cube; ++j) {
         const std::vector<CubeId>& list = all_required
                                               ? children->all_dominated(j)
                                               : children->any_dominated(j);
@@ -96,7 +98,7 @@ struct Run {
       }
       return Status::OK();
     }
-    for (CubeId j = 0; j < c; ++j) {
+    for (CubeId j = begin_cube; j < end_cube; ++j) {
       const CubeSignature& sj = lattice.signature(j);
       for (CubeId k = 0; k < c; ++k) {
         if (stats != nullptr) ++stats->cube_pairs_checked;
@@ -118,7 +120,8 @@ struct Run {
 
   Status FullPass() {
     return ForComparableCubePairs(
-        /*all_required=*/true, [&](CubeId j, CubeId k) {
+        /*all_required=*/true, 0, static_cast<CubeId>(lattice.num_cubes()),
+        [&](CubeId j, CubeId k) {
           for (qb::ObsId a : lattice.members(j)) {
             for (qb::ObsId b : lattice.members(k)) {
               if (a == b) continue;
@@ -137,7 +140,8 @@ struct Run {
     const std::size_t kd = num_dims();
     const bool want_mask = options.selector.partial_dimension_map;
     return ForComparableCubePairs(
-        /*all_required=*/false, [&](CubeId j, CubeId k) {
+        /*all_required=*/false, 0, static_cast<CubeId>(lattice.num_cubes()),
+        [&](CubeId j, CubeId k) {
           for (qb::ObsId a : lattice.members(j)) {
             for (qb::ObsId b : lattice.members(k)) {
               if (a == b) continue;
@@ -184,13 +188,13 @@ struct Run {
   // held in memory, that same iteration serves the other two types as well,
   // so every observation pair is evaluated exactly once for all selected
   // relationship types.
-  Status FusedPass() {
+  Status FusedPass(CubeId begin_cube, CubeId end_cube) {
     const RelationshipSelector& sel = options.selector;
     const std::size_t kd = num_dims();
     const bool want_mask = sel.partial_dimension_map;
     const bool need_counts = sel.partial_containment;
     return ForComparableCubePairs(
-        /*all_required=*/!sel.partial_containment,
+        /*all_required=*/!sel.partial_containment, begin_cube, end_cube,
         [&](CubeId j, CubeId k) {
           const bool same_cube = j == k;
           const bool all_dom =
@@ -240,7 +244,7 @@ Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
                        (sel.partial_containment ? 1 : 0) +
                        (sel.complementarity ? 1 : 0);
   if (options.prefetch_children && selected > 1) {
-    return run.FusedPass();
+    return run.FusedPass(0, static_cast<CubeId>(lattice.num_cubes()));
   }
   if (sel.partial_containment) {
     RDFCUBE_RETURN_IF_ERROR(run.PartialPass());
@@ -259,6 +263,20 @@ Status RunCubeMasking(const qb::ObservationSet& obs,
                       CubeMaskingStats* stats) {
   const Lattice lattice(obs);
   return RunCubeMasking(obs, lattice, options, sink, stats);
+}
+
+Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
+                                const Lattice& lattice,
+                                const CubeMaskingOptions& options,
+                                CubeId begin_cube, CubeId end_cube,
+                                RelationshipSink* sink, CubeMaskingStats* stats,
+                                const CubeChildrenIndex* children) {
+  if (end_cube > lattice.num_cubes() || begin_cube > end_cube) {
+    return Status::OutOfRange("cube range outside the lattice");
+  }
+  Run run(obs, lattice, options, sink, stats, children);
+  if (stats != nullptr) stats->num_cubes = lattice.num_cubes();
+  return run.FusedPass(begin_cube, end_cube);
 }
 
 }  // namespace core

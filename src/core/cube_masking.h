@@ -55,6 +55,25 @@ Status RunCubeMasking(const qb::ObservationSet& obs,
                       const CubeMaskingOptions& options, RelationshipSink* sink,
                       CubeMaskingStats* stats = nullptr);
 
+/// \brief Runs the fused cubeMasking pass restricted to outer cubes in
+/// `[begin_cube, end_cube)`.
+///
+/// This is the resumable substrate used by core/checkpoint.h: the fused pass
+/// partitions the work by outer cube, so a run interrupted after finishing
+/// outer cube `c` continues with `begin_cube = c + 1` and the concatenated
+/// emissions equal an uninterrupted run's. Always uses the fused single
+/// lattice iteration regardless of `options.prefetch_children` (the fused
+/// pass is equivalent to the per-type passes for every selector combination;
+/// only enumeration order differs). Fails with OutOfRange when the range
+/// does not fit the lattice.
+Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
+                                const Lattice& lattice,
+                                const CubeMaskingOptions& options,
+                                CubeId begin_cube, CubeId end_cube,
+                                RelationshipSink* sink,
+                                CubeMaskingStats* stats = nullptr,
+                                const CubeChildrenIndex* children = nullptr);
+
 }  // namespace core
 }  // namespace rdfcube
 

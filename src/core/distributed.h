@@ -7,6 +7,15 @@
 // cubes (the lattice acts as the communication pruner: incomparable cubes
 // never ship). The module runs in-process but models the message pattern and
 // accounts for the data volume a real deployment would move.
+//
+// Fault tolerance: the run consults the util/fault.h injection points below.
+// Injected worker crashes discard the failed task's buffered output and are
+// retried with capped exponential backoff; a worker whose task keeps
+// crashing past the retry budget is declared dead and its partition is
+// reassigned to a surviving worker. Dropped messages are detected (ack
+// timeout in a real deployment) and resent; duplicated deliveries are
+// discarded by sequence-number dedup. The recovered run emits exactly the
+// relationship sequence of a failure-free run (tested property).
 
 #ifndef RDFCUBE_CORE_DISTRIBUTED_H_
 #define RDFCUBE_CORE_DISTRIBUTED_H_
@@ -22,13 +31,30 @@
 namespace rdfcube {
 namespace core {
 
+/// Injection point names consulted by RunDistributedMasking (see
+/// util/fault.h). One evaluation per task attempt / message delivery.
+inline constexpr char kFaultWorkerCrash[] = "distributed.worker_crash";
+inline constexpr char kFaultMessageDrop[] = "distributed.message_drop";
+inline constexpr char kFaultMessageDuplicate[] = "distributed.message_dup";
+
 struct DistributedOptions {
   std::size_t num_workers = 4;
   RelationshipSelector selector;
   Deadline deadline;
+  /// Crash-retry budget: attempts of one task on the same worker before the
+  /// worker is declared dead and the task reassigned to a survivor.
+  std::size_t max_retries_per_task = 3;
+  /// Capped exponential backoff between retries. The in-process simulation
+  /// accounts the wait in DistributedStats::simulated_backoff_ms instead of
+  /// sleeping.
+  double backoff_initial_ms = 1.0;
+  double backoff_cap_ms = 64.0;
+  /// Resend budget per message before the run gives up (guards against a
+  /// drop probability of 1).
+  std::size_t max_message_resends = 64;
 };
 
-/// \brief Communication / work accounting of a distributed run.
+/// \brief Communication / work / recovery accounting of a distributed run.
 struct DistributedStats {
   std::size_t num_workers = 0;
   /// Total cubes across the worker-local lattices.
@@ -42,6 +68,24 @@ struct DistributedStats {
   std::size_t shipped_observations = 0;
   /// Signature-exchange messages (one per worker pair per direction).
   std::size_t signature_messages = 0;
+
+  // --- Recovery accounting (injected faults + the responses to them) -------
+  /// Injected crash events observed (each discards one task attempt).
+  std::size_t worker_crashes = 0;
+  /// Task re-executions on the same worker after a crash.
+  std::size_t task_retries = 0;
+  /// Partitions/tasks moved to a surviving worker after a worker death.
+  std::size_t reassignments = 0;
+  /// Workers declared dead over the run.
+  std::size_t workers_lost = 0;
+  /// Messages lost in flight (injected) and the resends replaying them.
+  std::size_t dropped_messages = 0;
+  std::size_t replayed_messages = 0;
+  /// Duplicated deliveries discarded by the receiver's sequence dedup.
+  std::size_t duplicate_messages = 0;
+  /// Total capped-exponential backoff the retries would have waited.
+  double simulated_backoff_ms = 0.0;
+
   /// Fraction of all n^2 pairs that needed communication.
   double CrossFraction(std::size_t n) const {
     const double total = static_cast<double>(n) * (n - 1);
@@ -50,8 +94,10 @@ struct DistributedStats {
 };
 
 /// \brief Runs the partitioned computation. Emits exactly the same
-/// relationship sets as RunBaseline / RunCubeMasking (tested property);
-/// round-robin partitioning by observation id.
+/// relationship sets as RunBaseline / RunCubeMasking (tested property), with
+/// or without injected faults; round-robin partitioning by observation id.
+/// Fails with Internal when every worker has been lost, ResourceExhausted
+/// when a message exceeds its resend budget, TimedOut past the deadline.
 Status RunDistributedMasking(const qb::ObservationSet& obs,
                              const DistributedOptions& options,
                              RelationshipSink* sink,

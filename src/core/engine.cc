@@ -24,9 +24,13 @@ Status ComputeRelationships(const qb::ObservationSet& obs,
                             const EngineOptions& options,
                             RelationshipSink* sink, EngineReport* report) {
   Stopwatch watch;
-  const Deadline deadline = options.timeout_seconds > 0
-                                ? Deadline(options.timeout_seconds)
-                                : Deadline();
+  // `deadline` wins; the deprecated timeout_seconds is honored only when no
+  // Deadline was supplied.
+  const Deadline deadline = options.deadline.HasLimit()
+                                ? options.deadline
+                                : (options.timeout_seconds > 0
+                                       ? Deadline(options.timeout_seconds)
+                                       : Deadline());
   Status status;
   switch (options.method) {
     case Method::kBaseline: {

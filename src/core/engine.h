@@ -35,7 +35,12 @@ const char* MethodName(Method method);
 struct EngineOptions {
   Method method = Method::kCubeMasking;
   RelationshipSelector selector;
-  /// Wall-clock limit in seconds; <= 0 means unlimited.
+  /// Wall-clock limit for the run. The default-constructed Deadline never
+  /// expires. This is the single deadline type used across the codebase
+  /// (benches, SPARQL/rule engines, distributed/checkpointed runs).
+  Deadline deadline;
+  /// DEPRECATED: use `deadline`. Honored only when `deadline` carries no
+  /// limit; <= 0 means unlimited. Kept so existing callers keep working.
   double timeout_seconds = -1.0;
   /// Clustering-specific knobs (ignored by other methods).
   ClusterAlgorithm cluster_algorithm = ClusterAlgorithm::kXMeans;

@@ -1,9 +1,23 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "core/checkpoint.h"
+#include "core/snapshot_io.h"
 
 namespace rdfcube {
 namespace core {
+
+namespace {
+
+Status CorruptSnapshot(const char* what) {
+  return Status::ParseError(std::string("corrupt incremental snapshot: ") +
+                            what);
+}
+
+}  // namespace
 
 IncrementalEngine::IncrementalEngine(const qb::ObservationSet* obs,
                                      const RelationshipSelector& selector)
@@ -141,6 +155,169 @@ void IncrementalEngine::Export(RelationshipSink* sink) const {
     sink->OnComplementarity(static_cast<qb::ObsId>(key >> 32),
                             static_cast<qb::ObsId>(key & 0xffffffffu));
   }
+}
+
+std::string IncrementalEngine::SerializeState() const {
+  using snapshot::PutDouble;
+  using snapshot::PutU32;
+  using snapshot::PutU64;
+  std::string out;
+  out.append(kIncrementalMagic, sizeof(kIncrementalMagic));
+  PutU32(&out, SelectorBits(selector_));
+
+  std::vector<qb::ObsId> live_ids;
+  for (qb::ObsId id = 0; id < live_.size(); ++id) {
+    if (live_[id]) live_ids.push_back(id);
+  }
+  PutU64(&out, live_ids.size());
+  for (qb::ObsId id : live_ids) PutU32(&out, id);
+
+  // Hash-set iteration order is unspecified: serialize sorted so the same
+  // state always produces the same bytes (the determinism tests rely on it).
+  std::vector<uint64_t> keys(full_.begin(), full_.end());
+  std::sort(keys.begin(), keys.end());
+  PutU64(&out, keys.size());
+  for (uint64_t key : keys) PutU64(&out, key);
+
+  std::vector<std::pair<uint64_t, double>> partials(partial_.begin(),
+                                                    partial_.end());
+  std::sort(partials.begin(), partials.end());
+  PutU64(&out, partials.size());
+  for (const auto& [key, degree] : partials) {
+    PutU64(&out, key);
+    PutDouble(&out, degree);
+  }
+
+  keys.assign(compl_.begin(), compl_.end());
+  std::sort(keys.begin(), keys.end());
+  PutU64(&out, keys.size());
+  for (uint64_t key : keys) PutU64(&out, key);
+  return out;
+}
+
+Status IncrementalEngine::RestoreState(const std::string& bytes) {
+  if (!live_.empty() || !full_.empty() || !partial_.empty() ||
+      !compl_.empty() || !partners_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreState requires a freshly-constructed engine");
+  }
+  if (bytes.size() < sizeof(kIncrementalMagic) ||
+      std::memcmp(bytes.data(), kIncrementalMagic,
+                  sizeof(kIncrementalMagic)) != 0) {
+    return CorruptSnapshot("bad magic");
+  }
+  snapshot::ByteReader r(bytes);
+  {
+    // Advance past the 8-byte magic (already validated above).
+    uint64_t magic_bytes;
+    if (!r.GetU64(&magic_bytes)) return CorruptSnapshot("truncated header");
+  }
+  uint32_t selector_bits;
+  if (!r.GetU32(&selector_bits)) return CorruptSnapshot("selector bits");
+  if (selector_bits != SelectorBits(selector_)) {
+    return Status::FailedPrecondition(
+        "snapshot was taken with a different relationship selector");
+  }
+
+  uint64_t count;
+  if (!r.GetU64(&count)) return CorruptSnapshot("live count");
+  if (count > r.Remaining() / 4) {
+    return CorruptSnapshot("live count out of range");
+  }
+  uint32_t prev_id = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t id;
+    if (!r.GetU32(&id)) return CorruptSnapshot("live id");
+    if (i > 0 && id <= prev_id) return CorruptSnapshot("live ids not ascending");
+    prev_id = id;
+    if (id >= obs_->size()) return CorruptSnapshot("live id out of range");
+    lattice_.AddObservation(*obs_, id);
+    if (live_.size() <= id) live_.resize(id + 1, false);
+    live_[id] = true;
+  }
+
+  auto valid_pair = [&](uint64_t key, bool ordered) {
+    const qb::ObsId a = static_cast<qb::ObsId>(key >> 32);
+    const qb::ObsId b = static_cast<qb::ObsId>(key & 0xffffffffu);
+    if (a >= live_.size() || b >= live_.size() || !live_[a] || !live_[b] ||
+        a == b) {
+      return false;
+    }
+    return !ordered || a < b;
+  };
+
+  if (!r.GetU64(&count)) return CorruptSnapshot("full count");
+  if (count > r.Remaining() / 8) {
+    return CorruptSnapshot("full count out of range");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key;
+    if (!r.GetU64(&key)) return CorruptSnapshot("full key");
+    if (!valid_pair(key, /*ordered=*/false)) {
+      return CorruptSnapshot("full key ids");
+    }
+    full_.insert(key);
+  }
+
+  if (!r.GetU64(&count)) return CorruptSnapshot("partial count");
+  if (count > r.Remaining() / 16) {
+    return CorruptSnapshot("partial count out of range");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key;
+    double degree;
+    if (!r.GetU64(&key) || !r.GetDouble(&degree)) {
+      return CorruptSnapshot("partial record");
+    }
+    if (!valid_pair(key, /*ordered=*/false)) {
+      return CorruptSnapshot("partial key ids");
+    }
+    // Degrees live strictly inside (0, 1); the negated form also rejects NaN.
+    if (!(degree > 0.0 && degree < 1.0)) {
+      return CorruptSnapshot("partial degree");
+    }
+    partial_.emplace(key, degree);
+  }
+
+  if (!r.GetU64(&count)) return CorruptSnapshot("complementarity count");
+  if (count > r.Remaining() / 8) {
+    return CorruptSnapshot("complementarity count out of range");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t key;
+    if (!r.GetU64(&key)) return CorruptSnapshot("complementarity key");
+    if (!valid_pair(key, /*ordered=*/true)) {
+      return CorruptSnapshot("complementarity key ids");
+    }
+    compl_.insert(key);
+  }
+  if (!r.AtEnd()) return CorruptSnapshot("trailing bytes");
+
+  // Rebuild the partner index (needed for O(degree) retirement) from the
+  // restored sets: one link per unordered pair, as Compare would have made.
+  std::set<uint64_t> pairs;
+  auto normalized = [](uint64_t key) {
+    const qb::ObsId a = static_cast<qb::ObsId>(key >> 32);
+    const qb::ObsId b = static_cast<qb::ObsId>(key & 0xffffffffu);
+    return Key(std::min(a, b), std::max(a, b));
+  };
+  for (uint64_t key : full_) pairs.insert(normalized(key));
+  for (const auto& [key, degree] : partial_) pairs.insert(normalized(key));
+  for (uint64_t key : compl_) pairs.insert(normalized(key));
+  for (uint64_t key : pairs) {
+    Link(static_cast<qb::ObsId>(key >> 32),
+         static_cast<qb::ObsId>(key & 0xffffffffu));
+  }
+  return Status::OK();
+}
+
+Status IncrementalEngine::SaveCheckpoint(const std::string& path) const {
+  return AtomicWriteFile(SerializeState(), path);
+}
+
+Status IncrementalEngine::RestoreFromCheckpoint(const std::string& path) {
+  RDFCUBE_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return RestoreState(bytes);
 }
 
 }  // namespace core

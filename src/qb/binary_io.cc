@@ -1,6 +1,7 @@
 #include "qb/binary_io.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -83,6 +84,15 @@ class Reader {
 
 Status Corrupt(const char* what) {
   return Status::ParseError(std::string("corrupt corpus file: ") + what);
+}
+
+// Mutated bytes can slip past the structural checks and only be rejected by
+// the corpus builders (duplicate IRI, inconsistent schema, ...). Those are
+// still parse failures from the caller's point of view: rewrap so the
+// deserializer's contract is "ParseError or a valid corpus".
+Status AsParseError(const Status& st) {
+  if (st.ok() || st.IsParseError()) return st;
+  return Status::ParseError("corrupt corpus file: " + st.message());
 }
 
 }  // namespace
@@ -185,9 +195,9 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
       auto added = list.Add(name, parent);
       if (!added.ok() || *added != c) return Corrupt("duplicate code name");
     }
-    RDFCUBE_RETURN_IF_ERROR(list.Finalize());
+    RDFCUBE_RETURN_IF_ERROR(AsParseError(list.Finalize()));
     RDFCUBE_RETURN_IF_ERROR(
-        corpus.space->AddDimension(iri, std::move(list)).status());
+        AsParseError(corpus.space->AddDimension(iri, std::move(list)).status()));
   }
 
   uint32_t num_measures;
@@ -196,7 +206,7 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
   for (uint32_t m = 0; m < num_measures; ++m) {
     std::string iri;
     if (!r.GetString(&iri)) return Corrupt("measure iri");
-    RDFCUBE_RETURN_IF_ERROR(corpus.space->AddMeasure(iri).status());
+    RDFCUBE_RETURN_IF_ERROR(AsParseError(corpus.space->AddMeasure(iri).status()));
   }
 
   corpus.observations = std::make_unique<ObservationSet>(corpus.space.get());
@@ -222,7 +232,7 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
       return Corrupt("dataset measure mask");
     }
     RDFCUBE_RETURN_IF_ERROR(
-        corpus.observations->AddDataset(iri, dims, measures).status());
+        AsParseError(corpus.observations->AddDataset(iri, dims, measures).status()));
   }
 
   uint32_t num_obs;
@@ -257,8 +267,8 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
       values.emplace_back(m, value);
     }
     RDFCUBE_RETURN_IF_ERROR(
-        corpus.observations->AddObservation(dataset, iri, dims, values)
-            .status());
+        AsParseError(corpus.observations->AddObservation(dataset, iri, dims, values)
+                         .status()));
   }
   if (!r.AtEnd()) return Corrupt("trailing bytes");
   return corpus;
@@ -266,18 +276,30 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
 
 Status SaveCorpus(const Corpus& corpus, const std::string& path) {
   RDFCUBE_ASSIGN_OR_RETURN(std::string bytes, SerializeCorpus(corpus));
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IOError("cannot write corpus: path is a directory: " +
+                           path);
+  }
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("write failed: " + path);
+  if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
 
 Result<Corpus> LoadCorpusBinary(const std::string& path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IOError("cannot read corpus: path is a directory: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open file: " + path);
+  if (!in) return Status::IOError("cannot open file: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
+  // A zero-byte or otherwise mangled file lands in DeserializeCorpus's magic
+  // check and comes back as ParseError, never a crash.
   return DeserializeCorpus(buf.str());
 }
 

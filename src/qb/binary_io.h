@@ -31,10 +31,13 @@ Result<std::string> SerializeCorpus(const Corpus& corpus);
 /// validated — a corrupt file can not produce an inconsistent corpus).
 Result<Corpus> DeserializeCorpus(const std::string& bytes);
 
-/// Writes the corpus to `path`.
+/// Writes the corpus to `path`. IOError when the path is a directory or
+/// cannot be opened/written.
 Status SaveCorpus(const Corpus& corpus, const std::string& path);
 
-/// Reads a corpus from `path`.
+/// Reads a corpus from `path`. IOError when the path is missing, a
+/// directory, or unreadable; ParseError when the bytes are corrupt (a
+/// zero-byte file is "bad magic"). Never crashes on hostile input.
 Result<Corpus> LoadCorpusBinary(const std::string& path);
 
 }  // namespace qb

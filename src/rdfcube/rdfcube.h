@@ -17,6 +17,7 @@
 #include "align/matcher.h"                 // IWYU pragma: export
 #include "core/aggregate.h"                // IWYU pragma: export
 #include "core/baseline.h"                 // IWYU pragma: export
+#include "core/checkpoint.h"               // IWYU pragma: export
 #include "core/containment_matrix.h"       // IWYU pragma: export
 #include "core/cube_masking.h"             // IWYU pragma: export
 #include "core/distributed.h"              // IWYU pragma: export
@@ -50,6 +51,7 @@
 #include "rules/paper_rules.h"             // IWYU pragma: export
 #include "sparql/engine.h"                 // IWYU pragma: export
 #include "sparql/paper_queries.h"          // IWYU pragma: export
+#include "util/fault.h"                    // IWYU pragma: export
 #include "util/result.h"                   // IWYU pragma: export
 #include "util/status.h"                   // IWYU pragma: export
 

@@ -112,10 +112,10 @@ std::vector<Rule> PaperRules() {
 }
 
 Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
-                                         double timeout_seconds,
+                                         const Deadline& deadline,
                                          std::size_t max_derived) {
   ChainOptions options;
-  if (timeout_seconds > 0) options.deadline = Deadline(timeout_seconds);
+  options.deadline = deadline;
   options.max_derived = max_derived;
   Stopwatch watch;
   RuleRunResult result;

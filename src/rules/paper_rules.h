@@ -13,6 +13,7 @@
 #include "rules/engine.h"
 #include "rules/rule.h"
 #include "util/result.h"
+#include "util/stopwatch.h"
 
 namespace rdfcube {
 namespace rules {
@@ -49,7 +50,7 @@ struct RuleRunResult {
 /// Runs PaperRules() to fixpoint on a copy-free in-place basis (derived
 /// triples are inserted into `store`) and extracts the derived pairs.
 Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
-                                         double timeout_seconds,
+                                         const Deadline& deadline,
                                          std::size_t max_derived = 0);
 
 }  // namespace rules

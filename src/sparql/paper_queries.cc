@@ -67,10 +67,10 @@ std::string FullContainmentQuery() {
 
 Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
                                             const std::string& query_text,
-                                            double timeout_seconds,
+                                            const Deadline& deadline,
                                             std::size_t max_rows) {
   EvalOptions options;
-  if (timeout_seconds > 0) options.deadline = Deadline(timeout_seconds);
+  options.deadline = deadline;
   options.max_rows = max_rows;
   Stopwatch watch;
   QueryRunResult result;

@@ -46,10 +46,10 @@ struct QueryRunResult {
 };
 
 /// Runs one of the above query texts against `store`, translating term ids
-/// back to IRIs.
+/// back to IRIs. A default-constructed Deadline means no time limit.
 Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
                                             const std::string& query_text,
-                                            double timeout_seconds,
+                                            const Deadline& deadline,
                                             std::size_t max_rows = 0);
 
 }  // namespace sparql

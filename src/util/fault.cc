@@ -1,0 +1,128 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rdfcube {
+
+namespace {
+
+// The global slot. Installation is scoped and expected from one controlling
+// thread; ShouldFail itself is thread-safe via the injector's mutex.
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+uint64_t FaultInjector::StreamSeed(uint64_t seed, const std::string& point) {
+  uint64_t h = 1469598103934665603ull ^ seed;
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // Avoid the degenerate all-zero engine seed.
+  return h == 0 ? 1 : h;
+}
+
+FaultInjector::Point& FaultInjector::PointLocked(const std::string& point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.emplace(point, Point{}).first;
+    streams_.emplace(point, Rng(StreamSeed(seed_, point)));
+  }
+  return it->second;
+}
+
+void FaultInjector::ArmProbability(const std::string& point, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointLocked(point);
+  pt.mode = Point::Mode::kProbability;
+  pt.probability = std::clamp(p, 0.0, 1.0);
+}
+
+void FaultInjector::ArmNthCall(const std::string& point, uint64_t nth) {
+  ArmCallRange(point, nth, nth);
+}
+
+void FaultInjector::ArmCallRange(const std::string& point, uint64_t first,
+                                 uint64_t last) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointLocked(point);
+  pt.mode = Point::Mode::kCallRange;
+  pt.range_first = first;
+  pt.range_last = last;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointLocked(point).mode = Point::Mode::kDisarmed;
+}
+
+bool FaultInjector::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& pt = PointLocked(point);
+  ++pt.calls;
+  bool fail = false;
+  switch (pt.mode) {
+    case Point::Mode::kDisarmed:
+      break;
+    case Point::Mode::kProbability:
+      // Always draw, so that disarm/re-arm cycles do not shift the stream
+      // relative to the call counter.
+      fail = streams_.at(point).Chance(pt.probability);
+      break;
+    case Point::Mode::kCallRange:
+      fail = pt.calls >= pt.range_first && pt.calls <= pt.range_last;
+      break;
+  }
+  if (fail) {
+    ++pt.fired;
+    log_.push_back(FaultEvent{point, pt.calls});
+  }
+  return fail;
+}
+
+uint64_t FaultInjector::calls(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.calls;
+}
+
+uint64_t FaultInjector::fired(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+std::vector<FaultEvent> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.clear();
+  for (auto& [name, pt] : points_) {
+    pt.calls = 0;
+    pt.fired = 0;
+    streams_.at(name) = Rng(StreamSeed(seed_, name));
+  }
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector* injector)
+    : previous_(g_injector.exchange(injector)) {}
+
+ScopedFaultInjection::~ScopedFaultInjection() { g_injector.store(previous_); }
+
+FaultInjector* GlobalFaultInjector() { return g_injector.load(); }
+
+bool FaultTriggered(const std::string& point) {
+  FaultInjector* injector = g_injector.load();
+  return injector != nullptr && injector->ShouldFail(point);
+}
+
+}  // namespace rdfcube

@@ -1,0 +1,133 @@
+// Deterministic fault injection for robustness testing (north star: a
+// production-scale deployment cannot assume every worker survives and every
+// message arrives). Failure-prone layers consult named injection points; a
+// test (or bench) arms the points on a seeded FaultInjector and installs it
+// into the scoped process-global registry. With no injector installed every
+// point is a no-op, so instrumented hot paths cost one pointer load.
+
+#ifndef RDFCUBE_UTIL_FAULT_H_
+#define RDFCUBE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfcube {
+
+/// \brief One injected fault occurrence, in firing order.
+struct FaultEvent {
+  std::string point;
+  /// 1-based call counter of the point at the moment it fired.
+  uint64_t call_index = 0;
+
+  bool operator==(const FaultEvent& o) const {
+    return point == o.point && call_index == o.call_index;
+  }
+};
+
+/// \brief Seeded registry of named injection points.
+///
+/// Determinism contract (tested property): two injectors with the same seed
+/// and the same arming schedule, driven through the same sequence of
+/// ShouldFail calls, fire at exactly the same call indices. Each point draws
+/// from its own PRNG stream (derived from seed and point name), so the
+/// relative interleaving of *different* points does not perturb a point's
+/// decisions. All methods are thread-safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point` to fail each call independently with probability `p`
+  /// (clamped to [0, 1]). Replaces any previous arming of the point.
+  void ArmProbability(const std::string& point, double p);
+
+  /// Arms `point` to fail exactly once, on its `nth` call (1-based).
+  void ArmNthCall(const std::string& point, uint64_t nth);
+
+  /// Arms `point` to fail on every call whose 1-based index lies in
+  /// [first, last]. ArmCallRange(p, 1, k) makes the first k calls fail —
+  /// the shape needed to exhaust a retry budget deterministically.
+  void ArmCallRange(const std::string& point, uint64_t first, uint64_t last);
+
+  /// Disarms `point`; its call counter keeps advancing.
+  void Disarm(const std::string& point);
+
+  /// Advances the call counter of `point` and reports whether this call
+  /// should fail. Unarmed points never fail (but are still counted).
+  bool ShouldFail(const std::string& point);
+
+  /// Calls observed at `point` so far.
+  uint64_t calls(const std::string& point) const;
+
+  /// Faults fired at `point` so far.
+  uint64_t fired(const std::string& point) const;
+
+  /// Faults fired across all points.
+  uint64_t total_fired() const;
+
+  /// Every fault fired so far, in firing order (the injected-fault sequence
+  /// of the determinism tests).
+  std::vector<FaultEvent> log() const;
+
+  /// Clears counters and the log and rewinds every point's PRNG stream to
+  /// its seed; armings are kept. After ResetCounters() the injector replays
+  /// the exact same decision sequence.
+  void ResetCounters();
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Point {
+    enum class Mode { kDisarmed, kProbability, kCallRange };
+    Mode mode = Mode::kDisarmed;
+    double probability = 0.0;
+    uint64_t range_first = 0;
+    uint64_t range_last = 0;
+    uint64_t calls = 0;
+    uint64_t fired = 0;
+  };
+
+  // Derives the per-point PRNG stream seed (FNV-1a of the name mixed with
+  // the injector seed).
+  static uint64_t StreamSeed(uint64_t seed, const std::string& point);
+
+  Point& PointLocked(const std::string& point);
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+  std::unordered_map<std::string, Rng> streams_;
+  std::vector<FaultEvent> log_;
+};
+
+/// \brief Installs `injector` as the process-global injector for the scope's
+/// lifetime, restoring the previous one on destruction (scopes nest).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// Currently installed global injector, or nullptr.
+FaultInjector* GlobalFaultInjector();
+
+/// True iff a global injector is installed and `point` fires on this call.
+/// The single call instrumented code makes.
+bool FaultTriggered(const std::string& point);
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_FAULT_H_

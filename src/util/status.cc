@@ -24,6 +24,8 @@ std::string_view StatusCodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -31,6 +31,7 @@ class Status {
     kTimedOut,
     kResourceExhausted,
     kInternal,
+    kIOError,
   };
 
   /// Constructs an OK status.
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
   /// @}
 
   bool ok() const { return rep_ == nullptr; }
@@ -84,6 +88,7 @@ class Status {
     return code() == Code::kResourceExhausted;
   }
   bool IsInternal() const { return code() == Code::kInternal; }
+  bool IsIOError() const { return code() == Code::kIOError; }
 
   /// Error message, empty for OK.
   const std::string& message() const {

@@ -45,6 +45,17 @@ class Deadline {
     return limit_seconds_ >= 0.0 && watch_.ElapsedSeconds() > limit_seconds_;
   }
 
+  /// True when this deadline carries a limit (the default-constructed
+  /// Deadline never expires and reports no limit).
+  bool HasLimit() const { return limit_seconds_ >= 0.0; }
+
+  /// Seconds until expiry, clamped at 0; meaningless without a limit.
+  double RemainingSeconds() const {
+    if (!HasLimit()) return 0.0;
+    const double rest = limit_seconds_ - watch_.ElapsedSeconds();
+    return rest > 0.0 ? rest : 0.0;
+  }
+
  private:
   Stopwatch watch_;
   double limit_seconds_;

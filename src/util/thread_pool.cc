@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <string>
+#include <utility>
 
 namespace rdfcube {
 
@@ -35,6 +38,19 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+Status ThreadPool::TakeError() {
+  std::unique_lock<std::mutex> lock(mu_);
+  Status error = std::move(first_error_);
+  first_error_ = Status::OK();
+  return error;
+}
+
+void ThreadPool::ReportError(const Status& status) {
+  if (status.ok()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -49,9 +65,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // Exceptions must not escape into the worker loop: they would skip the
+    // in-flight decrement below and leave Wait() blocked forever. Catch and
+    // convert to the pool's first error instead.
+    Status error;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      error = Status::Internal(std::string("task threw: ") + e.what());
+    } catch (...) {
+      error = Status::Internal("task threw a non-std exception");
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (!error.ok() && first_error_.ok()) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }
@@ -70,6 +97,35 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
     });
   }
   pool->Wait();
+}
+
+Status TryParallelFor(ThreadPool* pool, std::size_t n,
+                      const std::function<Status(std::size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  Status first_error;
+  const std::size_t shards = pool->num_threads() * 4;
+  const std::size_t chunk = (n + shards - 1) / shards;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = begin + chunk < n ? begin + chunk : n;
+    pool->Submit([begin, end, &fn, &failed, &error_mu, &first_error] {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        Status st = fn(i);
+        if (!st.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = std::move(st);
+          return;
+        }
+      }
+    });
+  }
+  pool->Wait();
+  if (!first_error.ok()) return first_error;
+  // A task that threw (rather than returned) still surfaces.
+  return pool->TakeError();
 }
 
 }  // namespace rdfcube

@@ -12,11 +12,18 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace rdfcube {
 
 /// \brief Minimal fixed-size thread pool with a Wait() barrier.
 ///
-/// Tasks are plain std::function<void()>; exceptions must not escape tasks.
+/// Tasks are plain std::function<void()>. A task that lets an exception
+/// escape no longer wedges Wait(): the worker catches it, records the first
+/// failure as a Status, and keeps the in-flight accounting correct; the
+/// error is retrievable (once) via TakeError(). Tasks that fail by
+/// computation should use TryParallelFor, which propagates the first non-OK
+/// Status and skips remaining work.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -29,8 +36,16 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished (successfully or not).
   void Wait();
+
+  /// Returns the first error recorded since the last TakeError() (escaped
+  /// task exceptions, or errors reported through ReportError) and clears it.
+  Status TakeError();
+
+  /// Records `status` as the pool's first error if none is pending; OK
+  /// statuses are ignored. Thread-safe; callable from inside tasks.
+  void ReportError(const Status& status);
 
   std::size_t num_threads() const { return workers_.size(); }
 
@@ -43,12 +58,22 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  Status first_error_;
   std::vector<std::thread> workers_;
 };
 
 /// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
+
+/// Fallible ParallelFor: runs `fn(i)` for i in [0, n) across `pool` and
+/// returns the first non-OK Status any invocation produced (iteration order
+/// within a shard decides "first"; across shards it is the earliest
+/// observed). Once an error is recorded, shards stop starting new indices —
+/// a failing task aborts the loop instead of wedging it. Escaped task
+/// exceptions surface as Internal.
+Status TryParallelFor(ThreadPool* pool, std::size_t n,
+                      const std::function<Status(std::size_t)>& fn);
 
 }  // namespace rdfcube
 

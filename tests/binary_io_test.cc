@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "core/baseline.h"
 #include "core/occurrence_matrix.h"
@@ -79,8 +80,24 @@ TEST(BinaryIoTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(BinaryIoTest, MissingFileIsNotFound) {
-  EXPECT_TRUE(LoadCorpusBinary("/no/such/file.bin").status().IsNotFound());
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadCorpusBinary("/no/such/file.bin").status().IsIOError());
+}
+
+TEST(BinaryIoTest, DirectoryIsIOErrorNotCrash) {
+  // Loading a directory must fail cleanly in both directions.
+  const std::string dir = ::testing::TempDir();
+  EXPECT_TRUE(LoadCorpusBinary(dir).status().IsIOError());
+  Corpus corpus = MakeRunningExample();
+  EXPECT_TRUE(SaveCorpus(corpus, dir).IsIOError());
+}
+
+TEST(BinaryIoTest, ZeroByteFileIsParseError) {
+  const std::string path = ::testing::TempDir() + "/empty.rdfcube";
+  { std::ofstream touch(path, std::ios::binary | std::ios::trunc); }
+  auto result = LoadCorpusBinary(path);
+  EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+  std::remove(path.c_str());
 }
 
 TEST(BinaryIoTest, RejectsBadMagic) {

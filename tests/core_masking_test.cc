@@ -272,12 +272,22 @@ TEST(EngineTest, HybridThroughFacade) {
   EXPECT_GT(report.cluster.num_clusters, 0u);
 }
 
-TEST(EngineTest, TimeoutPropagates) {
+TEST(EngineTest, DeadlinePropagates) {
   qb::Corpus corpus = MakeRandomCorpus(5, 600);
   CollectingSink sink;
   EngineOptions options;
   options.method = Method::kBaseline;
-  options.timeout_seconds = 1e-9;
+  options.deadline = Deadline(1e-9);
+  EXPECT_TRUE(
+      ComputeRelationships(*corpus.observations, options, &sink).IsTimedOut());
+}
+
+TEST(EngineTest, DeprecatedTimeoutSecondsStillHonored) {
+  qb::Corpus corpus = MakeRandomCorpus(5, 600);
+  CollectingSink sink;
+  EngineOptions options;
+  options.method = Method::kBaseline;
+  options.timeout_seconds = 1e-9;  // legacy field, no Deadline supplied
   EXPECT_TRUE(
       ComputeRelationships(*corpus.observations, options, &sink).IsTimedOut());
 }

@@ -1,0 +1,664 @@
+// Fault-injection framework tests: injector determinism, thread-pool error
+// surfacing, crash/drop/duplicate recovery in the distributed simulation,
+// and checkpoint/resume identity for the cubeMasking and incremental
+// engines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/checkpoint.h"
+#include "core/cube_masking.h"
+#include "core/distributed.h"
+#include "core/incremental.h"
+#include "core/lattice.h"
+#include "core/occurrence_matrix.h"
+#include "tests/test_corpus.h"
+#include "util/fault.h"
+#include "util/thread_pool.h"
+
+namespace rdfcube {
+namespace core {
+namespace {
+
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+struct Snapshot {
+  std::set<std::pair<qb::ObsId, qb::ObsId>> full;
+  std::set<std::pair<qb::ObsId, qb::ObsId>> compl_pairs;
+  std::set<std::tuple<qb::ObsId, qb::ObsId, int>> partial;
+
+  static Snapshot From(const CollectingSink& sink) {
+    Snapshot s;
+    for (const auto& p : sink.full()) s.full.insert(p);
+    for (const auto& p : sink.complementary()) s.compl_pairs.insert(p);
+    for (const auto& p : sink.partial()) {
+      s.partial.insert({p.a, p.b, static_cast<int>(p.degree * 1000 + 0.5)});
+    }
+    return s;
+  }
+  bool operator==(const Snapshot& o) const {
+    return full == o.full && compl_pairs == o.compl_pairs &&
+           partial == o.partial;
+  }
+};
+
+Snapshot BaselineSnapshot(const qb::ObservationSet& obs) {
+  const OccurrenceMatrix om(obs);
+  CollectingSink sink;
+  BaselineOptions options;
+  EXPECT_TRUE(RunBaseline(obs, om, options, &sink).ok());
+  return Snapshot::From(sink);
+}
+
+std::size_t NumLatticeCubes(const qb::ObservationSet& obs) {
+  Lattice lattice;
+  for (qb::ObsId i = 0; i < obs.size(); ++i) lattice.AddObservation(obs, i);
+  return lattice.num_cubes();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- FaultInjector -----------------------------------------------------------
+
+TEST(FaultInjectorTest, UnarmedPointsNeverFire) {
+  FaultInjector injector(7);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(injector.ShouldFail("p"));
+  EXPECT_EQ(injector.calls("p"), 100u);
+  EXPECT_EQ(injector.fired("p"), 0u);
+  EXPECT_EQ(injector.total_fired(), 0u);
+}
+
+TEST(FaultInjectorTest, NthCallFiresExactlyOnce) {
+  FaultInjector injector(7);
+  injector.ArmNthCall("p", 3);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(injector.ShouldFail("p"));
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(injector.fired("p"), 1u);
+  ASSERT_EQ(injector.log().size(), 1u);
+  EXPECT_EQ(injector.log()[0], (FaultEvent{"p", 3}));
+}
+
+TEST(FaultInjectorTest, CallRangeFiresOnEveryCallInRange) {
+  FaultInjector injector(7);
+  injector.ArmCallRange("p", 2, 4);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(injector.ShouldFail("p"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, true, false, false}));
+  EXPECT_EQ(injector.fired("p"), 3u);
+}
+
+TEST(FaultInjectorTest, DisarmStopsFiringButKeepsCounting) {
+  FaultInjector injector(7);
+  injector.ArmProbability("p", 1.0);
+  EXPECT_TRUE(injector.ShouldFail("p"));
+  injector.Disarm("p");
+  EXPECT_FALSE(injector.ShouldFail("p"));
+  EXPECT_EQ(injector.calls("p"), 2u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameScheduleSameFaultSequence) {
+  // The determinism contract: identical seed + arming schedule => identical
+  // fault sequence.
+  auto drive = [](FaultInjector* injector) {
+    injector->ArmProbability("a", 0.3);
+    injector->ArmProbability("b", 0.7);
+    for (int i = 0; i < 500; ++i) {
+      (void)injector->ShouldFail("a");
+      (void)injector->ShouldFail("b");
+    }
+  };
+  FaultInjector one(42), two(42);
+  drive(&one);
+  drive(&two);
+  EXPECT_GT(one.total_fired(), 0u);
+  EXPECT_EQ(one.log(), two.log());
+
+  // A different seed produces a different sequence (overwhelmingly likely
+  // over 1000 draws).
+  FaultInjector three(43);
+  drive(&three);
+  EXPECT_NE(one.log(), three.log());
+}
+
+TEST(FaultInjectorTest, InterleavingOtherPointsDoesNotPerturbAStream) {
+  // Point "a" must fire at the same call indices whether or not point "x"
+  // is also being exercised: each point draws from its own PRNG stream.
+  FaultInjector alone(11), mixed(11);
+  alone.ArmProbability("a", 0.4);
+  mixed.ArmProbability("a", 0.4);
+  mixed.ArmProbability("x", 0.9);
+  std::vector<uint64_t> fired_alone, fired_mixed;
+  for (int i = 0; i < 300; ++i) {
+    if (alone.ShouldFail("a")) fired_alone.push_back(alone.calls("a"));
+    (void)mixed.ShouldFail("x");
+    if (mixed.ShouldFail("a")) fired_mixed.push_back(mixed.calls("a"));
+    (void)mixed.ShouldFail("x");
+  }
+  EXPECT_FALSE(fired_alone.empty());
+  EXPECT_EQ(fired_alone, fired_mixed);
+}
+
+TEST(FaultInjectorTest, ResetCountersReplaysIdentically) {
+  FaultInjector injector(5);
+  injector.ArmProbability("p", 0.5);
+  for (int i = 0; i < 200; ++i) (void)injector.ShouldFail("p");
+  const std::vector<FaultEvent> first = injector.log();
+  injector.ResetCounters();
+  EXPECT_EQ(injector.total_fired(), 0u);
+  for (int i = 0; i < 200; ++i) (void)injector.ShouldFail("p");
+  EXPECT_EQ(injector.log(), first);
+}
+
+TEST(FaultInjectorTest, ScopedRegistryNestsAndRestores) {
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+  EXPECT_FALSE(FaultTriggered("p"));  // no injector installed: never fires
+  FaultInjector outer(1), inner(2);
+  outer.ArmNthCall("p", 1);
+  inner.ArmNthCall("q", 1);
+  {
+    ScopedFaultInjection outer_scope(&outer);
+    EXPECT_EQ(GlobalFaultInjector(), &outer);
+    {
+      ScopedFaultInjection inner_scope(&inner);
+      EXPECT_EQ(GlobalFaultInjector(), &inner);
+      EXPECT_TRUE(FaultTriggered("q"));
+    }
+    EXPECT_EQ(GlobalFaultInjector(), &outer);
+    EXPECT_TRUE(FaultTriggered("p"));
+  }
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+}
+
+// --- ThreadPool failure handling ---------------------------------------------
+
+TEST(ThreadPoolFaultTest, ThrowingTaskDoesNotWedgeWait) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  pool.Wait();  // must return despite every task throwing
+  const Status error = pool.TakeError();
+  EXPECT_TRUE(error.IsInternal()) << error.ToString();
+  EXPECT_NE(error.message().find("boom"), std::string::npos);
+  // TakeError clears: the pool stays usable.
+  EXPECT_TRUE(pool.TakeError().ok());
+  pool.Submit([] {});
+  pool.Wait();
+  EXPECT_TRUE(pool.TakeError().ok());
+}
+
+TEST(ThreadPoolFaultTest, TryParallelForSurfacesFirstError) {
+  ThreadPool pool(4);
+  const Status st = TryParallelFor(&pool, 1000, [](std::size_t i) {
+    if (i == 137) return Status::InvalidArgument("index 137 is cursed");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("137"), std::string::npos);
+}
+
+TEST(ThreadPoolFaultTest, TryParallelForOkRunsEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(200);
+  const Status st = TryParallelFor(&pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolFaultTest, TryParallelForSurfacesThrownException) {
+  ThreadPool pool(2);
+  const Status st = TryParallelFor(&pool, 4, [](std::size_t i) -> Status {
+    if (i == 0) throw std::runtime_error("thrown, not returned");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+// --- Distributed recovery ----------------------------------------------------
+
+class DistributedRecoveryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistributedRecoveryTest, RecoversExactResultUnderInjectedFaults) {
+  qb::Corpus corpus = MakeRandomCorpus(GetParam() * 11 + 2, 60);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = BaselineSnapshot(obs);
+
+  FaultInjector injector(GetParam());
+  injector.ArmProbability(kFaultWorkerCrash, 0.2);
+  injector.ArmProbability(kFaultMessageDrop, 0.1);
+  injector.ArmProbability(kFaultMessageDuplicate, 0.1);
+  ScopedFaultInjection scope(&injector);
+
+  std::size_t total_crashes = 0;
+  for (std::size_t workers : {2u, 3u, 5u}) {
+    CollectingSink sink;
+    DistributedOptions options;
+    options.num_workers = workers;
+    DistributedStats stats;
+    ASSERT_TRUE(RunDistributedMasking(obs, options, &sink, &stats).ok());
+    // Bit-identical to the failure-free relationship set.
+    EXPECT_TRUE(Snapshot::From(sink) == base) << "workers=" << workers;
+    // The accounting is internally consistent: every crash is answered by
+    // either a same-worker retry or a worker death, every drop by a resend.
+    EXPECT_EQ(stats.worker_crashes, stats.task_retries + stats.workers_lost);
+    EXPECT_EQ(stats.dropped_messages, stats.replayed_messages);
+    EXPECT_GE(stats.reassignments, stats.workers_lost);
+    if (stats.worker_crashes > 0) {
+      EXPECT_GT(stats.simulated_backoff_ms, 0.0);
+    }
+    total_crashes += stats.worker_crashes;
+  }
+  // At p=0.2 across three runs the crash point fires essentially always.
+  EXPECT_GT(total_crashes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedRecoveryTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(DistributedFaultTest, ExhaustedRetryBudgetReassignsToSurvivor) {
+  qb::Corpus corpus = MakeRandomCorpus(3, 40);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = BaselineSnapshot(obs);
+
+  DistributedOptions options;
+  options.num_workers = 3;
+  // The first task's first max_retries + 1 attempts all crash: its worker
+  // exhausts the retry budget, dies, and the partition moves to a survivor.
+  FaultInjector injector(1);
+  injector.ArmCallRange(kFaultWorkerCrash, 1, options.max_retries_per_task + 1);
+  ScopedFaultInjection scope(&injector);
+
+  CollectingSink sink;
+  DistributedStats stats;
+  ASSERT_TRUE(RunDistributedMasking(obs, options, &sink, &stats).ok());
+  EXPECT_TRUE(Snapshot::From(sink) == base);
+  EXPECT_EQ(stats.worker_crashes, options.max_retries_per_task + 1);
+  EXPECT_EQ(stats.task_retries, options.max_retries_per_task);
+  EXPECT_EQ(stats.workers_lost, 1u);
+  EXPECT_GE(stats.reassignments, 1u);
+  EXPECT_GT(stats.simulated_backoff_ms, 0.0);
+}
+
+TEST(DistributedFaultTest, AllWorkersLostIsInternalErrorNotHang) {
+  qb::Corpus corpus = MakeRandomCorpus(4, 30);
+  const qb::ObservationSet& obs = *corpus.observations;
+  FaultInjector injector(1);
+  injector.ArmProbability(kFaultWorkerCrash, 1.0);  // every attempt crashes
+  ScopedFaultInjection scope(&injector);
+  CollectingSink sink;
+  DistributedOptions options;
+  options.num_workers = 2;
+  const Status st = RunDistributedMasking(obs, options, &sink);
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+}
+
+TEST(DistributedFaultTest, DropStormExhaustsResendBudget) {
+  qb::Corpus corpus = MakeRandomCorpus(5, 30);
+  const qb::ObservationSet& obs = *corpus.observations;
+  FaultInjector injector(1);
+  injector.ArmProbability(kFaultMessageDrop, 1.0);  // every delivery drops
+  ScopedFaultInjection scope(&injector);
+  CollectingSink sink;
+  DistributedOptions options;
+  options.num_workers = 2;
+  const Status st = RunDistributedMasking(obs, options, &sink);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+TEST(DistributedFaultTest, DuplicatesAreDiscardedNotDoubleCounted) {
+  qb::Corpus corpus = MakeRandomCorpus(6, 50);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const Snapshot base = BaselineSnapshot(obs);
+  FaultInjector injector(9);
+  injector.ArmProbability(kFaultMessageDuplicate, 1.0);
+  ScopedFaultInjection scope(&injector);
+  CollectingSink sink;
+  DistributedOptions options;
+  options.num_workers = 3;
+  DistributedStats stats;
+  ASSERT_TRUE(RunDistributedMasking(obs, options, &sink, &stats).ok());
+  EXPECT_TRUE(Snapshot::From(sink) == base);
+  EXPECT_GT(stats.duplicate_messages, 0u);
+}
+
+TEST(DistributedFaultTest, SameSeedSameOutcome) {
+  // The fault-determinism property: same seed + same schedule => identical
+  // injected-fault sequence AND identical recovered output and stats.
+  qb::Corpus corpus = MakeRandomCorpus(13, 60);
+  const qb::ObservationSet& obs = *corpus.observations;
+  auto run = [&](uint64_t seed, Snapshot* out, DistributedStats* stats,
+                 std::vector<FaultEvent>* log) {
+    FaultInjector injector(seed);
+    injector.ArmProbability(kFaultWorkerCrash, 0.3);
+    injector.ArmProbability(kFaultMessageDrop, 0.2);
+    ScopedFaultInjection scope(&injector);
+    CollectingSink sink;
+    DistributedOptions options;
+    options.num_workers = 4;
+    ASSERT_TRUE(RunDistributedMasking(obs, options, &sink, stats).ok());
+    *out = Snapshot::From(sink);
+    *log = injector.log();
+  };
+  Snapshot s1, s2;
+  DistributedStats st1, st2;
+  std::vector<FaultEvent> log1, log2;
+  run(21, &s1, &st1, &log1);
+  run(21, &s2, &st2, &log2);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2);
+  EXPECT_TRUE(s1 == s2);
+  EXPECT_EQ(st1.worker_crashes, st2.worker_crashes);
+  EXPECT_EQ(st1.task_retries, st2.task_retries);
+  EXPECT_EQ(st1.reassignments, st2.reassignments);
+  EXPECT_EQ(st1.dropped_messages, st2.dropped_messages);
+  EXPECT_EQ(st1.simulated_backoff_ms, st2.simulated_backoff_ms);
+}
+
+// --- Masking checkpoint/resume -----------------------------------------------
+
+TEST(CheckpointTest, SerializeRoundTrip) {
+  MaskingCheckpoint ckpt;
+  ckpt.fingerprint = 0xdeadbeefcafef00dull;
+  ckpt.selector_bits = 7;
+  ckpt.next_cube = 42;
+  ckpt.full = {{1, 2}, {3, 4}};
+  ckpt.partial = {{5, 6, 0.5, 3}};
+  ckpt.complementary = {{7, 8}};
+  auto back = DeserializeMaskingCheckpoint(SerializeMaskingCheckpoint(ckpt));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->fingerprint, ckpt.fingerprint);
+  EXPECT_EQ(back->selector_bits, ckpt.selector_bits);
+  EXPECT_EQ(back->next_cube, ckpt.next_cube);
+  EXPECT_EQ(back->full, ckpt.full);
+  ASSERT_EQ(back->partial.size(), 1u);
+  EXPECT_EQ(back->partial[0].a, 5u);
+  EXPECT_EQ(back->partial[0].b, 6u);
+  EXPECT_EQ(back->partial[0].degree, 0.5);
+  EXPECT_EQ(back->partial[0].dim_mask, 3u);
+  EXPECT_EQ(back->complementary, ckpt.complementary);
+}
+
+TEST(CheckpointTest, EveryTruncationIsParseError) {
+  MaskingCheckpoint ckpt;
+  ckpt.full = {{1, 2}};
+  ckpt.partial = {{5, 6, 0.5, 0}};
+  ckpt.complementary = {{7, 8}};
+  const std::string bytes = SerializeMaskingCheckpoint(ckpt);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto result = DeserializeMaskingCheckpoint(bytes.substr(0, cut));
+    ASSERT_FALSE(result.ok()) << "prefix " << cut << " accepted";
+    EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+  }
+  EXPECT_TRUE(
+      DeserializeMaskingCheckpoint(bytes + "x").status().IsParseError());
+}
+
+TEST(CheckpointTest, CheckpointedRunMatchesPlainRun) {
+  qb::Corpus corpus = MakeRandomCorpus(3, 80);
+  const qb::ObservationSet& obs = *corpus.observations;
+  CollectingSink plain;
+  CubeMaskingOptions options;
+  ASSERT_TRUE(RunCubeMasking(obs, options, &plain).ok());
+
+  CollectingSink checkpointed;
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("masking_plain.ckpt");
+  ckpt.interval_cubes = 4;
+  CheckpointRunStats run_stats;
+  ASSERT_TRUE(RunCubeMaskingCheckpointed(obs, options, ckpt, &checkpointed,
+                                         nullptr, &run_stats)
+                  .ok());
+  EXPECT_FALSE(run_stats.resumed);
+  EXPECT_GT(run_stats.checkpoints_written, 0u);
+  EXPECT_TRUE(Snapshot::From(checkpointed) == Snapshot::From(plain));
+}
+
+TEST(CheckpointTest, KilledRunResumesToIdenticalOutput) {
+  qb::Corpus corpus = MakeRandomCorpus(7, 100);
+  const qb::ObservationSet& obs = *corpus.observations;
+  ASSERT_GE(NumLatticeCubes(obs), 6u) << "corpus too small for the kill point";
+  CubeMaskingOptions options;
+  CollectingSink uninterrupted;
+  ASSERT_TRUE(RunCubeMasking(obs, options, &uninterrupted).ok());
+
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("masking_killed.ckpt");
+  ckpt.interval_cubes = 2;
+
+  // Kill the run mid-computation, after the 5th completed outer cube.
+  {
+    FaultInjector injector(1);
+    injector.ArmNthCall(kFaultCheckpointKill, 5);
+    ScopedFaultInjection scope(&injector);
+    CollectingSink dead;
+    const Status st = RunCubeMaskingCheckpointed(obs, options, ckpt, &dead);
+    ASSERT_TRUE(st.IsInternal()) << st.ToString();
+  }
+
+  // Resume with a fresh sink: the per-type emission sequences must equal an
+  // uninterrupted run's exactly (not just as sets).
+  CollectingSink resumed;
+  CheckpointRunStats run_stats;
+  ASSERT_TRUE(RunCubeMaskingCheckpointed(obs, options, ckpt, &resumed,
+                                         nullptr, &run_stats)
+                  .ok());
+  EXPECT_TRUE(run_stats.resumed);
+  EXPECT_GT(run_stats.resumed_from, 0u);
+  EXPECT_EQ(resumed.full(), uninterrupted.full());
+  EXPECT_EQ(resumed.complementary(), uninterrupted.complementary());
+  ASSERT_EQ(resumed.partial().size(), uninterrupted.partial().size());
+  for (std::size_t i = 0; i < resumed.partial().size(); ++i) {
+    EXPECT_EQ(resumed.partial()[i].a, uninterrupted.partial()[i].a);
+    EXPECT_EQ(resumed.partial()[i].b, uninterrupted.partial()[i].b);
+    EXPECT_EQ(resumed.partial()[i].degree, uninterrupted.partial()[i].degree);
+  }
+  // delete_on_success removed the snapshot: a re-run starts fresh.
+  CollectingSink rerun;
+  CheckpointRunStats rerun_stats;
+  ASSERT_TRUE(RunCubeMaskingCheckpointed(obs, options, ckpt, &rerun, nullptr,
+                                         &rerun_stats)
+                  .ok());
+  EXPECT_FALSE(rerun_stats.resumed);
+}
+
+TEST(CheckpointTest, RepeatedKillsStillConverge) {
+  // Kill every run after 3 completed cubes until the computation finally
+  // goes to completion; each resume makes monotone progress and the final
+  // output is exact.
+  qb::Corpus corpus = MakeRandomCorpus(9, 80);
+  const qb::ObservationSet& obs = *corpus.observations;
+  CubeMaskingOptions options;
+  CollectingSink expected;
+  ASSERT_TRUE(RunCubeMasking(obs, options, &expected).ok());
+
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("masking_repeated.ckpt");
+  ckpt.interval_cubes = 1;
+
+  Status st;
+  CollectingSink final_sink;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    FaultInjector injector(1);
+    injector.ArmNthCall(kFaultCheckpointKill, 3);
+    ScopedFaultInjection scope(&injector);
+    CollectingSink sink;
+    st = RunCubeMaskingCheckpointed(obs, options, ckpt, &sink);
+    if (st.ok()) {
+      final_sink = sink;
+      break;
+    }
+    ASSERT_TRUE(st.IsInternal()) << st.ToString();
+  }
+  ASSERT_TRUE(st.ok()) << "never converged";
+  EXPECT_TRUE(Snapshot::From(final_sink) == Snapshot::From(expected));
+}
+
+TEST(CheckpointTest, MismatchedCorpusOrSelectorRejected) {
+  qb::Corpus corpus = MakeRandomCorpus(4, 60);
+  const qb::ObservationSet& obs = *corpus.observations;
+  CubeMaskingOptions options;
+  CheckpointOptions ckpt;
+  ckpt.path = TempPath("masking_mismatch.ckpt");
+  ckpt.interval_cubes = 1;
+  {
+    FaultInjector injector(1);
+    injector.ArmNthCall(kFaultCheckpointKill, 2);
+    ScopedFaultInjection scope(&injector);
+    CollectingSink dead;
+    ASSERT_TRUE(
+        RunCubeMaskingCheckpointed(obs, options, ckpt, &dead).IsInternal());
+  }
+  // A snapshot can resume neither against different data...
+  qb::Corpus other = MakeRandomCorpus(5, 60);
+  CollectingSink sink;
+  EXPECT_TRUE(RunCubeMaskingCheckpointed(*other.observations, options, ckpt,
+                                         &sink)
+                  .IsFailedPrecondition());
+  // ...nor against a different relationship selection.
+  CubeMaskingOptions full_only;
+  full_only.selector = RelationshipSelector::FullOnly();
+  EXPECT_TRUE(RunCubeMaskingCheckpointed(obs, full_only, ckpt, &sink)
+                  .IsFailedPrecondition());
+  std::remove(ckpt.path.c_str());
+}
+
+TEST(CheckpointTest, LoadErrors) {
+  EXPECT_TRUE(LoadMaskingCheckpoint("/no/such/dir/ckpt").status().IsIOError());
+  EXPECT_TRUE(
+      LoadMaskingCheckpoint(::testing::TempDir()).status().IsIOError());
+}
+
+// --- Incremental engine checkpoint/resume ------------------------------------
+
+TEST(IncrementalCheckpointTest, KilledStreamResumesToIdenticalSets) {
+  qb::Corpus corpus = MakeRandomCorpus(15, 80);
+  const qb::ObservationSet& obs = *corpus.observations;
+  const RelationshipSelector selector;
+
+  // Uninterrupted engine over the full add/retire stream.
+  IncrementalEngine uninterrupted(&obs, selector);
+  for (qb::ObsId id = 0; id < obs.size(); ++id) {
+    ASSERT_TRUE(uninterrupted.OnObservationAdded(id).ok());
+    if (id % 11 == 10) {
+      ASSERT_TRUE(uninterrupted.OnObservationRetired(id - 5).ok());
+    }
+  }
+
+  // Interrupted engine: checkpoint every 10 stream steps, "crash" before
+  // integrating observation 47 (everything after the last snapshot is lost).
+  const std::string path = TempPath("incremental.ckpt");
+  qb::ObsId resume_from = 0;  // first stream step the snapshot does not cover
+  {
+    IncrementalEngine engine(&obs, selector);
+    for (qb::ObsId id = 0; id < 47; ++id) {
+      ASSERT_TRUE(engine.OnObservationAdded(id).ok());
+      if (id % 11 == 10) {
+        ASSERT_TRUE(engine.OnObservationRetired(id - 5).ok());
+      }
+      if (id % 10 == 9) {
+        ASSERT_TRUE(engine.SaveCheckpoint(path).ok());
+        resume_from = id + 1;
+      }
+    }
+  }
+  ASSERT_EQ(resume_from, 40u);
+
+  // Recovery: restore into a fresh engine and replay the stream from the
+  // position the snapshot covers (a crash-tolerant driver persists the
+  // stream position alongside the snapshot).
+  IncrementalEngine resumed(&obs, selector);
+  ASSERT_TRUE(resumed.RestoreFromCheckpoint(path).ok());
+  EXPECT_TRUE(resumed.OnObservationAdded(0).IsAlreadyExists());
+  for (qb::ObsId id = resume_from; id < obs.size(); ++id) {
+    ASSERT_TRUE(resumed.OnObservationAdded(id).ok());
+    if (id % 11 == 10) {
+      ASSERT_TRUE(resumed.OnObservationRetired(id - 5).ok());
+    }
+  }
+  EXPECT_EQ(resumed.num_full(), uninterrupted.num_full());
+  EXPECT_EQ(resumed.num_partial(), uninterrupted.num_partial());
+  EXPECT_EQ(resumed.num_complementary(), uninterrupted.num_complementary());
+  CollectingSink a, b;
+  uninterrupted.Export(&a);
+  resumed.Export(&b);
+  EXPECT_TRUE(Snapshot::From(a) == Snapshot::From(b));
+  std::remove(path.c_str());
+}
+
+TEST(IncrementalCheckpointTest, StateRoundTripAndValidation) {
+  qb::Corpus corpus = MakeRunningExample();
+  const qb::ObservationSet& obs = *corpus.observations;
+  IncrementalEngine engine(&obs, RelationshipSelector::All());
+  for (qb::ObsId id = 0; id < obs.size(); ++id) {
+    ASSERT_TRUE(engine.OnObservationAdded(id).ok());
+  }
+  const std::string bytes = engine.SerializeState();
+  // Serialization is deterministic: the same state gives the same bytes.
+  EXPECT_EQ(engine.SerializeState(), bytes);
+
+  // Restore into a fresh engine: the sets match.
+  IncrementalEngine restored(&obs, RelationshipSelector::All());
+  ASSERT_TRUE(restored.RestoreState(bytes).ok());
+  EXPECT_EQ(restored.num_full(), engine.num_full());
+  EXPECT_EQ(restored.num_partial(), engine.num_partial());
+  EXPECT_EQ(restored.num_complementary(), engine.num_complementary());
+  CollectingSink a, b;
+  engine.Export(&a);
+  restored.Export(&b);
+  EXPECT_TRUE(Snapshot::From(a) == Snapshot::From(b));
+
+  // Retirement still works after a restore (the partner index was rebuilt):
+  // the post-retire sets equal a from-scratch engine that never saw id 0.
+  ASSERT_TRUE(restored.OnObservationRetired(0).ok());
+  IncrementalEngine reference(&obs, RelationshipSelector::All());
+  for (qb::ObsId id = 1; id < obs.size(); ++id) {
+    ASSERT_TRUE(reference.OnObservationAdded(id).ok());
+  }
+  CollectingSink c, d;
+  restored.Export(&c);
+  reference.Export(&d);
+  EXPECT_TRUE(Snapshot::From(c) == Snapshot::From(d));
+
+  // A non-fresh engine refuses to restore.
+  EXPECT_TRUE(restored.RestoreState(bytes).IsFailedPrecondition());
+  // A selector mismatch refuses to restore.
+  IncrementalEngine full_only(&obs, RelationshipSelector::FullOnly());
+  EXPECT_TRUE(full_only.RestoreState(bytes).IsFailedPrecondition());
+  // Every strict truncation is a ParseError, never a crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    IncrementalEngine fresh(&obs, RelationshipSelector::All());
+    const Status st = fresh.RestoreState(bytes.substr(0, cut));
+    ASSERT_FALSE(st.ok()) << "prefix " << cut << " accepted";
+    EXPECT_TRUE(st.IsParseError()) << st.ToString();
+  }
+  // Trailing garbage is rejected too.
+  IncrementalEngine fresh(&obs, RelationshipSelector::All());
+  EXPECT_TRUE(fresh.RestoreState(bytes + "x").IsParseError());
+}
+
+TEST(IncrementalCheckpointTest, MissingCheckpointFileIsIOError) {
+  qb::Corpus corpus = MakeRunningExample();
+  IncrementalEngine engine(corpus.observations.get(),
+                           RelationshipSelector::All());
+  EXPECT_TRUE(engine.RestoreFromCheckpoint("/no/such/dir/ckpt").IsIOError());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rdfcube

@@ -188,7 +188,7 @@ TEST(IntegrationTest, NativeAndComparisonEnginesAgreeOnStrictFullPairs) {
   rdf::TripleStore exported;
   ASSERT_TRUE(qb::ExportCorpusToRdf(corpus, &exported).ok());
   auto sparql_result = sparql::RunRelationshipQuery(
-      exported, sparql::FullContainmentQuery(), 60.0);
+      exported, sparql::FullContainmentQuery(), Deadline(60.0));
   ASSERT_TRUE(sparql_result.ok());
   const std::set<std::pair<std::string, std::string>> from_sparql(
       sparql_result->pairs.begin(), sparql_result->pairs.end());

@@ -189,7 +189,7 @@ class PaperRulesTest : public ::testing::Test {
 };
 
 TEST_F(PaperRulesTest, DerivesTheRelationships) {
-  auto result = RunRuleBasedMethod(&store_, /*timeout_seconds=*/60.0);
+  auto result = RunRuleBasedMethod(&store_, Deadline(60.0));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_FALSE(result->timed_out);
   ASSERT_FALSE(result->out_of_memory);
@@ -219,10 +219,10 @@ TEST_F(PaperRulesTest, AgreesWithSparqlOnFullContainment) {
   // Cross-validation of the two comparison engines: both implement the same
   // relaxed semantics, so their full-containment answers must coincide.
   rdf::TripleStore rules_store = store_;
-  auto rules_result = RunRuleBasedMethod(&rules_store, 60.0);
+  auto rules_result = RunRuleBasedMethod(&rules_store, Deadline(60.0));
   ASSERT_TRUE(rules_result.ok());
   auto sparql_result = sparql::RunRelationshipQuery(
-      store_, sparql::FullContainmentQuery(), 60.0);
+      store_, sparql::FullContainmentQuery(), Deadline(60.0));
   ASSERT_TRUE(sparql_result.ok());
   const std::set<std::pair<std::string, std::string>> from_rules(
       rules_result->full.begin(), rules_result->full.end());
@@ -232,7 +232,7 @@ TEST_F(PaperRulesTest, AgreesWithSparqlOnFullContainment) {
 }
 
 TEST_F(PaperRulesTest, TimeoutReported) {
-  auto result = RunRuleBasedMethod(&store_, 1e-9);
+  auto result = RunRuleBasedMethod(&store_, Deadline(1e-9));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->timed_out);
 }

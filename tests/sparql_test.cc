@@ -294,7 +294,8 @@ class PaperQueriesTest : public ::testing::Test {
 };
 
 TEST_F(PaperQueriesTest, ComplementarityQueryFindsThePairs) {
-  auto result = RunRelationshipQuery(store_, ComplementarityQuery(), 30.0);
+  auto result =
+      RunRelationshipQuery(store_, ComplementarityQuery(), Deadline(30.0));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_FALSE(result->timed_out);
   std::set<std::pair<std::string, std::string>> pairs(result->pairs.begin(),
@@ -316,7 +317,8 @@ TEST_F(PaperQueriesTest, ComplementarityQueryFindsThePairs) {
 }
 
 TEST_F(PaperQueriesTest, PartialContainmentQueryDetectsStrictAncestry) {
-  auto result = RunRelationshipQuery(store_, PartialContainmentQuery(), 30.0);
+  auto result =
+      RunRelationshipQuery(store_, PartialContainmentQuery(), Deadline(30.0));
   ASSERT_TRUE(result.ok());
   std::set<std::pair<std::string, std::string>> pairs(result->pairs.begin(),
                                                       result->pairs.end());
@@ -336,7 +338,8 @@ TEST_F(PaperQueriesTest, PartialContainmentQueryDetectsStrictAncestry) {
 }
 
 TEST_F(PaperQueriesTest, FullContainmentQueryMatchesUniversalCheck) {
-  auto result = RunRelationshipQuery(store_, FullContainmentQuery(), 30.0);
+  auto result =
+      RunRelationshipQuery(store_, FullContainmentQuery(), Deadline(30.0));
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result->timed_out);
   std::set<std::pair<std::string, std::string>> pairs(result->pairs.begin(),
@@ -360,15 +363,16 @@ TEST_F(PaperQueriesTest, FullContainmentQueryMatchesUniversalCheck) {
 }
 
 TEST_F(PaperQueriesTest, TimeoutIsReportedNotFatal) {
-  auto result = RunRelationshipQuery(store_, FullContainmentQuery(), 1e-9);
+  auto result =
+      RunRelationshipQuery(store_, FullContainmentQuery(), Deadline(1e-9));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->timed_out);
   EXPECT_FALSE(result->out_of_memory);
 }
 
 TEST_F(PaperQueriesTest, RowCapIsReportedAsOutOfMemory) {
-  auto result =
-      RunRelationshipQuery(store_, PartialContainmentQuery(), 30.0, 2);
+  auto result = RunRelationshipQuery(store_, PartialContainmentQuery(),
+                                     Deadline(30.0), 2);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->out_of_memory);
 }

@@ -15,6 +15,7 @@
 //                                               observations at a coordinate
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -111,7 +112,16 @@ int CmdRelate(const std::string& path, const std::vector<std::string>& args) {
     } else if (StartsWith(arg, "--out=")) {
       out_path = arg.substr(6);
     } else if (StartsWith(arg, "--timeout=")) {
-      options.timeout_seconds = std::stod(arg.substr(10));
+      const std::string value = arg.substr(10);
+      char* end = nullptr;
+      const double seconds = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          seconds < 0.0) {
+        std::fprintf(stderr, "--timeout expects a non-negative number: %s\n",
+                     value.c_str());
+        return 1;
+      }
+      options.deadline = rdfcube::Deadline(seconds);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 1;
