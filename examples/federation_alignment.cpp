@@ -7,11 +7,20 @@
 // Build & run:  ./build/examples/federation_alignment
 
 #include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "rdfcube/rdfcube.h"
 
 using namespace rdfcube;
+
+// Status is [[nodiscard]] tree-wide; abort loudly if corpus setup fails.
+static void Ensure(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
 
 int main() {
   // --- Source A codes (the journalist's reference vocabulary). --------------
@@ -58,26 +67,26 @@ int main() {
   // to reference codes before loading (the paper: incoming data are
   // "translated to a reference vocabulary before being used").
   qb::CorpusBuilder builder;
-  builder.AddDimension("ex:city", "AllCities");
+  Ensure(builder.AddDimension("ex:city", "AllCities"));
   for (const std::string& code : reference) {
-    builder.AddCode("ex:city", code, "AllCities");
+    Ensure(builder.AddCode("ex:city", code, "AllCities"));
   }
-  builder.AddMeasure("ex:population");
-  builder.AddMeasure("ex:airQuality");
-  builder.AddDataset("sourceA", {"ex:city"}, {"ex:population"});
-  builder.AddDataset("sourceB", {"ex:city"}, {"ex:airQuality"});
+  Ensure(builder.AddMeasure("ex:population"));
+  Ensure(builder.AddMeasure("ex:airQuality"));
+  Ensure(builder.AddDataset("sourceA", {"ex:city"}, {"ex:population"}));
+  Ensure(builder.AddDataset("sourceB", {"ex:city"}, {"ex:airQuality"}));
 
   // Source A rows.
   for (std::size_t i = 0; i < reference.size(); ++i) {
-    builder.AddObservation("sourceA", "A/obs" + std::to_string(i),
-                           {{"ex:city", reference[i]}},
-                           {{"ex:population", 1.0e5 * double(i + 1)}});
+    Ensure(builder.AddObservation("sourceA", "A/obs" + std::to_string(i),
+                                  {{"ex:city", reference[i]}},
+                                  {{"ex:population", 1.0e5 * double(i + 1)}}));
   }
   // Source B rows arrive with remote codes; translate through the alignment.
   for (std::size_t i = 0; i < remote.size(); ++i) {
-    builder.AddObservation("sourceB", "B/obs" + std::to_string(i),
-                           {{"ex:city", to_reference.at(remote[i])}},
-                           {{"ex:airQuality", 10.0 + double(i)}});
+    Ensure(builder.AddObservation("sourceB", "B/obs" + std::to_string(i),
+                                  {{"ex:city", to_reference.at(remote[i])}},
+                                  {{"ex:airQuality", 10.0 + double(i)}}));
   }
   auto corpus = std::move(builder).Build();
   if (!corpus.ok()) {

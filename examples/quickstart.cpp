@@ -4,42 +4,53 @@
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "rdfcube/rdfcube.h"
 
 using namespace rdfcube;
 
+// Status is [[nodiscard]] tree-wide; even a quickstart checks its returns
+// (every Add below is statically well-formed, so Ensure only documents that).
+static void Ensure(const Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
 int main() {
   // --- 1. Describe the schema bus: dimensions with hierarchical code lists.
   qb::CorpusBuilder builder;
-  builder.AddDimension("ex:geo", "World");
-  builder.AddCode("ex:geo", "Europe", "World");
-  builder.AddCode("ex:geo", "Greece", "Europe");
-  builder.AddCode("ex:geo", "Athens", "Greece");
-  builder.AddDimension("ex:year", "AllYears");
-  builder.AddCode("ex:year", "2015", "AllYears");
-  builder.AddCode("ex:year", "2016", "AllYears");
+  Ensure(builder.AddDimension("ex:geo", "World"));
+  Ensure(builder.AddCode("ex:geo", "Europe", "World"));
+  Ensure(builder.AddCode("ex:geo", "Greece", "Europe"));
+  Ensure(builder.AddCode("ex:geo", "Athens", "Greece"));
+  Ensure(builder.AddDimension("ex:year", "AllYears"));
+  Ensure(builder.AddCode("ex:year", "2015", "AllYears"));
+  Ensure(builder.AddCode("ex:year", "2016", "AllYears"));
 
-  builder.AddMeasure("ex:population");
-  builder.AddMeasure("ex:unemployment");
+  Ensure(builder.AddMeasure("ex:population"));
+  Ensure(builder.AddMeasure("ex:unemployment"));
 
   // --- 2. Two datasets from different publishers.
-  builder.AddDataset("eurostat", {"ex:geo", "ex:year"}, {"ex:population"});
-  builder.AddDataset("worldbank", {"ex:geo", "ex:year"},
-                     {"ex:unemployment"});
+  Ensure(builder.AddDataset("eurostat", {"ex:geo", "ex:year"},
+                            {"ex:population"}));
+  Ensure(builder.AddDataset("worldbank", {"ex:geo", "ex:year"},
+                            {"ex:unemployment"}));
 
-  builder.AddObservation("eurostat", "pop-greece-2015",
-                         {{"ex:geo", "Greece"}, {"ex:year", "2015"}},
-                         {{"ex:population", 10.7e6}});
-  builder.AddObservation("eurostat", "pop-athens-2015",
-                         {{"ex:geo", "Athens"}, {"ex:year", "2015"}},
-                         {{"ex:population", 3.1e6}});
-  builder.AddObservation("worldbank", "unemp-greece-2015",
-                         {{"ex:geo", "Greece"}, {"ex:year", "2015"}},
-                         {{"ex:unemployment", 24.9}});
-  builder.AddObservation("worldbank", "unemp-athens-2016",
-                         {{"ex:geo", "Athens"}, {"ex:year", "2016"}},
-                         {{"ex:unemployment", 22.3}});
+  Ensure(builder.AddObservation("eurostat", "pop-greece-2015",
+                                {{"ex:geo", "Greece"}, {"ex:year", "2015"}},
+                                {{"ex:population", 10.7e6}}));
+  Ensure(builder.AddObservation("eurostat", "pop-athens-2015",
+                                {{"ex:geo", "Athens"}, {"ex:year", "2015"}},
+                                {{"ex:population", 3.1e6}}));
+  Ensure(builder.AddObservation("worldbank", "unemp-greece-2015",
+                                {{"ex:geo", "Greece"}, {"ex:year", "2015"}},
+                                {{"ex:unemployment", 24.9}}));
+  Ensure(builder.AddObservation("worldbank", "unemp-athens-2016",
+                                {{"ex:geo", "Athens"}, {"ex:year", "2016"}},
+                                {{"ex:unemployment", 22.3}}));
 
   auto corpus = std::move(builder).Build();
   if (!corpus.ok()) {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Single entry point for every gate this repo defines:
+#
+#   build        tier-1 build of the main tree
+#   ctest        the full test suite (includes lint_test, race_stress_test
+#                and the header self-containment target)
+#   static       scripts/check_static_analysis.sh (rdfcube_lint + clang-tidy)
+#   sanitizers   scripts/check_sanitizers.sh (ASan, UBSan, TSan trees)
+#
+# Usage: scripts/check_all.sh [--fast]
+#   --fast skips the sanitizer rebuilds (three extra -j1 trees; by far the
+#   slowest stage) — the mode meant for inner-loop use. CI runs the full set.
+set -eu
+
+cd "$(dirname "$0")/.."
+fast=0
+if [ "${1:-}" = "--fast" ]; then fast=1; fi
+
+echo "== build =="
+cmake -B build >/dev/null
+# -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
+cmake --build build -j1
+
+echo "== ctest =="
+ctest --test-dir build --output-on-failure
+
+echo "== static analysis =="
+scripts/check_static_analysis.sh
+
+if [ "$fast" -eq 0 ]; then
+  echo "== sanitizers =="
+  scripts/check_sanitizers.sh
+fi
+
+echo "check_all passed"

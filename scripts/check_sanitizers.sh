@@ -1,21 +1,28 @@
 #!/bin/sh
-# Builds the robustness/fault test suites under ASan and UBSan and runs them.
+# Builds the robustness/fault/race test suites under ASan, UBSan and TSan and
+# runs them.
 #
 # The fault-injection and checkpoint/resume paths push hostile bytes through
 # every deserializer and exercise crash/retry control flow; running them
 # sanitized is the cheapest way to prove "rejects cleanly" never means
-# "reads out of bounds first". Uses separate build trees so the sanitized
-# builds never pollute the main ./build.
+# "reads out of bounds first". The thread pass adds race_stress_test, which
+# exists specifically to give TSan contention to observe (thread-pool
+# submit/error races, concurrent masking runs, checkpoint storms). Uses
+# separate build trees so the sanitized builds never pollute the main ./build.
 #
-# Usage: scripts/check_sanitizers.sh [test targets...]
-#   default targets: robustness_test fault_test binary_io_test
+# Usage: scripts/check_sanitizers.sh [sanitizer ...]
+#   sanitizers: address undefined thread (default: all three)
 set -eu
 
-targets="${*:-robustness_test fault_test binary_io_test}"
-regex="$(echo "$targets" | tr ' ' '|')"
+sanitizers="${*:-address undefined thread}"
 cd "$(dirname "$0")/.."
 
-for san in address undefined; do
+for san in $sanitizers; do
+  case "$san" in
+    thread) targets="race_stress_test fault_test robustness_test" ;;
+    *)      targets="robustness_test fault_test binary_io_test" ;;
+  esac
+  regex="$(echo "$targets" | tr ' ' '|')"
   dir="build-$(echo "$san" | cut -c1-4)"
   echo "== configuring $dir (-fsanitize=$san) =="
   cmake -B "$dir" -DRDFCUBE_SANITIZE="$san" \
@@ -24,7 +31,10 @@ for san in address undefined; do
   # shellcheck disable=SC2086  # word splitting of $targets is intended
   cmake --build "$dir" -j1 --target $targets
   echo "== $san: ctest -R '$regex' =="
-  ctest --test-dir "$dir" -R "$regex" --output-on-failure
+  # TSan aborts with exit 66 on the first data race (halt_on_error default
+  # varies by toolchain); pin the options so a race always fails the run.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ctest --test-dir "$dir" -R "$regex" --output-on-failure
 done
 
 echo "sanitizer runs passed"

@@ -24,6 +24,7 @@ struct Link {
   double similarity;  // cosine in [0, 1]
 };
 
+/// \brief Tuning knobs for the trigram-cosine code-list matcher.
 struct MatcherOptions {
   /// Links below this cosine similarity are dropped.
   double threshold = 0.7;

@@ -13,6 +13,7 @@
 namespace rdfcube {
 namespace cluster {
 
+/// \brief Parameters of average-linkage agglomerative clustering.
 struct AgglomerativeOptions {
   /// Stop merging when this many clusters remain.
   std::size_t target_k = 16;
@@ -23,7 +24,7 @@ struct AgglomerativeOptions {
 /// \brief Average-linkage hierarchical clustering (O(n^2) distance matrix;
 /// intended for the sampled subset, per the paper's sample-then-assign
 /// scheme). Returns the resulting clusters as a CentroidModel.
-Result<CentroidModel> Agglomerative(
+[[nodiscard]] Result<CentroidModel> Agglomerative(
     const std::vector<const BitVector*>& points,
     const AgglomerativeOptions& options,
     std::vector<uint32_t>* assignment = nullptr);

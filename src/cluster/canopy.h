@@ -14,6 +14,7 @@
 namespace rdfcube {
 namespace cluster {
 
+/// \brief Canopy thresholds (loose/tight distance cutoffs).
 struct CanopyOptions {
   /// Loose threshold: points within t1 of a center join its canopy.
   double t1 = 0.75;
@@ -27,7 +28,7 @@ struct CanopyOptions {
 /// returns the canopy centers as a CentroidModel (assignment by nearest
 /// center), so it composes with the same per-cluster baseline driver as
 /// k-means/x-means.
-Result<CentroidModel> Canopy(const std::vector<const BitVector*>& points,
+[[nodiscard]] Result<CentroidModel> Canopy(const std::vector<const BitVector*>& points,
                              const CanopyOptions& options,
                              std::vector<uint32_t>* assignment = nullptr);
 

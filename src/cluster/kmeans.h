@@ -22,6 +22,7 @@ struct CentroidModel {
   std::size_t Assign(const BitVector& p) const;
 };
 
+/// \brief k-means parameters (k, iteration budget, seed).
 struct KMeansOptions {
   std::size_t k = 8;
   std::size_t max_iterations = 20;
@@ -33,7 +34,7 @@ struct KMeansOptions {
 /// Returns the fitted model; `assignment` (if non-null) receives the final
 /// cluster index of each input point. Fails when points is empty or
 /// k == 0. If k exceeds the number of points it is clamped.
-Result<CentroidModel> KMeans(const std::vector<const BitVector*>& points,
+[[nodiscard]] Result<CentroidModel> KMeans(const std::vector<const BitVector*>& points,
                              const KMeansOptions& options,
                              std::vector<uint32_t>* assignment = nullptr);
 

@@ -15,6 +15,7 @@
 namespace rdfcube {
 namespace cluster {
 
+/// \brief x-means parameters (k range and split criterion).
 struct XMeansOptions {
   std::size_t min_k = 2;
   std::size_t max_k = 64;
@@ -27,7 +28,7 @@ struct XMeansOptions {
 ///
 /// BIC uses the identity spherical-Gaussian model of the original paper
 /// (variance estimated from within-cluster squared Euclidean distances).
-Result<CentroidModel> XMeans(const std::vector<const BitVector*>& points,
+[[nodiscard]] Result<CentroidModel> XMeans(const std::vector<const BitVector*>& points,
                              const XMeansOptions& options,
                              std::vector<uint32_t>* assignment = nullptr);
 

@@ -60,7 +60,7 @@ struct RollUpResult {
 /// in-scope observation of the same dataset with an overlapping measure —
 /// i.e. coarse rows whose finer rows are also being aggregated are dropped,
 /// so each fact is counted once.
-Result<RollUpResult> RollUp(
+[[nodiscard]] Result<RollUpResult> RollUp(
     const qb::ObservationSet& obs, const Lattice& lattice,
     const std::vector<std::pair<qb::DimId, hierarchy::CodeId>>& target,
     AggregateFn fn = AggregateFn::kSum, bool leaves_only = true);

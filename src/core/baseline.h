@@ -37,16 +37,16 @@ struct BaselineOptions {
 ///  * compl:   mutual full dimensional containment (no measure condition;
 ///             Def. 3 is purely dimensional), reported once per unordered
 ///             pair.
-Status RunBaseline(const qb::ObservationSet& obs, const OccurrenceMatrix& om,
+[[nodiscard]] Status RunBaseline(const qb::ObservationSet& obs, const OccurrenceMatrix& om,
                    const BaselineOptions& options, RelationshipSink* sink);
 
 /// Convenience overload: builds the OccurrenceMatrix internally.
-Status RunBaseline(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunBaseline(const qb::ObservationSet& obs,
                    const BaselineOptions& options, RelationshipSink* sink);
 
 /// \brief Baseline over an explicit subset of observation ids (used by the
 /// clustering method to run per-cluster; Algorithm 3 line 5).
-Status RunBaselineSubset(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunBaselineSubset(const qb::ObservationSet& obs,
                          const OccurrenceMatrix& om,
                          const std::vector<qb::ObsId>& ids,
                          const BaselineOptions& options,

@@ -1,5 +1,8 @@
 #include "core/checkpoint.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -178,7 +181,13 @@ Result<MaskingCheckpoint> DeserializeMaskingCheckpoint(
 }
 
 Status AtomicWriteFile(const std::string& bytes, const std::string& path) {
-  const std::string tmp = path + ".tmp";
+  // The staging name must be unique per call: with a fixed `path + ".tmp"`,
+  // two concurrent savers truncate each other's staging file and one renames
+  // a half-written snapshot into place (caught by race_stress_test under
+  // TSan). Readers still only ever see `path` via the atomic rename.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {

@@ -90,25 +90,25 @@ std::string SerializeMaskingCheckpoint(const MaskingCheckpoint& ckpt);
 /// Parses a byte string produced by SerializeMaskingCheckpoint. Fails with
 /// ParseError on bad magic, truncation, impossible counts, or trailing
 /// bytes.
-Result<MaskingCheckpoint> DeserializeMaskingCheckpoint(
+[[nodiscard]] Result<MaskingCheckpoint> DeserializeMaskingCheckpoint(
     const std::string& bytes);
 
 /// Atomically writes `bytes` to `path` via a temp file + rename, so a kill
 /// mid-write can never leave a torn snapshot. IOError on any filesystem
 /// failure. Shared by every snapshot writer (masking + incremental).
-Status AtomicWriteFile(const std::string& bytes, const std::string& path);
+[[nodiscard]] Status AtomicWriteFile(const std::string& bytes, const std::string& path);
 
 /// Reads the whole file at `path`. IOError when unreadable or a directory.
-Result<std::string> ReadFileBytes(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileBytes(const std::string& path);
 
 /// Atomically writes `ckpt` to `path` (temp file + rename). IOError on any
 /// filesystem failure.
-Status SaveMaskingCheckpoint(const MaskingCheckpoint& ckpt,
+[[nodiscard]] Status SaveMaskingCheckpoint(const MaskingCheckpoint& ckpt,
                              const std::string& path);
 
 /// Loads a checkpoint from `path`. IOError when unreadable, ParseError when
 /// corrupt.
-Result<MaskingCheckpoint> LoadMaskingCheckpoint(const std::string& path);
+[[nodiscard]] Result<MaskingCheckpoint> LoadMaskingCheckpoint(const std::string& path);
 
 /// \brief Runs cubeMasking with periodic checkpoints, resuming from
 /// `ckpt.path` when a snapshot is already there.
@@ -119,7 +119,7 @@ Result<MaskingCheckpoint> LoadMaskingCheckpoint(const std::string& path);
 /// different observation set or selector, and with Internal("injected kill
 /// ...") when the kFaultCheckpointKill point fires. `stats` accounting
 /// covers only the live (non-replayed) portion of a resumed run.
-Status RunCubeMaskingCheckpointed(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunCubeMaskingCheckpointed(const qb::ObservationSet& obs,
                                   const CubeMaskingOptions& options,
                                   const CheckpointOptions& ckpt,
                                   RelationshipSink* sink,

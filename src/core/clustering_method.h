@@ -25,6 +25,7 @@ enum class ClusterAlgorithm {
 
 const char* ClusterAlgorithmName(ClusterAlgorithm algorithm);
 
+/// \brief Algorithm choice and parameters for the clustering method.
 struct ClusteringMethodOptions {
   RelationshipSelector selector;
   Deadline deadline;
@@ -37,6 +38,7 @@ struct ClusteringMethodOptions {
   uint64_t seed = 42;
 };
 
+/// \brief Cluster-size and per-phase accounting of a clustering run.
 struct ClusteringMethodStats {
   std::size_t sample_size = 0;
   std::size_t num_clusters = 0;
@@ -46,7 +48,7 @@ struct ClusteringMethodStats {
 /// \brief Runs Algorithm 3: fit clusters on a sample of OM rows, assign all
 /// observations, then run the baseline within each cluster, unioning results
 /// into `sink`.
-Status RunClusteringMethod(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunClusteringMethod(const qb::ObservationSet& obs,
                            const OccurrenceMatrix& om,
                            const ClusteringMethodOptions& options,
                            RelationshipSink* sink,

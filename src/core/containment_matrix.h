@@ -27,7 +27,7 @@ class ContainmentMatrices {
  public:
   /// Runs Algorithm 1 (computeOCM) over the occurrence matrix. Fails with
   /// ResourceExhausted when n^2 would exceed `max_cells` (default 10^8).
-  static Result<ContainmentMatrices> Compute(const OccurrenceMatrix& om,
+  [[nodiscard]] static Result<ContainmentMatrices> Compute(const OccurrenceMatrix& om,
                                              std::size_t max_cells = 100000000);
 
   std::size_t n() const { return n_; }

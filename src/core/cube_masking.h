@@ -44,14 +44,14 @@ struct CubeMaskingStats {
 /// when provided, every pass enumerates its lists instead of scanning all
 /// lattice pairs; when null and `options.prefetch_children` holds, the run
 /// fuses the selected relationship types into one lattice iteration.
-Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
+[[nodiscard]] Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
                       const CubeMaskingOptions& options, RelationshipSink* sink,
                       CubeMaskingStats* stats = nullptr,
                       const CubeChildrenIndex* children = nullptr);
 
 /// Convenience overload building the lattice internally (the paper's
 /// linear-time step i+ii).
-Status RunCubeMasking(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunCubeMasking(const qb::ObservationSet& obs,
                       const CubeMaskingOptions& options, RelationshipSink* sink,
                       CubeMaskingStats* stats = nullptr);
 
@@ -66,7 +66,7 @@ Status RunCubeMasking(const qb::ObservationSet& obs,
 /// pass is equivalent to the per-type passes for every selector combination;
 /// only enumeration order differs). Fails with OutOfRange when the range
 /// does not fit the lattice.
-Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
                                 const Lattice& lattice,
                                 const CubeMaskingOptions& options,
                                 CubeId begin_cube, CubeId end_cube,

@@ -37,6 +37,7 @@ inline constexpr char kFaultWorkerCrash[] = "distributed.worker_crash";
 inline constexpr char kFaultMessageDrop[] = "distributed.message_drop";
 inline constexpr char kFaultMessageDuplicate[] = "distributed.message_dup";
 
+/// \brief Worker count, retry budgets and backoff of a distributed run.
 struct DistributedOptions {
   std::size_t num_workers = 4;
   RelationshipSelector selector;
@@ -98,7 +99,7 @@ struct DistributedStats {
 /// or without injected faults; round-robin partitioning by observation id.
 /// Fails with Internal when every worker has been lost, ResourceExhausted
 /// when a message exceeds its resend budget, TimedOut past the deadline.
-Status RunDistributedMasking(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunDistributedMasking(const qb::ObservationSet& obs,
                              const DistributedOptions& options,
                              RelationshipSink* sink,
                              DistributedStats* stats = nullptr);

@@ -32,6 +32,7 @@ enum class Method {
 
 const char* MethodName(Method method);
 
+/// \brief Method selection and shared parameters for Engine::Run.
 struct EngineOptions {
   Method method = Method::kCubeMasking;
   RelationshipSelector selector;
@@ -59,7 +60,7 @@ struct EngineReport {
 
 /// \brief Computes containment/complementarity relationships over `obs` with
 /// the selected method, streaming results into `sink`.
-Status ComputeRelationships(const qb::ObservationSet& obs,
+[[nodiscard]] Status ComputeRelationships(const qb::ObservationSet& obs,
                             const EngineOptions& options,
                             RelationshipSink* sink,
                             EngineReport* report = nullptr);

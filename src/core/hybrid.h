@@ -18,6 +18,7 @@
 namespace rdfcube {
 namespace core {
 
+/// \brief Thresholds steering the hybrid method choice per cube pair.
 struct HybridOptions {
   Deadline deadline;
   /// Clustering configuration for the partial-containment stage.
@@ -31,6 +32,7 @@ struct HybridOptions {
   bool compute_partial = true;
 };
 
+/// \brief Per-strategy dispatch counts of a hybrid run.
 struct HybridStats {
   CubeMaskingStats masking;
   ClusteringMethodStats cluster;
@@ -41,7 +43,7 @@ struct HybridStats {
 /// \brief Runs the hybrid: exact full containment + complementarity, then
 /// approximate partial containment. Full/compl results are identical to the
 /// baseline's; partial results are a subset (recall as in Fig. 5(d)).
-Status RunHybrid(const qb::ObservationSet& obs, const HybridOptions& options,
+[[nodiscard]] Status RunHybrid(const qb::ObservationSet& obs, const HybridOptions& options,
                  RelationshipSink* sink, HybridStats* stats = nullptr);
 
 }  // namespace core

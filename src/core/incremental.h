@@ -43,10 +43,10 @@ class IncrementalEngine {
 
   /// Integrates observation `id` (must already be in the set, not yet seen
   /// by the engine).
-  Status OnObservationAdded(qb::ObsId id);
+  [[nodiscard]] Status OnObservationAdded(qb::ObsId id);
 
   /// Retires `id`: removes all stored relationships that involve it.
-  Status OnObservationRetired(qb::ObsId id);
+  [[nodiscard]] Status OnObservationRetired(qb::ObsId id);
 
   // --- Queries ---------------------------------------------------------------
   bool HasFullContainment(qb::ObsId a, qb::ObsId b) const {
@@ -81,13 +81,13 @@ class IncrementalEngine {
   /// Fails with FailedPrecondition when the engine already has state or the
   /// snapshot's selector differs from this engine's, ParseError on
   /// corruption.
-  Status RestoreState(const std::string& bytes);
+  [[nodiscard]] Status RestoreState(const std::string& bytes);
 
   /// Atomically writes SerializeState() to `path` (IOError on failure).
-  Status SaveCheckpoint(const std::string& path) const;
+  [[nodiscard]] Status SaveCheckpoint(const std::string& path) const;
 
   /// Reads `path` and RestoreState()s it.
-  Status RestoreFromCheckpoint(const std::string& path);
+  [[nodiscard]] Status RestoreFromCheckpoint(const std::string& path);
 
  private:
   static uint64_t Key(qb::ObsId a, qb::ObsId b) {

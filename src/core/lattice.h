@@ -47,6 +47,7 @@ struct CubeSignature {
   std::string ToString() const;
 };
 
+/// \brief Hash functor over cube signatures (FNV-1a of the level vector).
 struct CubeSignatureHash {
   std::size_t operator()(const CubeSignature& s) const {
     std::size_t h = 1469598103934665603ull;

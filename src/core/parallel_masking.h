@@ -15,6 +15,7 @@
 namespace rdfcube {
 namespace core {
 
+/// \brief Selector and thread count for the parallel masking run.
 struct ParallelMaskingOptions {
   RelationshipSelector selector;
   std::size_t num_threads = 4;
@@ -24,7 +25,7 @@ struct ParallelMaskingOptions {
 /// `num_threads` workers. Each worker collects into a private sink; results
 /// are merged into `sink` afterwards, so `sink` needs no synchronization.
 /// Emits exactly the same relationships as RunCubeMasking.
-Status RunCubeMaskingParallel(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunCubeMaskingParallel(const qb::ObservationSet& obs,
                               const Lattice& lattice,
                               const ParallelMaskingOptions& options,
                               RelationshipSink* sink);

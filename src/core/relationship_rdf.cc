@@ -3,6 +3,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "util/string_util.h"
+
 namespace rdfcube {
 namespace core {
 
@@ -140,8 +142,14 @@ Status LoadMaterializedRelationships(const rdf::TripleStore& store,
         ++skip_count;
         continue;
       }
-      const double degree = std::stod(dict.Get(degree_term).value());
-      sink->OnPartialContainment(a, b, degree, 0);
+      // A malformed degree literal is skipped like any other bad record
+      // (std::stod would throw and abort the whole load).
+      Result<double> degree = ParseDouble(dict.Get(degree_term).value());
+      if (!degree.ok() || !(*degree > 0.0 && *degree <= 1.0)) {
+        ++skip_count;
+        continue;
+      }
+      sink->OnPartialContainment(a, b, *degree, 0);
     }
   }
   if (skipped != nullptr) *skipped = skip_count;

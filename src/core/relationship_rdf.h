@@ -73,7 +73,7 @@ class RdfMaterializingSink : public RelationshipSink {
 /// (inverse of RdfMaterializingSink for round-trip pipelines). Observation
 /// IRIs are resolved against `obs`; triples about unknown observations are
 /// skipped and counted in `skipped`.
-Status LoadMaterializedRelationships(const rdf::TripleStore& store,
+[[nodiscard]] Status LoadMaterializedRelationships(const rdf::TripleStore& store,
                                      const qb::ObservationSet& obs,
                                      RelationshipSink* sink,
                                      std::size_t* skipped = nullptr);

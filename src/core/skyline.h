@@ -14,6 +14,7 @@
 namespace rdfcube {
 namespace core {
 
+/// \brief Dominance relation knobs for the observation skyline.
 struct SkylineOptions {
   /// Only observations sharing a measure can dominate each other (Def. 4's
   /// condition (3)); set false for purely dimensional skylines.

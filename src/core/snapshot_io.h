@@ -1,3 +1,6 @@
+// rdfcube:internal — wire-format helpers, not part of the public API
+// (excluded from the src/rdfcube/rdfcube.h umbrella; see tools/rdfcube_lint).
+//
 // Little-endian wire helpers shared by the core checkpoint snapshots
 // (core/checkpoint.h, IncrementalEngine state). Mirrors the qb/binary_io
 // idiom: fixed-width integers, length-prefixed payloads, a bounds-checked

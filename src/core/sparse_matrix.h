@@ -64,7 +64,7 @@ struct SparseBaselineOptions {
   Deadline deadline;
 };
 
-Status RunBaselineSparse(const qb::ObservationSet& obs,
+[[nodiscard]] Status RunBaselineSparse(const qb::ObservationSet& obs,
                          const SparseOccurrenceMatrix& om,
                          const SparseBaselineOptions& options,
                          RelationshipSink* sink);

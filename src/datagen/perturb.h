@@ -12,6 +12,7 @@
 namespace rdfcube {
 namespace datagen {
 
+/// \brief Controls for the code-list perturbation generator.
 struct PerturbOptions {
   /// Replacement namespace for the perturbed copies.
   std::string new_namespace = "http://other-source.example.com/code/";

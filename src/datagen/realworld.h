@@ -28,6 +28,7 @@ struct DatasetSpec {
 /// The seven Table 4 rows (D1..D7; 246.5k observations at scale 1).
 const std::vector<DatasetSpec>& RealWorldSpecs();
 
+/// \brief Scaling and skew knobs for the real-world corpus generator.
 struct RealWorldOptions {
   /// Scales every dataset's observation count (0.01 -> ~2.5k total).
   double scale = 1.0;
@@ -43,12 +44,12 @@ struct RealWorldOptions {
 /// dimension keys within each dataset (QB IC-12), values drawn across all
 /// hierarchy levels so containment and complementarity relationships arise
 /// naturally.
-Result<qb::Corpus> GenerateRealWorldCorpus(const RealWorldOptions& options = {});
+[[nodiscard]] Result<qb::Corpus> GenerateRealWorldCorpus(const RealWorldOptions& options = {});
 
 /// \brief Generates only the first `limit` observations-worth of the corpus
 /// (proportionally across datasets); used for the paper's 2k..250k input
 /// sweeps.
-Result<qb::Corpus> GenerateRealWorldPrefix(std::size_t total_observations,
+[[nodiscard]] Result<qb::Corpus> GenerateRealWorldPrefix(std::size_t total_observations,
                                            uint64_t seed = 42);
 
 }  // namespace datagen

@@ -13,6 +13,7 @@
 namespace rdfcube {
 namespace datagen {
 
+/// \brief Size/shape parameters of the synthetic corpus generator.
 struct SyntheticOptions {
   std::size_t num_observations = 100000;
   /// Number of dimensions (each gets a fanout^depth hierarchy).
@@ -33,7 +34,7 @@ struct SyntheticOptions {
 /// \brief Generates the corpus: picks the target number of level signatures,
 /// then populates them evenly ("we populated the lattice nodes evenly"),
 /// drawing concrete code values uniformly within each signature's levels.
-Result<qb::Corpus> GenerateSyntheticCorpus(const SyntheticOptions& options = {});
+[[nodiscard]] Result<qb::Corpus> GenerateSyntheticCorpus(const SyntheticOptions& options = {});
 
 /// Number of lattice signatures the generator will populate for a given
 /// size (exposed for the Fig. 5(f) bench).

@@ -41,7 +41,7 @@ class CodeList {
   /// Adds a code under `parent` (defaults to the root). Returns the new id,
   /// or the existing id if `name` was already added (the parent must then
   /// match, else InvalidArgument).
-  Result<CodeId> Add(const std::string& name, CodeId parent = 0);
+  [[nodiscard]] Result<CodeId> Add(const std::string& name, CodeId parent = 0);
 
   /// Looks up a code by name.
   std::optional<CodeId> Find(const std::string& name) const;
@@ -49,7 +49,7 @@ class CodeList {
   /// Finishes construction: computes levels and interval labels.
   /// Must be called before the query methods below. Idempotent; adding more
   /// codes after Finalize() requires calling it again.
-  Status Finalize();
+  [[nodiscard]] Status Finalize();
 
   /// True iff `a` is an ancestor of `b` or a == b (the paper's `a ≻ b`).
   /// Precondition: Finalize() succeeded.

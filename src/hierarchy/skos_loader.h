@@ -22,7 +22,7 @@ namespace hierarchy {
 ///
 /// Fails with ParseError on broader-cycles, multi-parent concepts, or broader
 /// targets outside the scheme; the returned list is finalized.
-Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
+[[nodiscard]] Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
                                       const std::string& scheme_iri);
 
 }  // namespace hierarchy

@@ -24,21 +24,21 @@ inline constexpr char kBinaryMagic[8] = {'R', 'D', 'F', 'C',
 
 /// Serializes `corpus` to `out` (an in-memory byte string; see the file
 /// overloads below for disk I/O).
-Result<std::string> SerializeCorpus(const Corpus& corpus);
+[[nodiscard]] Result<std::string> SerializeCorpus(const Corpus& corpus);
 
 /// Parses a byte string produced by SerializeCorpus. Fails with ParseError
 /// on bad magic, truncation, or out-of-range indices (every index is
 /// validated — a corrupt file can not produce an inconsistent corpus).
-Result<Corpus> DeserializeCorpus(const std::string& bytes);
+[[nodiscard]] Result<Corpus> DeserializeCorpus(const std::string& bytes);
 
 /// Writes the corpus to `path`. IOError when the path is a directory or
 /// cannot be opened/written.
-Status SaveCorpus(const Corpus& corpus, const std::string& path);
+[[nodiscard]] Status SaveCorpus(const Corpus& corpus, const std::string& path);
 
 /// Reads a corpus from `path`. IOError when the path is missing, a
 /// directory, or unreadable; ParseError when the bytes are corrupt (a
 /// zero-byte file is "bad magic"). Never crashes on hostile input.
-Result<Corpus> LoadCorpusBinary(const std::string& path);
+[[nodiscard]] Result<Corpus> LoadCorpusBinary(const std::string& path);
 
 }  // namespace qb
 }  // namespace rdfcube

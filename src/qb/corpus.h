@@ -47,33 +47,33 @@ class CorpusBuilder {
  public:
   /// Declares a dimension whose code-list root is `root_code` (the `ALL`
   /// concept of the paper, e.g. "World" or "Total").
-  Status AddDimension(const std::string& dim_iri,
+  [[nodiscard]] Status AddDimension(const std::string& dim_iri,
                       const std::string& root_code);
 
   /// Adds `code` under `parent` in the dimension's code list. The parent must
   /// already exist. Re-adding an existing code with the same parent is a
   /// no-op.
-  Status AddCode(const std::string& dim_iri, const std::string& code,
+  [[nodiscard]] Status AddCode(const std::string& dim_iri, const std::string& code,
                  const std::string& parent);
 
   /// Declares a measure property.
-  Status AddMeasure(const std::string& measure_iri);
+  [[nodiscard]] Status AddMeasure(const std::string& measure_iri);
 
   /// Declares a dataset with its schema.
-  Status AddDataset(const std::string& dataset_iri,
+  [[nodiscard]] Status AddDataset(const std::string& dataset_iri,
                     const std::vector<std::string>& dims,
                     const std::vector<std::string>& measures);
 
   /// Records an observation. Dimension values are code names; missing schema
   /// dimensions are root-padded at Build time.
-  Status AddObservation(
+  [[nodiscard]] Status AddObservation(
       const std::string& dataset_iri, const std::string& obs_iri,
       const std::vector<std::pair<std::string, std::string>>& dim_values,
       const std::vector<std::pair<std::string, double>>& measure_values);
 
   /// Assembles the Corpus: finalizes code lists, registers schemas, encodes
   /// observations. Consumes the builder.
-  Result<Corpus> Build() &&;
+  [[nodiscard]] Result<Corpus> Build() &&;
 
  private:
   struct PendingObservation {

@@ -40,7 +40,7 @@ struct CsvDatasetSpec {
 /// produce a ParseError naming the row. Measure cells must parse as doubles;
 /// empty measure cells are skipped. Dimensions must be declared on the
 /// builder before import.
-Status ImportCsvDataset(const CsvTable& table, const CsvDatasetSpec& spec,
+[[nodiscard]] Status ImportCsvDataset(const CsvTable& table, const CsvDatasetSpec& spec,
                         CorpusBuilder* builder);
 
 }  // namespace qb

@@ -35,12 +35,12 @@ class CubeSpace {
  public:
   /// Registers a dimension with its finalized code list. Fails if the IRI is
   /// already registered or the list is not finalized.
-  Result<DimId> AddDimension(const std::string& iri,
+  [[nodiscard]] Result<DimId> AddDimension(const std::string& iri,
                              hierarchy::CodeList code_list);
 
   /// Registers a measure property. Fails if already registered or if the
   /// 64-measure limit would be exceeded.
-  Result<MeasureId> AddMeasure(const std::string& iri);
+  [[nodiscard]] Result<MeasureId> AddMeasure(const std::string& iri);
 
   std::optional<DimId> FindDimension(const std::string& iri) const;
   std::optional<MeasureId> FindMeasure(const std::string& iri) const;

@@ -20,7 +20,7 @@ namespace qb {
 /// Code names that are not IRIs (builder corpora may use plain labels like
 /// "Athens") are minted under `<dim>/code/`. Round-trips through
 /// LoadCorpusFromRdf: the reloaded corpus yields identical relationship sets.
-Status ExportCorpusToRdf(const Corpus& corpus, rdf::TripleStore* store);
+[[nodiscard]] Status ExportCorpusToRdf(const Corpus& corpus, rdf::TripleStore* store);
 
 }  // namespace qb
 }  // namespace rdfcube

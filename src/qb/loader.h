@@ -37,7 +37,7 @@ struct LoaderOptions {
 ///
 /// Fails with ParseError/NotFound on structurally broken cubes (observation
 /// without dataset, unknown code value, non-numeric measure, missing DSD).
-Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
+[[nodiscard]] Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
                                  const LoaderOptions& options = {});
 
 }  // namespace qb

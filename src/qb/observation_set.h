@@ -61,14 +61,14 @@ class ObservationSet {
   const CubeSpace& space() const { return *space_; }
 
   /// Registers a dataset with its schema (dimension and measure sets).
-  Result<DatasetId> AddDataset(const std::string& iri,
+  [[nodiscard]] Result<DatasetId> AddDataset(const std::string& iri,
                                const std::vector<DimId>& dims,
                                const std::vector<MeasureId>& measures);
 
   /// Adds an observation to `dataset`. Every dimension key must belong to
   /// the dataset schema; schema dimensions absent from `dims` are encoded as
   /// the code-list root. Measures must belong to the dataset schema.
-  Result<ObsId> AddObservation(
+  [[nodiscard]] Result<ObsId> AddObservation(
       DatasetId dataset, const std::string& iri,
       const std::vector<std::pair<DimId, hierarchy::CodeId>>& dims,
       const std::vector<std::pair<MeasureId, double>>& measures);

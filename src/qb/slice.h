@@ -32,7 +32,7 @@ struct Slice {
 ///
 /// Fails with ParseError when a slice references an observation absent from
 /// the corpus or fixes an unknown dimension/code.
-Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
+[[nodiscard]] Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
                                              const Corpus& corpus);
 
 /// \brief One consistency finding: a member observation whose value on a

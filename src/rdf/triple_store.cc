@@ -72,6 +72,10 @@ bool TripleStore::InsertEncoded(const Triple& t) {
 }
 
 void TripleStore::EnsureIndexes() const {
+  // Serializes the lazy rebuild so concurrent const readers are safe: the
+  // first Match after a mutation builds under the lock, later ones see
+  // indexes_valid_ and read the vectors happens-after the build.
+  std::lock_guard<std::mutex> lock(index_mu_);
   if (indexes_valid_) return;
   spo_ = triples_;
   std::sort(spo_.begin(), spo_.end(), LessSpo);

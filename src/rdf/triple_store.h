@@ -5,6 +5,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -31,8 +33,62 @@ struct Triple {
 /// (the workload is load-once / query-many, as in the paper's batch setting).
 /// Pattern matching picks the index with the longest bound prefix and binary-
 /// searches the matching run.
+///
+/// Thread-safety: const accessors (Match and friends) may run concurrently;
+/// the lazy index rebuild is internally synchronized. Mutation (Insert)
+/// requires external synchronization against all other access.
 class TripleStore {
  public:
+  TripleStore() = default;
+
+  // Copyable and movable despite the index mutex: the guard protects
+  // per-instance state, so the destination simply gets a fresh one.
+  // Copying/moving while another thread accesses the source is a caller
+  // error, as for any copy.
+  TripleStore(const TripleStore& other)
+      : dict_(other.dict_),
+        triples_(other.triples_),
+        seen_(other.seen_),
+        indexes_valid_(other.indexes_valid_),
+        spo_(other.spo_),
+        pos_(other.pos_),
+        osp_(other.osp_) {}
+  TripleStore& operator=(const TripleStore& other) {
+    if (this != &other) {
+      dict_ = other.dict_;
+      triples_ = other.triples_;
+      seen_ = other.seen_;
+      indexes_valid_ = other.indexes_valid_;
+      spo_ = other.spo_;
+      pos_ = other.pos_;
+      osp_ = other.osp_;
+    }
+    return *this;
+  }
+  TripleStore(TripleStore&& other) noexcept
+      : dict_(std::move(other.dict_)),
+        triples_(std::move(other.triples_)),
+        seen_(std::move(other.seen_)),
+        indexes_valid_(other.indexes_valid_),
+        spo_(std::move(other.spo_)),
+        pos_(std::move(other.pos_)),
+        osp_(std::move(other.osp_)) {
+    other.indexes_valid_ = false;
+  }
+  TripleStore& operator=(TripleStore&& other) noexcept {
+    if (this != &other) {
+      dict_ = std::move(other.dict_);
+      triples_ = std::move(other.triples_);
+      seen_ = std::move(other.seen_);
+      indexes_valid_ = other.indexes_valid_;
+      spo_ = std::move(other.spo_);
+      pos_ = std::move(other.pos_);
+      osp_ = std::move(other.osp_);
+      other.indexes_valid_ = false;
+    }
+    return *this;
+  }
+
   /// Interns the terms and inserts the triple. Duplicate triples are ignored
   /// (RDF graphs are sets). Returns true if the triple was new.
   bool Insert(const Term& s, const Term& p, const Term& o);
@@ -88,6 +144,9 @@ class TripleStore {
   std::unordered_map<Triple, bool, TripleHash> seen_;
 
   // Lazily maintained sorted permutations. mutable: rebuilt from const Match.
+  // index_mu_ serializes the rebuild so concurrent const readers never race
+  // on it (mutation still requires external synchronization, as usual).
+  mutable std::mutex index_mu_;
   mutable bool indexes_valid_ = false;
   mutable std::vector<Triple> spo_;
   mutable std::vector<Triple> pos_;

@@ -30,10 +30,10 @@ namespace rdf {
 ///
 /// Errors carry a line number. Parsing stops at the first error; triples
 /// already parsed remain in `store`.
-Status ParseTurtle(std::string_view text, TripleStore* store);
+[[nodiscard]] Status ParseTurtle(std::string_view text, TripleStore* store);
 
 /// Reads a file from disk and parses it with ParseTurtle.
-Status ParseTurtleFile(const std::string& path, TripleStore* store);
+[[nodiscard]] Status ParseTurtleFile(const std::string& path, TripleStore* store);
 
 }  // namespace rdf
 }  // namespace rdfcube

@@ -14,6 +14,7 @@
 namespace rdfcube {
 namespace rules {
 
+/// \brief Limits for a forward-chaining run.
 struct ChainOptions {
   Deadline deadline;
   /// Abort with ResourceExhausted beyond this many derived triples
@@ -21,6 +22,7 @@ struct ChainOptions {
   std::size_t max_derived = 0;
 };
 
+/// \brief Work accounting of a forward-chaining run.
 struct ChainStats {
   std::size_t rounds = 0;
   std::size_t derived = 0;
@@ -34,7 +36,7 @@ struct ChainStats {
 /// point of this module is to reproduce the scaling behaviour of a generic
 /// reasoner (§4.1: rule methods "either hit the time-out limits or consume
 /// all memory resources").
-Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
+[[nodiscard]] Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
                                       rdf::TripleStore* store,
                                       const ChainOptions& options = {});
 

@@ -49,7 +49,7 @@ struct RuleRunResult {
 
 /// Runs PaperRules() to fixpoint on a copy-free in-place basis (derived
 /// triples are inserted into `store`) and extracts the derived pairs.
-Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
+[[nodiscard]] Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
                                          const Deadline& deadline,
                                          std::size_t max_derived = 0);
 

@@ -24,6 +24,7 @@ namespace sparql {
 /// \brief One result row: term ids parallel to Query::select_vars.
 using Row = std::vector<rdf::TermId>;
 
+/// \brief Evaluation limits (deadline, row caps) for the SPARQL engine.
 struct EvalOptions {
   /// Cooperative timeout (the paper capped runs; "t/o" entries).
   Deadline deadline;
@@ -36,12 +37,12 @@ struct EvalOptions {
 ///
 /// Returns TimedOut / ResourceExhausted when the corresponding EvalOptions
 /// limit is hit. DISTINCT is applied to the projected rows.
-Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
+[[nodiscard]] Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
                                   const Query& query,
                                   const EvalOptions& options = {});
 
 /// Parses and evaluates in one call.
-Result<std::vector<Row>> EvaluateText(const rdf::TripleStore& store,
+[[nodiscard]] Result<std::vector<Row>> EvaluateText(const rdf::TripleStore& store,
                                       std::string_view query_text,
                                       const EvalOptions& options = {});
 

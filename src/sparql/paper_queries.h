@@ -47,7 +47,7 @@ struct QueryRunResult {
 
 /// Runs one of the above query texts against `store`, translating term ids
 /// back to IRIs. A default-constructed Deadline means no time limit.
-Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
+[[nodiscard]] Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
                                             const std::string& query_text,
                                             const Deadline& deadline,
                                             std::size_t max_rows = 0);

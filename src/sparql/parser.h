@@ -27,7 +27,7 @@ namespace sparql {
 /// the `a` keyword, sequence property paths with `*`/`+` modifiers,
 /// FILTER(?x != ?y), and arbitrarily nested FILTER NOT EXISTS groups.
 /// Anything else returns ParseError.
-Result<Query> ParseQuery(std::string_view text);
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text);
 
 }  // namespace sparql
 }  // namespace rdfcube

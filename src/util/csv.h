@@ -22,7 +22,7 @@ struct CsvTable {
 /// Parses CSV text with a header line. Supports double-quoted fields with
 /// embedded separators and doubled-quote escapes; rejects rows whose field
 /// count differs from the header.
-Result<CsvTable> ParseCsv(std::string_view text, char sep = ',');
+[[nodiscard]] Result<CsvTable> ParseCsv(std::string_view text, char sep = ',');
 
 /// Serializes a table back to CSV, quoting fields that need it.
 std::string WriteCsv(const CsvTable& table, char sep = ',');

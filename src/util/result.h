@@ -15,9 +15,10 @@ namespace rdfcube {
 ///
 /// The canonical return type for operations that produce a value but may
 /// fail, e.g. `Result<Dataset> LoadDataset(...)`. Mirrors arrow::Result /
-/// absl::StatusOr.
+/// absl::StatusOr. [[nodiscard]] for the same reason as Status: a dropped
+/// Result hides the failure *and* leaks the value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

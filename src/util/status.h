@@ -18,7 +18,12 @@ namespace rdfcube {
 /// Status (or Result<T>, see result.h) instead of throwing: parsing malformed
 /// Turtle, loading an ill-formed cube, or querying an unknown dimension are
 /// expected runtime conditions, not programming errors.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status produces
+/// plausible-but-wrong results instead of failures (exactly the bug class the
+/// paper's semantics make expensive to debug), so every discarded return is a
+/// compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,
@@ -39,35 +44,35 @@ class Status {
 
   /// \name Factory functions for each error code.
   /// @{
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string_view msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string_view msg) {
     return Status(Code::kInvalidArgument, msg);
   }
-  static Status NotFound(std::string_view msg) {
+  [[nodiscard]] static Status NotFound(std::string_view msg) {
     return Status(Code::kNotFound, msg);
   }
-  static Status AlreadyExists(std::string_view msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string_view msg) {
     return Status(Code::kAlreadyExists, msg);
   }
-  static Status ParseError(std::string_view msg) {
+  [[nodiscard]] static Status ParseError(std::string_view msg) {
     return Status(Code::kParseError, msg);
   }
-  static Status OutOfRange(std::string_view msg) {
+  [[nodiscard]] static Status OutOfRange(std::string_view msg) {
     return Status(Code::kOutOfRange, msg);
   }
-  static Status FailedPrecondition(std::string_view msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string_view msg) {
     return Status(Code::kFailedPrecondition, msg);
   }
-  static Status TimedOut(std::string_view msg) {
+  [[nodiscard]] static Status TimedOut(std::string_view msg) {
     return Status(Code::kTimedOut, msg);
   }
-  static Status ResourceExhausted(std::string_view msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string_view msg) {
     return Status(Code::kResourceExhausted, msg);
   }
-  static Status Internal(std::string_view msg) {
+  [[nodiscard]] static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
-  static Status IOError(std::string_view msg) {
+  [[nodiscard]] static Status IOError(std::string_view msg) {
     return Status(Code::kIOError, msg);
   }
   /// @}

@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace rdfcube {
 
@@ -60,6 +61,28 @@ std::string ToLowerAscii(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return out;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  double value = 0.0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("not a finite decimal double: '" +
+                              std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseU64(std::string_view s) {
+  uint64_t value = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("not an unsigned decimal integer: '" +
+                              std::string(s) + "'");
+  }
+  return value;
 }
 
 }  // namespace rdfcube

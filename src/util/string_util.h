@@ -3,9 +3,12 @@
 #ifndef RDFCUBE_UTIL_STRING_UTIL_H_
 #define RDFCUBE_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/result.h"
 
 namespace rdfcube {
 
@@ -29,6 +32,15 @@ std::string_view IriLocalName(std::string_view iri);
 
 /// Lower-cases ASCII letters.
 std::string ToLowerAscii(std::string_view s);
+
+/// Parses the whole of `s` as a decimal double. Unlike std::stod this never
+/// throws (the repo bans unchecked std::sto* parses — see tools/rdfcube_lint):
+/// empty input, trailing garbage, or out-of-range values return ParseError.
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
+
+/// Parses the whole of `s` as an unsigned 64-bit decimal integer; ParseError
+/// on empty input, sign characters, trailing garbage, or overflow.
+[[nodiscard]] Result<uint64_t> ParseU64(std::string_view s);
 
 }  // namespace rdfcube
 

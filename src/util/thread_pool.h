@@ -41,7 +41,7 @@ class ThreadPool {
 
   /// Returns the first error recorded since the last TakeError() (escaped
   /// task exceptions, or errors reported through ReportError) and clears it.
-  Status TakeError();
+  [[nodiscard]] Status TakeError();
 
   /// Records `status` as the pool's first error if none is pending; OK
   /// statuses are ignored. Thread-safe; callable from inside tasks.
@@ -72,7 +72,7 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
 /// observed). Once an error is recorded, shards stop starting new indices —
 /// a failing task aborts the loop instead of wedging it. Escaped task
 /// exceptions surface as Internal.
-Status TryParallelFor(ThreadPool* pool, std::size_t n,
+[[nodiscard]] Status TryParallelFor(ThreadPool* pool, std::size_t n,
                       const std::function<Status(std::size_t)>& fn);
 
 }  // namespace rdfcube

@@ -1,0 +1,256 @@
+// rdfcube_lint unit tests: each check class is seeded into a temp tree and
+// must fire exactly where planted; a clean tree and lint:allow suppressions
+// must pass. This is the proof that the checker actually guards the
+// CLAUDE.md invariants rather than pattern-matching nothing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_checks.h"
+
+namespace rdfcube {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("lint_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  // Writes `content` at root/rel, creating parent directories.
+  void WriteFile(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  // A minimal clean tree: one documented public header, listed in the
+  // umbrella. Tests add their seeded violation on top.
+  void WriteCleanTree() {
+    WriteFile("src/core/engine.h",
+              "/// \\brief A documented class.\n"
+              "class Engine {\n"
+              "};\n");
+    WriteFile("src/rdfcube/rdfcube.h", "#include \"core/engine.h\"\n");
+  }
+
+  std::vector<std::string> ChecksFired() {
+    std::vector<std::string> names;
+    for (const Violation& v : RunAllChecks(root_.string())) {
+      names.push_back(v.check);
+    }
+    return names;
+  }
+
+  bool Fired(const std::string& check) {
+    const auto names = ChecksFired();
+    return std::find(names.begin(), names.end(), check) != names.end();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintTest, CleanTreePasses) {
+  WriteCleanTree();
+  EXPECT_TRUE(RunAllChecks(root_.string()).empty());
+}
+
+TEST_F(LintTest, MissingSrcDirectoryIsItselfAViolation) {
+  fs::create_directories(root_);
+  EXPECT_FALSE(RunAllChecks(root_.string()).empty());
+}
+
+TEST_F(LintTest, ThrowInCoreFires) {
+  WriteCleanTree();
+  WriteFile("src/core/bad.cc",
+            "void F() {\n"
+            "  throw 42;\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "no-throw");
+  EXPECT_EQ(violations[0].file, "src/core/bad.cc");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, ThrowInUtilFires) {
+  WriteCleanTree();
+  WriteFile("src/util/bad.h", "inline void F() { throw 1; }\n");
+  EXPECT_TRUE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, ThrowOutsideHotPathModulesDoesNotFire) {
+  WriteCleanTree();
+  // The no-exceptions rule covers src/core and src/util only.
+  WriteFile("src/qb/elsewhere.cc", "void F() { throw 42; }\n");
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, ThrowInCommentDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/core/ok.cc", "// this would throw in other designs\n");
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, ThrowWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/core/ok.cc",
+            "void F() { throw 42; }  // lint:allow(no-throw)\n");
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, GenericLambdaInSparqlFires) {
+  WriteCleanTree();
+  WriteFile("src/sparql/bad.cc",
+            "auto eval = [&](auto&& self, int n) { return self(self, n); };\n");
+  EXPECT_TRUE(Fired("std-function-callback"));
+}
+
+TEST_F(LintTest, GenericLambdaInRulesFires) {
+  WriteCleanTree();
+  WriteFile("src/rules/bad.cc", "auto f = [](auto x) { return x; };\n");
+  EXPECT_TRUE(Fired("std-function-callback"));
+}
+
+TEST_F(LintTest, PlainLambdaInSparqlDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/sparql/ok.cc", "auto f = [](int x) { return x; };\n");
+  EXPECT_FALSE(Fired("std-function-callback"));
+}
+
+TEST_F(LintTest, HeaderMissingFromUmbrellaFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/orphan.h", "/// \\brief Doc.\nclass Orphan {\n};\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "umbrella-sync");
+  EXPECT_EQ(violations[0].file, "src/qb/orphan.h");
+}
+
+TEST_F(LintTest, InternalMarkerExemptsHeaderFromUmbrella) {
+  WriteCleanTree();
+  WriteFile("src/qb/wire.h",
+            "// rdfcube:internal — wire helpers, not public API.\n"
+            "/// \\brief Doc.\nclass Wire {\n};\n");
+  EXPECT_FALSE(Fired("umbrella-sync"));
+}
+
+TEST_F(LintTest, MissingUmbrellaHeaderFires) {
+  WriteFile("src/core/engine.h", "/// \\brief Doc.\nclass Engine {\n};\n");
+  EXPECT_TRUE(Fired("umbrella-sync"));
+}
+
+TEST_F(LintTest, UndocumentedPublicClassFires) {
+  WriteCleanTree();
+  WriteFile("src/core/nodoc.h", "class NoDoc {\n};\n");
+  WriteFile("src/rdfcube/rdfcube.h",
+            "#include \"core/engine.h\"\n"
+            "#include \"core/nodoc.h\"\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "doxygen-public");
+  EXPECT_EQ(violations[0].file, "src/core/nodoc.h");
+  EXPECT_EQ(violations[0].line, 1u);
+}
+
+TEST_F(LintTest, DocumentedTemplateClassDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/util/tmpl.h",
+            "/// \\brief Documented template; the /// sits above the head.\n"
+            "template <typename T>\n"
+            "class [[nodiscard]] Holder {\n"
+            "};\n");
+  WriteFile("src/rdfcube/rdfcube.h",
+            "#include \"core/engine.h\"\n"
+            "#include \"util/tmpl.h\"\n");
+  EXPECT_FALSE(Fired("doxygen-public"));
+}
+
+TEST_F(LintTest, ForwardDeclarationDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/core/fwd.h", "class Forward;\n");
+  WriteFile("src/rdfcube/rdfcube.h",
+            "#include \"core/engine.h\"\n"
+            "#include \"core/fwd.h\"\n");
+  EXPECT_FALSE(Fired("doxygen-public"));
+}
+
+TEST_F(LintTest, UncheckedStodFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/parse.cc",
+            "double F(const std::string& s) { return std::stod(s); }\n");
+  EXPECT_TRUE(Fired("checked-parse"));
+}
+
+TEST_F(LintTest, UncheckedAtoiInToolsFires) {
+  WriteCleanTree();
+  WriteFile("tools/cli.cpp", "int F(const char* s) { return atoi(s); }\n");
+  EXPECT_TRUE(Fired("checked-parse"));
+}
+
+TEST_F(LintTest, CheckedParseHelpersDoNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/parse.cc",
+            "Result<double> F(std::string_view s) { return ParseDouble(s); }\n");
+  EXPECT_FALSE(Fired("checked-parse"));
+}
+
+TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
+  // One tree carrying one violation of every class: the checker must report
+  // all five, none masking another.
+  WriteCleanTree();
+  WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
+  WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
+  WriteFile("src/qb/orphan.h", "/// \\brief Doc.\nclass Orphan {\n};\n");
+  WriteFile("src/util/nodoc.h", "class NoDoc {\n};\n");
+  WriteFile("tools/cli.cpp", "int F(const char* s) { return atoi(s); }\n");
+  WriteFile("src/rdfcube/rdfcube.h",
+            "#include \"core/engine.h\"\n"
+            "#include \"util/nodoc.h\"\n");
+  const auto names = ChecksFired();
+  for (const char* expected :
+       {"no-throw", "std-function-callback", "umbrella-sync",
+        "doxygen-public", "checked-parse"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << "check did not fire: " << expected;
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {
+  WriteCleanTree();
+  WriteFile("src/core/bad.cc", "void F() { throw 1; }\nvoid G() { throw 2; }\n");
+  WriteFile("src/core/also_bad.cc", "void H() { throw 3; }\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0].file, "src/core/also_bad.cc");
+  EXPECT_EQ(violations[1].line, 1u);
+  EXPECT_EQ(violations[2].line, 2u);
+}
+
+TEST_F(LintTest, FormatViolationIsFileLineCheckMessage) {
+  Violation v{"no-throw", "src/core/bad.cc", 7, "boom"};
+  EXPECT_EQ(FormatViolation(v), "src/core/bad.cc:7: [no-throw] boom");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace rdfcube

@@ -1,0 +1,251 @@
+#include "tools/lint_checks.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+
+namespace rdfcube {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// The text of `line` with any trailing //-comment removed (naive: does not
+// understand string literals, which is fine for the token classes we hunt).
+std::string_view CodeText(const std::string& line) {
+  const std::size_t pos = line.find("//");
+  return std::string_view(line).substr(0, pos);
+}
+
+bool Suppressed(const std::string& line, const std::string& check) {
+  return line.find("lint:allow(" + check + ")") != std::string::npos;
+}
+
+// Sorted list of files under root/<subdir> with a source extension, as
+// root-relative slash paths. Missing subdirs yield an empty list.
+std::vector<std::string> SourceFilesUnder(const fs::path& root,
+                                          const std::string& subdir) {
+  std::vector<std::string> out;
+  const fs::path base = root / subdir;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return out;
+  for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && HasSourceExtension(it->path())) {
+      out.push_back(fs::relative(it->path(), root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string_view TrimLeft(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+// --- no-throw ----------------------------------------------------------------
+
+void CheckNoThrow(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "no-throw";
+  static const std::regex kThrow(R"(\bthrow\b)");
+  for (const std::string& dir : {std::string("src/core"), std::string("src/util")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (std::regex_search(code, kThrow)) {
+          out->push_back({kCheck, file, i + 1,
+                          "throw on a hot path; return Status/Result instead "
+                          "(no-exceptions rule for src/core and src/util)"});
+        }
+      }
+    }
+  }
+}
+
+// --- std-function-callback ---------------------------------------------------
+
+void CheckStdFunctionCallbacks(const fs::path& root,
+                               std::vector<Violation>* out) {
+  static const std::string kCheck = "std-function-callback";
+  // A lambda whose parameter list declares an `auto` parameter: the generic
+  // lambda becomes a distinct template instantiation per recursion depth.
+  static const std::regex kGenericLambda(
+      R"(\[[^\[\]]*\]\s*\([^)]*\bauto\b)");
+  for (const std::string& dir :
+       {std::string("src/sparql"), std::string("src/rules")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (std::regex_search(code, kGenericLambda)) {
+          out->push_back({kCheck, file, i + 1,
+                          "generic lambda in a recursive-evaluator module; "
+                          "take std::function callbacks (template recursion "
+                          "OOMs the compiler on nested NOT EXISTS)"});
+        }
+      }
+    }
+  }
+}
+
+// --- umbrella-sync -----------------------------------------------------------
+
+void CheckUmbrellaSync(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "umbrella-sync";
+  const std::string umbrella_rel = "src/rdfcube/rdfcube.h";
+  const fs::path umbrella = root / umbrella_rel;
+  std::error_code ec;
+  if (!fs::is_regular_file(umbrella, ec)) {
+    out->push_back({kCheck, umbrella_rel, 0, "umbrella header is missing"});
+    return;
+  }
+  // Includes listed by the umbrella, as src-relative paths.
+  static const std::regex kInclude(R"re(#include\s+"([^"]+)")re");
+  std::vector<std::string> included;
+  for (const std::string& line : ReadLines(umbrella)) {
+    std::smatch m;
+    if (std::regex_search(line, m, kInclude)) included.push_back(m[1]);
+  }
+  for (const std::string& file : SourceFilesUnder(root, "src")) {
+    if (!StartsWith(file, "src/") || file == umbrella_rel) continue;
+    if (file.size() < 2 || file.substr(file.size() - 2) != ".h") continue;
+    const std::string src_rel = file.substr(4);  // drop "src/"
+    if (std::find(included.begin(), included.end(), src_rel) !=
+        included.end()) {
+      continue;
+    }
+    const std::vector<std::string> lines = ReadLines(root / file);
+    bool internal = false;
+    for (std::size_t i = 0; i < lines.size() && i < 10; ++i) {
+      if (lines[i].find("rdfcube:internal") != std::string::npos) {
+        internal = true;
+        break;
+      }
+    }
+    if (!internal) {
+      out->push_back({kCheck, file, 0,
+                      "public header not listed in " + umbrella_rel +
+                          " (mark it rdfcube:internal if it is not public)"});
+    }
+  }
+}
+
+// --- doxygen-public ----------------------------------------------------------
+
+void CheckDoxygenPublic(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "doxygen-public";
+  // A top-level class/struct *definition*: column 0, optional attribute,
+  // capitalized name, and not a forward declaration.
+  static const std::regex kTypeDef(
+      R"(^(class|struct)\s+(\[\[\w+\]\]\s+)?[A-Z]\w*[^;]*$)");
+  for (const std::string& file : SourceFilesUnder(root, "src")) {
+    if (file.size() < 2 || file.substr(file.size() - 2) != ".h") continue;
+    const std::vector<std::string> lines = ReadLines(root / file);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (Suppressed(lines[i], kCheck)) continue;
+      if (!std::regex_search(lines[i], kTypeDef)) continue;
+      // Walk to the nearest preceding non-blank line, skipping template
+      // heads; it must be a Doxygen /// comment.
+      bool documented = false;
+      for (std::size_t j = i; j > 0; --j) {
+        const std::string_view prev = TrimLeft(lines[j - 1]);
+        if (prev.empty()) break;
+        if (StartsWith(prev, "template")) continue;
+        documented = StartsWith(prev, "///");
+        break;
+      }
+      if (!documented) {
+        out->push_back({kCheck, file, i + 1,
+                        "public class/struct lacks a Doxygen /// comment"});
+      }
+    }
+  }
+}
+
+// --- checked-parse -----------------------------------------------------------
+
+void CheckParses(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "checked-parse";
+  static const std::regex kUnchecked(
+      R"(std::sto[a-z]+\s*\(|\b(atoi|atol|atoll|atof)\s*\()");
+  for (const std::string& dir : {std::string("src"), std::string("tools")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (std::regex_search(code, kUnchecked)) {
+          out->push_back({kCheck, file, i + 1,
+                          "unchecked std::sto*/ato* parse (throws or returns "
+                          "0 on bad input); use util/string_util "
+                          "ParseDouble/ParseU64"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> RunAllChecks(const std::string& root) {
+  std::vector<Violation> out;
+  std::error_code ec;
+  if (!fs::is_directory(fs::path(root) / "src", ec)) {
+    out.push_back({"lint", root, 0, "no src/ directory under lint root"});
+    return out;
+  }
+  const fs::path r(root);
+  CheckNoThrow(r, &out);
+  CheckStdFunctionCallbacks(r, &out);
+  CheckUmbrellaSync(r, &out);
+  CheckDoxygenPublic(r, &out);
+  CheckParses(r, &out);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.check) <
+           std::tie(b.file, b.line, b.check);
+  });
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << v.file;
+  if (v.line != 0) os << ":" << v.line;
+  os << ": [" << v.check << "] " << v.message;
+  return os.str();
+}
+
+}  // namespace lint
+}  // namespace rdfcube

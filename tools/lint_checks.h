@@ -1,0 +1,54 @@
+// rdfcube_lint: mechanical enforcement of the repo invariants that CLAUDE.md
+// records as prose. Plain file/regex passes over the tree — deliberately no
+// libclang dependency, so the checker builds everywhere the library does.
+//
+// Checks (names are what `lint:allow(<name>)` suppresses on a line):
+//   no-throw              no `throw` under src/core or src/util: those are
+//                         hot paths, errors travel as Status/Result.
+//   std-function-callback no generic (template) lambdas in src/sparql or
+//                         src/rules: recursive evaluators must take
+//                         std::function callbacks or nested NOT EXISTS
+//                         explodes template instantiation and OOMs gcc.
+//   umbrella-sync         every header under src/ is either included by
+//                         src/rdfcube/rdfcube.h or carries an
+//                         "rdfcube:internal" marker near its top.
+//   doxygen-public        every top-level class/struct definition in a
+//                         public header has a Doxygen /// comment.
+//   checked-parse         no std::sto* / atoi / atof under src or tools:
+//                         they throw (or silently return 0) on malformed
+//                         input; use util/string_util ParseDouble/ParseU64.
+
+#ifndef RDFCUBE_TOOLS_LINT_CHECKS_H_
+#define RDFCUBE_TOOLS_LINT_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+namespace rdfcube {
+namespace lint {
+
+/// \brief One finding: which check fired, where, and why.
+struct Violation {
+  std::string check;    ///< Check name, e.g. "no-throw".
+  std::string file;     ///< Path relative to the linted root.
+  std::size_t line = 0; ///< 1-based; 0 for whole-file findings.
+  std::string message;
+
+  bool operator==(const Violation& o) const {
+    return check == o.check && file == o.file && line == o.line;
+  }
+};
+
+/// Runs every check over the tree rooted at `root` (the repo root: the
+/// directory containing src/ and tools/). Returns all findings sorted by
+/// (file, line). A missing src/ directory yields a whole-tree violation
+/// rather than a silent pass.
+std::vector<Violation> RunAllChecks(const std::string& root);
+
+/// Formats `v` as "file:line: [check] message" for terminal output.
+std::string FormatViolation(const Violation& v);
+
+}  // namespace lint
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_LINT_CHECKS_H_

@@ -1,0 +1,39 @@
+// rdfcube_lint: runs the repo-specific static checks (see lint_checks.h)
+// over a source tree and prints every violation.
+//
+// Usage: rdfcube_lint [root]
+//   root: repo root containing src/ and tools/ (default: current directory).
+// Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+
+#include <cstdio>
+#include <string>
+
+#include "tools/lint_checks.h"
+
+int main(int argc, char** argv) {
+  if (argc == 2 && (std::string(argv[1]) == "--help" ||
+                    std::string(argv[1]) == "-h")) {
+    std::printf(
+        "usage: %s [repo-root]\n"
+        "  repo-root: tree containing src/ and tools/ (default: .)\n"
+        "Runs the rdfcube-specific static checks; exits 0 when clean,\n"
+        "1 when violations were found, 2 on usage error.\n",
+        argv[0]);
+    return 0;
+  }
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [repo-root]\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argc == 2 ? argv[1] : ".";
+  const auto violations = rdfcube::lint::RunAllChecks(root);
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "rdfcube_lint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  std::printf("rdfcube_lint: clean\n");
+  return 0;
+}
