@@ -66,8 +66,5 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("ablation_parallel", argc, argv);
 }

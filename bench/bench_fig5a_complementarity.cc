@@ -12,8 +12,5 @@
 int main(int argc, char** argv) {
   rdfcube::benchutil::RegisterMethodSweep(
       rdfcube::benchutil::RelationshipKind::kComplementarity);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5a_complementarity", argc, argv);
 }

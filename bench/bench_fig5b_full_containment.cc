@@ -11,8 +11,5 @@
 int main(int argc, char** argv) {
   rdfcube::benchutil::RegisterMethodSweep(
       rdfcube::benchutil::RelationshipKind::kFull);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5b_full_containment", argc, argv);
 }

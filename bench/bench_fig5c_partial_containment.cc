@@ -13,8 +13,6 @@
 int main(int argc, char** argv) {
   rdfcube::benchutil::RegisterMethodSweep(
       rdfcube::benchutil::RelationshipKind::kPartial);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5c_partial_containment", argc,
+                                          argv);
 }

@@ -18,6 +18,7 @@
 #include "core/baseline.h"
 #include "core/clustering_method.h"
 #include "core/occurrence_matrix.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -28,6 +29,7 @@ using benchutil::RealWorldPrefix;
 constexpr uint32_t kPartialStride = 16;
 
 std::vector<std::size_t> RecallSizes() {
+  if (benchutil::SmokeMode()) return {500, 1000};
   if (benchutil::LargeMode()) return {2000, 5000, 10000, 20000, 50000};
   return {2000, 5000, 10000};
 }
@@ -73,6 +75,12 @@ void BM_ClusteringRecall(benchmark::State& state,
   // clustering method's own runtime is the Fig. 5(a)-(c) story.
   PartialSamplingSink truth = GroundTruth(n, om, obs);
 
+  const char* span_name =
+      algorithm == core::ClusterAlgorithm::kCanopy ? "bench/recall_canopy"
+      : algorithm == core::ClusterAlgorithm::kHierarchical
+          ? "bench/recall_hierarchical"
+          : "bench/recall_x_means";
+  rdfcube::obs::TraceSpan span(span_name);
   benchutil::Recall recall;
   for (auto _ : state) {
     PartialSamplingSink lossy(kPartialStride);
@@ -115,8 +123,5 @@ int main(int argc, char** argv) {
           ->Iterations(1);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5d_recall", argc, argv);
 }

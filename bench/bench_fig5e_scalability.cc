@@ -13,12 +13,14 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 
 namespace {
 
 using namespace rdfcube;
 
 std::vector<std::size_t> Sizes() {
+  if (benchutil::SmokeMode()) return {1000, 2000};
   if (benchutil::LargeMode()) {
     return {10000, 50000, 250000, 1000000, 2500000};
   }
@@ -27,6 +29,7 @@ std::vector<std::size_t> Sizes() {
 
 // Baseline is measured only up to this size; larger inputs are projected.
 std::size_t BaselineCutoff() {
+  if (benchutil::SmokeMode()) return 1000;
   return benchutil::LargeMode() ? 50000 : 10000;
 }
 
@@ -35,6 +38,11 @@ double g_baseline_secs_at_cutoff = 0.0;
 void BM_Scalability(benchmark::State& state, core::Method method) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::Synthetic(n);
+  const char* span_name = method == core::Method::kBaseline ? "bench/baseline"
+                          : method == core::Method::kClustering
+                              ? "bench/clustering"
+                              : "bench/cubeMasking";
+  obs::TraceSpan span(span_name);
   std::size_t pairs = 0;
   for (auto _ : state) {
     core::CountingSink sink;
@@ -84,22 +92,21 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-
   // Quadratic projection of the baseline beyond the cutoff (the paper did
   // exactly this for its 2.5M synthetic point). Re-measure the cutoff cheaply
-  // here rather than plumbing state out of the registered benchmarks.
-  {
+  // here rather than plumbing state out of the registered benchmarks; the
+  // epilogue runs inside the harness's root span, so the projection cost is
+  // visible as its own phase in BENCH_fig5e_scalability.json.
+  const auto project_baseline = [] {
     const std::size_t cutoff = BaselineCutoff();
     const qb::Corpus& corpus = benchutil::Synthetic(cutoff);
-    Stopwatch watch;
+    obs::TraceSpan span("bench/baseline_projection");
     core::CountingSink sink;
     core::EngineOptions options;
     options.method = core::Method::kBaseline;
     options.selector = core::RelationshipSelector::FullOnly();
     (void)core::ComputeRelationships(*corpus.observations, options, &sink);
-    g_baseline_secs_at_cutoff = watch.ElapsedSeconds();
+    g_baseline_secs_at_cutoff = span.ElapsedSeconds();
     std::printf("\n--- baseline projection (quadratic, measured at %zu = %.2fs) ---\n",
                 cutoff, g_baseline_secs_at_cutoff);
     for (std::size_t n : Sizes()) {
@@ -108,7 +115,7 @@ int main(int argc, char** argv) {
       std::printf("scalability/baseline/%zu (PROJECTED)   %.1f ms\n", n,
                   g_baseline_secs_at_cutoff * factor * factor * 1e3);
     }
-  }
-  benchmark::Shutdown();
-  return 0;
+  };
+  return rdfcube::benchutil::RunBenchMain("fig5e_scalability", argc, argv,
+                                          project_baseline);
 }

@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "core/lattice.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -19,6 +20,7 @@ using namespace rdfcube;
 void BM_CubeRatioRealWorld(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
+  obs::TraceSpan span("bench/cube_ratio_real_world");
   std::size_t cubes = 0;
   for (auto _ : state) {
     const core::Lattice lattice(*corpus.observations);
@@ -34,6 +36,7 @@ void BM_CubeRatioRealWorld(benchmark::State& state) {
 void BM_CubeRatioSynthetic(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::Synthetic(n);
+  obs::TraceSpan span("bench/cube_ratio_synthetic");
   std::size_t cubes = 0;
   for (auto _ : state) {
     const core::Lattice lattice(*corpus.observations);
@@ -59,8 +62,5 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5f_cube_ratio", argc, argv);
 }

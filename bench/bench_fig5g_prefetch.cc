@@ -22,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "core/cube_masking.h"
 #include "datagen/synthetic.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -79,6 +80,8 @@ void BM_CubeMaskingPrefetch(benchmark::State& state, bool prefetch) {
   const core::Lattice& lattice = *lit->second;
   const core::CubeChildrenIndex* index =
       prefetch ? &ChildrenIndex(n, lattice) : nullptr;
+  rdfcube::obs::TraceSpan span(prefetch ? "bench/cubeMasking_prefetch"
+                                        : "bench/cubeMasking_normal");
   std::size_t pairs = 0;
   for (auto _ : state) {
     core::CountingSink sink;
@@ -101,6 +104,7 @@ void BM_CubeMaskingPrefetch(benchmark::State& state, bool prefetch) {
 }
 
 std::vector<std::size_t> Sizes() {
+  if (benchutil::SmokeMode()) return {500, 1000};
   if (benchutil::LargeMode()) return {2000, 5000, 10000, 20000, 50000};
   return {2000, 5000, 10000, 20000};
 }
@@ -124,8 +128,5 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(3);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("fig5g_prefetch", argc, argv);
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "core/baseline.h"
 #include "core/containment_matrix.h"
 #include "core/cube_masking.h"
@@ -79,8 +80,5 @@ int main(int argc, char** argv) {
     std::printf("=== Table 3(b): overall containment matrix OCM ===\n%s\n",
                 matrices->ToTable(obs).c_str());
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return rdfcube::benchutil::RunBenchMain("running_example", argc, argv);
 }

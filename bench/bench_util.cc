@@ -1,5 +1,7 @@
 #include "bench/bench_util.h"
 
+#include <benchmark/benchmark.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +10,9 @@
 
 #include "datagen/realworld.h"
 #include "datagen/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "qb/exporter.h"
 
 namespace rdfcube {
@@ -18,7 +23,13 @@ bool LargeMode() {
   return env != nullptr && env[0] == '1';
 }
 
+bool SmokeMode() {
+  const char* env = std::getenv("RDFCUBE_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 std::vector<std::size_t> NativeSweepSizes() {
+  if (SmokeMode()) return {500, 1000};
   if (LargeMode()) {
     // The paper's sweep: 2k, then 20k..250k in 20k-40k steps.
     return {2000, 20000, 60000, 100000, 150000, 200000, 250000};
@@ -27,11 +38,52 @@ std::vector<std::size_t> NativeSweepSizes() {
 }
 
 std::vector<std::size_t> ComparisonSweepSizes() {
+  if (SmokeMode()) return {50, 100};
   if (LargeMode()) return {100, 300, 1000, 3000};
   return {100, 300, 600};
 }
 
-double ComparisonTimeoutSeconds() { return LargeMode() ? 300.0 : 20.0; }
+double ComparisonTimeoutSeconds() {
+  if (SmokeMode()) return 5.0;
+  return LargeMode() ? 300.0 : 20.0;
+}
+
+int RunBenchMain(const std::string& name, int argc, char** argv,
+                 const std::function<void()>& epilogue) {
+  benchmark::Initialize(&argc, argv);
+
+  // Fresh observability state per process: the report should describe this
+  // run only, not whatever static initialization touched the registry.
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::TraceCollector::Global().Enable();
+  uint64_t root_id = 0;
+  {
+    obs::TraceSpan root("bench/" + name);
+    root_id = root.id();
+    benchmark::RunSpecifiedBenchmarks();
+    if (epilogue) epilogue();
+  }
+  obs::TraceCollector::Global().Disable();
+
+  obs::RunReport report(name);
+  report.AddMeta("large_mode", LargeMode() ? "1" : "0");
+  report.AddMeta("smoke_mode", SmokeMode() ? "1" : "0");
+  report.CaptureMetrics();
+  report.CapturePhases(root_id);
+
+  const char* out_dir = std::getenv("RDFCUBE_BENCH_OUT_DIR");
+  std::string path = (out_dir != nullptr && out_dir[0] != '\0') ? out_dir : ".";
+  path += "/BENCH_" + name + ".json";
+  const Status st = obs::WriteRunReportJson(report, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("BENCH report: %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}
 
 const qb::Corpus& RealWorldPrefix(std::size_t n) {
   static std::map<std::size_t, qb::Corpus>* cache =

@@ -1,15 +1,19 @@
 // Shared helpers for the benchmark harnesses: corpus caches (so repeated
 // benchmark registrations reuse one generated corpus per size), method
-// runners with timeout reporting, and recall computation.
+// runners with timeout reporting, recall computation, and the RunBenchMain
+// observability harness every bench binary's main() delegates to.
 //
 // Sizing: by default the harnesses sweep reduced input sizes so that the
 // whole bench suite finishes in minutes on one core; set RDFCUBE_BENCH_LARGE=1
-// to sweep the paper's full 2k..250k (and 2.5M synthetic) range.
+// to sweep the paper's full 2k..250k (and 2.5M synthetic) range, or
+// RDFCUBE_BENCH_SMOKE=1 to shrink everything to seconds (CI validation of
+// the BENCH_*.json pipeline, see scripts/check_bench_json.sh).
 
 #ifndef RDFCUBE_BENCH_BENCH_UTIL_H_
 #define RDFCUBE_BENCH_BENCH_UTIL_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,20 @@ namespace benchutil {
 
 /// True when RDFCUBE_BENCH_LARGE=1: sweep the paper's full input range.
 bool LargeMode();
+
+/// True when RDFCUBE_BENCH_SMOKE=1: shrink sweeps to smoke-test sizes so a
+/// bench binary finishes in seconds (wins over LargeMode when both are set).
+bool SmokeMode();
+
+/// Runs the registered google-benchmark suite under the observability
+/// harness: resets the global metrics registry, enables span collection,
+/// wraps the whole run (plus the optional `epilogue`, for post-run work such
+/// as fig5e's baseline projection) in one root TraceSpan, then writes a
+/// RunReport as `BENCH_<name>.json` into $RDFCUBE_BENCH_OUT_DIR (default:
+/// the current directory). Returns the process exit code; every bench
+/// binary's main() should `return RunBenchMain(...)`.
+int RunBenchMain(const std::string& name, int argc, char** argv,
+                 const std::function<void()>& epilogue = nullptr);
 
 /// Input sizes for the native-method sweeps (Fig. 5(a)-(c)).
 /// Reduced: {2k, 5k, 10k, 20k}; large: {2k, 20k, ..., 250k} per the paper.

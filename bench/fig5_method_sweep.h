@@ -16,6 +16,7 @@
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
+#include "obs/trace.h"
 #include "rules/paper_rules.h"
 #include "sparql/paper_queries.h"
 
@@ -40,6 +41,11 @@ inline void BM_NativeMethod(benchmark::State& state, core::Method method,
                             RelationshipKind kind) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = RealWorldPrefix(n);
+  const char* span_name = method == core::Method::kBaseline ? "bench/baseline"
+                          : method == core::Method::kClustering
+                              ? "bench/clustering"
+                              : "bench/cubeMasking";
+  obs::TraceSpan span(span_name);
   std::size_t pairs = 0;
   for (auto _ : state) {
     core::CountingSink sink;
@@ -70,6 +76,7 @@ inline void BM_SparqlMethod(benchmark::State& state, RelationshipKind kind) {
       query = sparql::ComplementarityQuery();
       break;
   }
+  obs::TraceSpan span("bench/sparql");
   bool timed_out = false, oom = false;
   std::size_t pairs = 0;
   for (auto _ : state) {
@@ -98,6 +105,7 @@ inline void BM_RuleMethod(benchmark::State& state, RelationshipKind kind) {
                      : kind == RelationshipKind::kPartial
                          ? "partial-containment"
                          : "complementarity";
+  obs::TraceSpan span("bench/rules");
   bool timed_out = false, oom = false;
   std::size_t derived = 0;
   for (auto _ : state) {

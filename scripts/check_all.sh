@@ -5,6 +5,8 @@
 #   ctest        the full test suite (includes lint_test, race_stress_test
 #                and the header self-containment target)
 #   static       scripts/check_static_analysis.sh (rdfcube_lint + clang-tidy)
+#   bench json   scripts/check_bench_json.sh (BENCH_*.json schema + the
+#                phases-sum-to-wall-clock invariant, smoke-mode run)
 #   sanitizers   scripts/check_sanitizers.sh (ASan, UBSan, TSan trees)
 #
 # Usage: scripts/check_all.sh [--fast]
@@ -26,6 +28,9 @@ ctest --test-dir build --output-on-failure
 
 echo "== static analysis =="
 scripts/check_static_analysis.sh
+
+echo "== bench json =="
+scripts/check_bench_json.sh
 
 if [ "$fast" -eq 0 ]; then
   echo "== sanitizers =="

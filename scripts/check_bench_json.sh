@@ -1,0 +1,86 @@
+#!/bin/sh
+# BENCH_*.json gate: every bench binary must emit a machine-readable run
+# report whose phase breakdown actually accounts for the run.
+#
+#   1. Builds the fastest bench binary (bench_fig5f_cube_ratio) and runs it
+#      in smoke mode with RDFCUBE_BENCH_OUT_DIR pointed at a scratch dir.
+#   2. Validates the emitted BENCH_<name>.json: parses as JSON, carries the
+#      schema keys (name, schema_version, wall_seconds, meta, stats, phases,
+#      span_rollup, metrics), and the per-phase total_seconds — including the
+#      synthetic "(harness)" entry — sum to within 10% of wall_seconds.
+#
+# The 10% tolerance is the acceptance criterion for the observability layer:
+# CapturePhases partitions the root span exactly, so a drift here means the
+# harness stopped timing through the span tree.
+#
+# Usage: scripts/check_bench_json.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+cmake -B "$build" >/dev/null
+# -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
+cmake --build "$build" -j1 --target bench_fig5f_cube_ratio
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "== bench smoke run =="
+RDFCUBE_BENCH_SMOKE=1 RDFCUBE_BENCH_OUT_DIR="$out_dir" \
+  "$build/bench/bench_fig5f_cube_ratio" >/dev/null
+
+report="$out_dir/BENCH_fig5f_cube_ratio.json"
+if [ ! -f "$report" ]; then
+  echo "FAIL: $report was not written" >&2
+  exit 1
+fi
+
+echo "== validate $report =="
+python3 - "$report" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+required = ["name", "schema_version", "wall_seconds", "meta", "stats",
+            "phases", "span_rollup", "metrics"]
+missing = [key for key in required if key not in report]
+if missing:
+    sys.exit(f"FAIL: missing keys {missing} in {path}")
+
+if report["schema_version"] != 1:
+    sys.exit(f"FAIL: unexpected schema_version {report['schema_version']}")
+
+wall = report["wall_seconds"]
+if not wall > 0:
+    sys.exit(f"FAIL: wall_seconds must be positive, got {wall}")
+
+phases = report["phases"]
+if not phases:
+    sys.exit("FAIL: phases is empty")
+for phase in phases:
+    for key in ("name", "count", "total_seconds", "self_seconds"):
+        if key not in phase:
+            sys.exit(f"FAIL: phase entry missing {key}: {phase}")
+if not any(p["name"] == "(harness)" for p in phases):
+    sys.exit("FAIL: no synthetic (harness) phase entry")
+
+total = sum(p["total_seconds"] for p in phases)
+drift = abs(total - wall) / wall
+if drift > 0.10:
+    sys.exit(f"FAIL: phase sum {total:.6f}s vs wall {wall:.6f}s "
+             f"({drift:.1%} drift, >10%)")
+
+metrics = report["metrics"]
+for kind in ("counters", "gauges", "histograms"):
+    if kind not in metrics:
+        sys.exit(f"FAIL: metrics missing {kind}")
+
+print(f"OK: {report['name']}: {len(phases)} phases sum to {total:.6f}s "
+      f"of {wall:.6f}s wall ({drift:.2%} drift)")
+EOF
+
+echo "bench json check passed"

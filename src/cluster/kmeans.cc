@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace rdfcube {
 namespace cluster {
 
@@ -65,8 +67,11 @@ Result<CentroidModel> KMeans(const std::vector<const BitVector*>& points,
   }
 
   // Lloyd iterations.
+  static obs::Counter& iterations = obs::DefaultCounter(
+      "rdfcube_cluster_iterations_total", "Lloyd iterations across fits");
   std::vector<uint32_t> assign(n, 0);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    iterations.Increment();
     bool changed = false;
     for (std::size_t i = 0; i < n; ++i) {
       const uint32_t c = static_cast<uint32_t>(model.Assign(*points[i]));

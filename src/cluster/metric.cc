@@ -1,7 +1,22 @@
 #include "cluster/metric.h"
 
+#include "obs/metrics.h"
+
 namespace rdfcube {
 namespace cluster {
+
+namespace {
+
+// One relaxed increment per distance call; each call is an O(dims) loop, so
+// the atomic is noise, and Fig. 5-style runs can report evaluation counts.
+obs::Counter& DistanceEvals() {
+  static obs::Counter& c =
+      obs::DefaultCounter("rdfcube_cluster_distance_evals_total",
+                          "Point-to-centroid distance evaluations");
+  return c;
+}
+
+}  // namespace
 
 void Centroid::Accumulate(const BitVector& p) {
   for (std::size_t i = 0; i < mean.size(); ++i) {
@@ -17,6 +32,7 @@ void Centroid::Normalize() {
 }
 
 double CentroidDistance(const BitVector& p, const Centroid& c) {
+  DistanceEvals().Increment();
   double min_sum = 0.0, max_sum = 0.0;
   for (std::size_t i = 0; i < c.mean.size(); ++i) {
     const double x = p.Test(i) ? 1.0 : 0.0;
@@ -29,6 +45,7 @@ double CentroidDistance(const BitVector& p, const Centroid& c) {
 }
 
 double SquaredEuclidean(const BitVector& p, const Centroid& c) {
+  DistanceEvals().Increment();
   double sum = 0.0;
   for (std::size_t i = 0; i < c.mean.size(); ++i) {
     const double d = (p.Test(i) ? 1.0 : 0.0) - c.mean[i];

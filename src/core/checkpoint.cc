@@ -12,6 +12,7 @@
 
 #include "core/lattice.h"
 #include "core/snapshot_io.h"
+#include "obs/metrics.h"
 #include "util/fault.h"
 
 namespace rdfcube {
@@ -199,6 +200,13 @@ Status AtomicWriteFile(const std::string& bytes, const std::string& path) {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::IOError("snapshot rename failed: " + ec.message());
+  static obs::Counter& saves = obs::DefaultCounter(
+      "rdfcube_checkpoint_saves_total", "Checkpoint snapshots written");
+  static obs::Counter& bytes_written =
+      obs::DefaultCounter("rdfcube_checkpoint_bytes_written_total",
+                          "Checkpoint bytes written to disk");
+  saves.Increment();
+  bytes_written.Increment(bytes.size());
   return Status::OK();
 }
 
@@ -212,7 +220,14 @@ Result<std::string> ReadFileBytes(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   if (!in && !in.eof()) return Status::IOError("snapshot read failed: " + path);
-  return buf.str();
+  std::string bytes = buf.str();
+  static obs::Counter& restores = obs::DefaultCounter(
+      "rdfcube_checkpoint_restores_total", "Checkpoint snapshots read back");
+  static obs::Counter& bytes_read = obs::DefaultCounter(
+      "rdfcube_checkpoint_bytes_read_total", "Checkpoint bytes read from disk");
+  restores.Increment();
+  bytes_read.Increment(bytes.size());
+  return bytes;
 }
 
 Status SaveMaskingCheckpoint(const MaskingCheckpoint& ckpt,

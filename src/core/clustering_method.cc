@@ -7,10 +7,13 @@
 #include "cluster/kmeans.h"
 #include "cluster/xmeans.h"
 #include "core/baseline.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace rdfcube {
 namespace core {
+
+namespace obx = ::rdfcube::obs;
 
 const char* ClusterAlgorithmName(ClusterAlgorithm algorithm) {
   switch (algorithm) {
@@ -33,19 +36,24 @@ Status RunClusteringMethod(const qb::ObservationSet& obs,
   if (n == 0) return Status::OK();
 
   // --- Sample ---------------------------------------------------------------
-  Rng rng(options.seed);
-  std::size_t sample_size =
-      static_cast<std::size_t>(static_cast<double>(n) * options.sample_fraction);
-  if (sample_size < 2) sample_size = n < 2 ? n : 2;
-  if (sample_size > n) sample_size = n;
-  const std::vector<std::size_t> sample_ids =
-      rng.SampleWithoutReplacement(n, sample_size);
   std::vector<const BitVector*> sample;
-  sample.reserve(sample_ids.size());
-  for (std::size_t i : sample_ids) sample.push_back(&om.row(i));
-  if (stats != nullptr) stats->sample_size = sample.size();
+  {
+    obx::TraceSpan span("clustering/sample");
+    Rng rng(options.seed);
+    std::size_t sample_size =
+        static_cast<std::size_t>(static_cast<double>(n) *
+                                 options.sample_fraction);
+    if (sample_size < 2) sample_size = n < 2 ? n : 2;
+    if (sample_size > n) sample_size = n;
+    const std::vector<std::size_t> sample_ids =
+        rng.SampleWithoutReplacement(n, sample_size);
+    sample.reserve(sample_ids.size());
+    for (std::size_t i : sample_ids) sample.push_back(&om.row(i));
+    if (stats != nullptr) stats->sample_size = sample.size();
+  }
 
   // --- Fit ------------------------------------------------------------------
+  obx::TraceSpan fit_span("clustering/fit");
   cluster::CentroidModel model;
   switch (options.algorithm) {
     case ClusterAlgorithm::kXMeans: {
@@ -71,22 +79,27 @@ Status RunClusteringMethod(const qb::ObservationSet& obs,
   if (options.deadline.Expired()) {
     return Status::TimedOut("clustering method exceeded its deadline");
   }
+  fit_span.End();
 
   // --- Assign all points to fitted clusters ----------------------------------
   std::vector<std::vector<qb::ObsId>> members(model.centroids.size());
-  for (qb::ObsId i = 0; i < n; ++i) {
-    members[model.Assign(om.row(i))].push_back(i);
-  }
-  if (stats != nullptr) {
-    stats->num_clusters = members.size();
-    for (const auto& m : members) {
-      if (m.size() > stats->largest_cluster) {
-        stats->largest_cluster = m.size();
+  {
+    obx::TraceSpan span("clustering/assign");
+    for (qb::ObsId i = 0; i < n; ++i) {
+      members[model.Assign(om.row(i))].push_back(i);
+    }
+    if (stats != nullptr) {
+      stats->num_clusters = members.size();
+      for (const auto& m : members) {
+        if (m.size() > stats->largest_cluster) {
+          stats->largest_cluster = m.size();
+        }
       }
     }
   }
 
   // --- Baseline within each cluster (Algorithm 3, lines 3-6) -----------------
+  obx::TraceSpan intra_span("clustering/intra_cluster_baseline");
   BaselineOptions bo;
   bo.selector = options.selector;
   bo.deadline = options.deadline;

@@ -3,12 +3,52 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rdfcube {
 namespace core {
+
+// The `obs` parameter name shadows namespace rdfcube::obs inside function
+// bodies; alias the observability namespace for instrumentation sites.
+namespace obx = ::rdfcube::obs;
 
 namespace {
 
 constexpr std::size_t kDeadlineStride = 4096;
+
+// Adds the difference between `after` and `before` to the global
+// rdfcube_masking_* counters. Callers snapshot the (possibly accumulating,
+// caller-owned) stats struct on entry so repeated runs never double-count.
+void FlushMaskingCounters(const CubeMaskingStats& before,
+                          const CubeMaskingStats& after) {
+  static obs::Counter& checked =
+      obs::DefaultCounter("rdfcube_masking_cube_pairs_checked_total",
+                          "Lattice cube pairs tested for comparability");
+  static obs::Counter& comparable =
+      obs::DefaultCounter("rdfcube_masking_cube_pairs_comparable_total",
+                          "Cube pairs whose signatures were comparable");
+  static obs::Counter& pruned =
+      obs::DefaultCounter("rdfcube_masking_cube_pairs_pruned_total",
+                          "Cube pairs discarded by signature masking");
+  static obs::Counter& compared =
+      obs::DefaultCounter("rdfcube_masking_obs_pairs_compared_total",
+                          "Observation pairs actually evaluated");
+  static obs::Counter& emitted =
+      obs::DefaultCounter("rdfcube_masking_relationships_emitted_total",
+                          "Relationships handed to the sink");
+  const std::size_t d_checked = after.cube_pairs_checked -
+                                before.cube_pairs_checked;
+  const std::size_t d_comparable = after.cube_pairs_comparable -
+                                   before.cube_pairs_comparable;
+  checked.Increment(d_checked);
+  comparable.Increment(d_comparable);
+  if (d_checked > d_comparable) pruned.Increment(d_checked - d_comparable);
+  compared.Increment(after.observation_pairs_compared -
+                     before.observation_pairs_compared);
+  emitted.Increment(after.relationships_emitted -
+                    before.relationships_emitted);
+}
 
 // Shared state of one run.
 struct Run {
@@ -128,6 +168,7 @@ struct Run {
               RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
               if (stats != nullptr) ++stats->observation_pairs_compared;
               if (obs.SharesMeasure(a, b) && DimsContain(a, b)) {
+                if (stats != nullptr) ++stats->relationships_emitted;
                 sink->OnFullContainment(a, b);
               }
             }
@@ -152,6 +193,7 @@ struct Run {
               const std::size_t count =
                   CountContainingDims(a, b, want_mask ? &mask : nullptr);
               if (count > 0 && count < kd) {
+                if (stats != nullptr) ++stats->relationships_emitted;
                 sink->OnPartialContainment(
                     a, b,
                     static_cast<double>(count) / static_cast<double>(kd),
@@ -173,6 +215,7 @@ struct Run {
           RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
           if (stats != nullptr) ++stats->observation_pairs_compared;
           if (ValuesEqual(ms[x], ms[y])) {
+            if (stats != nullptr) ++stats->relationships_emitted;
             sink->OnComplementarity(std::min(ms[x], ms[y]),
                                     std::max(ms[x], ms[y]));
           }
@@ -211,18 +254,26 @@ struct Run {
                 const std::size_t count =
                     CountContainingDims(a, b, want_mask ? &mask : nullptr);
                 if (count == kd) {
-                  if (sel.full_containment) sink->OnFullContainment(a, b);
+                  if (sel.full_containment) {
+                    if (stats != nullptr) ++stats->relationships_emitted;
+                    sink->OnFullContainment(a, b);
+                  }
                 } else if (count > 0 && sel.partial_containment) {
+                  if (stats != nullptr) ++stats->relationships_emitted;
                   sink->OnPartialContainment(
                       a, b,
                       static_cast<double>(count) / static_cast<double>(kd),
                       mask);
                 }
               } else if (shares && sel.full_containment && all_dom) {
-                if (DimsContain(a, b)) sink->OnFullContainment(a, b);
+                if (DimsContain(a, b)) {
+                  if (stats != nullptr) ++stats->relationships_emitted;
+                  sink->OnFullContainment(a, b);
+                }
               }
               if (sel.complementarity && same_cube && a < b &&
                   ValuesEqual(a, b)) {
+                if (stats != nullptr) ++stats->relationships_emitted;
                 sink->OnComplementarity(a, b);
               }
             }
@@ -237,32 +288,46 @@ struct Run {
 Status RunCubeMasking(const qb::ObservationSet& obs, const Lattice& lattice,
                       const CubeMaskingOptions& options, RelationshipSink* sink,
                       CubeMaskingStats* stats, const CubeChildrenIndex* children) {
+  CubeMaskingStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const CubeMaskingStats before = *stats;
   Run run(obs, lattice, options, sink, stats, children);
-  if (stats != nullptr) stats->num_cubes = lattice.num_cubes();
+  stats->num_cubes = lattice.num_cubes();
   const RelationshipSelector& sel = options.selector;
   const int selected = (sel.full_containment ? 1 : 0) +
                        (sel.partial_containment ? 1 : 0) +
                        (sel.complementarity ? 1 : 0);
+  Status status = Status::OK();
   if (options.prefetch_children && selected > 1) {
-    return run.FusedPass(0, static_cast<CubeId>(lattice.num_cubes()));
+    obx::TraceSpan span("masking/fused_pass");
+    status = run.FusedPass(0, static_cast<CubeId>(lattice.num_cubes()));
+  } else {
+    if (status.ok() && sel.partial_containment) {
+      obx::TraceSpan span("masking/partial_pass");
+      status = run.PartialPass();
+    }
+    if (status.ok() && sel.full_containment) {
+      obx::TraceSpan span("masking/full_pass");
+      status = run.FullPass();
+    }
+    if (status.ok() && sel.complementarity) {
+      obx::TraceSpan span("masking/compl_pass");
+      status = run.ComplPass();
+    }
   }
-  if (sel.partial_containment) {
-    RDFCUBE_RETURN_IF_ERROR(run.PartialPass());
-  }
-  if (sel.full_containment) {
-    RDFCUBE_RETURN_IF_ERROR(run.FullPass());
-  }
-  if (sel.complementarity) {
-    RDFCUBE_RETURN_IF_ERROR(run.ComplPass());
-  }
-  return Status::OK();
+  FlushMaskingCounters(before, *stats);  // flush even on timeout
+  return status;
 }
 
 Status RunCubeMasking(const qb::ObservationSet& obs,
                       const CubeMaskingOptions& options, RelationshipSink* sink,
                       CubeMaskingStats* stats) {
-  const Lattice lattice(obs);
-  return RunCubeMasking(obs, lattice, options, sink, stats);
+  std::unique_ptr<const Lattice> lattice;
+  {
+    obx::TraceSpan span("masking/lattice_build");
+    lattice = std::make_unique<const Lattice>(obs);
+  }
+  return RunCubeMasking(obs, *lattice, options, sink, stats);
 }
 
 Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
@@ -274,9 +339,15 @@ Status RunCubeMaskingOuterRange(const qb::ObservationSet& obs,
   if (end_cube > lattice.num_cubes() || begin_cube > end_cube) {
     return Status::OutOfRange("cube range outside the lattice");
   }
+  CubeMaskingStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  const CubeMaskingStats before = *stats;
   Run run(obs, lattice, options, sink, stats, children);
-  if (stats != nullptr) stats->num_cubes = lattice.num_cubes();
-  return run.FusedPass(begin_cube, end_cube);
+  stats->num_cubes = lattice.num_cubes();
+  obx::TraceSpan span("masking/outer_range");
+  const Status status = run.FusedPass(begin_cube, end_cube);
+  FlushMaskingCounters(before, *stats);
+  return status;
 }
 
 }  // namespace core

@@ -28,11 +28,17 @@ struct CubeMaskingOptions {
 };
 
 /// \brief Per-run statistics (feeds Fig. 5(f): cube-to-observation ratio).
+///
+/// Also flushed into the global metrics registry at the end of every run
+/// (rdfcube_masking_* counters), so long-lived processes accumulate across
+/// runs without threading a stats pointer through.
 struct CubeMaskingStats {
   std::size_t num_cubes = 0;
   std::size_t cube_pairs_checked = 0;
   std::size_t cube_pairs_comparable = 0;
   std::size_t observation_pairs_compared = 0;
+  /// Relationships handed to the sink (all selected types combined).
+  std::size_t relationships_emitted = 0;
 };
 
 /// \brief Runs cubeMasking over a pre-built lattice.

@@ -8,12 +8,56 @@
 
 #include "core/cube_masking.h"
 #include "core/lattice.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 
 namespace rdfcube {
 namespace core {
 
+namespace obx = ::rdfcube::obs;
+
 namespace {
+
+// Flushes the recovery-related deltas of a run into the global registry when
+// the run ends (RAII so timeouts and fault-driven early returns still count).
+class DistributedCounterFlusher {
+ public:
+  explicit DistributedCounterFlusher(DistributedStats* stats)
+      : stats_(stats), before_(*stats) {}
+  ~DistributedCounterFlusher() {
+    static obs::Counter& crashes =
+        obs::DefaultCounter("rdfcube_distributed_worker_crashes_total",
+                            "Injected worker crashes observed");
+    static obs::Counter& retries = obs::DefaultCounter(
+        "rdfcube_distributed_task_retries_total", "Task retries after crashes");
+    static obs::Counter& reassigns =
+        obs::DefaultCounter("rdfcube_distributed_reassignments_total",
+                            "Tasks moved to a surviving worker");
+    static obs::Counter& lost = obs::DefaultCounter(
+        "rdfcube_distributed_workers_lost_total", "Workers declared dead");
+    static obs::Counter& dropped =
+        obs::DefaultCounter("rdfcube_distributed_messages_dropped_total",
+                            "Messages lost and detected via ack timeout");
+    static obs::Counter& replayed = obs::DefaultCounter(
+        "rdfcube_distributed_messages_replayed_total", "Message resends");
+    static obs::Counter& duplicates =
+        obs::DefaultCounter("rdfcube_distributed_messages_duplicate_total",
+                            "Duplicate deliveries discarded by dedup");
+    crashes.Increment(stats_->worker_crashes - before_.worker_crashes);
+    retries.Increment(stats_->task_retries - before_.task_retries);
+    reassigns.Increment(stats_->reassignments - before_.reassignments);
+    lost.Increment(stats_->workers_lost - before_.workers_lost);
+    dropped.Increment(stats_->dropped_messages - before_.dropped_messages);
+    replayed.Increment(stats_->replayed_messages - before_.replayed_messages);
+    duplicates.Increment(stats_->duplicate_messages -
+                         before_.duplicate_messages);
+  }
+
+ private:
+  DistributedStats* stats_;
+  DistributedStats before_;
+};
 
 constexpr std::size_t kDeadlineStride = 4096;
 
@@ -176,6 +220,9 @@ Status RunDistributedMasking(const qb::ObservationSet& obs,
                              const DistributedOptions& options,
                              RelationshipSink* sink,
                              DistributedStats* stats) {
+  DistributedStats fallback_stats;
+  if (stats == nullptr) stats = &fallback_stats;
+  DistributedCounterFlusher flusher(stats);
   const std::size_t workers =
       options.num_workers == 0 ? 1 : options.num_workers;
   const RelationshipSelector& sel = options.selector;
@@ -197,6 +244,7 @@ Status RunDistributedMasking(const qb::ObservationSet& obs,
   std::iota(owner.begin(), owner.end(), 0);
 
   // --- Local phase: each partition relates its own observations. ------------
+  obx::TraceSpan local_span("distributed/local_phase");
   for (std::size_t p = 0; p < workers; ++p) {
     CubeMaskingStats mstats;
     RDFCUBE_RETURN_IF_ERROR(recovery.Execute(
@@ -210,7 +258,10 @@ Status RunDistributedMasking(const qb::ObservationSet& obs,
     if (stats != nullptr) stats->local_pairs += mstats.observation_pairs_compared;
   }
 
+  local_span.End();
+
   // --- Cross phase: signature exchange, then candidate-cube shipping. -------
+  obx::TraceSpan cross_span("distributed/cross_phase");
   for (std::size_t u = 0; u < workers; ++u) {
     for (std::size_t v = u + 1; v < workers; ++v) {
       // Signature exchange, one message per direction.

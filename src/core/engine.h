@@ -9,6 +9,7 @@
 #include "core/cube_masking.h"
 #include "core/hybrid.h"
 #include "core/relationship.h"
+#include "obs/report.h"
 #include "qb/observation_set.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -64,6 +65,11 @@ struct EngineReport {
                             const EngineOptions& options,
                             RelationshipSink* sink,
                             EngineReport* report = nullptr);
+
+/// \brief Flattens an EngineReport into an obs::RunReport (wall clock plus
+/// per-method scalar stats). The dependency points core → obs so the
+/// observability layer itself stays engine-agnostic.
+void FillRunReport(const EngineReport& report, obs::RunReport* out);
 
 }  // namespace core
 }  // namespace rdfcube

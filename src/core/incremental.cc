@@ -6,11 +6,33 @@
 
 #include "core/checkpoint.h"
 #include "core/snapshot_io.h"
+#include "obs/metrics.h"
 
 namespace rdfcube {
 namespace core {
 
 namespace {
+
+obs::Counter& IncrementalAdds() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_incremental_adds_total", "Observations integrated");
+  return c;
+}
+
+obs::Counter& IncrementalRetires() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_incremental_retires_total", "Observations retired");
+  return c;
+}
+
+// Relationship-set growth per integrated observation (the paper-§6 delta).
+obs::Histogram& DeltaRelationships() {
+  static obs::Histogram& h = obs::DefaultHistogram(
+      "rdfcube_incremental_delta_relationships",
+      "Stored relationships added per OnObservationAdded",
+      obs::ExponentialBuckets(1.0, 2.0, 14));  // 1 .. 8192
+  return h;
+}
 
 Status CorruptSnapshot(const char* what) {
   return Status::ParseError(std::string("corrupt incremental snapshot: ") +
@@ -30,6 +52,8 @@ Status IncrementalEngine::OnObservationAdded(qb::ObsId id) {
   if (id < live_.size() && live_[id]) {
     return Status::AlreadyExists("observation already integrated");
   }
+  const std::size_t sets_before =
+      full_.size() + partial_.size() + compl_.size();
   // Register in the lattice first so its cube exists.
   const CubeId my_cube = lattice_.AddObservation(*obs_, id);
   if (live_.size() <= id) live_.resize(id + 1, false);
@@ -53,6 +77,9 @@ Status IncrementalEngine::OnObservationAdded(qb::ObsId id) {
       Compare(id, partner);
     }
   }
+  IncrementalAdds().Increment();
+  DeltaRelationships().Observe(static_cast<double>(
+      full_.size() + partial_.size() + compl_.size() - sets_before));
   return Status::OK();
 }
 
@@ -79,6 +106,7 @@ Status IncrementalEngine::OnObservationRetired(qb::ObsId id) {
     }
     partners_.erase(it);
   }
+  IncrementalRetires().Increment();
   return Status::OK();
 }
 

@@ -3,10 +3,13 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace rdfcube {
 namespace core {
+
+namespace obx = ::rdfcube::obs;
 
 namespace {
 
@@ -84,15 +87,18 @@ Status RunCubeMaskingParallel(const qb::ObservationSet& obs,
     shards.push_back(std::make_unique<CollectingSink>());
   }
   {
+    obx::TraceSpan span("parallel_masking/shards");
     ThreadPool pool(threads);
     for (std::size_t t = 0; t < threads; ++t) {
       CollectingSink* out = shards[t].get();
       pool.Submit([&obs, &lattice, &options, t, threads, out] {
+        obx::TraceSpan shard_span("parallel_masking/shard");
         ProcessShard(obs, lattice, options.selector, t, threads, out);
       });
     }
     pool.Wait();
   }
+  obx::TraceSpan merge_span("parallel_masking/merge");
   for (const auto& shard : shards) {
     for (const auto& [a, b] : shard->full()) sink->OnFullContainment(a, b);
     for (const auto& p : shard->partial()) {

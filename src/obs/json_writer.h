@@ -1,0 +1,48 @@
+// rdfcube:internal — shared JSON-emission helpers for the obs module.
+// Hand-rolled on purpose: the repo has no JSON dependency and the obs layer
+// must stay zero-dependency.
+
+#ifndef RDFCUBE_OBS_JSON_WRITER_H_
+#define RDFCUBE_OBS_JSON_WRITER_H_
+
+#include <cstdio>
+#include <string>
+
+namespace rdfcube {
+namespace obs {
+
+/// Appends `value` to `*out` as a JSON number (shortest %g form that still
+/// round-trips timing-resolution values).
+inline void AppendJsonDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out->append(buf);
+}
+
+/// Appends `s` to `*out` as a quoted, escaped JSON string.
+inline void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      case '\r': out->append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace obs
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_OBS_JSON_WRITER_H_

@@ -1,0 +1,319 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace rdfcube {
+namespace obs {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = (c >= '0' && c <= '9');
+    if (i == 0 ? !(alpha || c == '_') : !(alpha || digit || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ValidHistogramBounds(const std::vector<double>& bounds) {
+  if (bounds.empty()) return false;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (!std::isfinite(bounds[i])) return false;
+    if (i > 0 && bounds[i] <= bounds[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  const std::size_t idx =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                value) -
+                               bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  double old_sum;
+  uint64_t new_bits;
+  do {
+    std::memcpy(&old_sum, &old_bits, sizeof(old_sum));
+    const double new_sum = old_sum + value;
+    std::memcpy(&new_bits, &new_sum, sizeof(new_bits));
+  } while (!sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                            std::memory_order_relaxed));
+}
+
+double Histogram::sum() const {
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double sum;
+  std::memcpy(&sum, &bits, sizeof(sum));
+  return sum;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Result<Counter*> MetricsRegistry::GetCounter(const std::string& name,
+                                             const std::string& help) {
+  if (!ValidMetricName(name)) {
+    return Status::InvalidArgument("bad metric name: " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != Kind::kCounter) {
+      return Status::AlreadyExists("metric registered with another kind: " +
+                                   name);
+    }
+    return it->second.counter.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.help = help;
+  entry.counter = std::unique_ptr<Counter>(new Counter());
+  Counter* out = entry.counter.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+Result<Gauge*> MetricsRegistry::GetGauge(const std::string& name,
+                                         const std::string& help) {
+  if (!ValidMetricName(name)) {
+    return Status::InvalidArgument("bad metric name: " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != Kind::kGauge) {
+      return Status::AlreadyExists("metric registered with another kind: " +
+                                   name);
+    }
+    return it->second.gauge.get();
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.help = help;
+  entry.gauge = std::unique_ptr<Gauge>(new Gauge());
+  Gauge* out = entry.gauge.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+Result<Histogram*> MetricsRegistry::GetHistogram(const std::string& name,
+                                                 const std::string& help,
+                                                 std::vector<double> bounds) {
+  if (!ValidMetricName(name)) {
+    return Status::InvalidArgument("bad metric name: " + name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    if (it->second.kind != Kind::kHistogram) {
+      return Status::AlreadyExists("metric registered with another kind: " +
+                                   name);
+    }
+    return it->second.histogram.get();  // first registration's bounds win
+  }
+  if (!ValidHistogramBounds(bounds)) {
+    return Status::InvalidArgument(
+        "histogram bounds must be non-empty, finite, strictly ascending: " +
+        name);
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.help = help;
+  entry.histogram =
+      std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  Histogram* out = entry.histogram.get();
+  metrics_.emplace(name, std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : metrics_) {  // std::map: sorted by name
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, entry.help, entry.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, entry.help, entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        HistogramSample sample;
+        sample.name = name;
+        sample.help = entry.help;
+        sample.bounds = entry.histogram->bounds();
+        sample.buckets = entry.histogram->bucket_counts();
+        sample.count = entry.histogram->count();
+        sample.sum = entry.histogram->sum();
+        snap.histograms.push_back(std::move(sample));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    (void)name;
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->Reset(); break;
+      case Kind::kGauge: entry.gauge->Reset(); break;
+      case Kind::kHistogram: entry.histogram->Reset(); break;
+    }
+  }
+}
+
+namespace {
+
+[[noreturn]] void MetricAbort(const char* what, const std::string& name) {
+  std::fprintf(stderr, "rdfcube/obs: %s for metric '%s'\n", what, name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Counter& DefaultCounter(const std::string& name, const std::string& help) {
+  Result<Counter*> result = MetricsRegistry::Global().GetCounter(name, help);
+  if (!result.ok()) MetricAbort("counter registration failed", name);
+  return **result;
+}
+
+Gauge& DefaultGauge(const std::string& name, const std::string& help) {
+  Result<Gauge*> result = MetricsRegistry::Global().GetGauge(name, help);
+  if (!result.ok()) MetricAbort("gauge registration failed", name);
+  return **result;
+}
+
+Histogram& DefaultHistogram(const std::string& name, const std::string& help,
+                            std::vector<double> bounds) {
+  Result<Histogram*> result =
+      MetricsRegistry::Global().GetHistogram(name, help, std::move(bounds));
+  if (!result.ok()) MetricAbort("histogram registration failed", name);
+  return **result;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, snapshot.counters[i].name);
+    out.push_back(':');
+    out.append(std::to_string(snapshot.counters[i].value));
+  }
+  out.append("},\"gauges\":{");
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, snapshot.gauges[i].name);
+    out.push_back(':');
+    out.append(std::to_string(snapshot.gauges[i].value));
+  }
+  out.append("},\"histograms\":{");
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, h.name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"sum\":");
+    AppendJsonDouble(&out, h.sum);
+    out.append(",\"bounds\":[");
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j > 0) out.push_back(',');
+      AppendJsonDouble(&out, h.bounds[j]);
+    }
+    out.append("],\"buckets\":[");
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      if (j > 0) out.push_back(',');
+      out.append(std::to_string(h.buckets[j]));
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& c : snapshot.counters) {
+    out.append("# HELP " + c.name + " " + c.help + "\n");
+    out.append("# TYPE " + c.name + " counter\n");
+    out.append(c.name + " " + std::to_string(c.value) + "\n");
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    out.append("# HELP " + g.name + " " + g.help + "\n");
+    out.append("# TYPE " + g.name + " gauge\n");
+    out.append(g.name + " " + std::to_string(g.value) + "\n");
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    out.append("# HELP " + h.name + " " + h.help + "\n");
+    out.append("# TYPE " + h.name + " histogram\n");
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      std::string le;
+      AppendJsonDouble(&le, h.bounds[i]);
+      out.append(h.name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n");
+    }
+    cumulative += h.buckets.empty() ? 0 : h.buckets.back();
+    out.append(h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n");
+    std::string sum;
+    AppendJsonDouble(&sum, h.sum);
+    out.append(h.name + "_sum " + sum + "\n");
+    out.append(h.name + "_count " + std::to_string(h.count) + "\n");
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rdfcube

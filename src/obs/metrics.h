@@ -1,0 +1,231 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket histograms.
+//
+// Hot-path updates (Counter::Increment, Gauge::Set, Histogram::Observe) are
+// single relaxed atomic operations — safe to call from any thread, never
+// allocating, never locking. Registration (MetricsRegistry::GetCounter etc.)
+// takes a mutex and is meant for cold paths; instrumentation sites cache the
+// returned pointer in a function-local static.
+//
+// Metrics are always compiled in (no macro gating): an un-incremented counter
+// costs one registry entry, an incremented one costs one relaxed atomic add.
+// Naming scheme: rdfcube_<module>_<name>_<unit> (see DESIGN.md §Observability).
+
+#ifndef RDFCUBE_OBS_METRICS_H_
+#define RDFCUBE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace obs {
+
+/// \brief Monotonically increasing event count (lock-free).
+class Counter {
+ public:
+  /// Adds `delta` (default 1). Relaxed atomic; callable from any thread.
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Current total.
+  [[nodiscard]] uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the counter (tests / bench harness resets).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed level (queue depth, workers alive, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+
+  /// Current level.
+  [[nodiscard]] int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the gauge.
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram of double-valued observations.
+///
+/// Buckets are defined by strictly ascending upper bounds; an implicit
+/// overflow bucket (+Inf) catches everything above the last bound. Observe()
+/// is lock-free: one atomic add on the bucket, one on the count, and a CAS
+/// loop accumulating the sum (portable double accumulation without
+/// std::atomic<double>::fetch_add).
+class Histogram {
+ public:
+  /// Records one observation.
+  void Observe(double value);
+
+  /// Number of observations recorded.
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of all observed values.
+  [[nodiscard]] double sum() const;
+
+  /// Ascending upper bounds (excluding the implicit +Inf bucket).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts; size == bounds().size() + 1, the
+  /// last entry being the +Inf overflow bucket.
+  [[nodiscard]] std::vector<uint64_t> bucket_counts() const;
+
+  /// Zeroes all buckets, the count, and the sum.
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // bit pattern of a double
+};
+
+/// \brief Point-in-time copy of one counter.
+struct CounterSample {
+  std::string name;
+  std::string help;
+  uint64_t value = 0;
+};
+
+/// \brief Point-in-time copy of one gauge.
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  int64_t value = 0;
+};
+
+/// \brief Point-in-time copy of one histogram.
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  std::vector<double> bounds;     ///< ascending upper bounds (no +Inf)
+  std::vector<uint64_t> buckets;  ///< bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// \brief Consistent-enough snapshot of every registered metric, sorted by
+/// name within each kind. ("Consistent-enough": each metric is read
+/// atomically, but the snapshot is not a global atomic cut.)
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// \brief Process-wide registry mapping names to metric instances.
+///
+/// Returned pointers stay valid for the process lifetime (metrics are never
+/// unregistered; Reset zeroes values but keeps registrations).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all rdfcube instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, registering it on first use.
+  /// AlreadyExists if the name is taken by a different metric kind;
+  /// InvalidArgument if the name is not [A-Za-z_][A-Za-z0-9_]*.
+  [[nodiscard]] Result<Counter*> GetCounter(const std::string& name,
+                                            const std::string& help);
+
+  /// Counterpart of GetCounter for gauges.
+  [[nodiscard]] Result<Gauge*> GetGauge(const std::string& name,
+                                        const std::string& help);
+
+  /// Counterpart of GetCounter for histograms. `bounds` must be non-empty,
+  /// finite, and strictly ascending (InvalidArgument otherwise). On
+  /// re-registration the first call's bounds win; later `bounds` are ignored.
+  [[nodiscard]] Result<Histogram*> GetHistogram(const std::string& name,
+                                                const std::string& help,
+                                                std::vector<double> bounds);
+
+  /// Copies every registered metric's current value.
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive). Used by the
+  /// bench harness so BENCH_*.json only reflects the run at hand.
+  void ResetAll();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Registers (on first use) and returns the named counter in the global
+/// registry. Aborts on kind collision or malformed name — instrumentation
+/// sites are code, not input, so a failure is a programming error. Cache the
+/// reference in a function-local static at the call site.
+[[nodiscard]] Counter& DefaultCounter(const std::string& name,
+                                      const std::string& help);
+
+/// Gauge counterpart of DefaultCounter.
+[[nodiscard]] Gauge& DefaultGauge(const std::string& name,
+                                  const std::string& help);
+
+/// Histogram counterpart of DefaultCounter.
+[[nodiscard]] Histogram& DefaultHistogram(const std::string& name,
+                                          const std::string& help,
+                                          std::vector<double> bounds);
+
+/// `count` bucket bounds starting at `start`, each `factor` times the last
+/// (Prometheus-style exponential buckets). start > 0, factor > 1, count >= 1.
+[[nodiscard]] std::vector<double> ExponentialBuckets(double start,
+                                                     double factor, int count);
+
+/// Serializes a snapshot as a JSON object:
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"count":..,"sum":..,"bounds":[..],"buckets":[..]}}}.
+[[nodiscard]] std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot in the Prometheus text exposition format (one
+/// "# HELP"/"# TYPE" pair per metric, cumulative "le" buckets for
+/// histograms).
+[[nodiscard]] std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_OBS_METRICS_H_

@@ -1,0 +1,159 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace rdfcube {
+namespace obs {
+
+void RunReport::AddMeta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+void RunReport::AddStat(const std::string& key, double value) {
+  stats_.emplace_back(key, value);
+}
+
+void RunReport::CaptureMetrics() {
+  metrics_ = MetricsRegistry::Global().Snapshot();
+}
+
+void RunReport::CapturePhases(uint64_t root_span_id) {
+  const std::vector<SpanEvent> events = TraceCollector::Global().Snapshot();
+  span_rollup_ = RollupSpans(events);
+  if (root_span_id == 0) {
+    phases_ = span_rollup_;
+    return;
+  }
+  std::vector<SpanEvent> children;
+  const SpanEvent* root = nullptr;
+  for (const SpanEvent& e : events) {
+    if (e.span_id == root_span_id) root = &e;
+    if (e.parent_id == root_span_id) children.push_back(e);
+  }
+  phases_ = RollupSpans(children);
+  if (root != nullptr) {
+    wall_seconds_ = static_cast<double>(root->duration_us) * 1e-6;
+    SpanRollup harness;
+    harness.name = "(harness)";
+    harness.count = 1;
+    harness.total_seconds = static_cast<double>(root->self_us) * 1e-6;
+    harness.self_seconds = harness.total_seconds;
+    phases_.push_back(harness);
+  }
+}
+
+namespace {
+
+void AppendRollups(std::string* out, const std::vector<SpanRollup>& rollups) {
+  out->push_back('[');
+  for (std::size_t i = 0; i < rollups.size(); ++i) {
+    const SpanRollup& r = rollups[i];
+    if (i > 0) out->push_back(',');
+    out->append("{\"name\":");
+    AppendJsonString(out, r.name);
+    out->append(",\"count\":");
+    out->append(std::to_string(r.count));
+    out->append(",\"total_seconds\":");
+    AppendJsonDouble(out, r.total_seconds);
+    out->append(",\"self_seconds\":");
+    AppendJsonDouble(out, r.self_seconds);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"name\":";
+  AppendJsonString(&out, name_);
+  out.append(",\"schema_version\":1,\"wall_seconds\":");
+  AppendJsonDouble(&out, wall_seconds_);
+  out.append(",\"meta\":{");
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, meta_[i].first);
+    out.push_back(':');
+    AppendJsonString(&out, meta_[i].second);
+  }
+  out.append("},\"stats\":{");
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonString(&out, stats_[i].first);
+    out.push_back(':');
+    AppendJsonDouble(&out, stats_[i].second);
+  }
+  out.append("},\"phases\":");
+  AppendRollups(&out, phases_);
+  out.append(",\"span_rollup\":");
+  AppendRollups(&out, span_rollup_);
+  out.append(",\"metrics\":");
+  out.append(MetricsToJson(metrics_));
+  out.push_back('}');
+  return out;
+}
+
+std::string RunReport::ToText() const {
+  std::string out = "run report: " + name_ + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  wall clock: %.6f s\n", wall_seconds_);
+  out.append(line);
+  for (const auto& [key, value] : meta_) {
+    out.append("  meta " + key + ": " + value + "\n");
+  }
+  for (const auto& [key, value] : stats_) {
+    std::snprintf(line, sizeof(line), "  stat %s: %g\n", key.c_str(), value);
+    out.append(line);
+  }
+  if (!phases_.empty()) {
+    out.append("  phases:\n");
+    for (const SpanRollup& r : phases_) {
+      std::snprintf(line, sizeof(line),
+                    "    %-40s  count %6llu  total %10.6f s  self %10.6f s\n",
+                    r.name.c_str(), static_cast<unsigned long long>(r.count),
+                    r.total_seconds, r.self_seconds);
+      out.append(line);
+    }
+  }
+  std::size_t nonzero_counters = 0;
+  for (const CounterSample& c : metrics_.counters) {
+    if (c.value != 0) ++nonzero_counters;
+  }
+  if (nonzero_counters > 0) {
+    out.append("  counters:\n");
+    for (const CounterSample& c : metrics_.counters) {
+      if (c.value == 0) continue;
+      std::snprintf(line, sizeof(line), "    %-52s %llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out.append(line);
+    }
+  }
+  for (const HistogramSample& h : metrics_.histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  histogram %s: count %llu, mean %g\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  h.sum / static_cast<double>(h.count));
+    out.append(line);
+  }
+  return out;
+}
+
+Status WriteRunReportJson(const RunReport& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open run report file: " + path);
+  }
+  const std::string json = report.ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write on run report file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace rdfcube

@@ -1,0 +1,95 @@
+// RunReport: one serializable record per run, merging scalar stats, run
+// metadata, span roll-ups (phase timings), and a metrics snapshot.
+//
+// The bench harness writes one of these as BENCH_<name>.json (schema in
+// EXPERIMENTS.md); the CLI `stats --report` prints one for an engine run.
+// The record is engine-agnostic — core::FillRunReport (core/engine.h)
+// flattens an EngineReport into it, keeping the obs module dependency-free.
+
+#ifndef RDFCUBE_OBS_REPORT_H_
+#define RDFCUBE_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace obs {
+
+/// \brief Serializable record of one run (bench binary, CLI invocation, ...).
+class RunReport {
+ public:
+  /// `name` identifies the run, e.g. "fig5a_complementarity".
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a metadata key/value pair (generator, git rev, mode flags...).
+  void AddMeta(const std::string& key, const std::string& value);
+
+  /// Adds a named scalar statistic (counts, ratios, seconds).
+  void AddStat(const std::string& key, double value);
+
+  /// Sets the end-to-end wall clock the phases are measured against.
+  void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+  [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
+
+  /// Snapshots the global MetricsRegistry into this report.
+  void CaptureMetrics();
+
+  /// Captures span roll-ups from the global TraceCollector.
+  ///
+  /// With `root_span_id` == 0 every retained span is rolled up into
+  /// phases(). With a root id, phases() partitions that root span's wall
+  /// clock: the rollup covers only the root's *direct* children plus a
+  /// synthetic "(harness)" entry holding the root's self time, so phase
+  /// totals sum to the root's duration exactly; the full all-span rollup is
+  /// kept separately in span_rollup(). When the root event itself is found,
+  /// wall_seconds is set from its duration.
+  void CapturePhases(uint64_t root_span_id = 0);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& meta()
+      const {
+    return meta_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& stats()
+      const {
+    return stats_;
+  }
+  /// Top-level phase timings (see CapturePhases).
+  [[nodiscard]] const std::vector<SpanRollup>& phases() const {
+    return phases_;
+  }
+  /// Roll-up of every retained span, all depths.
+  [[nodiscard]] const std::vector<SpanRollup>& span_rollup() const {
+    return span_rollup_;
+  }
+  [[nodiscard]] const MetricsSnapshot& metrics() const { return metrics_; }
+
+  /// Serializes the report as one JSON object (schema in EXPERIMENTS.md).
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Multi-line human-readable rendering (CLI `stats --report`).
+  [[nodiscard]] std::string ToText() const;
+
+ private:
+  std::string name_;
+  double wall_seconds_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, double>> stats_;
+  std::vector<SpanRollup> phases_;
+  std::vector<SpanRollup> span_rollup_;
+  MetricsSnapshot metrics_;
+};
+
+/// Writes `report.ToJson()` to `path` (IOError on failure).
+[[nodiscard]] Status WriteRunReportJson(const RunReport& report,
+                                        const std::string& path);
+
+}  // namespace obs
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_OBS_REPORT_H_

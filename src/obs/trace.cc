@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace rdfcube {
+namespace obs {
+
+/// Per-thread span state. The owning thread is the only writer; the ring is
+/// additionally read by Snapshot()/Clear() from other threads, so it sits
+/// behind a per-thread mutex that is uncontended in steady state.
+struct TraceCollector::ThreadTrace {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;  // bounded by `capacity`
+  std::size_t capacity = 0;
+  std::size_t next = 0;  // overwrite cursor once the ring is full
+  uint64_t dropped = 0;
+
+  // Open-span stack; touched only by the owning thread (no lock needed).
+  struct Frame {
+    uint64_t span_id;
+    uint64_t child_us;
+  };
+  std::vector<Frame> stack;
+  uint32_t index = 0;
+};
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector::ThreadTrace* TraceCollector::GetThreadTrace() {
+  thread_local ThreadTrace* cached = nullptr;
+  if (cached != nullptr) return cached;
+  auto trace = std::make_shared<ThreadTrace>();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    trace->index = static_cast<uint32_t>(threads_.size());
+    trace->capacity = ring_capacity_;
+    threads_.push_back(trace);
+  }
+  // The registry's shared_ptr keeps the state alive past thread exit, so the
+  // raw cached pointer is safe for the lifetime of the process.
+  static thread_local std::shared_ptr<ThreadTrace> owner;
+  owner = trace;
+  cached = trace.get();
+  return cached;
+}
+
+void TraceCollector::Enable(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ring_capacity_ = ring_capacity;
+  for (const auto& t : threads_) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    t->ring.clear();
+    t->capacity = ring_capacity;
+    t->next = 0;
+    t->dropped = 0;
+  }
+  epoch_.Restart();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& t : threads_) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    t->ring.clear();
+    t->next = 0;
+    t->dropped = 0;
+  }
+}
+
+std::vector<SpanEvent> TraceCollector::Snapshot() const {
+  std::vector<SpanEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& t : threads_) {
+      std::lock_guard<std::mutex> tlock(t->mu);
+      events.insert(events.end(), t->ring.begin(), t->ring.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.span_id < b.span_id;
+            });
+  return events;
+}
+
+uint64_t TraceCollector::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& t : threads_) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    total += t->dropped;
+  }
+  return total;
+}
+
+uint64_t TraceCollector::NowMicros() const {
+  return static_cast<uint64_t>(epoch_.ElapsedMicros());
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  const std::vector<SpanEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, e.name);
+    out.append(",\"cat\":\"rdfcube\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    out.append(std::to_string(e.thread_index));
+    out.append(",\"ts\":");
+    out.append(std::to_string(e.start_us));
+    out.append(",\"dur\":");
+    out.append(std::to_string(e.duration_us));
+    out.append(",\"args\":{\"span_id\":");
+    out.append(std::to_string(e.span_id));
+    out.append(",\"parent_id\":");
+    out.append(std::to_string(e.parent_id));
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  TraceCollector& collector = TraceCollector::Global();
+  if (!collector.enabled()) return;  // fast path: one relaxed load
+  TraceCollector::ThreadTrace* t = collector.GetThreadTrace();
+  span_id_ = collector.next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  start_us_ = collector.NowMicros();
+  name_.assign(name.data(), name.size());
+  t->stack.push_back({span_id_, 0});
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (span_id_ == 0) return;
+  TraceCollector& collector = TraceCollector::Global();
+  TraceCollector::ThreadTrace* t = collector.GetThreadTrace();
+  const uint64_t duration_us = static_cast<uint64_t>(watch_.ElapsedMicros());
+
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.span_id = span_id_;
+  event.thread_index = t->index;
+  event.start_us = start_us_;
+  event.duration_us = duration_us;
+  // RAII guarantees the top frame is ours.
+  const uint64_t child_us = t->stack.back().child_us;
+  t->stack.pop_back();
+  event.self_us = duration_us >= child_us ? duration_us - child_us : 0;
+  event.depth = static_cast<uint32_t>(t->stack.size());
+  if (!t->stack.empty()) {
+    event.parent_id = t->stack.back().span_id;
+    t->stack.back().child_us += duration_us;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(t->mu);
+    if (t->ring.size() < t->capacity) {
+      t->ring.push_back(std::move(event));
+    } else if (t->capacity > 0) {
+      t->ring[t->next] = std::move(event);
+      t->next = (t->next + 1) % t->capacity;
+      ++t->dropped;
+    } else {
+      ++t->dropped;
+    }
+  }
+  span_id_ = 0;  // destructor becomes a no-op after an explicit End()
+}
+
+std::vector<SpanRollup> RollupSpans(const std::vector<SpanEvent>& events) {
+  std::map<std::string, SpanRollup> by_name;
+  for (const SpanEvent& e : events) {
+    SpanRollup& r = by_name[e.name];
+    r.name = e.name;
+    ++r.count;
+    r.total_seconds += static_cast<double>(e.duration_us) * 1e-6;
+    r.self_seconds += static_cast<double>(e.self_us) * 1e-6;
+  }
+  std::vector<SpanRollup> rollups;
+  rollups.reserve(by_name.size());
+  for (auto& [name, rollup] : by_name) {
+    (void)name;
+    rollups.push_back(std::move(rollup));
+  }
+  std::sort(rollups.begin(), rollups.end(),
+            [](const SpanRollup& a, const SpanRollup& b) {
+              return a.total_seconds != b.total_seconds
+                         ? a.total_seconds > b.total_seconds
+                         : a.name < b.name;
+            });
+  return rollups;
+}
+
+}  // namespace obs
+}  // namespace rdfcube

@@ -1,0 +1,148 @@
+// Phase-scoped tracing: RAII TraceSpan + per-thread ring-buffer collector.
+//
+// Usage at an instrumentation site:
+//
+//   {
+//     obs::TraceSpan span("masking/fused_pass");
+//     ... work ...
+//   }  // span records itself on destruction
+//
+// When the global TraceCollector is disabled (the default) a span costs one
+// relaxed atomic load plus one clock read (the clock always runs so
+// TraceSpan::ElapsedSeconds() works as a drop-in Stopwatch). When enabled,
+// span begin/end touch only thread-local state guarded by a per-thread,
+// effectively uncontended mutex; completed spans land in a bounded ring per
+// thread (oldest overwritten, drop count kept).
+//
+// Parent/child nesting is tracked per thread via a span stack; a parent's
+// self time is its duration minus its direct children's durations, so for
+// any span the direct-child totals plus its self time equal its duration
+// exactly. The collector can dump everything as Chrome trace-event JSON
+// (load into chrome://tracing or https://ui.perfetto.dev).
+
+#ifndef RDFCUBE_OBS_TRACE_H_
+#define RDFCUBE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace rdfcube {
+namespace obs {
+
+/// \brief One completed span as recorded by the collector.
+struct SpanEvent {
+  std::string name;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root (no parent on this thread)
+  uint32_t thread_index = 0;  ///< collector-local thread number
+  uint32_t depth = 0;         ///< nesting depth on its thread (root = 0)
+  uint64_t start_us = 0;      ///< relative to TraceCollector::Enable()
+  uint64_t duration_us = 0;
+  uint64_t self_us = 0;  ///< duration minus direct children's durations
+};
+
+/// \brief Per-name aggregate over a set of SpanEvents.
+struct SpanRollup {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+};
+
+/// \brief Process-wide span collector. Disabled by default.
+class TraceCollector {
+ public:
+  /// The process-wide collector used by all TraceSpans.
+  static TraceCollector& Global();
+
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Clears prior data, restarts the epoch clock, and starts recording.
+  /// `ring_capacity` bounds the retained spans *per thread*.
+  void Enable(std::size_t ring_capacity = 1 << 14);
+
+  /// Stops recording (retained spans stay readable).
+  void Disable();
+
+  /// True while spans are being recorded.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all retained spans (keeps the enabled state and epoch).
+  void Clear();
+
+  /// Copies every retained span across threads, ordered by start time.
+  [[nodiscard]] std::vector<SpanEvent> Snapshot() const;
+
+  /// Spans lost to ring overwrites since Enable().
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// Microseconds since Enable() on the epoch clock.
+  [[nodiscard]] uint64_t NowMicros() const;
+
+  /// Serializes retained spans as a Chrome trace-event JSON document
+  /// ("X" complete events; ts/dur in microseconds).
+  [[nodiscard]] std::string ChromeTraceJson() const;
+
+ private:
+  friend class TraceSpan;
+  struct ThreadTrace;
+
+  ThreadTrace* GetThreadTrace();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadTrace>> threads_;
+  std::size_t ring_capacity_ = 1 << 14;
+  Stopwatch epoch_;
+};
+
+/// \brief RAII phase scope; records a SpanEvent on destruction when the
+/// global collector is enabled. Also usable as a plain timer via
+/// ElapsedSeconds() (the clock runs regardless of collection).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  /// Records the span now instead of at scope exit (the destructor then
+  /// becomes a no-op). For phases that end before their enclosing scope.
+  void End();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Seconds since construction (live; works even when not sampled).
+  [[nodiscard]] double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  /// This span's id, or 0 when the span is not being recorded.
+  [[nodiscard]] uint64_t id() const { return span_id_; }
+
+ private:
+  Stopwatch watch_;  // the span clock (satellite: Stopwatch stays the clock)
+  uint64_t span_id_ = 0;  // 0 = not sampled
+  uint64_t start_us_ = 0;
+  std::string name_;
+};
+
+/// Aggregates `events` by span name (counts, total and self seconds),
+/// sorted by descending total.
+[[nodiscard]] std::vector<SpanRollup> RollupSpans(
+    const std::vector<SpanEvent>& events);
+
+}  // namespace obs
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_OBS_TRACE_H_

@@ -47,6 +47,9 @@
 #include "datagen/synthetic.h"             // IWYU pragma: export
 #include "hierarchy/code_list.h"           // IWYU pragma: export
 #include "hierarchy/skos_loader.h"         // IWYU pragma: export
+#include "obs/metrics.h"                   // IWYU pragma: export
+#include "obs/report.h"                    // IWYU pragma: export
+#include "obs/trace.h"                     // IWYU pragma: export
 #include "qb/binary_io.h"                  // IWYU pragma: export
 #include "qb/corpus.h"                     // IWYU pragma: export
 #include "qb/csv_importer.h"               // IWYU pragma: export

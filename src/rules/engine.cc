@@ -3,10 +3,20 @@
 #include <functional>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rdfcube {
 namespace rules {
 
 namespace {
+
+obs::Counter& DeadlineExpired() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_rules_deadline_expired_total",
+      "Forward-chaining runs aborted by deadline expiry");
+  return c;
+}
 
 using rdf::TermId;
 using rdf::kNoTerm;
@@ -130,12 +140,17 @@ class Matcher {
 Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
                                       rdf::TripleStore* store,
                                       const ChainOptions& options) {
+  obs::TraceSpan span("rules/forward_chain");
+  static obs::Counter& firings = obs::DefaultCounter(
+      "rdfcube_rules_rule_firings_total",
+      "Fresh triples derived by forward chaining");
   ChainStats stats;
   bool changed = true;
   while (changed) {
     changed = false;
     ++stats.rounds;
     if (options.deadline.Expired()) {
+      DeadlineExpired().Increment();
       return Status::TimedOut("forward chaining timed out");
     }
     for (const Rule& rule : rules) {
@@ -157,6 +172,7 @@ Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
         return true;
       });
       if (matcher.timed_out()) {
+        DeadlineExpired().Increment();
         return Status::TimedOut("forward chaining timed out in rule " +
                                 rule.name);
       }
@@ -167,6 +183,7 @@ Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
       for (const rdf::Triple& t : derived) {
         if (store->InsertEncoded(t)) {
           ++stats.derived;
+          firings.Increment();
           changed = true;
         }
       }

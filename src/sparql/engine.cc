@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 
 namespace rdfcube {
@@ -70,6 +72,9 @@ class Evaluator {
     if (!eval_status.ok()) return eval_status;
     return status;
   }
+
+  /// Candidate triples examined so far (the cooperative-deadline step count).
+  std::size_t steps() const { return steps_; }
 
  private:
   // Resolves a NodeRef under the current environment. Returns kNoTerm for
@@ -272,24 +277,29 @@ class Evaluator {
   bool stop_ = false;
 };
 
-}  // namespace
-
-Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
-                                  const Query& query,
-                                  const EvalOptions& options) {
+// Body of Evaluate(); `*steps` accumulates candidate triples examined even
+// when a branch errors out, so the caller can flush them into metrics.
+Result<std::vector<Row>> EvaluateImpl(const rdf::TripleStore& store,
+                                      const Query& query,
+                                      const EvalOptions& options,
+                                      std::size_t* steps) {
   std::vector<Row> rows;
   if (query.union_groups.empty()) {
     Evaluator evaluator(store, options);
-    RDFCUBE_RETURN_IF_ERROR(
-        evaluator.Run(query.where, query.select_vars, query.distinct, &rows));
+    const Status status =
+        evaluator.Run(query.where, query.select_vars, query.distinct, &rows);
+    *steps += evaluator.steps();
+    RDFCUBE_RETURN_IF_ERROR(status);
   } else {
     // UNION: concatenate branch solutions; DISTINCT is applied across
     // branches afterwards.
     for (const GroupPattern& branch : query.union_groups) {
       Evaluator evaluator(store, options);
       std::vector<Row> branch_rows;
-      RDFCUBE_RETURN_IF_ERROR(evaluator.Run(branch, query.select_vars,
-                                            /*distinct=*/false, &branch_rows));
+      const Status status = evaluator.Run(branch, query.select_vars,
+                                          /*distinct=*/false, &branch_rows);
+      *steps += evaluator.steps();
+      RDFCUBE_RETURN_IF_ERROR(status);
       rows.insert(rows.end(), branch_rows.begin(), branch_rows.end());
     }
     if (query.distinct) {
@@ -310,6 +320,27 @@ Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
     rows.resize(query.limit);
   }
   return rows;
+}
+
+}  // namespace
+
+Result<std::vector<Row>> Evaluate(const rdf::TripleStore& store,
+                                  const Query& query,
+                                  const EvalOptions& options) {
+  obs::TraceSpan span("sparql/evaluate");
+  std::size_t steps = 0;
+  Result<std::vector<Row>> result = EvaluateImpl(store, query, options, &steps);
+  static obs::Counter& matches = obs::DefaultCounter(
+      "rdfcube_sparql_pattern_matches_total",
+      "Candidate triples examined by the SPARQL evaluator");
+  matches.Increment(steps);
+  if (!result.ok() && result.status().IsTimedOut()) {
+    static obs::Counter& expired = obs::DefaultCounter(
+        "rdfcube_sparql_deadline_expired_total",
+        "SPARQL evaluations aborted by deadline expiry");
+    expired.Increment();
+  }
+  return result;
 }
 
 Result<std::vector<Row>> EvaluateText(const rdf::TripleStore& store,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace rdfcube {
 
 namespace {
@@ -122,7 +124,11 @@ FaultInjector* GlobalFaultInjector() { return g_injector.load(); }
 
 bool FaultTriggered(const std::string& point) {
   FaultInjector* injector = g_injector.load();
-  return injector != nullptr && injector->ShouldFail(point);
+  if (injector == nullptr || !injector->ShouldFail(point)) return false;
+  static obs::Counter& fired = obs::DefaultCounter(
+      "rdfcube_fault_injected_total", "Armed fault points that fired");
+  fired.Increment();
+  return true;
 }
 
 }  // namespace rdfcube

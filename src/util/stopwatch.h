@@ -4,6 +4,7 @@
 #define RDFCUBE_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <limits>
 
 namespace rdfcube {
 
@@ -22,6 +23,9 @@ class Stopwatch {
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds (the obs::TraceSpan / histogram unit).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -49,9 +53,12 @@ class Deadline {
   /// Deadline never expires and reports no limit).
   bool HasLimit() const { return limit_seconds_ >= 0.0; }
 
-  /// Seconds until expiry, clamped at 0; meaningless without a limit.
+  /// Seconds until expiry, clamped at 0 once expired. Without a limit this
+  /// returns +infinity — a deadline that never comes — so callers can
+  /// distinguish "already expired" (0.0) from "no limit" without a separate
+  /// HasLimit() probe. (Before this sentinel both cases returned 0.0.)
   double RemainingSeconds() const {
-    if (!HasLimit()) return 0.0;
+    if (!HasLimit()) return std::numeric_limits<double>::infinity();
     const double rest = limit_seconds_ - watch_.ElapsedSeconds();
     return rest > 0.0 ? rest : 0.0;
   }

@@ -5,7 +5,45 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
 namespace rdfcube {
+
+namespace {
+
+obs::Counter& TasksSubmitted() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_pool_tasks_submitted_total", "Tasks handed to ThreadPool");
+  return c;
+}
+
+obs::Counter& TasksCompleted() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_pool_tasks_completed_total", "Tasks finished without error");
+  return c;
+}
+
+obs::Counter& TasksFailed() {
+  static obs::Counter& c = obs::DefaultCounter(
+      "rdfcube_pool_tasks_failed_total", "Tasks that threw an exception");
+  return c;
+}
+
+obs::Gauge& QueueDepth() {
+  static obs::Gauge& g = obs::DefaultGauge(
+      "rdfcube_pool_queue_depth", "Tasks submitted but not yet finished");
+  return g;
+}
+
+obs::Histogram& TaskSeconds() {
+  static obs::Histogram& h = obs::DefaultHistogram(
+      "rdfcube_pool_task_seconds", "Per-task execution latency",
+      obs::ExponentialBuckets(1e-5, 4.0, 12));  // 10us .. ~42s
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -25,6 +63,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  TasksSubmitted().Increment();
+  QueueDepth().Increment();
   {
     std::unique_lock<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -69,12 +109,20 @@ void ThreadPool::WorkerLoop() {
     // in-flight decrement below and leave Wait() blocked forever. Catch and
     // convert to the pool's first error instead.
     Status error;
+    Stopwatch task_watch;
     try {
       task();
     } catch (const std::exception& e) {
       error = Status::Internal(std::string("task threw: ") + e.what());
     } catch (...) {
       error = Status::Internal("task threw a non-std exception");
+    }
+    TaskSeconds().Observe(task_watch.ElapsedSeconds());
+    QueueDepth().Decrement();
+    if (error.ok()) {
+      TasksCompleted().Increment();
+    } else {
+      TasksFailed().Increment();
     }
     {
       std::unique_lock<std::mutex> lock(mu_);

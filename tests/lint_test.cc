@@ -212,27 +212,62 @@ TEST_F(LintTest, CheckedParseHelpersDoNotFire) {
   EXPECT_FALSE(Fired("checked-parse"));
 }
 
+TEST_F(LintTest, BareStopwatchInBenchFires) {
+  WriteCleanTree();
+  WriteFile("bench/bench_fig9_thing.cc",
+            "void BM_X() {\n"
+            "  Stopwatch watch;\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "bare-stopwatch");
+  EXPECT_EQ(violations[0].file, "bench/bench_fig9_thing.cc");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, StopwatchInBenchUtilDoesNotFire) {
+  WriteCleanTree();
+  // bench_util.{h,cc} implement the harness; the raw clock is allowed there.
+  WriteFile("bench/bench_util.cc", "Stopwatch harness_clock;\n");
+  WriteFile("bench/bench_util.h", "extern Stopwatch harness_clock;\n");
+  EXPECT_FALSE(Fired("bare-stopwatch"));
+}
+
+TEST_F(LintTest, StopwatchOutsideBenchDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/timing.cc", "Stopwatch watch;\n");
+  EXPECT_FALSE(Fired("bare-stopwatch"));
+}
+
+TEST_F(LintTest, BareStopwatchWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("bench/bench_fig9_thing.cc",
+            "Stopwatch watch;  // lint:allow(bare-stopwatch)\n");
+  EXPECT_FALSE(Fired("bare-stopwatch"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all five, none masking another.
+  // all six, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
   WriteFile("src/qb/orphan.h", "/// \\brief Doc.\nclass Orphan {\n};\n");
   WriteFile("src/util/nodoc.h", "class NoDoc {\n};\n");
   WriteFile("tools/cli.cpp", "int F(const char* s) { return atoi(s); }\n");
+  WriteFile("bench/bench_bad.cc", "Stopwatch watch;\n");
   WriteFile("src/rdfcube/rdfcube.h",
             "#include \"core/engine.h\"\n"
             "#include \"util/nodoc.h\"\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
-        "doxygen-public", "checked-parse"}) {
+        "doxygen-public", "checked-parse", "bare-stopwatch"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

@@ -1,0 +1,499 @@
+// Observability layer tests: metrics registry semantics (registration,
+// kind collisions, histogram bucketing, JSON/Prometheus export), TraceSpan
+// nesting and self-time accounting, and RunReport assembly — including the
+// CapturePhases partition invariant the bench harness relies on: with a root
+// span id, phase totals (direct children + "(harness)" self time) sum to the
+// root's duration exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "tests/test_corpus.h"
+#include "util/status.h"
+
+namespace rdfcube {
+namespace obs {
+namespace {
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterRegistersOnceAndAccumulates) {
+  MetricsRegistry registry;
+  Result<Counter*> first = registry.GetCounter("rdfcube_test_events_total", "h");
+  ASSERT_TRUE(first.ok());
+  (*first)->Increment();
+  (*first)->Increment(41);
+  Result<Counter*> second =
+      registry.GetCounter("rdfcube_test_events_total", "ignored");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // same instance, not a new registration
+  EXPECT_EQ((*second)->value(), 42u);
+}
+
+TEST(MetricsRegistryTest, KindCollisionIsAlreadyExists) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(registry.GetCounter("rdfcube_test_mixed", "h").ok());
+  const Result<Gauge*> as_gauge = registry.GetGauge("rdfcube_test_mixed", "h");
+  ASSERT_FALSE(as_gauge.ok());
+  EXPECT_TRUE(as_gauge.status().IsAlreadyExists());
+  const Result<Histogram*> as_histogram =
+      registry.GetHistogram("rdfcube_test_mixed", "h", {1.0});
+  ASSERT_FALSE(as_histogram.ok());
+  EXPECT_TRUE(as_histogram.status().IsAlreadyExists());
+}
+
+TEST(MetricsRegistryTest, MalformedNameIsInvalidArgument) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.GetCounter("", "h").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      registry.GetCounter("9starts_with_digit", "h").status().IsInvalidArgument());
+  EXPECT_TRUE(registry.GetCounter("has-dash", "h").status().IsInvalidArgument());
+  EXPECT_TRUE(registry.GetCounter("has space", "h").status().IsInvalidArgument());
+  EXPECT_TRUE(registry.GetCounter("_leading_underscore_ok", "h").ok());
+}
+
+TEST(MetricsRegistryTest, BadHistogramBoundsAreInvalidArgument) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(
+      registry.GetHistogram("rdfcube_test_h1", "h", {}).status().IsInvalidArgument());
+  EXPECT_TRUE(registry.GetHistogram("rdfcube_test_h2", "h", {1.0, 1.0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(registry.GetHistogram("rdfcube_test_h3", "h", {2.0, 1.0})
+                  .status()
+                  .IsInvalidArgument());
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(registry.GetHistogram("rdfcube_test_h4", "h", {1.0, inf})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MetricsRegistryTest, FirstHistogramBoundsWin) {
+  MetricsRegistry registry;
+  Result<Histogram*> first =
+      registry.GetHistogram("rdfcube_test_seconds", "h", {1.0, 2.0});
+  ASSERT_TRUE(first.ok());
+  Result<Histogram*> second =
+      registry.GetHistogram("rdfcube_test_seconds", "h", {5.0, 10.0, 20.0});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ((*second)->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(HistogramTest, BucketBoundariesAreUpperInclusive) {
+  MetricsRegistry registry;
+  Result<Histogram*> r =
+      registry.GetHistogram("rdfcube_test_latency", "h", {1.0, 2.0, 4.0});
+  ASSERT_TRUE(r.ok());
+  Histogram& h = **r;
+  h.Observe(0.5);  // <= 1      -> bucket 0
+  h.Observe(1.0);  // == bound  -> bucket 0 (le semantics)
+  h.Observe(1.5);  //           -> bucket 1
+  h.Observe(4.0);  // == bound  -> bucket 2
+  h.Observe(9.0);  // overflow  -> +Inf bucket
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+  h.Reset();
+  EXPECT_EQ(h.bucket_counts(), (std::vector<uint64_t>{0, 0, 0, 0}));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Result<Counter*> c = registry.GetCounter("rdfcube_test_c", "h");
+  Result<Gauge*> g = registry.GetGauge("rdfcube_test_g", "h");
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(g.ok());
+  (*c)->Increment(7);
+  (*g)->Set(-3);
+  registry.ResetAll();
+  EXPECT_EQ((*c)->value(), 0u);
+  EXPECT_EQ((*g)->value(), 0);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameWithinKind) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(registry.GetCounter("rdfcube_test_b", "h").ok());
+  ASSERT_TRUE(registry.GetCounter("rdfcube_test_a", "h").ok());
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "rdfcube_test_a");
+  EXPECT_EQ(snap.counters[1].name, "rdfcube_test_b");
+}
+
+TEST(MetricsExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  Result<Counter*> c = registry.GetCounter("rdfcube_test_ops_total", "ops");
+  Result<Gauge*> g = registry.GetGauge("rdfcube_test_depth", "depth");
+  Result<Histogram*> h =
+      registry.GetHistogram("rdfcube_test_secs", "secs", {1.0, 2.0});
+  ASSERT_TRUE(c.ok() && g.ok() && h.ok());
+  (*c)->Increment(3);
+  (*g)->Set(-2);
+  (*h)->Observe(0.5);
+  (*h)->Observe(5.0);
+  EXPECT_EQ(MetricsToJson(registry.Snapshot()),
+            "{\"counters\":{\"rdfcube_test_ops_total\":3},"
+            "\"gauges\":{\"rdfcube_test_depth\":-2},"
+            "\"histograms\":{\"rdfcube_test_secs\":{\"count\":2,\"sum\":5.5,"
+            "\"bounds\":[1,2],\"buckets\":[1,0,1]}}}");
+}
+
+TEST(MetricsExportTest, PrometheusCumulativeBuckets) {
+  MetricsRegistry registry;
+  Result<Histogram*> h =
+      registry.GetHistogram("rdfcube_test_secs", "run seconds", {1.0, 2.0});
+  ASSERT_TRUE(h.ok());
+  (*h)->Observe(0.5);
+  (*h)->Observe(1.5);
+  (*h)->Observe(9.0);
+  const std::string text = MetricsToPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP rdfcube_test_secs run seconds\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rdfcube_test_secs histogram\n"),
+            std::string::npos);
+  // Prometheus buckets are cumulative: le="2" includes le="1".
+  EXPECT_NE(text.find("rdfcube_test_secs_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfcube_test_secs_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfcube_test_secs_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfcube_test_secs_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsExportTest, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  Result<Counter*> c = registry.GetCounter("rdfcube_test_total", "events");
+  ASSERT_TRUE(c.ok());
+  (*c)->Increment(5);
+  const std::string text = MetricsToPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE rdfcube_test_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfcube_test_total 5\n"), std::string::npos);
+}
+
+TEST(MetricsGlobalTest, DefaultCounterReturnsSameInstance) {
+  Counter& a = DefaultCounter("rdfcube_obs_test_default_total", "h");
+  Counter& b = DefaultCounter("rdfcube_obs_test_default_total", "h");
+  EXPECT_EQ(&a, &b);
+  const uint64_t before = a.value();
+  b.Increment();
+  EXPECT_EQ(a.value(), before + 1);
+}
+
+TEST(MetricsGlobalTest, ExponentialBuckets) {
+  EXPECT_EQ(ExponentialBuckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+// --- TraceCollector / TraceSpan ----------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceCollector::Global().Enable(); }
+  void TearDown() override { TraceCollector::Global().Disable(); }
+};
+
+TEST_F(TraceTest, DisabledCollectorRecordsNothing) {
+  TraceCollector::Global().Disable();
+  TraceCollector& collector = TraceCollector::Global();
+  {
+    TraceSpan span("test/ignored");
+    EXPECT_EQ(span.id(), 0u);  // unsampled
+    EXPECT_GE(span.ElapsedSeconds(), 0.0);  // the clock still runs
+  }
+  EXPECT_TRUE(collector.Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordParentChildAndSelfTime) {
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    TraceSpan outer("test/outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    {
+      TraceSpan inner("test/inner");
+      inner_id = inner.id();
+    }
+  }
+  const std::vector<SpanEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is ordered by start time: outer began first.
+  EXPECT_EQ(events[0].span_id, outer_id);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].span_id, inner_id);
+  EXPECT_EQ(events[1].parent_id, outer_id);
+  EXPECT_EQ(events[1].depth, 1u);
+  // Parent self time = duration minus direct children, exactly.
+  EXPECT_EQ(events[0].self_us, events[0].duration_us - events[1].duration_us);
+  EXPECT_EQ(events[1].self_us, events[1].duration_us);
+}
+
+TEST_F(TraceTest, EndRecordsEarlyAndMakesDestructorANoOp) {
+  {
+    TraceSpan span("test/ended");
+    span.End();
+    EXPECT_EQ(span.id(), 0u);  // no longer recording
+    span.End();                // idempotent
+  }
+  const std::vector<SpanEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test/ended");
+}
+
+TEST_F(TraceTest, SequentialPhasesEndedEarlyDoNotNest) {
+  {
+    TraceSpan root("test/root");
+    TraceSpan a("test/a");
+    a.End();
+    TraceSpan b("test/b");
+    b.End();
+  }
+  const std::vector<SpanEvent> events = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  uint64_t root_id = 0;
+  for (const SpanEvent& e : events) {
+    if (e.name == "test/root") root_id = e.span_id;
+  }
+  for (const SpanEvent& e : events) {
+    if (e.name == "test/root") continue;
+    EXPECT_EQ(e.parent_id, root_id) << e.name;
+    EXPECT_EQ(e.depth, 1u) << e.name;
+  }
+}
+
+TEST_F(TraceTest, ClearDropsRetainedSpans) {
+  { TraceSpan span("test/cleared"); }
+  EXPECT_EQ(TraceCollector::Global().Snapshot().size(), 1u);
+  TraceCollector::Global().Clear();
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+  EXPECT_TRUE(TraceCollector::Global().enabled());
+}
+
+TEST_F(TraceTest, RingOverflowCountsDrops) {
+  TraceCollector::Global().Enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("test/overflow");
+  }
+  EXPECT_EQ(TraceCollector::Global().Snapshot().size(), 4u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 6u);
+}
+
+TEST_F(TraceTest, RollupAggregatesByName) {
+  {
+    TraceSpan outer("test/outer");
+    { TraceSpan inner("test/inner"); }
+    { TraceSpan inner("test/inner"); }
+  }
+  const std::vector<SpanRollup> rollup =
+      RollupSpans(TraceCollector::Global().Snapshot());
+  ASSERT_EQ(rollup.size(), 2u);
+  const SpanRollup* outer = nullptr;
+  const SpanRollup* inner = nullptr;
+  for (const SpanRollup& r : rollup) {
+    if (r.name == "test/outer") outer = &r;
+    if (r.name == "test/inner") inner = &r;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // The outer span encloses both inners, and its self time is its duration
+  // minus its direct children's (exact in µs arithmetic).
+  EXPECT_GE(outer->total_seconds, inner->total_seconds);
+  EXPECT_NEAR(outer->self_seconds,
+              outer->total_seconds - inner->total_seconds, 1e-9);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonListsCompleteEvents) {
+  { TraceSpan span("test/chrome"); }
+  const std::string json = TraceCollector::Global().ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// --- RunReport ---------------------------------------------------------------
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceCollector::Global().Enable(); }
+  void TearDown() override { TraceCollector::Global().Disable(); }
+};
+
+TEST_F(ReportTest, CapturePhasesPartitionsRootWallClock) {
+  uint64_t root_id = 0;
+  {
+    TraceSpan root("bench/test_run");
+    root_id = root.id();
+    { TraceSpan phase("bench/phase_a"); }
+    { TraceSpan phase("bench/phase_b"); }
+    {
+      TraceSpan phase("bench/phase_a");
+      // Grandchildren must roll into their phase, not appear as phases.
+      TraceSpan detail("bench/detail");
+    }
+    // Spans are recorded at µs resolution; make the root measurably long so
+    // wall_seconds is strictly positive on fast machines.
+    while (root.ElapsedSeconds() < 200e-6) {
+    }
+  }
+  RunReport report("test_run");
+  report.CaptureMetrics();
+  report.CapturePhases(root_id);
+  // wall_seconds comes from the root event itself.
+  EXPECT_GT(report.wall_seconds(), 0.0);
+  // Phases: the root's direct children plus the synthetic harness entry.
+  std::vector<std::string> names;
+  double total = 0.0;
+  for (const SpanRollup& p : report.phases()) {
+    names.push_back(p.name);
+    total += p.total_seconds;
+  }
+  EXPECT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "bench/phase_a"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "bench/phase_b"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "(harness)"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "bench/detail"),
+            names.end());
+  // The partition invariant behind the BENCH_*.json 10% acceptance check:
+  // phase totals sum to the root duration exactly (up to rounding to µs).
+  EXPECT_NEAR(total, report.wall_seconds(), 1e-5);
+  // The full rollup still sees every span, including the grandchild.
+  bool detail_in_rollup = false;
+  for (const SpanRollup& r : report.span_rollup()) {
+    if (r.name == "bench/detail") detail_in_rollup = true;
+  }
+  EXPECT_TRUE(detail_in_rollup);
+}
+
+TEST_F(ReportTest, CapturePhasesWithoutRootRollsUpEverything) {
+  { TraceSpan span("test/alpha"); }
+  { TraceSpan span("test/beta"); }
+  RunReport report("all_spans");
+  report.CapturePhases();
+  EXPECT_EQ(report.phases().size(), 2u);
+  EXPECT_EQ(report.wall_seconds(), 0.0);  // nothing to derive it from
+}
+
+TEST_F(ReportTest, ToJsonCarriesMetaStatsPhasesAndMetrics) {
+  Counter& c = DefaultCounter("rdfcube_obs_test_report_total", "h");
+  c.Reset();
+  c.Increment(9);
+  uint64_t root_id = 0;
+  {
+    TraceSpan root("bench/json_run");
+    root_id = root.id();
+    { TraceSpan phase("bench/only_phase"); }
+  }
+  RunReport report("json_run");
+  report.AddMeta("large_mode", "0");
+  report.AddStat("observations", 60.0);
+  report.CaptureMetrics();
+  report.CapturePhases(root_id);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"name\":\"json_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"large_mode\":\"0\""), std::string::npos);
+  EXPECT_NE(json.find("\"observations\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"bench/only_phase\""), std::string::npos);
+  EXPECT_NE(json.find("(harness)"), std::string::npos);
+  EXPECT_NE(json.find("\"rdfcube_obs_test_report_total\":9"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, WriteRunReportJsonRoundTrips) {
+  RunReport report("written_run");
+  report.AddMeta("k", "v");
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "BENCH_written_run.json")
+          .string();
+  ASSERT_TRUE(WriteRunReportJson(report, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST_F(ReportTest, WriteRunReportJsonToUnwritablePathIsIOError) {
+  RunReport report("nope");
+  const Status st =
+      WriteRunReportJson(report, "/nonexistent_dir/BENCH_nope.json");
+  EXPECT_TRUE(st.IsIOError());
+}
+
+// --- End-to-end: engine run -> instrumentation -> report ---------------------
+
+TEST_F(ReportTest, EngineRunProducesSpansMetricsAndFilledReport) {
+  MetricsRegistry::Global().ResetAll();
+  TraceCollector::Global().Enable();
+  const qb::Corpus corpus = testutil::MakeRandomCorpus(17, 60);
+  core::EngineReport engine_report;
+  uint64_t root_id = 0;
+  {
+    TraceSpan root("test/engine_run");
+    root_id = root.id();
+    core::CountingSink sink;
+    core::EngineOptions options;
+    options.method = core::Method::kCubeMasking;
+    ASSERT_TRUE(core::ComputeRelationships(*corpus.observations, options,
+                                           &sink, &engine_report)
+                    .ok());
+  }
+  // The cubeMasking engine emitted its phase spans under our root.
+  bool saw_masking_span = false;
+  for (const SpanRollup& r :
+       RollupSpans(TraceCollector::Global().Snapshot())) {
+    if (r.name.rfind("masking/", 0) == 0) saw_masking_span = true;
+  }
+  EXPECT_TRUE(saw_masking_span);
+  // ...and bumped its pair counters.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  uint64_t pairs = 0;
+  for (const CounterSample& c : snap.counters) {
+    if (c.name == "rdfcube_masking_cube_pairs_checked_total") pairs = c.value;
+  }
+  EXPECT_GT(pairs, 0u);
+  // FillRunReport flattens the engine stats into the run record.
+  RunReport report("engine_run");
+  core::FillRunReport(engine_report, &report);
+  report.CaptureMetrics();
+  report.CapturePhases(root_id);
+  EXPECT_GT(report.wall_seconds(), 0.0);
+  EXPECT_FALSE(report.stats().empty());
+  EXPECT_FALSE(report.phases().empty());
+  bool harness_entry = false;
+  for (const SpanRollup& p : report.phases()) {
+    if (p.name == "(harness)") harness_entry = true;
+  }
+  EXPECT_TRUE(harness_entry);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rdfcube

@@ -27,6 +27,8 @@
 #include "core/occurrence_matrix.h"
 #include "core/parallel_masking.h"
 #include "core/relationship.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qb/corpus.h"
 #include "tests/test_corpus.h"
 #include "util/fault.h"
@@ -369,6 +371,114 @@ TEST_F(IncrementalCheckpointRaceTest, ConcurrentSerializeStateIsStable) {
   }
   for (std::thread& t : readers) t.join();
   for (const std::string& s : states) EXPECT_EQ(s, reference);
+}
+
+// --- Observability primitives under contention -------------------------------
+// The obs layer promises lock-free hot paths (relaxed atomics in Counter /
+// Gauge / Histogram, per-thread rings for spans). These tests give TSan real
+// interleavings to chew on and assert the arithmetic survives them.
+
+TEST(ObsRaceTest, ConcurrentCounterIncrementsSumExactly) {
+  obs::MetricsRegistry registry;
+  Result<obs::Counter*> counter =
+      registry.GetCounter("rdfcube_race_counter_total", "h");
+  ASSERT_TRUE(counter.ok());
+  constexpr std::size_t kThreads = 4;
+  constexpr uint64_t kIncrementsEach = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kIncrementsEach; ++i) {
+        (*counter)->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ((*counter)->value(), kThreads * kIncrementsEach);
+}
+
+TEST(ObsRaceTest, RegistrationRacesReturnOneInstance) {
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kThreads = 4;
+  constexpr uint64_t kIncrementsEach = 1000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread races the first registration of the same name; all must
+      // land on the same instance.
+      Result<obs::Counter*> counter =
+          registry.GetCounter("rdfcube_race_shared_total", "h");
+      ASSERT_TRUE(counter.ok());
+      for (uint64_t i = 0; i < kIncrementsEach; ++i) {
+        (*counter)->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  Result<obs::Counter*> counter =
+      registry.GetCounter("rdfcube_race_shared_total", "h");
+  ASSERT_TRUE(counter.ok());
+  EXPECT_EQ((*counter)->value(), kThreads * kIncrementsEach);
+}
+
+TEST(ObsRaceTest, ConcurrentHistogramObservationsStayConsistent) {
+  obs::MetricsRegistry registry;
+  Result<obs::Histogram*> histogram = registry.GetHistogram(
+      "rdfcube_race_seconds", "h", {1.0, 2.0, 4.0});
+  ASSERT_TRUE(histogram.ok());
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kObservationsEach = 4000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      // Thread t observes the constant t+0.5: buckets and the CAS-accumulated
+      // sum are then exactly predictable despite arbitrary interleaving.
+      const double value = static_cast<double>(t) + 0.5;
+      for (std::size_t i = 0; i < kObservationsEach; ++i) {
+        (*histogram)->Observe(value);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ((*histogram)->count(), kThreads * kObservationsEach);
+  // Sum of (0.5 + 1.5 + 2.5 + 3.5) * kObservationsEach, exact in doubles.
+  EXPECT_DOUBLE_EQ((*histogram)->sum(), 8.0 * kObservationsEach);
+  const std::vector<uint64_t> buckets = (*histogram)->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  // 0.5 -> le=1, 1.5 -> le=2, 2.5 -> le=4, 3.5 -> le=4.
+  EXPECT_EQ(buckets[0], kObservationsEach);
+  EXPECT_EQ(buckets[1], kObservationsEach);
+  EXPECT_EQ(buckets[2], 2 * kObservationsEach);
+  EXPECT_EQ(buckets[3], 0u);
+}
+
+TEST(ObsRaceTest, SpansOnManyThreadsRaceSnapshotAndClear) {
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  collector.Enable(/*ring_capacity=*/256);
+  std::atomic<bool> stop{false};
+  constexpr std::size_t kSpanners = 3;
+  std::vector<std::thread> spanners;
+  for (std::size_t t = 0; t < kSpanners; ++t) {
+    spanners.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::TraceSpan outer("race/outer");
+        obs::TraceSpan inner("race/inner");
+      }
+    });
+  }
+  // Snapshot and Clear race the recording threads; every event read out must
+  // be internally consistent (never a torn name / half-written duration).
+  for (int i = 0; i < 50; ++i) {
+    for (const obs::SpanEvent& e : collector.Snapshot()) {
+      EXPECT_TRUE(e.name == "race/outer" || e.name == "race/inner") << e.name;
+      EXPECT_GE(e.duration_us, e.self_us);
+    }
+    if (i % 10 == 9) collector.Clear();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : spanners) t.join();
+  collector.Disable();
+  (void)collector.dropped();  // bounded rings may have overwritten; just read
 }
 
 }  // namespace

@@ -217,6 +217,28 @@ void CheckParses(const fs::path& root, std::vector<Violation>* out) {
   }
 }
 
+// --- bare-stopwatch ----------------------------------------------------------
+
+void CheckBareStopwatch(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "bare-stopwatch";
+  static const std::regex kStopwatch(R"(\bStopwatch\b)");
+  for (const std::string& file : SourceFilesUnder(root, "bench")) {
+    // bench_util implements the harness itself and may hold the raw clock.
+    const std::string base = fs::path(file).filename().string();
+    if (StartsWith(base, "bench_util.")) continue;
+    const std::vector<std::string> lines = ReadLines(root / file);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (Suppressed(lines[i], kCheck)) continue;
+      const std::string code(CodeText(lines[i]));
+      if (std::regex_search(code, kStopwatch)) {
+        out->push_back({kCheck, file, i + 1,
+                        "raw Stopwatch in a bench harness; time phases with "
+                        "obs::TraceSpan so they appear in BENCH_*.json"});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> RunAllChecks(const std::string& root) {
@@ -232,6 +254,7 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
   CheckUmbrellaSync(r, &out);
   CheckDoxygenPublic(r, &out);
   CheckParses(r, &out);
+  CheckBareStopwatch(r, &out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.check) <
            std::tie(b.file, b.line, b.check);

@@ -17,6 +17,10 @@
 //   checked-parse         no std::sto* / atoi / atof under src or tools:
 //                         they throw (or silently return 0) on malformed
 //                         input; use util/string_util ParseDouble/ParseU64.
+//   bare-stopwatch        no raw Stopwatch in bench/ harnesses (bench_util
+//                         excepted: it is the harness): phase timing goes
+//                         through obs::TraceSpan so it lands in the
+//                         BENCH_*.json phase breakdown.
 
 #ifndef RDFCUBE_TOOLS_LINT_CHECKS_H_
 #define RDFCUBE_TOOLS_LINT_CHECKS_H_

@@ -1,7 +1,10 @@
 // rdfcube command-line tool: validate, analyze and relate RDF Data Cube
 // files without writing C++.
 //
-//   rdfcube_cli stats    <file.ttl>             corpus overview
+//   rdfcube_cli stats    <file.ttl> [--report]   corpus overview; --report
+//                                               additionally runs the engine
+//                                               and prints the observability
+//                                               run report (phases, metrics)
 //   rdfcube_cli validate <file.ttl>             QB well-formedness report
 //   rdfcube_cli relate   <file.ttl> [options]   compute relationships
 //       --method=baseline|clustering|masking|hybrid  (default masking)
@@ -29,6 +32,10 @@
 
 using namespace rdfcube;
 
+// Several commands name an ObservationSet local `obs`, which shadows the
+// rdfcube::obs namespace; alias it so the observability types stay reachable.
+namespace obx = rdfcube::obs;
+
 namespace {
 
 int Fail(const Status& status) {
@@ -42,7 +49,16 @@ Result<qb::Corpus> LoadFile(const std::string& path) {
   return qb::LoadCorpusFromRdf(store);
 }
 
-int CmdStats(const std::string& path) {
+int CmdStats(const std::string& path, const std::vector<std::string>& args) {
+  bool want_report = false;
+  for (const std::string& arg : args) {
+    if (arg == "--report") {
+      want_report = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 1;
+    }
+  }
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
   const qb::ObservationSet& obs = *corpus->observations;
@@ -66,6 +82,29 @@ int CmdStats(const std::string& path) {
               obs.size() ? static_cast<double>(lattice.num_cubes()) /
                                static_cast<double>(obs.size())
                          : 0.0);
+  if (!want_report) return 0;
+
+  // --report: run the default engine under the observability layer and
+  // print the merged run report (phase timings, engine stats, metrics).
+  obx::MetricsRegistry::Global().ResetAll();
+  obx::TraceCollector::Global().Enable();
+  core::EngineReport engine_report;
+  uint64_t root_id = 0;
+  {
+    obx::TraceSpan root("cli/stats");
+    root_id = root.id();
+    core::CountingSink sink;
+    const core::EngineOptions options;
+    const Status st =
+        core::ComputeRelationships(obs, options, &sink, &engine_report);
+    if (!st.ok()) return Fail(st);
+  }
+  obx::TraceCollector::Global().Disable();
+  obx::RunReport run_report("cli_stats");
+  core::FillRunReport(engine_report, &run_report);
+  run_report.CaptureMetrics();
+  run_report.CapturePhases(root_id);
+  std::printf("\n%s", run_report.ToText().c_str());
   return 0;
 }
 
@@ -259,7 +298,8 @@ int CmdRollup(const std::string& path, const std::vector<std::string>& args) {
 void Usage() {
   std::fputs(
       "usage: rdfcube_cli <command> <file.ttl> [args]\n"
-      "commands: stats | validate | relate | skyline | explore <obs-iri> | rollup\n",
+      "commands: stats [--report] | validate | relate | skyline | "
+      "explore <obs-iri> | rollup\n",
       stderr);
 }
 
@@ -275,7 +315,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> rest;
   for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
 
-  if (command == "stats") return CmdStats(path);
+  if (command == "stats") return CmdStats(path, rest);
   if (command == "validate") return CmdValidate(path);
   if (command == "relate") return CmdRelate(path, rest);
   if (command == "skyline") return CmdSkyline(path);
