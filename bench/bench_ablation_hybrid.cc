@@ -17,26 +17,26 @@ using namespace rdfcube;
 void BM_AllTypes(benchmark::State& state, int method) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   std::size_t partial_pairs = 0;
   for (auto _ : state) {
     core::CountingSink sink;
     Status st;
     switch (method) {
       case 0: {
-        const core::OccurrenceMatrix om(obs);
+        const core::OccurrenceMatrix om(observations);
         core::BaselineOptions options;
-        st = core::RunBaseline(obs, om, options, &sink);
+        st = core::RunBaseline(observations, om, options, &sink);
         break;
       }
       case 1: {
         core::CubeMaskingOptions options;
-        st = core::RunCubeMasking(obs, options, &sink);
+        st = core::RunCubeMasking(observations, options, &sink);
         break;
       }
       default: {
         core::HybridOptions options;
-        st = core::RunHybrid(obs, options, &sink);
+        st = core::RunHybrid(observations, options, &sink);
         break;
       }
     }

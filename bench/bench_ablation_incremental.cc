@@ -21,12 +21,12 @@ using namespace rdfcube;
 void BM_IncrementalStream(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   std::size_t total = 0;
   for (auto _ : state) {
-    core::IncrementalEngine engine(&obs,
+    core::IncrementalEngine engine(&observations,
                                    core::RelationshipSelector::FullOnly());
-    for (qb::ObsId i = 0; i < obs.size(); ++i) {
+    for (qb::ObsId i = 0; i < observations.size(); ++i) {
       const Status st = engine.OnObservationAdded(i);
       if (!st.ok()) {
         state.SkipWithError(st.ToString().c_str());
@@ -45,12 +45,12 @@ void BM_IncrementalStream(benchmark::State& state) {
 void BM_PeriodicRecompute(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::OccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::OccurrenceMatrix om(observations);
   std::size_t total = 0;
   for (auto _ : state) {
     for (int refresh = 1; refresh <= 10; ++refresh) {
-      std::vector<qb::ObsId> prefix(obs.size() * refresh / 10);
+      std::vector<qb::ObsId> prefix(observations.size() * refresh / 10);
       for (std::size_t i = 0; i < prefix.size(); ++i) {
         prefix[i] = static_cast<qb::ObsId>(i);
       }
@@ -58,7 +58,7 @@ void BM_PeriodicRecompute(benchmark::State& state) {
       core::BaselineOptions options;
       options.selector = core::RelationshipSelector::FullOnly();
       const Status st =
-          core::RunBaselineSubset(obs, om, prefix, options, &sink);
+          core::RunBaselineSubset(observations, om, prefix, options, &sink);
       if (!st.ok()) {
         state.SkipWithError(st.ToString().c_str());
         return;

@@ -19,13 +19,13 @@ using namespace rdfcube;
 void BM_Sequential(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::Lattice lattice(obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::Lattice lattice(observations);
   for (auto _ : state) {
     core::CountingSink sink;
     core::CubeMaskingOptions options;
     options.selector.partial_containment = false;  // full + compl
-    const Status st = core::RunCubeMasking(obs, lattice, options, &sink);
+    const Status st = core::RunCubeMasking(observations, lattice, options, &sink);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     benchmark::DoNotOptimize(sink.full());
   }
@@ -37,14 +37,14 @@ void BM_Parallel(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t threads = static_cast<std::size_t>(state.range(1));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::Lattice lattice(obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::Lattice lattice(observations);
   for (auto _ : state) {
     core::CountingSink sink;
     core::ParallelMaskingOptions options;
     options.num_threads = threads;
     options.selector.partial_containment = false;
-    const Status st = core::RunCubeMaskingParallel(obs, lattice, options, &sink);
+    const Status st = core::RunCubeMaskingParallel(observations, lattice, options, &sink);
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     benchmark::DoNotOptimize(sink.full());
   }

@@ -16,13 +16,17 @@ using namespace rdfcube;
 void BM_DenseBaseline(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::OccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::OccurrenceMatrix om(observations);
   for (auto _ : state) {
     core::CountingSink sink;
     core::BaselineOptions options;
     options.selector.partial_containment = false;
-    (void)core::RunBaseline(obs, om, options, &sink);
+    const Status st = core::RunBaseline(observations, om, options, &sink);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(sink.full());
   }
   state.counters["observations"] = static_cast<double>(n);
@@ -33,13 +37,18 @@ void BM_DenseBaseline(benchmark::State& state) {
 void BM_SparseBaseline(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::SparseOccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::SparseOccurrenceMatrix om(observations);
   for (auto _ : state) {
     core::CountingSink sink;
     core::SparseBaselineOptions options;
     options.selector.partial_containment = false;
-    (void)core::RunBaselineSparse(obs, om, options, &sink);
+    const Status st =
+        core::RunBaselineSparse(observations, om, options, &sink);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(sink.full());
   }
   state.counters["observations"] = static_cast<double>(n);

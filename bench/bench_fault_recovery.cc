@@ -35,13 +35,13 @@ constexpr uint64_t kSeed = 29;
 void BM_DistributedFailureFree(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   core::DistributedStats stats;
   for (auto _ : state) {
     core::CountingSink sink;
     stats = core::DistributedStats();
     core::DistributedOptions options;
-    const Status st = core::RunDistributedMasking(obs, options, &sink, &stats);
+    const Status st = core::RunDistributedMasking(observations, options, &sink, &stats);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;
@@ -55,7 +55,7 @@ void BM_DistributedFailureFree(benchmark::State& state) {
 void BM_DistributedInjectedFaults(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   core::DistributedStats stats;
   for (auto _ : state) {
     FaultInjector injector(kSeed);
@@ -66,7 +66,7 @@ void BM_DistributedInjectedFaults(benchmark::State& state) {
     core::CountingSink sink;
     stats = core::DistributedStats();
     core::DistributedOptions options;
-    const Status st = core::RunDistributedMasking(obs, options, &sink, &stats);
+    const Status st = core::RunDistributedMasking(observations, options, &sink, &stats);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;
@@ -84,11 +84,11 @@ void BM_DistributedInjectedFaults(benchmark::State& state) {
 void BM_MaskingPlain(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   for (auto _ : state) {
     core::CountingSink sink;
     core::CubeMaskingOptions options;
-    const Status st = core::RunCubeMasking(obs, options, &sink);
+    const Status st = core::RunCubeMasking(observations, options, &sink);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;
@@ -101,7 +101,7 @@ void BM_MaskingPlain(benchmark::State& state) {
 void BM_MaskingCheckpointed(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = benchutil::RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   const std::string path =
       "/tmp/rdfcube_bench_fault_recovery_" + std::to_string(n) + ".ckpt";
   std::remove(path.c_str());
@@ -113,7 +113,7 @@ void BM_MaskingCheckpointed(benchmark::State& state) {
     ckpt.path = path;
     ckpt.interval_cubes = 8;
     run_stats = core::CheckpointRunStats();
-    const Status st = core::RunCubeMaskingCheckpointed(obs, options, ckpt,
+    const Status st = core::RunCubeMaskingCheckpointed(observations, options, ckpt,
                                                        &sink, nullptr,
                                                        &run_stats);
     if (!st.ok()) {

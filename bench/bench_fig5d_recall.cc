@@ -69,11 +69,11 @@ void BM_ClusteringRecall(benchmark::State& state,
                          core::ClusterAlgorithm algorithm) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = RealWorldPrefix(n);
-  const qb::ObservationSet& obs = *corpus.observations;
-  const core::OccurrenceMatrix& om = Matrix(n, obs);
+  const qb::ObservationSet& observations = *corpus.observations;
+  const core::OccurrenceMatrix& om = Matrix(n, observations);
   // Not part of the measured time: ground truth is the reference, only the
   // clustering method's own runtime is the Fig. 5(a)-(c) story.
-  PartialSamplingSink truth = GroundTruth(n, om, obs);
+  PartialSamplingSink truth = GroundTruth(n, om, observations);
 
   const char* span_name =
       algorithm == core::ClusterAlgorithm::kCanopy ? "bench/recall_canopy"
@@ -88,7 +88,7 @@ void BM_ClusteringRecall(benchmark::State& state,
     options.algorithm = algorithm;
     options.sample_fraction = 0.10;  // the paper's sampling configuration
     const Status st =
-        core::RunClusteringMethod(obs, om, options, &lossy, nullptr);
+        core::RunClusteringMethod(observations, om, options, &lossy, nullptr);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;

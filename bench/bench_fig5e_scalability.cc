@@ -105,7 +105,13 @@ int main(int argc, char** argv) {
     core::EngineOptions options;
     options.method = core::Method::kBaseline;
     options.selector = core::RelationshipSelector::FullOnly();
-    (void)core::ComputeRelationships(*corpus.observations, options, &sink);
+    const Status st =
+        core::ComputeRelationships(*corpus.observations, options, &sink);
+    if (!st.ok()) {
+      std::fprintf(stderr, "baseline projection run failed: %s\n",
+                   st.ToString().c_str());
+      return;
+    }
     g_baseline_secs_at_cutoff = span.ElapsedSeconds();
     std::printf("\n--- baseline projection (quadratic, measured at %zu = %.2fs) ---\n",
                 cutoff, g_baseline_secs_at_cutoff);

@@ -70,12 +70,13 @@ const core::CubeChildrenIndex& ChildrenIndex(std::size_t n,
 void BM_CubeMaskingPrefetch(benchmark::State& state, bool prefetch) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const qb::Corpus& corpus = CubeDenseCorpus(n);
-  const qb::ObservationSet& obs = *corpus.observations;
+  const qb::ObservationSet& observations = *corpus.observations;
   static std::map<std::size_t, std::unique_ptr<core::Lattice>>* lattices =
       new std::map<std::size_t, std::unique_ptr<core::Lattice>>();
   auto lit = lattices->find(n);
   if (lit == lattices->end()) {
-    lit = lattices->emplace(n, std::make_unique<core::Lattice>(obs)).first;
+    lit = lattices->emplace(n, std::make_unique<core::Lattice>(observations))
+              .first;
   }
   const core::Lattice& lattice = *lit->second;
   const core::CubeChildrenIndex* index =
@@ -90,7 +91,8 @@ void BM_CubeMaskingPrefetch(benchmark::State& state, bool prefetch) {
     // Full containment, as Fig. 5(g) is labelled.
     options.selector = core::RelationshipSelector::FullOnly();
     const Status st =
-        core::RunCubeMasking(obs, lattice, options, &sink, nullptr, index);
+        core::RunCubeMasking(observations, lattice, options, &sink, nullptr,
+                             index);
     if (!st.ok()) {
       state.SkipWithError(st.ToString().c_str());
       return;

@@ -25,17 +25,17 @@ const qb::Corpus& Example() {
 }
 
 void BM_BuildOccurrenceMatrix(benchmark::State& state) {
-  const qb::ObservationSet& obs = *Example().observations;
+  const qb::ObservationSet& observations = *Example().observations;
   for (auto _ : state) {
-    core::OccurrenceMatrix om(obs);
+    core::OccurrenceMatrix om(observations);
     benchmark::DoNotOptimize(om.num_columns());
   }
 }
 BENCHMARK(BM_BuildOccurrenceMatrix);
 
 void BM_ComputeOcm(benchmark::State& state) {
-  const qb::ObservationSet& obs = *Example().observations;
-  const core::OccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *Example().observations;
+  const core::OccurrenceMatrix om(observations);
   for (auto _ : state) {
     auto matrices = core::ContainmentMatrices::Compute(om);
     benchmark::DoNotOptimize(matrices.ok());
@@ -44,23 +44,32 @@ void BM_ComputeOcm(benchmark::State& state) {
 BENCHMARK(BM_ComputeOcm);
 
 void BM_BaselineExample(benchmark::State& state) {
-  const qb::ObservationSet& obs = *Example().observations;
-  const core::OccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *Example().observations;
+  const core::OccurrenceMatrix om(observations);
   for (auto _ : state) {
     core::CountingSink sink;
-    (void)core::RunBaseline(obs, om, core::BaselineOptions{}, &sink);
+    const Status st =
+        core::RunBaseline(observations, om, core::BaselineOptions{}, &sink);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(sink.full());
   }
 }
 BENCHMARK(BM_BaselineExample);
 
 void BM_CubeMaskingExample(benchmark::State& state) {
-  const qb::ObservationSet& obs = *Example().observations;
-  const core::Lattice lattice(obs);
+  const qb::ObservationSet& observations = *Example().observations;
+  const core::Lattice lattice(observations);
   for (auto _ : state) {
     core::CountingSink sink;
-    (void)core::RunCubeMasking(obs, lattice, core::CubeMaskingOptions{},
-                               &sink);
+    const Status st = core::RunCubeMasking(observations, lattice,
+                                           core::CubeMaskingOptions{}, &sink);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
     benchmark::DoNotOptimize(sink.full());
   }
 }
@@ -69,16 +78,16 @@ BENCHMARK(BM_CubeMaskingExample);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const qb::ObservationSet& obs = *Example().observations;
-  const core::OccurrenceMatrix om(obs);
+  const qb::ObservationSet& observations = *Example().observations;
+  const core::OccurrenceMatrix om(observations);
   std::printf("=== Table 2: occurrence matrix OM ===\n%s\n",
-              om.ToTable(obs).c_str());
+              om.ToTable(observations).c_str());
   auto matrices = core::ContainmentMatrices::Compute(om);
   if (matrices.ok()) {
     std::printf("=== Table 3(a): CM for refArea ===\n%s\n",
-                matrices->ToTable(obs, 0).c_str());
+                matrices->ToTable(observations, 0).c_str());
     std::printf("=== Table 3(b): overall containment matrix OCM ===\n%s\n",
-                matrices->ToTable(obs).c_str());
+                matrices->ToTable(observations).c_str());
   }
   return rdfcube::benchutil::RunBenchMain("running_example", argc, argv);
 }

@@ -55,14 +55,14 @@ struct Run {
   Run(const qb::ObservationSet& obs_in, const Lattice& lattice_in,
       const CubeMaskingOptions& options_in, RelationshipSink* sink_in,
       CubeMaskingStats* stats_in, const CubeChildrenIndex* children_in)
-      : obs(obs_in),
+      : obs_(obs_in),
         lattice(lattice_in),
         options(options_in),
         sink(sink_in),
         stats(stats_in),
         children(children_in) {}
 
-  const qb::ObservationSet& obs;
+  const qb::ObservationSet& obs_;
   const Lattice& lattice;
   const CubeMaskingOptions& options;
   RelationshipSink* sink;
@@ -70,7 +70,7 @@ struct Run {
   const CubeChildrenIndex* children;
   std::size_t since_deadline_check = 0;
 
-  std::size_t num_dims() const { return obs.space().num_dimensions(); }
+  std::size_t num_dims() const { return obs_.space().num_dimensions(); }
 
   Status CheckDeadline() {
     if (++since_deadline_check >= kDeadlineStride) {
@@ -85,10 +85,10 @@ struct Run {
   // checkFullCont of Algorithm 4 (dimension part only; the measure gate is
   // applied by callers since complementarity must not use it).
   bool DimsContain(qb::ObsId a, qb::ObsId b) const {
-    const qb::CubeSpace& space = obs.space();
+    const qb::CubeSpace& space = obs_.space();
     for (qb::DimId d = 0; d < num_dims(); ++d) {
-      if (!space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
-                                               obs.ValueOrRoot(b, d))) {
+      if (!space.code_list(d).IsAncestorOrSelf(obs_.ValueOrRoot(a, d),
+                                               obs_.ValueOrRoot(b, d))) {
         return false;
       }
     }
@@ -98,11 +98,11 @@ struct Run {
   // Number of dimensions where a's value contains b's, with optional mask.
   std::size_t CountContainingDims(qb::ObsId a, qb::ObsId b,
                                   uint64_t* mask) const {
-    const qb::CubeSpace& space = obs.space();
+    const qb::CubeSpace& space = obs_.space();
     std::size_t count = 0;
     for (qb::DimId d = 0; d < num_dims(); ++d) {
-      if (space.code_list(d).IsAncestorOrSelf(obs.ValueOrRoot(a, d),
-                                              obs.ValueOrRoot(b, d))) {
+      if (space.code_list(d).IsAncestorOrSelf(obs_.ValueOrRoot(a, d),
+                                              obs_.ValueOrRoot(b, d))) {
         ++count;
         if (mask != nullptr) *mask |= (uint64_t{1} << d);
       }
@@ -112,7 +112,7 @@ struct Run {
 
   bool ValuesEqual(qb::ObsId a, qb::ObsId b) const {
     for (qb::DimId d = 0; d < num_dims(); ++d) {
-      if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) return false;
+      if (obs_.ValueOrRoot(a, d) != obs_.ValueOrRoot(b, d)) return false;
     }
     return true;
   }
@@ -167,7 +167,7 @@ struct Run {
               if (a == b) continue;
               RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
               if (stats != nullptr) ++stats->observation_pairs_compared;
-              if (obs.SharesMeasure(a, b) && DimsContain(a, b)) {
+              if (obs_.SharesMeasure(a, b) && DimsContain(a, b)) {
                 if (stats != nullptr) ++stats->relationships_emitted;
                 sink->OnFullContainment(a, b);
               }
@@ -188,7 +188,7 @@ struct Run {
               if (a == b) continue;
               RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
               if (stats != nullptr) ++stats->observation_pairs_compared;
-              if (!obs.SharesMeasure(a, b)) continue;
+              if (!obs_.SharesMeasure(a, b)) continue;
               uint64_t mask = 0;
               const std::size_t count =
                   CountContainingDims(a, b, want_mask ? &mask : nullptr);
@@ -248,7 +248,7 @@ struct Run {
               if (a == b) continue;
               RDFCUBE_RETURN_IF_ERROR(CheckDeadline());
               if (stats != nullptr) ++stats->observation_pairs_compared;
-              const bool shares = obs.SharesMeasure(a, b);
+              const bool shares = obs_.SharesMeasure(a, b);
               if (shares && need_counts) {
                 uint64_t mask = 0;
                 const std::size_t count =

@@ -90,7 +90,7 @@ Result<Counter*> MetricsRegistry::GetCounter(const std::string& name,
   if (!ValidMetricName(name)) {
     return Status::InvalidArgument("bad metric name: " + name);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != Kind::kCounter) {
@@ -113,7 +113,7 @@ Result<Gauge*> MetricsRegistry::GetGauge(const std::string& name,
   if (!ValidMetricName(name)) {
     return Status::InvalidArgument("bad metric name: " + name);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != Kind::kGauge) {
@@ -137,7 +137,7 @@ Result<Histogram*> MetricsRegistry::GetHistogram(const std::string& name,
   if (!ValidMetricName(name)) {
     return Status::InvalidArgument("bad metric name: " + name);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = metrics_.find(name);
   if (it != metrics_.end()) {
     if (it->second.kind != Kind::kHistogram) {
@@ -163,7 +163,7 @@ Result<Histogram*> MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, entry] : metrics_) {  // std::map: sorted by name
     switch (entry.kind) {
       case Kind::kCounter:
@@ -189,7 +189,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, entry] : metrics_) {
     (void)name;
     switch (entry.kind) {

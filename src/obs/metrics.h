@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdfcube {
 namespace obs {
@@ -190,8 +190,8 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> metrics_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> metrics_ RDFCUBE_GUARDED_BY(mu_);
 };
 
 /// Registers (on first use) and returns the named counter in the global

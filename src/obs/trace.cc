@@ -11,15 +11,20 @@ namespace obs {
 
 /// Per-thread span state. The owning thread is the only writer; the ring is
 /// additionally read by Snapshot()/Clear() from other threads, so it sits
-/// behind a per-thread mutex that is uncontended in steady state.
+/// behind a per-thread mutex that is uncontended in steady state. Lock order:
+/// TraceCollector::registry_mu_ is always acquired before `mu` (Enable /
+/// Clear / Snapshot walk the registry then lock each thread); the span-end
+/// hot path takes `mu` alone, never the registry lock.
 struct TraceCollector::ThreadTrace {
-  std::mutex mu;
-  std::vector<SpanEvent> ring;  // bounded by `capacity`
-  std::size_t capacity = 0;
-  std::size_t next = 0;  // overwrite cursor once the ring is full
-  uint64_t dropped = 0;
+  Mutex mu;
+  std::vector<SpanEvent> ring RDFCUBE_GUARDED_BY(mu);  // bounded by capacity
+  std::size_t capacity RDFCUBE_GUARDED_BY(mu) = 0;
+  // Overwrite cursor once the ring is full.
+  std::size_t next RDFCUBE_GUARDED_BY(mu) = 0;
+  uint64_t dropped RDFCUBE_GUARDED_BY(mu) = 0;
 
-  // Open-span stack; touched only by the owning thread (no lock needed).
+  // Open-span stack and collector-local thread number; touched only by the
+  // owning thread (thread confinement, not a lock, is the discipline here).
   struct Frame {
     uint64_t span_id;
     uint64_t child_us;
@@ -38,9 +43,16 @@ TraceCollector::ThreadTrace* TraceCollector::GetThreadTrace() {
   if (cached != nullptr) return cached;
   auto trace = std::make_shared<ThreadTrace>();
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     trace->index = static_cast<uint32_t>(threads_.size());
-    trace->capacity = ring_capacity_;
+    // The new trace is not yet published, but its guarded fields still get
+    // written under its own lock so the annotation holds without exemptions
+    // (uncontended: nobody else can reach `trace` yet). Registry lock first,
+    // thread lock second — the global acquisition order.
+    {
+      MutexLock tlock(&trace->mu);
+      trace->capacity = ring_capacity_;
+    }
     threads_.push_back(trace);
   }
   // The registry's shared_ptr keeps the state alive past thread exit, so the
@@ -52,10 +64,10 @@ TraceCollector::ThreadTrace* TraceCollector::GetThreadTrace() {
 }
 
 void TraceCollector::Enable(std::size_t ring_capacity) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   ring_capacity_ = ring_capacity;
   for (const auto& t : threads_) {
-    std::lock_guard<std::mutex> tlock(t->mu);
+    MutexLock tlock(&t->mu);
     t->ring.clear();
     t->capacity = ring_capacity;
     t->next = 0;
@@ -70,9 +82,9 @@ void TraceCollector::Disable() {
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   for (const auto& t : threads_) {
-    std::lock_guard<std::mutex> tlock(t->mu);
+    MutexLock tlock(&t->mu);
     t->ring.clear();
     t->next = 0;
     t->dropped = 0;
@@ -82,9 +94,9 @@ void TraceCollector::Clear() {
 std::vector<SpanEvent> TraceCollector::Snapshot() const {
   std::vector<SpanEvent> events;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     for (const auto& t : threads_) {
-      std::lock_guard<std::mutex> tlock(t->mu);
+      MutexLock tlock(&t->mu);
       events.insert(events.end(), t->ring.begin(), t->ring.end());
     }
   }
@@ -98,9 +110,9 @@ std::vector<SpanEvent> TraceCollector::Snapshot() const {
 
 uint64_t TraceCollector::dropped() const {
   uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   for (const auto& t : threads_) {
-    std::lock_guard<std::mutex> tlock(t->mu);
+    MutexLock tlock(&t->mu);
     total += t->dropped;
   }
   return total;
@@ -170,7 +182,7 @@ void TraceSpan::End() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(t->mu);
+    MutexLock lock(&t->mu);
     if (t->ring.size() < t->capacity) {
       t->ring.push_back(std::move(event));
     } else if (t->capacity > 0) {

@@ -26,12 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace rdfcube {
 namespace obs {
@@ -103,9 +103,14 @@ class TraceCollector {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_span_id_{1};
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::shared_ptr<ThreadTrace>> threads_;
-  std::size_t ring_capacity_ = 1 << 14;
+  // Lock order (DESIGN.md §5e): registry_mu_ strictly before any
+  // ThreadTrace::mu — never the reverse.
+  mutable Mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadTrace>> threads_
+      RDFCUBE_GUARDED_BY(registry_mu_);
+  std::size_t ring_capacity_ RDFCUBE_GUARDED_BY(registry_mu_) = 1 << 14;
+  // Restarted by Enable() while holding registry_mu_; read lock-free from
+  // NowMicros() on span hot paths (monotonic clock reads race benignly).
   Stopwatch epoch_;
 };
 

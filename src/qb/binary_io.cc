@@ -102,7 +102,7 @@ Result<std::string> SerializeCorpus(const Corpus& corpus) {
     return Status::InvalidArgument("corpus is not built");
   }
   const CubeSpace& space = *corpus.space;
-  const ObservationSet& obs = *corpus.observations;
+  const ObservationSet& observations = *corpus.observations;
   std::string out;
   out.append(kBinaryMagic, sizeof(kBinaryMagic));
 
@@ -124,17 +124,17 @@ Result<std::string> SerializeCorpus(const Corpus& corpus) {
     PutString(&out, space.measure_iri(m));
   }
   // Datasets.
-  PutU32(&out, static_cast<uint32_t>(obs.num_datasets()));
-  for (DatasetId ds = 0; ds < obs.num_datasets(); ++ds) {
-    const DatasetMeta& meta = obs.dataset(ds);
+  PutU32(&out, static_cast<uint32_t>(observations.num_datasets()));
+  for (DatasetId ds = 0; ds < observations.num_datasets(); ++ds) {
+    const DatasetMeta& meta = observations.dataset(ds);
     PutString(&out, meta.iri);
     PutU64(&out, meta.dim_mask);
     PutU64(&out, meta.measure_mask);
   }
   // Observations.
-  PutU32(&out, static_cast<uint32_t>(obs.size()));
-  for (ObsId i = 0; i < obs.size(); ++i) {
-    const Observation& o = obs.obs(i);
+  PutU32(&out, static_cast<uint32_t>(observations.size()));
+  for (ObsId i = 0; i < observations.size(); ++i) {
+    const Observation& o = observations.obs(i);
     PutString(&out, o.iri);
     PutU32(&out, o.dataset);
     // Present dimension values only.

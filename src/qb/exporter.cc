@@ -129,19 +129,19 @@ Status ExportCorpusToRdf(const Corpus& corpus, rdf::TripleStore* store) {
   // --- Observations. ----------------------------------------------------------
   for (ObsId i = 0; i < obs_set.size(); ++i) {
     const Observation& o = obs_set.obs(i);
-    const Term obs = Term::Iri(ObsIri(o.iri));
-    store->Insert(obs, rdf_type, qb_observation_cls);
-    store->Insert(obs, qb_dataset_prop,
+    const Term obs_term = Term::Iri(ObsIri(o.iri));
+    store->Insert(obs_term, rdf_type, qb_observation_cls);
+    store->Insert(obs_term, qb_dataset_prop,
                   Term::Iri(DatasetIri(obs_set.dataset(o.dataset).iri)));
     for (DimId d = 0; d < space.num_dimensions(); ++d) {
       if (o.dims[d] == hierarchy::kNoCode) continue;
       const std::string dim_iri = DimIri(space.dimension_iri(d));
       store->Insert(
-          obs, Term::Iri(dim_iri),
+          obs_term, Term::Iri(dim_iri),
           Term::Iri(CodeIri(dim_iri, space.code_list(d).name(o.dims[d]))));
     }
     for (const auto& [m, value] : o.values) {
-      store->Insert(obs, Term::Iri(MeasureIri(space.measure_iri(m))),
+      store->Insert(obs_term, Term::Iri(MeasureIri(space.measure_iri(m))),
                     Term::TypedLiteral(std::to_string(value),
                                        std::string(vocab::kXsdDecimal)));
     }

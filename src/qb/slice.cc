@@ -74,13 +74,13 @@ Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
 std::vector<SliceViolation> ValidateSlices(const std::vector<Slice>& slices,
                                            const Corpus& corpus) {
   std::vector<SliceViolation> violations;
-  const ObservationSet& obs = *corpus.observations;
+  const ObservationSet& observations = *corpus.observations;
   for (const Slice& slice : slices) {
     for (ObsId member : slice.observations) {
       for (const auto& [dim, code] : slice.fixed) {
-        if (obs.ValueOrRoot(member, dim) != code) {
+        if (observations.ValueOrRoot(member, dim) != code) {
           violations.push_back(
-              {slice.iri, obs.obs(member).iri, dim});
+              {slice.iri, observations.obs(member).iri, dim});
         }
       }
     }

@@ -9,18 +9,18 @@ namespace qb {
 namespace {
 
 // Hash of an observation's full dimension-value vector (root-padded).
-std::size_t KeyHash(const ObservationSet& obs, ObsId i) {
+std::size_t KeyHash(const ObservationSet& observations, ObsId i) {
   std::size_t h = 1469598103934665603ull;
-  for (DimId d = 0; d < obs.space().num_dimensions(); ++d) {
-    h ^= obs.ValueOrRoot(i, d);
+  for (DimId d = 0; d < observations.space().num_dimensions(); ++d) {
+    h ^= observations.ValueOrRoot(i, d);
     h *= 1099511628211ull;
   }
   return h;
 }
 
-bool SameKey(const ObservationSet& obs, ObsId a, ObsId b) {
-  for (DimId d = 0; d < obs.space().num_dimensions(); ++d) {
-    if (obs.ValueOrRoot(a, d) != obs.ValueOrRoot(b, d)) return false;
+bool SameKey(const ObservationSet& observations, ObsId a, ObsId b) {
+  for (DimId d = 0; d < observations.space().num_dimensions(); ++d) {
+    if (observations.ValueOrRoot(a, d) != observations.ValueOrRoot(b, d)) return false;
   }
   return true;
 }
@@ -29,11 +29,11 @@ bool SameKey(const ObservationSet& obs, ObsId a, ObsId b) {
 
 ValidationReport ValidateCorpus(const Corpus& corpus) {
   ValidationReport report;
-  const ObservationSet& obs = *corpus.observations;
+  const ObservationSet& observations = *corpus.observations;
   const CubeSpace& space = *corpus.space;
 
-  for (DatasetId ds = 0; ds < obs.num_datasets(); ++ds) {
-    const DatasetMeta& meta = obs.dataset(ds);
+  for (DatasetId ds = 0; ds < observations.num_datasets(); ++ds) {
+    const DatasetMeta& meta = observations.dataset(ds);
     if (meta.observations.empty()) {
       report.issues.push_back(
           {ValidationIssue::Kind::kEmptyDataset, meta.iri});
@@ -43,12 +43,12 @@ ValidationReport ValidateCorpus(const Corpus& corpus) {
     // dimension values.
     std::unordered_map<std::size_t, std::vector<ObsId>> buckets;
     for (ObsId i : meta.observations) {
-      auto& bucket = buckets[KeyHash(obs, i)];
+      auto& bucket = buckets[KeyHash(observations, i)];
       for (ObsId j : bucket) {
-        if (SameKey(obs, i, j)) {
+        if (SameKey(observations, i, j)) {
           report.issues.push_back({ValidationIssue::Kind::kDuplicateKey,
-                                   meta.iri + ": " + obs.obs(i).iri + " vs " +
-                                       obs.obs(j).iri});
+                                   meta.iri + ": " + observations.obs(i).iri + " vs " +
+                                       observations.obs(j).iri});
           break;
         }
       }
@@ -56,9 +56,9 @@ ValidationReport ValidateCorpus(const Corpus& corpus) {
     }
     // Observations without any measure.
     for (ObsId i : meta.observations) {
-      if (obs.obs(i).measure_mask == 0) {
+      if (observations.obs(i).measure_mask == 0) {
         report.issues.push_back(
-            {ValidationIssue::Kind::kNoMeasure, obs.obs(i).iri});
+            {ValidationIssue::Kind::kNoMeasure, observations.obs(i).iri});
       }
     }
     // Schema dimensions never instantiated below root.
@@ -66,7 +66,7 @@ ValidationReport ValidateCorpus(const Corpus& corpus) {
       if ((meta.dim_mask & (uint64_t{1} << d)) == 0) continue;
       bool used = false;
       for (ObsId i : meta.observations) {
-        const hierarchy::CodeId c = obs.obs(i).dims[d];
+        const hierarchy::CodeId c = observations.obs(i).dims[d];
         if (c != hierarchy::kNoCode && c != space.code_list(d).root()) {
           used = true;
           break;

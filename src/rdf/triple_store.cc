@@ -1,6 +1,7 @@
 #include "rdf/triple_store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace rdfcube {
 namespace rdf {
@@ -57,6 +58,65 @@ void ScanIndex(const std::vector<Triple>& index, TermId k1, TermId k2,
 
 }  // namespace
 
+TripleStore::TripleStore(const TripleStore& other) { *this = other; }
+
+TripleStore& TripleStore::operator=(const TripleStore& other) {
+  if (this == &other) return *this;
+  // Snapshot the source's lazy-index state under its own lock (a concurrent
+  // const Match() on `other` may be mid-rebuild), then install it under
+  // ours. Two sequential critical sections, so no two-lock ordering to get
+  // wrong and self-assignment aside, no deadlock is possible.
+  bool valid;
+  std::vector<Triple> spo, pos, osp;
+  {
+    MutexLock lock(&other.index_mu_);
+    valid = other.indexes_valid_;
+    spo = other.spo_;
+    pos = other.pos_;
+    osp = other.osp_;
+  }
+  dict_ = other.dict_;
+  triples_ = other.triples_;
+  seen_ = other.seen_;
+  {
+    MutexLock lock(&index_mu_);
+    indexes_valid_ = valid;
+    spo_ = std::move(spo);
+    pos_ = std::move(pos);
+    osp_ = std::move(osp);
+  }
+  return *this;
+}
+
+TripleStore::TripleStore(TripleStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this == &other) return *this;
+  bool valid;
+  std::vector<Triple> spo, pos, osp;
+  {
+    MutexLock lock(&other.index_mu_);
+    valid = other.indexes_valid_;
+    spo = std::move(other.spo_);
+    pos = std::move(other.pos_);
+    osp = std::move(other.osp_);
+    other.indexes_valid_ = false;
+  }
+  dict_ = std::move(other.dict_);
+  triples_ = std::move(other.triples_);
+  seen_ = std::move(other.seen_);
+  {
+    MutexLock lock(&index_mu_);
+    indexes_valid_ = valid;
+    spo_ = std::move(spo);
+    pos_ = std::move(pos);
+    osp_ = std::move(osp);
+  }
+  return *this;
+}
+
 bool TripleStore::Insert(const Term& s, const Term& p, const Term& o) {
   return InsertEncoded(
       Triple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
@@ -67,6 +127,10 @@ bool TripleStore::InsertEncoded(const Triple& t) {
   (void)it;
   if (!inserted) return false;
   triples_.push_back(t);
+  // Mutation requires external synchronization, but the invalidation still
+  // takes the index lock: it is a cold path, and it keeps every write to the
+  // guarded lazy-index state under its capability.
+  MutexLock lock(&index_mu_);
   indexes_valid_ = false;
   return true;
 }
@@ -75,7 +139,7 @@ void TripleStore::EnsureIndexes() const {
   // Serializes the lazy rebuild so concurrent const readers are safe: the
   // first Match after a mutation builds under the lock, later ones see
   // indexes_valid_ and read the vectors happens-after the build.
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(&index_mu_);
   if (indexes_valid_) return;
   spo_ = triples_;
   std::sort(spo_.begin(), spo_.end(), LessSpo);

@@ -5,12 +5,12 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
+#include "util/thread_annotations.h"
 
 namespace rdfcube {
 namespace rdf {
@@ -42,52 +42,16 @@ class TripleStore {
   TripleStore() = default;
 
   // Copyable and movable despite the index mutex: the guard protects
-  // per-instance state, so the destination simply gets a fresh one.
-  // Copying/moving while another thread accesses the source is a caller
-  // error, as for any copy.
-  TripleStore(const TripleStore& other)
-      : dict_(other.dict_),
-        triples_(other.triples_),
-        seen_(other.seen_),
-        indexes_valid_(other.indexes_valid_),
-        spo_(other.spo_),
-        pos_(other.pos_),
-        osp_(other.osp_) {}
-  TripleStore& operator=(const TripleStore& other) {
-    if (this != &other) {
-      dict_ = other.dict_;
-      triples_ = other.triples_;
-      seen_ = other.seen_;
-      indexes_valid_ = other.indexes_valid_;
-      spo_ = other.spo_;
-      pos_ = other.pos_;
-      osp_ = other.osp_;
-    }
-    return *this;
-  }
-  TripleStore(TripleStore&& other) noexcept
-      : dict_(std::move(other.dict_)),
-        triples_(std::move(other.triples_)),
-        seen_(std::move(other.seen_)),
-        indexes_valid_(other.indexes_valid_),
-        spo_(std::move(other.spo_)),
-        pos_(std::move(other.pos_)),
-        osp_(std::move(other.osp_)) {
-    other.indexes_valid_ = false;
-  }
-  TripleStore& operator=(TripleStore&& other) noexcept {
-    if (this != &other) {
-      dict_ = std::move(other.dict_);
-      triples_ = std::move(other.triples_);
-      seen_ = std::move(other.seen_);
-      indexes_valid_ = other.indexes_valid_;
-      spo_ = std::move(other.spo_);
-      pos_ = std::move(other.pos_);
-      osp_ = std::move(other.osp_);
-      other.indexes_valid_ = false;
-    }
-    return *this;
-  }
+  // per-instance state, so the destination simply gets a fresh one. The
+  // source's lazy-index state is read under its own index_mu_, so copying
+  // from a store whose indexes a concurrent const Match() is rebuilding is
+  // safe (mutating the source concurrently remains a caller error, as for
+  // any copy). Implemented in the .cc — the locking discipline lives with
+  // EnsureIndexes().
+  TripleStore(const TripleStore& other);
+  TripleStore& operator=(const TripleStore& other);
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   /// Interns the terms and inserts the triple. Duplicate triples are ignored
   /// (RDF graphs are sets). Returns true if the triple was new.
@@ -104,8 +68,12 @@ class TripleStore {
 
   /// Calls `fn` for every triple matching the pattern; kNoTerm components are
   /// wildcards. Returning false from `fn` stops iteration early.
+  // no_thread_safety_analysis: the scan reads the index vectors lock-free
+  // after EnsureIndexes() (see the index_mu_ comment below); holding the
+  // rebuild lock for the whole scan would serialize all readers.
   void Match(TermId s, TermId p, TermId o,
-             const std::function<bool(const Triple&)>& fn) const;
+             const std::function<bool(const Triple&)>& fn) const
+      RDFCUBE_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Convenience: all matches collected into a vector.
   std::vector<Triple> MatchAll(TermId s, TermId p, TermId o) const;
@@ -128,7 +96,7 @@ class TripleStore {
  private:
   enum class IndexKind { kSpo, kPos, kOsp };
 
-  void EnsureIndexes() const;
+  void EnsureIndexes() const RDFCUBE_EXCLUDES(index_mu_);
 
   Dictionary dict_;
   std::vector<Triple> triples_;
@@ -146,11 +114,15 @@ class TripleStore {
   // Lazily maintained sorted permutations. mutable: rebuilt from const Match.
   // index_mu_ serializes the rebuild so concurrent const readers never race
   // on it (mutation still requires external synchronization, as usual).
-  mutable std::mutex index_mu_;
-  mutable bool indexes_valid_ = false;
-  mutable std::vector<Triple> spo_;
-  mutable std::vector<Triple> pos_;
-  mutable std::vector<Triple> osp_;
+  // Writes happen only inside EnsureIndexes() and the copy/move special
+  // members, all under the lock; steady-state reads in Match() are lock-free
+  // by the external-synchronization contract (no writer can exist then) and
+  // are marked no_thread_safety_analysis rather than silently unguarded.
+  mutable Mutex index_mu_;
+  mutable bool indexes_valid_ RDFCUBE_GUARDED_BY(index_mu_) = false;
+  mutable std::vector<Triple> spo_ RDFCUBE_GUARDED_BY(index_mu_);
+  mutable std::vector<Triple> pos_ RDFCUBE_GUARDED_BY(index_mu_);
+  mutable std::vector<Triple> osp_ RDFCUBE_GUARDED_BY(index_mu_);
 };
 
 }  // namespace rdf

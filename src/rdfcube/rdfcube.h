@@ -80,6 +80,7 @@
 #include "util/status.h"                   // IWYU pragma: export
 #include "util/stopwatch.h"                // IWYU pragma: export
 #include "util/string_util.h"              // IWYU pragma: export
+#include "util/thread_annotations.h"       // IWYU pragma: export
 #include "util/thread_pool.h"              // IWYU pragma: export
 
 #endif  // RDFCUBE_RDFCUBE_H_

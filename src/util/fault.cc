@@ -35,7 +35,7 @@ FaultInjector::Point& FaultInjector::PointLocked(const std::string& point) {
 }
 
 void FaultInjector::ArmProbability(const std::string& point, double p) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Point& pt = PointLocked(point);
   pt.mode = Point::Mode::kProbability;
   pt.probability = std::clamp(p, 0.0, 1.0);
@@ -47,7 +47,7 @@ void FaultInjector::ArmNthCall(const std::string& point, uint64_t nth) {
 
 void FaultInjector::ArmCallRange(const std::string& point, uint64_t first,
                                  uint64_t last) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Point& pt = PointLocked(point);
   pt.mode = Point::Mode::kCallRange;
   pt.range_first = first;
@@ -55,12 +55,12 @@ void FaultInjector::ArmCallRange(const std::string& point, uint64_t first,
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PointLocked(point).mode = Point::Mode::kDisarmed;
 }
 
 bool FaultInjector::ShouldFail(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Point& pt = PointLocked(point);
   ++pt.calls;
   bool fail = false;
@@ -84,29 +84,29 @@ bool FaultInjector::ShouldFail(const std::string& point) {
 }
 
 uint64_t FaultInjector::calls(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.calls;
 }
 
 uint64_t FaultInjector::fired(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fired;
 }
 
 uint64_t FaultInjector::total_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return log_.size();
 }
 
 std::vector<FaultEvent> FaultInjector::log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return log_;
 }
 
 void FaultInjector::ResetCounters() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   log_.clear();
   for (auto& [name, pt] : points_) {
     pt.calls = 0;

@@ -9,12 +9,12 @@
 #define RDFCUBE_UTIL_FAULT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace rdfcube {
 
@@ -98,13 +98,13 @@ class FaultInjector {
   // the injector seed).
   static uint64_t StreamSeed(uint64_t seed, const std::string& point);
 
-  Point& PointLocked(const std::string& point);
+  Point& PointLocked(const std::string& point) RDFCUBE_REQUIRES(mu_);
 
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Point> points_;
-  std::unordered_map<std::string, Rng> streams_;
-  std::vector<FaultEvent> log_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Point> points_ RDFCUBE_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Rng> streams_ RDFCUBE_GUARDED_BY(mu_);
+  std::vector<FaultEvent> log_ RDFCUBE_GUARDED_BY(mu_);
 };
 
 /// \brief Installs `injector` as the process-global injector for the scope's

@@ -55,7 +55,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -66,7 +66,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   TasksSubmitted().Increment();
   QueueDepth().Increment();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -74,12 +74,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  // Explicit predicate loop (not the lambda overload): the guarded read of
+  // in_flight_ stays in this function's scope, where the analysis sees the
+  // capability held.
+  while (in_flight_ != 0) lock.Wait(all_done_);
 }
 
 Status ThreadPool::TakeError() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status error = std::move(first_error_);
   first_error_ = Status::OK();
   return error;
@@ -87,7 +90,7 @@ Status ThreadPool::TakeError() {
 
 void ThreadPool::ReportError(const Status& status) {
   if (status.ok()) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (first_error_.ok()) first_error_ = status;
 }
 
@@ -95,13 +98,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
+      MutexLock lock(&mu_);
+      while (!shutting_down_ && tasks_.empty()) lock.Wait(task_available_);
+      // Drain the queue before honoring shutdown so already-submitted tasks
+      // still run; empty here implies shutting_down_.
+      if (tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -125,7 +126,7 @@ void ThreadPool::WorkerLoop() {
       TasksFailed().Increment();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!error.ok() && first_error_.ok()) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
@@ -151,8 +152,8 @@ Status TryParallelFor(ThreadPool* pool, std::size_t n,
                       const std::function<Status(std::size_t)>& fn) {
   if (n == 0) return Status::OK();
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  Status first_error;
+  Mutex error_mu;
+  Status first_error;  // guarded by error_mu until pool->Wait() returns
   const std::size_t shards = pool->num_threads() * 4;
   const std::size_t chunk = (n + shards - 1) / shards;
   for (std::size_t begin = 0; begin < n; begin += chunk) {
@@ -163,7 +164,7 @@ Status TryParallelFor(ThreadPool* pool, std::size_t n,
         Status st = fn(i);
         if (!st.ok()) {
           failed.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(&error_mu);
           if (first_error.ok()) first_error = std::move(st);
           return;
         }

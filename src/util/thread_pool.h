@@ -7,12 +7,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace rdfcube {
 
@@ -52,13 +52,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  Status first_error_;
+  Mutex mu_;
+  std::condition_variable task_available_ RDFCUBE_CONDVAR_PAIRED_WITH(mu_);
+  std::condition_variable all_done_ RDFCUBE_CONDVAR_PAIRED_WITH(mu_);
+  std::queue<std::function<void()>> tasks_ RDFCUBE_GUARDED_BY(mu_);
+  std::size_t in_flight_ RDFCUBE_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ RDFCUBE_GUARDED_BY(mu_) = false;
+  Status first_error_ RDFCUBE_GUARDED_BY(mu_);
+  // Written once in the constructor before any worker can observe the pool;
+  // joined in the destructor. Not touched by tasks, so no guard.
   std::vector<std::thread> workers_;
 };
 

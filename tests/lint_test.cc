@@ -246,9 +246,132 @@ TEST_F(LintTest, BareStopwatchWithSuppressionDoesNotFire) {
   EXPECT_FALSE(Fired("bare-stopwatch"));
 }
 
+TEST_F(LintTest, BareMutexMemberFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/locked.cc",
+            "class Cache {\n"
+            "  mutable std::mutex mu_;\n"
+            "};\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "lock-annotation");
+  EXPECT_EQ(violations[0].file, "src/qb/locked.cc");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, BareConditionVariableFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/locked.cc", "std::condition_variable cv_;\n");
+  EXPECT_TRUE(Fired("lock-annotation"));
+}
+
+TEST_F(LintTest, AnnotatedCondvarDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/locked.cc",
+            "std::condition_variable cv_ RDFCUBE_CONDVAR_PAIRED_WITH(mu_);\n");
+  EXPECT_FALSE(Fired("lock-annotation"));
+}
+
+TEST_F(LintTest, UniqueLockTemplateArgumentDoesNotFire) {
+  WriteCleanTree();
+  // std::mutex as a template argument is a use, not an unannotated member.
+  WriteFile("src/qb/locked.cc", "std::unique_lock<std::mutex> lock_;\n");
+  EXPECT_FALSE(Fired("lock-annotation"));
+}
+
+TEST_F(LintTest, BareMutexWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/locked.cc",
+            "std::mutex mu_;  // lint:allow(lock-annotation)\n");
+  EXPECT_FALSE(Fired("lock-annotation"));
+}
+
+TEST_F(LintTest, ObsLocalVariableFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/shadow.cc",
+            "void F(const Corpus& c) {\n"
+            "  const ObservationSet& obs = c.observations();\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "obs-shadowing");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, ObsFunctionParameterDoesNotFire) {
+  WriteCleanTree();
+  // Parameters named obs are the established call-signature style; bodies
+  // use the obx namespace alias instead.
+  WriteFile("src/qb/shadow.cc",
+            "void F(const ObservationSet& obs, int n);\n");
+  EXPECT_FALSE(Fired("obs-shadowing"));
+}
+
+TEST_F(LintTest, ObsNamespaceAliasDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/shadow.cc", "namespace obx = ::rdfcube::obs;\n");
+  EXPECT_FALSE(Fired("obs-shadowing"));
+}
+
+TEST_F(LintTest, ObsLocalWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/shadow.cc",
+            "auto obs = Load();  // lint:allow(obs-shadowing)\n");
+  EXPECT_FALSE(Fired("obs-shadowing"));
+}
+
+TEST_F(LintTest, OffSchemeMetricNameFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/metric.cc",
+            "static obs::Counter& c = obs::DefaultCounter(\"loads\", \"n\");\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "metric-name");
+  EXPECT_EQ(violations[0].line, 1u);
+}
+
+TEST_F(LintTest, SchemeConformingMetricNameDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/metric.cc",
+            "static obs::Counter& c =\n"
+            "    obs::DefaultCounter(\"rdfcube_qb_loads_total\", \"n\");\n");
+  EXPECT_FALSE(Fired("metric-name"));
+}
+
+TEST_F(LintTest, WrappedCallLiteralOnNextLineIsChecked) {
+  WriteCleanTree();
+  // The function-local static idiom often wraps after the open paren; the
+  // literal on the continuation line must still be validated.
+  WriteFile("src/qb/metric.cc",
+            "static obs::Counter& c = obs::DefaultCounter(\n"
+            "    \"qb_loads\", \"n\");\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "metric-name");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, MetricNamePassedAsVariableIsSkipped) {
+  WriteCleanTree();
+  // Registry pass-throughs forward a computed name; nothing checkable.
+  WriteFile("src/qb/metric.cc",
+            "Counter& F(const std::string& name) {\n"
+            "  return DefaultCounter(name, kHelp);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("metric-name"));
+}
+
+TEST_F(LintTest, OffSchemeMetricNameWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/metric.cc",
+            "auto& c = obs::DefaultCounter(\"legacy\", \"n\");"
+            "  // lint:allow(metric-name)\n");
+  EXPECT_FALSE(Fired("metric-name"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all six, none masking another.
+  // all nine, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
@@ -256,18 +379,23 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   WriteFile("src/util/nodoc.h", "class NoDoc {\n};\n");
   WriteFile("tools/cli.cpp", "int F(const char* s) { return atoi(s); }\n");
   WriteFile("bench/bench_bad.cc", "Stopwatch watch;\n");
+  WriteFile("src/qb/locked.cc", "std::mutex mu_;\n");
+  WriteFile("src/qb/shadow.cc", "auto obs = Load();\n");
+  WriteFile("src/qb/metric.cc",
+            "auto& c = obs::DefaultCounter(\"loads\", \"n\");\n");
   WriteFile("src/rdfcube/rdfcube.h",
             "#include \"core/engine.h\"\n"
             "#include \"util/nodoc.h\"\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
-        "doxygen-public", "checked-parse", "bare-stopwatch"}) {
+        "doxygen-public", "checked-parse", "bare-stopwatch",
+        "lock-annotation", "obs-shadowing", "metric-name"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 9u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

@@ -1,0 +1,30 @@
+// Negative proof for the thread-safety gate: this TU writes a
+// RDFCUBE_GUARDED_BY member without holding its mutex. Under
+// -DRDFCUBE_THREAD_SAFETY=ON (clang, -Wthread-safety -Werror) it MUST fail
+// to compile — tests/CMakeLists.txt try_compiles it and aborts the
+// configure if it builds, because that would mean the annotations have
+// silently stopped analyzing anything (e.g. the macros expanded to no-ops
+// under a misdetected compiler). It is never part of any build target.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held; the analysis must reject this.
+  }
+
+ private:
+  rdfcube::Mutex mu_;
+  int balance_ RDFCUBE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return 0;
+}

@@ -200,7 +200,8 @@ void CheckParses(const fs::path& root, std::vector<Violation>* out) {
   static const std::string kCheck = "checked-parse";
   static const std::regex kUnchecked(
       R"(std::sto[a-z]+\s*\(|\b(atoi|atol|atoll|atof)\s*\()");
-  for (const std::string& dir : {std::string("src"), std::string("tools")}) {
+  for (const std::string& dir :
+       {std::string("src"), std::string("tools"), std::string("bench")}) {
     for (const std::string& file : SourceFilesUnder(root, dir)) {
       const std::vector<std::string> lines = ReadLines(root / file);
       for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -239,6 +240,113 @@ void CheckBareStopwatch(const fs::path& root, std::vector<Violation>* out) {
   }
 }
 
+// --- lock-annotation ---------------------------------------------------------
+
+void CheckLockAnnotations(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "lock-annotation";
+  // A data-member (or local) *declaration* of a standard lock type: the type
+  // starts the statement, so template-argument occurrences such as
+  // std::unique_lock<std::mutex> never match.
+  static const std::regex kBareLockMember(
+      R"(^\s*(mutable\s+)?std::(mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?)\s+[A-Za-z_])");
+  for (const std::string& dir :
+       {std::string("src"), std::string("tools"), std::string("bench")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (!std::regex_search(code, kBareLockMember)) continue;
+        if (code.find("RDFCUBE_") != std::string::npos) continue;
+        out->push_back(
+            {kCheck, file, i + 1,
+             "unannotated lock: use rdfcube::Mutex (annotated capability, "
+             "util/thread_annotations.h) or add an RDFCUBE_* thread-safety "
+             "annotation (condvars: RDFCUBE_CONDVAR_PAIRED_WITH(<mutex>))"});
+      }
+    }
+  }
+}
+
+// --- obs-shadowing -----------------------------------------------------------
+
+void CheckObsShadowing(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "obs-shadowing";
+  // A declaration introducing a variable named `obs`: a type-ish token, then
+  // `obs`, then an initializer or declaration terminator. Parameters named
+  // obs (`... & obs,` / `... & obs)`) are the established call-signature
+  // style and are excluded — inside those bodies the obx alias applies.
+  static const std::regex kObsDecl(R"([A-Za-z0-9_>&*\]]\s+obs\s*[={;])");
+  for (const std::string& dir :
+       {std::string("src"), std::string("tools"), std::string("bench")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (code.find("namespace") != std::string::npos) continue;
+        if (!std::regex_search(code, kObsDecl)) continue;
+        out->push_back(
+            {kCheck, file, i + 1,
+             "local variable named `obs` shadows namespace rdfcube::obs "
+             "(obs::Counter etc. stop resolving); rename it, or alias "
+             "`namespace obx = ::rdfcube::obs;` for instrumentation"});
+      }
+    }
+  }
+}
+
+// --- metric-name -------------------------------------------------------------
+
+void CheckMetricNames(const fs::path& root, std::vector<Violation>* out) {
+  static const std::string kCheck = "metric-name";
+  static const std::regex kRegistration(
+      R"((DefaultCounter|DefaultGauge|DefaultHistogram|GetCounter|GetGauge|GetHistogram)\s*\()");
+  static const std::regex kLiteral(R"re("([^"]*)")re");
+  // rdfcube_<module>_<name>_<unit>: lowercase, at least four tokens overall
+  // (rdfcube + module + one-or-more name words + unit).
+  static const std::regex kScheme(R"(^rdfcube_[a-z][a-z0-9]*(_[a-z0-9]+){2,}$)");
+  for (const std::string& dir :
+       {std::string("src"), std::string("tools"), std::string("bench")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      const std::vector<std::string> lines = ReadLines(root / file);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (Suppressed(lines[i], kCheck)) continue;
+        const std::string code(CodeText(lines[i]));
+        if (!std::regex_search(code, kRegistration)) continue;
+        // The name literal sits on the call line or (function-local static
+        // idiom, clang-format wrapped) on the next one. Calls passing a
+        // computed name are not checkable mechanically and are skipped.
+        std::smatch m;
+        std::size_t literal_line = i;
+        std::string literal;
+        if (std::regex_search(code, m, kLiteral)) {
+          literal = m[1];
+        } else if (code.find(';') == std::string::npos && i + 1 < lines.size()) {
+          // Wrapped call: the statement continues, so the name literal may sit
+          // on the following line. A call line ending the statement with a
+          // variable name (registry pass-throughs) is skipped instead.
+          const std::string next(CodeText(lines[i + 1]));
+          if (std::regex_search(next, m, kLiteral)) {
+            literal = m[1];
+            literal_line = i + 1;
+          }
+        }
+        if (literal.empty() || Suppressed(lines[literal_line], kCheck)) {
+          continue;
+        }
+        if (!std::regex_match(literal, kScheme)) {
+          out->push_back(
+              {kCheck, file, literal_line + 1,
+               "metric name '" + literal +
+                   "' violates the rdfcube_<module>_<name>_<unit> scheme "
+                   "(lowercase, >= 4 underscore-separated tokens)"});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> RunAllChecks(const std::string& root) {
@@ -255,6 +363,9 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
   CheckDoxygenPublic(r, &out);
   CheckParses(r, &out);
   CheckBareStopwatch(r, &out);
+  CheckLockAnnotations(r, &out);
+  CheckObsShadowing(r, &out);
+  CheckMetricNames(r, &out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.check) <
            std::tie(b.file, b.line, b.check);

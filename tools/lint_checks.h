@@ -21,6 +21,25 @@
 //                         excepted: it is the harness): phase timing goes
 //                         through obs::TraceSpan so it lands in the
 //                         BENCH_*.json phase breakdown.
+//   lock-annotation       every std::mutex / std::shared_mutex /
+//                         std::condition_variable data member carries a
+//                         thread-safety annotation from
+//                         util/thread_annotations.h (use rdfcube::Mutex for
+//                         lockables so clang's -Wthread-safety sees them;
+//                         pair condvars via RDFCUBE_CONDVAR_PAIRED_WITH).
+//   obs-shadowing         no local variable named `obs`: it hides namespace
+//                         rdfcube::obs, breaking obs::Counter/obs::TraceSpan
+//                         instrumentation in that scope (alias
+//                         `namespace obx = ::rdfcube::obs;` where a
+//                         parameter already uses the name).
+//   metric-name           metric registration literals follow the
+//                         rdfcube_<module>_<name>_<unit> scheme (lowercase,
+//                         >= 4 underscore-separated tokens), so dashboards
+//                         can group by module mechanically.
+//
+// Walk roots: src/ and tools/ and bench/ (per-check subsets documented
+// above; bench/ is included so harness code obeys checked-parse and the
+// concurrency lints too).
 
 #ifndef RDFCUBE_TOOLS_LINT_CHECKS_H_
 #define RDFCUBE_TOOLS_LINT_CHECKS_H_

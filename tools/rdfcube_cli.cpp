@@ -61,13 +61,13 @@ int CmdStats(const std::string& path, const std::vector<std::string>& args) {
   }
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
-  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::ObservationSet& observations = *corpus->observations;
   const qb::CubeSpace& space = *corpus->space;
-  std::printf("observations: %zu\n", obs.size());
-  std::printf("datasets:     %zu\n", obs.num_datasets());
-  for (qb::DatasetId d = 0; d < obs.num_datasets(); ++d) {
-    std::printf("  %-40s %zu observations\n", obs.dataset(d).iri.c_str(),
-                obs.dataset(d).observations.size());
+  std::printf("observations: %zu\n", observations.size());
+  std::printf("datasets:     %zu\n", observations.num_datasets());
+  for (qb::DatasetId d = 0; d < observations.num_datasets(); ++d) {
+    std::printf("  %-40s %zu observations\n", observations.dataset(d).iri.c_str(),
+                observations.dataset(d).observations.size());
   }
   std::printf("dimensions:   %zu\n", space.num_dimensions());
   for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
@@ -76,11 +76,11 @@ int CmdStats(const std::string& path, const std::vector<std::string>& args) {
                 space.code_list(d).max_level());
   }
   std::printf("measures:     %zu\n", space.num_measures());
-  const core::Lattice lattice(obs);
+  const core::Lattice lattice(observations);
   std::printf("lattice:      %zu populated cubes (%.4f per observation)\n",
               lattice.num_cubes(),
-              obs.size() ? static_cast<double>(lattice.num_cubes()) /
-                               static_cast<double>(obs.size())
+              observations.size() ? static_cast<double>(lattice.num_cubes()) /
+                               static_cast<double>(observations.size())
                          : 0.0);
   if (!want_report) return 0;
 
@@ -96,7 +96,7 @@ int CmdStats(const std::string& path, const std::vector<std::string>& args) {
     core::CountingSink sink;
     const core::EngineOptions options;
     const Status st =
-        core::ComputeRelationships(obs, options, &sink, &engine_report);
+        core::ComputeRelationships(observations, options, &sink, &engine_report);
     if (!st.ok()) return Fail(st);
   }
   obx::TraceCollector::Global().Disable();
@@ -168,21 +168,21 @@ int CmdRelate(const std::string& path, const std::vector<std::string>& args) {
   }
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
-  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::ObservationSet& observations = *corpus->observations;
 
   core::EngineReport report;
   Status st;
   if (out_path.empty()) {
     core::CountingSink sink;
-    st = core::ComputeRelationships(obs, options, &sink, &report);
+    st = core::ComputeRelationships(observations, options, &sink, &report);
     if (!st.ok()) return Fail(st);
     std::printf("full containment:    %zu\n", sink.full());
     std::printf("partial containment: %zu\n", sink.partial());
     std::printf("complementarity:     %zu\n", sink.complementary());
   } else {
     rdf::TripleStore out_store;
-    core::RdfMaterializingSink sink(&obs, &out_store);
-    st = core::ComputeRelationships(obs, options, &sink, &report);
+    core::RdfMaterializingSink sink(&observations, &out_store);
+    st = core::ComputeRelationships(observations, options, &sink, &report);
     if (!st.ok()) return Fail(st);
     std::ofstream out(out_path);
     if (!out) {
@@ -201,25 +201,25 @@ int CmdRelate(const std::string& path, const std::vector<std::string>& args) {
 int CmdSkyline(const std::string& path) {
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
-  const qb::ObservationSet& obs = *corpus->observations;
-  const core::Lattice lattice(obs);
-  const auto skyline = core::ComputeSkyline(obs, lattice);
+  const qb::ObservationSet& observations = *corpus->observations;
+  const core::Lattice lattice(observations);
+  const auto skyline = core::ComputeSkyline(observations, lattice);
   for (qb::ObsId id : skyline) {
-    std::printf("%s\n", obs.obs(id).iri.c_str());
+    std::printf("%s\n", observations.obs(id).iri.c_str());
   }
   std::fprintf(stderr, "%zu of %zu observations on the skyline\n",
-               skyline.size(), obs.size());
+               skyline.size(), observations.size());
   return 0;
 }
 
 int CmdExplore(const std::string& path, const std::string& obs_iri) {
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
-  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::ObservationSet& observations = *corpus->observations;
   qb::ObsId id = 0;
   bool found = false;
-  for (qb::ObsId i = 0; i < obs.size(); ++i) {
-    if (obs.obs(i).iri == obs_iri) {
+  for (qb::ObsId i = 0; i < observations.size(); ++i) {
+    if (observations.obs(i).iri == obs_iri) {
       id = i;
       found = true;
       break;
@@ -229,22 +229,22 @@ int CmdExplore(const std::string& path, const std::string& obs_iri) {
     std::fprintf(stderr, "observation not found: %s\n", obs_iri.c_str());
     return 1;
   }
-  const core::CubeExplorer explorer(&obs);
+  const core::CubeExplorer explorer(&observations);
   std::printf("containers (roll-up):\n");
   for (qb::ObsId o : explorer.Containers(id)) {
-    std::printf("  %s\n", obs.obs(o).iri.c_str());
+    std::printf("  %s\n", observations.obs(o).iri.c_str());
   }
   std::printf("contained (drill-down):\n");
   for (qb::ObsId o : explorer.ContainedBy(id)) {
-    std::printf("  %s\n", obs.obs(o).iri.c_str());
+    std::printf("  %s\n", observations.obs(o).iri.c_str());
   }
   std::printf("complements:\n");
   for (qb::ObsId o : explorer.Complements(id)) {
-    std::printf("  %s\n", obs.obs(o).iri.c_str());
+    std::printf("  %s\n", observations.obs(o).iri.c_str());
   }
   std::printf("partially contains (degree >= 0.5):\n");
   for (const auto& match : explorer.PartiallyContained(id, 0.5)) {
-    std::printf("  %s (%.2f)\n", obs.obs(match.other).iri.c_str(),
+    std::printf("  %s (%.2f)\n", observations.obs(match.other).iri.c_str(),
                 match.degree);
   }
   return 0;
@@ -253,7 +253,7 @@ int CmdExplore(const std::string& path, const std::string& obs_iri) {
 int CmdRollup(const std::string& path, const std::vector<std::string>& args) {
   auto corpus = LoadFile(path);
   if (!corpus.ok()) return Fail(corpus.status());
-  const qb::ObservationSet& obs = *corpus->observations;
+  const qb::ObservationSet& observations = *corpus->observations;
   const qb::CubeSpace& space = *corpus->space;
 
   std::vector<std::pair<qb::DimId, hierarchy::CodeId>> target;
@@ -277,8 +277,8 @@ int CmdRollup(const std::string& path, const std::vector<std::string>& args) {
     target.emplace_back(*dim, *code);
   }
 
-  const core::Lattice lattice(obs);
-  auto result = core::RollUp(obs, lattice, target);
+  const core::Lattice lattice(observations);
+  auto result = core::RollUp(observations, lattice, target);
   if (!result.ok()) return Fail(result.status());
   std::printf("coordinate:");
   for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {
