@@ -4,6 +4,9 @@
 #   build        tier-1 build of the main tree
 #   ctest        the full test suite (includes lint_test, race_stress_test
 #                and the header self-containment target)
+#   deps         scripts/check_deps.sh (the architecture gate: include graph
+#                vs the declared layer DAG in tools/layers.txt, plus the
+#                DOT/JSON graph exports)
 #   static       scripts/check_static_analysis.sh (rdfcube_lint + clang-tidy)
 #   bench json   scripts/check_bench_json.sh (BENCH_*.json schema + the
 #                phases-sum-to-wall-clock invariant, smoke-mode run)
@@ -25,6 +28,11 @@ cmake --build build -j1
 
 echo "== ctest =="
 ctest --test-dir build --output-on-failure
+
+echo "== architecture gate =="
+# Also runs inside the static stage; kept explicit so --fast still fails
+# loudly on a layering break even if the static stage is later reshaped.
+scripts/check_deps.sh
 
 echo "== static analysis =="
 scripts/check_static_analysis.sh

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Architecture gate: tools/rdfcube_deps extracts the comment/string-aware
+# #include graph of src/, tools/ and bench/, checks it against the declared
+# layer DAG in tools/layers.txt (undeclared edges, modules missing from the
+# manifest, file- and module-level cycles, transitive-only namespace uses),
+# and exports the graph as DOT + JSON into the build tree so CI can upload
+# exactly the artifacts that explain a failure (the exports are written even
+# when the gate fails).
+#
+# Usage: scripts/check_deps.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+cmake -B "$build" >/dev/null
+# -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
+cmake --build "$build" -j1 --target rdfcube_deps
+
+"$build/tools/rdfcube_deps" . \
+  --dot="$build/deps_graph.dot" \
+  --json="$build/deps_graph.json"

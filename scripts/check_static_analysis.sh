@@ -7,18 +7,25 @@
 #   1. tools/rdfcube_lint — mechanical enforcement of the CLAUDE.md
 #      invariants (no-throw hot paths, std::function recursion in
 #      sparql/rules, umbrella-header sync, Doxygen on public items, checked
-#      parses, bare stopwatches, lock annotations, obs shadowing, metric
-#      names). Always runs; failing it fails the gate.
-#   2. clang-tidy over compile_commands.json with the checked-in .clang-tidy
+#      parses, checked .value() unwraps, bare stopwatches, lock annotations,
+#      obs shadowing, metric names) plus the architecture checks it shares
+#      with rdfcube_deps (layer-dag, include-cycle, iwyu-direct). Always
+#      runs; failing it fails the gate. A machine-readable copy of the
+#      findings lands in <build>/lint_report.json for artifact upload.
+#   2. scripts/check_deps.sh — the architecture gate proper: rdfcube_deps
+#      re-runs the layer checks standalone (a missing tools/layers.txt is an
+#      error here, where rdfcube_lint merely skips the layer checks) and
+#      exports the include graph as <build>/deps_graph.{dot,json}.
+#   3. clang-tidy over compile_commands.json with the checked-in .clang-tidy
 #      profile, chunked so one bad translation unit cannot starve the rest
 #      of the run and any failing chunk fails the gate. Skipped with a
 #      notice when the binary is absent.
-#   3. clang -Wthread-safety: a separate build tree configured with
+#   4. clang -Wthread-safety: a separate build tree configured with
 #      -DRDFCUBE_THREAD_SAFETY=ON compiles the library under
 #      -Wthread-safety -Wthread-safety-beta -Werror, turning the
 #      util/thread_annotations.h capability annotations into a compile-time
 #      lock-discipline proof. Skipped with a notice when clang++ is absent.
-#   4. gcc -fanalyzer over the leaf libraries (src/util, src/obs, src/rdf:
+#   5. gcc -fanalyzer over the leaf libraries (src/util, src/obs, src/rdf:
 #      no dependencies above the C++ runtime, so the path-sensitive analysis
 #      stays tractable). C++ support is still experimental in gcc 12; the
 #      two known false-positive categories on this tree are suppressed
@@ -40,7 +47,18 @@ cmake -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$build" -j1 --target rdfcube_lint
 
 echo "== rdfcube_lint =="
-"$build/tools/rdfcube_lint" .
+# One JSON run for the artifact, then the human-readable listing on failure.
+lint_status=0
+"$build/tools/rdfcube_lint" . --format=json > "$build/lint_report.json" ||
+  lint_status=$?
+if [ "$lint_status" -ne 0 ]; then
+  "$build/tools/rdfcube_lint" . || true
+  exit "$lint_status"
+fi
+echo "rdfcube_lint: clean ($build/lint_report.json)"
+
+echo "== architecture gate (rdfcube_deps) =="
+scripts/check_deps.sh "$build"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="
@@ -63,7 +81,7 @@ if command -v clang++ >/dev/null 2>&1; then
   # Every module library: annotated classes (ThreadPool, FaultInjector,
   # MetricsRegistry, trace collector, TripleStore) are used across all of
   # them, and a REQUIRES violation only surfaces in the TU that locks wrong.
-  for lib in rdfcube_util rdfcube_obs rdfcube_rdf rdfcube_hierarchy \
+  for lib in rdfcube_base rdfcube_util rdfcube_obs rdfcube_rdf rdfcube_hierarchy \
              rdfcube_qb rdfcube_cluster rdfcube_core rdfcube_sparql \
              rdfcube_rules rdfcube_datagen rdfcube_align; do
     cmake --build build-tsafe -j1 --target "$lib"
@@ -74,7 +92,7 @@ fi
 
 if command -v g++ >/dev/null 2>&1; then
   echo "== gcc -fanalyzer (leaf libraries) =="
-  for f in src/util/*.cc src/obs/*.cc src/rdf/*.cc; do
+  for f in src/base/*.cc src/util/*.cc src/obs/*.cc src/rdf/*.cc; do
     echo "  $f"
     g++ -std=c++20 -Isrc -fsyntax-only \
       -fanalyzer \

@@ -12,7 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace align {

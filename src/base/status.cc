@@ -1,4 +1,4 @@
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 

@@ -1,0 +1,132 @@
+// Status: lightweight error propagation without exceptions on hot paths.
+// Modeled after the RocksDB / Arrow Status idiom.
+
+#ifndef RDFCUBE_BASE_STATUS_H_
+#define RDFCUBE_BASE_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rdfcube {
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the common, allocation-free case) or carries an
+/// error code plus a human-readable message. Functions that can fail return
+/// Status (or Result<T>, see result.h) instead of throwing: parsing malformed
+/// Turtle, loading an ill-formed cube, or querying an unknown dimension are
+/// expected runtime conditions, not programming errors.
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status produces
+/// plausible-but-wrong results instead of failures (exactly the bug class the
+/// paper's semantics make expensive to debug), so every discarded return is a
+/// compile error under -Werror.
+class [[nodiscard]] Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kParseError,
+    kOutOfRange,
+    kFailedPrecondition,
+    kTimedOut,
+    kResourceExhausted,
+    kInternal,
+    kIOError,
+  };
+
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \name Factory functions for each error code.
+  /// @{
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  [[nodiscard]] static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  [[nodiscard]] static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  [[nodiscard]] static Status ParseError(std::string_view msg) {
+    return Status(Code::kParseError, msg);
+  }
+  [[nodiscard]] static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string_view msg) {
+    return Status(Code::kFailedPrecondition, msg);
+  }
+  [[nodiscard]] static Status TimedOut(std::string_view msg) {
+    return Status(Code::kTimedOut, msg);
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
+  [[nodiscard]] static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  [[nodiscard]] static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  /// @}
+
+  bool ok() const { return rep_ == nullptr; }
+  Code code() const { return rep_ == nullptr ? Code::kOk : rep_->code; }
+
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code() == Code::kAlreadyExists; }
+  bool IsParseError() const { return code() == Code::kParseError; }
+  bool IsOutOfRange() const { return code() == Code::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == Code::kFailedPrecondition;
+  }
+  bool IsTimedOut() const { return code() == Code::kTimedOut; }
+  bool IsResourceExhausted() const {
+    return code() == Code::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == Code::kInternal; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+
+  /// Error message, empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>" for diagnostics and logging.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_shared<const Rep>(Rep{code, std::string(msg)})) {}
+
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+  // shared_ptr keeps Status copyable and cheap to pass; OK stays pointer-free.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Returns the symbolic name of a status code, e.g. "NotFound".
+std::string_view StatusCodeName(Status::Code code);
+
+/// Propagates a non-OK Status to the caller. Use inside functions that
+/// themselves return Status.
+#define RDFCUBE_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::rdfcube::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_BASE_STATUS_H_

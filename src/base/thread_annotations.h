@@ -1,0 +1,174 @@
+// Compile-time lock discipline (DESIGN.md §5e).
+//
+// Clang's -Wthread-safety capability analysis turns the lock invariants this
+// tree used to keep in comments ("guarded by mu_", "call with the lock held")
+// into build errors. The macros below expand to the Clang thread-safety
+// attributes when the compiler understands them and to nothing otherwise, so
+// GCC builds are byte-for-byte unaffected.
+//
+// libstdc++'s std::mutex carries no capability attributes, so locking through
+// std::lock_guard is invisible to the analysis. Mutex and MutexLock below are
+// zero-overhead annotated wrappers: Mutex is the capability, MutexLock is the
+// RDFCUBE_SCOPED_CAPABILITY guard (holding a std::unique_lock so
+// condition-variable waits work through MutexLock::Wait without dropping the
+// analyzed capability).
+//
+// Idiom at a glance:
+//
+//   class Worklist {
+//    public:
+//     void Push(Item item) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(std::move(item));   // OK: capability held
+//       ready_.notify_one();
+//     }
+//    private:
+//     void CompactLocked() RDFCUBE_REQUIRES(mu_);  // caller holds mu_
+//     Mutex mu_;
+//     std::condition_variable ready_ RDFCUBE_CONDVAR_PAIRED_WITH(mu_);
+//     std::vector<Item> items_ RDFCUBE_GUARDED_BY(mu_);
+//   };
+//
+// Build with scripts/check_static_analysis.sh (clang stage) or directly:
+//   CXX=clang++ cmake -B build-tsafe -DRDFCUBE_THREAD_SAFETY=ON
+
+#ifndef RDFCUBE_BASE_THREAD_ANNOTATIONS_H_
+#define RDFCUBE_BASE_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define RDFCUBE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define RDFCUBE_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a lockable capability (applied to the class declaration).
+#define RDFCUBE_CAPABILITY(x) RDFCUBE_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RDFCUBE_SCOPED_CAPABILITY RDFCUBE_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define RDFCUBE_GUARDED_BY(x) RDFCUBE_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define RDFCUBE_PT_GUARDED_BY(x) RDFCUBE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function precondition: the caller already holds the capability.
+#define RDFCUBE_REQUIRES(...) \
+  RDFCUBE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the caller holds the capability at least shared.
+#define RDFCUBE_REQUIRES_SHARED(...) \
+  RDFCUBE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively) and does not release it.
+#define RDFCUBE_ACQUIRE(...) \
+  RDFCUBE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Shared-acquisition counterpart of RDFCUBE_ACQUIRE.
+#define RDFCUBE_ACQUIRE_SHARED(...) \
+  RDFCUBE_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RDFCUBE_RELEASE(...) \
+  RDFCUBE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Shared-release counterpart of RDFCUBE_RELEASE.
+#define RDFCUBE_RELEASE_SHARED(...) \
+  RDFCUBE_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; first argument is the return
+/// value meaning success, e.g. RDFCUBE_TRY_ACQUIRE(true).
+#define RDFCUBE_TRY_ACQUIRE(...) \
+  RDFCUBE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock guard
+/// for functions that acquire it themselves).
+#define RDFCUBE_EXCLUDES(...) \
+  RDFCUBE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order: this capability before the given ones.
+#define RDFCUBE_ACQUIRED_BEFORE(...) \
+  RDFCUBE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Declares lock acquisition order: this capability after the given ones.
+#define RDFCUBE_ACQUIRED_AFTER(...) \
+  RDFCUBE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (analysis trusts it).
+#define RDFCUBE_ASSERT_CAPABILITY(x) \
+  RDFCUBE_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RDFCUBE_RETURN_CAPABILITY(x) \
+  RDFCUBE_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the unchecked access is safe.
+#define RDFCUBE_NO_THREAD_SAFETY_ANALYSIS \
+  RDFCUBE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+/// Documentation-only marker pairing a std::condition_variable member with
+/// the Mutex its waiters hold. Expands to nothing on every compiler (a
+/// condition variable is not itself a capability: notify_* is deliberately
+/// legal without the lock) but satisfies the lock-annotation lint and tells
+/// the reader which lock the wait predicate is evaluated under.
+#define RDFCUBE_CONDVAR_PAIRED_WITH(x)
+
+namespace rdfcube {
+
+/// \brief Annotated exclusive mutex: a zero-overhead std::mutex wrapper that
+/// Clang's capability analysis can see. Guarded data members are declared
+/// `T field_ RDFCUBE_GUARDED_BY(mu_);` and may only be touched under a
+/// MutexLock on `mu_` (or from a function annotated RDFCUBE_REQUIRES(mu_)).
+class RDFCUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the calling thread holds the mutex.
+  void Lock() RDFCUBE_ACQUIRE() { mu_.lock(); }
+
+  /// Releases the mutex (caller must hold it).
+  void Unlock() RDFCUBE_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the mutex iff it is free; true on success.
+  [[nodiscard]] bool TryLock() RDFCUBE_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;  // lint:allow(lock-annotation) — this IS the capability
+};
+
+/// \brief RAII guard for Mutex (the RDFCUBE_SCOPED_CAPABILITY the analysis
+/// tracks). Backed by std::unique_lock so condition-variable waits are a
+/// method on the guard: the capability is modeled as held across Wait(),
+/// matching how clang treats condition-variable sleeps (the lock is
+/// reacquired before Wait returns, so guarded reads after it are safe).
+class RDFCUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RDFCUBE_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() RDFCUBE_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Atomically releases the mutex and sleeps on `cv`; holds the mutex again
+  /// when this returns. Spurious wakeups propagate — loop on the predicate:
+  ///   while (!ready_) lock.Wait(ready_cv_);
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_BASE_THREAD_ANNOTATIONS_H_

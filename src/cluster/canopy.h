@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace cluster {

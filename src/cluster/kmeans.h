@@ -9,7 +9,7 @@
 #include "cluster/metric.h"
 #include "util/bitvector.h"
 #include "util/random.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace cluster {

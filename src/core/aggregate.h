@@ -13,9 +13,11 @@
 #include <utility>
 #include <vector>
 
+#include "base/result.h"
 #include "core/lattice.h"
+#include "hierarchy/code_list.h"
+#include "qb/cube_space.h"
 #include "qb/observation_set.h"
-#include "util/result.h"
 
 namespace rdfcube {
 namespace core {

@@ -1,5 +1,8 @@
 #include "core/baseline.h"
 
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 #include <numeric>
 #include <vector>
 

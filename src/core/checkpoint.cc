@@ -13,6 +13,8 @@
 #include "core/lattice.h"
 #include "core/snapshot_io.h"
 #include "obs/metrics.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 #include "util/fault.h"
 
 namespace rdfcube {

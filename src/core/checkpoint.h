@@ -25,8 +25,8 @@
 #include "core/cube_masking.h"
 #include "core/relationship.h"
 #include "qb/observation_set.h"
-#include "util/result.h"
-#include "util/status.h"
+#include "base/result.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace core {

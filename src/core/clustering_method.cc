@@ -8,6 +8,7 @@
 #include "cluster/xmeans.h"
 #include "core/baseline.h"
 #include "obs/trace.h"
+#include "qb/observation_set.h"
 #include "util/random.h"
 
 namespace rdfcube {

@@ -10,8 +10,8 @@
 #include "core/occurrence_matrix.h"
 #include "core/relationship.h"
 #include "qb/observation_set.h"
-#include "util/status.h"
-#include "util/stopwatch.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace core {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 #include "util/string_util.h"
 
 namespace rdfcube {

@@ -13,7 +13,7 @@
 #include "core/occurrence_matrix.h"
 #include "core/relationship.h"
 #include "qb/observation_set.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace core {

@@ -5,6 +5,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 
 namespace rdfcube {
 namespace core {

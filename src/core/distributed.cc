@@ -10,6 +10,8 @@
 #include "core/lattice.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 #include "util/fault.h"
 
 namespace rdfcube {

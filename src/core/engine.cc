@@ -6,6 +6,7 @@
 #include "core/baseline.h"
 #include "core/occurrence_matrix.h"
 #include "obs/trace.h"
+#include "qb/observation_set.h"
 
 namespace rdfcube {
 namespace core {

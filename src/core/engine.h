@@ -11,8 +11,8 @@
 #include "core/relationship.h"
 #include "obs/report.h"
 #include "qb/observation_set.h"
-#include "util/status.h"
-#include "util/stopwatch.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace core {

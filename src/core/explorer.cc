@@ -1,5 +1,8 @@
 #include "core/explorer.h"
 
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 namespace rdfcube {
 namespace core {
 

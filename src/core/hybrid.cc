@@ -1,6 +1,7 @@
 #include "core/hybrid.h"
 
 #include "core/occurrence_matrix.h"
+#include "qb/observation_set.h"
 
 namespace rdfcube {
 namespace core {

@@ -6,7 +6,10 @@
 
 #include "core/checkpoint.h"
 #include "core/snapshot_io.h"
+#include "hierarchy/code_list.h"
 #include "obs/metrics.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 
 namespace rdfcube {
 namespace core {

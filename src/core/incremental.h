@@ -15,7 +15,7 @@
 #include "core/lattice.h"
 #include "core/relationship.h"
 #include "qb/observation_set.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace core {

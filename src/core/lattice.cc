@@ -1,5 +1,8 @@
 #include "core/lattice.h"
 
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 #include <algorithm>
 
 namespace rdfcube {

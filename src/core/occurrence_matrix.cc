@@ -1,5 +1,8 @@
 #include "core/occurrence_matrix.h"
 
+#include "hierarchy/code_list.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 #include "util/string_util.h"
 
 namespace rdfcube {

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
 #include "util/thread_pool.h"
 
 namespace rdfcube {

@@ -1,5 +1,9 @@
 #include "core/relatedness.h"
 
+#include "hierarchy/code_list.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 #include <algorithm>
 #include <bit>
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/relationship.h"
+#include "hierarchy/code_list.h"
 #include "qb/observation_set.h"
 
 namespace rdfcube {

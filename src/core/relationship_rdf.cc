@@ -3,6 +3,10 @@
 #include <string>
 #include <unordered_map>
 
+#include "qb/observation_set.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
 #include "util/string_util.h"
 
 namespace rdfcube {
@@ -81,7 +85,7 @@ Status LoadMaterializedRelationships(const rdf::TripleStore& store,
   }
   std::size_t skip_count = 0;
   auto resolve = [&](rdf::TermId id, qb::ObsId* out) {
-    auto it = by_iri.find(dict.Get(id).value());
+    auto it = by_iri.find(dict.Value(id));
     if (it == by_iri.end()) return false;
     *out = it->second;
     return true;
@@ -144,7 +148,7 @@ Status LoadMaterializedRelationships(const rdf::TripleStore& store,
       }
       // A malformed degree literal is skipped like any other bad record
       // (std::stod would throw and abort the whole load).
-      Result<double> degree = ParseDouble(dict.Get(degree_term).value());
+      Result<double> degree = ParseDouble(dict.Value(degree_term));
       if (!degree.ok() || !(*degree > 0.0 && *degree <= 1.0)) {
         ++skip_count;
         continue;

@@ -13,7 +13,7 @@
 #include "core/relationship.h"
 #include "qb/observation_set.h"
 #include "rdf/triple_store.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace core {

@@ -1,5 +1,9 @@
 #include "core/skyline.h"
 
+#include "hierarchy/code_list.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 namespace rdfcube {
 namespace core {
 

@@ -1,5 +1,9 @@
 #include "core/sparse_matrix.h"
 
+#include "hierarchy/code_list.h"
+#include "qb/cube_space.h"
+#include "qb/observation_set.h"
+
 #include <algorithm>
 
 namespace rdfcube {

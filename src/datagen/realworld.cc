@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "qb/corpus.h"
 #include "util/random.h"
 
 namespace rdfcube {

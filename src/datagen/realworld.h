@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "qb/corpus.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace datagen {

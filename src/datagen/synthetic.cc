@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "qb/corpus.h"
 #include "util/random.h"
 
 namespace rdfcube {

@@ -8,7 +8,7 @@
 #include <cstdint>
 
 #include "qb/corpus.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace datagen {

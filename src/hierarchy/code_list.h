@@ -10,8 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "util/result.h"
-#include "util/status.h"
+#include "base/result.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace hierarchy {

@@ -40,12 +40,12 @@ Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
       const std::vector<TermId> parents = store.ObjectsOf(m, *broader_opt);
       if (parents.size() > 1) {
         return Status::ParseError("concept has multiple skos:broader parents: " +
-                                  dict.Get(m).value());
+                                  dict.Value(m));
       }
       if (parents.size() == 1) {
         if (!member_set.count(parents[0])) {
           return Status::ParseError("skos:broader target outside scheme: " +
-                                    dict.Get(parents[0]).value());
+                                    dict.Value(parents[0]));
         }
         parent = parents[0];
       }
@@ -63,7 +63,7 @@ Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
 
   // Choose or synthesize the root.
   const bool single_top = tops.size() == 1;
-  CodeList list(single_top ? dict.Get(tops[0]).value() : scheme_iri + "/ALL");
+  CodeList list(single_top ? dict.Value(tops[0]) : scheme_iri + "/ALL");
 
   // Topological insertion: repeatedly add members whose parent is placed.
   std::unordered_map<TermId, CodeId> placed;
@@ -72,7 +72,7 @@ Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
   } else {
     for (TermId t : tops) {
       RDFCUBE_ASSIGN_OR_RETURN(CodeId id,
-                               list.Add(dict.Get(t).value(), list.root()));
+                               list.Add(dict.Value(t), list.root()));
       placed.emplace(t, id);
     }
   }
@@ -91,7 +91,7 @@ Result<CodeList> LoadCodeListFromSkos(const rdf::TripleStore& store,
         continue;
       }
       RDFCUBE_ASSIGN_OR_RETURN(CodeId id,
-                               list.Add(dict.Get(m).value(), it->second));
+                               list.Add(dict.Value(m), it->second));
       placed.emplace(m, id);
       progressed = true;
     }

@@ -7,7 +7,7 @@
 
 #include "hierarchy/code_list.h"
 #include "rdf/triple_store.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace hierarchy {

@@ -1,6 +1,6 @@
 // rdfcube:internal — shared JSON-emission helpers for the obs module.
 // Hand-rolled on purpose: the repo has no JSON dependency and the obs layer
-// must stay zero-dependency.
+// depends on nothing above src/base.
 
 #ifndef RDFCUBE_OBS_JSON_WRITER_H_
 #define RDFCUBE_OBS_JSON_WRITER_H_

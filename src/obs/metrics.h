@@ -20,9 +20,9 @@
 #include <string>
 #include <vector>
 
-#include "util/result.h"
-#include "util/status.h"
-#include "util/thread_annotations.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace rdfcube {
 namespace obs {

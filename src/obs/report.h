@@ -15,7 +15,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace obs {

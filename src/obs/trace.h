@@ -30,8 +30,8 @@
 #include <string_view>
 #include <vector>
 
-#include "util/stopwatch.h"
-#include "util/thread_annotations.h"
+#include "base/stopwatch.h"
+#include "base/thread_annotations.h"
 
 namespace rdfcube {
 namespace obs {

@@ -1,5 +1,7 @@
 #include "qb/binary_io.h"
 
+#include "hierarchy/code_list.h"
+
 #include <cstring>
 #include <filesystem>
 #include <fstream>

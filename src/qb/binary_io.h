@@ -13,7 +13,7 @@
 #include <string>
 
 #include "qb/corpus.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace qb {

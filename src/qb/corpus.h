@@ -10,9 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "base/result.h"
+#include "hierarchy/code_list.h"
 #include "qb/cube_space.h"
 #include "qb/observation_set.h"
-#include "util/result.h"
 
 namespace rdfcube {
 namespace qb {

@@ -12,7 +12,7 @@
 
 #include "qb/corpus.h"
 #include "util/csv.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace qb {

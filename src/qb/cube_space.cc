@@ -1,5 +1,7 @@
 #include "qb/cube_space.h"
 
+#include "hierarchy/code_list.h"
+
 namespace rdfcube {
 namespace qb {
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "hierarchy/code_list.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace qb {

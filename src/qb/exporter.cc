@@ -4,6 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "hierarchy/code_list.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
 #include "rdf/vocab.h"
 #include "util/string_util.h"
 

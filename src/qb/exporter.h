@@ -5,7 +5,7 @@
 
 #include "qb/corpus.h"
 #include "rdf/triple_store.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace qb {

@@ -153,7 +153,7 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
   // list synthesized from observed values (pass 3 adds the values).
   std::set<TermId> flat_dims;
   for (TermId d : all_dims) {
-    const std::string& dim_iri = dict.Get(d).value();
+    const std::string& dim_iri = dict.Value(d);
     auto it = code_list_of_dim.find(d);
     if (it == code_list_of_dim.end()) {
       if (!options.synthesize_flat_code_lists) {
@@ -165,7 +165,7 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
     }
     RDFCUBE_ASSIGN_OR_RETURN(
         hierarchy::CodeList list,
-        hierarchy::LoadCodeListFromSkos(store, dict.Get(it->second).value()));
+        hierarchy::LoadCodeListFromSkos(store, dict.Value(it->second)));
     // Re-register through the builder: root first, then children in BFS
     // order so parents always precede children.
     RDFCUBE_RETURN_IF_ERROR(builder.AddDimension(dim_iri, list.name(0)));
@@ -179,7 +179,7 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
     }
   }
   for (TermId m : all_measures) {
-    RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(dict.Get(m).value()));
+    RDFCUBE_RETURN_IF_ERROR(builder.AddMeasure(dict.Value(m)));
   }
 
   // ---- Pass 3: observations. -----------------------------------------------
@@ -196,10 +196,10 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
   for (TermId ds : datasets) {
     const DsdInfo& info = schema_of.at(ds);
     std::vector<std::string> dim_iris, measure_iris;
-    for (TermId d : info.dimensions) dim_iris.push_back(dict.Get(d).value());
-    for (TermId m : info.measures) measure_iris.push_back(dict.Get(m).value());
+    for (TermId d : info.dimensions) dim_iris.push_back(dict.Value(d));
+    for (TermId m : info.measures) measure_iris.push_back(dict.Value(m));
     RDFCUBE_RETURN_IF_ERROR(
-        builder.AddDataset(dict.Get(ds).value(), dim_iris, measure_iris));
+        builder.AddDataset(dict.Value(ds), dim_iris, measure_iris));
   }
 
   // Collect flat-dimension values first so codes exist before encoding.
@@ -210,9 +210,9 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
       for (TermId d : flat_dims) {
         const TermId v = store.ObjectOf(obs, d);
         if (v == kNoTerm) continue;
-        const std::string& dim_iri = dict.Get(d).value();
+        const std::string& dim_iri = dict.Value(d);
         RDFCUBE_RETURN_IF_ERROR(
-            builder.AddCode(dim_iri, dict.Get(v).value(), dim_iri + "/ALL"));
+            builder.AddCode(dim_iri, dict.Value(v), dim_iri + "/ALL"));
       }
     }
   }
@@ -237,22 +237,22 @@ Result<Corpus> LoadCorpusFromRdf(const rdf::TripleStore& store,
     Status row_error;
     store.Match(obs, kNoTerm, kNoTerm, [&](const rdf::Triple& t) {
       if (dim_set.count(t.p)) {
-        dim_values.emplace_back(dict.Get(t.p).value(), dict.Get(t.o).value());
+        dim_values.emplace_back(dict.Value(t.p), dict.Value(t.o));
       } else if (measure_set.count(t.p)) {
         double value = 0.0;
-        if (!ParseDouble(dict.Get(t.o).value(), &value)) {
+        if (!ParseDouble(dict.Value(t.o), &value)) {
           row_error = Status::ParseError(
               "non-numeric measure value on " + dict.Get(obs).ToString() +
               ": " + dict.Get(t.o).ToString());
           return false;
         }
-        measure_values.emplace_back(dict.Get(t.p).value(), value);
+        measure_values.emplace_back(dict.Value(t.p), value);
       }
       return true;
     });
     RDFCUBE_RETURN_IF_ERROR(row_error);
     RDFCUBE_RETURN_IF_ERROR(
-        builder.AddObservation(dict.Get(ds).value(), dict.Get(obs).value(),
+        builder.AddObservation(dict.Value(ds), dict.Value(obs),
                                dim_values, measure_values));
   }
 

@@ -5,7 +5,7 @@
 
 #include "qb/corpus.h"
 #include "rdf/triple_store.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace qb {

@@ -1,5 +1,7 @@
 #include "qb/observation_set.h"
 
+#include "hierarchy/code_list.h"
+
 #include <algorithm>
 
 namespace rdfcube {

@@ -13,7 +13,7 @@
 
 #include "hierarchy/code_list.h"
 #include "qb/cube_space.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace qb {

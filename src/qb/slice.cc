@@ -2,6 +2,10 @@
 
 #include <unordered_map>
 
+#include "hierarchy/code_list.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
 #include "rdf/vocab.h"
 
 namespace rdfcube {
@@ -36,16 +40,16 @@ Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
 
   for (TermId node : store.SubjectsOf(*type, *slice_cls)) {
     Slice slice;
-    slice.iri = dict.Get(node).value();
+    slice.iri = dict.Value(node);
     Status error;
     store.Match(node, kNoTerm, kNoTerm, [&](const rdf::Triple& t) {
-      const std::string& pred = dict.Get(t.p).value();
+      const std::string& pred = dict.Value(t.p);
       if (obs_prop.has_value() && t.p == *obs_prop) {
-        auto it = obs_by_iri.find(dict.Get(t.o).value());
+        auto it = obs_by_iri.find(dict.Value(t.o));
         if (it == obs_by_iri.end()) {
           error = Status::ParseError("slice " + slice.iri +
                                      " references unknown observation " +
-                                     dict.Get(t.o).value());
+                                     dict.Value(t.o));
           return false;
         }
         slice.observations.push_back(it->second);
@@ -54,11 +58,11 @@ Result<std::vector<Slice>> LoadSlicesFromRdf(const rdf::TripleStore& store,
       auto dim = space.FindDimension(pred);
       if (dim.has_value()) {
         const hierarchy::CodeList& list = space.code_list(*dim);
-        auto code = list.Find(dict.Get(t.o).value());
+        auto code = list.Find(dict.Value(t.o));
         if (!code.has_value()) {
           error = Status::ParseError("slice " + slice.iri +
                                      " fixes unknown code " +
-                                     dict.Get(t.o).value());
+                                     dict.Value(t.o));
           return false;
         }
         slice.fixed.emplace_back(*dim, *code);

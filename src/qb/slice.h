@@ -10,9 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "base/result.h"
+#include "hierarchy/code_list.h"
 #include "qb/corpus.h"
 #include "rdf/triple_store.h"
-#include "util/result.h"
 
 namespace rdfcube {
 namespace qb {

@@ -1,5 +1,7 @@
 #include "qb/validate.h"
 
+#include "hierarchy/code_list.h"
+
 #include <unordered_map>
 #include <unordered_set>
 

@@ -37,6 +37,15 @@ class Dictionary {
   /// Returns the term with the given id. Precondition: id < size().
   const Term& Get(TermId id) const { return terms_[id]; }
 
+  /// Returns the lexical form of the term with the given id: shorthand for
+  /// Get(id).value(). Term::value() is a plain accessor — every interned
+  /// Term has a lexical form, there is nothing to check — which is why the
+  /// checked-value suppression lives here instead of at every call site.
+  /// Precondition: id < size().
+  const std::string& Value(TermId id) const {
+    return Get(id).value();  // lint:allow(checked-value): Term accessor
+  }
+
   std::size_t size() const { return terms_.size(); }
 
  private:

@@ -10,7 +10,7 @@
 
 #include "rdf/dictionary.h"
 #include "rdf/term.h"
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 namespace rdfcube {
 namespace rdf {

@@ -7,7 +7,7 @@
 #include <unordered_map>
 
 #include "rdf/vocab.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace rdf {

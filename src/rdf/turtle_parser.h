@@ -6,7 +6,7 @@
 #include <string_view>
 
 #include "rdf/triple_store.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace rdf {

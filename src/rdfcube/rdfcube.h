@@ -18,6 +18,10 @@
 // enforces it); internal-only headers opt out with an "rdfcube:internal"
 // marker comment near their top.
 #include "align/matcher.h"                 // IWYU pragma: export
+#include "base/result.h"                   // IWYU pragma: export
+#include "base/status.h"                   // IWYU pragma: export
+#include "base/stopwatch.h"                // IWYU pragma: export
+#include "base/thread_annotations.h"       // IWYU pragma: export
 #include "cluster/agglomerative.h"         // IWYU pragma: export
 #include "cluster/canopy.h"                // IWYU pragma: export
 #include "cluster/kmeans.h"                // IWYU pragma: export

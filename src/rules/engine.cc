@@ -5,6 +5,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
 
 namespace rdfcube {
 namespace rules {

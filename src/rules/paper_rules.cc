@@ -1,7 +1,7 @@
 #include "rules/paper_rules.h"
 
 #include "rdf/vocab.h"
-#include "util/stopwatch.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace rules {
@@ -141,8 +141,8 @@ Result<RuleRunResult> RunRuleBasedMethod(rdf::TripleStore* store,
     if (!pred.has_value()) return;
     store->Match(rdf::kNoTerm, *pred, rdf::kNoTerm,
                  [&](const rdf::Triple& t) {
-                   out->emplace_back(dict.Get(t.s).value(),
-                                     dict.Get(t.o).value());
+                   out->emplace_back(dict.Value(t.s),
+                                     dict.Value(t.o));
                    return true;
                  });
   };

@@ -12,8 +12,8 @@
 #include "rdf/triple_store.h"
 #include "rules/engine.h"
 #include "rules/rule.h"
-#include "util/result.h"
-#include "util/stopwatch.h"
+#include "base/result.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace rules {

@@ -8,6 +8,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
 #include "sparql/parser.h"
 
 namespace rdfcube {

@@ -15,8 +15,8 @@
 
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
-#include "util/result.h"
-#include "util/stopwatch.h"
+#include "base/result.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace sparql {

@@ -1,5 +1,7 @@
 #include "sparql/paper_queries.h"
 
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
 #include "sparql/engine.h"
 
 namespace rdfcube {
@@ -90,8 +92,8 @@ Result<QueryRunResult> RunRelationshipQuery(const rdf::TripleStore& store,
   const rdf::Dictionary& dict = store.dictionary();
   result.pairs.reserve(rows->size());
   for (const Row& row : *rows) {
-    result.pairs.emplace_back(dict.Get(row[0]).value(),
-                              dict.Get(row[1]).value());
+    result.pairs.emplace_back(dict.Value(row[0]),
+                              dict.Value(row[1]));
   }
   return result;
 }

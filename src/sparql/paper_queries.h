@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "rdf/triple_store.h"
-#include "util/result.h"
-#include "util/stopwatch.h"
+#include "base/result.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 namespace sparql {

@@ -6,7 +6,7 @@
 #include <string_view>
 
 #include "sparql/ast.h"
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 namespace sparql {

@@ -9,7 +9,7 @@
 #include <string_view>
 #include <vector>
 
-#include "util/result.h"
+#include "base/result.h"
 
 namespace rdfcube {
 

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "util/random.h"
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 namespace rdfcube {
 

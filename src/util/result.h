@@ -1,78 +1,10 @@
-// Result<T>: value-or-Status, the return type of fallible producers.
+// Compatibility shim: Result<T> moved to src/base (the dependency-free bottom
+// layer below obs and util; see DESIGN.md §5f). Include "base/result.h"
+// directly in new code.
 
 #ifndef RDFCUBE_UTIL_RESULT_H_
 #define RDFCUBE_UTIL_RESULT_H_
 
-#include <cassert>
-#include <optional>
-#include <utility>
-
-#include "util/status.h"
-
-namespace rdfcube {
-
-/// \brief Holds either a value of type T or a non-OK Status.
-///
-/// The canonical return type for operations that produce a value but may
-/// fail, e.g. `Result<Dataset> LoadDataset(...)`. Mirrors arrow::Result /
-/// absl::StatusOr. [[nodiscard]] for the same reason as Status: a dropped
-/// Result hides the failure *and* leaks the value.
-template <typename T>
-class [[nodiscard]] Result {
- public:
-  /// Constructs from a value (implicit so `return value;` works).
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
-
-  /// Constructs from a non-OK status (implicit so `return st;` works).
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result must not be built from an OK Status");
-  }
-
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
-
-  /// Access the contained value; undefined if !ok().
-  const T& value() const& {
-    assert(ok());
-    return *value_;
-  }
-  T& value() & {
-    assert(ok());
-    return *value_;
-  }
-  T&& value() && {
-    assert(ok());
-    return std::move(*value_);
-  }
-
-  const T& operator*() const& { return value(); }
-  T& operator*() & { return value(); }
-  const T* operator->() const { return &value(); }
-  T* operator->() { return &value(); }
-
-  /// Returns the value or `fallback` when in error state.
-  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
-
- private:
-  std::optional<T> value_;
-  Status status_;
-};
-
-/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
-/// assigns the value to `lhs` (which must already be declared or be a
-/// declaration like `auto x`).
-#define RDFCUBE_ASSIGN_OR_RETURN(lhs, rexpr)        \
-  RDFCUBE_ASSIGN_OR_RETURN_IMPL(                    \
-      RDFCUBE_CONCAT_NAME(_result_, __LINE__), lhs, rexpr)
-
-#define RDFCUBE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
-  auto tmp = (rexpr);                                  \
-  if (!tmp.ok()) return tmp.status();                  \
-  lhs = std::move(tmp).value()
-
-#define RDFCUBE_CONCAT_NAME(a, b) RDFCUBE_CONCAT_NAME_INNER(a, b)
-#define RDFCUBE_CONCAT_NAME_INNER(a, b) a##b
-
-}  // namespace rdfcube
+#include "base/result.h"  // IWYU pragma: export
 
 #endif  // RDFCUBE_UTIL_RESULT_H_

@@ -1,73 +1,10 @@
-// Wall-clock stopwatch used by the benchmark harnesses and timeout guards.
+// Compatibility shim: Stopwatch/Deadline moved to src/base (the
+// dependency-free bottom layer below obs and util; see DESIGN.md §5f).
+// Include "base/stopwatch.h" directly in new code.
 
 #ifndef RDFCUBE_UTIL_STOPWATCH_H_
 #define RDFCUBE_UTIL_STOPWATCH_H_
 
-#include <chrono>
-#include <limits>
-
-namespace rdfcube {
-
-/// \brief Monotonic wall-clock timer.
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
-
-  /// Elapsed time in seconds since construction / last Restart().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Elapsed time in milliseconds.
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
-
-  /// Elapsed time in microseconds (the obs::TraceSpan / histogram unit).
-  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
-
-/// \brief Cooperative deadline for long-running comparison methods.
-///
-/// The paper reports SPARQL/rule methods as "t/o" (timed out) beyond small
-/// inputs; benches pass a Deadline into those engines so they abandon work
-/// and report a TimedOut status the way the original experiments capped runs.
-class Deadline {
- public:
-  /// No deadline: never expires.
-  Deadline() : limit_seconds_(-1.0) {}
-
-  /// Expires `seconds` from now.
-  explicit Deadline(double seconds) : limit_seconds_(seconds) {}
-
-  bool Expired() const {
-    return limit_seconds_ >= 0.0 && watch_.ElapsedSeconds() > limit_seconds_;
-  }
-
-  /// True when this deadline carries a limit (the default-constructed
-  /// Deadline never expires and reports no limit).
-  bool HasLimit() const { return limit_seconds_ >= 0.0; }
-
-  /// Seconds until expiry, clamped at 0 once expired. Without a limit this
-  /// returns +infinity — a deadline that never comes — so callers can
-  /// distinguish "already expired" (0.0) from "no limit" without a separate
-  /// HasLimit() probe. (Before this sentinel both cases returned 0.0.)
-  double RemainingSeconds() const {
-    if (!HasLimit()) return std::numeric_limits<double>::infinity();
-    const double rest = limit_seconds_ - watch_.ElapsedSeconds();
-    return rest > 0.0 ? rest : 0.0;
-  }
-
- private:
-  Stopwatch watch_;
-  double limit_seconds_;
-};
-
-}  // namespace rdfcube
+#include "base/stopwatch.h"  // IWYU pragma: export
 
 #endif  // RDFCUBE_UTIL_STOPWATCH_H_

@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
-#include "util/stopwatch.h"
+#include "base/stopwatch.h"
 
 namespace rdfcube {
 

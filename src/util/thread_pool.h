@@ -11,8 +11,8 @@
 #include <thread>
 #include <vector>
 
-#include "util/status.h"
-#include "util/thread_annotations.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace rdfcube {
 

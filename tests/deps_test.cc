@@ -1,0 +1,407 @@
+// Architecture-gate unit tests (tools/deps + tools/source_text): the include
+// extractor must be comment/string-aware, cycle detection must find seeded
+// cycles, the layer-manifest parser must enforce its grammar and DAG rule,
+// and AnalyzeDeps must fail seeded layering violations — the negative proof
+// that the gate actually gates (a checker that passes everything would also
+// pass the real tree).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/deps/deps_analysis.h"
+#include "tools/deps/include_graph.h"
+#include "tools/deps/layer_manifest.h"
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace deps {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- tokenizer (tools/source_text) -------------------------------------------
+
+TEST(SourceTextTest, LineCommentIsBlankedInTextAndCode) {
+  const lint::SourceFile f =
+      lint::StripSource("int x = 1;  // throw here", "a.cc");
+  ASSERT_EQ(f.raw.size(), 1u);
+  EXPECT_NE(f.raw[0].find("throw"), std::string::npos);
+  EXPECT_EQ(f.text[0].find("throw"), std::string::npos);
+  EXPECT_EQ(f.code[0].find("throw"), std::string::npos);
+  EXPECT_NE(f.code[0].find("int x = 1;"), std::string::npos);
+}
+
+TEST(SourceTextTest, BlockCommentSpansLines) {
+  const lint::SourceFile f =
+      lint::StripSource("/* begin\nthrow 1;\nend */ int y;", "a.cc");
+  ASSERT_EQ(f.code.size(), 3u);
+  EXPECT_EQ(f.code[1].find("throw"), std::string::npos);
+  EXPECT_NE(f.code[2].find("int y;"), std::string::npos);
+}
+
+TEST(SourceTextTest, StringContentsSurviveTextButNotCode) {
+  const lint::SourceFile f =
+      lint::StripSource("auto s = \"rdfcube_qb_loads_total\";\n", "a.cc");
+  EXPECT_NE(f.text[0].find("rdfcube_qb_loads_total"), std::string::npos);
+  EXPECT_EQ(f.code[0].find("rdfcube_qb_loads_total"), std::string::npos);
+  // Positions are preserved: the quotes stay, contents are blanked.
+  EXPECT_EQ(f.code[0].size(), f.raw[0].size());
+}
+
+TEST(SourceTextTest, CommentInsideStringIsNotAComment) {
+  const lint::SourceFile f =
+      lint::StripSource("auto s = \"not // a comment\"; int z;\n", "a.cc");
+  EXPECT_NE(f.text[0].find("not // a comment"), std::string::npos);
+  EXPECT_NE(f.code[0].find("int z;"), std::string::npos);
+}
+
+TEST(SourceTextTest, RawStringIsBlankedInCode) {
+  const lint::SourceFile f = lint::StripSource(
+      "auto re = R\"(throw\\b)\"; int after;\n", "a.cc");
+  EXPECT_EQ(f.code[0].find("throw"), std::string::npos);
+  EXPECT_NE(f.code[0].find("int after;"), std::string::npos);
+}
+
+TEST(SourceTextTest, DigitSeparatorIsNotACharLiteral) {
+  const lint::SourceFile f =
+      lint::StripSource("int n = 1'000'000; int m = 2;\n", "a.cc");
+  EXPECT_NE(f.code[0].find("int m = 2;"), std::string::npos);
+}
+
+TEST(SourceTextTest, IncludeHeaderNameSurvivesInCode) {
+  // The header-name in a #include directive is not a runtime string literal;
+  // the include extractor reads it from the code view.
+  const lint::SourceFile f =
+      lint::StripSource("#include \"util/fault.h\"\n", "a.cc");
+  EXPECT_NE(f.code[0].find("util/fault.h"), std::string::npos);
+}
+
+TEST(SourceTextTest, LineSuppressedReadsRawComments) {
+  const lint::SourceFile f = lint::StripSource(
+      "throw 1;  // lint:allow(no-throw)\nthrow 2;\n", "a.cc");
+  EXPECT_TRUE(lint::LineSuppressed(f, 0, "no-throw"));
+  EXPECT_FALSE(lint::LineSuppressed(f, 1, "no-throw"));
+  EXPECT_FALSE(lint::LineSuppressed(f, 0, "checked-value"));
+}
+
+// --- include extraction ------------------------------------------------------
+
+TEST(IncludeGraphTest, ExtractsQuotedIncludesWithLineNumbers) {
+  const auto incs = ExtractIncludes(
+      "// header comment\n"
+      "#include \"qb/corpus.h\"\n"
+      "#include <vector>\n"
+      "#include \"util/fault.h\"\n");
+  ASSERT_EQ(incs.size(), 2u);
+  EXPECT_EQ(incs[0].line, 2u);
+  EXPECT_EQ(incs[0].written, "qb/corpus.h");
+  EXPECT_EQ(incs[1].line, 4u);
+  EXPECT_EQ(incs[1].written, "util/fault.h");
+}
+
+TEST(IncludeGraphTest, CommentedOutIncludeIsNotAnEdge) {
+  const auto incs = ExtractIncludes(
+      "// #include \"qb/corpus.h\"\n"
+      "/* #include \"qb/slice.h\" */\n");
+  EXPECT_TRUE(incs.empty());
+}
+
+TEST(IncludeGraphTest, IncludeInStringLiteralIsNotAnEdge) {
+  const auto incs = ExtractIncludes(
+      "const char* kDoc = \"#include \\\"qb/corpus.h\\\"\";\n");
+  EXPECT_TRUE(incs.empty());
+}
+
+TEST(IncludeGraphTest, ConditionalIncludeIsRecordedUnconditionally) {
+  // Over-approximation: every edge any configuration could take is checked.
+  const auto incs = ExtractIncludes(
+      "#ifdef RDFCUBE_EXTRA\n"
+      "#include \"qb/corpus.h\"\n"
+      "#endif\n");
+  ASSERT_EQ(incs.size(), 1u);
+  EXPECT_EQ(incs[0].written, "qb/corpus.h");
+}
+
+TEST(IncludeGraphTest, ModuleOfUsesSecondComponentUnderSrc) {
+  EXPECT_EQ(ModuleOf("src/qb/corpus.h"), "qb");
+  EXPECT_EQ(ModuleOf("src/core/engine.cc"), "core");
+  EXPECT_EQ(ModuleOf("tools/deps/include_graph.h"), "tools");
+  EXPECT_EQ(ModuleOf("bench/bench_fig9.cc"), "bench");
+  EXPECT_EQ(ModuleOf("tests/test_corpus.h"), "tests");
+}
+
+// --- temp-tree fixture -------------------------------------------------------
+
+class DepsTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("deps_test_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  std::vector<std::string> ChecksFired(const DepsOptions& options = {}) {
+    std::vector<std::string> names;
+    for (const lint::Violation& v :
+         AnalyzeDeps(root_.string(), options).violations) {
+      names.push_back(v.check);
+    }
+    return names;
+  }
+
+  bool Fired(const std::string& check, const DepsOptions& options = {}) {
+    const auto names = ChecksFired(options);
+    return std::find(names.begin(), names.end(), check) != names.end();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DepsTreeTest, ResolvesAgainstSrcThenRoot) {
+  WriteFile("src/qb/corpus.h", "\n");
+  WriteFile("tools/helper.h", "\n");
+  WriteFile("src/core/engine.cc",
+            "#include \"qb/corpus.h\"\n"
+            "#include \"tools/helper.h\"\n"
+            "#include \"qb/missing.h\"\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src", "tools"});
+  const FileNode* node = graph.Find("src/core/engine.cc");
+  ASSERT_NE(node, nullptr);
+  ASSERT_EQ(node->includes.size(), 3u);
+  EXPECT_TRUE(node->includes[0].resolved);
+  EXPECT_EQ(node->includes[0].target, "src/qb/corpus.h");
+  EXPECT_TRUE(node->includes[1].resolved);
+  EXPECT_EQ(node->includes[1].target, "tools/helper.h");
+  EXPECT_FALSE(node->includes[2].resolved);
+}
+
+TEST_F(DepsTreeTest, AcyclicGraphHasNoCycle) {
+  WriteFile("src/qb/a.h", "#include \"qb/b.h\"\n");
+  WriteFile("src/qb/b.h", "\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src"});
+  EXPECT_FALSE(FindIncludeCycle(graph).has_value());
+}
+
+TEST_F(DepsTreeTest, SeededTwoFileCycleIsFound) {
+  WriteFile("src/qb/a.h", "#include \"qb/b.h\"\n");
+  WriteFile("src/qb/b.h", "#include \"qb/a.h\"\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src"});
+  const auto cycle = FindIncludeCycle(graph);
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  // Both files are on the cycle.
+  EXPECT_NE(std::find(cycle->begin(), cycle->end(), "src/qb/a.h"),
+            cycle->end());
+  EXPECT_NE(std::find(cycle->begin(), cycle->end(), "src/qb/b.h"),
+            cycle->end());
+}
+
+TEST_F(DepsTreeTest, SelfIncludeIsACycle) {
+  WriteFile("src/qb/a.h", "#include \"qb/a.h\"\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src"});
+  ASSERT_TRUE(FindIncludeCycle(graph).has_value());
+}
+
+TEST_F(DepsTreeTest, ModuleEdgesAreDeduplicatedWithCounts) {
+  WriteFile("src/qb/a.h", "\n");
+  WriteFile("src/qb/b.h", "\n");
+  WriteFile("src/core/x.cc",
+            "#include \"qb/a.h\"\n"
+            "#include \"qb/b.h\"\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src"});
+  const auto edges = ModuleEdges(graph);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "core");
+  EXPECT_EQ(edges[0].to, "qb");
+  EXPECT_EQ(edges[0].count, 2u);
+}
+
+TEST_F(DepsTreeTest, DotAndJsonExportsCarryTheModuleEdge) {
+  WriteFile("src/qb/a.h", "\n");
+  WriteFile("src/core/x.cc", "#include \"qb/a.h\"\n");
+  const IncludeGraph graph = BuildIncludeGraph(root_, {"src"});
+  const std::string dot = GraphToDot(graph);
+  EXPECT_NE(dot.find("\"core\" -> \"qb\""), std::string::npos);
+  const std::string json = GraphToJson(graph);
+  EXPECT_NE(json.find("\"module_edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"from\": \"core\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\": \"qb\""), std::string::npos);
+}
+
+// --- layer manifest ----------------------------------------------------------
+
+TEST(LayerManifestTest, ParsesLeavesDepsWildcardsAndComments) {
+  const auto manifest = ParseLayerManifest(
+      "# the DAG\n"
+      "base:\n"
+      "qb: base   # qb sits above base\n"
+      "tools: *\n");
+  ASSERT_TRUE(manifest.ok());
+  const LayerManifest& m = manifest.value();
+  ASSERT_EQ(m.modules.size(), 3u);
+  EXPECT_TRUE(m.Allows("qb", "base"));
+  EXPECT_FALSE(m.Allows("base", "qb"));
+  EXPECT_TRUE(m.Allows("qb", "qb"));  // self always allowed
+  EXPECT_TRUE(m.Allows("tools", "qb"));
+  EXPECT_TRUE(m.Allows("tools", "base"));
+  EXPECT_FALSE(m.Allows("unknown", "base"));
+}
+
+TEST(LayerManifestTest, MissingColonIsAParseError) {
+  EXPECT_FALSE(ParseLayerManifest("base\n").ok());
+}
+
+TEST(LayerManifestTest, DuplicateDeclarationIsAParseError) {
+  EXPECT_FALSE(ParseLayerManifest("qb:\nqb:\n").ok());
+}
+
+TEST(LayerManifestTest, UndeclaredDepIsAParseError) {
+  EXPECT_FALSE(ParseLayerManifest("qb: ghost\n").ok());
+}
+
+TEST(LayerManifestTest, SelfDependencyIsAParseError) {
+  EXPECT_FALSE(ParseLayerManifest("qb: qb\n").ok());
+}
+
+TEST(LayerManifestTest, WildcardMixedWithDepsIsAParseError) {
+  EXPECT_FALSE(ParseLayerManifest("base:\ntools: * base\n").ok());
+  EXPECT_FALSE(ParseLayerManifest("base:\ntools: base *\n").ok());
+}
+
+TEST(LayerManifestTest, DeclaredCycleIsAParseError) {
+  const auto manifest = ParseLayerManifest("a: b\nb: c\nc: a\n");
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_NE(manifest.status().message().find("cyclic"), std::string::npos);
+}
+
+TEST(LayerManifestTest, FindManifestCycleReturnsThePath) {
+  LayerManifest m;
+  m.modules.push_back({"a", false, {"b"}, 1});
+  m.modules.push_back({"b", false, {"a"}, 2});
+  const auto cycle = FindManifestCycle(m);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), cycle->back());
+}
+
+TEST(LayerManifestTest, DependingBackOnAWildcardRootIsACycle) {
+  // tools: * gives tools an edge to qb; qb: tools closes the loop.
+  EXPECT_FALSE(ParseLayerManifest("tools: *\nqb: tools\n").ok());
+}
+
+// --- the gate (AnalyzeDeps) --------------------------------------------------
+
+TEST_F(DepsTreeTest, DeclaredEdgePassesTheGate) {
+  WriteFile("tools/layers.txt", "base:\nqb: base\n");
+  WriteFile("src/base/status.h", "\n");
+  WriteFile("src/qb/corpus.cc", "#include \"base/status.h\"\n");
+  EXPECT_TRUE(ChecksFired().empty());
+}
+
+TEST_F(DepsTreeTest, UndeclaredEdgeFailsTheGate) {
+  WriteFile("tools/layers.txt", "base:\nqb: base\n");
+  WriteFile("src/base/status.h", "\n");
+  WriteFile("src/qb/corpus.h", "\n");
+  WriteFile("src/base/bad.cc", "#include \"qb/corpus.h\"\n");
+  const auto report = AnalyzeDeps(root_.string(), {});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].check, "layer-dag");
+  EXPECT_EQ(report.violations[0].file, "src/base/bad.cc");
+  EXPECT_EQ(report.violations[0].line, 1u);
+}
+
+TEST_F(DepsTreeTest, UndeclaredEdgeCanBeSuppressedOnTheIncludeLine) {
+  WriteFile("tools/layers.txt", "base:\nqb: base\n");
+  WriteFile("src/qb/corpus.h", "\n");
+  WriteFile("src/base/bad.cc",
+            "#include \"qb/corpus.h\"  // lint:allow(layer-dag)\n");
+  EXPECT_FALSE(Fired("layer-dag"));
+}
+
+TEST_F(DepsTreeTest, ModuleMissingFromManifestFailsTheGate) {
+  WriteFile("tools/layers.txt", "qb:\n");
+  WriteFile("src/ghost/thing.h", "\n");
+  EXPECT_TRUE(Fired("layer-dag"));
+}
+
+TEST_F(DepsTreeTest, UnparseableManifestIsALayerDagViolation) {
+  WriteFile("tools/layers.txt", "qb: ghost\n");
+  WriteFile("src/qb/a.h", "\n");
+  EXPECT_TRUE(Fired("layer-dag"));
+}
+
+TEST_F(DepsTreeTest, MissingManifestSkipsLayerChecksUnlessRequired) {
+  WriteFile("src/qb/a.h", "\n");
+  EXPECT_FALSE(Fired("layer-dag"));
+  DepsOptions require;
+  require.require_manifest = true;
+  EXPECT_TRUE(Fired("layer-dag", require));
+}
+
+TEST_F(DepsTreeTest, SeededIncludeCycleFailsTheGate) {
+  // The negative proof for the cycle check: a freshly planted cycle must
+  // fail even with a fully permissive manifest.
+  WriteFile("tools/layers.txt", "qb:\n");
+  WriteFile("src/qb/a.h", "#include \"qb/b.h\"\n");
+  WriteFile("src/qb/b.h", "#include \"qb/a.h\"\n");
+  const auto report = AnalyzeDeps(root_.string(), {});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].check, "include-cycle");
+  EXPECT_NE(report.violations[0].message.find("src/qb/a.h"),
+            std::string::npos);
+  EXPECT_NE(report.violations[0].message.find("src/qb/b.h"),
+            std::string::npos);
+}
+
+TEST_F(DepsTreeTest, IwyuDirectFiresOnTransitiveOnlyNamespaceUse) {
+  WriteFile("tools/layers.txt", "qb:\ncore: qb\n");
+  WriteFile("src/qb/corpus.h", "\n");
+  WriteFile("src/qb/slice.h", "#include \"qb/corpus.h\"\n");
+  // x.cc includes a qb header directly, so its qb:: use is fine; y.cc uses
+  // qb:: with no qb include at all (it would only compile through someone
+  // else's transitive include) — that one fires.
+  WriteFile("src/core/x.cc",
+            "#include \"qb/slice.h\"\n"
+            "void F() { qb::Corpus c; }\n");
+  WriteFile("src/core/y.cc", "void G() { qb::Corpus c; }\n");
+  const auto report = AnalyzeDeps(root_.string(), {});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].check, "iwyu-direct");
+  EXPECT_EQ(report.violations[0].file, "src/core/y.cc");
+  EXPECT_EQ(report.violations[0].line, 1u);
+}
+
+TEST_F(DepsTreeTest, ForwardDeclaringTheNamespaceExemptsIwyu) {
+  WriteFile("tools/layers.txt", "qb:\ncore: qb\n");
+  WriteFile("src/qb/corpus.h", "\n");
+  WriteFile("src/core/fwd.h",
+            "namespace qb { class Corpus; }\n"
+            "void F(const qb::Corpus& c);\n");
+  EXPECT_FALSE(Fired("iwyu-direct"));
+}
+
+TEST_F(DepsTreeTest, IwyuIgnoresNamespacesThatAreNotModules) {
+  WriteFile("tools/layers.txt", "qb:\n");
+  WriteFile("src/qb/a.cc", "void F() { std::string s; vocab::Lookup(s); }\n");
+  EXPECT_FALSE(Fired("iwyu-direct"));
+}
+
+}  // namespace
+}  // namespace deps
+}  // namespace rdfcube

@@ -109,6 +109,31 @@ TEST_F(LintTest, ThrowInCommentDoesNotFire) {
   EXPECT_FALSE(Fired("no-throw"));
 }
 
+TEST_F(LintTest, ThrowInStringLiteralDoesNotFire) {
+  // The tokenizer blanks literal contents in the code view; the old
+  // line-regex core fired here.
+  WriteCleanTree();
+  WriteFile("src/core/ok.cc",
+            "void F() { Log(\"would throw on bad input\"); }\n");
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, ThrowInBlockCommentSpanningLinesDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/core/ok.cc",
+            "/* alternatives considered:\n"
+            "   throw std::runtime_error(...)\n"
+            "*/\n"
+            "void F();\n");
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, ThrowInBaseFires) {
+  WriteCleanTree();
+  WriteFile("src/base/bad.h", "// rdfcube:internal\ninline void F() { throw 1; }\n");
+  EXPECT_TRUE(Fired("no-throw"));
+}
+
 TEST_F(LintTest, ThrowWithSuppressionDoesNotFire) {
   WriteCleanTree();
   WriteFile("src/core/ok.cc",
@@ -369,9 +394,182 @@ TEST_F(LintTest, OffSchemeMetricNameWithSuppressionDoesNotFire) {
   EXPECT_FALSE(Fired("metric-name"));
 }
 
+TEST_F(LintTest, UnguardedCallChainValueFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& dict, int x) {\n"
+            "  auto v = dict.Find(x).value();\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "checked-value");
+  EXPECT_EQ(violations[0].file, "src/qb/cv.cc");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, CallChainValueGuardedInSameStatementDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "int F(const Dict& d, int x) {\n"
+            "  return d.Find(x).has_value() ? d.Find(x).value() : 0;\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, CallChainValueGuardedByEnclosingIfDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& d, int x) {\n"
+            "  if (d.Find(x).has_value()) {\n"
+            "    Use(d.Find(x).value());\n"
+            "  }\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, GuardInAnEarlierSiblingBlockDoesNotCount) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& d, int x) {\n"
+            "  if (d.Find(x).has_value()) {\n"
+            "    Use(1);\n"
+            "  }\n"
+            "  Use(d.Find(x).value());\n"
+            "}\n");
+  EXPECT_TRUE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, UnguardedDeclaredResultValueFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(std::string_view s) {\n"
+            "  Result<double> r = ParseDouble(s);\n"
+            "  Use(r.value());\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "checked-value");
+  EXPECT_EQ(violations[0].line, 3u);
+}
+
+TEST_F(LintTest, GuardedDeclaredResultValueDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(std::string_view s) {\n"
+            "  Result<double> r = ParseDouble(s);\n"
+            "  if (!r.ok()) return;\n"
+            "  Use(r.value());\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, ValueOnUndeclaredIdentifierIsNotTracked) {
+  // Term::value() is a plain accessor: an identifier receiver with no
+  // visible Result/optional declaration must not fire (dataflow-lite only
+  // tracks explicitly-typed locals).
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "std::string F(const Term& t) {\n"
+            "  return t.value();\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, AssignOrReturnMacroBodyDoesNotFire) {
+  // The ASSIGN_OR_RETURN idiom guards inside a backslash-continued macro
+  // body; the joined statement carries the tmp.ok() test.
+  WriteCleanTree();
+  WriteFile("src/util/macro.h",
+            "// rdfcube:internal\n"
+            "#define ASSIGN_IMPL(tmp, lhs, rexpr)      \\\n"
+            "  Result<int> tmp = (rexpr);              \\\n"
+            "  if (!tmp.ok()) return tmp.status();     \\\n"
+            "  lhs = std::move(tmp).value()\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, UnguardedOptionalDereferenceFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& d, int x) {\n"
+            "  std::optional<int> id = d.Find(x);\n"
+            "  Use(*id);\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "checked-value");
+  EXPECT_EQ(violations[0].line, 3u);
+}
+
+TEST_F(LintTest, GuardedOptionalDereferenceDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& d, int x) {\n"
+            "  std::optional<int> id = d.Find(x);\n"
+            "  if (!id.has_value()) return;\n"
+            "  Use(*id);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, BooleanTestOfOptionalCountsAsGuard) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "void F(const Dict& d, int x) {\n"
+            "  std::optional<int> id = d.Find(x);\n"
+            "  if (id) Use(*id);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, SubscriptDereferenceIsNotTheIdentifier) {
+  // `*points[i]` dereferences the element, not the vector; a Result return
+  // type earlier in the signature must not make `points` tracked.
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "Result<Model> KMeans(const std::vector<const Vec*>& points) {\n"
+            "  Use(*points[0]);\n"
+            "  return Model{};\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, MultiplicationIsNotADereference) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "double F(std::optional<double> scale, double x) {\n"
+            "  if (!scale.has_value()) return x;\n"
+            "  double a = x * x;\n"
+            "  return a * *scale;\n"
+            "}\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, CheckedValueInStringLiteralDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "const char* kDoc = \"call Find(x).value() at your peril\";\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, CheckedValueWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "auto v = d.Find(x).value();  "
+            "// lint:allow(checked-value): seeded by loader, always present\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
+TEST_F(LintTest, ValueOrIsNotValue) {
+  WriteCleanTree();
+  WriteFile("src/qb/cv.cc",
+            "int F(const Dict& d, int x) { return d.Find(x).value_or(0); }\n");
+  EXPECT_FALSE(Fired("checked-value"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all nine, none masking another.
+  // all thirteen, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
@@ -386,16 +584,31 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   WriteFile("src/rdfcube/rdfcube.h",
             "#include \"core/engine.h\"\n"
             "#include \"util/nodoc.h\"\n");
+  // Architecture checks: a manifest declaring every module but NOT core->qb,
+  // an include that crosses exactly that edge, a two-header cycle, a
+  // transitive-only namespace use, and an unguarded .value() chain.
+  WriteFile("tools/layers.txt",
+            "core:\nsparql:\nqb:\nutil:\n"
+            "rdfcube: *\ntools: *\nbench: *\n");
+  WriteFile("src/core/edge.cc", "#include \"qb/orphan.h\"\n");
+  WriteFile("src/core/cycle_a.h",
+            "// rdfcube:internal\n#include \"core/cycle_b.h\"\n");
+  WriteFile("src/core/cycle_b.h",
+            "// rdfcube:internal\n#include \"core/cycle_a.h\"\n");
+  WriteFile("src/core/use.cc", "void F() { qb::Widget w; (void)w; }\n");
+  WriteFile("src/qb/cv.cc",
+            "int F(const Dict& d, int x) { return d.Find(x).value(); }\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
         "doxygen-public", "checked-parse", "bare-stopwatch",
-        "lock-annotation", "obs-shadowing", "metric-name"}) {
+        "lock-annotation", "obs-shadowing", "metric-name", "checked-value",
+        "layer-dag", "include-cycle", "iwyu-direct"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 13u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

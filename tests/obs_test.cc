@@ -22,7 +22,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "tests/test_corpus.h"
-#include "util/status.h"
+#include "base/status.h"
 
 namespace rdfcube {
 namespace obs {

@@ -32,7 +32,7 @@
 #include "qb/corpus.h"
 #include "tests/test_corpus.h"
 #include "util/fault.h"
-#include "util/status.h"
+#include "base/status.h"
 #include "util/thread_pool.h"
 
 namespace rdfcube {

@@ -6,7 +6,7 @@
 // silently stopped analyzing anything (e.g. the macros expanded to no-ops
 // under a misdetected compiler). It is never part of any build target.
 
-#include "util/thread_annotations.h"
+#include "base/thread_annotations.h"
 
 namespace {
 

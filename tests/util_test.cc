@@ -9,9 +9,9 @@
 #include "util/bitvector.h"
 #include "util/csv.h"
 #include "util/random.h"
-#include "util/result.h"
-#include "util/status.h"
-#include "util/stopwatch.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 

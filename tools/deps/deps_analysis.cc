@@ -1,0 +1,169 @@
+#include "tools/deps/deps_analysis.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+#include <set>
+#include <tuple>
+
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace deps {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IncludeSuppressed(const Include& inc, const std::string& check) {
+  return inc.raw_line.find("lint:allow(" + check + ")") != std::string::npos;
+}
+
+// --- layer-dag ---------------------------------------------------------------
+
+void CheckLayerDag(const IncludeGraph& graph, const LayerManifest& manifest,
+                   std::vector<lint::Violation>* out) {
+  static const std::string kCheck = "layer-dag";
+  // Every module that owns analyzed files must be declared.
+  std::set<std::string> reported_modules;
+  for (const FileNode& node : graph.files) {
+    if (manifest.Find(node.module) == nullptr &&
+        reported_modules.insert(node.module).second) {
+      out->push_back({kCheck, node.path, 0,
+                      "module '" + node.module +
+                          "' is not declared in tools/layers.txt"});
+    }
+  }
+  // Every cross-module include must be a declared edge. Reported per include
+  // site so one offending header migration shows every place to fix.
+  for (const FileNode& node : graph.files) {
+    if (manifest.Find(node.module) == nullptr) continue;  // reported above
+    for (const Include& inc : node.includes) {
+      if (!inc.resolved) continue;
+      const std::string to = ModuleOf(inc.target);
+      if (to == node.module) continue;
+      if (manifest.Allows(node.module, to)) continue;
+      if (IncludeSuppressed(inc, kCheck)) continue;
+      if (manifest.Find(to) == nullptr) {
+        out->push_back({kCheck, node.path, inc.line,
+                        "include of '" + inc.written + "' reaches module '" +
+                            to + "', which tools/layers.txt does not declare"});
+      } else {
+        out->push_back(
+            {kCheck, node.path, inc.line,
+             "undeclared dependency: module '" + node.module +
+                 "' -> '" + to + "' (include of '" + inc.written +
+                 "'); declare it in tools/layers.txt or break the edge"});
+      }
+    }
+  }
+}
+
+// --- include-cycle -----------------------------------------------------------
+
+void CheckIncludeCycle(const IncludeGraph& graph,
+                       std::vector<lint::Violation>* out) {
+  static const std::string kCheck = "include-cycle";
+  const auto cycle = FindIncludeCycle(graph);
+  if (!cycle.has_value()) return;
+  std::string path;
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    if (i != 0) path += " -> ";
+    path += (*cycle)[i];
+  }
+  out->push_back({kCheck, cycle->front(), 0,
+                  "file-level include cycle: " + path});
+}
+
+// --- iwyu-direct -------------------------------------------------------------
+
+void CheckIwyuDirect(const fs::path& root, const IncludeGraph& graph,
+                     std::vector<lint::Violation>* out) {
+  static const std::string kCheck = "iwyu-direct";
+  // Module namespaces are exactly the src/ subdirectories; a namespace that
+  // matches no module directory (vocab, relvocab, std, ...) is not checked.
+  std::set<std::string> modules;
+  {
+    std::error_code ec;
+    for (fs::directory_iterator it(root / "src", ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory()) {
+        modules.insert(it->path().filename().string());
+      }
+    }
+  }
+  modules.erase("rdfcube");  // the umbrella deliberately re-exports everything
+
+  for (const FileNode& node : graph.files) {
+    if (node.path.rfind("src/", 0) != 0) continue;
+    if (node.module == "rdfcube") continue;
+    const lint::SourceFile src = lint::LoadSource(root / node.path, node.path);
+    // Direct includes, by module.
+    std::set<std::string> included;
+    for (const Include& inc : node.includes) {
+      if (inc.resolved) included.insert(ModuleOf(inc.target));
+    }
+    for (const std::string& mod : modules) {
+      if (mod == node.module || included.count(mod) != 0) continue;
+      const std::regex use(R"(\b)" + mod + R"(::)");
+      const std::regex decl(R"(\bnamespace\s+)" + mod + R"(\b)");
+      std::size_t use_line = 0;  // 1-based; 0 = no use found
+      bool declares = false;
+      for (std::size_t i = 0; i < src.code.size(); ++i) {
+        if (std::regex_search(src.code[i], decl)) {
+          declares = true;  // forward declaration; include not required
+          break;
+        }
+        if (use_line == 0 && std::regex_search(src.code[i], use) &&
+            !lint::LineSuppressed(src, i, kCheck)) {
+          use_line = i + 1;
+        }
+      }
+      if (declares || use_line == 0) continue;
+      out->push_back(
+          {kCheck, node.path, use_line,
+           "uses " + mod + ":: but does not directly include any " + mod +
+               "/ header (relies on transitive includes)"});
+    }
+  }
+}
+
+}  // namespace
+
+DepsReport AnalyzeDeps(const std::string& root, const DepsOptions& options) {
+  DepsReport report;
+  const fs::path r(root);
+  report.graph = BuildIncludeGraph(r, options.walk_roots);
+
+  const std::string manifest_path = (r / options.manifest_rel).string();
+  std::error_code ec;
+  if (fs::is_regular_file(r / options.manifest_rel, ec)) {
+    Result<LayerManifest> manifest = LoadLayerManifest(manifest_path);
+    if (manifest.ok()) {
+      report.manifest_loaded = true;
+      CheckLayerDag(report.graph, manifest.value(), &report.violations);
+    } else {
+      report.violations.push_back(
+          {"layer-dag", options.manifest_rel, 0,
+           manifest.status().message()});
+    }
+  } else if (options.require_manifest) {
+    report.violations.push_back(
+        {"layer-dag", options.manifest_rel, 0,
+         "layer manifest is missing (the architecture gate requires it)"});
+  }
+
+  CheckIncludeCycle(report.graph, &report.violations);
+  CheckIwyuDirect(r, report.graph, &report.violations);
+
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const lint::Violation& a, const lint::Violation& b) {
+              return std::tie(a.file, a.line, a.check) <
+                     std::tie(b.file, b.line, b.check);
+            });
+  return report;
+}
+
+}  // namespace deps
+}  // namespace rdfcube

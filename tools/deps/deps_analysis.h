@@ -1,0 +1,63 @@
+// The architecture gate: checks the extracted include graph
+// (include_graph.h) against the declared layer DAG (layer_manifest.h) and
+// reports findings as lint violations, so rdfcube_lint and rdfcube_deps share
+// one implementation and one suppression mechanism.
+//
+// Checks (names double as `lint:allow(<name>)` suppressions):
+//   layer-dag      a module-level include edge not declared in
+//                  tools/layers.txt, a module missing from the manifest, or
+//                  a manifest that fails to parse (undeclared dep, declared
+//                  cycle). Suppressable on the offending #include line.
+//   include-cycle  a cycle in the file-level include graph. Whole-graph
+//                  property: not suppressable.
+//   iwyu-direct    a src/ file uses a module's namespace (e.g. `obs::`,
+//                  `qb::`) without directly including any header of that
+//                  module — it compiles only through transitive includes,
+//                  which is exactly the hidden coupling the gate exists to
+//                  surface. Only namespaces matching an existing src/<module>
+//                  directory are checked; files forward-declaring
+//                  `namespace <module>` are exempt for that module.
+//
+// When the manifest is absent the layer-dag check is skipped (a tree opts
+// into layering by declaring tools/layers.txt); rdfcube_deps passes
+// require_manifest so the real gate can never silently lose its manifest.
+
+#ifndef RDFCUBE_TOOLS_DEPS_DEPS_ANALYSIS_H_
+#define RDFCUBE_TOOLS_DEPS_DEPS_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/deps/include_graph.h"
+#include "tools/deps/layer_manifest.h"
+#include "tools/lint_checks.h"
+
+namespace rdfcube {
+namespace deps {
+
+/// \brief Options for AnalyzeDeps.
+struct DepsOptions {
+  /// Report a missing/unreadable manifest as a violation instead of
+  /// skipping the layer checks.
+  bool require_manifest = false;
+  /// Manifest path relative to the analysis root.
+  std::string manifest_rel = "tools/layers.txt";
+  /// Directory roots to extract the include graph from.
+  std::vector<std::string> walk_roots = {"src", "tools", "bench"};
+};
+
+/// \brief Everything the gate produced: the graph (for DOT/JSON export) and
+/// the violations (for the lint report).
+struct DepsReport {
+  IncludeGraph graph;
+  bool manifest_loaded = false;
+  std::vector<lint::Violation> violations;
+};
+
+/// Runs the full architecture analysis over the tree rooted at `root`.
+DepsReport AnalyzeDeps(const std::string& root, const DepsOptions& options);
+
+}  // namespace deps
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_DEPS_DEPS_ANALYSIS_H_

@@ -1,0 +1,249 @@
+#include "tools/deps/include_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json_writer.h"
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace deps {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+const FileNode* IncludeGraph::Find(const std::string& path) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const FileNode& n, const std::string& p) { return n.path < p; });
+  return it != files.end() && it->path == path ? &*it : nullptr;
+}
+
+std::string ModuleOf(const std::string& rel_path) {
+  std::size_t start = 0;
+  std::size_t slash = rel_path.find('/');
+  if (slash == std::string::npos) return rel_path;
+  std::string first = rel_path.substr(0, slash);
+  if (first == "src") {
+    start = slash + 1;
+    slash = rel_path.find('/', start);
+    if (slash == std::string::npos) return "src";
+    return rel_path.substr(start, slash - start);
+  }
+  return first;
+}
+
+std::vector<Include> ExtractIncludes(const std::string& content) {
+  // The tokenizer keeps directive header-names visible in the code view while
+  // blanking ordinary string literals and comments, so a `#include` inside
+  // either can never match here.
+  static const std::regex kInclude(R"re(^\s*#\s*include\s+"([^"]+)")re");
+  std::vector<Include> out;
+  const lint::SourceFile src = lint::StripSource(content, "");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(src.code[i], m, kInclude)) {
+      Include inc;
+      inc.line = i + 1;
+      inc.written = m[1];
+      inc.raw_line = src.raw[i];
+      out.push_back(std::move(inc));
+    }
+  }
+  return out;
+}
+
+IncludeGraph BuildIncludeGraph(const fs::path& root,
+                               const std::vector<std::string>& walk_roots) {
+  IncludeGraph graph;
+  for (const std::string& sub : walk_roots) {
+    const fs::path base = root / sub;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !HasSourceExtension(it->path())) continue;
+      FileNode node;
+      node.path = fs::relative(it->path(), root).generic_string();
+      node.module = ModuleOf(node.path);
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      node.includes = ExtractIncludes(buf.str());
+      graph.files.push_back(std::move(node));
+    }
+  }
+  std::sort(graph.files.begin(), graph.files.end(),
+            [](const FileNode& a, const FileNode& b) { return a.path < b.path; });
+  // Resolve each include against <root>/src then <root>.
+  for (FileNode& node : graph.files) {
+    for (Include& inc : node.includes) {
+      std::error_code ec;
+      if (fs::is_regular_file(root / "src" / inc.written, ec)) {
+        inc.target = "src/" + inc.written;
+        inc.resolved = true;
+      } else if (fs::is_regular_file(root / inc.written, ec)) {
+        inc.target = inc.written;
+        inc.resolved = true;
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<ModuleEdge> ModuleEdges(const IncludeGraph& graph) {
+  std::map<std::pair<std::string, std::string>, ModuleEdge> edges;
+  for (const FileNode& node : graph.files) {
+    for (const Include& inc : node.includes) {
+      if (!inc.resolved) continue;
+      const std::string to = ModuleOf(inc.target);
+      if (to == node.module) continue;
+      auto key = std::make_pair(node.module, to);
+      auto it = edges.find(key);
+      if (it == edges.end()) {
+        ModuleEdge e;
+        e.from = node.module;
+        e.to = to;
+        e.file = node.path;
+        e.line = inc.line;
+        e.count = 1;
+        edges.emplace(std::move(key), std::move(e));
+      } else {
+        ++it->second.count;
+      }
+    }
+  }
+  std::vector<ModuleEdge> out;
+  out.reserve(edges.size());
+  for (auto& [key, edge] : edges) out.push_back(std::move(edge));
+  return out;
+}
+
+namespace {
+
+// Iterative DFS three-color cycle search over the file-level graph.
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+
+}  // namespace
+
+std::optional<std::vector<std::string>> FindIncludeCycle(
+    const IncludeGraph& graph) {
+  std::unordered_map<std::string, Color> color;
+  std::unordered_map<std::string, std::string> parent;
+  for (const FileNode& n : graph.files) color[n.path] = Color::kWhite;
+
+  for (const FileNode& start : graph.files) {
+    if (color[start.path] != Color::kWhite) continue;
+    // Stack of (node, next-include-index).
+    std::vector<std::pair<const FileNode*, std::size_t>> stack;
+    stack.emplace_back(&start, 0);
+    color[start.path] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx >= node->includes.size()) {
+        color[node->path] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Include& inc = node->includes[idx++];
+      if (!inc.resolved) continue;
+      const FileNode* next = graph.Find(inc.target);
+      if (next == nullptr) continue;  // e.g. a resolved non-source file
+      const Color c = color[next->path];
+      if (c == Color::kGray) {
+        // Back edge: the cycle is `next ... top-of-stack, next` — everything
+        // on the stack from `next` upward is on the current DFS path.
+        std::vector<std::string> cycle;
+        auto from = std::find_if(
+            stack.begin(), stack.end(),
+            [&](const auto& entry) { return entry.first == next; });
+        for (; from != stack.end(); ++from) {
+          cycle.push_back(from->first->path);
+        }
+        cycle.push_back(next->path);
+        return cycle;
+      }
+      if (c == Color::kWhite) {
+        color[next->path] = Color::kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string GraphToDot(const IncludeGraph& graph) {
+  std::string out = "digraph rdfcube_modules {\n  rankdir=BT;\n";
+  std::set<std::string> modules;
+  for (const FileNode& n : graph.files) modules.insert(n.module);
+  for (const std::string& m : modules) {
+    out += "  \"" + m + "\";\n";
+  }
+  for (const ModuleEdge& e : ModuleEdges(graph)) {
+    out += "  \"" + e.from + "\" -> \"" + e.to + "\" [label=\"" +
+           std::to_string(e.count) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GraphToJson(const IncludeGraph& graph) {
+  std::string out = "{\n  \"files\": [\n";
+  for (std::size_t i = 0; i < graph.files.size(); ++i) {
+    const FileNode& n = graph.files[i];
+    out += "    {\"path\": ";
+    obs::AppendJsonString(&out, n.path);
+    out += ", \"module\": ";
+    obs::AppendJsonString(&out, n.module);
+    out += ", \"includes\": [";
+    bool first = true;
+    for (const Include& inc : n.includes) {
+      if (!inc.resolved) continue;
+      if (!first) out += ", ";
+      first = false;
+      obs::AppendJsonString(&out, inc.target);
+    }
+    out += "]}";
+    if (i + 1 < graph.files.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n  \"modules\": [";
+  std::set<std::string> modules;
+  for (const FileNode& n : graph.files) modules.insert(n.module);
+  bool first = true;
+  for (const std::string& m : modules) {
+    if (!first) out += ", ";
+    first = false;
+    obs::AppendJsonString(&out, m);
+  }
+  out += "],\n  \"module_edges\": [\n";
+  const std::vector<ModuleEdge> edges = ModuleEdges(graph);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out += "    {\"from\": ";
+    obs::AppendJsonString(&out, edges[i].from);
+    out += ", \"to\": ";
+    obs::AppendJsonString(&out, edges[i].to);
+    out += ", \"count\": " + std::to_string(edges[i].count) + "}";
+    if (i + 1 < edges.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace deps
+}  // namespace rdfcube

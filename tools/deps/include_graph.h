@@ -1,0 +1,96 @@
+// Include-graph extraction for the architecture gate (DESIGN.md §5f).
+//
+// Walks the analysis roots (src/, tools/, bench/ by default), extracts every
+// quoted #include through the shared tokenizer (tools/source_text.h) — so
+// includes mentioned in comments or string literals never become edges — and
+// resolves each against the repo's two include bases (<root>/src for module
+// headers, <root> for tools/tests headers). Angle-bracket includes are system
+// headers and are ignored; quoted includes that resolve to neither base are
+// recorded as unresolved and ignored by the structural checks.
+//
+// Includes under preprocessor conditionals are recorded unconditionally: the
+// gate checks the over-approximated graph (every edge any configuration could
+// take), which is the conservative direction for a layering proof.
+//
+// Module granularity: "src/util/fault.h" belongs to module "util";
+// "tools/lint_checks.h" to "tools"; "bench/..." to "bench". A file directly
+// under src/ (none today) would belong to module "src".
+
+#ifndef RDFCUBE_TOOLS_DEPS_INCLUDE_GRAPH_H_
+#define RDFCUBE_TOOLS_DEPS_INCLUDE_GRAPH_H_
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rdfcube {
+namespace deps {
+
+/// \brief One quoted #include directive found in a file.
+struct Include {
+  std::size_t line = 0;  ///< 1-based line of the directive.
+  std::string written;   ///< The include path as written, e.g. "util/fault.h".
+  std::string target;    ///< Resolved root-relative path; empty if unresolved.
+  bool resolved = false;
+  std::string raw_line;  ///< Verbatim directive line (lint:allow lives here).
+};
+
+/// \brief One analyzed file and its outgoing includes.
+struct FileNode {
+  std::string path;    ///< Root-relative slash path.
+  std::string module;  ///< See ModuleOf().
+  std::vector<Include> includes;
+};
+
+/// \brief The extracted include graph over the analysis roots.
+struct IncludeGraph {
+  std::vector<FileNode> files;  ///< Sorted by path.
+
+  /// Node for `path`, or nullptr when the path was not analyzed.
+  const FileNode* Find(const std::string& path) const;
+};
+
+/// \brief One module-level dependency edge with a representative file:line.
+struct ModuleEdge {
+  std::string from;
+  std::string to;
+  std::string file;      ///< A file in `from` whose include witnesses the edge.
+  std::size_t line = 0;  ///< Line of that include.
+  std::size_t count = 0; ///< Number of file-level includes behind the edge.
+};
+
+/// Module of a root-relative path: second component under src/, first
+/// component otherwise ("src/qb/x.h" -> "qb", "tools/deps/y.h" -> "tools").
+std::string ModuleOf(const std::string& rel_path);
+
+/// Extracts the quoted includes of one file from its content
+/// (comment/string-aware; no resolution — `target` is left empty).
+std::vector<Include> ExtractIncludes(const std::string& content);
+
+/// Walks `walk_roots` under `root` and builds the resolved include graph.
+IncludeGraph BuildIncludeGraph(const std::filesystem::path& root,
+                               const std::vector<std::string>& walk_roots);
+
+/// Deduplicated module-level edges (self-edges omitted), sorted by
+/// (from, to), each carrying one representative include site.
+std::vector<ModuleEdge> ModuleEdges(const IncludeGraph& graph);
+
+/// Searches the file-level include graph for a cycle. Returns the cycle as
+/// a path of root-relative files (first == last) or nullopt when acyclic.
+std::optional<std::vector<std::string>> FindIncludeCycle(
+    const IncludeGraph& graph);
+
+/// Graphviz DOT rendering of the module-level graph (edge labels carry the
+/// file-level include counts).
+std::string GraphToDot(const IncludeGraph& graph);
+
+/// JSON rendering: {"files": [{"path", "module", "includes": [...]}, ...],
+/// "modules": [...], "module_edges": [{"from","to","count"}, ...]}.
+std::string GraphToJson(const IncludeGraph& graph);
+
+}  // namespace deps
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_DEPS_INCLUDE_GRAPH_H_

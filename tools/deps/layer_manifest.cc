@@ -1,0 +1,196 @@
+#include "tools/deps/layer_manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace rdfcube {
+namespace deps {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool ValidModuleName(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const LayerManifest::Module* LayerManifest::Find(
+    const std::string& name) const {
+  for (const Module& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool LayerManifest::Allows(const std::string& from,
+                           const std::string& to) const {
+  if (from == to) return true;
+  const Module* m = Find(from);
+  if (m == nullptr) return false;
+  if (m->wildcard) return true;
+  return m->deps.count(to) != 0;
+}
+
+std::optional<std::vector<std::string>> FindManifestCycle(
+    const LayerManifest& manifest) {
+  // Wildcard modules get edges to every non-wildcard module: a declared
+  // module depending back on a wildcard root must surface as a cycle.
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::unordered_map<std::string, Color> color;
+  for (const auto& m : manifest.modules) color[m.name] = Color::kWhite;
+
+  std::vector<std::string> deps_of;
+  auto edges = [&](const std::string& name) {
+    std::vector<std::string> out;
+    const LayerManifest::Module* m = manifest.Find(name);
+    if (m == nullptr) return out;
+    if (m->wildcard) {
+      for (const auto& other : manifest.modules) {
+        if (!other.wildcard && other.name != name) out.push_back(other.name);
+      }
+    } else {
+      out.assign(m->deps.begin(), m->deps.end());
+    }
+    return out;
+  };
+
+  for (const auto& start : manifest.modules) {
+    if (color[start.name] != Color::kWhite) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(start.name, 0);
+    color[start.name] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [name, idx] = stack.back();
+      const std::vector<std::string> out = edges(name);
+      if (idx >= out.size()) {
+        color[name] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = out[idx++];
+      if (color.find(next) == color.end()) continue;  // undeclared: reported elsewhere
+      if (color[next] == Color::kGray) {
+        std::vector<std::string> cycle;
+        auto from = std::find_if(
+            stack.begin(), stack.end(),
+            [&](const auto& entry) { return entry.first == next; });
+        for (; from != stack.end(); ++from) cycle.push_back(from->first);
+        cycle.push_back(next);
+        return cycle;
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<LayerManifest> ParseLayerManifest(const std::string& content) {
+  LayerManifest manifest;
+  std::istringstream in(content);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("layers.txt:" + std::to_string(line_no) +
+                                ": expected '<module>: <deps...>'");
+    }
+    LayerManifest::Module mod;
+    mod.name = Trim(line.substr(0, colon));
+    mod.line = line_no;
+    if (!ValidModuleName(mod.name)) {
+      return Status::ParseError("layers.txt:" + std::to_string(line_no) +
+                                ": invalid module name '" + mod.name + "'");
+    }
+    if (manifest.Find(mod.name) != nullptr) {
+      return Status::ParseError("layers.txt:" + std::to_string(line_no) +
+                                ": duplicate declaration of '" + mod.name +
+                                "'");
+    }
+    std::istringstream deps(line.substr(colon + 1));
+    std::string dep;
+    while (deps >> dep) {
+      if (dep == "*") {
+        if (mod.wildcard || !mod.deps.empty()) {
+          return Status::ParseError(
+              "layers.txt:" + std::to_string(line_no) +
+              ": '*' must be the only dependency of '" + mod.name + "'");
+        }
+        mod.wildcard = true;
+        continue;
+      }
+      if (mod.wildcard) {
+        return Status::ParseError(
+            "layers.txt:" + std::to_string(line_no) +
+            ": '*' must be the only dependency of '" + mod.name + "'");
+      }
+      if (!ValidModuleName(dep)) {
+        return Status::ParseError("layers.txt:" + std::to_string(line_no) +
+                                  ": invalid dependency name '" + dep + "'");
+      }
+      if (dep == mod.name) {
+        return Status::ParseError("layers.txt:" + std::to_string(line_no) +
+                                  ": '" + mod.name + "' depends on itself");
+      }
+      mod.deps.insert(dep);
+    }
+    manifest.modules.push_back(std::move(mod));
+  }
+  // Every named dep must be declared.
+  for (const auto& mod : manifest.modules) {
+    for (const std::string& dep : mod.deps) {
+      if (manifest.Find(dep) == nullptr) {
+        return Status::ParseError(
+            "layers.txt:" + std::to_string(mod.line) + ": '" + mod.name +
+            "' depends on undeclared module '" + dep + "'");
+      }
+    }
+  }
+  if (auto cycle = FindManifestCycle(manifest)) {
+    std::string path;
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      if (i != 0) path += " -> ";
+      path += (*cycle)[i];
+    }
+    return Status::ParseError("layers.txt declares a cyclic layering: " +
+                              path);
+  }
+  return manifest;
+}
+
+Result<LayerManifest> LoadLayerManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot read layer manifest: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLayerManifest(buf.str());
+}
+
+}  // namespace deps
+}  // namespace rdfcube

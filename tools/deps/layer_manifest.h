@@ -1,0 +1,71 @@
+// The declared layer DAG (tools/layers.txt) for the architecture gate
+// (DESIGN.md §5f). The manifest is the single source of truth for which
+// module-level dependencies are allowed; rdfcube_deps / rdfcube_lint fail on
+// any extracted edge the manifest does not declare.
+//
+// Grammar (one declaration per line; '#' starts a comment):
+//
+//   <module>: <dep> <dep> ...   # module may include headers of the deps
+//   <module>:                   # leaf module, no dependencies
+//   <module>: *                 # application root (umbrella/tools/bench):
+//                               # may depend on every declared module
+//
+// Rules enforced by ParseLayerManifest:
+//   * every named dep must itself be declared (no dangling layers);
+//   * no duplicate declarations;
+//   * the declared graph must be a DAG (wildcard modules depend on every
+//     non-wildcard module for the purpose of the cycle check; edges between
+//     two wildcard application roots are allowed but not cycle-checked —
+//     application roots are not linkable libraries).
+
+#ifndef RDFCUBE_TOOLS_DEPS_LAYER_MANIFEST_H_
+#define RDFCUBE_TOOLS_DEPS_LAYER_MANIFEST_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace rdfcube {
+namespace deps {
+
+/// \brief The parsed layer manifest: declared modules and allowed edges.
+struct LayerManifest {
+  /// \brief One declared module and the modules it may depend on.
+  struct Module {
+    std::string name;
+    bool wildcard = false;        ///< Declared as `name: *`.
+    std::set<std::string> deps;   ///< Empty for leaves and wildcards.
+    std::size_t line = 0;         ///< 1-based declaration line.
+  };
+
+  std::vector<Module> modules;  ///< Declaration order.
+
+  /// Declared module by name, or nullptr.
+  const Module* Find(const std::string& name) const;
+
+  /// True when `from` may depend on `to` (declared dep, or `from` is a
+  /// wildcard application root). Self-dependencies are always allowed.
+  bool Allows(const std::string& from, const std::string& to) const;
+};
+
+/// Parses manifest text. Violations of the grammar or the DAG rule return a
+/// ParseError naming the offending line.
+Result<LayerManifest> ParseLayerManifest(const std::string& content);
+
+/// Reads and parses `path`; IOError when unreadable.
+Result<LayerManifest> LoadLayerManifest(const std::string& path);
+
+/// Cycle among declared (non-wildcard) modules, as a module path with
+/// first == last; nullopt when the declared graph is a DAG. Exposed for
+/// tests; ParseLayerManifest already rejects cyclic manifests.
+std::optional<std::vector<std::string>> FindManifestCycle(
+    const LayerManifest& manifest);
+
+}  // namespace deps
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_DEPS_LAYER_MANIFEST_H_

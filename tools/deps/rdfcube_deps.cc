@@ -1,0 +1,108 @@
+// rdfcube_deps: the architecture gate, standalone (DESIGN.md §5f).
+//
+// Extracts the quoted-include graph of src/, tools/, and bench/, checks it
+// against the declared layer DAG in tools/layers.txt (layer-dag,
+// include-cycle, iwyu-direct — the same checks rdfcube_lint runs), and can
+// export the graph for dashboards and CI artifacts.
+//
+// Usage: rdfcube_deps [root] [--manifest=PATH] [--dot=FILE] [--json=FILE]
+//   root        repo root containing src/ and tools/ (default: .)
+//   --manifest  layer manifest, relative to root (default: tools/layers.txt).
+//               Unlike rdfcube_lint, a missing manifest FAILS the gate here.
+//   --dot       write the module-level graph as Graphviz DOT to FILE
+//   --json      write the full graph (files, modules, edges) as JSON to FILE
+// Graph exports are written even when the gate fails, so CI can attach the
+// offending graph to the failure. Exit: 0 clean, 1 violations, 2 usage/IO.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tools/deps/deps_analysis.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [repo-root] [--manifest=PATH] [--dot=FILE] "
+               "[--json=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "rdfcube_deps: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string dot_path;
+  std::string json_path;
+  rdfcube::deps::DepsOptions options;
+  options.require_manifest = true;
+  bool root_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [repo-root] [--manifest=PATH] [--dot=FILE] "
+          "[--json=FILE]\n"
+          "Architecture gate: extracts the #include graph of src/, tools/,\n"
+          "and bench/, and checks it against the layer DAG declared in\n"
+          "tools/layers.txt (checks: layer-dag, include-cycle, iwyu-direct).\n"
+          "Writes the module graph as DOT/JSON when asked (also on failure).\n"
+          "Exits 0 when clean, 1 on violations, 2 on usage/IO errors.\n",
+          argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--manifest=", 0) == 0) {
+      options.manifest_rel = arg.substr(11);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const rdfcube::deps::DepsReport report =
+      rdfcube::deps::AnalyzeDeps(root, options);
+
+  bool io_ok = true;
+  if (!dot_path.empty()) {
+    io_ok &= WriteFileOrComplain(dot_path,
+                                 rdfcube::deps::GraphToDot(report.graph));
+  }
+  if (!json_path.empty()) {
+    io_ok &= WriteFileOrComplain(json_path,
+                                 rdfcube::deps::GraphToJson(report.graph));
+  }
+
+  for (const auto& v : report.violations) {
+    std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+  }
+  if (!io_ok) return 2;
+  if (!report.violations.empty()) {
+    std::fprintf(stderr, "rdfcube_deps: %zu violation(s)\n",
+                 report.violations.size());
+    return 1;
+  }
+  std::printf("rdfcube_deps: architecture gate clean (%zu files)\n",
+              report.graph.files.size());
+  return 0;
+}

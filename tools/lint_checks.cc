@@ -1,12 +1,17 @@
 #include "tools/lint_checks.h"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
-#include <fstream>
+#include <functional>
 #include <regex>
 #include <sstream>
 #include <string_view>
 #include <tuple>
+
+#include "obs/json_writer.h"
+#include "tools/deps/deps_analysis.h"
+#include "tools/source_text.h"
 
 namespace rdfcube {
 namespace lint {
@@ -18,28 +23,6 @@ namespace fs = std::filesystem;
 bool HasSourceExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp";
-}
-
-std::vector<std::string> ReadLines(const fs::path& path) {
-  std::vector<std::string> lines;
-  std::ifstream in(path);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
-  }
-  return lines;
-}
-
-// The text of `line` with any trailing //-comment removed (naive: does not
-// understand string literals, which is fine for the token classes we hunt).
-std::string_view CodeText(const std::string& line) {
-  const std::size_t pos = line.find("//");
-  return std::string_view(line).substr(0, pos);
-}
-
-bool Suppressed(const std::string& line, const std::string& check) {
-  return line.find("lint:allow(" + check + ")") != std::string::npos;
 }
 
 // Sorted list of files under root/<subdir> with a source extension, as
@@ -61,6 +44,30 @@ std::vector<std::string> SourceFilesUnder(const fs::path& root,
   return out;
 }
 
+// Every source file under src/, tools/ and bench/, loaded and stripped once;
+// all lexical checks below share these views (the point of the tokenizer
+// core: one pass, no per-check comment heuristics).
+std::vector<SourceFile> LoadCorpus(const fs::path& root) {
+  std::vector<SourceFile> corpus;
+  for (const std::string& dir :
+       {std::string("src"), std::string("tools"), std::string("bench")}) {
+    for (const std::string& file : SourceFilesUnder(root, dir)) {
+      corpus.push_back(LoadSource(root / file, file));
+    }
+  }
+  return corpus;
+}
+
+bool InDir(const SourceFile& f, std::string_view dir) {
+  return f.path.size() > dir.size() && f.path.compare(0, dir.size(), dir) == 0 &&
+         f.path[dir.size()] == '/';
+}
+
+bool IsHeader(const SourceFile& f) {
+  return f.path.size() >= 2 &&
+         f.path.compare(f.path.size() - 2, 2, ".h") == 0;
+}
+
 bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
 }
@@ -72,22 +79,31 @@ std::string_view TrimLeft(std::string_view s) {
   return s;
 }
 
+std::string_view TrimRight(std::string_view s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
 // --- no-throw ----------------------------------------------------------------
 
-void CheckNoThrow(const fs::path& root, std::vector<Violation>* out) {
+void CheckNoThrow(const std::vector<SourceFile>& corpus,
+                  std::vector<Violation>* out) {
   static const std::string kCheck = "no-throw";
   static const std::regex kThrow(R"(\bthrow\b)");
-  for (const std::string& dir : {std::string("src/core"), std::string("src/util")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (std::regex_search(code, kThrow)) {
-          out->push_back({kCheck, file, i + 1,
-                          "throw on a hot path; return Status/Result instead "
-                          "(no-exceptions rule for src/core and src/util)"});
-        }
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "src/base") && !InDir(f, "src/core") &&
+        !InDir(f, "src/util")) {
+      continue;
+    }
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (std::regex_search(f.code[i], kThrow)) {
+        out->push_back({kCheck, f.path, i + 1,
+                        "throw on a hot path; return Status/Result instead "
+                        "(no-exceptions rule for src/base, src/core and "
+                        "src/util)"});
       }
     }
   }
@@ -95,26 +111,22 @@ void CheckNoThrow(const fs::path& root, std::vector<Violation>* out) {
 
 // --- std-function-callback ---------------------------------------------------
 
-void CheckStdFunctionCallbacks(const fs::path& root,
+void CheckStdFunctionCallbacks(const std::vector<SourceFile>& corpus,
                                std::vector<Violation>* out) {
   static const std::string kCheck = "std-function-callback";
   // A lambda whose parameter list declares an `auto` parameter: the generic
   // lambda becomes a distinct template instantiation per recursion depth.
   static const std::regex kGenericLambda(
       R"(\[[^\[\]]*\]\s*\([^)]*\bauto\b)");
-  for (const std::string& dir :
-       {std::string("src/sparql"), std::string("src/rules")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (std::regex_search(code, kGenericLambda)) {
-          out->push_back({kCheck, file, i + 1,
-                          "generic lambda in a recursive-evaluator module; "
-                          "take std::function callbacks (template recursion "
-                          "OOMs the compiler on nested NOT EXISTS)"});
-        }
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "src/sparql") && !InDir(f, "src/rules")) continue;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (std::regex_search(f.code[i], kGenericLambda)) {
+        out->push_back({kCheck, f.path, i + 1,
+                        "generic lambda in a recursive-evaluator module; "
+                        "take std::function callbacks (template recursion "
+                        "OOMs the compiler on nested NOT EXISTS)"});
       }
     }
   }
@@ -122,40 +134,43 @@ void CheckStdFunctionCallbacks(const fs::path& root,
 
 // --- umbrella-sync -----------------------------------------------------------
 
-void CheckUmbrellaSync(const fs::path& root, std::vector<Violation>* out) {
+void CheckUmbrellaSync(const std::vector<SourceFile>& corpus,
+                       std::vector<Violation>* out) {
   static const std::string kCheck = "umbrella-sync";
   const std::string umbrella_rel = "src/rdfcube/rdfcube.h";
-  const fs::path umbrella = root / umbrella_rel;
-  std::error_code ec;
-  if (!fs::is_regular_file(umbrella, ec)) {
+  const SourceFile* umbrella = nullptr;
+  for (const SourceFile& f : corpus) {
+    if (f.path == umbrella_rel) umbrella = &f;
+  }
+  if (umbrella == nullptr || umbrella->empty()) {
     out->push_back({kCheck, umbrella_rel, 0, "umbrella header is missing"});
     return;
   }
-  // Includes listed by the umbrella, as src-relative paths.
-  static const std::regex kInclude(R"re(#include\s+"([^"]+)")re");
+  // Includes listed by the umbrella, as src-relative paths. Directive lines
+  // keep their header-name in the code view, so a commented-out include can
+  // never count as listed.
+  static const std::regex kInclude(R"re(#\s*include\s+"([^"]+)")re");
   std::vector<std::string> included;
-  for (const std::string& line : ReadLines(umbrella)) {
+  for (const std::string& line : umbrella->code) {
     std::smatch m;
     if (std::regex_search(line, m, kInclude)) included.push_back(m[1]);
   }
-  for (const std::string& file : SourceFilesUnder(root, "src")) {
-    if (!StartsWith(file, "src/") || file == umbrella_rel) continue;
-    if (file.size() < 2 || file.substr(file.size() - 2) != ".h") continue;
-    const std::string src_rel = file.substr(4);  // drop "src/"
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "src") || f.path == umbrella_rel || !IsHeader(f)) continue;
+    const std::string src_rel = f.path.substr(4);  // drop "src/"
     if (std::find(included.begin(), included.end(), src_rel) !=
         included.end()) {
       continue;
     }
-    const std::vector<std::string> lines = ReadLines(root / file);
     bool internal = false;
-    for (std::size_t i = 0; i < lines.size() && i < 10; ++i) {
-      if (lines[i].find("rdfcube:internal") != std::string::npos) {
+    for (std::size_t i = 0; i < f.raw.size() && i < 10; ++i) {
+      if (f.raw[i].find("rdfcube:internal") != std::string::npos) {
         internal = true;
         break;
       }
     }
     if (!internal) {
-      out->push_back({kCheck, file, 0,
+      out->push_back({kCheck, f.path, 0,
                       "public header not listed in " + umbrella_rel +
                           " (mark it rdfcube:internal if it is not public)"});
     }
@@ -164,30 +179,31 @@ void CheckUmbrellaSync(const fs::path& root, std::vector<Violation>* out) {
 
 // --- doxygen-public ----------------------------------------------------------
 
-void CheckDoxygenPublic(const fs::path& root, std::vector<Violation>* out) {
+void CheckDoxygenPublic(const std::vector<SourceFile>& corpus,
+                        std::vector<Violation>* out) {
   static const std::string kCheck = "doxygen-public";
   // A top-level class/struct *definition*: column 0, optional attribute,
-  // capitalized name, and not a forward declaration.
+  // capitalized name, and not a forward declaration. Matched against the code
+  // view, so "class Foo {" inside a comment or string never counts.
   static const std::regex kTypeDef(
       R"(^(class|struct)\s+(\[\[\w+\]\]\s+)?[A-Z]\w*[^;]*$)");
-  for (const std::string& file : SourceFilesUnder(root, "src")) {
-    if (file.size() < 2 || file.substr(file.size() - 2) != ".h") continue;
-    const std::vector<std::string> lines = ReadLines(root / file);
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (Suppressed(lines[i], kCheck)) continue;
-      if (!std::regex_search(lines[i], kTypeDef)) continue;
-      // Walk to the nearest preceding non-blank line, skipping template
-      // heads; it must be a Doxygen /// comment.
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "src") || !IsHeader(f)) continue;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (!std::regex_search(f.code[i], kTypeDef)) continue;
+      // Walk to the nearest preceding non-blank raw line, skipping template
+      // heads; it must be a Doxygen /// comment (comments only exist in raw).
       bool documented = false;
       for (std::size_t j = i; j > 0; --j) {
-        const std::string_view prev = TrimLeft(lines[j - 1]);
+        const std::string_view prev = TrimLeft(f.raw[j - 1]);
         if (prev.empty()) break;
         if (StartsWith(prev, "template")) continue;
         documented = StartsWith(prev, "///");
         break;
       }
       if (!documented) {
-        out->push_back({kCheck, file, i + 1,
+        out->push_back({kCheck, f.path, i + 1,
                         "public class/struct lacks a Doxygen /// comment"});
       }
     }
@@ -196,23 +212,19 @@ void CheckDoxygenPublic(const fs::path& root, std::vector<Violation>* out) {
 
 // --- checked-parse -----------------------------------------------------------
 
-void CheckParses(const fs::path& root, std::vector<Violation>* out) {
+void CheckParses(const std::vector<SourceFile>& corpus,
+                 std::vector<Violation>* out) {
   static const std::string kCheck = "checked-parse";
   static const std::regex kUnchecked(
       R"(std::sto[a-z]+\s*\(|\b(atoi|atol|atoll|atof)\s*\()");
-  for (const std::string& dir :
-       {std::string("src"), std::string("tools"), std::string("bench")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (std::regex_search(code, kUnchecked)) {
-          out->push_back({kCheck, file, i + 1,
-                          "unchecked std::sto*/ato* parse (throws or returns "
-                          "0 on bad input); use util/string_util "
-                          "ParseDouble/ParseU64"});
-        }
+  for (const SourceFile& f : corpus) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (std::regex_search(f.code[i], kUnchecked)) {
+        out->push_back({kCheck, f.path, i + 1,
+                        "unchecked std::sto*/ato* parse (throws or returns "
+                        "0 on bad input); use util/string_util "
+                        "ParseDouble/ParseU64"});
       }
     }
   }
@@ -220,19 +232,19 @@ void CheckParses(const fs::path& root, std::vector<Violation>* out) {
 
 // --- bare-stopwatch ----------------------------------------------------------
 
-void CheckBareStopwatch(const fs::path& root, std::vector<Violation>* out) {
+void CheckBareStopwatch(const std::vector<SourceFile>& corpus,
+                        std::vector<Violation>* out) {
   static const std::string kCheck = "bare-stopwatch";
   static const std::regex kStopwatch(R"(\bStopwatch\b)");
-  for (const std::string& file : SourceFilesUnder(root, "bench")) {
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "bench")) continue;
     // bench_util implements the harness itself and may hold the raw clock.
-    const std::string base = fs::path(file).filename().string();
+    const std::string base = fs::path(f.path).filename().string();
     if (StartsWith(base, "bench_util.")) continue;
-    const std::vector<std::string> lines = ReadLines(root / file);
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (Suppressed(lines[i], kCheck)) continue;
-      const std::string code(CodeText(lines[i]));
-      if (std::regex_search(code, kStopwatch)) {
-        out->push_back({kCheck, file, i + 1,
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (std::regex_search(f.code[i], kStopwatch)) {
+        out->push_back({kCheck, f.path, i + 1,
                         "raw Stopwatch in a bench harness; time phases with "
                         "obs::TraceSpan so they appear in BENCH_*.json"});
       }
@@ -242,63 +254,57 @@ void CheckBareStopwatch(const fs::path& root, std::vector<Violation>* out) {
 
 // --- lock-annotation ---------------------------------------------------------
 
-void CheckLockAnnotations(const fs::path& root, std::vector<Violation>* out) {
+void CheckLockAnnotations(const std::vector<SourceFile>& corpus,
+                          std::vector<Violation>* out) {
   static const std::string kCheck = "lock-annotation";
   // A data-member (or local) *declaration* of a standard lock type: the type
   // starts the statement, so template-argument occurrences such as
   // std::unique_lock<std::mutex> never match.
   static const std::regex kBareLockMember(
       R"(^\s*(mutable\s+)?std::(mutex|shared_mutex|shared_timed_mutex|condition_variable(_any)?)\s+[A-Za-z_])");
-  for (const std::string& dir :
-       {std::string("src"), std::string("tools"), std::string("bench")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (!std::regex_search(code, kBareLockMember)) continue;
-        if (code.find("RDFCUBE_") != std::string::npos) continue;
-        out->push_back(
-            {kCheck, file, i + 1,
-             "unannotated lock: use rdfcube::Mutex (annotated capability, "
-             "util/thread_annotations.h) or add an RDFCUBE_* thread-safety "
-             "annotation (condvars: RDFCUBE_CONDVAR_PAIRED_WITH(<mutex>))"});
-      }
+  for (const SourceFile& f : corpus) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (!std::regex_search(f.code[i], kBareLockMember)) continue;
+      if (f.code[i].find("RDFCUBE_") != std::string::npos) continue;
+      out->push_back(
+          {kCheck, f.path, i + 1,
+           "unannotated lock: use rdfcube::Mutex (annotated capability, "
+           "base/thread_annotations.h) or add an RDFCUBE_* thread-safety "
+           "annotation (condvars: RDFCUBE_CONDVAR_PAIRED_WITH(<mutex>))"});
     }
   }
 }
 
 // --- obs-shadowing -----------------------------------------------------------
 
-void CheckObsShadowing(const fs::path& root, std::vector<Violation>* out) {
+void CheckObsShadowing(const std::vector<SourceFile>& corpus,
+                       std::vector<Violation>* out) {
   static const std::string kCheck = "obs-shadowing";
   // A declaration introducing a variable named `obs`: a type-ish token, then
   // `obs`, then an initializer or declaration terminator. Parameters named
   // obs (`... & obs,` / `... & obs)`) are the established call-signature
   // style and are excluded — inside those bodies the obx alias applies.
   static const std::regex kObsDecl(R"([A-Za-z0-9_>&*\]]\s+obs\s*[={;])");
-  for (const std::string& dir :
-       {std::string("src"), std::string("tools"), std::string("bench")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (code.find("namespace") != std::string::npos) continue;
-        if (!std::regex_search(code, kObsDecl)) continue;
-        out->push_back(
-            {kCheck, file, i + 1,
-             "local variable named `obs` shadows namespace rdfcube::obs "
-             "(obs::Counter etc. stop resolving); rename it, or alias "
-             "`namespace obx = ::rdfcube::obs;` for instrumentation"});
-      }
+  for (const SourceFile& f : corpus) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      const std::string& code = f.code[i];
+      if (code.find("namespace") != std::string::npos) continue;
+      if (!std::regex_search(code, kObsDecl)) continue;
+      out->push_back(
+          {kCheck, f.path, i + 1,
+           "local variable named `obs` shadows namespace rdfcube::obs "
+           "(obs::Counter etc. stop resolving); rename it, or alias "
+           "`namespace obx = ::rdfcube::obs;` for instrumentation"});
     }
   }
 }
 
 // --- metric-name -------------------------------------------------------------
 
-void CheckMetricNames(const fs::path& root, std::vector<Violation>* out) {
+void CheckMetricNames(const std::vector<SourceFile>& corpus,
+                      std::vector<Violation>* out) {
   static const std::string kCheck = "metric-name";
   static const std::regex kRegistration(
       R"((DefaultCounter|DefaultGauge|DefaultHistogram|GetCounter|GetGauge|GetHistogram)\s*\()");
@@ -306,42 +312,299 @@ void CheckMetricNames(const fs::path& root, std::vector<Violation>* out) {
   // rdfcube_<module>_<name>_<unit>: lowercase, at least four tokens overall
   // (rdfcube + module + one-or-more name words + unit).
   static const std::regex kScheme(R"(^rdfcube_[a-z][a-z0-9]*(_[a-z0-9]+){2,}$)");
-  for (const std::string& dir :
-       {std::string("src"), std::string("tools"), std::string("bench")}) {
-    for (const std::string& file : SourceFilesUnder(root, dir)) {
-      const std::vector<std::string> lines = ReadLines(root / file);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (Suppressed(lines[i], kCheck)) continue;
-        const std::string code(CodeText(lines[i]));
-        if (!std::regex_search(code, kRegistration)) continue;
-        // The name literal sits on the call line or (function-local static
-        // idiom, clang-format wrapped) on the next one. Calls passing a
-        // computed name are not checkable mechanically and are skipped.
-        std::smatch m;
-        std::size_t literal_line = i;
-        std::string literal;
-        if (std::regex_search(code, m, kLiteral)) {
+  for (const SourceFile& f : corpus) {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      // Detect the registration call on the code view (a call name inside a
+      // string or comment is not a registration)...
+      if (!std::regex_search(f.code[i], kRegistration)) continue;
+      // ...but read the name literal from the text view, where string
+      // contents survive comment stripping.
+      std::smatch m;
+      std::size_t literal_line = i;
+      std::string literal;
+      if (std::regex_search(f.text[i], m, kLiteral)) {
+        literal = m[1];
+      } else if (f.code[i].find(';') == std::string::npos &&
+                 i + 1 < f.text.size()) {
+        // Wrapped call: the statement continues, so the name literal may sit
+        // on the following line. A call line ending the statement with a
+        // variable name (registry pass-throughs) is skipped instead.
+        if (std::regex_search(f.text[i + 1], m, kLiteral)) {
           literal = m[1];
-        } else if (code.find(';') == std::string::npos && i + 1 < lines.size()) {
-          // Wrapped call: the statement continues, so the name literal may sit
-          // on the following line. A call line ending the statement with a
-          // variable name (registry pass-throughs) is skipped instead.
-          const std::string next(CodeText(lines[i + 1]));
-          if (std::regex_search(next, m, kLiteral)) {
-            literal = m[1];
-            literal_line = i + 1;
+          literal_line = i + 1;
+        }
+      }
+      if (literal.empty() || LineSuppressed(f, literal_line, kCheck)) {
+        continue;
+      }
+      if (!std::regex_match(literal, kScheme)) {
+        out->push_back(
+            {kCheck, f.path, literal_line + 1,
+             "metric name '" + literal +
+                 "' violates the rdfcube_<module>_<name>_<unit> scheme "
+                 "(lowercase, >= 4 underscore-separated tokens)"});
+      }
+    }
+  }
+}
+
+// --- checked-value -----------------------------------------------------------
+
+// Scans the receiver expression that ends just before position `end` on
+// `line` (i.e. before the `.value()` / `->value()` operator). Returns the
+// start index of the receiver, or npos when the shape is not one we track.
+// Handles call chains (`dict.Get(id)`, `std::move(tmp)`) and plain
+// identifiers; gives up on anything else (array indexing, casts, ...).
+std::size_t ReceiverStart(const std::string& line, std::size_t end) {
+  std::size_t pos = end;
+  bool first = true;
+  while (true) {
+    while (pos > 0 && line[pos - 1] == ' ') --pos;
+    if (pos > 0 && line[pos - 1] == ')') {
+      // Balance backwards to the matching '('.
+      int depth = 0;
+      std::size_t q = pos;
+      while (q > 0) {
+        --q;
+        if (line[q] == ')') ++depth;
+        if (line[q] == '(') {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      if (depth != 0) return std::string::npos;
+      pos = q;
+      // Consume the callee name (possibly namespace-qualified).
+      std::size_t before = pos;
+      while (pos > 0 &&
+             (std::isalnum(static_cast<unsigned char>(line[pos - 1])) != 0 ||
+              line[pos - 1] == '_' || line[pos - 1] == ':')) {
+        --pos;
+      }
+      if (pos == before && first) return std::string::npos;
+    } else {
+      std::size_t before = pos;
+      while (pos > 0 &&
+             (std::isalnum(static_cast<unsigned char>(line[pos - 1])) != 0 ||
+              line[pos - 1] == '_')) {
+        --pos;
+      }
+      if (pos == before) return first ? std::string::npos : before;
+    }
+    first = false;
+    // Chain further through `.` / `->`?
+    if (pos > 0 && line[pos - 1] == '.') {
+      --pos;
+    } else if (pos > 1 && line[pos - 2] == '-' && line[pos - 1] == '>') {
+      pos -= 2;
+    } else {
+      return pos;
+    }
+  }
+}
+
+// True when `text` contains `receiver` immediately followed (modulo spaces)
+// by .ok( or .has_value( — the guard idiom for call-chain receivers.
+bool ChainGuardIn(const std::string& text, const std::string& receiver) {
+  std::size_t at = 0;
+  while ((at = text.find(receiver, at)) != std::string::npos) {
+    std::size_t p = at + receiver.size();
+    while (p < text.size() && text[p] == ' ') ++p;
+    if (p < text.size() && (text[p] == '.' ||
+                            (text[p] == '-' && p + 1 < text.size() &&
+                             text[p + 1] == '>'))) {
+      p += text[p] == '.' ? 1 : 2;
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 3, "ok(") == 0 ||
+          text.compare(p, 10, "has_value(") == 0) {
+        return true;
+      }
+    }
+    ++at;
+  }
+  return false;
+}
+
+void CheckCheckedValue(const std::vector<SourceFile>& corpus,
+                       std::vector<Violation>* out) {
+  static const std::string kCheck = "checked-value";
+  static const std::regex kValueCall(R"((\.|->)\s*value\s*\(\s*\))");
+  static const std::regex kMove(R"(^std\s*::\s*move\s*\(\s*(\w+)\s*\)$)");
+  static const std::regex kIdent(R"(^\w+$)");
+
+  for (const SourceFile& f : corpus) {
+    // Scans upward from `from` (exclusive) for a code line satisfying `pred`;
+    // stops after the line that opens the enclosing block, so guards in
+    // earlier sibling blocks do not count. Capped so pathological files stay
+    // cheap.
+    const auto guard_above = [&f](std::size_t from,
+                                  const std::function<bool(const std::string&)>&
+                                      pred) {
+      int depth = 0;
+      std::size_t scanned = 0;
+      for (std::size_t j = from; j > 0 && scanned < 60; --j, ++scanned) {
+        const std::string& c = f.code[j - 1];
+        // depth < 0 means the upward scan is inside an earlier *sibling*
+        // block (net closes seen): a guard there does not dominate the use.
+        if (depth == 0 && pred(c)) return true;
+        for (char ch : c) {
+          if (ch == '{') ++depth;
+          if (ch == '}') --depth;
+        }
+        if (depth > 0) return false;  // passed our block opener
+      }
+      return false;
+    };
+
+    // Finds the nearest preceding explicit Result</optional< declaration of
+    // `id` (auto-typed locals are deliberately not tracked — dataflow-lite).
+    // Returns the 0-based line or npos.
+    const auto decl_line = [&f](std::size_t from, const std::string& id) {
+      // `(` and `)` are excluded from the template-argument span so a
+      // function *return* type can never pair with a parameter name later in
+      // the signature (`Result<Model> KMeans(...& points` is not a
+      // declaration of `points`).
+      const std::regex decl(
+          R"((\bResult\s*<|\boptional\s*<)[^;={}()]*>[&*\s]*\b)" + id +
+          R"(\b)");
+      std::size_t scanned = 0;
+      for (std::size_t j = from + 1; j > 0 && scanned < 80; --j, ++scanned) {
+        if (std::regex_search(f.code[j - 1], decl)) return j - 1;
+        if (!f.code[j - 1].empty() && f.code[j - 1][0] == '}') break;
+      }
+      return std::string::npos;
+    };
+
+    const auto ident_guarded = [&f](std::size_t decl, std::size_t use,
+                                    const std::string& stmt,
+                                    const std::string& id) {
+      const std::regex g1(R"(\b)" + id +
+                          R"(\s*(\.|->)\s*(ok|has_value)\s*\()");
+      const std::regex g2(R"([(!]\s*)" + id + R"(\s*[)&|])");
+      if (std::regex_search(stmt, g1) || std::regex_search(stmt, g2)) {
+        return true;
+      }
+      for (std::size_t j = decl; j < use; ++j) {
+        if (std::regex_search(f.code[j], g1) ||
+            std::regex_search(f.code[j], g2)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      const std::string& line = f.code[i];
+
+      // Macro-continuation statements span lines ending in '\'; join them so
+      // a guard earlier in the same macro body counts (and scan guards from
+      // the chain start, not the middle).
+      std::size_t chain_start = i;
+      while (chain_start > 0) {
+        const std::string_view prev = TrimRight(f.code[chain_start - 1]);
+        if (prev.empty() || prev.back() != '\\') break;
+        --chain_start;
+      }
+      std::string stmt;
+      for (std::size_t j = chain_start; j <= i; ++j) {
+        std::string_view part = TrimRight(f.code[j]);
+        if (!part.empty() && part.back() == '\\') part.remove_suffix(1);
+        stmt.append(part);
+        stmt.push_back(' ');
+      }
+
+      for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                          kValueCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::size_t op = static_cast<std::size_t>(it->position(0));
+        const std::size_t start = ReceiverStart(line, op);
+        if (start == std::string::npos) continue;
+        std::string receiver = line.substr(start, op - start);
+        while (!receiver.empty() && receiver.front() == ' ') {
+          receiver.erase(receiver.begin());
+        }
+        if (receiver.empty()) continue;
+
+        std::smatch m;
+        std::string id;
+        if (std::regex_match(receiver, m, kMove)) {
+          id = m[1];  // std::move(x).value(): track x
+        } else if (std::regex_match(receiver, kIdent)) {
+          id = receiver;
+        }
+
+        if (!id.empty()) {
+          // Identifier receiver: only meaningful when an explicit
+          // Result/optional declaration is visible (Term::value() and other
+          // plain accessors must not fire).
+          const std::size_t decl = decl_line(i, id);
+          if (decl == std::string::npos) continue;
+          if (ident_guarded(decl, i, stmt, id)) continue;
+          out->push_back(
+              {kCheck, f.path, i + 1,
+               "`" + id + ".value()` without a visible ok()/has_value() "
+               "guard after its Result/optional declaration; test it first "
+               "or state the invariant with lint:allow(checked-value)"});
+        } else if (receiver.find('(') != std::string::npos) {
+          // Call-chain receiver: the temporary cannot be tested after the
+          // fact, so the same expression must appear under a guard in the
+          // statement or the enclosing block.
+          if (ChainGuardIn(stmt, receiver)) continue;
+          if (guard_above(chain_start, [&receiver](const std::string& c) {
+                return ChainGuardIn(c, receiver);
+              })) {
+            continue;
+          }
+          out->push_back(
+              {kCheck, f.path, i + 1,
+               "`" + receiver + ".value()` on an unguarded call result; "
+               "bind it and test ok()/has_value(), or state the invariant "
+               "with lint:allow(checked-value)"});
+        }
+      }
+
+      // `*opt` dereferences of tracked locals. The token before `*` (modulo
+      // spaces) decides dereference vs multiplication: an identifier, ')',
+      // ']' or a literal on the left means arithmetic.
+      static const std::regex kDeref(R"(\*\s*([A-Za-z_]\w*)\b)");
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kDeref);
+           it != std::sregex_iterator(); ++it) {
+        std::size_t p = static_cast<std::size_t>(it->position(0));
+        std::size_t q = p;
+        while (q > 0 && line[q - 1] == ' ') --q;
+        if (q > 0) {
+          const char before = line[q - 1];
+          if (std::isalnum(static_cast<unsigned char>(before)) != 0 ||
+              before == '_' || before == ')' || before == ']' ||
+              before == '*') {
+            continue;  // multiplication or pointer-type syntax
           }
         }
-        if (literal.empty() || Suppressed(lines[literal_line], kCheck)) {
+        // Postfix operators bind tighter than `*`: in `*points[i]` or
+        // `*it->second` the dereference applies to a subexpression, not to
+        // the identifier itself.
+        const std::size_t after =
+            static_cast<std::size_t>(it->position(0) + it->length(0));
+        std::size_t a = after;
+        while (a < line.size() && line[a] == ' ') ++a;
+        if (a < line.size() && (line[a] == '[' || line[a] == '.' ||
+                                line[a] == '(' || line[a] == '-')) {
           continue;
         }
-        if (!std::regex_match(literal, kScheme)) {
-          out->push_back(
-              {kCheck, file, literal_line + 1,
-               "metric name '" + literal +
-                   "' violates the rdfcube_<module>_<name>_<unit> scheme "
-                   "(lowercase, >= 4 underscore-separated tokens)"});
-        }
+        const std::string id = (*it)[1];
+        const std::size_t decl = decl_line(i, id);
+        if (decl == std::string::npos) continue;
+        // A declaration on this very line (`optional<T> x = *y` matches y,
+        // but `*x` on the decl line is the type, not a deref).
+        if (decl == i) continue;
+        if (ident_guarded(decl, i, stmt, id)) continue;
+        out->push_back(
+            {kCheck, f.path, i + 1,
+             "`*" + id + "` dereference without a visible ok()/has_value() "
+             "guard after its Result/optional declaration; test it first or "
+             "state the invariant with lint:allow(checked-value)"});
       }
     }
   }
@@ -357,15 +620,26 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
     return out;
   }
   const fs::path r(root);
-  CheckNoThrow(r, &out);
-  CheckStdFunctionCallbacks(r, &out);
-  CheckUmbrellaSync(r, &out);
-  CheckDoxygenPublic(r, &out);
-  CheckParses(r, &out);
-  CheckBareStopwatch(r, &out);
-  CheckLockAnnotations(r, &out);
-  CheckObsShadowing(r, &out);
-  CheckMetricNames(r, &out);
+  const std::vector<SourceFile> corpus = LoadCorpus(r);
+  CheckNoThrow(corpus, &out);
+  CheckStdFunctionCallbacks(corpus, &out);
+  CheckUmbrellaSync(corpus, &out);
+  CheckDoxygenPublic(corpus, &out);
+  CheckParses(corpus, &out);
+  CheckBareStopwatch(corpus, &out);
+  CheckLockAnnotations(corpus, &out);
+  CheckObsShadowing(corpus, &out);
+  CheckMetricNames(corpus, &out);
+  CheckCheckedValue(corpus, &out);
+
+  // Architecture checks (tools/deps): layer-dag (skipped when the tree
+  // declares no tools/layers.txt), include-cycle, iwyu-direct.
+  deps::DepsOptions deps_options;
+  deps_options.require_manifest = false;
+  deps::DepsReport deps_report = deps::AnalyzeDeps(root, deps_options);
+  out.insert(out.end(), deps_report.violations.begin(),
+             deps_report.violations.end());
+
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return std::tie(a.file, a.line, a.check) <
            std::tie(b.file, b.line, b.check);
@@ -379,6 +653,22 @@ std::string FormatViolation(const Violation& v) {
   if (v.line != 0) os << ":" << v.line;
   os << ": [" << v.check << "] " << v.message;
   return os.str();
+}
+
+std::string ViolationsToJson(const std::vector<Violation>& violations) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out += "  {\"file\": ";
+    obs::AppendJsonString(&out, v.file);
+    out += ", \"line\": " + std::to_string(v.line) + ", \"check\": ";
+    obs::AppendJsonString(&out, v.check);
+    out += ", \"message\": ";
+    obs::AppendJsonString(&out, v.message);
+    out += i + 1 == violations.size() ? "}\n" : "},\n";
+  }
+  out += "]\n";
+  return out;
 }
 
 }  // namespace lint

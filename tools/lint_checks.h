@@ -1,10 +1,14 @@
 // rdfcube_lint: mechanical enforcement of the repo invariants that CLAUDE.md
-// records as prose. Plain file/regex passes over the tree — deliberately no
-// libclang dependency, so the checker builds everywhere the library does.
+// records as prose. Deliberately no libclang dependency, so the checker
+// builds everywhere the library does. All checks run on the shared tokenizer
+// pass (tools/source_text.h): every file is read and comment/string-stripped
+// exactly once, so a `throw` in a string literal or a `#include` in a comment
+// can never fire a check.
 //
-// Checks (names are what `lint:allow(<name>)` suppresses on a line):
-//   no-throw              no `throw` under src/core or src/util: those are
-//                         hot paths, errors travel as Status/Result.
+// Lexical checks (names are what `lint:allow(<name>)` suppresses on a line):
+//   no-throw              no `throw` under src/base, src/core or src/util:
+//                         those are hot paths, errors travel as
+//                         Status/Result.
 //   std-function-callback no generic (template) lambdas in src/sparql or
 //                         src/rules: recursive evaluators must take
 //                         std::function callbacks or nested NOT EXISTS
@@ -24,7 +28,7 @@
 //   lock-annotation       every std::mutex / std::shared_mutex /
 //                         std::condition_variable data member carries a
 //                         thread-safety annotation from
-//                         util/thread_annotations.h (use rdfcube::Mutex for
+//                         base/thread_annotations.h (use rdfcube::Mutex for
 //                         lockables so clang's -Wthread-safety sees them;
 //                         pair condvars via RDFCUBE_CONDVAR_PAIRED_WITH).
 //   obs-shadowing         no local variable named `obs`: it hides namespace
@@ -36,6 +40,19 @@
 //                         rdfcube_<module>_<name>_<unit> scheme (lowercase,
 //                         >= 4 underscore-separated tokens), so dashboards
 //                         can group by module mechanically.
+//   checked-value         dataflow-lite: `.value()` on a call-chain result
+//                         (`Find(x).value()`) or on a local declared
+//                         Result<T>/optional<T>, and `*opt` dereferences of
+//                         such locals, with no guarding ok()/has_value() in
+//                         the enclosing statement or a preceding line of the
+//                         same block. Suppress with the invariant as a
+//                         one-line comment: `// lint:allow(checked-value):
+//                         <why the access cannot fail>`.
+//
+// Architecture checks (tools/deps, shared with rdfcube_deps — see
+// deps_analysis.h for semantics): layer-dag, include-cycle, iwyu-direct.
+// The layer-dag check is skipped when tools/layers.txt is absent; the
+// standalone rdfcube_deps gate treats a missing manifest as a failure.
 //
 // Walk roots: src/ and tools/ and bench/ (per-check subsets documented
 // above; bench/ is included so harness code obeys checked-parse and the
@@ -70,6 +87,10 @@ std::vector<Violation> RunAllChecks(const std::string& root);
 
 /// Formats `v` as "file:line: [check] message" for terminal output.
 std::string FormatViolation(const Violation& v);
+
+/// Formats `violations` as a JSON array of {file, line, check, message}
+/// objects (the `rdfcube_lint --format=json` schema; sorted as given).
+std::string ViolationsToJson(const std::vector<Violation>& violations);
 
 }  // namespace lint
 }  // namespace rdfcube

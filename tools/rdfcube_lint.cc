@@ -1,39 +1,118 @@
 // rdfcube_lint: runs the repo-specific static checks (see lint_checks.h)
 // over a source tree and prints every violation.
 //
-// Usage: rdfcube_lint [root]
-//   root: repo root containing src/ and tools/ (default: current directory).
+// Usage: rdfcube_lint [root] [--check=a,b,...] [--format=text|json]
+//   root       repo root containing src/ and tools/ (default: .)
+//   --check    run (report) only the named checks, comma-separated — e.g.
+//              --check=no-throw,layer-dag. Unknown names are a usage error,
+//              so a typo can never silently pass.
+//   --format   text (default) prints file:line: [check] message to stderr;
+//              json prints a [{file,line,check,message}] array to stdout
+//              (CI attaches it as the lint_report.json artifact).
 // Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "tools/lint_checks.h"
 
+namespace {
+
+// Every check RunAllChecks can emit; --check names must come from this list.
+const std::set<std::string> kKnownChecks = {
+    "no-throw",       "std-function-callback",
+    "umbrella-sync",  "doxygen-public",
+    "checked-parse",  "bare-stopwatch",
+    "lock-annotation", "obs-shadowing",
+    "metric-name",    "checked-value",
+    "layer-dag",      "include-cycle",
+    "iwyu-direct",    "lint",
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [repo-root] [--check=a,b,...] [--format=text|json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc == 2 && (std::string(argv[1]) == "--help" ||
-                    std::string(argv[1]) == "-h")) {
-    std::printf(
-        "usage: %s [repo-root]\n"
-        "  repo-root: tree containing src/ and tools/ (default: .)\n"
-        "Runs the rdfcube-specific static checks; exits 0 when clean,\n"
-        "1 when violations were found, 2 on usage error.\n",
-        argv[0]);
-    return 0;
+  std::string root = ".";
+  std::string format = "text";
+  std::set<std::string> only;
+  bool root_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [repo-root] [--check=a,b,...] [--format=text|json]\n"
+          "  repo-root: tree containing src/ and tools/ (default: .)\n"
+          "  --check:   report only the named checks (comma-separated)\n"
+          "  --format:  text (default, stderr) or json (stdout)\n"
+          "Runs the rdfcube-specific static checks (lexical: no-throw,\n"
+          "std-function-callback, umbrella-sync, doxygen-public,\n"
+          "checked-parse, bare-stopwatch, lock-annotation, obs-shadowing,\n"
+          "metric-name, checked-value; architecture: layer-dag,\n"
+          "include-cycle, iwyu-direct). Exits 0 when clean, 1 when\n"
+          "violations were found, 2 on usage error.\n",
+          argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--check=", 0) == 0) {
+      std::istringstream names(arg.substr(8));
+      std::string name;
+      while (std::getline(names, name, ',')) {
+        if (name.empty()) continue;
+        if (kKnownChecks.count(name) == 0) {
+          std::fprintf(stderr, "%s: unknown check '%s'\n", argv[0],
+                       name.c_str());
+          return 2;
+        }
+        only.insert(name);
+      }
+      if (only.empty()) return Usage(argv[0]);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return Usage(argv[0]);
+    }
   }
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [repo-root]\n", argv[0]);
-    return 2;
+
+  std::vector<rdfcube::lint::Violation> violations =
+      rdfcube::lint::RunAllChecks(root);
+  if (!only.empty()) {
+    violations.erase(
+        std::remove_if(violations.begin(), violations.end(),
+                       [&only](const rdfcube::lint::Violation& v) {
+                         return only.count(v.check) == 0;
+                       }),
+        violations.end());
   }
-  const std::string root = argc == 2 ? argv[1] : ".";
-  const auto violations = rdfcube::lint::RunAllChecks(root);
-  for (const auto& v : violations) {
-    std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+
+  if (format == "json") {
+    std::fputs(rdfcube::lint::ViolationsToJson(violations).c_str(), stdout);
+  } else {
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+    }
   }
   if (!violations.empty()) {
     std::fprintf(stderr, "rdfcube_lint: %zu violation(s)\n", violations.size());
     return 1;
   }
-  std::printf("rdfcube_lint: clean\n");
+  if (format != "json") std::printf("rdfcube_lint: clean\n");
   return 0;
 }

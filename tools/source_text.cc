@@ -1,0 +1,248 @@
+#include "tools/source_text.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace rdfcube {
+namespace lint {
+
+namespace {
+
+// Splits `s` on '\n', dropping a trailing '\r' per line.
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : s) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  lines.push_back(line);
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+SourceFile StripSource(const std::string& content, std::string path) {
+  // The three output streams mirror the input byte-for-byte except that
+  // stripped spans become spaces; newlines always pass through, so line and
+  // column numbers agree across all views.
+  std::string text;
+  std::string code;
+  text.reserve(content.size());
+  code.reserve(content.size());
+
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kNormal;
+  bool at_line_start = true;   // only whitespace seen on this line so far
+  bool in_directive = false;   // this logical line is a preprocessor directive
+  char prev_code = '\0';       // last non-space char emitted to `code`
+  std::string raw_delim;       // active raw-string delimiter, e.g. "delim"
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+
+    if (c == '\n') {
+      // A backslash-continued directive keeps directive mode on the next line.
+      std::size_t j = i;
+      bool continued = false;
+      while (j > 0) {
+        const char p = content[j - 1];
+        if (p == '\\') {
+          continued = true;
+          break;
+        }
+        if (p == '\r') {
+          --j;
+          continue;
+        }
+        break;
+      }
+      if (state == State::kLineComment) state = State::kNormal;
+      in_directive = in_directive && continued;
+      at_line_start = true;
+      text.push_back('\n');
+      code.push_back('\n');
+      continue;
+    }
+
+    switch (state) {
+      case State::kNormal: {
+        if (at_line_start && c == '#') in_directive = true;
+        if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLineComment;
+          text.append("  ");
+          code.append("  ");
+          ++i;
+          break;
+        }
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          text.append("  ");
+          code.append("  ");
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // R"delim( opens a raw string; the R (with optional u8/u/L prefix)
+          // must directly precede the quote as the tail of an identifier.
+          if (prev_code == 'R' && i >= 1 && content[i - 1] == 'R') {
+            std::size_t d = i + 1;
+            std::string delim;
+            while (d < n && content[d] != '(' && content[d] != '\n' &&
+                   delim.size() < 16) {
+              delim.push_back(content[d]);
+              ++d;
+            }
+            if (d < n && content[d] == '(') {
+              state = State::kRawString;
+              raw_delim = delim;
+              text.push_back('"');
+              code.push_back('"');
+              prev_code = '"';
+              break;
+            }
+          }
+          state = State::kString;
+          text.push_back('"');
+          code.push_back('"');
+          prev_code = '"';
+          break;
+        }
+        if (c == '\'' && !IsIdentChar(prev_code)) {
+          // An apostrophe after an identifier/number char is a digit
+          // separator (1'000'000), not a char literal.
+          state = State::kChar;
+          text.push_back('\'');
+          code.push_back('\'');
+          prev_code = '\'';
+          break;
+        }
+        text.push_back(c);
+        code.push_back(c);
+        if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
+        break;
+      }
+      case State::kLineComment: {
+        text.push_back(' ');
+        code.push_back(' ');
+        break;
+      }
+      case State::kBlockComment: {
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kNormal;
+          text.append("  ");
+          code.append("  ");
+          ++i;
+        } else {
+          text.push_back(' ');
+          code.push_back(' ');
+        }
+        break;
+      }
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n && content[i + 1] != '\n') {
+          // Escape sequence: both chars are literal content.
+          text.push_back(c);
+          text.push_back(content[i + 1]);
+          if (in_directive) {
+            code.push_back(c);
+            code.push_back(content[i + 1]);
+          } else {
+            code.append("  ");
+          }
+          ++i;
+          break;
+        }
+        if (c == close) {
+          state = State::kNormal;
+          text.push_back(c);
+          code.push_back(c);
+          prev_code = c;
+          break;
+        }
+        text.push_back(c);
+        // Directive lines keep literal contents in `code` too: an #include
+        // header-name must stay visible to the include extractor.
+        code.push_back(in_directive ? c : ' ');
+        break;
+      }
+      case State::kRawString: {
+        // Close on )delim" .
+        if (c == ')' && i + raw_delim.size() + 1 < n &&
+            content.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            content[i + 1 + raw_delim.size()] == '"') {
+          const std::size_t skip = raw_delim.size() + 1;
+          text.push_back(')');
+          text.append(content, i + 1, skip);
+          code.push_back(' ');
+          for (std::size_t k = 0; k < skip - 1; ++k) code.push_back(' ');
+          code.push_back('"');
+          i += skip;
+          state = State::kNormal;
+          prev_code = '"';
+          break;
+        }
+        text.push_back(c);
+        code.push_back(in_directive ? c : ' ');
+        break;
+      }
+    }
+  }
+
+  SourceFile out;
+  out.path = std::move(path);
+  out.raw = SplitLines(content);
+  out.text = SplitLines(text);
+  out.code = SplitLines(code);
+  // An empty file yields one empty line from SplitLines; normalize to none.
+  if (content.empty()) {
+    out.raw.clear();
+    out.text.clear();
+    out.code.clear();
+  }
+  return out;
+}
+
+SourceFile LoadSource(const std::filesystem::path& file, std::string rel_path) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    SourceFile out;
+    out.path = std::move(rel_path);
+    return out;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return StripSource(buf.str(), std::move(rel_path));
+}
+
+bool LineSuppressed(const SourceFile& file, std::size_t index,
+                    const std::string& check) {
+  if (index >= file.raw.size()) return false;
+  return file.raw[index].find("lint:allow(" + check + ")") !=
+         std::string::npos;
+}
+
+}  // namespace lint
+}  // namespace rdfcube

@@ -1,0 +1,58 @@
+// Shared tokenizer pass for the repo's static-analysis tools (rdfcube_lint,
+// rdfcube_deps). Each file is read and stripped exactly once; every check then
+// works on the stripped views instead of re-deriving "is this a comment?"
+// per regex — which is how the old line-regex core produced false positives
+// on string literals containing keywords.
+//
+// Three parallel views, all with identical line counts and column positions
+// (stripped spans are blanked with spaces, never deleted):
+//   raw   verbatim line text — the only view `lint:allow(...)` suppressions
+//         and diagnostics may read (suppressions live in comments, which the
+//         other views erase).
+//   text  comments stripped, string/char literals kept — for checks that must
+//         read literal contents (metric names, include paths).
+//   code  comments stripped AND string/char literal contents blanked — for
+//         token-class checks (`throw`, type names, call patterns) that must
+//         never match inside a literal.
+//
+// Preprocessor directive lines are detected so `#include "x.h"` keeps its
+// header-name in *both* text and code (the header-name is not a runtime
+// string literal). Raw strings (R"delim(...)delim"), escape sequences, and
+// digit separators (1'000'000 is not a char literal) are handled.
+
+#ifndef RDFCUBE_TOOLS_SOURCE_TEXT_H_
+#define RDFCUBE_TOOLS_SOURCE_TEXT_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rdfcube {
+namespace lint {
+
+/// \brief One source file, loaded and comment/string-stripped once.
+struct SourceFile {
+  std::string path;  ///< Root-relative slash path, e.g. "src/core/engine.h".
+  std::vector<std::string> raw;   ///< Verbatim lines (trailing CR removed).
+  std::vector<std::string> text;  ///< Comments blanked, literals kept.
+  std::vector<std::string> code;  ///< Comments and literal contents blanked.
+
+  bool empty() const { return raw.empty(); }
+};
+
+/// Tokenizes `content` into the three stripped views. `path` is recorded
+/// verbatim for diagnostics.
+SourceFile StripSource(const std::string& content, std::string path);
+
+/// Reads `file` from disk and strips it; `rel_path` is the path recorded in
+/// the result. An unreadable file yields an empty SourceFile.
+SourceFile LoadSource(const std::filesystem::path& file, std::string rel_path);
+
+/// True when raw line `index` (0-based) carries `lint:allow(<check>)`.
+bool LineSuppressed(const SourceFile& file, std::size_t index,
+                    const std::string& check);
+
+}  // namespace lint
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_SOURCE_TEXT_H_
