@@ -49,7 +49,8 @@ double ComparisonTimeoutSeconds() {
 }
 
 int RunBenchMain(const std::string& name, int argc, char** argv,
-                 const std::function<void()>& epilogue) {
+                 const std::function<void()>& epilogue,
+                 const std::function<void(obs::RunReport*)>& decorate) {
   benchmark::Initialize(&argc, argv);
 
   // Fresh observability state per process: the report should describe this
@@ -70,6 +71,7 @@ int RunBenchMain(const std::string& name, int argc, char** argv,
   report.AddMeta("smoke_mode", SmokeMode() ? "1" : "0");
   report.CaptureMetrics();
   report.CapturePhases(root_id);
+  if (decorate) decorate(&report);
 
   const char* out_dir = std::getenv("RDFCUBE_BENCH_OUT_DIR");
   std::string path = (out_dir != nullptr && out_dir[0] != '\0') ? out_dir : ".";

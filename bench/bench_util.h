@@ -22,6 +22,10 @@
 #include "rdf/triple_store.h"
 
 namespace rdfcube {
+namespace obs {
+class RunReport;
+}  // namespace obs
+
 namespace benchutil {
 
 /// True when RDFCUBE_BENCH_LARGE=1: sweep the paper's full input range.
@@ -36,10 +40,14 @@ bool SmokeMode();
 /// wraps the whole run (plus the optional `epilogue`, for post-run work such
 /// as fig5e's baseline projection) in one root TraceSpan, then writes a
 /// RunReport as `BENCH_<name>.json` into $RDFCUBE_BENCH_OUT_DIR (default:
-/// the current directory). Returns the process exit code; every bench
-/// binary's main() should `return RunBenchMain(...)`.
+/// the current directory). `decorate`, when given, runs against the report
+/// after metrics/phases are captured but before it is written — harnesses
+/// that compute their own scalar results (latency percentiles, QPS) add
+/// them there via RunReport::AddStat. Returns the process exit code; every
+/// bench binary's main() should `return RunBenchMain(...)`.
 int RunBenchMain(const std::string& name, int argc, char** argv,
-                 const std::function<void()>& epilogue = nullptr);
+                 const std::function<void()>& epilogue = nullptr,
+                 const std::function<void(obs::RunReport*)>& decorate = nullptr);
 
 /// Input sizes for the native-method sweeps (Fig. 5(a)-(c)).
 /// Reduced: {2k, 5k, 10k, 20k}; large: {2k, 20k, ..., 250k} per the paper.

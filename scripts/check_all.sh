@@ -8,6 +8,9 @@
 #                vs the declared layer DAG in tools/layers.txt, plus the
 #                DOT/JSON graph exports)
 #   static       scripts/check_static_analysis.sh (rdfcube_lint + clang-tidy)
+#   soak smoke   the server chaos soak (tests/server_soak_test) re-run in
+#                RDFCUBE_BENCH_SMOKE=1 mode — a seconds-scale pass with a
+#                different fault seed than the full-length ctest run
 #   bench json   scripts/check_bench_json.sh (BENCH_*.json schema + the
 #                phases-sum-to-wall-clock invariant, smoke-mode run)
 #   sanitizers   scripts/check_sanitizers.sh (ASan, UBSan, TSan trees)
@@ -28,6 +31,9 @@ cmake --build build -j1
 
 echo "== ctest =="
 ctest --test-dir build --output-on-failure
+
+echo "== server soak (smoke) =="
+RDFCUBE_BENCH_SMOKE=1 ./build/tests/server_soak_test
 
 echo "== architecture gate =="
 # Also runs inside the static stage; kept explicit so --fast still fails

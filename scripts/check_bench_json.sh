@@ -2,12 +2,18 @@
 # BENCH_*.json gate: every bench binary must emit a machine-readable run
 # report whose phase breakdown actually accounts for the run.
 #
-#   1. Builds the fastest bench binary (bench_fig5f_cube_ratio) and runs it
-#      in smoke mode with RDFCUBE_BENCH_OUT_DIR pointed at a scratch dir.
-#   2. Validates the emitted BENCH_<name>.json: parses as JSON, carries the
+#   1. Builds the fastest bench binary (bench_fig5f_cube_ratio) plus the
+#      serving-path harness (bench_serve) and runs both in smoke mode with
+#      RDFCUBE_BENCH_OUT_DIR pointed at $build/bench_reports (kept around so
+#      CI can upload the JSONs as artifacts).
+#   2. Validates each emitted BENCH_<name>.json: parses as JSON, carries the
 #      schema keys (name, schema_version, wall_seconds, meta, stats, phases,
 #      span_rollup, metrics), and the per-phase total_seconds — including the
 #      synthetic "(harness)" entry — sum to within 10% of wall_seconds.
+#   3. BENCH_serve.json additionally must report the serving workloads:
+#      <w>.{p50_us,p99_us,qps,requests,errors} for w in {point, scan}, with
+#      zero request errors and zero sheds (the harness sizes the admission
+#      queue so a healthy server never sheds — a shed here is a regression).
 #
 # The 10% tolerance is the acceptance criterion for the observability layer:
 # CapturePhases partitions the root span exactly, so a drift here means the
@@ -21,23 +27,27 @@ build="${1:-build}"
 
 cmake -B "$build" >/dev/null
 # -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
-cmake --build "$build" -j1 --target bench_fig5f_cube_ratio
+cmake --build "$build" -j1 --target bench_fig5f_cube_ratio bench_serve
 
-out_dir="$(mktemp -d)"
-trap 'rm -rf "$out_dir"' EXIT
+out_dir="$build/bench_reports"
+rm -rf "$out_dir"
+mkdir -p "$out_dir"
 
-echo "== bench smoke run =="
-RDFCUBE_BENCH_SMOKE=1 RDFCUBE_BENCH_OUT_DIR="$out_dir" \
-  "$build/bench/bench_fig5f_cube_ratio" >/dev/null
+for bin in bench_fig5f_cube_ratio bench_serve; do
+  echo "== bench smoke run: $bin =="
+  RDFCUBE_BENCH_SMOKE=1 RDFCUBE_BENCH_OUT_DIR="$out_dir" \
+    "$build/bench/$bin" >/dev/null
+done
 
-report="$out_dir/BENCH_fig5f_cube_ratio.json"
-if [ ! -f "$report" ]; then
-  echo "FAIL: $report was not written" >&2
-  exit 1
-fi
+for report in "$out_dir/BENCH_fig5f_cube_ratio.json" \
+              "$out_dir/BENCH_serve.json"; do
+  if [ ! -f "$report" ]; then
+    echo "FAIL: $report was not written" >&2
+    exit 1
+  fi
 
-echo "== validate $report =="
-python3 - "$report" <<'EOF'
+  echo "== validate $report =="
+  python3 - "$report" <<'EOF'
 import json
 import sys
 
@@ -79,8 +89,30 @@ for kind in ("counters", "gauges", "histograms"):
     if kind not in metrics:
         sys.exit(f"FAIL: metrics missing {kind}")
 
+if report["name"] == "serve":
+    stats = report["stats"]
+    for w in ("point", "scan"):
+        for key in ("p50_us", "p99_us", "qps", "requests", "errors"):
+            if f"{w}.{key}" not in stats:
+                sys.exit(f"FAIL: serve stats missing {w}.{key}")
+        if not stats[f"{w}.requests"] > 0:
+            sys.exit(f"FAIL: serve ran zero {w} requests")
+        if stats[f"{w}.errors"] != 0:
+            sys.exit(f"FAIL: serve saw {stats[f'{w}.errors']} {w} errors")
+        if not stats[f"{w}.qps"] > 0:
+            sys.exit(f"FAIL: serve {w}.qps must be positive")
+        if not stats[f"{w}.p99_us"] >= stats[f"{w}.p50_us"]:
+            sys.exit(f"FAIL: serve {w} p99 below p50")
+    if stats.get("server.shed_total", 0) != 0:
+        sys.exit("FAIL: healthy-path serve bench shed requests")
+    for w in ("point", "scan"):
+        needed = [f"serve/{'point_lookup' if w == 'point' else 'bulk_scan'}"]
+        if not any(p["name"] in needed for p in phases):
+            sys.exit(f"FAIL: serve phases missing {needed[0]}")
+
 print(f"OK: {report['name']}: {len(phases)} phases sum to {total:.6f}s "
       f"of {wall:.6f}s wall ({drift:.2%} drift)")
 EOF
+done
 
 echo "bench json check passed"

@@ -7,8 +7,11 @@
 # sanitized is the cheapest way to prove "rejects cleanly" never means
 # "reads out of bounds first". The thread pass adds race_stress_test, which
 # exists specifically to give TSan contention to observe (thread-pool
-# submit/error races, concurrent masking runs, checkpoint storms). Uses
-# separate build trees so the sanitized builds never pollute the main ./build.
+# submit/error races, concurrent masking runs, checkpoint storms, admission
+# queue and snapshot-swap storms) plus the fault-injected server soak; the
+# address/undefined passes add server_test, whose protocol fuzzers push
+# hostile frames through the wire decoders. Uses separate build trees so the
+# sanitized builds never pollute the main ./build.
 #
 # Usage: scripts/check_sanitizers.sh [sanitizer ...]
 #   sanitizers: address undefined thread (default: all three)
@@ -19,8 +22,8 @@ cd "$(dirname "$0")/.."
 
 for san in $sanitizers; do
   case "$san" in
-    thread) targets="race_stress_test fault_test robustness_test" ;;
-    *)      targets="robustness_test fault_test binary_io_test" ;;
+    thread) targets="race_stress_test fault_test robustness_test server_soak_test" ;;
+    *)      targets="robustness_test fault_test binary_io_test server_test" ;;
   esac
   regex="$(echo "$targets" | tr ' ' '|')"
   dir="build-$(echo "$san" | cut -c1-4)"

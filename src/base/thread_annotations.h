@@ -35,8 +35,11 @@
 #ifndef RDFCUBE_BASE_THREAD_ANNOTATIONS_H_
 #define RDFCUBE_BASE_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+
+#include "base/stopwatch.h"
 
 #if defined(__clang__) && defined(__has_attribute)
 #define RDFCUBE_THREAD_ANNOTATION__(x) __attribute__((x))
@@ -164,6 +167,30 @@ class RDFCUBE_SCOPED_CAPABILITY MutexLock {
   /// when this returns. Spurious wakeups propagate — loop on the predicate:
   ///   while (!ready_) lock.Wait(ready_cv_);
   void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  /// Wait() bounded by `deadline`: sleeps on `cv` until notified or the
+  /// deadline expires, holding the mutex again either way. Returns false iff
+  /// the wait timed out (the deadline passed without a notification reaching
+  /// this waiter). Spurious wakeups return true — as with Wait(), loop on the
+  /// predicate and re-check it after a false return too, since a
+  /// notification can race the timeout:
+  ///   while (!ready_) {
+  ///     if (!lock.WaitWithDeadline(ready_cv_, deadline)) break;
+  ///   }
+  ///   // decide on `ready_`, not on the return value
+  /// A limitless Deadline degrades to a plain Wait() (never times out); an
+  /// already-expired one still atomically releases and reacquires the mutex
+  /// but sleeps no longer than the implementation's zero-timeout wait.
+  [[nodiscard]] bool WaitWithDeadline(std::condition_variable& cv,
+                                      const Deadline& deadline) {
+    if (!deadline.HasLimit()) {  // infinity sentinel: wait_for would overflow
+      cv.wait(lock_);
+      return true;
+    }
+    return cv.wait_for(lock_, std::chrono::duration<double>(
+                                  deadline.RemainingSeconds())) ==
+           std::cv_status::no_timeout;
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

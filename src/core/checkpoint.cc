@@ -70,12 +70,18 @@ class TeeSink : public RelationshipSink {
 }  // namespace
 
 uint64_t FingerprintObservations(const qb::ObservationSet& obs) {
+  return FingerprintObservationsPrefix(obs,
+                                       static_cast<qb::ObsId>(obs.size()));
+}
+
+uint64_t FingerprintObservationsPrefix(const qb::ObservationSet& obs,
+                                       qb::ObsId n) {
   const qb::CubeSpace& space = obs.space();
   uint64_t h = kFnvOffset;
-  Mix(&h, obs.size());
+  Mix(&h, n);
   Mix(&h, space.num_dimensions());
   Mix(&h, space.num_measures());
-  for (qb::ObsId i = 0; i < obs.size(); ++i) {
+  for (qb::ObsId i = 0; i < n; ++i) {
     const qb::Observation& o = obs.obs(i);
     Mix(&h, o.dataset);
     for (qb::DimId d = 0; d < space.num_dimensions(); ++d) {

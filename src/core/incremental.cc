@@ -173,19 +173,97 @@ void IncrementalEngine::Compare(qb::ObsId a, qb::ObsId b) {
 }
 
 void IncrementalEngine::Export(RelationshipSink* sink) const {
+  // Unlimited deadline: the bounded overload cannot time out.
+  (void)Export(sink, Deadline());
+}
+
+Status IncrementalEngine::Export(RelationshipSink* sink,
+                                 const Deadline& deadline) const {
+  // Check the deadline once per batch, not per emission: the per-item work
+  // is two shifts and a virtual call, so a clock read each time would
+  // dominate.
+  constexpr std::size_t kDeadlineStride = 4096;
+  std::size_t since_check = 0;
+  const auto expired = [&]() {
+    if (++since_check < kDeadlineStride) return false;
+    since_check = 0;
+    return deadline.Expired();
+  };
+  // An already-expired deadline fails before any emission, regardless of
+  // how little there is to export.
+  if (deadline.Expired()) {
+    return Status::TimedOut("deadline expired in export");
+  }
   for (uint64_t key : full_) {
+    if (expired()) return Status::TimedOut("deadline expired in export");
     sink->OnFullContainment(static_cast<qb::ObsId>(key >> 32),
                             static_cast<qb::ObsId>(key & 0xffffffffu));
   }
   for (const auto& [key, degree] : partial_) {
+    if (expired()) return Status::TimedOut("deadline expired in export");
     sink->OnPartialContainment(static_cast<qb::ObsId>(key >> 32),
                                static_cast<qb::ObsId>(key & 0xffffffffu),
                                degree, 0);
   }
   for (uint64_t key : compl_) {
+    if (expired()) return Status::TimedOut("deadline expired in export");
     sink->OnComplementarity(static_cast<qb::ObsId>(key >> 32),
                             static_cast<qb::ObsId>(key & 0xffffffffu));
   }
+  return Status::OK();
+}
+
+std::vector<qb::ObsId> IncrementalEngine::Containers(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  auto it = partners_.find(id);
+  if (it == partners_.end()) return out;
+  for (qb::ObsId partner : it->second) {
+    if (full_.count(Key(partner, id)) != 0) out.push_back(partner);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<qb::ObsId> IncrementalEngine::Contained(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  auto it = partners_.find(id);
+  if (it == partners_.end()) return out;
+  for (qb::ObsId partner : it->second) {
+    if (full_.count(Key(id, partner)) != 0) out.push_back(partner);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<qb::ObsId> IncrementalEngine::Complements(qb::ObsId id) const {
+  std::vector<qb::ObsId> out;
+  auto it = partners_.find(id);
+  if (it == partners_.end()) return out;
+  for (qb::ObsId partner : it->second) {
+    if (compl_.count(Key(std::min(id, partner), std::max(id, partner))) != 0) {
+      out.push_back(partner);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<IncrementalEngine::PartialMatch>
+IncrementalEngine::PartiallyContained(qb::ObsId id, double min_degree) const {
+  std::vector<PartialMatch> out;
+  auto it = partners_.find(id);
+  if (it == partners_.end()) return out;
+  for (qb::ObsId partner : it->second) {
+    auto pit = partial_.find(Key(id, partner));
+    if (pit != partial_.end() && pit->second >= min_degree) {
+      out.push_back({partner, pit->second});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PartialMatch& a, const PartialMatch& b) {
+              return a.other < b.other;
+            });
+  return out;
 }
 
 std::string IncrementalEngine::SerializeState() const {

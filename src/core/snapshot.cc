@@ -1,0 +1,231 @@
+#include "core/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "core/snapshot_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qb/binary_io.h"
+#include "util/fault.h"
+
+namespace rdfcube {
+namespace core {
+
+namespace {
+
+using snapshot::ByteReader;
+using snapshot::PutU32;
+using snapshot::PutU64;
+
+Status Corrupt(const char* what) {
+  return Status::ParseError(std::string("corrupt snapshot: ") + what);
+}
+
+// Inverse of SelectorBits (checkpoint.h).
+RelationshipSelector SelectorFromBits(uint32_t bits) {
+  RelationshipSelector s;
+  s.full_containment = (bits & 1u) != 0;
+  s.partial_containment = (bits & 2u) != 0;
+  s.complementarity = (bits & 4u) != 0;
+  s.partial_dimension_map = (bits & 8u) != 0;
+  return s;
+}
+
+// Deadline gate shared by the point lookups: they are O(partners) probes, so
+// expiry is only honored at entry rather than mid-probe.
+Status CheckPointQuery(qb::ObsId id, std::size_t num_obs,
+                       const Deadline& deadline) {
+  if (deadline.Expired()) {
+    return Status::TimedOut("deadline expired before lookup");
+  }
+  if (id >= num_obs) {
+    return Status::NotFound("observation id " + std::to_string(id) +
+                            " is not in the snapshot");
+  }
+  static obs::Counter& lookups = obs::DefaultCounter(
+      "rdfcube_core_snapshot_point_lookups_total",
+      "Point lookups answered from a relationship snapshot");
+  lookups.Increment();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RelationshipSnapshot::Integrate(qb::ObsId first, qb::ObsId limit,
+                                       const Deadline& deadline) {
+  for (qb::ObsId i = first; i < limit; ++i) {
+    if (deadline.Expired()) {
+      return Status::TimedOut("snapshot build deadline expired at observation " +
+                              std::to_string(i));
+    }
+    if (FaultTriggered(kFaultSnapshotBuild)) {
+      return Status::Internal("injected snapshot build failure at observation " +
+                              std::to_string(i));
+    }
+    RDFCUBE_RETURN_IF_ERROR(engine_.OnObservationAdded(i));
+  }
+  static obs::Counter& integrated = obs::DefaultCounter(
+      "rdfcube_core_snapshot_observations_total",
+      "Observations integrated into relationship snapshots");
+  integrated.Increment(limit - first);
+  return Status::OK();
+}
+
+Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::Build(
+    qb::Corpus corpus, const BuildOptions& options) {
+  obs::TraceSpan span("core/snapshot_build");
+  if (corpus.space == nullptr || corpus.observations == nullptr) {
+    return Status::InvalidArgument("snapshot build needs a complete corpus");
+  }
+  std::shared_ptr<RelationshipSnapshot> snap(new RelationshipSnapshot(
+      std::move(corpus), options.selector, options.version));
+  const qb::ObsId n = static_cast<qb::ObsId>(snap->num_observations());
+  RDFCUBE_RETURN_IF_ERROR(snap->Integrate(0, n, options.deadline));
+  snap->fingerprint_ = FingerprintObservations(snap->observations());
+  static obs::Counter& builds = obs::DefaultCounter(
+      "rdfcube_core_snapshot_builds_total",
+      "Relationship snapshots built from scratch");
+  builds.Increment();
+  return Ptr(snap);
+}
+
+Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::BuildIncremental(
+    const RelationshipSnapshot& base, qb::Corpus corpus,
+    const BuildOptions& options) {
+  obs::TraceSpan span("core/snapshot_refresh");
+  if (corpus.space == nullptr || corpus.observations == nullptr) {
+    return Status::InvalidArgument("snapshot refresh needs a complete corpus");
+  }
+  const qb::ObsId base_n = static_cast<qb::ObsId>(base.num_observations());
+  const qb::ObsId new_n = static_cast<qb::ObsId>(corpus.observations->size());
+  if (new_n < base_n ||
+      FingerprintObservationsPrefix(*corpus.observations, base_n) !=
+          base.fingerprint()) {
+    return Status::FailedPrecondition(
+        "refreshed corpus does not extend the base snapshot's corpus");
+  }
+  std::shared_ptr<RelationshipSnapshot> snap(new RelationshipSnapshot(
+      std::move(corpus), base.selector_, options.version));
+  // Copy-on-write: the base's materialized sets seed the new engine; only
+  // the appended observations pay kernel work.
+  RDFCUBE_RETURN_IF_ERROR(
+      snap->engine_.RestoreState(base.engine_.SerializeState()));
+  RDFCUBE_RETURN_IF_ERROR(snap->Integrate(base_n, new_n, options.deadline));
+  snap->fingerprint_ = FingerprintObservations(snap->observations());
+  static obs::Counter& refreshes = obs::DefaultCounter(
+      "rdfcube_core_snapshot_refreshes_total",
+      "Relationship snapshots built incrementally from a base snapshot");
+  refreshes.Increment();
+  return Ptr(snap);
+}
+
+Result<std::vector<qb::ObsId>> RelationshipSnapshot::Containers(
+    qb::ObsId id, const Deadline& deadline) const {
+  RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
+  return engine_.Containers(id);
+}
+
+Result<std::vector<qb::ObsId>> RelationshipSnapshot::Contained(
+    qb::ObsId id, const Deadline& deadline) const {
+  RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
+  return engine_.Contained(id);
+}
+
+Result<std::vector<qb::ObsId>> RelationshipSnapshot::Complements(
+    qb::ObsId id, const Deadline& deadline) const {
+  RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
+  return engine_.Complements(id);
+}
+
+Result<std::vector<IncrementalEngine::PartialMatch>>
+RelationshipSnapshot::PartiallyContained(qb::ObsId id, double min_degree,
+                                         const Deadline& deadline) const {
+  RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
+  return engine_.PartiallyContained(id, min_degree);
+}
+
+Status RelationshipSnapshot::ScanAll(RelationshipSink* sink,
+                                     const Deadline& deadline) const {
+  return engine_.Export(sink, deadline);
+}
+
+Status RelationshipSnapshot::SaveTo(const std::string& path) const {
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU64(&out, version_);
+  PutU64(&out, fingerprint_);
+  PutU32(&out, SelectorBits(selector_));
+  RDFCUBE_ASSIGN_OR_RETURN(std::string corpus_bytes,
+                           qb::SerializeCorpus(corpus_));
+  PutU64(&out, corpus_bytes.size());
+  out += corpus_bytes;
+  const std::string state = engine_.SerializeState();
+  PutU64(&out, state.size());
+  out += state;
+  if (FaultTriggered(kFaultSnapshotSaveStage)) {
+    // Model a crash mid-stage: a torn staging file appears beside the target
+    // but the published path is never replaced (readers keep the old file).
+    const std::string torn = path + ".tmp.injected";
+    std::ofstream f(torn, std::ios::binary | std::ios::trunc);
+    f.write(out.data(), static_cast<std::streamsize>(out.size() / 2));
+    return Status::IOError("injected staging failure: " + torn);
+  }
+  return AtomicWriteFile(out, path);
+}
+
+Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::LoadFrom(
+    const std::string& path) {
+  std::string bytes;  // pre-initialized: gcc-12 maybe-uninitialized
+  RDFCUBE_ASSIGN_OR_RETURN(bytes, ReadFileBytes(path));
+  if (bytes.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  ByteReader r(bytes);
+  {
+    // Advance past the 8-byte magic (already validated above).
+    uint64_t magic_bytes;
+    if (!r.GetU64(&magic_bytes)) return Corrupt("truncated header");
+  }
+  uint64_t version, fingerprint;
+  uint32_t selector_bits;
+  if (!r.GetU64(&version)) return Corrupt("version");
+  if (!r.GetU64(&fingerprint)) return Corrupt("fingerprint");
+  if (!r.GetU32(&selector_bits)) return Corrupt("selector bits");
+  if (selector_bits > 0xfu) return Corrupt("selector bits out of range");
+  uint64_t len;
+  std::string corpus_bytes, state_bytes;
+  if (!r.GetU64(&len) || !r.GetBytes(len, &corpus_bytes)) {
+    return Corrupt("corpus payload");
+  }
+  if (!r.GetU64(&len) || !r.GetBytes(len, &state_bytes)) {
+    return Corrupt("engine state payload");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes");
+
+  RDFCUBE_ASSIGN_OR_RETURN(qb::Corpus corpus,
+                           qb::DeserializeCorpus(corpus_bytes));
+  std::shared_ptr<RelationshipSnapshot> snap(new RelationshipSnapshot(
+      std::move(corpus), SelectorFromBits(selector_bits), version));
+  Status restored = snap->engine_.RestoreState(state_bytes);
+  if (!restored.ok()) {
+    // Any restore failure over a freshly-built engine means the file is
+    // inconsistent with itself — surface it as corruption.
+    return Status::ParseError("corrupt snapshot: " + restored.message());
+  }
+  if (FingerprintObservations(snap->observations()) != fingerprint) {
+    return Corrupt("corpus fingerprint mismatch");
+  }
+  snap->fingerprint_ = fingerprint;
+  static obs::Counter& loads = obs::DefaultCounter(
+      "rdfcube_core_snapshot_loads_total",
+      "Relationship snapshots loaded from disk");
+  loads.Increment();
+  return Ptr(snap);
+}
+
+}  // namespace core
+}  // namespace rdfcube

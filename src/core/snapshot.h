@@ -1,0 +1,162 @@
+// Immutable read-side relationship snapshot (DESIGN.md §6).
+//
+// A RelationshipSnapshot owns a corpus together with its fully materialized
+// S_F / S_P / S_C sets (an IncrementalEngine in its final state) and answers
+// point lookups and bulk scans without any kernel work. Snapshots are
+// immutable after Build(): a refreshed corpus produces a *new* snapshot
+// (copy-on-write via BuildIncremental, which restores the base engine's
+// state and integrates only the appended observations), and readers holding
+// the old shared_ptr keep a consistent view for as long as they need it.
+// This is the read side the relationship server publishes atomically.
+
+#ifndef RDFCUBE_CORE_SNAPSHOT_H_
+#define RDFCUBE_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
+#include "core/incremental.h"
+#include "core/relationship.h"
+#include "qb/corpus.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace core {
+
+/// Injection point (util/fault.h) consulted once per observation integrated
+/// during Build/BuildIncremental: a triggered fault aborts the build with
+/// Internal, modelling a reload that crashes mid-construction.
+inline constexpr char kFaultSnapshotBuild[] = "snapshot.build";
+
+/// Injection point consulted inside SaveTo before the atomic rename: a
+/// triggered fault leaves a torn *staging* file behind and fails with
+/// IOError — the published path is never touched (crash-safe-swap test).
+inline constexpr char kFaultSnapshotSaveStage[] = "snapshot.save.stage";
+
+/// Magic + version written at the head of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'R', 'D', 'F', 'S',
+                                           'N', 'A', 'P', '1'};
+
+/// \brief Immutable corpus + materialized relationship sets, built once and
+/// then shared read-only (the unit of publication for the server).
+class RelationshipSnapshot {
+ public:
+  /// How snapshots are passed around: always shared, always const.
+  using Ptr = std::shared_ptr<const RelationshipSnapshot>;
+
+  /// \brief Inputs to Build/BuildIncremental beyond the corpus itself.
+  struct BuildOptions {
+    /// Which relationship types to materialize.
+    RelationshipSelector selector = RelationshipSelector::All();
+    /// Cooperative build deadline, checked between observation
+    /// integrations; expiry fails the build with TimedOut.
+    Deadline deadline;
+    /// Monotonic publication version stamped on the snapshot (the server's
+    /// reload counter; echoed in every response for staleness checks).
+    uint64_t version = 0;
+  };
+
+  /// \brief Builds a snapshot from scratch: integrates every observation of
+  /// `corpus` into a fresh engine. Fails with InvalidArgument on an empty
+  /// corpus handle, TimedOut when the deadline expires mid-build, Internal
+  /// when kFaultSnapshotBuild fires.
+  static Result<Ptr> Build(qb::Corpus corpus, const BuildOptions& options);
+
+  /// \brief Copy-on-write refresh: `corpus` must extend the base snapshot's
+  /// corpus (same observations in [0, base.num_observations()), verified by
+  /// prefix fingerprint — FailedPrecondition otherwise). The base engine
+  /// state is restored over the new corpus and only the appended
+  /// observations are integrated, so refresh cost is O(delta), not O(n²).
+  /// The base snapshot is not modified. The selector is inherited from
+  /// `base`; `options.selector` is ignored.
+  static Result<Ptr> BuildIncremental(const RelationshipSnapshot& base,
+                                      qb::Corpus corpus,
+                                      const BuildOptions& options);
+
+  /// Publication version stamped at build time.
+  uint64_t version() const { return version_; }
+
+  /// FingerprintObservations() of the snapped corpus; readers can assert
+  /// that answers from one connection all came from the same data.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Relationship types this snapshot materialized.
+  const RelationshipSelector& selector() const { return selector_; }
+
+  /// The snapped observations (stable for the snapshot's lifetime).
+  const qb::ObservationSet& observations() const {
+    return *corpus_.observations;
+  }
+
+  /// Number of snapped observations (valid query ids are [0, this)).
+  std::size_t num_observations() const { return corpus_.observations->size(); }
+
+  std::size_t num_full() const { return engine_.num_full(); }
+  std::size_t num_partial() const { return engine_.num_partial(); }
+  std::size_t num_complementary() const { return engine_.num_complementary(); }
+
+  // Point lookups. Each is O(partners of id) hash probes over the
+  // materialized sets; ids are sorted ascending. NotFound when `id` is not a
+  // snapped observation, TimedOut when `deadline` already expired on entry
+  // (the probe itself is too cheap to interrupt).
+
+  /// Observations that fully contain `id`.
+  Result<std::vector<qb::ObsId>> Containers(qb::ObsId id,
+                                            const Deadline& deadline) const;
+
+  /// Observations `id` fully contains.
+  Result<std::vector<qb::ObsId>> Contained(qb::ObsId id,
+                                           const Deadline& deadline) const;
+
+  /// Observations complementary to `id`.
+  Result<std::vector<qb::ObsId>> Complements(qb::ObsId id,
+                                             const Deadline& deadline) const;
+
+  /// Observations partially contained by `id` with degree >= `min_degree`.
+  Result<std::vector<IncrementalEngine::PartialMatch>> PartiallyContained(
+      qb::ObsId id, double min_degree, const Deadline& deadline) const;
+
+  /// Streams every materialized relationship into `sink`, checking
+  /// `deadline` cooperatively (TimedOut mid-scan leaves the sink holding a
+  /// prefix).
+  [[nodiscard]] Status ScanAll(RelationshipSink* sink,
+                               const Deadline& deadline) const;
+
+  /// Atomically persists the snapshot (staged write + rename, reusing
+  /// AtomicWriteFile): a crash mid-save can never tear the published file.
+  /// IOError on filesystem failure or when kFaultSnapshotSaveStage fires.
+  [[nodiscard]] Status SaveTo(const std::string& path) const;
+
+  /// Loads a snapshot written by SaveTo. IOError when unreadable,
+  /// ParseError on corruption (bad magic, truncation, or a corpus whose
+  /// fingerprint does not match the recorded one).
+  static Result<Ptr> LoadFrom(const std::string& path);
+
+ private:
+  RelationshipSnapshot(qb::Corpus corpus, const RelationshipSelector& selector,
+                       uint64_t version)
+      : corpus_(std::move(corpus)),
+        selector_(selector),
+        engine_(corpus_.observations.get(), selector) {
+    version_ = version;
+  }
+
+  // Integrates observations [first, limit) under the deadline/fault rules.
+  Status Integrate(qb::ObsId first, qb::ObsId limit, const Deadline& deadline);
+
+  qb::Corpus corpus_;
+  RelationshipSelector selector_;
+  IncrementalEngine engine_;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace core
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_CORE_SNAPSHOT_H_

@@ -17,6 +17,10 @@ namespace rdfcube {
 namespace core {
 namespace snapshot {
 
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
 inline void PutU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
 }
@@ -35,6 +39,13 @@ inline void PutDouble(std::string* out, double v) {
 class ByteReader {
  public:
   explicit ByteReader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(static_cast<unsigned char>(bytes_[pos_]));
+    pos_ += 1;
+    return true;
+  }
 
   bool GetU32(uint32_t* v) {
     if (pos_ + 4 > bytes_.size()) return false;
@@ -62,6 +73,14 @@ class ByteReader {
     uint64_t bits;
     if (!GetU64(&bits)) return false;
     std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  /// Copies the next `n` raw bytes into `*out`; false when fewer remain.
+  bool GetBytes(std::size_t n, std::string* out) {
+    if (n > Remaining()) return false;
+    out->assign(bytes_, pos_, n);
+    pos_ += n;
     return true;
   }
 

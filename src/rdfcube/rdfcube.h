@@ -46,6 +46,7 @@
 #include "core/relationship_rdf.h"         // IWYU pragma: export
 #include "core/sparse_matrix.h"            // IWYU pragma: export
 #include "core/skyline.h"                  // IWYU pragma: export
+#include "core/snapshot.h"                 // IWYU pragma: export
 #include "datagen/perturb.h"               // IWYU pragma: export
 #include "datagen/realworld.h"             // IWYU pragma: export
 #include "datagen/synthetic.h"             // IWYU pragma: export
@@ -72,6 +73,11 @@
 #include "rules/engine.h"                  // IWYU pragma: export
 #include "rules/paper_rules.h"             // IWYU pragma: export
 #include "rules/rule.h"                    // IWYU pragma: export
+#include "server/admission.h"              // IWYU pragma: export
+#include "server/client.h"                 // IWYU pragma: export
+#include "server/protocol.h"               // IWYU pragma: export
+#include "server/server.h"                 // IWYU pragma: export
+#include "server/snapshot_store.h"         // IWYU pragma: export
 #include "sparql/ast.h"                    // IWYU pragma: export
 #include "sparql/engine.h"                 // IWYU pragma: export
 #include "sparql/paper_queries.h"          // IWYU pragma: export

@@ -1,0 +1,68 @@
+#include "server/admission.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace rdfcube {
+namespace server {
+
+Admission AdmissionQueue::TryPush(std::function<void()> job) {
+  static obs::Counter& admitted = obs::DefaultCounter(
+      "rdfcube_server_admitted_total", "Requests admitted to the queue");
+  static obs::Counter& shed = obs::DefaultCounter(
+      "rdfcube_server_shed_total", "Requests shed at admission (queue full)");
+  static obs::Gauge& depth = obs::DefaultGauge(
+      "rdfcube_server_queue_depth", "Jobs currently in the admission queue");
+  {
+    MutexLock lock(&mu_);
+    if (closed_) return Admission::kClosed;
+    if (jobs_.size() >= capacity_) {
+      shed.Increment();
+      return Admission::kShed;
+    }
+    jobs_.push_back(std::move(job));
+    depth.Set(static_cast<int64_t>(jobs_.size()));
+  }
+  admitted.Increment();
+  ready_.notify_one();
+  return Admission::kAdmitted;
+}
+
+std::optional<std::function<void()>> AdmissionQueue::Pop(
+    const Deadline& deadline) {
+  static obs::Gauge& depth = obs::DefaultGauge(
+      "rdfcube_server_queue_depth", "Jobs currently in the admission queue");
+  MutexLock lock(&mu_);
+  while (jobs_.empty() && !closed_) {
+    if (!lock.WaitWithDeadline(ready_, deadline)) break;
+  }
+  // Decide on the queue, not on how the wait ended: a notification can race
+  // the timeout, and a closed queue still drains what was admitted.
+  if (jobs_.empty()) return std::nullopt;
+  std::function<void()> job = std::move(jobs_.front());
+  jobs_.pop_front();
+  depth.Set(static_cast<int64_t>(jobs_.size()));
+  return job;
+}
+
+void AdmissionQueue::Close() {
+  {
+    MutexLock lock(&mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::Depth() const {
+  MutexLock lock(&mu_);
+  return jobs_.size();
+}
+
+bool AdmissionQueue::closed() const {
+  MutexLock lock(&mu_);
+  return closed_;
+}
+
+}  // namespace server
+}  // namespace rdfcube

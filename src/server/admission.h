@@ -1,0 +1,74 @@
+// Bounded admission queue with load shedding (DESIGN.md §6).
+//
+// The reactor thread pushes ready requests; worker threads pop them. The
+// queue is the server's only buffer: when it is full the push is refused
+// (kShed) and the caller answers the client with retry-after instead of
+// queueing unboundedly — overload degrades throughput, never memory.
+
+#ifndef RDFCUBE_SERVER_ADMISSION_H_
+#define RDFCUBE_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "base/stopwatch.h"
+#include "base/thread_annotations.h"
+
+namespace rdfcube {
+namespace server {
+
+/// \brief Outcome of AdmissionQueue::TryPush.
+enum class Admission {
+  /// The job is queued and a worker will run it.
+  kAdmitted,
+  /// The queue is at capacity — shed the request (client should retry).
+  kShed,
+  /// The queue is closed (server draining) — no further admissions.
+  kClosed,
+};
+
+/// \brief Fixed-capacity multi-producer/multi-consumer job queue.
+///
+/// Close() stops admissions immediately but lets poppers drain what was
+/// already admitted (every admitted job is either popped or still queued —
+/// none are dropped; asserted by tests/race_stress_test.cc).
+class AdmissionQueue {
+ public:
+  /// `capacity` jobs may be queued at once; 0 is clamped to 1.
+  explicit AdmissionQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `job` unless the queue is full or closed. Never blocks.
+  Admission TryPush(std::function<void()> job);
+
+  /// Pops the next job, waiting until one arrives, the queue closes empty,
+  /// or `deadline` expires (the latter two return nullopt).
+  std::optional<std::function<void()>> Pop(const Deadline& deadline);
+
+  /// Stops admissions; wakes every waiting popper. Idempotent.
+  void Close();
+
+  /// Jobs currently queued (diagnostics; racy by nature).
+  std::size_t Depth() const;
+
+  /// True once Close() ran.
+  bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  std::condition_variable ready_ RDFCUBE_CONDVAR_PAIRED_WITH(mu_);
+  std::deque<std::function<void()>> jobs_ RDFCUBE_GUARDED_BY(mu_);
+  bool closed_ RDFCUBE_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace server
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SERVER_ADMISSION_H_

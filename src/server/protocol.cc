@@ -1,0 +1,147 @@
+#include "server/protocol.h"
+
+#include <cmath>
+
+#include "core/snapshot_io.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace server {
+
+namespace {
+
+using core::snapshot::ByteReader;
+using core::snapshot::PutDouble;
+using core::snapshot::PutU32;
+using core::snapshot::PutU64;
+using core::snapshot::PutU8;
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed frame: ") + what);
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(req.op));
+  PutU32(&out, req.target);
+  PutU32(&out, req.deadline_ms);
+  PutDouble(&out, req.min_degree);
+  PutU32(&out, req.limit);
+  return out;
+}
+
+Result<Request> DecodeRequest(const std::string& payload) {
+  ByteReader r(payload);
+  uint8_t version, op;
+  if (!r.GetU8(&version)) return Malformed("empty request");
+  if (version != kProtocolVersion) return Malformed("unknown version");
+  Request req;
+  if (!r.GetU8(&op)) return Malformed("missing op");
+  if (op < static_cast<uint8_t>(Op::kPing) ||
+      op > static_cast<uint8_t>(Op::kStats)) {
+    return Malformed("unknown op");
+  }
+  req.op = static_cast<Op>(op);
+  if (!r.GetU32(&req.target)) return Malformed("missing target");
+  if (!r.GetU32(&req.deadline_ms)) return Malformed("missing deadline");
+  if (!r.GetDouble(&req.min_degree)) return Malformed("missing min degree");
+  if (!(req.min_degree >= 0.0 && req.min_degree <= 1.0)) {
+    // The negated form also rejects NaN.
+    return Malformed("min degree out of range");
+  }
+  if (!r.GetU32(&req.limit)) return Malformed("missing limit");
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+  return req;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(resp.code));
+  PutU32(&out, resp.retry_after_ms);
+  PutU64(&out, resp.snapshot_version);
+  PutU32(&out, static_cast<uint32_t>(resp.error.size()));
+  out += resp.error;
+  PutU32(&out, static_cast<uint32_t>(resp.ids.size()));
+  for (qb::ObsId id : resp.ids) PutU32(&out, id);
+  PutU32(&out, static_cast<uint32_t>(resp.degrees.size()));
+  for (double d : resp.degrees) PutDouble(&out, d);
+  PutU32(&out, static_cast<uint32_t>(resp.records.size()));
+  for (const ScanRecord& rec : resp.records) {
+    PutU8(&out, rec.kind);
+    PutU32(&out, rec.a);
+    PutU32(&out, rec.b);
+    PutDouble(&out, rec.degree);
+  }
+  PutU32(&out, static_cast<uint32_t>(resp.stats.size()));
+  for (uint64_t s : resp.stats) PutU64(&out, s);
+  return out;
+}
+
+Result<Response> DecodeResponse(const std::string& payload) {
+  ByteReader r(payload);
+  uint8_t version, code;
+  if (!r.GetU8(&version)) return Malformed("empty response");
+  if (version != kProtocolVersion) return Malformed("unknown version");
+  Response resp;
+  if (!r.GetU8(&code)) return Malformed("missing code");
+  if (code > static_cast<uint8_t>(RespCode::kInternal)) {
+    return Malformed("unknown code");
+  }
+  resp.code = static_cast<RespCode>(code);
+  if (!r.GetU32(&resp.retry_after_ms)) return Malformed("missing retry-after");
+  if (!r.GetU64(&resp.snapshot_version)) {
+    return Malformed("missing snapshot version");
+  }
+  uint32_t count;
+  if (!r.GetU32(&count)) return Malformed("missing error length");
+  if (!r.GetBytes(count, &resp.error)) return Malformed("truncated error");
+  if (!r.GetU32(&count)) return Malformed("missing id count");
+  if (count > r.Remaining() / 4) return Malformed("id count out of range");
+  resp.ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id;
+    if (!r.GetU32(&id)) return Malformed("truncated ids");
+    resp.ids.push_back(id);
+  }
+  if (!r.GetU32(&count)) return Malformed("missing degree count");
+  if (count > r.Remaining() / 8) return Malformed("degree count out of range");
+  resp.degrees.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    double d;
+    if (!r.GetDouble(&d)) return Malformed("truncated degrees");
+    if (std::isnan(d)) return Malformed("degree is NaN");
+    resp.degrees.push_back(d);
+  }
+  if (!r.GetU32(&count)) return Malformed("missing record count");
+  if (count > r.Remaining() / 17) return Malformed("record count out of range");
+  resp.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ScanRecord rec;
+    if (!r.GetU8(&rec.kind) || !r.GetU32(&rec.a) || !r.GetU32(&rec.b) ||
+        !r.GetDouble(&rec.degree)) {
+      return Malformed("truncated record");
+    }
+    if (rec.kind != 'F' && rec.kind != 'P' && rec.kind != 'C') {
+      return Malformed("unknown record kind");
+    }
+    if (std::isnan(rec.degree)) return Malformed("record degree is NaN");
+    resp.records.push_back(rec);
+  }
+  if (!r.GetU32(&count)) return Malformed("missing stats count");
+  if (count > r.Remaining() / 8) return Malformed("stats count out of range");
+  resp.stats.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t s;
+    if (!r.GetU64(&s)) return Malformed("truncated stats");
+    resp.stats.push_back(s);
+  }
+  if (!r.AtEnd()) return Malformed("trailing bytes");
+  return resp;
+}
+
+}  // namespace server
+}  // namespace rdfcube

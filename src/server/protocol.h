@@ -1,0 +1,141 @@
+// Wire protocol of the relationship server (DESIGN.md §6).
+//
+// Dependency-free length-prefixed binary framing: every message is a u32
+// little-endian payload length followed by the payload, whose first byte is
+// the protocol version. Requests and responses share the framing; the
+// payload encodings below reuse the core/snapshot_io wire idiom (fixed-width
+// little-endian integers, length-prefixed vectors, bounds-checked reads).
+// Decoders must survive arbitrary bytes: every failure is a ParseError, never
+// a crash (fuzzed in tests/server_test.cc).
+
+#ifndef RDFCUBE_SERVER_PROTOCOL_H_
+#define RDFCUBE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace server {
+
+/// Protocol version stamped as the first payload byte of every message.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on a frame payload; a length prefix above the configured
+/// limit (default this) is a protocol error, not an allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// \brief Request operations.
+enum class Op : uint8_t {
+  /// Liveness probe; echoes the server's current snapshot version.
+  kPing = 1,
+  /// Observations fully containing `target`.
+  kContainers = 2,
+  /// Observations fully contained by `target`.
+  kContained = 3,
+  /// Observations complementary to `target`.
+  kComplements = 4,
+  /// Observations partially contained by `target` (degree >= min_degree).
+  kPartial = 5,
+  /// Bulk scan of every materialized relationship.
+  kScan = 6,
+  /// Server statistics (snapshot sizes, admission counters).
+  kStats = 7,
+};
+
+/// \brief Response status codes (the wire-level triage of a request).
+enum class RespCode : uint8_t {
+  kOk = 0,
+  /// Admission queue full: retry after `retry_after_ms` (load shedding).
+  kShed = 1,
+  /// The request's deadline expired before or during evaluation.
+  kDeadlineExceeded = 2,
+  /// The target observation is not in the snapshot.
+  kNotFound = 3,
+  /// Malformed or out-of-policy request (bad op, oversize frame...).
+  kBadRequest = 4,
+  /// Server is draining; the connection will close after this response.
+  kShuttingDown = 5,
+  /// Unexpected server-side failure.
+  kInternal = 6,
+};
+
+/// \brief One client request.
+struct Request {
+  Op op = Op::kPing;
+  /// Observation id for the point-lookup ops (ignored by ping/scan/stats).
+  qb::ObsId target = 0;
+  /// Client deadline in milliseconds from admission; 0 means "server
+  /// default". The server clamps it to its configured maximum.
+  uint32_t deadline_ms = 0;
+  /// Minimum partial-containment degree (kPartial only).
+  double min_degree = 0.0;
+  /// Cap on returned records for kScan (0 = server default cap).
+  uint32_t limit = 0;
+};
+
+/// \brief One relationship record of a kScan response.
+struct ScanRecord {
+  /// 'F' full containment, 'P' partial, 'C' complementarity.
+  uint8_t kind = 0;
+  qb::ObsId a = 0;
+  qb::ObsId b = 0;
+  /// Degree for 'P' records, 0 otherwise.
+  double degree = 0.0;
+};
+
+/// \brief One server response.
+struct Response {
+  RespCode code = RespCode::kOk;
+  /// Backoff hint for kShed, milliseconds.
+  uint32_t retry_after_ms = 0;
+  /// Version of the snapshot that answered (staleness/consistency checks;
+  /// 0 when no snapshot was consulted).
+  uint64_t snapshot_version = 0;
+  /// Human-readable detail for non-OK codes.
+  std::string error;
+  /// Point-lookup results (Containers/Contained/Complements/Partial).
+  std::vector<qb::ObsId> ids;
+  /// Parallel to `ids` for kPartial: the containment degrees.
+  std::vector<double> degrees;
+  /// kScan results.
+  std::vector<ScanRecord> records;
+  /// kStats / kPing payload: counter values keyed by StatsFields order.
+  std::vector<uint64_t> stats;
+};
+
+/// Order of Response::stats entries in a kStats response.
+enum StatsField : std::size_t {
+  kStatsObservations = 0,
+  kStatsFull = 1,
+  kStatsPartial = 2,
+  kStatsComplementary = 3,
+  kStatsRequests = 4,
+  kStatsShed = 5,
+  kStatsDeadlineExpired = 6,
+  kStatsReloads = 7,
+  kStatsReloadFailures = 8,
+  kStatsNumFields = 9,
+};
+
+/// Serializes `req` into a frame payload (version byte included, length
+/// prefix excluded — WriteFrame adds it).
+std::string EncodeRequest(const Request& req);
+
+/// Parses a frame payload into a Request. ParseError on any malformation.
+[[nodiscard]] Result<Request> DecodeRequest(const std::string& payload);
+
+/// Serializes `resp` into a frame payload.
+std::string EncodeResponse(const Response& resp);
+
+/// Parses a frame payload into a Response. ParseError on any malformation.
+[[nodiscard]] Result<Response> DecodeResponse(const std::string& payload);
+
+}  // namespace server
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SERVER_PROTOCOL_H_

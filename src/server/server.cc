@@ -1,0 +1,423 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/relationship.h"
+#include "core/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "qb/observation_set.h"
+
+namespace rdfcube {
+namespace server {
+
+namespace {
+
+// Collects scan records up to a cap (the overflow is dropped, not an
+// error: bulk consumers page via repeated scans in practice).
+class ScanSink : public core::RelationshipSink {
+ public:
+  ScanSink(std::vector<ScanRecord>* out, std::size_t cap)
+      : out_(out), cap_(cap) {}
+
+  void OnFullContainment(core::ObsId a, core::ObsId b) override {
+    Add({'F', a, b, 0.0});
+  }
+  void OnPartialContainment(core::ObsId a, core::ObsId b, double degree,
+                            uint64_t /*dim_mask*/) override {
+    Add({'P', a, b, degree});
+  }
+  void OnComplementarity(core::ObsId a, core::ObsId b) override {
+    Add({'C', a, b, 0.0});
+  }
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  void Add(const ScanRecord& rec) {
+    if (out_->size() >= cap_) {
+      truncated_ = true;
+      return;
+    }
+    out_->push_back(rec);
+  }
+
+  std::vector<ScanRecord>* out_;
+  std::size_t cap_;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options), queue_(options.max_queue) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start(SnapshotPtr initial) {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  store_.Publish(std::move(initial));
+
+  RDFCUBE_ASSIGN_OR_RETURN(listener_, ListenOn(options_.port));
+  RDFCUBE_ASSIGN_OR_RETURN(port_, LocalPort(listener_));
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    return Status::IOError(std::string("pipe2: ") + std::strerror(errno));
+  }
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+
+  reactor_ = std::thread([this] { ReactorLoop(); });
+  workers_.reserve(options_.num_workers == 0 ? 1 : options_.num_workers);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, options_.num_workers);
+       ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  obs::TraceSpan span("server/drain");
+  // Phase 1: stop admitting. New frames get kShuttingDown inline; jobs
+  // already admitted drain through the workers.
+  draining_.store(true, std::memory_order_release);
+  WakeReactor();
+  queue_.Close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Phase 2: every response is written; tear the reactor down.
+  reactor_exit_.store(true, std::memory_order_release);
+  WakeReactor();
+  if (reactor_.joinable()) reactor_.join();
+}
+
+void Server::WakeReactor() {
+  const char byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void Server::ReactorLoop() {
+  std::vector<struct pollfd> pfds;
+  std::vector<int> pfd_conn;  // parallel: conn fd per pollfd (-1 = special)
+  for (;;) {
+    if (reactor_exit_.load(std::memory_order_acquire)) break;
+
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_read_.get(), POLLIN, 0});
+    pfd_conn.push_back(-1);
+    const bool draining = draining_.load(std::memory_order_acquire);
+    if (!draining && listener_.valid()) {
+      pfds.push_back({listener_.get(), POLLIN, 0});
+      pfd_conn.push_back(-2);
+    }
+    for (const auto& [fd, conn] : conns_) {
+      if (conn.in_flight) continue;
+      pfds.push_back({fd, POLLIN, 0});
+      pfd_conn.push_back(fd);
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) break;
+
+    // Worker handbacks first: a completed connection may already have the
+    // next request buffered.
+    std::vector<std::pair<int, bool>> done;
+    {
+      MutexLock lock(&completions_mu_);
+      done.swap(completions_);
+    }
+    for (const auto& [fd, ok] : done) {
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      it->second.in_flight = false;
+      if (!ok || it->second.closing || !ProcessFrames(fd, &it->second)) {
+        conns_.erase(it);
+      }
+    }
+
+    if (rc <= 0) continue;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      if (pfd_conn[i] == -1) {
+        char buf[64];
+        while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (pfd_conn[i] == -2) {
+        for (;;) {
+          const int cfd = ::accept4(listener_.get(), nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          Connection conn;
+          conn.fd = Fd(cfd);
+          conns_.emplace(cfd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = conns_.find(pfd_conn[i]);
+      if (it == conns_.end() || it->second.in_flight) continue;
+      if (!DrainReadable(&it->second) ||
+          !ProcessFrames(it->first, &it->second)) {
+        conns_.erase(it);
+      }
+    }
+  }
+  // Shutdown: every worker has joined by now, so no fd is in flight.
+  conns_.clear();
+  listener_.Close();
+}
+
+bool Server::DrainReadable(Connection* conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<std::size_t>(n));
+      // Refuse to buffer unboundedly: stop reading and let ProcessFrames
+      // triage what is buffered (an oversize prefix earns kBadRequest and a
+      // hangup; complete frames are consumed, freeing the buffer).
+      if (conn->inbuf.size() > options_.max_frame_bytes + 4u) return true;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool Server::ProcessFrames(int fd, Connection* conn) {
+  while (!conn->in_flight) {
+    if (conn->inbuf.size() < 4) return true;
+    uint32_t size = 0;
+    for (int i = 0; i < 4; ++i) {
+      size |= static_cast<uint32_t>(
+                  static_cast<unsigned char>(conn->inbuf[i]))
+              << (8 * i);
+    }
+    if (size > options_.max_frame_bytes) {
+      Response resp;
+      resp.code = RespCode::kBadRequest;
+      resp.error = "frame exceeds limit";
+      RespondInline(conn, resp);
+      return false;
+    }
+    if (conn->inbuf.size() < 4u + size) return true;
+    const std::string payload = conn->inbuf.substr(4, size);
+    conn->inbuf.erase(0, 4u + size);
+
+    if (draining_.load(std::memory_order_acquire)) {
+      Response resp;
+      resp.code = RespCode::kShuttingDown;
+      resp.error = "server is draining";
+      RespondInline(conn, resp);
+      return false;
+    }
+    Result<Request> decoded = DecodeRequest(payload);
+    if (!decoded.ok()) {
+      // Protocol desync: answer, then drop the stream (resynchronizing a
+      // length-prefixed stream after garbage is guesswork).
+      Response resp;
+      resp.code = RespCode::kBadRequest;
+      resp.error = decoded.status().message();
+      RespondInline(conn, resp);
+      return false;
+    }
+    const Request req = std::move(decoded).value();
+    double seconds = req.deadline_ms == 0
+                         ? options_.default_deadline_seconds
+                         : static_cast<double>(req.deadline_ms) / 1000.0;
+    seconds = std::min(seconds, options_.max_deadline_seconds);
+    const Deadline deadline(seconds);  // clock starts at admission
+    switch (queue_.TryPush([this, fd, req, deadline] {
+      HandleJob(fd, req, deadline);
+    })) {
+      case Admission::kAdmitted:
+        conn->in_flight = true;
+        break;
+      case Admission::kShed: {
+        shed_total_.fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.code = RespCode::kShed;
+        resp.retry_after_ms = options_.retry_after_ms;
+        resp.error = "admission queue full";
+        RespondInline(conn, resp);
+        break;  // connection survives; the client backs off and retries
+      }
+      case Admission::kClosed: {
+        Response resp;
+        resp.code = RespCode::kShuttingDown;
+        resp.error = "server is draining";
+        RespondInline(conn, resp);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Server::RespondInline(Connection* conn, const Response& resp) {
+  const Deadline write_deadline(options_.write_timeout_seconds);
+  (void)WriteFrame(conn->fd.get(), EncodeResponse(resp), write_deadline);
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    // Unlimited pop deadline: Close() is the wakeup that ends the loop.
+    std::optional<std::function<void()>> job = queue_.Pop(Deadline());
+    if (!job.has_value()) {
+      if (queue_.closed()) return;
+      continue;
+    }
+    (*job)();
+  }
+}
+
+void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
+  obs::TraceSpan span("server/handle");
+  static obs::Counter& requests = obs::DefaultCounter(
+      "rdfcube_server_requests_total", "Requests evaluated by workers");
+  static obs::Histogram& latency = obs::DefaultHistogram(
+      "rdfcube_server_request_latency_us",
+      "Worker-side request handling latency (µs)",
+      obs::ExponentialBuckets(1.0, 4.0, 12));
+  requests.Increment();
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+
+  const Response resp = Evaluate(req, deadline);
+  if (resp.code == RespCode::kDeadlineExceeded) {
+    static obs::Counter& expired = obs::DefaultCounter(
+        "rdfcube_server_deadline_expired_total",
+        "Requests that missed their deadline");
+    expired.Increment();
+    deadline_expired_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const Deadline write_deadline(options_.write_timeout_seconds);
+  const Status wrote = WriteFrame(fd, EncodeResponse(resp), write_deadline);
+  if (!wrote.ok()) {
+    static obs::Counter& io_errors = obs::DefaultCounter(
+        "rdfcube_server_io_errors_total", "Response writes that failed");
+    io_errors.Increment();
+  }
+  latency.Observe(span.ElapsedSeconds() * 1e6);
+  {
+    MutexLock lock(&completions_mu_);
+    completions_.emplace_back(fd, wrote.ok());
+  }
+  WakeReactor();
+}
+
+Response Server::Evaluate(const Request& req, const Deadline& deadline) {
+  Response resp;
+  if (deadline.Expired()) {
+    resp.code = RespCode::kDeadlineExceeded;
+    resp.error = "deadline expired in queue";
+    return resp;
+  }
+  const SnapshotPtr snap = store_.Current();
+  if (snap == nullptr) {
+    resp.code = RespCode::kInternal;
+    resp.error = "no snapshot published";
+    return resp;
+  }
+  resp.snapshot_version = snap->version();
+
+  const auto fail = [&resp](const Status& st) {
+    if (st.IsTimedOut()) {
+      resp.code = RespCode::kDeadlineExceeded;
+    } else if (st.IsNotFound()) {
+      resp.code = RespCode::kNotFound;
+    } else {
+      resp.code = RespCode::kInternal;
+    }
+    resp.error = st.message();
+  };
+
+  switch (req.op) {
+    case Op::kPing:
+      break;
+    case Op::kContainers:
+    case Op::kContained:
+    case Op::kComplements: {
+      Result<std::vector<qb::ObsId>> ids =
+          req.op == Op::kContainers ? snap->Containers(req.target, deadline)
+          : req.op == Op::kContained
+              ? snap->Contained(req.target, deadline)
+              : snap->Complements(req.target, deadline);
+      if (!ids.ok()) {
+        fail(ids.status());
+        break;
+      }
+      resp.ids = std::move(ids).value();
+      break;
+    }
+    case Op::kPartial: {
+      Result<std::vector<core::IncrementalEngine::PartialMatch>> matches =
+          snap->PartiallyContained(req.target, req.min_degree, deadline);
+      if (!matches.ok()) {
+        fail(matches.status());
+        break;
+      }
+      resp.ids.reserve(matches.value().size());
+      resp.degrees.reserve(matches.value().size());
+      for (const auto& m : matches.value()) {
+        resp.ids.push_back(m.other);
+        resp.degrees.push_back(m.degree);
+      }
+      break;
+    }
+    case Op::kScan: {
+      const uint32_t cap =
+          req.limit == 0
+              ? options_.max_scan_records
+              : std::min(req.limit, options_.max_scan_records);
+      ScanSink sink(&resp.records, cap);
+      const Status st = snap->ScanAll(&sink, deadline);
+      if (!st.ok()) {
+        resp.records.clear();
+        fail(st);
+        break;
+      }
+      if (sink.truncated()) resp.error = "truncated to limit";
+      break;
+    }
+    case Op::kStats: {
+      resp.stats.assign(kStatsNumFields, 0);
+      resp.stats[kStatsObservations] = snap->num_observations();
+      resp.stats[kStatsFull] = snap->num_full();
+      resp.stats[kStatsPartial] = snap->num_partial();
+      resp.stats[kStatsComplementary] = snap->num_complementary();
+      resp.stats[kStatsRequests] =
+          requests_total_.load(std::memory_order_relaxed);
+      resp.stats[kStatsShed] = shed_total_.load(std::memory_order_relaxed);
+      resp.stats[kStatsDeadlineExpired] =
+          deadline_expired_total_.load(std::memory_order_relaxed);
+      resp.stats[kStatsReloads] = store_.reloads();
+      resp.stats[kStatsReloadFailures] = store_.reload_failures();
+      break;
+    }
+  }
+  return resp;
+}
+
+}  // namespace server
+}  // namespace rdfcube

@@ -1,0 +1,210 @@
+#include "server/socket_io.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace rdfcube {
+namespace server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Polls `fd` for `events` until ready or the deadline expires. Returns OK
+// when ready, TimedOut on expiry, IOError on poll failure.
+Status PollFor(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.HasLimit()) {
+      const double remaining = deadline.RemainingSeconds();
+      if (remaining <= 0.0) return Status::TimedOut("socket deadline expired");
+      // Round up so a sub-millisecond remainder still sleeps, not spins.
+      timeout_ms = static_cast<int>(remaining * 1000.0) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::TimedOut("socket deadline expired");
+    if (errno == EINTR) continue;
+    return Errno("poll");
+  }
+}
+
+// Writes the whole buffer, polling for writability between short writes.
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const Deadline& deadline) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      RDFCUBE_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+// Reads exactly `size` bytes. `*eof_before_first` reports a clean EOF before
+// any byte arrived (only meaningful on error return).
+Status ReadAll(int fd, char* data, std::size_t size, const Deadline& deadline,
+               bool* eof_before_first) {
+  std::size_t done = 0;
+  if (eof_before_first != nullptr) *eof_before_first = false;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, data + done, size - done, 0);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (done == 0 && eof_before_first != nullptr) *eof_before_first = true;
+      return Status::IOError("connection closed mid-read");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      RDFCUBE_RETURN_IF_ERROR(PollFor(fd, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> ListenOn(uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 128) < 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& listener) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Fd> ConnectTo(const std::string& host, uint16_t port,
+                     const Deadline& deadline) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int rc = ::connect(
+      fd.get(), reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) return Errno("connect");
+  if (rc < 0) {
+    RDFCUBE_RETURN_IF_ERROR(PollFor(fd.get(), POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  const int one = 1;
+  // Small request/response frames: Nagle only adds latency here.
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteFrame(int fd, const std::string& payload,
+                  const Deadline& deadline) {
+  if (FaultTriggered(kFaultNetWrite)) {
+    return Status::IOError("injected network write failure");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<char>(size >> (8 * i));
+  // Prefix and payload in one buffer: a frame is either fully queued to the
+  // kernel or the stream is declared dead, never interleaved with another
+  // writer's bytes (one writer per connection by construction).
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.append(prefix, 4);
+  frame += payload;
+  return WriteAll(fd, frame.data(), frame.size(), deadline);
+}
+
+Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes,
+                 const Deadline& deadline) {
+  if (FaultTriggered(kFaultNetRead)) {
+    return Status::IOError("injected network read failure");
+  }
+  char prefix[4];
+  bool clean_eof = false;
+  Status st = ReadAll(fd, prefix, 4, deadline, &clean_eof);
+  if (!st.ok()) {
+    if (clean_eof) return Status::OutOfRange("connection closed");
+    return st;
+  }
+  uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<uint32_t>(static_cast<unsigned char>(prefix[i]))
+            << (8 * i);
+  }
+  if (size > max_frame_bytes) {
+    return Status::ResourceExhausted("frame exceeds limit: " +
+                                     std::to_string(size) + " bytes");
+  }
+  payload->resize(size);
+  if (size == 0) return Status::OK();
+  return ReadAll(fd, payload->data(), size, deadline, nullptr);
+}
+
+}  // namespace server
+}  // namespace rdfcube

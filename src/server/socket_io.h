@@ -1,0 +1,99 @@
+// rdfcube:internal — POSIX socket plumbing for the relationship server,
+// not part of the public API (excluded from the src/rdfcube/rdfcube.h
+// umbrella; see tools/rdfcube_lint).
+//
+// Thin RAII + Status wrappers over loopback TCP: a listener, a deadline-
+// bounded connect, and length-prefixed frame reads/writes driven by poll()
+// so every blocking step honors a base::Deadline. Read/write paths consult
+// the util/fault injection points below so the chaos soak can surface
+// network failures deterministically.
+
+#ifndef RDFCUBE_SERVER_SOCKET_IO_H_
+#define RDFCUBE_SERVER_SOCKET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
+
+namespace rdfcube {
+namespace server {
+
+/// Injection point: a triggered fault fails the next frame read with
+/// IOError, as if the peer's connection reset mid-frame.
+inline constexpr char kFaultNetRead[] = "server.net.read";
+
+/// Injection point: a triggered fault fails the next frame write with
+/// IOError.
+inline constexpr char kFaultNetWrite[] = "server.net.write";
+
+/// \brief Owning file-descriptor handle (closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing; returns the raw descriptor.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a loopback TCP listener on `port` (0 = kernel-assigned ephemeral
+/// port) with SO_REUSEADDR, non-blocking, backlog ready. IOError on failure.
+[[nodiscard]] Result<Fd> ListenOn(uint16_t port);
+
+/// The port a listener from ListenOn is bound to (resolves port 0).
+[[nodiscard]] Result<uint16_t> LocalPort(const Fd& listener);
+
+/// Connects to `host:port`, waiting at most `deadline` for the TCP
+/// handshake. TimedOut on deadline expiry, IOError otherwise.
+[[nodiscard]] Result<Fd> ConnectTo(const std::string& host, uint16_t port,
+                                   const Deadline& deadline);
+
+/// Writes one length-prefixed frame (u32 little-endian payload size, then
+/// the payload). Blocks via poll() until written or `deadline` expires.
+/// TimedOut / IOError on failure; the stream is unusable after either.
+[[nodiscard]] Status WriteFrame(int fd, const std::string& payload,
+                                const Deadline& deadline);
+
+/// Reads one length-prefixed frame into `*payload`. A prefix larger than
+/// `max_frame_bytes` fails with ResourceExhausted (protocol abuse, not an
+/// allocation); a clean EOF *before any prefix byte* fails with OutOfRange
+/// ("connection closed") so callers can tell orderly hangups from errors;
+/// EOF mid-frame is an IOError.
+[[nodiscard]] Status ReadFrame(int fd, std::string* payload,
+                               uint32_t max_frame_bytes,
+                               const Deadline& deadline);
+
+}  // namespace server
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_SERVER_SOCKET_IO_H_

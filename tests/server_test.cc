@@ -1,0 +1,854 @@
+// Relationship-server suite (DESIGN.md §6): wire-protocol round trips and
+// malformed-frame fuzzing, the bounded admission queue, the immutable
+// RelationshipSnapshot (oracle equivalence against CubeExplorer, incremental
+// refresh, crash-safe persistence, deadline/fault handling), the
+// copy-on-write SnapshotStore, and end-to-end server/client behavior:
+// point lookups, bulk scans, load shedding with retry-after, deadline
+// expiry in the queue, protocol-error hangups, and orderly drain.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/relationship.h"
+#include "core/snapshot.h"
+#include "qb/corpus.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/snapshot_store.h"
+#include "server/socket_io.h"
+#include "tests/test_corpus.h"
+#include "util/fault.h"
+#include "util/random.h"
+
+namespace rdfcube {
+namespace server {
+namespace {
+
+using core::RelationshipSnapshot;
+using qb::ObsId;
+using testutil::MakeRandomCorpus;
+using testutil::MakeRunningExample;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+RelationshipSnapshot::Ptr MustBuild(qb::Corpus corpus, uint64_t version = 1) {
+  RelationshipSnapshot::BuildOptions options;
+  options.version = version;
+  auto snap = RelationshipSnapshot::Build(std::move(corpus), options);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  return snap.value();
+}
+
+// Canonicalized relationship sets for cross-representation equality.
+struct RelSets {
+  std::set<std::pair<ObsId, ObsId>> full;
+  std::set<std::pair<ObsId, ObsId>> compl_pairs;
+  std::set<std::tuple<ObsId, ObsId, int>> partial;
+
+  static RelSets From(const core::CollectingSink& sink) {
+    RelSets s;
+    for (const auto& p : sink.full()) s.full.insert(p);
+    for (const auto& p : sink.complementary()) s.compl_pairs.insert(p);
+    for (const auto& p : sink.partial()) {
+      s.partial.insert({p.a, p.b, static_cast<int>(p.degree * 1000 + 0.5)});
+    }
+    return s;
+  }
+  bool operator==(const RelSets& o) const {
+    return full == o.full && compl_pairs == o.compl_pairs &&
+           partial == o.partial;
+  }
+};
+
+RelSets ScanSets(const RelationshipSnapshot& snap) {
+  core::CollectingSink sink;
+  EXPECT_TRUE(snap.ScanAll(&sink, Deadline()).ok());
+  return RelSets::From(sink);
+}
+
+// --- Protocol: round trips ---------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTripsEveryOp) {
+  for (Op op : {Op::kPing, Op::kContainers, Op::kContained, Op::kComplements,
+                Op::kPartial, Op::kScan, Op::kStats}) {
+    Request req;
+    req.op = op;
+    req.target = 0xabcdef01u;
+    req.deadline_ms = 1500;
+    req.min_degree = 0.625;
+    req.limit = 77;
+    auto back = DecodeRequest(EncodeRequest(req));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->op, req.op);
+    EXPECT_EQ(back->target, req.target);
+    EXPECT_EQ(back->deadline_ms, req.deadline_ms);
+    EXPECT_EQ(back->min_degree, req.min_degree);
+    EXPECT_EQ(back->limit, req.limit);
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTripsEveryField) {
+  Response resp;
+  resp.code = RespCode::kShed;
+  resp.retry_after_ms = 250;
+  resp.snapshot_version = 0x1122334455667788ull;
+  resp.error = "try later \x01\xff";
+  resp.ids = {3, 1, 0xffffffffu};
+  resp.degrees = {0.0, 0.5, 1.0};
+  resp.records = {{'F', 1, 2, 0.0}, {'P', 3, 4, 0.75}, {'C', 5, 6, 0.0}};
+  resp.stats = std::vector<uint64_t>(kStatsNumFields, 42);
+  auto back = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->code, resp.code);
+  EXPECT_EQ(back->retry_after_ms, resp.retry_after_ms);
+  EXPECT_EQ(back->snapshot_version, resp.snapshot_version);
+  EXPECT_EQ(back->error, resp.error);
+  EXPECT_EQ(back->ids, resp.ids);
+  EXPECT_EQ(back->degrees, resp.degrees);
+  ASSERT_EQ(back->records.size(), resp.records.size());
+  for (std::size_t i = 0; i < resp.records.size(); ++i) {
+    EXPECT_EQ(back->records[i].kind, resp.records[i].kind);
+    EXPECT_EQ(back->records[i].a, resp.records[i].a);
+    EXPECT_EQ(back->records[i].b, resp.records[i].b);
+    EXPECT_EQ(back->records[i].degree, resp.records[i].degree);
+  }
+  EXPECT_EQ(back->stats, resp.stats);
+}
+
+TEST(ProtocolTest, EmptyResponseRoundTrips) {
+  auto back = DecodeResponse(EncodeResponse(Response{}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->code, RespCode::kOk);
+  EXPECT_TRUE(back->ids.empty());
+  EXPECT_TRUE(back->records.empty());
+}
+
+// --- Protocol: malformed frames ----------------------------------------------
+
+TEST(ProtocolTest, EveryRequestTruncationIsParseError) {
+  Request req;
+  req.op = Op::kPartial;
+  req.target = 9;
+  req.min_degree = 0.5;
+  const std::string bytes = EncodeRequest(req);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = DecodeRequest(bytes.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix " << cut << " accepted";
+    EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+  }
+  EXPECT_TRUE(DecodeRequest(bytes + "x").status().IsParseError());
+}
+
+TEST(ProtocolTest, EveryResponseTruncationIsParseError) {
+  Response resp;
+  resp.ids = {1, 2};
+  resp.degrees = {0.5};
+  resp.records = {{'P', 1, 2, 0.5}};
+  resp.stats = {1, 2, 3};
+  resp.error = "e";
+  const std::string bytes = EncodeResponse(resp);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = DecodeResponse(bytes.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "prefix " << cut << " accepted";
+    EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+  }
+  EXPECT_TRUE(DecodeResponse(bytes + "x").status().IsParseError());
+}
+
+TEST(ProtocolTest, RejectsBadVersionOpCodeAndDegrees) {
+  Request req;
+  std::string bytes = EncodeRequest(req);
+  bytes[0] = static_cast<char>(kProtocolVersion + 1);
+  EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
+
+  bytes = EncodeRequest(req);
+  bytes[1] = 0;  // Op 0 is not assigned.
+  EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
+  bytes[1] = 99;
+  EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
+
+  // min_degree outside [0, 1] and NaN are both rejected.
+  req.op = Op::kPartial;
+  req.min_degree = 1.5;
+  EXPECT_TRUE(DecodeRequest(EncodeRequest(req)).status().IsParseError());
+  req.min_degree = -0.1;
+  EXPECT_TRUE(DecodeRequest(EncodeRequest(req)).status().IsParseError());
+  req.min_degree = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(DecodeRequest(EncodeRequest(req)).status().IsParseError());
+
+  Response resp;
+  std::string rbytes = EncodeResponse(resp);
+  rbytes[1] = 99;  // response code
+  EXPECT_TRUE(DecodeResponse(rbytes).status().IsParseError());
+
+  resp.records = {{'X', 1, 2, 0.0}};  // unknown record kind
+  EXPECT_TRUE(DecodeResponse(EncodeResponse(resp)).status().IsParseError());
+  resp.records = {{'P', 1, 2, std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_TRUE(DecodeResponse(EncodeResponse(resp)).status().IsParseError());
+}
+
+TEST(ProtocolTest, RandomBytesNeverCrashDecoders) {
+  Rng rng(0xf00d);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes(rng.Uniform(64), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.Uniform(256));
+    // Must return (ok or ParseError), never crash or allocate absurdly.
+    auto req = DecodeRequest(bytes);
+    if (!req.ok()) {
+      EXPECT_TRUE(req.status().IsParseError());
+    }
+    auto resp = DecodeResponse(bytes);
+    if (!resp.ok()) {
+      EXPECT_TRUE(resp.status().IsParseError());
+    }
+  }
+}
+
+TEST(ProtocolTest, MutatedValidFramesNeverCrashDecoders) {
+  Response resp;
+  resp.ids = {1, 2, 3};
+  resp.degrees = {0.25, 0.5};
+  resp.records = {{'F', 1, 2, 0.0}, {'C', 2, 3, 0.0}};
+  resp.stats = {7, 8, 9};
+  resp.error = "detail";
+  const std::string valid = EncodeResponse(resp);
+  Rng rng(0xbeef);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes = valid;
+    const std::size_t flips = 1 + rng.Uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.Uniform(bytes.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+    }
+    auto r = DecodeResponse(bytes);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+    }
+  }
+}
+
+// --- AdmissionQueue ----------------------------------------------------------
+
+TEST(AdmissionQueueTest, FifoOrderAndShedAtCapacity) {
+  AdmissionQueue q(2);
+  std::vector<int> ran;
+  EXPECT_EQ(q.TryPush([&] { ran.push_back(1); }), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush([&] { ran.push_back(2); }), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush([&] { ran.push_back(3); }), Admission::kShed);
+  EXPECT_EQ(q.Depth(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    auto job = q.Pop(Deadline());
+    ASSERT_TRUE(job.has_value());
+    (*job)();
+  }
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.Depth(), 0u);
+}
+
+TEST(AdmissionQueueTest, PopHonorsDeadlineWhenEmpty) {
+  AdmissionQueue q(4);
+  EXPECT_FALSE(q.Pop(Deadline(0.0)).has_value());
+  EXPECT_FALSE(q.Pop(Deadline(0.02)).has_value());
+}
+
+TEST(AdmissionQueueTest, CloseRefusesNewButDrainsAdmitted) {
+  AdmissionQueue q(4);
+  int ran = 0;
+  EXPECT_EQ(q.TryPush([&] { ++ran; }), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush([&] { ++ran; }), Admission::kAdmitted);
+  q.Close();
+  q.Close();  // idempotent
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.TryPush([&] { ++ran; }), Admission::kClosed);
+  // Admitted jobs stay poppable after Close.
+  while (auto job = q.Pop(Deadline())) (*job)();
+  EXPECT_EQ(ran, 2);
+  // Closed and empty: Pop returns immediately even with no deadline.
+  EXPECT_FALSE(q.Pop(Deadline()).has_value());
+}
+
+TEST(AdmissionQueueTest, PopUnblocksOnPush) {
+  AdmissionQueue q(4);
+  std::atomic<int> got{0};
+  std::thread popper([&] {
+    auto job = q.Pop(Deadline(5.0));
+    if (job.has_value()) {
+      (*job)();
+      got.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.TryPush([] {}), Admission::kAdmitted);
+  popper.join();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(AdmissionQueueTest, ZeroCapacityClampsToOne) {
+  AdmissionQueue q(0);
+  EXPECT_EQ(q.TryPush([] {}), Admission::kAdmitted);
+  EXPECT_EQ(q.TryPush([] {}), Admission::kShed);
+}
+
+// --- RelationshipSnapshot: queries vs the explorer oracle --------------------
+
+TEST(SnapshotTest, PointLookupsMatchCubeExplorerOracle) {
+  qb::Corpus corpus = MakeRandomCorpus(17, 70);
+  const core::CubeExplorer oracle(corpus.observations.get());
+  const std::size_t n = corpus.observations->size();
+  auto snap = MustBuild(std::move(corpus));
+
+  for (ObsId id = 0; id < n; ++id) {
+    auto containers = snap->Containers(id, Deadline());
+    ASSERT_TRUE(containers.ok());
+    std::vector<ObsId> want = oracle.Containers(id);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(containers.value(), want) << "Containers(" << id << ")";
+
+    auto contained = snap->Contained(id, Deadline());
+    ASSERT_TRUE(contained.ok());
+    want = oracle.ContainedBy(id);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(contained.value(), want) << "Contained(" << id << ")";
+
+    auto complements = snap->Complements(id, Deadline());
+    ASSERT_TRUE(complements.ok());
+    want = oracle.Complements(id);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(complements.value(), want) << "Complements(" << id << ")";
+
+    auto partial = snap->PartiallyContained(id, 0.0, Deadline());
+    ASSERT_TRUE(partial.ok());
+    auto want_partial = oracle.PartiallyContained(id, 0.0);
+    std::sort(want_partial.begin(), want_partial.end(),
+              [](const auto& x, const auto& y) { return x.other < y.other; });
+    ASSERT_EQ(partial->size(), want_partial.size()) << "Partial(" << id << ")";
+    for (std::size_t i = 0; i < want_partial.size(); ++i) {
+      EXPECT_EQ((*partial)[i].other, want_partial[i].other);
+      EXPECT_NEAR((*partial)[i].degree, want_partial[i].degree, 1e-12);
+    }
+  }
+}
+
+TEST(SnapshotTest, MinDegreeFiltersPartialMatches) {
+  auto snap = MustBuild(MakeRandomCorpus(4, 60));
+  for (ObsId id = 0; id < snap->num_observations(); ++id) {
+    auto all = snap->PartiallyContained(id, 0.0, Deadline());
+    auto strict = snap->PartiallyContained(id, 0.7, Deadline());
+    ASSERT_TRUE(all.ok());
+    ASSERT_TRUE(strict.ok());
+    std::size_t expect = 0;
+    for (const auto& m : all.value()) {
+      if (m.degree >= 0.7) ++expect;
+    }
+    EXPECT_EQ(strict->size(), expect);
+    for (const auto& m : strict.value()) EXPECT_GE(m.degree, 0.7);
+  }
+}
+
+TEST(SnapshotTest, UnknownIdIsNotFoundExpiredDeadlineIsTimedOut) {
+  auto snap = MustBuild(MakeRunningExample());
+  const ObsId bad = static_cast<ObsId>(snap->num_observations());
+  EXPECT_TRUE(snap->Containers(bad, Deadline()).status().IsNotFound());
+  EXPECT_TRUE(snap->Contained(bad, Deadline()).status().IsNotFound());
+  EXPECT_TRUE(snap->Complements(bad, Deadline()).status().IsNotFound());
+  EXPECT_TRUE(
+      snap->PartiallyContained(bad, 0.0, Deadline()).status().IsNotFound());
+
+  EXPECT_TRUE(snap->Containers(0, Deadline(0.0)).status().IsTimedOut());
+  core::CollectingSink sink;
+  EXPECT_TRUE(snap->ScanAll(&sink, Deadline(0.0)).IsTimedOut());
+}
+
+TEST(SnapshotTest, ScanAllMatchesCounts) {
+  auto snap = MustBuild(MakeRandomCorpus(23, 60));
+  core::CollectingSink sink;
+  ASSERT_TRUE(snap->ScanAll(&sink, Deadline()).ok());
+  EXPECT_EQ(sink.full().size(), snap->num_full());
+  EXPECT_EQ(sink.partial().size(), snap->num_partial());
+  EXPECT_EQ(sink.complementary().size(), snap->num_complementary());
+}
+
+// --- RelationshipSnapshot: build failure modes -------------------------------
+
+TEST(SnapshotTest, BuildHonorsDeadline) {
+  RelationshipSnapshot::BuildOptions options;
+  options.deadline = Deadline(0.0);
+  auto snap = RelationshipSnapshot::Build(MakeRandomCorpus(1, 40), options);
+  EXPECT_TRUE(snap.status().IsTimedOut()) << snap.status().ToString();
+}
+
+TEST(SnapshotTest, BuildFaultAborts) {
+  FaultInjector injector(1);
+  injector.ArmNthCall(core::kFaultSnapshotBuild, 5);
+  ScopedFaultInjection scope(&injector);
+  auto snap = RelationshipSnapshot::Build(MakeRandomCorpus(1, 40), {});
+  EXPECT_TRUE(snap.status().IsInternal()) << snap.status().ToString();
+}
+
+TEST(SnapshotTest, BuildRejectsEmptyCorpusHandle) {
+  qb::Corpus corpus;  // null space/observations
+  auto snap = RelationshipSnapshot::Build(std::move(corpus), {});
+  EXPECT_TRUE(snap.status().IsInvalidArgument());
+}
+
+// --- RelationshipSnapshot: incremental refresh -------------------------------
+
+TEST(SnapshotTest, IncrementalRefreshEqualsFullRebuild) {
+  // MakeRandomCorpus(seed, n) and (seed, n + k) share the first n
+  // observations: the smaller corpus is a prefix of the larger.
+  auto base = MustBuild(MakeRandomCorpus(7, 40), 1);
+  RelationshipSnapshot::BuildOptions options;
+  options.version = 2;
+  auto refreshed = RelationshipSnapshot::BuildIncremental(
+      *base, MakeRandomCorpus(7, 60), options);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ((*refreshed)->version(), 2u);
+  EXPECT_EQ((*refreshed)->num_observations(), 60u);
+  // The base snapshot is untouched (readers keep their view).
+  EXPECT_EQ(base->num_observations(), 40u);
+  EXPECT_EQ(base->version(), 1u);
+
+  auto full = MustBuild(MakeRandomCorpus(7, 60), 2);
+  EXPECT_EQ((*refreshed)->num_full(), full->num_full());
+  EXPECT_EQ((*refreshed)->num_partial(), full->num_partial());
+  EXPECT_EQ((*refreshed)->num_complementary(), full->num_complementary());
+  EXPECT_TRUE(ScanSets(**refreshed) == ScanSets(*full));
+  EXPECT_EQ((*refreshed)->fingerprint(), full->fingerprint());
+}
+
+TEST(SnapshotTest, IncrementalRefreshRejectsNonExtension) {
+  auto base = MustBuild(MakeRandomCorpus(7, 40));
+  auto wrong = RelationshipSnapshot::BuildIncremental(
+      *base, MakeRandomCorpus(8, 60), {});
+  EXPECT_TRUE(wrong.status().IsFailedPrecondition())
+      << wrong.status().ToString();
+  // A corpus *shorter* than the base cannot extend it either.
+  auto shorter = RelationshipSnapshot::BuildIncremental(
+      *base, MakeRandomCorpus(7, 20), {});
+  EXPECT_TRUE(shorter.status().IsFailedPrecondition());
+}
+
+// --- RelationshipSnapshot: persistence ---------------------------------------
+
+TEST(SnapshotTest, SaveLoadRoundTrip) {
+  const std::string path = TempPath("snapshot_roundtrip.snap");
+  auto snap = MustBuild(MakeRandomCorpus(11, 50), 3);
+  ASSERT_TRUE(snap->SaveTo(path).ok());
+  auto loaded = RelationshipSnapshot::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->version(), 3u);
+  EXPECT_EQ((*loaded)->fingerprint(), snap->fingerprint());
+  EXPECT_EQ((*loaded)->num_observations(), snap->num_observations());
+  EXPECT_EQ((*loaded)->num_full(), snap->num_full());
+  EXPECT_EQ((*loaded)->num_partial(), snap->num_partial());
+  EXPECT_EQ((*loaded)->num_complementary(), snap->num_complementary());
+  EXPECT_TRUE(ScanSets(**loaded) == ScanSets(*snap));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadRejectsTruncationAndCorruption) {
+  const std::string path = TempPath("snapshot_corrupt.snap");
+  auto snap = MustBuild(MakeRunningExample());
+  ASSERT_TRUE(snap->SaveTo(path).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+
+  auto write = [&](const std::string& contents) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+  };
+  // A sweep of strict truncations: every one is ParseError, never a crash.
+  for (std::size_t cut = 0; cut < bytes.size();
+       cut += std::max<std::size_t>(1, bytes.size() / 97)) {
+    write(bytes.substr(0, cut));
+    auto r = RelationshipSnapshot::LoadFrom(path);
+    ASSERT_FALSE(r.ok()) << "prefix " << cut << " accepted";
+    EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+  }
+  // Trailing garbage.
+  write(bytes + "x");
+  EXPECT_TRUE(RelationshipSnapshot::LoadFrom(path).status().IsParseError());
+  // Bad magic.
+  std::string flipped = bytes;
+  flipped[0] ^= 0x5a;
+  write(flipped);
+  EXPECT_TRUE(RelationshipSnapshot::LoadFrom(path).status().IsParseError());
+  // Missing file is IOError, not ParseError.
+  EXPECT_TRUE(
+      RelationshipSnapshot::LoadFrom("/no/such/dir/f").status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, StagedSaveFaultLeavesPublishedFileIntact) {
+  const std::string path = TempPath("snapshot_staged.snap");
+  auto v1 = MustBuild(MakeRandomCorpus(2, 30), 1);
+  ASSERT_TRUE(v1->SaveTo(path).ok());
+
+  auto v2 = MustBuild(MakeRandomCorpus(2, 50), 2);
+  {
+    FaultInjector injector(1);
+    injector.ArmNthCall(core::kFaultSnapshotSaveStage, 1);
+    ScopedFaultInjection scope(&injector);
+    EXPECT_TRUE(v2->SaveTo(path).IsIOError());
+  }
+  // The interrupted save never touched the published path: the old snapshot
+  // still loads, at its old version.
+  auto loaded = RelationshipSnapshot::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->version(), 1u);
+  EXPECT_EQ((*loaded)->num_observations(), 30u);
+  // A retry without the fault succeeds and swaps atomically.
+  ASSERT_TRUE(v2->SaveTo(path).ok());
+  loaded = RelationshipSnapshot::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->version(), 2u);
+  std::remove(path.c_str());
+}
+
+// --- SnapshotStore -----------------------------------------------------------
+
+TEST(SnapshotStoreTest, ReloadPublishesBumpedVersionAndKeepsLastGood) {
+  SnapshotStore store;
+  EXPECT_EQ(store.Current(), nullptr);
+  store.Publish(MustBuild(MakeRandomCorpus(5, 40), 1));
+  ASSERT_NE(store.Current(), nullptr);
+  EXPECT_EQ(store.Current()->version(), 1u);
+
+  // Extending reload: incremental path, version bump.
+  ASSERT_TRUE(store.Reload(MakeRandomCorpus(5, 60), Deadline()).ok());
+  EXPECT_EQ(store.Current()->version(), 2u);
+  EXPECT_EQ(store.Current()->num_observations(), 60u);
+  EXPECT_EQ(store.reloads(), 1u);
+
+  // Non-extending reload: full rebuild, version still bumps.
+  ASSERT_TRUE(store.Reload(MakeRandomCorpus(6, 30), Deadline()).ok());
+  EXPECT_EQ(store.Current()->version(), 3u);
+  EXPECT_EQ(store.Current()->num_observations(), 30u);
+  EXPECT_EQ(store.reloads(), 2u);
+
+  // A failing reload (injected build crash) keeps the last-good snapshot.
+  const SnapshotPtr before = store.Current();
+  {
+    FaultInjector injector(1);
+    injector.ArmNthCall(core::kFaultSnapshotBuild, 1);
+    ScopedFaultInjection scope(&injector);
+    EXPECT_TRUE(
+        store.Reload(MakeRandomCorpus(9, 40), Deadline()).IsInternal());
+  }
+  EXPECT_EQ(store.Current(), before);
+  EXPECT_EQ(store.reload_failures(), 1u);
+
+  // A swap-fault (crash between build and publication) also degrades.
+  {
+    FaultInjector injector(1);
+    injector.ArmNthCall(kFaultReloadSwap, 1);
+    ScopedFaultInjection scope(&injector);
+    EXPECT_FALSE(store.Reload(MakeRandomCorpus(9, 40), Deadline()).ok());
+  }
+  EXPECT_EQ(store.Current(), before);
+  EXPECT_EQ(store.reload_failures(), 2u);
+
+  // An expired deadline degrades the same way.
+  EXPECT_TRUE(
+      store.Reload(MakeRandomCorpus(9, 40), Deadline(0.0)).IsTimedOut());
+  EXPECT_EQ(store.Current(), before);
+  EXPECT_EQ(store.reload_failures(), 3u);
+}
+
+// --- End-to-end server/client ------------------------------------------------
+
+class ServerClientTest : public ::testing::Test {
+ protected:
+  void StartServer(qb::Corpus corpus, const ServerOptions& options) {
+    snapshot_ = MustBuild(std::move(corpus), 1);
+    server_ = std::make_unique<Server>(options);
+    ASSERT_TRUE(server_->Start(snapshot_).ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  Client MakeClient(int max_retries = 5) {
+    ClientOptions copts;
+    copts.port = server_->port();
+    copts.max_retries = max_retries;
+    copts.initial_backoff_ms = 1;
+    copts.max_backoff_ms = 20;
+    return Client(copts);
+  }
+
+  RelationshipSnapshot::Ptr snapshot_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerClientTest, PointLookupsAndScanMatchSnapshot) {
+  StartServer(MakeRandomCorpus(31, 60), ServerOptions{});
+  Client client = MakeClient();
+
+  auto version = client.Ping();
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(version.value(), 1u);
+
+  for (ObsId id = 0; id < snapshot_->num_observations(); id += 7) {
+    auto got = client.Containers(id);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value(), snapshot_->Containers(id, Deadline()).value());
+
+    got = client.Contained(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), snapshot_->Contained(id, Deadline()).value());
+
+    got = client.Complements(id);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), snapshot_->Complements(id, Deadline()).value());
+
+    auto partial = client.Partial(id, 0.3);
+    ASSERT_TRUE(partial.ok());
+    auto want = snapshot_->PartiallyContained(id, 0.3, Deadline()).value();
+    ASSERT_EQ(partial->size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*partial)[i].first, want[i].other);
+      EXPECT_NEAR((*partial)[i].second, want[i].degree, 1e-12);
+    }
+  }
+
+  auto scan = client.Scan(0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  std::size_t full = 0, partial = 0, compl_count = 0;
+  for (const auto& rec : scan.value()) {
+    if (rec.kind == 'F') ++full;
+    if (rec.kind == 'P') ++partial;
+    if (rec.kind == 'C') ++compl_count;
+  }
+  EXPECT_EQ(full, snapshot_->num_full());
+  EXPECT_EQ(partial, snapshot_->num_partial());
+  EXPECT_EQ(compl_count, snapshot_->num_complementary());
+
+  // A limited scan truncates.
+  auto limited = client.Scan(3);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->size(), 3u);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)[kStatsObservations], snapshot_->num_observations());
+  EXPECT_EQ((*stats)[kStatsFull], snapshot_->num_full());
+  EXPECT_GT((*stats)[kStatsRequests], 0u);
+
+  auto missing = client.Containers(
+      static_cast<ObsId>(snapshot_->num_observations()));
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status().ToString();
+}
+
+TEST_F(ServerClientTest, SequentialRequestsReuseOneConnection) {
+  StartServer(MakeRunningExample(), ServerOptions{});
+  Client client = MakeClient();
+  for (int i = 0; i < 50; ++i) {
+    auto v = client.Ping();
+    ASSERT_TRUE(v.ok()) << "iteration " << i << ": " << v.status().ToString();
+  }
+  EXPECT_GE(server_->requests_total(), 50u);
+}
+
+TEST_F(ServerClientTest, ReloadBumpsVersionVisibleToClients) {
+  StartServer(MakeRandomCorpus(5, 40), ServerOptions{});
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(server_->Reload(MakeRandomCorpus(5, 60), Deadline()).ok());
+  auto version = client.Ping();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 2u);
+  // Answers now come from the refreshed snapshot (60 observations).
+  auto got = client.Containers(55);
+  EXPECT_TRUE(got.ok()) << got.status().ToString();
+}
+
+TEST_F(ServerClientTest, NullSnapshotAnswersInternalUntilReload) {
+  ServerOptions options;
+  server_ = std::make_unique<Server>(options);
+  ASSERT_TRUE(server_->Start(nullptr).ok());
+  Client client = MakeClient();
+  EXPECT_TRUE(client.Ping().status().IsInternal());
+  ASSERT_TRUE(server_->Reload(MakeRunningExample(), Deadline()).ok());
+  auto version = client.Ping();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 1u);
+}
+
+TEST_F(ServerClientTest, MalformedFrameGetsBadRequestThenClose) {
+  StartServer(MakeRunningExample(), ServerOptions{});
+  auto conn = ConnectTo("127.0.0.1", server_->port(), Deadline(2.0));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  ASSERT_TRUE(WriteFrame(conn->get(), "\xff garbage \xff", Deadline(2.0)).ok());
+  std::string payload;
+  ASSERT_TRUE(
+      ReadFrame(conn->get(), &payload, kDefaultMaxFrameBytes, Deadline(2.0))
+          .ok());
+  auto resp = DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, RespCode::kBadRequest);
+  // The server hangs up after a protocol error (stream is desynced).
+  const Status eof =
+      ReadFrame(conn->get(), &payload, kDefaultMaxFrameBytes, Deadline(2.0));
+  EXPECT_TRUE(eof.IsOutOfRange() || eof.IsIOError()) << eof.ToString();
+}
+
+TEST_F(ServerClientTest, OversizeFrameGetsBadRequestThenClose) {
+  ServerOptions options;
+  options.max_frame_bytes = 256;
+  StartServer(MakeRunningExample(), options);
+  auto conn = ConnectTo("127.0.0.1", server_->port(), Deadline(2.0));
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      WriteFrame(conn->get(), std::string(1024, 'x'), Deadline(2.0)).ok());
+  std::string payload;
+  ASSERT_TRUE(
+      ReadFrame(conn->get(), &payload, kDefaultMaxFrameBytes, Deadline(2.0))
+          .ok());
+  auto resp = DecodeResponse(payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, RespCode::kBadRequest);
+}
+
+TEST_F(ServerClientTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.retry_after_ms = 1;
+  StartServer(MakeRandomCorpus(37, 200), options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> client_sheds{0};
+  std::vector<std::thread> flooders;
+  for (int t = 0; t < 4; ++t) {
+    flooders.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.port = server_->port();
+      copts.max_retries = 0;  // surface every shed instead of absorbing it
+      copts.jitter_seed = static_cast<uint64_t>(t + 1);
+      Client client(copts);
+      Request req;
+      req.op = Op::kScan;
+      req.limit = 10000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // With max_retries=0 a shed surfaces as ResourceExhausted (and is
+        // tallied in sheds_seen) instead of being absorbed by backoff.
+        (void)client.Call(req);
+      }
+      client_sheds.fetch_add(client.sheds_seen(), std::memory_order_relaxed);
+    });
+  }
+  const Deadline give_up(10.0);
+  while (server_->shed_total() == 0 && !give_up.Expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : flooders) t.join();
+  EXPECT_GT(server_->shed_total(), 0u) << "no shed observed under overload";
+  EXPECT_GT(client_sheds.load(), 0u);
+  // Shed responses carry the configured retry-after hint.
+  Client probe = MakeClient();
+  EXPECT_TRUE(probe.Ping().ok());  // server still serving after the storm
+}
+
+TEST_F(ServerClientTest, QueuedRequestsHonorTheirDeadline) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 64;
+  StartServer(MakeRandomCorpus(37, 200), options);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> flooders;
+  for (int t = 0; t < 4; ++t) {
+    flooders.emplace_back([&, t] {
+      ClientOptions copts;
+      copts.port = server_->port();
+      copts.max_retries = 1;
+      copts.jitter_seed = static_cast<uint64_t>(t + 10);
+      Client client(copts);
+      Request req;
+      req.op = Op::kScan;
+      req.limit = 10000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)client.Call(req);
+      }
+    });
+  }
+  // Probe with 1ms deadlines until one expires while queued behind scans.
+  Client probe = MakeClient(0);
+  Request ping;
+  ping.op = Op::kPing;
+  ping.deadline_ms = 1;
+  bool saw_timeout = false;
+  const Deadline give_up(10.0);
+  while (!give_up.Expired() && server_->deadline_expired_total() == 0) {
+    auto resp = probe.Call(ping);
+    if (resp.ok() && resp->code == RespCode::kDeadlineExceeded) {
+      saw_timeout = true;
+      break;
+    }
+    if (!resp.ok()) probe.Disconnect();
+  }
+  stop.store(true);
+  for (auto& t : flooders) t.join();
+  EXPECT_TRUE(saw_timeout || server_->deadline_expired_total() > 0)
+      << "no deadline expiry observed under queueing";
+}
+
+TEST_F(ServerClientTest, StopDrainsAndRefusesFurtherWork) {
+  StartServer(MakeRunningExample(), ServerOptions{});
+  const uint16_t port = server_->port();
+  Client client = MakeClient(0);
+  ASSERT_TRUE(client.Ping().ok());
+
+  server_->Stop();
+  server_->Stop();  // idempotent
+
+  // The old connection is gone and new connects are refused.
+  EXPECT_FALSE(client.Ping().ok());
+  auto conn = ConnectTo("127.0.0.1", port, Deadline(0.5));
+  EXPECT_FALSE(conn.ok());
+
+  // Start after Stop is refused (one-shot lifecycle).
+  EXPECT_TRUE(server_->Start(snapshot_).IsFailedPrecondition());
+}
+
+TEST_F(ServerClientTest, ClientBacksOffWhenServerIsGone) {
+  ClientOptions copts;
+  copts.port = 1;  // nothing listens on port 1
+  copts.max_retries = 2;
+  copts.initial_backoff_ms = 1;
+  copts.max_backoff_ms = 4;
+  copts.connect_timeout_seconds = 0.1;
+  Client client(copts);
+  const Status st = client.Ping().status();
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace rdfcube

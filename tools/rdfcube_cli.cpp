@@ -16,12 +16,22 @@
 //   rdfcube_cli rollup   <file.ttl> <dim-iri>=<code> [...]
 //                                               aggregate the contained
 //                                               observations at a coordinate
+//   rdfcube_cli serve    <file.ttl> [--port=N --workers=N --queue=N]
+//                                               run a relationship server
+//                                               until SIGINT/SIGTERM
+//   rdfcube_cli query    <host:port> <op> [obs-id] [--min-degree=D]
+//                                               [--limit=N]   query a server
+//       op: ping|containers|contained|complements|partial|scan|stats
 
+#include <signal.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/aggregate.h"
@@ -295,11 +305,174 @@ int CmdRollup(const std::string& path, const std::vector<std::string>& args) {
   return 0;
 }
 
+volatile sig_atomic_t g_serve_stop = 0;
+
+void OnServeSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(const std::string& path, const std::vector<std::string>& args) {
+  server::ServerOptions options;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    Result<uint64_t> u64 =
+        eq == std::string::npos
+            ? Result<uint64_t>(Status::InvalidArgument("no value"))
+            : ParseU64(arg.substr(eq + 1));
+    if (key == "--port" && u64.ok()) {
+      options.port = static_cast<uint16_t>(u64.value());
+    } else if (key == "--workers" && u64.ok()) {
+      options.num_workers = static_cast<std::size_t>(u64.value());
+    } else if (key == "--queue" && u64.ok()) {
+      options.max_queue = static_cast<std::size_t>(u64.value());
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  auto corpus = LoadFile(path);
+  if (!corpus.ok()) return Fail(corpus.status());
+  core::RelationshipSnapshot::BuildOptions build;
+  build.version = 1;
+  auto snap =
+      core::RelationshipSnapshot::Build(std::move(corpus).value(), build);
+  if (!snap.ok()) return Fail(snap.status());
+
+  server::Server srv(options);
+  const Status started = srv.Start(std::move(snap).value());
+  if (!started.ok()) return Fail(started);
+  std::printf("serving on port %u\n", srv.port());
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnServeSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  srv.Stop();
+  std::printf("drained: %llu requests, %llu shed\n",
+              static_cast<unsigned long long>(srv.requests_total()),
+              static_cast<unsigned long long>(srv.shed_total()));
+  return 0;
+}
+
+int CmdQuery(const std::string& hostport,
+             const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fputs(
+        "usage: rdfcube_cli query <host:port> "
+        "<ping|containers|contained|complements|partial|scan|stats> "
+        "[obs-id] [--min-degree=D] [--limit=N]\n",
+        stderr);
+    return 1;
+  }
+  server::ClientOptions options;
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "expected <host:port>, got %s\n", hostport.c_str());
+    return 1;
+  }
+  options.host = hostport.substr(0, colon);
+  Result<uint64_t> port = ParseU64(hostport.substr(colon + 1));
+  if (!port.ok()) return Fail(port.status());
+  options.port = static_cast<uint16_t>(port.value());
+
+  const std::string op = args[0];
+  qb::ObsId target = 0;
+  double min_degree = 0.0;
+  uint32_t limit = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--min-degree=", 0) == 0) {
+      Result<double> d = ParseDouble(arg.substr(13));
+      if (!d.ok()) return Fail(d.status());
+      min_degree = d.value();
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      Result<uint64_t> n = ParseU64(arg.substr(8));
+      if (!n.ok()) return Fail(n.status());
+      limit = static_cast<uint32_t>(n.value());
+    } else {
+      Result<uint64_t> id = ParseU64(arg);
+      if (!id.ok()) return Fail(id.status());
+      target = static_cast<qb::ObsId>(id.value());
+    }
+  }
+
+  server::Client client(options);
+  if (op == "ping") {
+    auto version = client.Ping();
+    if (!version.ok()) return Fail(version.status());
+    std::printf("ok, snapshot v%llu\n",
+                static_cast<unsigned long long>(version.value()));
+    return 0;
+  }
+  if (op == "containers" || op == "contained" || op == "complements") {
+    auto ids = op == "containers"  ? client.Containers(target)
+               : op == "contained" ? client.Contained(target)
+                                   : client.Complements(target);
+    if (!ids.ok()) return Fail(ids.status());
+    for (qb::ObsId id : ids.value()) std::printf("%u\n", id);
+    std::printf("(%zu results)\n", ids.value().size());
+    return 0;
+  }
+  if (op == "partial") {
+    auto matches = client.Partial(target, min_degree);
+    if (!matches.ok()) return Fail(matches.status());
+    for (const auto& [id, degree] : matches.value()) {
+      std::printf("%u %.4f\n", id, degree);
+    }
+    std::printf("(%zu results)\n", matches.value().size());
+    return 0;
+  }
+  if (op == "scan") {
+    auto records = client.Scan(limit);
+    if (!records.ok()) return Fail(records.status());
+    for (const auto& rec : records.value()) {
+      std::printf("%c %u %u %.4f\n", static_cast<char>(rec.kind), rec.a,
+                  rec.b, rec.degree);
+    }
+    std::printf("(%zu records)\n", records.value().size());
+    return 0;
+  }
+  if (op == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    const auto& s = stats.value();
+    std::printf("observations:     %llu\n"
+                "full:             %llu\n"
+                "partial:          %llu\n"
+                "complementary:    %llu\n"
+                "requests:         %llu\n"
+                "shed:             %llu\n"
+                "deadline expired: %llu\n"
+                "reloads:          %llu\n"
+                "reload failures:  %llu\n",
+                static_cast<unsigned long long>(s[server::kStatsObservations]),
+                static_cast<unsigned long long>(s[server::kStatsFull]),
+                static_cast<unsigned long long>(s[server::kStatsPartial]),
+                static_cast<unsigned long long>(
+                    s[server::kStatsComplementary]),
+                static_cast<unsigned long long>(s[server::kStatsRequests]),
+                static_cast<unsigned long long>(s[server::kStatsShed]),
+                static_cast<unsigned long long>(
+                    s[server::kStatsDeadlineExpired]),
+                static_cast<unsigned long long>(s[server::kStatsReloads]),
+                static_cast<unsigned long long>(
+                    s[server::kStatsReloadFailures]));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown query op: %s\n", op.c_str());
+  return 1;
+}
+
 void Usage() {
   std::fputs(
-      "usage: rdfcube_cli <command> <file.ttl> [args]\n"
+      "usage: rdfcube_cli <command> <file.ttl|host:port> [args]\n"
       "commands: stats [--report] | validate | relate | skyline | "
-      "explore <obs-iri> | rollup\n",
+      "explore <obs-iri> | rollup |\n"
+      "          serve [--port=N --workers=N --queue=N] | "
+      "query <op> [obs-id]\n",
       stderr);
 }
 
@@ -315,6 +488,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> rest;
   for (int i = 3; i < argc; ++i) rest.emplace_back(argv[i]);
 
+  if (command == "serve") return CmdServe(path, rest);
+  if (command == "query") return CmdQuery(path, rest);
   if (command == "stats") return CmdStats(path, rest);
   if (command == "validate") return CmdValidate(path);
   if (command == "relate") return CmdRelate(path, rest);
