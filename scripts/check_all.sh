@@ -7,12 +7,15 @@
 #   deps         scripts/check_deps.sh (the architecture gate: include graph
 #                vs the declared layer DAG in tools/layers.txt, plus the
 #                DOT/JSON graph exports)
-#   static       scripts/check_static_analysis.sh (rdfcube_lint + clang-tidy)
+#   static       scripts/check_static_analysis.sh (rdfcube_lint, the
+#                rdfcube_callgraph hot-path gate, clang-tidy, the clang
+#                -Wthread-safety proof, gcc -fanalyzer)
 #   soak smoke   the server chaos soak (tests/server_soak_test) re-run in
 #                RDFCUBE_BENCH_SMOKE=1 mode — a seconds-scale pass with a
 #                different fault seed than the full-length ctest run
 #   bench json   scripts/check_bench_json.sh (BENCH_*.json schema + the
-#                phases-sum-to-wall-clock invariant, smoke-mode run)
+#                phases-sum-to-wall-clock invariant, smoke-mode run,
+#                2x wall-clock ceiling vs bench/baseline)
 #   sanitizers   scripts/check_sanitizers.sh (ASan, UBSan, TSan trees)
 #
 # Usage: scripts/check_all.sh [--fast]
@@ -44,7 +47,7 @@ echo "== static analysis =="
 scripts/check_static_analysis.sh
 
 echo "== bench json =="
-scripts/check_bench_json.sh
+scripts/check_bench_json.sh --baseline bench/baseline
 
 if [ "$fast" -eq 0 ]; then
   echo "== sanitizers =="

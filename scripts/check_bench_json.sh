@@ -19,11 +19,41 @@
 # CapturePhases partitions the root span exactly, so a drift here means the
 # harness stopped timing through the span tree.
 #
-# Usage: scripts/check_bench_json.sh [build-dir]   (default: build)
+#   4. With --baseline <dir>, each smoke run's wall_seconds is compared
+#      against the committed default-size baseline of the same name: the
+#      smoke sizes are strictly smaller than the default sizes, so a smoke
+#      run taking more than 2x the default-size baseline's wall clock is an
+#      order-of-magnitude perf regression, not noise. Reports with no
+#      committed baseline are skipped with a notice.
+#
+# Usage: scripts/check_bench_json.sh [build-dir] [--baseline <dir>]
+#        (build-dir default: build)
 set -eu
 
 cd "$(dirname "$0")/.."
-build="${1:-build}"
+build="build"
+baseline_dir=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --baseline)
+      [ $# -ge 2 ] || { echo "usage: $0 [build-dir] [--baseline <dir>]" >&2; exit 2; }
+      baseline_dir="$2"
+      shift 2
+      ;;
+    --baseline=*)
+      baseline_dir="${1#--baseline=}"
+      shift
+      ;;
+    -*)
+      echo "usage: $0 [build-dir] [--baseline <dir>]" >&2
+      exit 2
+      ;;
+    *)
+      build="$1"
+      shift
+      ;;
+  esac
+done
 
 cmake -B "$build" >/dev/null
 # -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
@@ -113,6 +143,36 @@ if report["name"] == "serve":
 print(f"OK: {report['name']}: {len(phases)} phases sum to {total:.6f}s "
       f"of {wall:.6f}s wall ({drift:.2%} drift)")
 EOF
+
+  if [ -n "$baseline_dir" ]; then
+    base="$baseline_dir/$(basename "$report")"
+    if [ -f "$base" ]; then
+      echo "== baseline compare $(basename "$report") =="
+      python3 - "$report" "$base" <<'EOF'
+import json
+import sys
+
+current_path, baseline_path = sys.argv[1], sys.argv[2]
+with open(current_path) as f:
+    current = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+wall = current["wall_seconds"]
+base_wall = baseline["wall_seconds"]
+# The current run is smoke-sized, the committed baseline default-sized:
+# smoke <= default is the expectation, so 2x default is a hard ceiling.
+if wall > 2.0 * base_wall:
+    sys.exit(f"FAIL: {current['name']}: smoke wall {wall:.3f}s exceeds 2x "
+             f"the default-size baseline {base_wall:.3f}s — wall-clock "
+             f"regression")
+print(f"OK: {current['name']}: smoke wall {wall:.3f}s within 2x baseline "
+      f"{base_wall:.3f}s")
+EOF
+    else
+      echo "== no committed baseline for $(basename "$report"); skipped =="
+    fi
+  fi
 done
 
 echo "bench json check passed"

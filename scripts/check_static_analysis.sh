@@ -12,6 +12,14 @@
 #      with rdfcube_deps (layer-dag, include-cycle, iwyu-direct). Always
 #      runs; failing it fails the gate. A machine-readable copy of the
 #      findings lands in <build>/lint_report.json for artifact upload.
+#   1b. tools/rdfcube_callgraph — the cross-TU call-graph analyzer and
+#      hot-path purity gate (DESIGN.md §5g): links every src/ function
+#      definition across translation units, computes transitive
+#      alloc/lock/throw summaries, and fails when an RDFCUBE_HOT kernel
+#      reaches an allocation or lock. Exports <build>/callgraph.{json,dot}
+#      and <build>/hot_path_report.json for artifact upload. (The same gate
+#      runs inside rdfcube_lint as the hot-path-alloc/hot-path-lock checks;
+#      this stage additionally produces the graph artifacts.)
 #   2. scripts/check_deps.sh — the architecture gate proper: rdfcube_deps
 #      re-runs the layer checks standalone (a missing tools/layers.txt is an
 #      error here, where rdfcube_lint merely skips the layer checks) and
@@ -44,7 +52,7 @@ build="${1:-build}"
 # compilation database exist.
 cmake -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 # -j1: parallel compiles OOM-kill cc1plus on small containers (CLAUDE.md).
-cmake --build "$build" -j1 --target rdfcube_lint
+cmake --build "$build" -j1 --target rdfcube_lint rdfcube_callgraph
 
 echo "== rdfcube_lint =="
 # One JSON run for the artifact, then the human-readable listing on failure.
@@ -56,6 +64,13 @@ if [ "$lint_status" -ne 0 ]; then
   exit "$lint_status"
 fi
 echo "rdfcube_lint: clean ($build/lint_report.json)"
+
+echo "== call-graph / hot-path gate (rdfcube_callgraph) =="
+"$build/tools/rdfcube_callgraph" . \
+  --json="$build/callgraph.json" \
+  --dot="$build/callgraph.dot" \
+  --hot-report="$build/hot_path_report.json"
+echo "call graph exported ($build/callgraph.json, $build/hot_path_report.json)"
 
 echo "== architecture gate (rdfcube_deps) =="
 scripts/check_deps.sh "$build"

@@ -1,0 +1,43 @@
+// Hot/cold path annotations for the relationship kernels.
+//
+// RDFCUBE_HOT marks a function *definition* as a hot-path kernel. It does two
+// things at once:
+//   1. compiles to [[gnu::hot]] (gcc/clang), hinting layout/optimization, and
+//   2. opts the function into the static hot-path purity gate
+//      (tools/callgraph, lint checks hot-path-alloc / hot-path-lock): the
+//      function and everything it transitively calls must stay free of heap
+//      allocation (new/malloc/unreserved container growth) and of
+//      rdfcube::Mutex / std::mutex acquisition.
+//
+// RDFCUBE_COLD is the escape hatch: it marks a function as a deliberate
+// slow path (error formatting, diagnostics). The callgraph analyzer stops
+// transitive fact propagation at cold functions, so a hot kernel may call a
+// cold helper on its failure branch without tripping the gate — the idiom for
+// "move formatting off the hot path".
+//
+// Both must sit on the *definition* (the declaration that carries the `{`
+// body): the analyzer is lexical and reads the annotation from the function
+// header it extracts. Annotating only a forward declaration does nothing.
+//
+// Usage:
+//   RDFCUBE_HOT bool Covers(const BitVector& other) const { ... }
+//   RDFCUBE_COLD static Status PointLookupNotFound(qb::ObsId id) { ... }
+
+#ifndef RDFCUBE_BASE_HOT_H_
+#define RDFCUBE_BASE_HOT_H_
+
+#if defined(__GNUC__) || defined(__clang__)
+/// Marks a function definition as a hot-path kernel: compiler layout hint
+/// plus enrollment in the hot-path purity gate (no alloc, no locks,
+/// transitively — see tools/callgraph and DESIGN.md §5g).
+#define RDFCUBE_HOT [[gnu::hot]]
+/// Marks a function definition as a deliberate slow path; transitive
+/// hot-path fact propagation stops here (the "formatting off the hot path"
+/// escape hatch).
+#define RDFCUBE_COLD [[gnu::cold]]
+#else
+#define RDFCUBE_HOT
+#define RDFCUBE_COLD
+#endif
+
+#endif  // RDFCUBE_BASE_HOT_H_

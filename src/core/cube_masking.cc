@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "base/hot.h"
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "qb/cube_space.h"
@@ -74,7 +76,7 @@ struct Run {
 
   std::size_t num_dims() const { return obs_.space().num_dimensions(); }
 
-  Status CheckDeadline() {
+  RDFCUBE_HOT Status CheckDeadline() {
     if (++since_deadline_check >= kDeadlineStride) {
       since_deadline_check = 0;
       if (options.deadline.Expired()) {
@@ -86,7 +88,7 @@ struct Run {
 
   // checkFullCont of Algorithm 4 (dimension part only; the measure gate is
   // applied by callers since complementarity must not use it).
-  bool DimsContain(qb::ObsId a, qb::ObsId b) const {
+  RDFCUBE_HOT bool DimsContain(qb::ObsId a, qb::ObsId b) const {
     const qb::CubeSpace& space = obs_.space();
     for (qb::DimId d = 0; d < num_dims(); ++d) {
       if (!space.code_list(d).IsAncestorOrSelf(obs_.ValueOrRoot(a, d),
@@ -98,8 +100,8 @@ struct Run {
   }
 
   // Number of dimensions where a's value contains b's, with optional mask.
-  std::size_t CountContainingDims(qb::ObsId a, qb::ObsId b,
-                                  uint64_t* mask) const {
+  RDFCUBE_HOT std::size_t CountContainingDims(qb::ObsId a, qb::ObsId b,
+                                              uint64_t* mask) const {
     const qb::CubeSpace& space = obs_.space();
     std::size_t count = 0;
     for (qb::DimId d = 0; d < num_dims(); ++d) {
@@ -112,7 +114,7 @@ struct Run {
     return count;
   }
 
-  bool ValuesEqual(qb::ObsId a, qb::ObsId b) const {
+  RDFCUBE_HOT bool ValuesEqual(qb::ObsId a, qb::ObsId b) const {
     for (qb::DimId d = 0; d < num_dims(); ++d) {
       if (obs_.ValueOrRoot(a, d) != obs_.ValueOrRoot(b, d)) return false;
     }
@@ -124,8 +126,8 @@ struct Run {
   // `all_required`, any dim otherwise). With a pre-fetched children index,
   // iterates its lists directly instead of scanning.
   template <typename Fn>
-  Status ForComparableCubePairs(bool all_required, CubeId begin_cube,
-                                CubeId end_cube, Fn&& fn) {
+  RDFCUBE_HOT Status ForComparableCubePairs(bool all_required, CubeId begin_cube,
+                                            CubeId end_cube, Fn&& fn) {
     const std::size_t c = lattice.num_cubes();
     if (children != nullptr) {
       for (CubeId j = begin_cube; j < end_cube; ++j) {
@@ -160,7 +162,7 @@ struct Run {
   // Each relationship type re-iterates the lattice and the observation pairs
   // independently, as in a literal reading of Algorithm 4 run once per type.
 
-  Status FullPass() {
+  RDFCUBE_HOT Status FullPass() {
     return ForComparableCubePairs(
         /*all_required=*/true, 0, static_cast<CubeId>(lattice.num_cubes()),
         [&](CubeId j, CubeId k) {
@@ -179,7 +181,7 @@ struct Run {
         });
   }
 
-  Status PartialPass() {
+  RDFCUBE_HOT Status PartialPass() {
     const std::size_t kd = num_dims();
     const bool want_mask = options.selector.partial_dimension_map;
     return ForComparableCubePairs(
@@ -209,7 +211,7 @@ struct Run {
 
   // Complementarity requires mutual full dimensional containment, which
   // forces identical level signatures: only within-cube pairs qualify.
-  Status ComplPass() {
+  RDFCUBE_HOT Status ComplPass() {
     for (CubeId c = 0; c < lattice.num_cubes(); ++c) {
       const auto& ms = lattice.members(c);
       for (std::size_t x = 0; x < ms.size(); ++x) {
@@ -233,7 +235,7 @@ struct Run {
   // held in memory, that same iteration serves the other two types as well,
   // so every observation pair is evaluated exactly once for all selected
   // relationship types.
-  Status FusedPass(CubeId begin_cube, CubeId end_cube) {
+  RDFCUBE_HOT Status FusedPass(CubeId begin_cube, CubeId end_cube) {
     const RelationshipSelector& sel = options.selector;
     const std::size_t kd = num_dims();
     const bool want_mask = sel.partial_dimension_map;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <set>
 
+#include "base/hot.h"
 #include "core/checkpoint.h"
 #include "core/snapshot_io.h"
 #include "hierarchy/code_list.h"
@@ -177,8 +178,8 @@ void IncrementalEngine::Export(RelationshipSink* sink) const {
   (void)Export(sink, Deadline());
 }
 
-Status IncrementalEngine::Export(RelationshipSink* sink,
-                                 const Deadline& deadline) const {
+RDFCUBE_HOT Status IncrementalEngine::Export(RelationshipSink* sink,
+                                             const Deadline& deadline) const {
   // Check the deadline once per batch, not per emission: the per-item work
   // is two shifts and a virtual call, so a clock read each time would
   // dominate.
@@ -213,10 +214,12 @@ Status IncrementalEngine::Export(RelationshipSink* sink,
   return Status::OK();
 }
 
-std::vector<qb::ObsId> IncrementalEngine::Containers(qb::ObsId id) const {
+RDFCUBE_HOT std::vector<qb::ObsId> IncrementalEngine::Containers(
+    qb::ObsId id) const {
   std::vector<qb::ObsId> out;
   auto it = partners_.find(id);
   if (it == partners_.end()) return out;
+  out.reserve(it->second.size());
   for (qb::ObsId partner : it->second) {
     if (full_.count(Key(partner, id)) != 0) out.push_back(partner);
   }
@@ -224,10 +227,12 @@ std::vector<qb::ObsId> IncrementalEngine::Containers(qb::ObsId id) const {
   return out;
 }
 
-std::vector<qb::ObsId> IncrementalEngine::Contained(qb::ObsId id) const {
+RDFCUBE_HOT std::vector<qb::ObsId> IncrementalEngine::Contained(
+    qb::ObsId id) const {
   std::vector<qb::ObsId> out;
   auto it = partners_.find(id);
   if (it == partners_.end()) return out;
+  out.reserve(it->second.size());
   for (qb::ObsId partner : it->second) {
     if (full_.count(Key(id, partner)) != 0) out.push_back(partner);
   }
@@ -235,10 +240,12 @@ std::vector<qb::ObsId> IncrementalEngine::Contained(qb::ObsId id) const {
   return out;
 }
 
-std::vector<qb::ObsId> IncrementalEngine::Complements(qb::ObsId id) const {
+RDFCUBE_HOT std::vector<qb::ObsId> IncrementalEngine::Complements(
+    qb::ObsId id) const {
   std::vector<qb::ObsId> out;
   auto it = partners_.find(id);
   if (it == partners_.end()) return out;
+  out.reserve(it->second.size());
   for (qb::ObsId partner : it->second) {
     if (compl_.count(Key(std::min(id, partner), std::max(id, partner))) != 0) {
       out.push_back(partner);
@@ -248,11 +255,12 @@ std::vector<qb::ObsId> IncrementalEngine::Complements(qb::ObsId id) const {
   return out;
 }
 
-std::vector<IncrementalEngine::PartialMatch>
+RDFCUBE_HOT std::vector<IncrementalEngine::PartialMatch>
 IncrementalEngine::PartiallyContained(qb::ObsId id, double min_degree) const {
   std::vector<PartialMatch> out;
   auto it = partners_.find(id);
   if (it == partners_.end()) return out;
+  out.reserve(it->second.size());
   for (qb::ObsId partner : it->second) {
     auto pit = partial_.find(Key(id, partner));
     if (pit != partial_.end() && pit->second >= min_degree) {

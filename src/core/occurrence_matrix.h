@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hot.h"
 #include "qb/observation_set.h"
 #include "util/bitvector.h"
 
@@ -49,13 +50,13 @@ class OccurrenceMatrix {
   /// bits), so the check is "row(b) AND row(a) == row(a)" on d's columns —
   /// matching the paper's Table 3(a), where CM_refArea[o21][o11] = 1 because
   /// Greece (o21) contains Athens (o11).
-  bool Contains(qb::ObsId a, qb::ObsId b, qb::DimId d) const {
+  RDFCUBE_HOT bool Contains(qb::ObsId a, qb::ObsId b, qb::DimId d) const {
     return rows_[b].CoversRange(rows_[a], dim_begin(d), dim_end(d));
   }
 
   /// Whole-row covering check: equivalent to Contains over every dimension
   /// (full dimensional containment in one pass).
-  bool ContainsAll(qb::ObsId a, qb::ObsId b) const {
+  RDFCUBE_HOT bool ContainsAll(qb::ObsId a, qb::ObsId b) const {
     return rows_[b].Covers(rows_[a]);
   }
 

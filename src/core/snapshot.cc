@@ -4,6 +4,7 @@
 #include <fstream>
 #include <utility>
 
+#include "base/hot.h"
 #include "core/checkpoint.h"
 #include "core/snapshot_io.h"
 #include "obs/metrics.h"
@@ -34,16 +35,22 @@ RelationshipSelector SelectorFromBits(uint32_t bits) {
   return s;
 }
 
+// Failure-path formatting lives off the hot path: RDFCUBE_COLD stops the
+// hot-path gate's transitive fact propagation here (DESIGN.md §5g).
+RDFCUBE_COLD Status PointLookupNotFound(qb::ObsId id) {
+  return Status::NotFound("observation id " + std::to_string(id) +
+                          " is not in the snapshot");
+}
+
 // Deadline gate shared by the point lookups: they are O(partners) probes, so
 // expiry is only honored at entry rather than mid-probe.
-Status CheckPointQuery(qb::ObsId id, std::size_t num_obs,
-                       const Deadline& deadline) {
+RDFCUBE_HOT Status CheckPointQuery(qb::ObsId id, std::size_t num_obs,
+                                   const Deadline& deadline) {
   if (deadline.Expired()) {
     return Status::TimedOut("deadline expired before lookup");
   }
   if (id >= num_obs) {
-    return Status::NotFound("observation id " + std::to_string(id) +
-                            " is not in the snapshot");
+    return PointLookupNotFound(id);
   }
   static obs::Counter& lookups = obs::DefaultCounter(
       "rdfcube_core_snapshot_point_lookups_total",
@@ -122,33 +129,33 @@ Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::BuildIncremental(
   return Ptr(snap);
 }
 
-Result<std::vector<qb::ObsId>> RelationshipSnapshot::Containers(
+RDFCUBE_HOT Result<std::vector<qb::ObsId>> RelationshipSnapshot::Containers(
     qb::ObsId id, const Deadline& deadline) const {
   RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
   return engine_.Containers(id);
 }
 
-Result<std::vector<qb::ObsId>> RelationshipSnapshot::Contained(
+RDFCUBE_HOT Result<std::vector<qb::ObsId>> RelationshipSnapshot::Contained(
     qb::ObsId id, const Deadline& deadline) const {
   RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
   return engine_.Contained(id);
 }
 
-Result<std::vector<qb::ObsId>> RelationshipSnapshot::Complements(
+RDFCUBE_HOT Result<std::vector<qb::ObsId>> RelationshipSnapshot::Complements(
     qb::ObsId id, const Deadline& deadline) const {
   RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
   return engine_.Complements(id);
 }
 
-Result<std::vector<IncrementalEngine::PartialMatch>>
+RDFCUBE_HOT Result<std::vector<IncrementalEngine::PartialMatch>>
 RelationshipSnapshot::PartiallyContained(qb::ObsId id, double min_degree,
                                          const Deadline& deadline) const {
   RDFCUBE_RETURN_IF_ERROR(CheckPointQuery(id, num_observations(), deadline));
   return engine_.PartiallyContained(id, min_degree);
 }
 
-Status RelationshipSnapshot::ScanAll(RelationshipSink* sink,
-                                     const Deadline& deadline) const {
+RDFCUBE_HOT Status RelationshipSnapshot::ScanAll(RelationshipSink* sink,
+                                                 const Deadline& deadline) const {
   return engine_.Export(sink, deadline);
 }
 

@@ -23,6 +23,10 @@ obs::Counter& DeadlineExpired() {
 using rdf::TermId;
 using rdf::kNoTerm;
 
+// Deepest NAF (negation) nesting EvalGroup will follow; rule bodies written
+// by hand nest one or two levels, so 64 only cuts pathological inputs.
+constexpr std::size_t kMaxNafDepth = 64;
+
 class Matcher {
  public:
   Matcher(rdf::TripleStore* store, const ChainOptions& options)
@@ -33,10 +37,12 @@ class Matcher {
   // Evaluates `group` and calls `emit` for each solution (over current env).
   // Returns false if enumeration was cut (timeout or emit said stop). The
   // callback is type-erased so recursive NAF nesting doesn't blow up
-  // template instantiation.
-  bool EvalGroup(const RuleGroup& group, std::size_t pi,
+  // template instantiation. `depth` counts negation nesting; kMaxNafDepth
+  // cuts adversarially deep rule bodies before they overflow the stack
+  // (the unbounded-recursion gate requires the bound to be explicit).
+  bool EvalGroup(const RuleGroup& group, std::size_t pi, std::size_t depth,
                  const std::function<bool()>& emit) {
-    if (timed_out_) return false;
+    if (timed_out_ || depth > kMaxNafDepth) return false;
     if (pi == group.patterns.size()) {
       for (const NotEqual& ne : group.not_equals) {
         const TermId a = Get(ne.lhs);
@@ -45,7 +51,7 @@ class Matcher {
       }
       for (const RuleGroup& neg : group.negations) {
         bool exists = false;
-        EvalGroup(neg, 0, [&exists] {
+        EvalGroup(neg, 0, depth + 1, [&exists] {
           exists = true;
           return false;
         });
@@ -76,7 +82,7 @@ class Matcher {
       if (ok && pattern.o.is_var && o == kNoTerm) {
         ok = Bind(pattern.o.var, t.o, &bound);
       }
-      if (ok) keep_going = EvalGroup(group, pi + 1, emit);
+      if (ok) keep_going = EvalGroup(group, pi + 1, depth, emit);
       for (const std::string& var : bound) env_.erase(var);
       return keep_going;
     });
@@ -161,7 +167,7 @@ Result<ChainStats> RunForwardChaining(const std::vector<Rule>& rules,
       // invalidate the store's lazily built indexes.
       std::vector<rdf::Triple> derived;
       bool exhausted = false;
-      matcher.EvalGroup(rule.body, 0, [&]() -> bool {
+      matcher.EvalGroup(rule.body, 0, /*depth=*/0, [&]() -> bool {
         rdf::Triple t{};
         if (matcher.InstantiateHead(rule.head, &t)) {
           derived.push_back(t);

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/hot.h"
 #include "core/relationship.h"
 #include "core/snapshot.h"
 #include "obs/metrics.h"
@@ -302,7 +303,10 @@ void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
   requests.Increment();
   requests_total_.fetch_add(1, std::memory_order_relaxed);
 
-  const Response resp = Evaluate(req, deadline);
+  // One store lookup per request: the snapshot pointer is pinned here so the
+  // hot Evaluate kernel below never touches the mutex-guarded store.
+  const SnapshotPtr snap = store_.Current();
+  const Response resp = Evaluate(req, snap, deadline);
   if (resp.code == RespCode::kDeadlineExceeded) {
     static obs::Counter& expired = obs::DefaultCounter(
         "rdfcube_server_deadline_expired_total",
@@ -326,14 +330,15 @@ void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
   WakeReactor();
 }
 
-Response Server::Evaluate(const Request& req, const Deadline& deadline) {
+RDFCUBE_HOT Response Server::Evaluate(const Request& req,
+                                      const SnapshotPtr& snap,
+                                      const Deadline& deadline) {
   Response resp;
   if (deadline.Expired()) {
     resp.code = RespCode::kDeadlineExceeded;
     resp.error = "deadline expired in queue";
     return resp;
   }
-  const SnapshotPtr snap = store_.Current();
   if (snap == nullptr) {
     resp.code = RespCode::kInternal;
     resp.error = "no snapshot published";
@@ -400,23 +405,29 @@ Response Server::Evaluate(const Request& req, const Deadline& deadline) {
       if (sink.truncated()) resp.error = "truncated to limit";
       break;
     }
-    case Op::kStats: {
-      resp.stats.assign(kStatsNumFields, 0);
-      resp.stats[kStatsObservations] = snap->num_observations();
-      resp.stats[kStatsFull] = snap->num_full();
-      resp.stats[kStatsPartial] = snap->num_partial();
-      resp.stats[kStatsComplementary] = snap->num_complementary();
-      resp.stats[kStatsRequests] =
-          requests_total_.load(std::memory_order_relaxed);
-      resp.stats[kStatsShed] = shed_total_.load(std::memory_order_relaxed);
-      resp.stats[kStatsDeadlineExpired] =
-          deadline_expired_total_.load(std::memory_order_relaxed);
-      resp.stats[kStatsReloads] = store_.reloads();
-      resp.stats[kStatsReloadFailures] = store_.reload_failures();
+    case Op::kStats:
+      EvaluateStats(snap, &resp);
       break;
-    }
   }
   return resp;
+}
+
+// Introspection path: reads the store's mutex-guarded reload counters, so it
+// is RDFCUBE_COLD to keep the lock facts out of Evaluate's hot summary.
+RDFCUBE_COLD void Server::EvaluateStats(const SnapshotPtr& snap,
+                                        Response* resp) {
+  resp->stats.assign(kStatsNumFields, 0);
+  resp->stats[kStatsObservations] = snap->num_observations();
+  resp->stats[kStatsFull] = snap->num_full();
+  resp->stats[kStatsPartial] = snap->num_partial();
+  resp->stats[kStatsComplementary] = snap->num_complementary();
+  resp->stats[kStatsRequests] =
+      requests_total_.load(std::memory_order_relaxed);
+  resp->stats[kStatsShed] = shed_total_.load(std::memory_order_relaxed);
+  resp->stats[kStatsDeadlineExpired] =
+      deadline_expired_total_.load(std::memory_order_relaxed);
+  resp->stats[kStatsReloads] = store_.reloads();
+  resp->stats[kStatsReloadFailures] = store_.reload_failures();
 }
 
 }  // namespace server

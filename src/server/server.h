@@ -124,9 +124,14 @@ class Server {
   bool DrainReadable(Connection* conn);
   // Extracts and dispatches complete frames; false => close connection.
   bool ProcessFrames(int fd, Connection* conn);
-  // Worker-side evaluation + response write.
+  // Worker-side evaluation + response write. HandleJob fetches the published
+  // snapshot once; Evaluate is the lock-free hot kernel over that pointer
+  // (the rare kStats op, which reads the store's guarded counters, lives in
+  // the cold EvaluateStats helper — see DESIGN.md §5g).
   void HandleJob(int fd, const Request& req, const Deadline& deadline);
-  Response Evaluate(const Request& req, const Deadline& deadline);
+  Response Evaluate(const Request& req, const SnapshotPtr& snap,
+                    const Deadline& deadline);
+  void EvaluateStats(const SnapshotPtr& snap, Response* resp);
   // Inline (reactor-side) response for shed/bad-request/shutting-down.
   void RespondInline(Connection* conn, const Response& resp);
 

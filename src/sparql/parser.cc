@@ -10,6 +10,10 @@ namespace sparql {
 
 namespace {
 
+// Deepest FILTER NOT EXISTS nesting the parser will follow; the paper's
+// queries nest at most two levels, so 64 only rejects pathological inputs.
+constexpr std::size_t kMaxGroupDepth = 64;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -43,7 +47,7 @@ class Parser {
     SkipWs();
     if (!AtEnd() && Peek() == '{') {
       while (true) {
-        RDFCUBE_ASSIGN_OR_RETURN(GroupPattern branch, ParseGroup());
+        RDFCUBE_ASSIGN_OR_RETURN(GroupPattern branch, ParseGroup(/*depth=*/0));
         q.union_groups.push_back(std::move(branch));
         SkipWs();
         if (PeekKeyword("UNION")) {
@@ -61,7 +65,7 @@ class Parser {
       ++pos_;
     } else {
       pos_ = where_start;
-      RDFCUBE_ASSIGN_OR_RETURN(q.where, ParseGroup());
+      RDFCUBE_ASSIGN_OR_RETURN(q.where, ParseGroup(/*depth=*/0));
     }
     SkipWs();
     if (PeekKeyword("LIMIT")) {
@@ -256,7 +260,10 @@ class Parser {
     return Status::OK();
   }
 
-  Result<Filter> ParseFilter() {
+  // `depth` counts NOT EXISTS group nesting through the ParseFilter <->
+  // ParseGroup cycle; kMaxGroupDepth rejects adversarially deep queries
+  // before the recursion overflows the stack (unbounded-recursion gate).
+  Result<Filter> ParseFilter(std::size_t depth) {
     ConsumeKeyword("FILTER");
     SkipWs();
     Filter f;
@@ -264,7 +271,7 @@ class Parser {
       ConsumeKeyword("NOT");
       if (!ConsumeKeyword("EXISTS")) return Error("expected EXISTS after NOT");
       f.kind = Filter::Kind::kNotExists;
-      RDFCUBE_ASSIGN_OR_RETURN(GroupPattern group, ParseGroup());
+      RDFCUBE_ASSIGN_OR_RETURN(GroupPattern group, ParseGroup(depth + 1));
       f.group = std::make_unique<GroupPattern>(std::move(group));
       return f;
     }
@@ -286,7 +293,8 @@ class Parser {
     return f;
   }
 
-  Result<GroupPattern> ParseGroup() {
+  Result<GroupPattern> ParseGroup(std::size_t depth) {
+    if (depth > kMaxGroupDepth) return Error("group nesting too deep");
     SkipWs();
     if (AtEnd() || Peek() != '{') return Error("expected {");
     ++pos_;
@@ -303,7 +311,7 @@ class Parser {
         continue;
       }
       if (PeekKeyword("FILTER")) {
-        RDFCUBE_ASSIGN_OR_RETURN(Filter f, ParseFilter());
+        RDFCUBE_ASSIGN_OR_RETURN(Filter f, ParseFilter(depth));
         group.filters.push_back(std::move(f));
         continue;
       }

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "base/hot.h"
+
 namespace rdfcube {
 
 namespace {
@@ -16,13 +18,13 @@ inline uint64_t RangeMask(std::size_t lo, std::size_t hi) {
 
 }  // namespace
 
-std::size_t BitVector::Count() const {
+RDFCUBE_HOT std::size_t BitVector::Count() const {
   std::size_t n = 0;
   for (uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
   return n;
 }
 
-std::size_t BitVector::CountRange(std::size_t begin, std::size_t end) const {
+RDFCUBE_HOT std::size_t BitVector::CountRange(std::size_t begin, std::size_t end) const {
   if (begin >= end) return 0;
   const std::size_t first_word = begin >> 6;
   const std::size_t last_word = (end - 1) >> 6;
@@ -40,7 +42,7 @@ std::size_t BitVector::CountRange(std::size_t begin, std::size_t end) const {
   return n;
 }
 
-bool BitVector::Covers(const BitVector& other) const {
+RDFCUBE_HOT bool BitVector::Covers(const BitVector& other) const {
   const std::size_t n = words_.size() < other.words_.size()
                             ? words_.size()
                             : other.words_.size();
@@ -54,7 +56,7 @@ bool BitVector::Covers(const BitVector& other) const {
   return true;
 }
 
-bool BitVector::CoversRange(const BitVector& other, std::size_t begin,
+RDFCUBE_HOT bool BitVector::CoversRange(const BitVector& other, std::size_t begin,
                             std::size_t end) const {
   if (begin >= end) return true;
   const std::size_t first_word = begin >> 6;
@@ -69,7 +71,7 @@ bool BitVector::CoversRange(const BitVector& other, std::size_t begin,
   return true;
 }
 
-bool BitVector::EqualsRange(const BitVector& other, std::size_t begin,
+RDFCUBE_HOT bool BitVector::EqualsRange(const BitVector& other, std::size_t begin,
                             std::size_t end) const {
   if (begin >= end) return true;
   const std::size_t first_word = begin >> 6;
@@ -83,7 +85,7 @@ bool BitVector::EqualsRange(const BitVector& other, std::size_t begin,
   return true;
 }
 
-std::size_t BitVector::IntersectCount(const BitVector& other) const {
+RDFCUBE_HOT std::size_t BitVector::IntersectCount(const BitVector& other) const {
   const std::size_t n = words_.size() < other.words_.size()
                             ? words_.size()
                             : other.words_.size();
@@ -94,7 +96,7 @@ std::size_t BitVector::IntersectCount(const BitVector& other) const {
   return count;
 }
 
-std::size_t BitVector::UnionCount(const BitVector& other) const {
+RDFCUBE_HOT std::size_t BitVector::UnionCount(const BitVector& other) const {
   const std::size_t n = words_.size() > other.words_.size()
                             ? words_.size()
                             : other.words_.size();
@@ -107,7 +109,7 @@ std::size_t BitVector::UnionCount(const BitVector& other) const {
   return count;
 }
 
-double BitVector::Jaccard(const BitVector& other) const {
+RDFCUBE_HOT double BitVector::Jaccard(const BitVector& other) const {
   const std::size_t u = UnionCount(other);
   if (u == 0) return 1.0;
   return static_cast<double>(IntersectCount(other)) / static_cast<double>(u);

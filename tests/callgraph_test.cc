@@ -1,0 +1,379 @@
+// Unit tests for the cross-TU call-graph analyzer (tools/callgraph,
+// DESIGN.md §5g): the function-level fact extractor, TU-visibility-filtered
+// linking, transitive summaries with witness chains, and the hot-path purity
+// gate — all over synthetic in-memory translation units, so every documented
+// semantic (static-init exemption, reserve exemption, cold absorption,
+// direct-call-only recursion, virtual dispatch non-linking) has a pinned
+// proof.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/callgraph/callgraph.h"
+#include "tools/callgraph/function_facts.h"
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace callgraph {
+namespace {
+
+lint::SourceFile SF(const std::string& path, const std::string& content) {
+  return lint::StripSource(content, path);
+}
+
+int IndexOf(const CallGraph& graph, const std::string& suffix) {
+  const std::vector<int> hits = graph.FindBySuffix(suffix);
+  return hits.size() == 1 ? hits[0] : -1;
+}
+
+bool HasFact(const FunctionInfo& fn, FactKind kind) {
+  return std::any_of(fn.facts.begin(), fn.facts.end(),
+                     [kind](const BodyFact& f) { return f.kind == kind; });
+}
+
+// --- extractor ---------------------------------------------------------------
+
+TEST(FunctionFactsTest, ExtractsNamespaceQualifiedFunctions) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "namespace rdfcube {\n"
+                                       "namespace core {\n"
+                                       "int Add(int a, int b) {\n"
+                                       "  return a + b;\n"
+                                       "}\n"
+                                       "}\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "Add");
+  EXPECT_EQ(fns[0].qualified, "rdfcube::core::Add");
+  EXPECT_EQ(fns[0].line, 3u);
+  EXPECT_EQ(fns[0].body_end, 5u);
+  EXPECT_FALSE(fns[0].hot);
+}
+
+TEST(FunctionFactsTest, ExtractsClassMethodsAndOutOfLineDefinitions) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "class Engine {\n"
+                                       "  int Size() { return n_; }\n"
+                                       "};\n"
+                                       "int Engine::Grow(int n) {\n"
+                                       "  return n + 1;\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].qualified, "Engine::Size");
+  EXPECT_EQ(fns[1].qualified, "Engine::Grow");
+  EXPECT_EQ(fns[1].name, "Grow");
+}
+
+TEST(FunctionFactsTest, SkipsDeclarationsAndInitializers) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "int Declared(int x);\n"
+                                       "int value = Compute(7);\n"
+                                       "std::vector<int> v{1, 2, 3};\n"
+                                       "int Defined() { return 1; }\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "Defined");
+}
+
+TEST(FunctionFactsTest, RecordsAllocThrowLockAndDispatchFacts) {
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "void F(const std::function<void()>& emit) {\n"
+         "  auto p = std::make_unique<int>(3);\n"
+         "  throw 1;\n"
+         "  MutexLock lock(&mu_);\n"
+         "  emit();\n"
+         "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kAlloc));
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kThrow));
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kLock));
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kDispatch));
+}
+
+TEST(FunctionFactsTest, UnreservedGrowthIsAFactButReserveExempts) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "void Grow(std::vector<int>* v) {\n"
+                                       "  v->push_back(1);\n"
+                                       "}\n"
+                                       "void Reserved(std::vector<int>* v) {\n"
+                                       "  v->reserve(4);\n"
+                                       "  v->push_back(1);\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kGrowth));
+  EXPECT_FALSE(fns[0].has_reserve);
+  EXPECT_TRUE(fns[1].has_reserve);
+}
+
+TEST(FunctionFactsTest, StaticInitializerStatementsContributeNoFacts) {
+  // The function-local `static obs::Counter& c = DefaultCounter(...)` idiom
+  // is one-time initialization, not per-call work (CLAUDE.md).
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "void Count() {\n"
+         "  static obs::Counter& c = obs::DefaultCounter(\n"
+         "      \"rdfcube_a_x_total\", \"help\");\n"
+         "  c.Increment();\n"
+         "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(fns[0].facts.empty());
+  // The static-init call is not a call site either; Increment still is.
+  ASSERT_EQ(fns[0].calls.size(), 1u);
+  EXPECT_EQ(fns[0].calls[0].name, "Increment");
+  EXPECT_TRUE(fns[0].calls[0].member);
+}
+
+TEST(FunctionFactsTest, LambdaBodiesAttributeToTheEnclosingFunction) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "void Outer(std::vector<int>* v) {\n"
+                                       "  auto fill = [&] {\n"
+                                       "    v->push_back(1);\n"
+                                       "  };\n"
+                                       "  fill();\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "Outer");
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kGrowth));
+}
+
+TEST(FunctionFactsTest, HotAndColdAnnotationsAreRecorded) {
+  const auto fns =
+      ExtractFunctions(SF("src/a/x.cc",
+                          "RDFCUBE_HOT int Fast() { return 1; }\n"
+                          "RDFCUBE_COLD int Slow() { return 2; }\n"
+                          "int Plain() { return 3; }\n"));
+  ASSERT_EQ(fns.size(), 3u);
+  EXPECT_TRUE(fns[0].hot);
+  EXPECT_FALSE(fns[0].cold);
+  EXPECT_TRUE(fns[1].cold);
+  EXPECT_FALSE(fns[2].hot);
+}
+
+TEST(FunctionFactsTest, PreprocessorLinesAreInvisible) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "#define BAD(x) { throw x; }\n"
+                                       "#define MULTI \\\n"
+                                       "  { new int; }\n"
+                                       "int F() { return 1; }\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "F");
+  EXPECT_TRUE(fns[0].facts.empty());
+}
+
+TEST(FunctionFactsTest, VirtualMethodNamesAreCollected) {
+  const auto names =
+      VirtualMethodNames(SF("src/a/x.h",
+                            "class Sink {\n"
+                            " public:\n"
+                            "  virtual void OnRecord(int a) = 0;\n"
+                            "  virtual ~Sink() = default;\n"
+                            "  void Plain();\n"
+                            "};\n"));
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "OnRecord") !=
+              names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "Plain") == names.end());
+}
+
+// --- linking + visibility ----------------------------------------------------
+
+TEST(CallGraphTest, LinksCallsWithinOneTranslationUnit) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Helper() { return 1; }\n"
+          "int Caller() { return Helper(); }\n")});
+  ASSERT_EQ(graph.functions.size(), 2u);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.functions[graph.edges[0].caller].name, "Caller");
+  EXPECT_EQ(graph.functions[graph.edges[0].callee].name, "Helper");
+  EXPECT_TRUE(graph.edges[0].direct);
+}
+
+TEST(CallGraphTest, LinksAcrossTranslationUnitsThroughIncludedHeaders) {
+  // caller.cc includes b/helper.h, so the call may link to the definition in
+  // b/helper.cc (the sibling-source rule).
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/b/helper.h", "int Escalate(int id);\n"),
+       SF("src/b/helper.cc",
+          "#include \"b/helper.h\"\n"
+          "int Escalate(int id) { return id + 1; }\n"),
+       SF("src/a/caller.cc",
+          "#include \"b/helper.h\"\n"
+          "int Call(int id) { return Escalate(id); }\n")});
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.functions[graph.edges[0].caller].name, "Call");
+  EXPECT_EQ(graph.functions[graph.edges[0].callee].file, "src/b/helper.cc");
+}
+
+TEST(CallGraphTest, DoesNotLinkToDefinitionsOutsideTheIncludeClosure) {
+  // Same-name function in a TU the caller never includes: name-only linking
+  // would connect them; the TU-visibility filter must not.
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/b/other.cc", "int Escalate(int id) { return id + 1; }\n"),
+       SF("src/a/caller.cc", "int Call(int id) { return Escalate(id); }\n")});
+  EXPECT_TRUE(graph.edges.empty());
+}
+
+TEST(CallGraphTest, QualifiedCallsRequireAQualifiedSuffixMatch) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "namespace aa { int Run() { return 1; } }\n"
+          "namespace bb { int Run() { return 2; } }\n"
+          "int Main() { return aa::Run(); }\n")});
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.functions[graph.edges[0].callee].qualified, "aa::Run");
+}
+
+TEST(CallGraphTest, VirtualMemberCallsDoNotLinkToOverrides) {
+  // sink->OnRecord(...) is dynamic dispatch: the static target is unknown,
+  // so the call must not charge the caller with a particular override's
+  // facts; it surfaces as calls_virtual instead.
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/sink.h",
+          "class Sink {\n"
+          " public:\n"
+          "  virtual void OnRecord(int a) = 0;\n"
+          "};\n"
+          "class Collecting : public Sink {\n"
+          " public:\n"
+          "  void OnRecord(int a) override { out_.push_back(a); }\n"
+          "};\n"),
+       SF("src/a/kernel.cc",
+          "#include \"a/sink.h\"\n"
+          "void Emit(Sink* sink) { sink->OnRecord(1); }\n")});
+  for (const Edge& e : graph.edges) {
+    EXPECT_NE(graph.functions[e.caller].name, "Emit")
+        << "virtual call was linked to an override";
+  }
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int emit = IndexOf(graph, "Emit");
+  ASSERT_GE(emit, 0);
+  EXPECT_TRUE(summaries[emit].calls_virtual);
+  EXPECT_FALSE(summaries[emit].alloc.reaches);
+}
+
+// --- transitive summaries ----------------------------------------------------
+
+TEST(CallGraphTest, FactsPropagateTransitivelyWithAWitnessChain) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Leaf() { return *new int(1); }\n"
+          "int Mid() { return Leaf(); }\n"
+          "int Top() { return Mid(); }\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int top = IndexOf(graph, "Top");
+  ASSERT_GE(top, 0);
+  EXPECT_TRUE(summaries[top].alloc.reaches);
+  const std::string witness = WitnessChain(graph, summaries, top,
+                                           FactKind::kAlloc);
+  EXPECT_NE(witness.find("Top"), std::string::npos);
+  EXPECT_NE(witness.find("Mid"), std::string::npos);
+  EXPECT_NE(witness.find("Leaf"), std::string::npos);
+  EXPECT_NE(witness.find("new"), std::string::npos);
+}
+
+TEST(CallGraphTest, ColdCalleesAbsorbTheirFacts) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_COLD int Slow() { return *new int(1); }\n"
+          "int Fast() { return Slow(); }\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int fast = IndexOf(graph, "Fast");
+  const int slow = IndexOf(graph, "Slow");
+  ASSERT_GE(fast, 0);
+  ASSERT_GE(slow, 0);
+  EXPECT_TRUE(summaries[slow].alloc.reaches);  // the cold fn itself
+  EXPECT_FALSE(summaries[fast].alloc.reaches);  // absorbed at the boundary
+}
+
+TEST(CallGraphTest, DirectRecursionAndMutualCyclesAreDetected) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Self(int x) { return Self(x - 1); }\n"
+          "int PingB(int x);\n"
+          "int PingA(int x) { return PingB(x); }\n"
+          "int PingB(int x) { return PingA(x); }\n"
+          "int Straight(int x) { return x; }\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  EXPECT_TRUE(summaries[IndexOf(graph, "Self")].recursive);
+  EXPECT_TRUE(summaries[IndexOf(graph, "PingA")].recursive);
+  EXPECT_TRUE(summaries[IndexOf(graph, "PingB")].recursive);
+  EXPECT_FALSE(summaries[IndexOf(graph, "Straight")].recursive);
+  EXPECT_EQ(summaries[IndexOf(graph, "PingA")].cycle.size(), 2u);
+}
+
+TEST(CallGraphTest, MemberCallsDoNotCreateRecursionCycles) {
+  // Two size() methods calling each other's *name* through receivers must
+  // not register as recursion: only direct (receiver-less) calls form
+  // recursion edges.
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "class A {\n"
+          "  int size() { return v_.size(); }\n"
+          "};\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int fn = IndexOf(graph, "A::size");
+  ASSERT_GE(fn, 0);
+  EXPECT_FALSE(summaries[fn].recursive);
+}
+
+// --- the hot-path gate -------------------------------------------------------
+
+TEST(CallGraphTest, HotGateFlagsAllocAndLockReachingHotFunctions) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Format(int id) { return std::to_string(id).size(); }\n"
+          "RDFCUBE_HOT int Lookup(int id) { return Format(id); }\n"
+          "RDFCUBE_HOT void Guarded() { MutexLock lock(&mu_); }\n"
+          "RDFCUBE_HOT int Clean(int id) { return id + 1; }\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const std::vector<HotPathViolation> violations =
+      EvaluateHotGate(graph, summaries);
+  ASSERT_EQ(violations.size(), 2u);
+  std::vector<std::string> kinds;
+  for (const HotPathViolation& v : violations) kinds.push_back(v.kind);
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "hot-path-alloc") !=
+              kinds.end());
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "hot-path-lock") !=
+              kinds.end());
+}
+
+TEST(CallGraphTest, HotGatePassesOnCleanKernels) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_COLD int NotFound(int id) {\n"
+          "  return std::to_string(id).size();\n"
+          "}\n"
+          "RDFCUBE_HOT int Lookup(int id) {\n"
+          "  if (id < 0) return NotFound(id);\n"
+          "  return id;\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  EXPECT_TRUE(EvaluateHotGate(graph, summaries).empty());
+}
+
+TEST(CallGraphTest, ExportsRenderHotFunctionsAndEdges) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Helper() { return 1; }\n"
+          "RDFCUBE_HOT int Kernel() { return Helper(); }\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const std::string dot = GraphToDot(graph, summaries);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Kernel"), std::string::npos);
+  const std::string json = GraphToJson(graph, summaries);
+  EXPECT_NE(json.find("\"num_functions\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"num_edges\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"hot\": true"), std::string::npos);
+  const std::string report = HotPathReportJson(graph, summaries,
+                                               EvaluateHotGate(graph,
+                                                               summaries));
+  EXPECT_NE(report.find("\"violations_total\": 0"), std::string::npos);
+  EXPECT_NE(report.find("Kernel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace callgraph
+}  // namespace rdfcube

@@ -567,9 +567,144 @@ TEST_F(LintTest, ValueOrIsNotValue) {
   EXPECT_FALSE(Fired("checked-value"));
 }
 
+// --- call-graph checks (hot-path gate, DESIGN.md §5g) ------------------------
+
+TEST_F(LintTest, HotPathAllocFiresOnAnAllocatingHelperInTheSameTu) {
+  WriteCleanTree();
+  WriteFile("src/core/hot.cc",
+            "int Helper(std::vector<int>* v) {\n"
+            "  v->push_back(1);\n"
+            "  return 0;\n"
+            "}\n"
+            "RDFCUBE_HOT int Kernel(std::vector<int>* v) {\n"
+            "  return Helper(v);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("hot-path-alloc"));
+}
+
+TEST_F(LintTest, HotPathAllocFiresAcrossTranslationUnits) {
+  // The allocating helper lives in another TU; the kernel's TU includes its
+  // header, so the visibility-filtered linker connects them.
+  WriteCleanTree();
+  WriteFile("src/qb/format.h",
+            "// rdfcube:internal\n"
+            "int Escalate(int id);\n");
+  WriteFile("src/qb/format.cc",
+            "#include \"qb/format.h\"\n"
+            "int Escalate(int id) { return std::to_string(id).size(); }\n");
+  WriteFile("src/core/kernel.cc",
+            "#include \"qb/format.h\"\n"
+            "RDFCUBE_HOT int Kernel(int id) { return Escalate(id); }\n");
+  EXPECT_TRUE(Fired("hot-path-alloc"));
+}
+
+TEST_F(LintTest, HotPathGateIgnoresDefinitionsOutsideTheIncludeClosure) {
+  // Same helper, but the kernel's TU never includes its header: name-only
+  // linking would flag this; TU-visibility filtering must not.
+  WriteCleanTree();
+  WriteFile("src/qb/format.cc",
+            "int Escalate(int id) { return std::to_string(id).size(); }\n");
+  WriteFile("src/core/kernel.cc",
+            "RDFCUBE_HOT int Kernel(int id) { return Escalate(id); }\n");
+  EXPECT_FALSE(Fired("hot-path-alloc"));
+}
+
+TEST_F(LintTest, ColdCalleeAbsorbsTheAllocation) {
+  WriteCleanTree();
+  WriteFile("src/core/hot.cc",
+            "RDFCUBE_COLD int NotFound(int id) {\n"
+            "  return std::to_string(id).size();\n"
+            "}\n"
+            "RDFCUBE_HOT int Kernel(int id) {\n"
+            "  if (id < 0) return NotFound(id);\n"
+            "  return id;\n"
+            "}\n");
+  EXPECT_FALSE(Fired("hot-path-alloc"));
+}
+
+TEST_F(LintTest, HotPathLockFires) {
+  WriteCleanTree();
+  WriteFile("src/server/worker.cc",
+            "RDFCUBE_HOT int Evaluate() {\n"
+            "  MutexLock guard(&mu_);\n"
+            "  return 0;\n"
+            "}\n");
+  EXPECT_TRUE(Fired("hot-path-lock"));
+}
+
+TEST_F(LintTest, HotPathAllocSuppressedOnTheDefinitionLine) {
+  WriteCleanTree();
+  // The allow comment lives on the definition line (where the finding
+  // anchors), like every other lint suppression.
+  WriteFile("src/core/hot.cc",
+            "RDFCUBE_HOT int Kernel(std::vector<int>* v) {  "
+            "// lint:allow(hot-path-alloc): warm-up path, measured elsewhere\n"
+            "  v->push_back(1);\n"
+            "  return 0;\n"
+            "}\n");
+  EXPECT_FALSE(Fired("hot-path-alloc"));
+}
+
+TEST_F(LintTest, NoThrowTransitiveFiresOnReachingAThrowInACallee) {
+  WriteCleanTree();
+  WriteFile("src/core/thrower.h",
+            "// rdfcube:internal\n"
+            "inline void Boom() { throw 1; }  // lint:allow(no-throw)\n");
+  WriteFile("src/core/caller.cc",
+            "#include \"core/thrower.h\"\n"
+            "void Call() { Boom(); }\n");
+  EXPECT_TRUE(Fired("no-throw-transitive"));
+  // The throw statement itself is suppressed; only the transitive reach
+  // from the caller remains.
+  EXPECT_FALSE(Fired("no-throw"));
+}
+
+TEST_F(LintTest, NoThrowTransitiveDoesNotDoubleReportTheThrowingFunction) {
+  // The function owning the throw is the lexical no-throw check's finding;
+  // the transitive check only fires when the throw lives in a callee.
+  WriteCleanTree();
+  WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
+  EXPECT_TRUE(Fired("no-throw"));
+  EXPECT_FALSE(Fired("no-throw-transitive"));
+}
+
+TEST_F(LintTest, UnboundedRecursionFiresInSparql) {
+  WriteCleanTree();
+  WriteFile("src/sparql/recur.cc",
+            "int EvalLoop(int x) { return EvalLoop(x - 1); }\n");
+  EXPECT_TRUE(Fired("unbounded-recursion"));
+}
+
+TEST_F(LintTest, MutualRecursionWithoutABoundFires) {
+  // The ParseFilter <-> ParseGroup shape: a two-function cycle where
+  // neither signature threads a bound.
+  WriteCleanTree();
+  WriteFile("src/rules/parse.cc",
+            "int ParseB(int x);\n"
+            "int ParseA(int x) { return ParseB(x); }\n"
+            "int ParseB(int x) { return ParseA(x); }\n");
+  EXPECT_TRUE(Fired("unbounded-recursion"));
+}
+
+TEST_F(LintTest, RecursionWithADepthParameterPasses) {
+  WriteCleanTree();
+  WriteFile("src/sparql/recur.cc",
+            "int EvalLoop(int x, std::size_t depth) {\n"
+            "  return EvalLoop(x - 1, depth + 1);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("unbounded-recursion"));
+}
+
+TEST_F(LintTest, RecursionOutsideSparqlAndRulesDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/core/recur.cc",
+            "int Walk(int x) { return x == 0 ? 0 : Walk(x - 1); }\n");
+  EXPECT_FALSE(Fired("unbounded-recursion"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all thirteen, none masking another.
+  // all seventeen, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
@@ -598,17 +733,42 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   WriteFile("src/core/use.cc", "void F() { qb::Widget w; (void)w; }\n");
   WriteFile("src/qb/cv.cc",
             "int F(const Dict& d, int x) { return d.Find(x).value(); }\n");
+  // Call-graph checks: a hot kernel reaching unreserved growth, a hot kernel
+  // taking a lock, a core function reaching a (suppressed) throw in a
+  // callee, and an unbounded sparql recursion.
+  WriteFile("src/qb/hotalloc.cc",
+            "int GrowOut(std::vector<int>* v) {\n"
+            "  v->push_back(1);\n"
+            "  return 0;\n"
+            "}\n"
+            "RDFCUBE_HOT int HotKernel(std::vector<int>* v) {\n"
+            "  return GrowOut(v);\n"
+            "}\n");
+  WriteFile("src/qb/hotlock.cc",
+            "RDFCUBE_HOT int HotGuarded() {\n"
+            "  MutexLock guard(&mu_);\n"
+            "  return 0;\n"
+            "}\n");
+  WriteFile("src/core/thrower.h",
+            "// rdfcube:internal\n"
+            "inline void Boom() { throw 1; }  // lint:allow(no-throw)\n");
+  WriteFile("src/core/reacher.cc",
+            "#include \"core/thrower.h\"\n"
+            "void Reach() { Boom(); }\n");
+  WriteFile("src/sparql/recur.cc",
+            "int EvalLoop(int x) { return EvalLoop(x - 1); }\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
         "doxygen-public", "checked-parse", "bare-stopwatch",
         "lock-annotation", "obs-shadowing", "metric-name", "checked-value",
-        "layer-dag", "include-cycle", "iwyu-direct"}) {
+        "layer-dag", "include-cycle", "iwyu-direct", "hot-path-alloc",
+        "hot-path-lock", "no-throw-transitive", "unbounded-recursion"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.size(), 17u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

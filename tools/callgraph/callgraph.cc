@@ -1,0 +1,523 @@
+#include "tools/callgraph/callgraph.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace rdfcube {
+namespace callgraph {
+
+namespace {
+
+// Per-corpus-file transitive include closure, used to filter call-edge
+// candidates by TU visibility: a call site can only link to a definition
+// whose file (or whose header, for out-of-line definitions) the calling TU
+// transitively includes. This is what keeps shared method names from
+// creating impossible cross-layer edges (core code can never call
+// server::Client::Containers — the server headers are not visible there).
+class VisibilityMap {
+ public:
+  explicit VisibilityMap(const std::vector<lint::SourceFile>& corpus) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      index_.emplace(corpus[i].path, static_cast<int>(i));
+    }
+    static const std::regex kInclude(R"re(^\s*#\s*include\s+"([^"]+)")re");
+    std::vector<std::vector<int>> adj(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      for (const std::string& line : corpus[i].code) {
+        std::smatch m;
+        if (!std::regex_search(line, m, kInclude)) continue;
+        const int target = Resolve(m[1]);
+        if (target >= 0) adj[i].push_back(target);
+      }
+    }
+    closure_.resize(corpus.size());
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      std::vector<bool>& seen = closure_[i];
+      seen.assign(corpus.size(), false);
+      std::vector<int> stack{static_cast<int>(i)};
+      seen[i] = true;
+      while (!stack.empty()) {
+        const int f = stack.back();
+        stack.pop_back();
+        for (const int t : adj[static_cast<std::size_t>(f)]) {
+          if (!seen[static_cast<std::size_t>(t)]) {
+            seen[static_cast<std::size_t>(t)] = true;
+            stack.push_back(t);
+          }
+        }
+      }
+    }
+  }
+
+  /// Index of `path` in the corpus, or -1.
+  int IndexOf(const std::string& path) const {
+    const auto it = index_.find(path);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  /// True when a function defined in `callee_file` is visible to a call in
+  /// `caller_file`: same file, transitively included, or — for out-of-line
+  /// definitions — the callee's sibling header is transitively included.
+  bool Visible(int caller_file, const std::string& callee_path) const {
+    const int callee = IndexOf(callee_path);
+    if (caller_file < 0 || callee < 0) return false;
+    const std::vector<bool>& seen =
+        closure_[static_cast<std::size_t>(caller_file)];
+    if (seen[static_cast<std::size_t>(callee)]) return true;
+    const std::size_t dot = callee_path.rfind('.');
+    if (dot == std::string::npos) return false;
+    const int header = IndexOf(callee_path.substr(0, dot) + ".h");
+    return header >= 0 && seen[static_cast<std::size_t>(header)];
+  }
+
+ private:
+  // Resolves a quoted include against the corpus: module headers are
+  // written src-relative ("util/bitvector.h"), tools headers root-relative.
+  int Resolve(const std::string& written) const {
+    const int as_src = IndexOf("src/" + written);
+    if (as_src >= 0) return as_src;
+    return IndexOf(written);
+  }
+
+  std::map<std::string, int> index_;
+  std::vector<std::vector<bool>> closure_;
+};
+
+// True when `qualified` equals `written` or ends with "::written" — the
+// match rule for qualified call sites (Foo::Bar(...) can only link to a
+// definition whose qualified name has that suffix).
+bool QualifiedSuffixMatch(const std::string& qualified,
+                          const std::string& written) {
+  if (qualified == written) return true;
+  if (qualified.size() <= written.size() + 2) return false;
+  const std::size_t at = qualified.size() - written.size();
+  return qualified.compare(at, std::string::npos, written) == 0 &&
+         qualified.compare(at - 2, 2, "::") == 0;
+}
+
+std::string Location(const FunctionInfo& fn) {
+  return fn.file + ":" + std::to_string(fn.line);
+}
+
+// Which Reach member of a summary carries `kind`.
+const Reach* ReachFor(const FunctionSummary& s, FactKind kind) {
+  switch (kind) {
+    case FactKind::kAlloc:
+    case FactKind::kGrowth:
+      return &s.alloc;
+    case FactKind::kLock:
+      return &s.lock;
+    case FactKind::kThrow:
+      return &s.thrown;
+    case FactKind::kDispatch:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+// Fixpoint propagation of one fact kind over the reverse call graph.
+// `reach` arrives seeded with own-fact sources; cold callees absorb.
+void Propagate(const CallGraph& graph, std::vector<Reach>* reach) {
+  std::vector<int> worklist;
+  for (std::size_t i = 0; i < reach->size(); ++i) {
+    if ((*reach)[i].reaches) worklist.push_back(static_cast<int>(i));
+  }
+  // Reverse adjacency: callee -> incoming edges.
+  std::vector<std::vector<const Edge*>> in(graph.functions.size());
+  for (const Edge& e : graph.edges) {
+    in[static_cast<std::size_t>(e.callee)].push_back(&e);
+  }
+  while (!worklist.empty()) {
+    const int f = worklist.back();
+    worklist.pop_back();
+    if (graph.functions[static_cast<std::size_t>(f)].cold) {
+      continue;  // deliberate slow path: facts stop here
+    }
+    for (const Edge* e : in[static_cast<std::size_t>(f)]) {
+      Reach& r = (*reach)[static_cast<std::size_t>(e->caller)];
+      if (r.reaches) continue;
+      r.reaches = true;
+      r.source = (*reach)[static_cast<std::size_t>(f)].source;
+      r.via = f;
+      r.via_line = e->line;
+      worklist.push_back(e->caller);
+    }
+  }
+}
+
+// Iterative Tarjan SCC over the direct-call subgraph. Returns the component
+// id of every function; components with >1 member or a self-loop are cycles.
+std::vector<int> DirectSccs(const CallGraph& graph, int* num_sccs) {
+  const std::size_t n = graph.functions.size();
+  std::vector<std::vector<int>> adj(n);
+  for (const Edge& e : graph.edges) {
+    if (e.direct) adj[static_cast<std::size_t>(e.caller)].push_back(e.callee);
+  }
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0, next_comp = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{static_cast<int>(root), 0}};
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      const std::size_t v = static_cast<std::size_t>(fr.v);
+      if (fr.child == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(fr.v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (fr.child < adj[v].size()) {
+        const int w = adj[v][fr.child++];
+        const std::size_t wu = static_cast<std::size_t>(w);
+        if (index[wu] == -1) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wu]) low[v] = std::min(low[v], index[wu]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          comp[static_cast<std::size_t>(w)] = next_comp;
+        } while (w != fr.v);
+        ++next_comp;
+      }
+      const int done = fr.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const std::size_t p = static_cast<std::size_t>(frames.back().v);
+        low[p] = std::min(low[p], low[static_cast<std::size_t>(done)]);
+      }
+    }
+  }
+  *num_sccs = next_comp;
+  return comp;
+}
+
+}  // namespace
+
+std::vector<int> CallGraph::FindBySuffix(const std::string& suffix) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (QualifiedSuffixMatch(functions[i].qualified, suffix)) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
+  CallGraph graph;
+  for (const lint::SourceFile& file : corpus) {
+    std::vector<FunctionInfo> fns = ExtractFunctions(file);
+    for (FunctionInfo& fn : fns) graph.functions.push_back(std::move(fn));
+    for (std::string& name : VirtualMethodNames(file)) {
+      graph.virtual_names.insert(std::move(name));
+    }
+  }
+
+  const VisibilityMap visibility(corpus);
+
+  std::map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    by_name[graph.functions[i].name].push_back(static_cast<int>(i));
+  }
+
+  std::map<std::pair<int, int>, std::size_t> edge_index;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const int caller_file = visibility.IndexOf(graph.functions[i].file);
+    for (const CallSite& call : graph.functions[i].calls) {
+      const std::size_t sep = call.name.rfind(':');
+      const std::string last =
+          sep == std::string::npos ? call.name : call.name.substr(sep + 1);
+      // A member call through a virtual name is dynamic dispatch: its static
+      // target is unknown, so linking it to an arbitrary override would
+      // charge the caller with facts from implementations it may never use
+      // (e.g. a masking kernel emitting through RelationshipSink must not
+      // inherit CollectingSink's vector growth). Such calls surface as
+      // calls_virtual in the summary instead of as edges.
+      if (call.member && graph.virtual_names.count(last) != 0) continue;
+      const auto it = by_name.find(last);
+      if (it == by_name.end()) continue;
+      for (const int callee : it->second) {
+        const FunctionInfo& target =
+            graph.functions[static_cast<std::size_t>(callee)];
+        if (target.file != graph.functions[i].file &&
+            !visibility.Visible(caller_file, target.file)) {
+          continue;
+        }
+        if (sep != std::string::npos &&
+            !QualifiedSuffixMatch(target.qualified, call.name)) {
+          continue;
+        }
+        const bool direct = !call.member;
+        const auto key = std::make_pair(static_cast<int>(i), callee);
+        const auto found = edge_index.find(key);
+        if (found != edge_index.end()) {
+          graph.edges[found->second].direct |= direct;
+          continue;
+        }
+        edge_index.emplace(key, graph.edges.size());
+        graph.edges.push_back(
+            {static_cast<int>(i), callee, call.line, direct});
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
+  const std::size_t n = graph.functions.size();
+  std::vector<FunctionSummary> out(n);
+
+  std::vector<Reach> alloc(n), lock(n), thrown(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    for (const BodyFact& fact : fn.facts) {
+      Reach* r = nullptr;
+      switch (fact.kind) {
+        case FactKind::kAlloc:
+          r = &alloc[i];
+          break;
+        case FactKind::kGrowth:
+          if (!fn.has_reserve) r = &alloc[i];
+          break;
+        case FactKind::kLock:
+          r = &lock[i];
+          break;
+        case FactKind::kThrow:
+          r = &thrown[i];
+          break;
+        case FactKind::kDispatch:
+          out[i].calls_virtual = true;
+          break;
+      }
+      if (r != nullptr && !r->reaches) {
+        r->reaches = true;
+        r->source = static_cast<int>(i);
+        r->via = -1;
+        r->fact_line = fact.line;
+        r->fact_detail = fact.detail;
+      }
+    }
+    for (const CallSite& call : fn.calls) {
+      const std::size_t sep = call.name.rfind(':');
+      const std::string last =
+          sep == std::string::npos ? call.name : call.name.substr(sep + 1);
+      if (graph.virtual_names.count(last) != 0) out[i].calls_virtual = true;
+    }
+  }
+  Propagate(graph, &alloc);
+  Propagate(graph, &lock);
+  Propagate(graph, &thrown);
+
+  int num_sccs = 0;
+  const std::vector<int> comp = DirectSccs(graph, &num_sccs);
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(num_sccs));
+  for (std::size_t i = 0; i < n; ++i) {
+    members[static_cast<std::size_t>(comp[i])].push_back(static_cast<int>(i));
+  }
+  std::vector<bool> self_loop(n, false);
+  for (const Edge& e : graph.edges) {
+    if (e.direct && e.caller == e.callee) {
+      self_loop[static_cast<std::size_t>(e.caller)] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].alloc = alloc[i];
+    out[i].lock = lock[i];
+    out[i].thrown = thrown[i];
+    const std::vector<int>& scc = members[static_cast<std::size_t>(comp[i])];
+    if (scc.size() > 1 || self_loop[i]) {
+      out[i].recursive = true;
+      out[i].cycle = scc;
+      std::sort(out[i].cycle.begin(), out[i].cycle.end());
+    }
+  }
+  return out;
+}
+
+std::string WitnessChain(const CallGraph& graph,
+                         const std::vector<FunctionSummary>& summaries,
+                         int fn, FactKind kind) {
+  const Reach* r = ReachFor(summaries[static_cast<std::size_t>(fn)], kind);
+  if (r == nullptr || !r->reaches) return "";
+  std::string out;
+  int cur = fn;
+  // Bounded walk: via-chains are acyclic by construction (each function is
+  // assigned a via exactly once, pointing strictly towards the source), but
+  // cap it anyway so a bug cannot loop forever.
+  for (std::size_t guard = 0; guard <= graph.functions.size(); ++guard) {
+    const FunctionInfo& info = graph.functions[static_cast<std::size_t>(cur)];
+    out += info.qualified + " (" + Location(info) + ")";
+    const Reach* step =
+        ReachFor(summaries[static_cast<std::size_t>(cur)], kind);
+    if (step == nullptr) break;
+    if (step->via < 0) {
+      const Reach* src =
+          ReachFor(summaries[static_cast<std::size_t>(step->source)], kind);
+      out += " -> " + std::string(FactKindName(kind)) + " '" +
+             src->fact_detail + "' at " + info.file + ":" +
+             std::to_string(src->fact_line);
+      break;
+    }
+    out += " -> ";
+    cur = step->via;
+  }
+  return out;
+}
+
+std::string GraphToDot(const CallGraph& graph,
+                       const std::vector<FunctionSummary>& summaries) {
+  std::string out = "digraph rdfcube_callgraph {\n  rankdir=LR;\n"
+                    "  node [shape=box, fontsize=9];\n";
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    out += "  f" + std::to_string(i) + " [label=";
+    obs::AppendJsonString(&out, fn.qualified + "\n" + Location(fn));
+    if (fn.hot) out += ", peripheries=2, color=red";
+    if (fn.cold) out += ", style=dashed";
+    if (summaries[i].alloc.reaches) out += ", fillcolor=lightyellow, style=filled";
+    out += "];\n";
+  }
+  for (const Edge& e : graph.edges) {
+    out += "  f" + std::to_string(e.caller) + " -> f" +
+           std::to_string(e.callee);
+    if (!e.direct) out += " [style=dotted]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string GraphToJson(const CallGraph& graph,
+                        const std::vector<FunctionSummary>& summaries) {
+  std::string out = "{\n  \"functions\": [\n";
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    const FunctionSummary& s = summaries[i];
+    out += "    {\"id\": " + std::to_string(i) + ", \"qualified\": ";
+    obs::AppendJsonString(&out, fn.qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(fn.line);
+    out += std::string(", \"hot\": ") + (fn.hot ? "true" : "false");
+    out += std::string(", \"cold\": ") + (fn.cold ? "true" : "false");
+    out += ", \"facts\": [";
+    for (std::size_t j = 0; j < fn.facts.size(); ++j) {
+      const BodyFact& fact = fn.facts[j];
+      out += std::string(j == 0 ? "" : ", ") + "{\"kind\": \"" +
+             FactKindName(fact.kind) +
+             "\", \"line\": " + std::to_string(fact.line) + ", \"detail\": ";
+      obs::AppendJsonString(&out, fact.detail);
+      out += "}";
+    }
+    out += "], \"summary\": {\"reaches_alloc\": ";
+    out += s.alloc.reaches ? "true" : "false";
+    out += ", \"reaches_lock\": ";
+    out += s.lock.reaches ? "true" : "false";
+    out += ", \"reaches_throw\": ";
+    out += s.thrown.reaches ? "true" : "false";
+    out += ", \"recursive\": ";
+    out += s.recursive ? "true" : "false";
+    out += ", \"calls_virtual\": ";
+    out += s.calls_virtual ? "true" : "false";
+    out += "}}";
+    out += i + 1 == graph.functions.size() ? "\n" : ",\n";
+  }
+  out += "  ],\n  \"edges\": [\n";
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const Edge& e = graph.edges[i];
+    out += "    {\"caller\": " + std::to_string(e.caller) +
+           ", \"callee\": " + std::to_string(e.callee) +
+           ", \"line\": " + std::to_string(e.line) + ", \"direct\": " +
+           (e.direct ? "true" : "false") + "}";
+    out += i + 1 == graph.edges.size() ? "\n" : ",\n";
+  }
+  out += "  ],\n  \"num_functions\": " +
+         std::to_string(graph.functions.size()) +
+         ",\n  \"num_edges\": " + std::to_string(graph.edges.size()) + "\n}\n";
+  return out;
+}
+
+std::vector<HotPathViolation> EvaluateHotGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries) {
+  std::vector<HotPathViolation> out;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (!graph.functions[i].hot) continue;
+    if (summaries[i].alloc.reaches) {
+      out.push_back({static_cast<int>(i), "hot-path-alloc",
+                     WitnessChain(graph, summaries, static_cast<int>(i),
+                                  FactKind::kAlloc)});
+    }
+    if (summaries[i].lock.reaches) {
+      out.push_back({static_cast<int>(i), "hot-path-lock",
+                     WitnessChain(graph, summaries, static_cast<int>(i),
+                                  FactKind::kLock)});
+    }
+  }
+  return out;
+}
+
+std::string HotPathReportJson(const CallGraph& graph,
+                              const std::vector<FunctionSummary>& summaries,
+                              const std::vector<HotPathViolation>& violations) {
+  std::string out = "{\n  \"hot_functions\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    if (!fn.hot) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"qualified\": ";
+    obs::AppendJsonString(&out, fn.qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(fn.line);
+    bool clean = true;
+    std::string viols;
+    for (const HotPathViolation& v : violations) {
+      if (v.fn != static_cast<int>(i)) continue;
+      clean = false;
+      if (!viols.empty()) viols += ", ";
+      viols += "{\"kind\": \"" + v.kind + "\", \"witness\": ";
+      obs::AppendJsonString(&viols, v.witness);
+      viols += "}";
+    }
+    out += std::string(", \"clean\": ") + (clean ? "true" : "false");
+    out += ", \"calls_virtual\": ";
+    out += summaries[i].calls_virtual ? "true" : "false";
+    out += ", \"violations\": [" + viols + "]}";
+  }
+  out += "\n  ],\n  \"cold_functions\": [";
+  first = true;
+  for (const FunctionInfo& fn : graph.functions) {
+    if (!fn.cold) continue;
+    if (!first) out += ", ";
+    first = false;
+    obs::AppendJsonString(&out, fn.qualified);
+  }
+  out += "],\n  \"violations_total\": " + std::to_string(violations.size()) +
+         "\n}\n";
+  return out;
+}
+
+}  // namespace callgraph
+}  // namespace rdfcube

@@ -1,0 +1,126 @@
+// Cross-TU call-graph linking and transitive fact summaries (DESIGN.md §5g).
+//
+// Takes the per-file FunctionInfo lists from function_facts.h, links call
+// sites to definitions across translation units by name (an over-
+// approximation: every definition whose unqualified name matches is a
+// candidate; qualified calls additionally require a qualified-name suffix
+// match), and computes fixpoint summaries:
+//
+//   reaches_alloc / reaches_lock / reaches_throw
+//       the function has the fact itself, or calls — transitively — a
+//       function that does. Propagation stops at RDFCUBE_COLD callees (the
+//       deliberate-slow-path escape hatch) and records a witness chain.
+//   recursive
+//       the function sits in a call cycle. Only *direct* (receiver-less)
+//       calls form recursion edges: `EvalGroup(...)` recursing is detected,
+//       while `x.size()` inside an unrelated size() never creates a false
+//       self-loop through the shared method name.
+//   calls_virtual
+//       informational: the function calls a name declared `virtual`
+//       somewhere in the corpus, or through a std::function parameter.
+//
+// The gate consumers: lint checks hot-path-alloc / hot-path-lock /
+// no-throw-transitive / unbounded-recursion (tools/lint_checks.cc) and the
+// rdfcube_callgraph CLI (DOT/JSON export, reachability queries,
+// hot_path_report.json).
+
+#ifndef RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
+#define RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/callgraph/function_facts.h"
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace callgraph {
+
+/// \brief One resolved call edge in the linked graph.
+struct Edge {
+  int caller = -1;       ///< Index into CallGraph::functions.
+  int callee = -1;
+  std::size_t line = 0;  ///< 1-based call-site line in the caller's file.
+  bool direct = false;   ///< Receiver-less call written as a plain name.
+};
+
+/// \brief The linked cross-TU call graph.
+struct CallGraph {
+  std::vector<FunctionInfo> functions;  ///< All extracted definitions.
+  std::vector<Edge> edges;              ///< Resolved, deduplicated edges.
+  std::set<std::string> virtual_names;  ///< Names declared virtual anywhere.
+
+  /// Indices of functions whose qualified name ends with `suffix`
+  /// (or equals it). Empty when none match.
+  std::vector<int> FindBySuffix(const std::string& suffix) const;
+};
+
+/// \brief How one fact kind reaches one function.
+struct Reach {
+  bool reaches = false;
+  int source = -1;          ///< Function owning the originating fact.
+  int via = -1;             ///< Next callee on the witness path (-1 = self).
+  std::size_t via_line = 0; ///< Call-site line towards `via`.
+  std::size_t fact_line = 0;   ///< Line of the originating fact (source's).
+  std::string fact_detail;     ///< Token of the originating fact.
+};
+
+/// \brief Transitive summary of one function.
+struct FunctionSummary {
+  Reach alloc;   ///< kAlloc facts plus unreserved kGrowth.
+  Reach lock;
+  Reach thrown;  ///< ("throw" is a keyword.)
+  bool recursive = false;   ///< Member of a direct-call cycle.
+  std::vector<int> cycle;   ///< The strongly connected component (when
+                            ///< recursive), sorted.
+  bool calls_virtual = false;
+};
+
+/// Extracts and links every function across `corpus` (typically the stripped
+/// src/ files).
+CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus);
+
+/// Fixpoint transitive summaries for every function in `graph` (parallel
+/// vector, indexed like graph.functions).
+std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph);
+
+/// Human-readable witness chain for why `kind` reaches function `fn`:
+/// "A (file:line) -> B (file:line) -> token at file:line". Empty when the
+/// fact does not reach.
+std::string WitnessChain(const CallGraph& graph,
+                         const std::vector<FunctionSummary>& summaries,
+                         int fn, FactKind kind);
+
+/// Graphviz DOT rendering: hot functions double-peripheries, fact-owning
+/// functions colored, edges between extracted definitions.
+std::string GraphToDot(const CallGraph& graph,
+                       const std::vector<FunctionSummary>& summaries);
+
+/// JSON rendering: {"functions": [...], "edges": [...], counts}. Schema
+/// documented in DESIGN.md §5g.
+std::string GraphToJson(const CallGraph& graph,
+                        const std::vector<FunctionSummary>& summaries);
+
+/// \brief One hot-path gate finding (also surfaced as a lint Violation).
+struct HotPathViolation {
+  int fn = -1;
+  std::string kind;     ///< "hot-path-alloc" or "hot-path-lock".
+  std::string witness;  ///< WitnessChain output.
+};
+
+/// Evaluates the hot-path purity gate over every RDFCUBE_HOT function.
+std::vector<HotPathViolation> EvaluateHotGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries);
+
+/// JSON report for the gate artifact (hot_path_report.json): every hot
+/// function, its cleanliness, and any violations with witness chains.
+std::string HotPathReportJson(const CallGraph& graph,
+                              const std::vector<FunctionSummary>& summaries,
+                              const std::vector<HotPathViolation>& violations);
+
+}  // namespace callgraph
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_

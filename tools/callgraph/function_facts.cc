@@ -1,0 +1,378 @@
+#include "tools/callgraph/function_facts.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+namespace rdfcube {
+namespace callgraph {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// True when `line` (code view) is a preprocessor directive start.
+bool IsDirectiveStart(const std::string& line) {
+  const std::string_view t = Trim(line);
+  return !t.empty() && t.front() == '#';
+}
+
+// One entry of the scope stack during the brace scan.
+struct Scope {
+  enum Kind { kNamespace, kClass, kFunction, kOther };
+  Kind kind = kOther;
+  std::string name;     // namespace/class name; empty otherwise
+  int function = -1;    // index into the result vector for kFunction
+};
+
+// What a pending declaration head turned out to be when its '{' arrived.
+struct HeadClass {
+  Scope::Kind kind = Scope::kOther;
+  std::string name;          // scope or function name (as written)
+  std::string params;        // function parameter list text
+  std::size_t name_line = 0; // 1-based line of the name token
+  bool hot = false;
+  bool cold = false;
+};
+
+// Classifies the declaration text accumulated since the last statement
+// boundary, at the moment an opening brace is seen at namespace/class scope.
+HeadClass ClassifyHead(const std::string& pending,
+                       const std::vector<std::size_t>& pending_line) {
+  HeadClass out;
+  static const std::regex kNamespaceRe(R"(\bnamespace\b)");
+  static const std::regex kEnumRe(R"(\benum\b)");
+  static const std::regex kClassRe(R"(\b(class|struct|union)\s+([A-Za-z_]\w*))");
+
+  if (std::regex_search(pending, kEnumRe)) return out;
+  if (std::regex_search(pending, kNamespaceRe)) {
+    out.kind = Scope::kNamespace;
+    // Last identifier before the brace names the namespace ("" = anonymous).
+    std::size_t end = pending.size();
+    while (end > 0 && !IsIdentChar(pending[end - 1])) --end;
+    std::size_t begin = end;
+    while (begin > 0 && IsIdentChar(pending[begin - 1])) --begin;
+    out.name = pending.substr(begin, end - begin);
+    if (out.name == "namespace") out.name.clear();
+    return out;
+  }
+  std::smatch m;
+  if (std::regex_search(pending, m, kClassRe)) {
+    out.kind = Scope::kClass;
+    out.name = m[2];
+    return out;
+  }
+
+  // '=' outside parentheses means an initializer (array/aggregate/lambda
+  // assignment), not a function header. '=' inside parens is a default
+  // argument and fine. "operator=" is exempted below by the paren rule:
+  // its '=' sits before the '(' we find, so check only up to the first '('.
+  const std::size_t paren = pending.find('(');
+  if (paren == std::string::npos) return out;
+  int depth = 0;
+  for (std::size_t i = 0; i < paren; ++i) {
+    const char c = pending[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == '=' && depth == 0) {
+      // "operator=" / "operator==" name a function; any other top-level '='
+      // before the parameter list means an initializer.
+      std::size_t b = i;
+      while (b > 0 && pending[b - 1] == '=') --b;
+      const bool names_operator =
+          b >= 8 && pending.compare(b - 8, 8, "operator") == 0;
+      if (!names_operator) return out;
+    }
+  }
+
+  // Function shape: identifier (possibly ::-qualified, possibly a dtor ~)
+  // immediately before the first '('.
+  std::size_t end = paren;
+  while (end > 0 && pending[end - 1] == ' ') --end;
+  std::size_t begin = end;
+  while (begin > 0 && (IsIdentChar(pending[begin - 1]) ||
+                       pending[begin - 1] == ':' || pending[begin - 1] == '~')) {
+    --begin;
+  }
+  if (begin == end) return out;
+  std::string name = pending.substr(begin, end - begin);
+  while (!name.empty() && name.front() == ':') name.erase(name.begin());
+  if (name.empty()) return out;
+  // Control keywords can only appear inside function bodies, but be safe.
+  static const std::set<std::string> kNotAFunction = {
+      "if", "for", "while", "switch", "catch", "return", "sizeof",
+      "alignas", "alignof", "decltype", "noexcept"};
+  const std::string last =
+      name.substr(name.rfind(':') == std::string::npos
+                      ? 0
+                      : name.rfind(':') + 1);
+  if (kNotAFunction.count(last) != 0) return out;
+
+  // Parameter list: up to the matching ')'.
+  int pdepth = 0;
+  std::size_t close = paren;
+  for (; close < pending.size(); ++close) {
+    if (pending[close] == '(') ++pdepth;
+    if (pending[close] == ')') {
+      if (--pdepth == 0) break;
+    }
+  }
+  out.kind = Scope::kFunction;
+  out.name = name;
+  out.params = close < pending.size()
+                   ? pending.substr(paren + 1, close - paren - 1)
+                   : std::string();
+  out.name_line = begin < pending_line.size() ? pending_line[begin] : 0;
+  out.hot = pending.find("RDFCUBE_HOT") != std::string::npos;
+  out.cold = pending.find("RDFCUBE_COLD") != std::string::npos;
+  return out;
+}
+
+// Names of std::function-typed parameters (calls through them are dynamic
+// dispatch, not static call edges).
+std::set<std::string> FunctionTypedParams(const std::string& params) {
+  std::set<std::string> out;
+  static const std::regex kFnParam(
+      R"(\bfunction\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>\s*(?:const\s*)?&*\s*([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(params.begin(), params.end(), kFnParam);
+       it != std::sregex_iterator(); ++it) {
+    out.insert((*it)[1]);
+  }
+  return out;
+}
+
+// One accumulated body line: the characters of a function body that fell on
+// a single source line.
+struct BodyLine {
+  std::size_t line = 0;  // 1-based
+  std::string text;
+};
+
+// Scans the collected body lines of one function for facts and call sites.
+void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
+  static const std::regex kAlloc(
+      R"(\bnew\b|\b(malloc|calloc|realloc|strdup)\s*\(|\bmake_unique\s*<|\bmake_shared\s*<|\bto_string\s*\()");
+  static const std::regex kGrowth(
+      R"([.>](push_back|emplace_back|emplace|insert|append|resize|assign)\s*\()");
+  static const std::regex kThrow(R"(\bthrow\b)");
+  static const std::regex kLock(
+      R"(\bMutexLock\b|\block_guard\b|\bunique_lock\b|\bscoped_lock\b|[.>](Lock|lock)\s*\()");
+  static const std::regex kReserve(R"(\breserve\s*\()");
+  static const std::regex kCall(R"(((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)\s*\()");
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",     "while",    "switch",  "return", "catch",
+      "sizeof",  "alignof", "decltype", "noexcept", "alignas", "new",
+      "delete",  "static_assert", "defined", "assert", "throw"};
+
+  const std::set<std::string> fn_params = FunctionTypedParams(fn->params);
+
+  bool in_static_stmt = false;
+  for (const BodyLine& bl : body) {
+    const std::string& text = bl.text;
+    if (std::regex_search(text, kReserve)) fn->has_reserve = true;
+
+    // Statements starting with `static` are one-time initialization (the
+    // DefaultCounter idiom): no facts, no call edges, until the ';'.
+    bool skip = in_static_stmt;
+    if (!skip) {
+      const std::string_view t = Trim(text);
+      if (t.substr(0, 6) == "static" &&
+          (t.size() == 6 || !IsIdentChar(t[6]))) {
+        skip = true;
+        in_static_stmt = true;
+      }
+    }
+    if (in_static_stmt && text.find(';') != std::string::npos) {
+      in_static_stmt = false;
+    }
+    if (skip) continue;
+
+    std::smatch m;
+    if (std::regex_search(text, m, kAlloc)) {
+      fn->facts.push_back({FactKind::kAlloc, bl.line, m[0]});
+    }
+    if (std::regex_search(text, m, kGrowth)) {
+      fn->facts.push_back({FactKind::kGrowth, bl.line, m[1]});
+    }
+    if (std::regex_search(text, m, kThrow)) {
+      fn->facts.push_back({FactKind::kThrow, bl.line, "throw"});
+    }
+    if (std::regex_search(text, m, kLock)) {
+      fn->facts.push_back(
+          {FactKind::kLock, bl.line,
+           m[1].matched ? m[1].str() : m[0].str()});
+    }
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1];
+      if (kKeywords.count(name) != 0) continue;
+      if (fn_params.count(name) != 0) {
+        fn->facts.push_back({FactKind::kDispatch, bl.line, name});
+        continue;
+      }
+      // A receiver (`x.f(` / `p->f(`) marks a member call; only direct
+      // (receiver-less) calls participate in recursion detection.
+      std::size_t before = static_cast<std::size_t>(it->position(1));
+      while (before > 0 && text[before - 1] == ' ') --before;
+      const bool member =
+          before > 0 && (text[before - 1] == '.' || text[before - 1] == '>');
+      fn->calls.push_back({name, bl.line, member});
+    }
+  }
+}
+
+}  // namespace
+
+const char* FactKindName(FactKind kind) {
+  switch (kind) {
+    case FactKind::kAlloc: return "alloc";
+    case FactKind::kGrowth: return "growth";
+    case FactKind::kThrow: return "throw";
+    case FactKind::kLock: return "lock";
+    case FactKind::kDispatch: return "dispatch";
+  }
+  return "unknown";
+}
+
+std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file) {
+  std::vector<FunctionInfo> out;
+  std::vector<Scope> scopes;
+  std::string pending;
+  std::vector<std::size_t> pending_line;
+  int pending_paren = 0;
+  int current_fn = -1;  // innermost open function, or -1
+  std::vector<BodyLine> body;  // accumulated body of current_fn
+
+  const auto clear_pending = [&] {
+    pending.clear();
+    pending_line.clear();
+    pending_paren = 0;
+  };
+  const auto body_append = [&](char c, std::size_t line1) {
+    if (body.empty() || body.back().line != line1) {
+      body.push_back({line1, std::string()});
+    }
+    body.back().text.push_back(c);
+  };
+  const auto finalize_fn = [&](std::size_t line1) {
+    FunctionInfo& fn = out[static_cast<std::size_t>(current_fn)];
+    fn.body_end = line1;
+    ScanBody(body, &fn);
+    body.clear();
+    current_fn = -1;
+    // A function cannot lexically nest in another (lambdas never open a
+    // kFunction scope), so after the pop no enclosing function resumes.
+  };
+
+  bool prev_line_continued = false;  // directive continuation via '\'
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const std::size_t line1 = i + 1;
+    if (prev_line_continued || IsDirectiveStart(line)) {
+      const std::string_view t = Trim(line);
+      prev_line_continued = !t.empty() && t.back() == '\\';
+      continue;
+    }
+    for (char c : line) {
+      if (c == '{') {
+        if (current_fn >= 0) {
+          body_append(c, line1);
+          scopes.push_back({Scope::kOther, "", -1});
+          continue;
+        }
+        HeadClass head = ClassifyHead(pending, pending_line);
+        clear_pending();
+        Scope s;
+        s.kind = head.kind;
+        s.name = head.name;
+        if (head.kind == Scope::kFunction) {
+          FunctionInfo fn;
+          fn.file = file.path;
+          fn.line = head.name_line != 0 ? head.name_line : line1;
+          fn.params = head.params;
+          fn.hot = head.hot;
+          fn.cold = head.cold;
+          fn.qualified.clear();
+          for (const Scope& sc : scopes) {
+            if ((sc.kind == Scope::kNamespace || sc.kind == Scope::kClass) &&
+                !sc.name.empty()) {
+              fn.qualified += sc.name;
+              fn.qualified += "::";
+            }
+          }
+          fn.qualified += head.name;
+          const std::size_t sep = head.name.rfind(':');
+          fn.name = sep == std::string::npos ? head.name
+                                             : head.name.substr(sep + 1);
+          out.push_back(std::move(fn));
+          s.function = static_cast<int>(out.size()) - 1;
+          current_fn = s.function;
+          body.clear();
+        }
+        scopes.push_back(std::move(s));
+      } else if (c == '}') {
+        if (!scopes.empty()) {
+          const Scope top = scopes.back();
+          scopes.pop_back();
+          if (top.kind == Scope::kFunction) {
+            finalize_fn(line1);
+          } else if (current_fn >= 0) {
+            body_append(c, line1);
+          }
+        }
+        clear_pending();
+      } else if (current_fn >= 0) {
+        body_append(c, line1);
+      } else if (c == ';' && pending_paren == 0) {
+        clear_pending();
+      } else {
+        if (c == '(') ++pending_paren;
+        if (c == ')' && pending_paren > 0) --pending_paren;
+        pending.push_back(c);
+        pending_line.push_back(line1);
+      }
+    }
+    if (current_fn < 0 && !pending.empty() && pending.back() != ' ') {
+      pending.push_back(' ');
+      pending_line.push_back(line1);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> VirtualMethodNames(const lint::SourceFile& file) {
+  std::vector<std::string> out;
+  static const std::regex kVirtual(R"(\bvirtual\b)");
+  static const std::regex kName(R"((~?[A-Za-z_]\w*)\s*\()");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    if (!std::regex_search(file.code[i], kVirtual)) continue;
+    // The method name is the identifier before the first '(' on this line or,
+    // for wrapped declarations, the next one.
+    for (std::size_t j = i; j < file.code.size() && j <= i + 1; ++j) {
+      std::smatch m;
+      if (std::regex_search(file.code[j], m, kName)) {
+        out.push_back(m[1]);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace callgraph
+}  // namespace rdfcube

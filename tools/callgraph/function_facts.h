@@ -1,0 +1,96 @@
+// Function-level fact extraction for the cross-TU call-graph analyzer
+// (rdfcube_callgraph, DESIGN.md §5g). Grows the shared tokenizer pass
+// (tools/source_text.h) from line-class checks into a lexical *function*
+// model: for every function definition in a stripped SourceFile we record
+//
+//   - its qualified name (enclosing namespaces/classes + the written name),
+//   - the RDFCUBE_HOT / RDFCUBE_COLD annotation on its header (base/hot.h),
+//   - its call sites (identifier-before-'(' tokens, keyword-filtered),
+//   - per-body facts:
+//       alloc     explicit heap allocation: `new`, malloc/calloc/realloc/
+//                 strdup, make_unique/make_shared, std::to_string
+//       growth    container growth (push_back/emplace/insert/resize/append/
+//                 assign/operator+=) in a body with no reserve() call —
+//                 "unreserved growth"; a body that reserves is exempt
+//       throw     a `throw` expression
+//       lock      mutex acquisition: MutexLock, std::lock_guard/unique_lock/
+//                 scoped_lock, or a .Lock()/.lock() call
+//       dispatch  a call through a std::function-typed parameter (virtual
+//                 dispatch is resolved at link time in callgraph.h, where the
+//                 corpus-wide set of virtual method names is known)
+//
+// Deliberate lexical semantics (documented limits, chosen so the gate is
+// satisfiable on idiomatic code):
+//   - Statements beginning with `static` contribute no facts and no call
+//     sites: the function-local `static obs::Counter& c = DefaultCounter(...)`
+//     idiom (CLAUDE.md) is one-time initialization, not hot-path work.
+//   - Lambda bodies are attributed to the enclosing function (a deadline
+//     check lambda inside Export is Export's work).
+//   - Preprocessor lines (including continuation lines) are invisible to the
+//     scanner, so multi-line macro definitions cannot unbalance the brace
+//     depth.
+//   - Allocation hidden behind a constructor call (std::string copies, ...)
+//     is not modeled; the gate is a tripwire for the explicit allocator
+//     vocabulary above, not an escape analysis.
+
+#ifndef RDFCUBE_TOOLS_CALLGRAPH_FUNCTION_FACTS_H_
+#define RDFCUBE_TOOLS_CALLGRAPH_FUNCTION_FACTS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/source_text.h"
+
+namespace rdfcube {
+namespace callgraph {
+
+/// \brief Kind of a per-body fact (see the file comment for the vocabulary).
+enum class FactKind { kAlloc, kGrowth, kThrow, kLock, kDispatch };
+
+/// Stable lowercase name of a FactKind ("alloc", "growth", ...).
+const char* FactKindName(FactKind kind);
+
+/// \brief One fact observed in a function body.
+struct BodyFact {
+  FactKind kind = FactKind::kAlloc;
+  std::size_t line = 0;  ///< 1-based line of the fact.
+  std::string detail;    ///< The token that matched, e.g. "push_back".
+};
+
+/// \brief One call site: an identifier (possibly qualified) before a '('.
+struct CallSite {
+  std::string name;      ///< As written, e.g. "CoversRange" or "Status::OK".
+  std::size_t line = 0;  ///< 1-based line of the call.
+  bool member = false;   ///< Written with a receiver (`x.f(...)`/`p->f(...)`).
+};
+
+/// \brief One extracted function definition and its lexical facts.
+struct FunctionInfo {
+  std::string file;       ///< Root-relative path of the defining TU.
+  std::size_t line = 0;   ///< 1-based line of the function name token.
+  std::size_t body_end = 0;  ///< 1-based line of the closing brace.
+  std::string name;       ///< Unqualified name, e.g. "Covers".
+  std::string qualified;  ///< Scopes + written name, e.g.
+                          ///< "rdfcube::util::BitVector::Covers".
+  std::string params;     ///< Parameter-list text (single line, normalized).
+  bool hot = false;       ///< Header carries RDFCUBE_HOT.
+  bool cold = false;      ///< Header carries RDFCUBE_COLD.
+  bool has_reserve = false;  ///< Body calls reserve() (growth exemption).
+  std::vector<BodyFact> facts;
+  std::vector<CallSite> calls;
+};
+
+/// Extracts every function definition (with body) from the code view of
+/// `file`. Declarations without bodies, `= default`/`= delete` functions and
+/// aggregate initializers are skipped.
+std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file);
+
+/// Names declared `virtual` anywhere in `file` (methods a call could
+/// dynamically dispatch to). Unqualified.
+std::vector<std::string> VirtualMethodNames(const lint::SourceFile& file);
+
+}  // namespace callgraph
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_TOOLS_CALLGRAPH_FUNCTION_FACTS_H_

@@ -1,0 +1,207 @@
+// rdfcube_callgraph: the cross-TU call-graph analyzer CLI (DESIGN.md §5g).
+// Extracts every function definition under <root>/src through the shared
+// tokenizer, links call sites across translation units, computes transitive
+// fact summaries (alloc / lock / throw / recursion / virtual dispatch), and
+// evaluates the RDFCUBE_HOT purity gate.
+//
+// Usage: rdfcube_callgraph [root] [options]
+//   --json=FILE        write the full graph as JSON ("-" = stdout)
+//   --dot=FILE         write the graph as Graphviz DOT ("-" = stdout)
+//   --hot-report=FILE  write hot_path_report.json ("-" = stdout)
+//   --reach=NAME       print why alloc/lock/throw facts reach the function(s)
+//                      whose qualified name ends with NAME
+//   --callers=NAME     print the direct callers of the function(s) NAME
+// With no output option, prints a one-line summary.
+// Exit status: 0 when every RDFCUBE_HOT function is clean, 1 when the hot
+// gate found violations, 2 on usage error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/callgraph/callgraph.h"
+#include "tools/source_text.h"
+
+namespace {
+
+namespace cg = rdfcube::callgraph;
+namespace fs = std::filesystem;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [repo-root] [--json=FILE] [--dot=FILE] "
+               "[--hot-report=FILE] [--reach=NAME] [--callers=NAME]\n",
+               argv0);
+  return 2;
+}
+
+// Writes `content` to `path`, or stdout when path is "-". Returns false on
+// I/O failure.
+bool WriteOut(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::vector<rdfcube::lint::SourceFile> LoadSrc(const std::string& root) {
+  std::vector<rdfcube::lint::SourceFile> corpus;
+  std::vector<std::string> paths;
+  const fs::path base = fs::path(root) / "src";
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+    paths.push_back(fs::relative(it->path(), root).generic_string());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& rel : paths) {
+    corpus.push_back(rdfcube::lint::LoadSource(fs::path(root) / rel, rel));
+  }
+  return corpus;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path, dot_path, report_path, reach_name, callers_name;
+  bool root_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+    } else if (arg.rfind("--hot-report=", 0) == 0) {
+      report_path = arg.substr(13);
+    } else if (arg.rfind("--reach=", 0) == 0) {
+      reach_name = arg.substr(8);
+    } else if (arg.rfind("--callers=", 0) == 0) {
+      callers_name = arg.substr(10);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage(argv[0]);
+    } else if (!root_set) {
+      root = arg;
+      root_set = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::error_code ec;
+  if (!fs::is_directory(fs::path(root) / "src", ec)) {
+    std::fprintf(stderr, "%s: no src/ directory under '%s'\n", argv[0],
+                 root.c_str());
+    return 2;
+  }
+
+  const std::vector<rdfcube::lint::SourceFile> corpus = LoadSrc(root);
+  const cg::CallGraph graph = cg::BuildCallGraph(corpus);
+  const std::vector<cg::FunctionSummary> summaries =
+      cg::ComputeSummaries(graph);
+  const std::vector<cg::HotPathViolation> violations =
+      cg::EvaluateHotGate(graph, summaries);
+
+  if (!json_path.empty() &&
+      !WriteOut(json_path, cg::GraphToJson(graph, summaries))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0], json_path.c_str());
+    return 2;
+  }
+  if (!dot_path.empty() &&
+      !WriteOut(dot_path, cg::GraphToDot(graph, summaries))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0], dot_path.c_str());
+    return 2;
+  }
+  if (!report_path.empty() &&
+      !WriteOut(report_path,
+                cg::HotPathReportJson(graph, summaries, violations))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                 report_path.c_str());
+    return 2;
+  }
+
+  if (!reach_name.empty()) {
+    const std::vector<int> ids = graph.FindBySuffix(reach_name);
+    if (ids.empty()) {
+      std::fprintf(stderr, "%s: no function matches '%s'\n", argv[0],
+                   reach_name.c_str());
+    }
+    for (const int id : ids) {
+      const std::size_t u = static_cast<std::size_t>(id);
+      std::printf("%s (%s:%zu)%s%s\n",
+                  graph.functions[u].qualified.c_str(),
+                  graph.functions[u].file.c_str(), graph.functions[u].line,
+                  graph.functions[u].hot ? " [hot]" : "",
+                  graph.functions[u].cold ? " [cold]" : "");
+      for (const cg::FactKind kind :
+           {cg::FactKind::kAlloc, cg::FactKind::kLock, cg::FactKind::kThrow}) {
+        const std::string chain =
+            cg::WitnessChain(graph, summaries, id, kind);
+        if (chain.empty()) {
+          std::printf("  %s: clean\n", cg::FactKindName(kind));
+        } else {
+          std::printf("  %s: %s\n", cg::FactKindName(kind), chain.c_str());
+        }
+      }
+      if (summaries[u].recursive) {
+        std::printf("  recursive: cycle of %zu function(s)\n",
+                    summaries[u].cycle.size());
+      }
+    }
+  }
+
+  if (!callers_name.empty()) {
+    const std::vector<int> ids = graph.FindBySuffix(callers_name);
+    if (ids.empty()) {
+      std::fprintf(stderr, "%s: no function matches '%s'\n", argv[0],
+                   callers_name.c_str());
+    }
+    for (const int id : ids) {
+      std::printf("callers of %s:\n",
+                  graph.functions[static_cast<std::size_t>(id)]
+                      .qualified.c_str());
+      for (const cg::Edge& e : graph.edges) {
+        if (e.callee != id) continue;
+        const cg::FunctionInfo& c =
+            graph.functions[static_cast<std::size_t>(e.caller)];
+        std::printf("  %s (%s:%zu)\n", c.qualified.c_str(), c.file.c_str(),
+                    e.line);
+      }
+    }
+  }
+
+  if (json_path.empty() && dot_path.empty() && report_path.empty() &&
+      reach_name.empty() && callers_name.empty()) {
+    std::size_t hot = 0, cold = 0;
+    for (const cg::FunctionInfo& fn : graph.functions) {
+      if (fn.hot) ++hot;
+      if (fn.cold) ++cold;
+    }
+    std::printf(
+        "rdfcube_callgraph: %zu functions, %zu edges, %zu hot, %zu cold, "
+        "%zu hot-path violation(s)\n",
+        graph.functions.size(), graph.edges.size(), hot, cold,
+        violations.size());
+  }
+
+  for (const cg::HotPathViolation& v : violations) {
+    std::fprintf(stderr, "[%s] %s\n", v.kind.c_str(), v.witness.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}

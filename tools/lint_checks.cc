@@ -4,12 +4,14 @@
 #include <cctype>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <regex>
 #include <sstream>
 #include <string_view>
 #include <tuple>
 
 #include "obs/json_writer.h"
+#include "tools/callgraph/callgraph.h"
 #include "tools/deps/deps_analysis.h"
 #include "tools/source_text.h"
 
@@ -610,6 +612,82 @@ void CheckCheckedValue(const std::vector<SourceFile>& corpus,
   }
 }
 
+// --- call-graph checks (tools/callgraph; see DESIGN.md §5g) ------------------
+
+// hot-path-alloc / hot-path-lock / no-throw-transitive / unbounded-recursion.
+// All four run over the linked cross-TU call graph of src/ (tools/ and bench/
+// carry no RDFCUBE_HOT kernels and would only add name-collision noise).
+// Findings anchor at the flagged function's definition line, which is also
+// where `lint:allow(<check>)` suppresses them.
+void CheckCallGraph(const std::vector<SourceFile>& corpus,
+                    std::vector<Violation>* out) {
+  std::vector<SourceFile> src;
+  for (const SourceFile& f : corpus) {
+    if (InDir(f, "src")) src.push_back(f);
+  }
+  const callgraph::CallGraph graph = callgraph::BuildCallGraph(src);
+  const std::vector<callgraph::FunctionSummary> summaries =
+      callgraph::ComputeSummaries(graph);
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : src) by_path[f.path] = &f;
+  const auto suppressed = [&by_path](const callgraph::FunctionInfo& fn,
+                                     const std::string& check) {
+    const auto it = by_path.find(fn.file);
+    return it != by_path.end() && fn.line > 0 &&
+           LineSuppressed(*it->second, fn.line - 1, check);
+  };
+
+  for (const callgraph::HotPathViolation& v :
+       callgraph::EvaluateHotGate(graph, summaries)) {
+    const callgraph::FunctionInfo& fn =
+        graph.functions[static_cast<std::size_t>(v.fn)];
+    if (suppressed(fn, v.kind)) continue;
+    const char* what = v.kind == "hot-path-alloc"
+                           ? "a heap allocation (hoist it, pre-reserve, or "
+                             "mark the slow-path callee RDFCUBE_COLD)"
+                           : "a lock acquisition (pin shared state before "
+                             "entering the kernel)";
+    out->push_back({v.kind, fn.file, fn.line,
+                    "RDFCUBE_HOT function reaches " + std::string(what) +
+                        ": " + v.witness});
+  }
+
+  static const std::string kNoThrowTransitive = "no-throw-transitive";
+  static const std::string kUnboundedRecursion = "unbounded-recursion";
+  static const std::regex kBoundParam(
+      R"(\b(depth|budget|fuel|limit|remaining)\b)");
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const callgraph::FunctionInfo& fn = graph.functions[i];
+    const callgraph::FunctionSummary& s = summaries[i];
+    const bool no_throw_layer = StartsWith(fn.file, "src/base/") ||
+                                StartsWith(fn.file, "src/core/") ||
+                                StartsWith(fn.file, "src/util/");
+    // The lexical no-throw check owns throws written in the function itself;
+    // this one fires when the throw lives in a callee.
+    if (no_throw_layer && s.thrown.reaches &&
+        s.thrown.source != static_cast<int>(i) &&
+        !suppressed(fn, kNoThrowTransitive)) {
+      out->push_back(
+          {kNoThrowTransitive, fn.file, fn.line,
+           "function in a no-throw layer reaches a throw: " +
+               callgraph::WitnessChain(graph, summaries, static_cast<int>(i),
+                                       callgraph::FactKind::kThrow)});
+    }
+    const bool recursion_layer = StartsWith(fn.file, "src/sparql/") ||
+                                 StartsWith(fn.file, "src/rules/");
+    if (recursion_layer && s.recursive &&
+        !std::regex_search(fn.params, kBoundParam) &&
+        !suppressed(fn, kUnboundedRecursion)) {
+      out->push_back({kUnboundedRecursion, fn.file, fn.line,
+                      "`" + fn.qualified +
+                          "` sits in a direct-call cycle but takes no "
+                          "recursion bound; thread an explicit "
+                          "depth/budget parameter through the cycle"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> RunAllChecks(const std::string& root) {
@@ -631,6 +709,7 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
   CheckObsShadowing(corpus, &out);
   CheckMetricNames(corpus, &out);
   CheckCheckedValue(corpus, &out);
+  CheckCallGraph(corpus, &out);
 
   // Architecture checks (tools/deps): layer-dag (skipped when the tree
   // declares no tools/layers.txt), include-cycle, iwyu-direct.
@@ -668,6 +747,51 @@ std::string ViolationsToJson(const std::vector<Violation>& violations) {
     out += i + 1 == violations.size() ? "}\n" : "},\n";
   }
   out += "]\n";
+  return out;
+}
+
+std::string ViolationsToSarif(const std::vector<Violation>& violations) {
+  // Rule metadata: one reportingDescriptor per distinct check, sorted.
+  std::vector<std::string> rules;
+  for (const Violation& v : violations) rules.push_back(v.check);
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [{\n";
+  out += "    \"tool\": {\"driver\": {\"name\": \"rdfcube_lint\", "
+         "\"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"id\": ";
+    obs::AppendJsonString(&out, rules[i]);
+    out += "}";
+  }
+  out += "]}},\n";
+  out += "    \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out += "      {\"ruleId\": ";
+    obs::AppendJsonString(&out, v.check);
+    out += ", \"level\": \"error\", \"message\": {\"text\": ";
+    obs::AppendJsonString(&out, v.message);
+    out += "}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": ";
+    obs::AppendJsonString(&out, v.file);
+    out += "}";
+    if (v.line != 0) {
+      out += ", \"region\": {\"startLine\": " + std::to_string(v.line) + "}";
+    }
+    out += "}}]}";
+    out += i + 1 == violations.size() ? "\n" : ",\n";
+  }
+  out += "    ]\n";
+  out += "  }]\n";
+  out += "}\n";
   return out;
 }
 

@@ -54,6 +54,28 @@
 // The layer-dag check is skipped when tools/layers.txt is absent; the
 // standalone rdfcube_deps gate treats a missing manifest as a failure.
 //
+// Call-graph checks (tools/callgraph, DESIGN.md §5g; run over src/ only,
+// where kernels live and TU-visibility linking is meaningful):
+//   hot-path-alloc        an RDFCUBE_HOT function reaches — transitively,
+//                         across TUs — a heap allocation (new/malloc/
+//                         make_unique/to_string, or container growth with no
+//                         reserve() in the growing function). The finding
+//                         carries the witness chain; fix by hoisting the
+//                         allocation, pre-reserving, or marking the slow-path
+//                         callee RDFCUBE_COLD.
+//   hot-path-lock         an RDFCUBE_HOT function reaches a Mutex
+//                         acquisition; pin shared state before entering the
+//                         kernel instead.
+//   no-throw-transitive   a src/base, src/core or src/util function calls —
+//                         transitively — into a `throw` defined elsewhere
+//                         (the lexical no-throw check covers the throw
+//                         statement itself; this covers reaching one).
+//   unbounded-recursion   a src/sparql or src/rules function sits in a
+//                         direct-call cycle and its parameter list carries no
+//                         recursion bound (depth/budget/fuel/limit/
+//                         remaining); thread an explicit bound like
+//                         Evaluator::EvalGroup's `depth`.
+//
 // Walk roots: src/ and tools/ and bench/ (per-check subsets documented
 // above; bench/ is included so harness code obeys checked-parse and the
 // concurrency lints too).
@@ -91,6 +113,12 @@ std::string FormatViolation(const Violation& v);
 /// Formats `violations` as a JSON array of {file, line, check, message}
 /// objects (the `rdfcube_lint --format=json` schema; sorted as given).
 std::string ViolationsToJson(const std::vector<Violation>& violations);
+
+/// Formats `violations` as a SARIF 2.1.0 log (one run, driver rdfcube_lint,
+/// every finding level "error") for code-scanning UIs
+/// (`rdfcube_lint --format=sarif`). Whole-file findings (line 0) carry no
+/// region, per the SARIF requirement that startLine be >= 1.
+std::string ViolationsToSarif(const std::vector<Violation>& violations);
 
 }  // namespace lint
 }  // namespace rdfcube

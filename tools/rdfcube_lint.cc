@@ -1,14 +1,15 @@
 // rdfcube_lint: runs the repo-specific static checks (see lint_checks.h)
 // over a source tree and prints every violation.
 //
-// Usage: rdfcube_lint [root] [--check=a,b,...] [--format=text|json]
+// Usage: rdfcube_lint [root] [--check=a,b,...] [--format=text|json|sarif]
 //   root       repo root containing src/ and tools/ (default: .)
 //   --check    run (report) only the named checks, comma-separated — e.g.
 //              --check=no-throw,layer-dag. Unknown names are a usage error,
 //              so a typo can never silently pass.
 //   --format   text (default) prints file:line: [check] message to stderr;
 //              json prints a [{file,line,check,message}] array to stdout
-//              (CI attaches it as the lint_report.json artifact).
+//              (CI attaches it as the lint_report.json artifact); sarif
+//              prints a SARIF 2.1.0 log to stdout for code-scanning UIs.
 // Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
 
 #include <algorithm>
@@ -31,6 +32,8 @@ const std::set<std::string> kKnownChecks = {
     "metric-name",    "checked-value",
     "layer-dag",      "include-cycle",
     "iwyu-direct",    "lint",
+    "hot-path-alloc", "hot-path-lock",
+    "no-throw-transitive", "unbounded-recursion",
 };
 
 int Usage(const char* argv0) {
@@ -52,16 +55,18 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [repo-root] [--check=a,b,...] [--format=text|json]\n"
+          "usage: %s [repo-root] [--check=a,b,...] [--format=text|json|sarif]\n"
           "  repo-root: tree containing src/ and tools/ (default: .)\n"
           "  --check:   report only the named checks (comma-separated)\n"
-          "  --format:  text (default, stderr) or json (stdout)\n"
+          "  --format:  text (default, stderr), json or sarif (stdout)\n"
           "Runs the rdfcube-specific static checks (lexical: no-throw,\n"
           "std-function-callback, umbrella-sync, doxygen-public,\n"
           "checked-parse, bare-stopwatch, lock-annotation, obs-shadowing,\n"
           "metric-name, checked-value; architecture: layer-dag,\n"
-          "include-cycle, iwyu-direct). Exits 0 when clean, 1 when\n"
-          "violations were found, 2 on usage error.\n",
+          "include-cycle, iwyu-direct; call-graph: hot-path-alloc,\n"
+          "hot-path-lock, no-throw-transitive, unbounded-recursion).\n"
+          "Exits 0 when clean, 1 when violations were found, 2 on usage\n"
+          "error.\n",
           argv[0]);
       return 0;
     }
@@ -80,7 +85,9 @@ int main(int argc, char** argv) {
       if (only.empty()) return Usage(argv[0]);
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "text" && format != "json") return Usage(argv[0]);
+      if (format != "text" && format != "json" && format != "sarif") {
+        return Usage(argv[0]);
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);
     } else if (!root_set) {
@@ -104,6 +111,8 @@ int main(int argc, char** argv) {
 
   if (format == "json") {
     std::fputs(rdfcube::lint::ViolationsToJson(violations).c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(rdfcube::lint::ViolationsToSarif(violations).c_str(), stdout);
   } else {
     for (const auto& v : violations) {
       std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
@@ -113,6 +122,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "rdfcube_lint: %zu violation(s)\n", violations.size());
     return 1;
   }
-  if (format != "json") std::printf("rdfcube_lint: clean\n");
+  if (format == "text") std::printf("rdfcube_lint: clean\n");
   return 0;
 }
