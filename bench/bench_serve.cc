@@ -18,7 +18,12 @@
 // BENCH_serve.json stats (schema in EXPERIMENTS.md): for each workload
 // <w> in {point, scan}: <w>.p50_us, <w>.p99_us, <w>.qps, <w>.requests,
 // <w>.errors; plus server.requests_total / server.shed_total /
-// server.deadline_expired_total from the server's own counters.
+// server.deadline_expired_total from the server's own counters, and the
+// per-op RED attribution op.<op>.requests / op.<op>.mean_us for every wire
+// op (delta of the rdfcube_server_<op>_* metrics over the run; the ops this
+// bench never sends report zero). check_bench_json.sh asserts the op.*
+// requests sum equals server.requests_total — the same conservation law the
+// chaos soak enforces.
 
 #include <benchmark/benchmark.h>
 
@@ -35,6 +40,7 @@
 #include "bench/bench_util.h"
 #include "core/snapshot.h"
 #include "datagen/realworld.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "server/client.h"
@@ -51,16 +57,64 @@ struct WorkloadResult {
   uint64_t errors = 0;
 };
 
+// Wire-op identifiers, in protocol order (server/protocol.h OpName).
+constexpr const char* kOpNames[] = {
+    "ping",  "containers", "contained", "complements", "partial",
+    "scan",  "stats",      "metrics",   "slowlog",     "tracedump"};
+constexpr std::size_t kNumOps = sizeof(kOpNames) / sizeof(kOpNames[0]);
+
+struct OpStat {
+  uint64_t requests = 0;
+  double mean_us = 0.0;
+};
+
 struct ServeRunStats {
   WorkloadResult point;
   WorkloadResult scan;
   uint64_t server_requests = 0;
   uint64_t server_sheds = 0;
   uint64_t server_deadline_expired = 0;
+  OpStat per_op[kNumOps];
   bool ran = false;
 };
 
 ServeRunStats g_stats;
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snap,
+                      const std::string& name) {
+  for (const obs::CounterSample& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const obs::HistogramSample* FindHistogram(const obs::MetricsSnapshot& snap,
+                                          const std::string& name) {
+  for (const obs::HistogramSample& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+/// Per-op RED attribution as the delta of the global rdfcube_server_<op>_*
+/// metrics between two snapshots; ops whose metrics never registered (or
+/// never moved) report zero.
+void FillPerOpStats(const obs::MetricsSnapshot& before,
+                    const obs::MetricsSnapshot& after, OpStat* out) {
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const std::string base = std::string("rdfcube_server_") + kOpNames[i];
+    out[i].requests = CounterValue(after, base + "_requests_total") -
+                      CounterValue(before, base + "_requests_total");
+    const obs::HistogramSample* ha = FindHistogram(after, base + "_latency_us");
+    const obs::HistogramSample* hb =
+        FindHistogram(before, base + "_latency_us");
+    const uint64_t count = (ha != nullptr ? ha->count : 0) -
+                           (hb != nullptr ? hb->count : 0);
+    const double sum =
+        (ha != nullptr ? ha->sum : 0.0) - (hb != nullptr ? hb->sum : 0.0);
+    out[i].mean_us = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+}
 
 /// Exact nearest-rank percentile over an unsorted latency vector.
 double PercentileUs(std::vector<double>* latencies, double q) {
@@ -172,6 +226,8 @@ void RunServe() {
   }
 
   const uint32_t num_obs = static_cast<uint32_t>(n);
+  const obs::MetricsSnapshot metrics_before =
+      obs::MetricsRegistry::Global().Snapshot();
   g_stats.point = RunWorkload(
       "serve/point_lookup", srv.port(), point_threads, point_per_thread,
       [num_obs](std::size_t i) {
@@ -196,14 +252,20 @@ void RunServe() {
                                return req;
                              });
 
-  g_stats.server_requests = srv.requests_total();
-  g_stats.server_sheds = srv.shed_total();
-  g_stats.server_deadline_expired = srv.deadline_expired_total();
-  g_stats.ran = true;
   {
     obs::TraceSpan drain("serve/drain");
     srv.Stop();
   }
+  // Tallies are read after Stop() joins the workers: a job's per-op counter
+  // ticks in the post-write epilogue, so an earlier read could undercount
+  // the op.* side of the conservation law.
+  g_stats.server_requests = srv.requests_total();
+  g_stats.server_sheds = srv.shed_total();
+  g_stats.server_deadline_expired = srv.deadline_expired_total();
+  const obs::MetricsSnapshot metrics_after =
+      obs::MetricsRegistry::Global().Snapshot();
+  FillPerOpStats(metrics_before, metrics_after, g_stats.per_op);
+  g_stats.ran = true;
 }
 
 void Decorate(obs::RunReport* report) {
@@ -225,6 +287,12 @@ void Decorate(obs::RunReport* report) {
                   static_cast<double>(g_stats.server_sheds));
   report->AddStat("server.deadline_expired_total",
                   static_cast<double>(g_stats.server_deadline_expired));
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    const std::string p = std::string("op.") + kOpNames[i];
+    report->AddStat(p + ".requests",
+                    static_cast<double>(g_stats.per_op[i].requests));
+    report->AddStat(p + ".mean_us", g_stats.per_op[i].mean_us);
+  }
 }
 
 }  // namespace

@@ -13,6 +13,11 @@
 #   soak smoke   the server chaos soak (tests/server_soak_test) re-run in
 #                RDFCUBE_BENCH_SMOKE=1 mode — a seconds-scale pass with a
 #                different fault seed than the full-length ctest run
+#   serve scrape a live rdfcube_serverd instance queried over TCP: a known
+#                request count is sent through rdfcube_cli, the kMetrics
+#                scrape is validated by scripts/check_prometheus.sh, and the
+#                per-op requests_total must match the count exactly (the
+#                scrape artifact is kept in build/serve_scrape for CI upload)
 #   bench json   scripts/check_bench_json.sh (BENCH_*.json schema + the
 #                phases-sum-to-wall-clock invariant, smoke-mode run,
 #                2x wall-clock ceiling vs bench/baseline)
@@ -37,6 +42,9 @@ ctest --test-dir build --output-on-failure
 
 echo "== server soak (smoke) =="
 RDFCUBE_BENCH_SMOKE=1 ./build/tests/server_soak_test
+
+echo "== serve scrape =="
+scripts/check_serve_scrape.sh build
 
 echo "== architecture gate =="
 # Also runs inside the static stage; kept explicit so --fast still fails

@@ -13,7 +13,10 @@
 #   3. BENCH_serve.json additionally must report the serving workloads:
 #      <w>.{p50_us,p99_us,qps,requests,errors} for w in {point, scan}, with
 #      zero request errors and zero sheds (the harness sizes the admission
-#      queue so a healthy server never sheds — a shed here is a regression).
+#      queue so a healthy server never sheds — a shed here is a regression),
+#      plus per-op RED stats op.<op>.{requests,mean_us} for every wire op,
+#      whose request counts must sum to exactly server.requests_total (the
+#      metrics-conservation law the chaos soak also enforces).
 #
 # The 10% tolerance is the acceptance criterion for the observability layer:
 # CapturePhases partitions the root span exactly, so a drift here means the
@@ -135,6 +138,20 @@ if report["name"] == "serve":
             sys.exit(f"FAIL: serve {w} p99 below p50")
     if stats.get("server.shed_total", 0) != 0:
         sys.exit("FAIL: healthy-path serve bench shed requests")
+    # Per-op RED attribution: every wire op reports its request count and
+    # mean latency, and the op counts conserve the server's own tally —
+    # every worker-handled request ticked exactly one per-op counter.
+    ops = ("ping", "containers", "contained", "complements", "partial",
+           "scan", "stats", "metrics", "slowlog", "tracedump")
+    for op in ops:
+        for key in ("requests", "mean_us"):
+            if f"op.{op}.{key}" not in stats:
+                sys.exit(f"FAIL: serve stats missing op.{op}.{key}")
+    op_sum = sum(stats[f"op.{op}.requests"] for op in ops)
+    if op_sum != stats.get("server.requests_total"):
+        sys.exit(f"FAIL: per-op requests sum {op_sum} != "
+                 f"server.requests_total {stats.get('server.requests_total')} "
+                 f"— per-op RED counters do not conserve the request tally")
     for w in ("point", "scan"):
         needed = [f"serve/{'point_lookup' if w == 'point' else 'bulk_scan'}"]
         if not any(p["name"] in needed for p in phases):

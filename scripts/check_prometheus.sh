@@ -1,0 +1,174 @@
+#!/bin/sh
+# Prometheus exposition-format gate: validates a text scrape (as served by
+# the kMetrics wire op / `rdfcube_cli query <host:port> metrics`) against
+# the subset of the format the registry emits:
+#
+#   1. Every sample line belongs to a metric family introduced by a
+#      `# HELP <name> <help>` line immediately followed by
+#      `# TYPE <name> counter|gauge|histogram`, each exactly once.
+#   2. Metric family names follow the repo scheme
+#      rdfcube_<module>_<name>[_<unit>] (lint check `metric-names`).
+#   3. Histogram families emit cumulative `<name>_bucket{le="..."}` samples
+#      with strictly increasing bounds, a final le="+Inf" bucket, and
+#      `<name>_sum` / `<name>_count`; bucket counts are monotonically
+#      non-decreasing and the +Inf bucket equals `<name>_count`.
+#   4. Sample values parse as numbers; no duplicate sample names outside
+#      histogram series; no stray text.
+#
+# Usage: scripts/check_prometheus.sh <scrape-file>
+#        (or `-` to read the scrape from stdin)
+set -eu
+
+if [ $# -ne 1 ]; then
+  echo "usage: $0 <scrape-file|->" >&2
+  exit 2
+fi
+
+input="$1"
+if [ "$input" = "-" ]; then
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  cat > "$tmp"
+  input="$tmp"
+fi
+[ -f "$input" ] || { echo "FAIL: no such scrape file: $input" >&2; exit 1; }
+
+python3 - "$input" <<'EOF'
+import re
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    lines = f.read().split("\n")
+if lines and lines[-1] == "":
+    lines.pop()
+
+NAME_RE = re.compile(r"^rdfcube_[a-z0-9]+_[a-z0-9_]+$")
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>\S+)$')
+LE_RE = re.compile(r'^le="(?P<bound>[^"]*)"$')
+
+
+def fail(lineno, msg):
+    sys.exit(f"FAIL: line {lineno}: {msg}")
+
+
+families = {}   # name -> {"kind": str, "help": bool, "line": int}
+samples = {}    # sample name (incl. _bucket/_sum/_count) -> list of entries
+order = []      # family names in exposition order
+pending_help = None
+
+for i, line in enumerate(lines, start=1):
+    if line == "":
+        fail(i, "blank line in exposition")
+    if line.startswith("# HELP "):
+        parts = line.split(" ", 3)
+        if len(parts) < 4:
+            fail(i, "malformed HELP line")
+        name = parts[2]
+        if name in families:
+            fail(i, f"duplicate HELP for {name}")
+        if pending_help is not None:
+            fail(i, f"HELP for {pending_help} not followed by its TYPE")
+        pending_help = name
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split(" ")
+        if len(parts) != 4:
+            fail(i, "malformed TYPE line")
+        name, kind = parts[2], parts[3]
+        if kind not in ("counter", "gauge", "histogram"):
+            fail(i, f"unknown TYPE {kind} for {name}")
+        if pending_help != name:
+            fail(i, f"TYPE for {name} not preceded by its HELP")
+        if not NAME_RE.match(name):
+            fail(i, f"metric name {name} violates the "
+                    "rdfcube_<module>_<name>_<unit> scheme")
+        families[name] = {"kind": kind, "line": i}
+        order.append(name)
+        pending_help = None
+        continue
+    if line.startswith("#"):
+        fail(i, "unknown comment line (only HELP/TYPE allowed)")
+    m = SAMPLE_RE.match(line)
+    if m is None:
+        fail(i, f"unparseable sample line: {line!r}")
+    sample = m.group("name")
+    base = sample
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample.endswith(suffix) and sample[: -len(suffix)] in families:
+            base = sample[: -len(suffix)]
+            break
+    if base not in families:
+        fail(i, f"sample {sample} has no preceding HELP/TYPE family")
+    value = m.group("value")
+    try:
+        float(value)
+    except ValueError:
+        fail(i, f"sample value {value!r} is not a number")
+    samples.setdefault(base, []).append(
+        {"sample": sample, "labels": m.group("labels"),
+         "value": float(value), "line": i})
+
+if pending_help is not None:
+    sys.exit(f"FAIL: trailing HELP for {pending_help} without TYPE")
+if not order:
+    sys.exit("FAIL: scrape contains no metric families")
+
+for name in order:
+    family = families[name]
+    series = samples.get(name, [])
+    if not series:
+        sys.exit(f"FAIL: family {name} declared but has no samples")
+    kind = family["kind"]
+    if kind in ("counter", "gauge"):
+        if len(series) != 1:
+            sys.exit(f"FAIL: {kind} {name} has {len(series)} samples")
+        entry = series[0]
+        if entry["sample"] != name or entry["labels"] is not None:
+            sys.exit(f"FAIL: {kind} {name} sample is malformed "
+                     f"(line {entry['line']})")
+        if kind == "counter" and entry["value"] < 0:
+            sys.exit(f"FAIL: counter {name} is negative")
+        continue
+    # Histogram: cumulative buckets with increasing le, then _sum, _count.
+    buckets, total, seen_sum = [], None, False
+    for entry in series:
+        if entry["sample"] == name + "_bucket":
+            le = LE_RE.match(entry["labels"] or "")
+            if le is None:
+                sys.exit(f"FAIL: histogram {name} bucket without an le "
+                         f"label (line {entry['line']})")
+            bound = le.group("bound")
+            buckets.append((float("inf") if bound == "+Inf"
+                            else float(bound), entry["value"]))
+        elif entry["sample"] == name + "_sum":
+            seen_sum = True
+        elif entry["sample"] == name + "_count":
+            total = entry["value"]
+        else:
+            sys.exit(f"FAIL: unexpected sample {entry['sample']} in "
+                     f"histogram {name}")
+    if not buckets:
+        sys.exit(f"FAIL: histogram {name} has no buckets")
+    if buckets[-1][0] != float("inf"):
+        sys.exit(f"FAIL: histogram {name} missing the +Inf bucket")
+    if not seen_sum or total is None:
+        sys.exit(f"FAIL: histogram {name} missing _sum or _count")
+    bounds = [b for b, _ in buckets]
+    if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+        sys.exit(f"FAIL: histogram {name} le bounds not strictly increasing")
+    counts = [c for _, c in buckets]
+    if counts != sorted(counts):
+        sys.exit(f"FAIL: histogram {name} bucket counts not cumulative")
+    if counts[-1] != total:
+        sys.exit(f"FAIL: histogram {name} +Inf bucket {counts[-1]} != "
+                 f"_count {total}")
+
+print(f"OK: {len(order)} metric families, "
+      f"{sum(len(v) for v in samples.values())} samples, "
+      f"{sum(1 for f in families.values() if f['kind'] == 'histogram')} "
+      f"histograms all well-formed")
+EOF

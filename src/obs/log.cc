@@ -1,0 +1,222 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace rdfcube {
+namespace obs {
+
+namespace {
+
+// Terminal sink: the one place in src/ that may touch stderr directly.
+class StderrSink final : public LogSink {
+ public:
+  void Write(const std::string& line) override {
+    // The logging subsystem's default sink is the sole sanctioned stderr
+    // writer; everything else routes through it.
+    std::fputs(line.c_str(), stderr);  // lint:allow(no-raw-stderr)
+  }
+};
+
+LogSink& DefaultStderrSink() {
+  static StderrSink sink;
+  return sink;
+}
+
+// True when a field value reads unambiguously without quotes in text mode.
+bool BareToken(const std::string& value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '+' || c == '-' || c == '/';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+LogField Field(std::string key, std::string value) {
+  return LogField{std::move(key), std::move(value)};
+}
+
+LogField Field(std::string key, const char* value) {
+  return LogField{std::move(key), std::string(value)};
+}
+
+LogField Field(std::string key, uint64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+
+LogField Field(std::string key, int64_t value) {
+  return LogField{std::move(key), std::to_string(value)};
+}
+
+LogField Field(std::string key, double value) {
+  std::string text;
+  AppendJsonDouble(&text, value);
+  return LogField{std::move(key), std::move(text)};
+}
+
+Logger& Logger::Global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::SetSink(LogSink* sink) {
+  MutexLock lock(&mu_);
+  sink_ = sink;
+}
+
+void Logger::SetMinLevel(LogLevel level) {
+  min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::min_level() const {
+  return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+}
+
+void Logger::SetJsonLines(bool json_lines) {
+  MutexLock lock(&mu_);
+  json_lines_ = json_lines;
+}
+
+void Logger::SetRateLimit(uint64_t max_lines_per_second) {
+  MutexLock lock(&mu_);
+  rate_limit_ = max_lines_per_second;
+}
+
+void Logger::SetIncludeUptime(bool include_uptime) {
+  MutexLock lock(&mu_);
+  include_uptime_ = include_uptime;
+}
+
+void Logger::Log(LogLevel level, std::string_view module,
+                 std::string_view message,
+                 const std::vector<LogField>& fields) {
+  if (static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const double now = clock_.ElapsedSeconds();
+  MutexLock lock(&mu_);
+  const uint64_t window = static_cast<uint64_t>(now);
+  if (window != window_index_) {
+    if (window_suppressed_ > 0) {
+      WriteLine(LogLevel::kWarn, "obs", "rate limit engaged",
+                {Field("suppressed_lines", window_suppressed_)}, now);
+    }
+    window_index_ = window;
+    window_emitted_ = 0;
+    window_suppressed_ = 0;
+  }
+  if (rate_limit_ > 0 && window_emitted_ >= rate_limit_) {
+    ++window_suppressed_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++window_emitted_;
+  WriteLine(level, module, message, fields, now);
+}
+
+void Logger::WriteLine(LogLevel level, std::string_view module,
+                       std::string_view message,
+                       const std::vector<LogField>& fields,
+                       double uptime_seconds) {
+  std::string line;
+  line.reserve(64 + message.size());
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f", uptime_seconds);
+  if (json_lines_) {
+    // Reserved top-level keys: ts, level, module, msg. Field keys are
+    // flattened alongside them; callers must not reuse the reserved names.
+    line.push_back('{');
+    if (include_uptime_) {
+      line.append("\"ts\":");
+      line.append(uptime);
+      line.push_back(',');
+    }
+    line.append("\"level\":\"");
+    line.append(LogLevelName(level));
+    line.append("\",\"module\":");
+    AppendJsonString(&line, std::string(module));
+    line.append(",\"msg\":");
+    AppendJsonString(&line, std::string(message));
+    for (const LogField& field : fields) {
+      line.push_back(',');
+      AppendJsonString(&line, field.key);
+      line.push_back(':');
+      AppendJsonString(&line, field.value);
+    }
+    line.append("}\n");
+  } else {
+    if (include_uptime_) {
+      line.append("ts=");
+      line.append(uptime);
+      line.push_back(' ');
+    }
+    line.append("level=");
+    line.append(LogLevelName(level));
+    line.append(" module=");
+    line.append(module);
+    line.append(" msg=");
+    AppendJsonString(&line, std::string(message));
+    for (const LogField& field : fields) {
+      line.push_back(' ');
+      line.append(field.key);
+      line.push_back('=');
+      if (BareToken(field.value)) {
+        line.append(field.value);
+      } else {
+        AppendJsonString(&line, field.value);
+      }
+    }
+    line.push_back('\n');
+  }
+  LogSink* sink = sink_ != nullptr ? sink_ : &DefaultStderrSink();
+  sink->Write(line);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Logger::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+uint64_t Logger::emitted() const {
+  return emitted_.load(std::memory_order_relaxed);
+}
+
+void LogDebug(std::string_view module, std::string_view message,
+              const std::vector<LogField>& fields) {
+  Logger::Global().Log(LogLevel::kDebug, module, message, fields);
+}
+
+void LogInfo(std::string_view module, std::string_view message,
+             const std::vector<LogField>& fields) {
+  Logger::Global().Log(LogLevel::kInfo, module, message, fields);
+}
+
+void LogWarn(std::string_view module, std::string_view message,
+             const std::vector<LogField>& fields) {
+  Logger::Global().Log(LogLevel::kWarn, module, message, fields);
+}
+
+void LogError(std::string_view module, std::string_view message,
+              const std::vector<LogField>& fields) {
+  Logger::Global().Log(LogLevel::kError, module, message, fields);
+}
+
+}  // namespace obs
+}  // namespace rdfcube

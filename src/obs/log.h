@@ -1,0 +1,153 @@
+// Structured, leveled, rate-limited logging (DESIGN.md §5d).
+//
+// Every diagnostic line the library or the daemons emit goes through a
+// Logger: raw fprintf(stderr, ...) in src/ and tools/rdfcube_serverd is
+// forbidden by the `no-raw-stderr` lint check. A Logger formats one line per
+// event — either `key=value` text or a JSON object per line — through an
+// injectable LogSink (stderr by default), so tests capture exact output and
+// daemons can switch to machine-readable logs with a flag. A per-second
+// rate limit bounds log volume under error storms; suppressed lines are
+// counted and summarized when the window rolls over.
+
+#ifndef RDFCUBE_OBS_LOG_H_
+#define RDFCUBE_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/stopwatch.h"
+#include "base/thread_annotations.h"
+
+namespace rdfcube {
+namespace obs {
+
+/// \brief Severity of a log line, ordered: Debug < Info < Warn < Error.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lower-case level name ("debug", "info", "warn", "error").
+[[nodiscard]] const char* LogLevelName(LogLevel level);
+
+/// \brief One pre-stringified key=value attachment on a log line.
+///
+/// Build with the Field() overloads so numeric formatting is uniform.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// String field.
+[[nodiscard]] LogField Field(std::string key, std::string value);
+/// C-string field.
+[[nodiscard]] LogField Field(std::string key, const char* value);
+/// Unsigned integer field.
+[[nodiscard]] LogField Field(std::string key, uint64_t value);
+/// Signed integer field.
+[[nodiscard]] LogField Field(std::string key, int64_t value);
+/// Double field (formatted %.12g, same as the JSON exports).
+[[nodiscard]] LogField Field(std::string key, double value);
+
+/// \brief Destination for formatted log lines (newline included).
+///
+/// Implementations must tolerate concurrent-looking call sequences only in
+/// the sense that the owning Logger serializes Write() calls under its own
+/// mutex; a sink never needs internal locking when used through one Logger.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Consumes one fully formatted line (terminated with '\n').
+  virtual void Write(const std::string& line) = 0;
+};
+
+/// \brief Thread-safe structured logger.
+///
+/// Global() is the process-wide instance every src/ and daemon call site
+/// uses; tests construct their own Logger and inject a capturing LogSink.
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The process-wide logger used by LogInfo()/LogError()/... helpers.
+  static Logger& Global();
+
+  /// Redirects output; nullptr restores the default stderr sink. The sink
+  /// must outlive the logger (or the next SetSink call).
+  void SetSink(LogSink* sink);
+
+  /// Drops lines below `level` before formatting. Default: Info.
+  void SetMinLevel(LogLevel level);
+
+  /// Current minimum level.
+  [[nodiscard]] LogLevel min_level() const;
+
+  /// Switches between `key=value` text lines (false, default) and one JSON
+  /// object per line (true).
+  void SetJsonLines(bool json_lines);
+
+  /// Caps emitted lines per one-second window; excess lines are dropped and
+  /// counted, with a summary line when the window rolls. 0 = unlimited.
+  /// Default: 256.
+  void SetRateLimit(uint64_t max_lines_per_second);
+
+  /// Includes an `ts=<seconds-since-logger-construction>` field on every
+  /// line (default true). Tests turn this off for exact-match assertions.
+  void SetIncludeUptime(bool include_uptime);
+
+  /// Formats and emits one line if `level` passes the minimum level and the
+  /// rate limit admits it.
+  void Log(LogLevel level, std::string_view module, std::string_view message,
+           const std::vector<LogField>& fields = {});
+
+  /// Lines dropped by the rate limit since construction.
+  [[nodiscard]] uint64_t dropped() const;
+
+  /// Lines actually written to the sink since construction.
+  [[nodiscard]] uint64_t emitted() const;
+
+ private:
+  void WriteLine(LogLevel level, std::string_view module,
+                 std::string_view message, const std::vector<LogField>& fields,
+                 double uptime_seconds) RDFCUBE_REQUIRES(mu_);
+
+  Stopwatch clock_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> emitted_{0};
+
+  mutable Mutex mu_;
+  LogSink* sink_ RDFCUBE_GUARDED_BY(mu_) = nullptr;  // nullptr = stderr
+  bool json_lines_ RDFCUBE_GUARDED_BY(mu_) = false;
+  bool include_uptime_ RDFCUBE_GUARDED_BY(mu_) = true;
+  uint64_t rate_limit_ RDFCUBE_GUARDED_BY(mu_) = 256;
+  uint64_t window_index_ RDFCUBE_GUARDED_BY(mu_) = 0;
+  uint64_t window_emitted_ RDFCUBE_GUARDED_BY(mu_) = 0;
+  uint64_t window_suppressed_ RDFCUBE_GUARDED_BY(mu_) = 0;
+};
+
+/// Global().Log(kDebug, ...) shorthand.
+void LogDebug(std::string_view module, std::string_view message,
+              const std::vector<LogField>& fields = {});
+/// Global().Log(kInfo, ...) shorthand.
+void LogInfo(std::string_view module, std::string_view message,
+             const std::vector<LogField>& fields = {});
+/// Global().Log(kWarn, ...) shorthand.
+void LogWarn(std::string_view module, std::string_view message,
+             const std::vector<LogField>& fields = {});
+/// Global().Log(kError, ...) shorthand.
+void LogError(std::string_view module, std::string_view message,
+              const std::vector<LogField>& fields = {});
+
+}  // namespace obs
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_OBS_LOG_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/json_writer.h"
+#include "obs/log.h"
 
 namespace rdfcube {
 namespace obs {
@@ -203,7 +204,7 @@ void MetricsRegistry::ResetAll() {
 namespace {
 
 [[noreturn]] void MetricAbort(const char* what, const std::string& name) {
-  std::fprintf(stderr, "rdfcube/obs: %s for metric '%s'\n", what, name.c_str());
+  LogError("obs", what, {Field("metric", name)});
   std::abort();
 }
 
@@ -281,28 +282,64 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+// Escapes HELP text per the Prometheus text exposition format: backslash
+// and newline only (double quotes are legal in HELP text).
+std::string EscapePrometheusHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Escapes a label value per the exposition format: backslash, newline, and
+// double quote. Today the only label is the numeric `le`, which never needs
+// escaping — routed through anyway so future labels can't regress.
+std::string EscapePrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '"': out.append("\\\""); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const CounterSample& c : snapshot.counters) {
-    out.append("# HELP " + c.name + " " + c.help + "\n");
+    out.append("# HELP " + c.name + " " + EscapePrometheusHelp(c.help) + "\n");
     out.append("# TYPE " + c.name + " counter\n");
     out.append(c.name + " " + std::to_string(c.value) + "\n");
   }
   for (const GaugeSample& g : snapshot.gauges) {
-    out.append("# HELP " + g.name + " " + g.help + "\n");
+    out.append("# HELP " + g.name + " " + EscapePrometheusHelp(g.help) + "\n");
     out.append("# TYPE " + g.name + " gauge\n");
     out.append(g.name + " " + std::to_string(g.value) + "\n");
   }
   for (const HistogramSample& h : snapshot.histograms) {
-    out.append("# HELP " + h.name + " " + h.help + "\n");
+    out.append("# HELP " + h.name + " " + EscapePrometheusHelp(h.help) + "\n");
     out.append("# TYPE " + h.name + " histogram\n");
     uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.buckets[i];
       std::string le;
       AppendJsonDouble(&le, h.bounds[i]);
-      out.append(h.name + "_bucket{le=\"" + le + "\"} " +
-                 std::to_string(cumulative) + "\n");
+      out.append(h.name + "_bucket{le=\"" + EscapePrometheusLabelValue(le) +
+                 "\"} " + std::to_string(cumulative) + "\n");
     }
     cumulative += h.buckets.empty() ? 0 : h.buckets.back();
     out.append(h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +

@@ -53,6 +53,7 @@
 #include "datagen/synthetic.h"             // IWYU pragma: export
 #include "hierarchy/code_list.h"           // IWYU pragma: export
 #include "hierarchy/skos_loader.h"         // IWYU pragma: export
+#include "obs/log.h"                       // IWYU pragma: export
 #include "obs/metrics.h"                   // IWYU pragma: export
 #include "obs/report.h"                    // IWYU pragma: export
 #include "obs/trace.h"                     // IWYU pragma: export
@@ -78,6 +79,7 @@
 #include "server/client.h"                 // IWYU pragma: export
 #include "server/protocol.h"               // IWYU pragma: export
 #include "server/server.h"                 // IWYU pragma: export
+#include "server/slowlog.h"                // IWYU pragma: export
 #include "server/snapshot_store.h"         // IWYU pragma: export
 #include "sparql/ast.h"                    // IWYU pragma: export
 #include "sparql/engine.h"                 // IWYU pragma: export

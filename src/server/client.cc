@@ -12,7 +12,9 @@ namespace rdfcube {
 namespace server {
 
 Client::Client(const ClientOptions& options)
-    : options_(options), rng_(options.jitter_seed) {}
+    : options_(options),
+      rng_(options.jitter_seed),
+      next_request_id_((options.jitter_seed << 32) | 1u) {}
 
 void Client::Disconnect() { conn_.Close(); }
 
@@ -52,6 +54,7 @@ Result<Response> Client::Call(const Request& req) {
     to_send.deadline_ms =
         static_cast<uint32_t>(options_.request_timeout_seconds * 1000.0);
   }
+  if (to_send.request_id == 0) to_send.request_id = next_request_id_++;
   uint32_t backoff_ms = options_.initial_backoff_ms;
   Status last = Status::OK();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
@@ -76,6 +79,14 @@ Result<Response> Client::Call(const Request& req) {
       backoff_ms = std::max(backoff_ms, resp.value().retry_after_ms);
       last = Status::ResourceExhausted("server shed the request");
       continue;
+    }
+    // A response carrying a different id belongs to another request: the
+    // stream is desynced. (0 = "not echoed": the server answered before it
+    // could decode the request, e.g. an oversize frame or drain race.)
+    if (resp.value().request_id != 0 &&
+        resp.value().request_id != to_send.request_id) {
+      Disconnect();
+      return Status::ParseError("response id mismatch");
     }
     return resp;
   }
@@ -175,6 +186,35 @@ Result<uint64_t> Client::Ping() {
   RDFCUBE_ASSIGN_OR_RETURN(Response resp, Call(req));
   RDFCUBE_RETURN_IF_ERROR(CodeToStatus(resp));
   return resp.snapshot_version;
+}
+
+Result<std::string> Client::Metrics() {
+  Request req;
+  req.op = Op::kMetrics;
+  RDFCUBE_ASSIGN_OR_RETURN(Response resp, Call(req));
+  RDFCUBE_RETURN_IF_ERROR(CodeToStatus(resp));
+  return std::move(resp.text);
+}
+
+Result<std::string> Client::Slowlog() {
+  Request req;
+  req.op = Op::kSlowlog;
+  RDFCUBE_ASSIGN_OR_RETURN(Response resp, Call(req));
+  RDFCUBE_RETURN_IF_ERROR(CodeToStatus(resp));
+  return std::move(resp.text);
+}
+
+Result<std::string> Client::TraceDump(uint32_t window_ms) {
+  Request req;
+  req.op = Op::kTraceDump;
+  req.limit = window_ms;
+  // The server sleeps for the capture window before answering: give the
+  // round trip (and the server-side deadline) room beyond the window.
+  req.deadline_ms = window_ms + static_cast<uint32_t>(
+                                    options_.request_timeout_seconds * 1000.0);
+  RDFCUBE_ASSIGN_OR_RETURN(Response resp, Call(req));
+  RDFCUBE_RETURN_IF_ERROR(CodeToStatus(resp));
+  return std::move(resp.text);
 }
 
 }  // namespace server

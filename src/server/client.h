@@ -80,6 +80,16 @@ class Client {
   /// Liveness probe; returns the server's snapshot version.
   [[nodiscard]] Result<uint64_t> Ping();
 
+  /// Full Prometheus text exposition of the server's metrics registry.
+  [[nodiscard]] Result<std::string> Metrics();
+
+  /// JSON dump of the server's slowlog ring (slowest recent requests).
+  [[nodiscard]] Result<std::string> Slowlog();
+
+  /// Chrome-trace JSON for an on-demand capture of `window_ms` milliseconds
+  /// (0 = server default). The call blocks for the capture window.
+  [[nodiscard]] Result<std::string> TraceDump(uint32_t window_ms);
+
   /// Times a shed response was honored with backoff (diagnostics/tests).
   uint64_t sheds_seen() const { return sheds_seen_; }
 
@@ -97,6 +107,9 @@ class Client {
   Fd conn_;
   Rng rng_;
   uint64_t sheds_seen_ = 0;
+  // Correlation ids stamped on requests that arrive with request_id == 0;
+  // seeded from jitter_seed so concurrent clients emit distinct streams.
+  uint64_t next_request_id_ = 0;
 };
 
 }  // namespace server

@@ -22,6 +22,22 @@ Status Malformed(const char* what) {
 
 }  // namespace
 
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kContainers: return "containers";
+    case Op::kContained: return "contained";
+    case Op::kComplements: return "complements";
+    case Op::kPartial: return "partial";
+    case Op::kScan: return "scan";
+    case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+    case Op::kSlowlog: return "slowlog";
+    case Op::kTraceDump: return "tracedump";
+  }
+  return "unknown";
+}
+
 std::string EncodeRequest(const Request& req) {
   std::string out;
   PutU8(&out, kProtocolVersion);
@@ -30,6 +46,7 @@ std::string EncodeRequest(const Request& req) {
   PutU32(&out, req.deadline_ms);
   PutDouble(&out, req.min_degree);
   PutU32(&out, req.limit);
+  PutU64(&out, req.request_id);
   return out;
 }
 
@@ -41,7 +58,7 @@ Result<Request> DecodeRequest(const std::string& payload) {
   Request req;
   if (!r.GetU8(&op)) return Malformed("missing op");
   if (op < static_cast<uint8_t>(Op::kPing) ||
-      op > static_cast<uint8_t>(Op::kStats)) {
+      op > static_cast<uint8_t>(Op::kTraceDump)) {
     return Malformed("unknown op");
   }
   req.op = static_cast<Op>(op);
@@ -53,6 +70,7 @@ Result<Request> DecodeRequest(const std::string& payload) {
     return Malformed("min degree out of range");
   }
   if (!r.GetU32(&req.limit)) return Malformed("missing limit");
+  if (!r.GetU64(&req.request_id)) return Malformed("missing request id");
   if (!r.AtEnd()) return Malformed("trailing bytes");
   return req;
 }
@@ -78,6 +96,9 @@ std::string EncodeResponse(const Response& resp) {
   }
   PutU32(&out, static_cast<uint32_t>(resp.stats.size()));
   for (uint64_t s : resp.stats) PutU64(&out, s);
+  PutU32(&out, static_cast<uint32_t>(resp.text.size()));
+  out += resp.text;
+  PutU64(&out, resp.request_id);
   return out;
 }
 
@@ -139,6 +160,9 @@ Result<Response> DecodeResponse(const std::string& payload) {
     if (!r.GetU64(&s)) return Malformed("truncated stats");
     resp.stats.push_back(s);
   }
+  if (!r.GetU32(&count)) return Malformed("missing text length");
+  if (!r.GetBytes(count, &resp.text)) return Malformed("truncated text");
+  if (!r.GetU64(&resp.request_id)) return Malformed("missing request id");
   if (!r.AtEnd()) return Malformed("trailing bytes");
   return resp;
 }

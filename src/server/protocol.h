@@ -45,7 +45,21 @@ enum class Op : uint8_t {
   kScan = 6,
   /// Server statistics (snapshot sizes, admission counters).
   kStats = 7,
+  /// Full Prometheus text exposition of the metrics registry
+  /// (Response::text). Cold; may bypass admission (DESIGN.md §6).
+  kMetrics = 8,
+  /// JSON dump of the bounded ring of slowest recent requests
+  /// (Response::text). Cold; may bypass admission.
+  kSlowlog = 9,
+  /// Chrome-trace JSON for an on-demand capture window of
+  /// `Request::limit` milliseconds (Response::text). Always admitted:
+  /// the capture occupies a worker for the window.
+  kTraceDump = 10,
 };
+
+/// Lower-case wire-op name ("ping", "containers", ..., "tracedump") used in
+/// per-op metric names and the slowlog dump; "unknown" for invalid values.
+[[nodiscard]] const char* OpName(Op op);
 
 /// \brief Response status codes (the wire-level triage of a request).
 enum class RespCode : uint8_t {
@@ -74,8 +88,12 @@ struct Request {
   uint32_t deadline_ms = 0;
   /// Minimum partial-containment degree (kPartial only).
   double min_degree = 0.0;
-  /// Cap on returned records for kScan (0 = server default cap).
+  /// Cap on returned records for kScan; capture window in milliseconds for
+  /// kTraceDump (0 = server default in both cases).
   uint32_t limit = 0;
+  /// Client-chosen correlation id, echoed back in Response::request_id and
+  /// recorded in the slowlog. 0 means "unassigned" (the client fills it in).
+  uint64_t request_id = 0;
 };
 
 /// \brief One relationship record of a kScan response.
@@ -106,6 +124,12 @@ struct Response {
   std::vector<ScanRecord> records;
   /// kStats / kPing payload: counter values keyed by StatsFields order.
   std::vector<uint64_t> stats;
+  /// Text payload of the observability ops: Prometheus exposition for
+  /// kMetrics, JSON for kSlowlog/kTraceDump. Empty for the other ops.
+  std::string text;
+  /// Echo of Request::request_id; 0 on paths that answer before decoding a
+  /// request (oversize frame, drain-before-read, undecodable payload).
+  uint64_t request_id = 0;
 };
 
 /// Order of Response::stats entries in a kStats response.

@@ -7,7 +7,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "base/hot.h"
 #include "core/relationship.h"
@@ -55,10 +59,80 @@ class ScanSink : public core::RelationshipSink {
   bool truncated_ = false;
 };
 
+// Per-op RED instruments, indexed by wire op - 1. Names and help strings
+// live in this table (not at the registration call) so the set stays
+// greppable in one place; all follow rdfcube_server_<op>_<what>_<unit>.
+struct OpTelemetry {
+  obs::Counter* requests = nullptr;
+  obs::Histogram* latency = nullptr;
+};
+
+struct OpMetricSpec {
+  const char* requests_name;
+  const char* requests_help;
+  const char* latency_name;
+  const char* latency_help;
+};
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kTraceDump);
+
+constexpr OpMetricSpec kOpMetricSpecs[kNumOps] = {
+    {"rdfcube_server_ping_requests_total", "ping requests handled",
+     "rdfcube_server_ping_latency_us", "ping handling latency (us)"},
+    {"rdfcube_server_containers_requests_total",
+     "containers lookups handled", "rdfcube_server_containers_latency_us",
+     "containers handling latency (us)"},
+    {"rdfcube_server_contained_requests_total", "contained lookups handled",
+     "rdfcube_server_contained_latency_us", "contained handling latency (us)"},
+    {"rdfcube_server_complements_requests_total",
+     "complements lookups handled", "rdfcube_server_complements_latency_us",
+     "complements handling latency (us)"},
+    {"rdfcube_server_partial_requests_total", "partial lookups handled",
+     "rdfcube_server_partial_latency_us", "partial handling latency (us)"},
+    {"rdfcube_server_scan_requests_total", "bulk scans handled",
+     "rdfcube_server_scan_latency_us", "scan handling latency (us)"},
+    {"rdfcube_server_stats_requests_total", "stats requests handled",
+     "rdfcube_server_stats_latency_us", "stats handling latency (us)"},
+    {"rdfcube_server_metrics_requests_total", "metrics scrapes handled",
+     "rdfcube_server_metrics_latency_us", "metrics handling latency (us)"},
+    {"rdfcube_server_slowlog_requests_total", "slowlog dumps handled",
+     "rdfcube_server_slowlog_latency_us", "slowlog handling latency (us)"},
+    {"rdfcube_server_tracedump_requests_total", "trace captures handled",
+     "rdfcube_server_tracedump_latency_us", "tracedump handling latency (us)"},
+};
+
+const OpTelemetry& OpTelemetryFor(Op op) {
+  static const std::array<OpTelemetry, kNumOps> table = [] {
+    std::array<OpTelemetry, kNumOps> t{};
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const OpMetricSpec& spec = kOpMetricSpecs[i];
+      t[i].requests =
+          &obs::DefaultCounter(spec.requests_name, spec.requests_help);
+      t[i].latency =
+          &obs::DefaultHistogram(spec.latency_name, spec.latency_help,
+                                 obs::ExponentialBuckets(1.0, 4.0, 12));
+    }
+    return t;
+  }();
+  const std::size_t index = static_cast<std::size_t>(op) - 1;
+  return table[index < kNumOps ? index : 0];
+}
+
+// Observability payloads must fit one response frame; rather than truncate
+// (corrupting Prometheus text / JSON), an oversize payload becomes an error.
+void ClampObsText(uint32_t max_frame_bytes, Response* resp) {
+  if (resp->text.size() + 512 <= max_frame_bytes) return;
+  resp->text.clear();
+  resp->code = RespCode::kInternal;
+  resp->error = "observability payload exceeds frame limit";
+}
+
 }  // namespace
 
 Server::Server(const ServerOptions& options)
-    : options_(options), queue_(options.max_queue) {}
+    : options_(options),
+      queue_(options.max_queue),
+      slowlog_(options.slowlog_capacity) {}
 
 Server::~Server() { Stop(); }
 
@@ -243,13 +317,21 @@ bool Server::ProcessFrames(int fd, Connection* conn) {
       return false;
     }
     const Request req = std::move(decoded).value();
+    if (options_.obs_ops_bypass_admission &&
+        (req.op == Op::kMetrics || req.op == Op::kSlowlog)) {
+      // Admission-exempt scrape path: a saturated server that sheds every
+      // point lookup still answers its metrics and slowlog endpoints.
+      RespondObsInline(conn, req);
+      continue;
+    }
     double seconds = req.deadline_ms == 0
                          ? options_.default_deadline_seconds
                          : static_cast<double>(req.deadline_ms) / 1000.0;
     seconds = std::min(seconds, options_.max_deadline_seconds);
     const Deadline deadline(seconds);  // clock starts at admission
-    switch (queue_.TryPush([this, fd, req, deadline] {
-      HandleJob(fd, req, deadline);
+    const Stopwatch queued;            // queue-wait metric starts here
+    switch (queue_.TryPush([this, fd, req, deadline, queued] {
+      HandleJob(fd, req, deadline, queued);
     })) {
       case Admission::kAdmitted:
         conn->in_flight = true;
@@ -260,6 +342,7 @@ bool Server::ProcessFrames(int fd, Connection* conn) {
         resp.code = RespCode::kShed;
         resp.retry_after_ms = options_.retry_after_ms;
         resp.error = "admission queue full";
+        resp.request_id = req.request_id;
         RespondInline(conn, resp);
         break;  // connection survives; the client backs off and retries
       }
@@ -267,6 +350,7 @@ bool Server::ProcessFrames(int fd, Connection* conn) {
         Response resp;
         resp.code = RespCode::kShuttingDown;
         resp.error = "server is draining";
+        resp.request_id = req.request_id;
         RespondInline(conn, resp);
         return false;
       }
@@ -292,7 +376,8 @@ void Server::WorkerLoop() {
   }
 }
 
-void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
+void Server::HandleJob(int fd, const Request& req, const Deadline& deadline,
+                       const Stopwatch& queued) {
   obs::TraceSpan span("server/handle");
   static obs::Counter& requests = obs::DefaultCounter(
       "rdfcube_server_requests_total", "Requests evaluated by workers");
@@ -300,6 +385,15 @@ void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
       "rdfcube_server_request_latency_us",
       "Worker-side request handling latency (µs)",
       obs::ExponentialBuckets(1.0, 4.0, 12));
+  static obs::Histogram& queue_wait = obs::DefaultHistogram(
+      "rdfcube_server_queue_wait_us",
+      "Admission-to-worker-pickup wait (µs)",
+      obs::ExponentialBuckets(1.0, 4.0, 12));
+  static obs::Gauge& in_flight = obs::DefaultGauge(
+      "rdfcube_server_in_flight_requests",
+      "Requests currently held by workers");
+  queue_wait.Observe(queued.ElapsedMicros());
+  in_flight.Increment();
   requests.Increment();
   requests_total_.fetch_add(1, std::memory_order_relaxed);
 
@@ -322,7 +416,10 @@ void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
         "rdfcube_server_io_errors_total", "Response writes that failed");
     io_errors.Increment();
   }
-  latency.Observe(span.ElapsedSeconds() * 1e6);
+  const double handle_us = span.ElapsedSeconds() * 1e6;
+  latency.Observe(handle_us);
+  RecordOpTelemetry(req, resp, deadline, handle_us);
+  in_flight.Decrement();
   {
     MutexLock lock(&completions_mu_);
     completions_.emplace_back(fd, wrote.ok());
@@ -330,10 +427,32 @@ void Server::HandleJob(int fd, const Request& req, const Deadline& deadline) {
   WakeReactor();
 }
 
+// Cold epilogue: per-op RED attribution and the slowlog entry. Runs after
+// the response is written so it never adds to client-visible latency.
+RDFCUBE_COLD void Server::RecordOpTelemetry(const Request& req,
+                                            const Response& resp,
+                                            const Deadline& deadline,
+                                            double handle_us) {
+  const OpTelemetry& telemetry = OpTelemetryFor(req.op);
+  telemetry.requests->Increment();
+  telemetry.latency->Observe(handle_us);
+
+  SlowlogEntry entry;
+  entry.op = static_cast<uint8_t>(req.op);
+  entry.request_id = req.request_id;
+  entry.latency_us = handle_us;
+  const double remaining = deadline.RemainingSeconds();
+  entry.deadline_remaining_ms =
+      std::isinf(remaining) ? -1.0 : remaining * 1000.0;
+  entry.snapshot_version = resp.snapshot_version;
+  slowlog_.Add(entry);
+}
+
 RDFCUBE_HOT Response Server::Evaluate(const Request& req,
                                       const SnapshotPtr& snap,
                                       const Deadline& deadline) {
   Response resp;
+  resp.request_id = req.request_id;
   if (deadline.Expired()) {
     resp.code = RespCode::kDeadlineExceeded;
     resp.error = "deadline expired in queue";
@@ -408,6 +527,15 @@ RDFCUBE_HOT Response Server::Evaluate(const Request& req,
     case Op::kStats:
       EvaluateStats(snap, &resp);
       break;
+    case Op::kMetrics:
+      EvaluateMetrics(&resp);
+      break;
+    case Op::kSlowlog:
+      EvaluateSlowlog(&resp);
+      break;
+    case Op::kTraceDump:
+      EvaluateTraceDump(req, deadline, &resp);
+      break;
   }
   return resp;
 }
@@ -428,6 +556,63 @@ RDFCUBE_COLD void Server::EvaluateStats(const SnapshotPtr& snap,
       deadline_expired_total_.load(std::memory_order_relaxed);
   resp->stats[kStatsReloads] = store_.reloads();
   resp->stats[kStatsReloadFailures] = store_.reload_failures();
+}
+
+// Scrape path: snapshots the registry under its mutex — cold so the lock
+// fact never reaches Evaluate's hot summary.
+RDFCUBE_COLD void Server::EvaluateMetrics(Response* resp) {
+  resp->text =
+      obs::MetricsToPrometheus(obs::MetricsRegistry::Global().Snapshot());
+  ClampObsText(options_.max_frame_bytes, resp);
+}
+
+RDFCUBE_COLD void Server::EvaluateSlowlog(Response* resp) {
+  resp->text = slowlog_.ToJson();
+  ClampObsText(options_.max_frame_bytes, resp);
+}
+
+// On-demand capture: when no external capture (bench harness, stats
+// --report) owns the collector, enable it for a bounded window — sleeping
+// on the worker thread, which is why kTraceDump always rides admission —
+// then dump Chrome-trace JSON. An externally-enabled collector is dumped
+// as-is, never toggled.
+RDFCUBE_COLD void Server::EvaluateTraceDump(const Request& req,
+                                            const Deadline& deadline,
+                                            Response* resp) {
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  if (!collector.enabled()) {
+    uint32_t window_ms = req.limit == 0 ? 100u : req.limit;
+    window_ms = std::min(window_ms, options_.max_trace_window_ms);
+    const double budget_ms = deadline.RemainingSeconds() * 1000.0;
+    if (budget_ms < static_cast<double>(window_ms)) {
+      window_ms = budget_ms > 0.0 ? static_cast<uint32_t>(budget_ms) : 0u;
+    }
+    collector.Enable(1u << 12);
+    std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+    resp->text = collector.ChromeTraceJson();
+    collector.Disable();
+  } else {
+    resp->text = collector.ChromeTraceJson();
+  }
+  ClampObsText(options_.max_frame_bytes, resp);
+}
+
+// Reactor-side scrape: no admission, no deadline, no requests_total_
+// accounting (consistent with the other inline responses) — but the per-op
+// counter still ticks so scrape traffic stays attributable.
+RDFCUBE_COLD void Server::RespondObsInline(Connection* conn,
+                                           const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+  const SnapshotPtr snap = store_.Current();
+  if (snap != nullptr) resp.snapshot_version = snap->version();
+  if (req.op == Op::kMetrics) {
+    EvaluateMetrics(&resp);
+  } else {
+    EvaluateSlowlog(&resp);
+  }
+  OpTelemetryFor(req.op).requests->Increment();
+  RespondInline(conn, resp);
 }
 
 }  // namespace server

@@ -29,6 +29,7 @@
 #include "qb/corpus.h"
 #include "server/admission.h"
 #include "server/protocol.h"
+#include "server/slowlog.h"
 #include "server/snapshot_store.h"
 #include "server/socket_io.h"
 
@@ -56,6 +57,15 @@ struct ServerOptions {
   double write_timeout_seconds = 5.0;
   /// Cap on records in one kScan response (request limit clamps to it).
   uint32_t max_scan_records = 1u << 16;
+  /// Entries retained by the keep-the-slowest slowlog ring (0 disables).
+  std::size_t slowlog_capacity = 64;
+  /// When true (default), kMetrics/kSlowlog answer inline from the reactor,
+  /// bypassing admission so a saturated or shedding server stays
+  /// scrapeable. kTraceDump always rides admission: its capture window
+  /// occupies a worker for up to `max_trace_window_ms`.
+  bool obs_ops_bypass_admission = true;
+  /// Upper clamp on the kTraceDump capture window (request limit, ms).
+  uint32_t max_trace_window_ms = 1000;
 };
 
 /// \brief The relationship server. Construct, Start(), eventually Stop().
@@ -127,17 +137,32 @@ class Server {
   // Worker-side evaluation + response write. HandleJob fetches the published
   // snapshot once; Evaluate is the lock-free hot kernel over that pointer
   // (the rare kStats op, which reads the store's guarded counters, lives in
-  // the cold EvaluateStats helper — see DESIGN.md §5g).
-  void HandleJob(int fd, const Request& req, const Deadline& deadline);
+  // the cold EvaluateStats helper — see DESIGN.md §5g). `queued` started
+  // ticking at admission: its elapsed time is the queue-wait metric.
+  void HandleJob(int fd, const Request& req, const Deadline& deadline,
+                 const Stopwatch& queued);
   Response Evaluate(const Request& req, const SnapshotPtr& snap,
                     const Deadline& deadline);
   void EvaluateStats(const SnapshotPtr& snap, Response* resp);
+  // Cold observability handlers (DESIGN.md §5d): Prometheus scrape, slowlog
+  // dump, and on-demand trace capture. Dispatched from Evaluate when the op
+  // rides admission, or inline from the reactor via RespondObsInline.
+  void EvaluateMetrics(Response* resp);
+  void EvaluateSlowlog(Response* resp);
+  void EvaluateTraceDump(const Request& req, const Deadline& deadline,
+                         Response* resp);
+  // Reactor-side answer for admission-exempt kMetrics/kSlowlog requests.
+  void RespondObsInline(Connection* conn, const Request& req);
+  // Cold epilogue of HandleJob: per-op RED attribution + slowlog entry.
+  void RecordOpTelemetry(const Request& req, const Response& resp,
+                         const Deadline& deadline, double handle_us);
   // Inline (reactor-side) response for shed/bad-request/shutting-down.
   void RespondInline(Connection* conn, const Response& resp);
 
   const ServerOptions options_;
   SnapshotStore store_;
   AdmissionQueue queue_;
+  SlowlogRing slowlog_;
 
   Fd listener_;
   Fd wake_read_, wake_write_;

@@ -394,6 +394,74 @@ TEST_F(LintTest, OffSchemeMetricNameWithSuppressionDoesNotFire) {
   EXPECT_FALSE(Fired("metric-name"));
 }
 
+TEST_F(LintTest, RawStderrInSrcFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/diag.cc",
+            "void F() {\n"
+            "  fprintf(stderr, \"boom\\n\");\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "no-raw-stderr");
+  EXPECT_EQ(violations[0].file, "src/qb/diag.cc");
+  EXPECT_EQ(violations[0].line, 2u);
+}
+
+TEST_F(LintTest, StdCerrInSrcFires) {
+  WriteCleanTree();
+  WriteFile("src/qb/diag.cc", "void F() { std::cerr << \"boom\"; }\n");
+  EXPECT_TRUE(Fired("no-raw-stderr"));
+}
+
+TEST_F(LintTest, StderrOnAContinuationLineFires) {
+  // Multi-line fputs calls put the stream argument alone on a later line;
+  // the token match must still catch it.
+  WriteCleanTree();
+  WriteFile("src/qb/diag.cc",
+            "void F() {\n"
+            "  std::fputs(\n"
+            "      \"long usage text\\n\",\n"
+            "      stderr);\n"
+            "}\n");
+  const auto violations = RunAllChecks(root_.string());
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "no-raw-stderr");
+  EXPECT_EQ(violations[0].line, 4u);
+}
+
+TEST_F(LintTest, RawStderrInServerdFires) {
+  WriteCleanTree();
+  WriteFile("tools/rdfcube_serverd.cc",
+            "int main() { fprintf(stderr, \"x\\n\"); }\n");
+  EXPECT_TRUE(Fired("no-raw-stderr"));
+}
+
+TEST_F(LintTest, RawStderrInOtherToolsDoesNotFire) {
+  // CLI tools print usage/errors to the terminal; only the daemon (whose
+  // stderr is an operator log stream) is in scope.
+  WriteCleanTree();
+  WriteFile("tools/rdfcube_cli.cpp",
+            "int main() { fprintf(stderr, \"usage\\n\"); }\n");
+  EXPECT_FALSE(Fired("no-raw-stderr"));
+}
+
+TEST_F(LintTest, StderrInACommentOrStringDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/diag.cc",
+            "// the default sink writes to stderr\n"
+            "const char* kDoc = \"logs go to stderr\";\n");
+  EXPECT_FALSE(Fired("no-raw-stderr"));
+}
+
+TEST_F(LintTest, RawStderrWithSuppressionDoesNotFire) {
+  WriteCleanTree();
+  WriteFile("src/qb/diag.cc",
+            "void F(const std::string& s) {\n"
+            "  std::fputs(s.c_str(), stderr);  // lint:allow(no-raw-stderr)\n"
+            "}\n");
+  EXPECT_FALSE(Fired("no-raw-stderr"));
+}
+
 TEST_F(LintTest, UnguardedCallChainValueFires) {
   WriteCleanTree();
   WriteFile("src/qb/cv.cc",
@@ -704,9 +772,10 @@ TEST_F(LintTest, RecursionOutsideSparqlAndRulesDoesNotFire) {
 
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all seventeen, none masking another.
+  // all eighteen, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
+  WriteFile("src/qb/diag.cc", "void F() { fprintf(stderr, \"x\\n\"); }\n");
   WriteFile("src/sparql/bad.cc", "auto f = [](auto x) { return x; };\n");
   WriteFile("src/qb/orphan.h", "/// \\brief Doc.\nclass Orphan {\n};\n");
   WriteFile("src/util/nodoc.h", "class NoDoc {\n};\n");
@@ -761,14 +830,15 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
         "doxygen-public", "checked-parse", "bare-stopwatch",
-        "lock-annotation", "obs-shadowing", "metric-name", "checked-value",
-        "layer-dag", "include-cycle", "iwyu-direct", "hot-path-alloc",
-        "hot-path-lock", "no-throw-transitive", "unbounded-recursion"}) {
+        "lock-annotation", "obs-shadowing", "metric-name", "no-raw-stderr",
+        "checked-value", "layer-dag", "include-cycle", "iwyu-direct",
+        "hot-path-alloc", "hot-path-lock", "no-throw-transitive",
+        "unbounded-recursion"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 17u);
+  EXPECT_EQ(names.size(), 18u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -203,6 +204,148 @@ TEST(MetricsGlobalTest, DefaultCounterReturnsSameInstance) {
 TEST(MetricsGlobalTest, ExponentialBuckets) {
   EXPECT_EQ(ExponentialBuckets(1.0, 2.0, 4),
             (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+// --- Prometheus exposition conformance ---------------------------------------
+
+TEST(MetricsExportTest, PrometheusHelpEscapesNewlineAndBackslash) {
+  MetricsRegistry registry;
+  Result<Counter*> c = registry.GetCounter("rdfcube_test_escaped_total",
+                                           "line one\nline two \\ done");
+  ASSERT_TRUE(c.ok());
+  const std::string text = MetricsToPrometheus(registry.Snapshot());
+  // One physical HELP line: the newline and backslash are escaped, so a
+  // scraper never sees a continuation line it would reject.
+  EXPECT_NE(text.find("# HELP rdfcube_test_escaped_total "
+                      "line one\\nline two \\\\ done\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("line two \\ done"), std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusExactTextForFullRegistry) {
+  MetricsRegistry registry;
+  Result<Counter*> c = registry.GetCounter("rdfcube_test_ops_total", "ops");
+  Result<Gauge*> g = registry.GetGauge("rdfcube_test_depth", "depth");
+  Result<Histogram*> h =
+      registry.GetHistogram("rdfcube_test_secs", "secs", {1.0, 2.0});
+  ASSERT_TRUE(c.ok() && g.ok() && h.ok());
+  (*c)->Increment(3);
+  (*g)->Set(-2);
+  (*h)->Observe(0.5);
+  (*h)->Observe(1.5);
+  (*h)->Observe(5.0);
+  // Pin the whole exposition byte-for-byte: HELP before TYPE, cumulative
+  // _bucket lines with le labels, then _sum and _count.
+  EXPECT_EQ(MetricsToPrometheus(registry.Snapshot()),
+            "# HELP rdfcube_test_ops_total ops\n"
+            "# TYPE rdfcube_test_ops_total counter\n"
+            "rdfcube_test_ops_total 3\n"
+            "# HELP rdfcube_test_depth depth\n"
+            "# TYPE rdfcube_test_depth gauge\n"
+            "rdfcube_test_depth -2\n"
+            "# HELP rdfcube_test_secs secs\n"
+            "# TYPE rdfcube_test_secs histogram\n"
+            "rdfcube_test_secs_bucket{le=\"1\"} 1\n"
+            "rdfcube_test_secs_bucket{le=\"2\"} 2\n"
+            "rdfcube_test_secs_bucket{le=\"+Inf\"} 3\n"
+            "rdfcube_test_secs_sum 7\n"
+            "rdfcube_test_secs_count 3\n");
+}
+
+// --- Logger ------------------------------------------------------------------
+
+// Captures every formatted line for exact-match assertions.
+class CapturingSink final : public LogSink {
+ public:
+  void Write(const std::string& line) override { lines.push_back(line); }
+  std::vector<std::string> lines;
+};
+
+TEST(LoggerTest, TextFormatQuotesMessageAndNonBareFieldValues) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.SetIncludeUptime(false);
+  logger.Log(LogLevel::kInfo, "server", "snapshot built",
+             {Field("version", static_cast<uint64_t>(3)),
+              Field("path", "/data/demo.ttl"),
+              Field("note", "two words")});
+  ASSERT_EQ(sink.lines.size(), 1u);
+  // Bare tokens (alnum . : + - / _) print unquoted; anything else quotes.
+  EXPECT_EQ(sink.lines[0],
+            "level=info module=server msg=\"snapshot built\" version=3 "
+            "path=/data/demo.ttl note=\"two words\"\n");
+}
+
+TEST(LoggerTest, JsonLinesFormatIsOneObjectPerLine) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.SetIncludeUptime(false);
+  logger.SetJsonLines(true);
+  logger.Log(LogLevel::kWarn, "serverd", "reload \"failed\"",
+             {Field("failures", static_cast<uint64_t>(2))});
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0],
+            "{\"level\":\"warn\",\"module\":\"serverd\","
+            "\"msg\":\"reload \\\"failed\\\"\",\"failures\":\"2\"}\n");
+}
+
+TEST(LoggerTest, UptimeFieldLeadsTheLineWhenEnabled) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.Log(LogLevel::kInfo, "m", "x");
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_EQ(sink.lines[0].rfind("ts=", 0), 0u);  // default: uptime on
+}
+
+TEST(LoggerTest, MinLevelFiltersBelowWithoutCountingDrops) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.SetIncludeUptime(false);
+  logger.Log(LogLevel::kDebug, "m", "invisible");  // default min is Info
+  logger.SetMinLevel(LogLevel::kWarn);
+  logger.Log(LogLevel::kInfo, "m", "also invisible");
+  logger.Log(LogLevel::kError, "m", "visible");
+  ASSERT_EQ(sink.lines.size(), 1u);
+  EXPECT_NE(sink.lines[0].find("msg=\"visible\""), std::string::npos);
+  // Level filtering is not rate limiting: nothing counts as dropped.
+  EXPECT_EQ(logger.dropped(), 0u);
+  EXPECT_EQ(logger.emitted(), 1u);
+}
+
+TEST(LoggerTest, RateLimitDropsAndCountsExcessLines) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.SetIncludeUptime(false);
+  logger.SetRateLimit(2);
+  for (int i = 0; i < 5; ++i) {
+    logger.Log(LogLevel::kInfo, "m", "spam");
+  }
+  EXPECT_EQ(sink.lines.size(), 2u);
+  EXPECT_EQ(logger.emitted(), 2u);
+  EXPECT_EQ(logger.dropped(), 3u);
+}
+
+TEST(LoggerTest, FieldOverloadsFormatUniformly) {
+  EXPECT_EQ(Field("k", static_cast<uint64_t>(7)).value, "7");
+  EXPECT_EQ(Field("k", static_cast<int64_t>(-7)).value, "-7");
+  EXPECT_EQ(Field("k", 2.5).value, "2.5");
+  EXPECT_EQ(Field("k", "text").value, "text");
+  EXPECT_EQ(Field("k", std::string("s")).value, "s");
+}
+
+TEST(LoggerTest, NullSinkRestoresStderrWithoutCrashing) {
+  Logger logger;
+  CapturingSink sink;
+  logger.SetSink(&sink);
+  logger.SetMinLevel(LogLevel::kError);  // keep real stderr quiet below
+  logger.SetSink(nullptr);               // back to the default sink
+  logger.Log(LogLevel::kDebug, "m", "filtered before formatting");
+  EXPECT_TRUE(sink.lines.empty());
 }
 
 // --- TraceCollector / TraceSpan ----------------------------------------------

@@ -31,6 +31,7 @@
 #include "base/thread_annotations.h"
 #include "core/explorer.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 #include "qb/corpus.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -58,6 +59,28 @@ bool SmokeMode() {
 
 // Which corpus a published snapshot version was built from.
 enum CorpusKind { kBase = 0, kExtended = 1 };
+
+// Sum of the ten per-op rdfcube_server_<op>_requests_total counters from the
+// process-global registry. The conservation verdict compares before/after
+// deltas, so ops whose counters have not been registered yet contribute zero.
+uint64_t PerOpRequestsTotal() {
+  static const char* const kOps[] = {
+      "ping",  "containers", "contained", "complements", "partial",
+      "scan",  "stats",      "metrics",   "slowlog",     "tracedump"};
+  uint64_t sum = 0;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& counter : snapshot.counters) {
+    for (const char* op : kOps) {
+      if (counter.name ==
+          std::string("rdfcube_server_") + op + "_requests_total") {
+        sum += counter.value;
+        break;
+      }
+    }
+  }
+  return sum;
+}
 
 struct SoakCounters {
   std::atomic<uint64_t> verified_base{0};
@@ -209,6 +232,10 @@ TEST_F(SoakTest, ChaosSoakNeverServesTornData) {
 
   SoakCounters counters;
   std::atomic<bool> stop{false};
+  // Baseline for the metrics-conservation verdict: the per-op counters are
+  // process-global, so only their delta over this soak is attributable to
+  // this server instance.
+  const uint64_t per_op_before = PerOpRequestsTotal();
   const Deadline soak_deadline(duration_seconds_);
 
   // --- Client fleet: mixed operations, every OK answer oracle-checked ----
@@ -355,15 +382,25 @@ TEST_F(SoakTest, ChaosSoakNeverServesTornData) {
   storm.join();
   reloader.join();
 
+  srv.Stop();  // orderly drain; must not hang or crash
+  // Read the tallies only after Stop() joins the workers: a job increments
+  // requests_total_ on entry but its per-op counter in the epilogue, so a
+  // capture racing the last in-flight job would undercount the per-op side.
   const uint64_t shed = srv.shed_total();
   const uint64_t requests = srv.requests_total();
-  srv.Stop();  // orderly drain; must not hang or crash
+  const uint64_t per_op_delta = PerOpRequestsTotal() - per_op_before;
 
   // The verdicts. Torn data = any oracle mismatch or version regression.
   EXPECT_EQ(counters.mismatches.load(), 0u);
   EXPECT_EQ(counters.version_regressions.load(), 0u);
   EXPECT_EQ(counters.internal_responses.load(), 0u);
   EXPECT_EQ(counters.bad_request_responses.load(), 0u);
+  // Metrics conservation: every worker-handled request ticks exactly one
+  // per-op counter, and this soak sends none of the inline-answered obs ops
+  // (kMetrics/kSlowlog bypass admission and skip requests_total), so the
+  // per-op delta-sum must match the server's own tally exactly.
+  EXPECT_EQ(per_op_delta, requests)
+      << "per-op RED counters do not conserve requests_total";
   // The soak exercised what it claims to exercise.
   EXPECT_GT(requests, 100u);
   EXPECT_GT(shed, 0u) << "bounded queue never shed under overload";

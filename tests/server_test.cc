@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -27,11 +28,14 @@
 #include "core/explorer.h"
 #include "core/relationship.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qb/corpus.h"
 #include "server/admission.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "server/slowlog.h"
 #include "server/snapshot_store.h"
 #include "server/socket_io.h"
 #include "tests/test_corpus.h"
@@ -90,13 +94,15 @@ RelSets ScanSets(const RelationshipSnapshot& snap) {
 
 TEST(ProtocolTest, RequestRoundTripsEveryOp) {
   for (Op op : {Op::kPing, Op::kContainers, Op::kContained, Op::kComplements,
-                Op::kPartial, Op::kScan, Op::kStats}) {
+                Op::kPartial, Op::kScan, Op::kStats, Op::kMetrics,
+                Op::kSlowlog, Op::kTraceDump}) {
     Request req;
     req.op = op;
     req.target = 0xabcdef01u;
     req.deadline_ms = 1500;
     req.min_degree = 0.625;
     req.limit = 77;
+    req.request_id = 0x0123456789abcdefull;
     auto back = DecodeRequest(EncodeRequest(req));
     ASSERT_TRUE(back.ok()) << back.status().ToString();
     EXPECT_EQ(back->op, req.op);
@@ -104,6 +110,7 @@ TEST(ProtocolTest, RequestRoundTripsEveryOp) {
     EXPECT_EQ(back->deadline_ms, req.deadline_ms);
     EXPECT_EQ(back->min_degree, req.min_degree);
     EXPECT_EQ(back->limit, req.limit);
+    EXPECT_EQ(back->request_id, req.request_id);
   }
 }
 
@@ -117,12 +124,16 @@ TEST(ProtocolTest, ResponseRoundTripsEveryField) {
   resp.degrees = {0.0, 0.5, 1.0};
   resp.records = {{'F', 1, 2, 0.0}, {'P', 3, 4, 0.75}, {'C', 5, 6, 0.0}};
   resp.stats = std::vector<uint64_t>(kStatsNumFields, 42);
+  resp.text = "# HELP x\nnot ascii: \x02\xfe";
+  resp.request_id = 0xfeedface01020304ull;
   auto back = DecodeResponse(EncodeResponse(resp));
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->code, resp.code);
   EXPECT_EQ(back->retry_after_ms, resp.retry_after_ms);
   EXPECT_EQ(back->snapshot_version, resp.snapshot_version);
   EXPECT_EQ(back->error, resp.error);
+  EXPECT_EQ(back->text, resp.text);
+  EXPECT_EQ(back->request_id, resp.request_id);
   EXPECT_EQ(back->ids, resp.ids);
   EXPECT_EQ(back->degrees, resp.degrees);
   ASSERT_EQ(back->records.size(), resp.records.size());
@@ -184,8 +195,15 @@ TEST(ProtocolTest, RejectsBadVersionOpCodeAndDegrees) {
   bytes = EncodeRequest(req);
   bytes[1] = 0;  // Op 0 is not assigned.
   EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
+  bytes[1] = 11;  // First value past kTraceDump.
+  EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
   bytes[1] = 99;
   EXPECT_TRUE(DecodeRequest(bytes).status().IsParseError());
+  // The observability ops decode (they were added at the top of the range).
+  for (uint8_t valid : {8, 9, 10}) {
+    bytes[1] = static_cast<char>(valid);
+    EXPECT_TRUE(DecodeRequest(bytes).ok()) << "op " << int{valid};
+  }
 
   // min_degree outside [0, 1] and NaN are both rejected.
   req.op = Op::kPartial;
@@ -245,6 +263,98 @@ TEST(ProtocolTest, MutatedValidFramesNeverCrashDecoders) {
       EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
     }
   }
+}
+
+// --- SlowlogRing -------------------------------------------------------------
+
+SlowlogEntry Entry(double latency_us, uint64_t request_id = 0,
+                   Op op = Op::kScan) {
+  SlowlogEntry e;
+  e.op = static_cast<uint8_t>(op);
+  e.request_id = request_id;
+  e.latency_us = latency_us;
+  e.snapshot_version = 1;
+  return e;
+}
+
+std::vector<double> Latencies(const SlowlogRing& ring) {
+  std::vector<double> out;
+  for (const SlowlogEntry& e : ring.Dump()) out.push_back(e.latency_us);
+  return out;
+}
+
+TEST(SlowlogRingTest, KeepsTheSlowestAndDumpsByLatencyDescending) {
+  SlowlogRing ring(2);
+  ring.Add(Entry(10.0));
+  ring.Add(Entry(20.0));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(Latencies(ring), (std::vector<double>{20.0, 10.0}));
+  // A faster request than the current minimum is dropped...
+  ring.Add(Entry(5.0));
+  EXPECT_EQ(Latencies(ring), (std::vector<double>{20.0, 10.0}));
+  // ...and a strictly slower one evicts exactly the minimum.
+  ring.Add(Entry(15.0));
+  EXPECT_EQ(Latencies(ring), (std::vector<double>{20.0, 15.0}));
+}
+
+TEST(SlowlogRingTest, EqualLatencyNewcomerIsDroppedNotSwapped) {
+  SlowlogRing ring(1);
+  ring.Add(Entry(10.0, /*request_id=*/111));
+  ring.Add(Entry(10.0, /*request_id=*/222));  // not strictly slower
+  const std::vector<SlowlogEntry> dump = ring.Dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].request_id, 111u);
+}
+
+TEST(SlowlogRingTest, EvictionPrefersTheOldestAmongEqualMinima) {
+  SlowlogRing ring(2);
+  ring.Add(Entry(10.0, 1));  // sequence 0
+  ring.Add(Entry(10.0, 2));  // sequence 1
+  ring.Add(Entry(12.0, 3));  // evicts the sequence-0 entry
+  const std::vector<SlowlogEntry> dump = ring.Dump();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].request_id, 3u);
+  EXPECT_EQ(dump[1].request_id, 2u);
+}
+
+TEST(SlowlogRingTest, EqualLatenciesDumpOldestFirst) {
+  SlowlogRing ring(3);
+  ring.Add(Entry(10.0, 1));
+  ring.Add(Entry(10.0, 2));
+  ring.Add(Entry(99.0, 3));
+  const std::vector<SlowlogEntry> dump = ring.Dump();
+  ASSERT_EQ(dump.size(), 3u);
+  EXPECT_EQ(dump[0].request_id, 3u);  // slowest first
+  EXPECT_EQ(dump[1].request_id, 1u);  // then ties by admission order
+  EXPECT_EQ(dump[2].request_id, 2u);
+}
+
+TEST(SlowlogRingTest, ZeroCapacityDisablesRecording) {
+  SlowlogRing ring(0);
+  ring.Add(Entry(10.0));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.ToJson(), "[]");
+}
+
+TEST(SlowlogRingTest, ToJsonNamesOpsAndCarriesEveryField) {
+  SlowlogRing ring(4);
+  SlowlogEntry e = Entry(2.5, /*request_id=*/7, Op::kContainers);
+  e.deadline_remaining_ms = 1.5;
+  e.snapshot_version = 3;
+  ring.Add(e);
+  EXPECT_EQ(ring.ToJson(),
+            "[{\"op\":\"containers\",\"request_id\":7,\"latency_us\":2.5,"
+            "\"deadline_remaining_ms\":1.5,\"snapshot_version\":3,"
+            "\"sequence\":0}]");
+}
+
+TEST(ProtocolTest, OpNamesAreStableWireIdentifiers) {
+  EXPECT_STREQ(OpName(Op::kPing), "ping");
+  EXPECT_STREQ(OpName(Op::kScan), "scan");
+  EXPECT_STREQ(OpName(Op::kMetrics), "metrics");
+  EXPECT_STREQ(OpName(Op::kSlowlog), "slowlog");
+  EXPECT_STREQ(OpName(Op::kTraceDump), "tracedump");
+  EXPECT_STREQ(OpName(static_cast<Op>(0)), "unknown");
 }
 
 // --- AdmissionQueue ----------------------------------------------------------
@@ -835,6 +945,152 @@ TEST_F(ServerClientTest, StopDrainsAndRefusesFurtherWork) {
 
   // Start after Stop is refused (one-shot lifecycle).
   EXPECT_TRUE(server_->Start(snapshot_).IsFailedPrecondition());
+}
+
+// Value of the single-sample line `<name> <value>` in a Prometheus text
+// exposition; npos-like sentinel when absent.
+uint64_t ScrapedValue(const std::string& text, const std::string& name) {
+  const std::string needle = name + " ";
+  std::size_t at = 0;
+  while ((at = text.find(needle, at)) != std::string::npos) {
+    if (at == 0 || text[at - 1] == '\n') {
+      return std::strtoull(text.c_str() + at + needle.size(), nullptr, 10);
+    }
+    ++at;
+  }
+  return std::numeric_limits<uint64_t>::max();
+}
+
+// Live value of a counter in the global registry (0 when unregistered).
+uint64_t GlobalCounterValue(const std::string& name) {
+  for (const obs::CounterSample& c :
+       obs::MetricsRegistry::Global().Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+TEST_F(ServerClientTest, MetricsScrapeCountsRequestsExactly) {
+  StartServer(MakeRunningExample(), ServerOptions{});
+  Client client = MakeClient();
+  // The registry is process-global, so assert on deltas from this point.
+  const uint64_t ping_before =
+      GlobalCounterValue("rdfcube_server_ping_requests_total");
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  auto text = client.Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // The per-op counter ticks after the scrape renders, so the scrape sees
+  // exactly the requests that preceded it.
+  EXPECT_EQ(ScrapedValue(*text, "rdfcube_server_ping_requests_total"),
+            ping_before + 17);
+  EXPECT_NE(text->find("# TYPE rdfcube_server_ping_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE rdfcube_server_ping_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text->find("rdfcube_server_ping_latency_us_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE rdfcube_server_queue_wait_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text->find("# TYPE rdfcube_server_in_flight_requests gauge\n"),
+            std::string::npos);
+  // A second scrape sees the first one's per-op counter tick.
+  const uint64_t metrics_count_in_first =
+      ScrapedValue(*text, "rdfcube_server_metrics_requests_total");
+  auto again = client.Metrics();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ScrapedValue(*again, "rdfcube_server_metrics_requests_total"),
+            metrics_count_in_first + 1);
+}
+
+TEST_F(ServerClientTest, RequestIdIsEchoedOnWorkerAndInlinePaths) {
+  StartServer(MakeRunningExample(), ServerOptions{});
+  Client client = MakeClient();
+  Request req;
+  req.op = Op::kPing;  // worker path (admission queue)
+  req.request_id = 0xabcddcba12344321ull;
+  auto resp = client.Call(req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->request_id, req.request_id);
+  req.op = Op::kMetrics;  // reactor-inline path (admission-exempt)
+  req.request_id = 0x1111222233334444ull;
+  resp = client.Call(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->request_id, req.request_id);
+  // Requests sent without an id get a client-stamped one and still match
+  // (a mismatch would surface as ParseError from the echo check).
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerClientTest, SlowlogRecordsWorkerRequests) {
+  ServerOptions options;
+  options.slowlog_capacity = 8;
+  StartServer(MakeRandomCorpus(31, 60), options);
+  Client client = MakeClient();
+  Request req;
+  req.op = Op::kScan;
+  req.request_id = 777;
+  ASSERT_TRUE(client.Call(req).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  auto log = client.Slowlog();
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->front(), '[');
+  EXPECT_EQ(log->back(), ']');
+  EXPECT_NE(log->find("\"op\":\"scan\""), std::string::npos);
+  EXPECT_NE(log->find("\"request_id\":777"), std::string::npos);
+  EXPECT_NE(log->find("\"op\":\"ping\""), std::string::npos);
+  EXPECT_NE(log->find("\"snapshot_version\":1"), std::string::npos);
+  // The slowlog dump itself is reactor-inline and never self-records.
+  EXPECT_EQ(log->find("\"op\":\"slowlog\""), std::string::npos);
+}
+
+TEST_F(ServerClientTest, SlowlogCapacityZeroDumpsEmpty) {
+  ServerOptions options;
+  options.slowlog_capacity = 0;
+  StartServer(MakeRunningExample(), options);
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping().ok());
+  auto log = client.Slowlog();
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(*log, "[]");
+}
+
+TEST_F(ServerClientTest, TraceDumpCapturesABoundedWindow) {
+  ASSERT_FALSE(obs::TraceCollector::Global().enabled());
+  StartServer(MakeRunningExample(), ServerOptions{});
+  Client client = MakeClient();
+  auto json = client.TraceDump(/*window_ms=*/30);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"traceEvents\""), std::string::npos);
+  // The on-demand capture toggles the collector back off afterwards.
+  EXPECT_FALSE(obs::TraceCollector::Global().enabled());
+}
+
+TEST_F(ServerClientTest, ObsOpsCanBeForcedThroughAdmission) {
+  ServerOptions options;
+  options.obs_ops_bypass_admission = false;
+  StartServer(MakeRunningExample(), options);
+  Client client = MakeClient();
+  const uint64_t before = server_->requests_total();
+  ASSERT_TRUE(client.Metrics().ok());
+  ASSERT_TRUE(client.Slowlog().ok());
+  // Through admission, scrapes count as regular requests...
+  EXPECT_EQ(server_->requests_total(), before + 2);
+}
+
+TEST_F(ServerClientTest, InlineObsOpsDoNotCountTowardRequestsTotal) {
+  StartServer(MakeRunningExample(), ServerOptions{});  // bypass on (default)
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Ping().ok());
+  const uint64_t before = server_->requests_total();
+  ASSERT_TRUE(client.Metrics().ok());
+  ASSERT_TRUE(client.Slowlog().ok());
+  // ...but on the reactor-inline path they stay out of the worker tally,
+  // like every other inline response (shed, bad request).
+  EXPECT_EQ(server_->requests_total(), before);
 }
 
 TEST_F(ServerClientTest, ClientBacksOffWhenServerIsGone) {

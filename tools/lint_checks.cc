@@ -351,6 +351,31 @@ void CheckMetricNames(const std::vector<SourceFile>& corpus,
   }
 }
 
+// --- no-raw-stderr -----------------------------------------------------------
+
+void CheckNoRawStderr(const std::vector<SourceFile>& corpus,
+                      std::vector<Violation>* out) {
+  static const std::string kCheck = "no-raw-stderr";
+  // The token itself, wherever it appears in code: fprintf(stderr, ...),
+  // fputs(..., stderr), a bare `stderr` argument on a continuation line of a
+  // wrapped call, or a std::cerr stream write. Matching the token (not the
+  // call) is deliberate: multi-line calls put `stderr` alone on a later line.
+  static const std::regex kRawStderr(R"(\bstderr\b|\bstd\s*::\s*cerr\b)");
+  for (const SourceFile& f : corpus) {
+    if (!InDir(f, "src") && f.path != "tools/rdfcube_serverd.cc") continue;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (LineSuppressed(f, i, kCheck)) continue;
+      if (std::regex_search(f.code[i], kRawStderr)) {
+        out->push_back({kCheck, f.path, i + 1,
+                        "raw stderr write; route diagnostics through "
+                        "obs::Log{Info,Warn,Error} (structured, rate-limited) "
+                        "— only the logger's own terminal sink may touch "
+                        "stderr directly"});
+      }
+    }
+  }
+}
+
 // --- checked-value -----------------------------------------------------------
 
 // Scans the receiver expression that ends just before position `end` on
@@ -708,6 +733,7 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
   CheckLockAnnotations(corpus, &out);
   CheckObsShadowing(corpus, &out);
   CheckMetricNames(corpus, &out);
+  CheckNoRawStderr(corpus, &out);
   CheckCheckedValue(corpus, &out);
   CheckCallGraph(corpus, &out);
 

@@ -40,6 +40,12 @@
 //                         rdfcube_<module>_<name>_<unit> scheme (lowercase,
 //                         >= 4 underscore-separated tokens), so dashboards
 //                         can group by module mechanically.
+//   no-raw-stderr         no direct stderr / std::cerr use under src/ or in
+//                         tools/rdfcube_serverd.cc: diagnostics go through
+//                         obs::Log (structured, leveled, rate-limited;
+//                         DESIGN.md §5d) so operators get one parseable
+//                         stream. The logger's own terminal sink carries the
+//                         sanctioned same-line lint:allow.
 //   checked-value         dataflow-lite: `.value()` on a call-chain result
 //                         (`Find(x).value()`) or on a local declared
 //                         Result<T>/optional<T>, and `*opt` dereferences of

@@ -362,8 +362,10 @@ int CmdQuery(const std::string& hostport,
   if (args.empty()) {
     std::fputs(
         "usage: rdfcube_cli query <host:port> "
-        "<ping|containers|contained|complements|partial|scan|stats> "
-        "[obs-id] [--min-degree=D] [--limit=N]\n",
+        "<ping|containers|contained|complements|partial|scan|stats|"
+        "metrics|slowlog|tracez> "
+        "[obs-id] [--min-degree=D] [--limit=N]\n"
+        "(tracez: --limit=N is the capture window in ms, default 100)\n",
         stderr);
     return 1;
   }
@@ -460,6 +462,24 @@ int CmdQuery(const std::string& hostport,
                 static_cast<unsigned long long>(s[server::kStatsReloads]),
                 static_cast<unsigned long long>(
                     s[server::kStatsReloadFailures]));
+    return 0;
+  }
+  if (op == "metrics") {
+    auto text = client.Metrics();
+    if (!text.ok()) return Fail(text.status());
+    std::fputs(text.value().c_str(), stdout);
+    return 0;
+  }
+  if (op == "slowlog") {
+    auto text = client.Slowlog();
+    if (!text.ok()) return Fail(text.status());
+    std::printf("%s\n", text.value().c_str());
+    return 0;
+  }
+  if (op == "tracez") {
+    auto text = client.TraceDump(limit);
+    if (!text.ok()) return Fail(text.status());
+    std::printf("%s\n", text.value().c_str());
     return 0;
   }
   std::fprintf(stderr, "unknown query op: %s\n", op.c_str());

@@ -9,10 +9,14 @@
 //       --default-deadline=<seconds>  deadline when a request asks for none
 //       --max-deadline=<seconds>      clamp on client-requested deadlines
 //       --build-deadline=<seconds>    budget for the initial snapshot build
+//       --slowlog=<n>         slowlog ring capacity (default 64)
+//       --log-json            emit JSON log lines instead of key=value text
 //
 // SIGINT/SIGTERM drain and exit; SIGHUP re-reads the corpus file and swaps
 // the snapshot copy-on-write (a failed reload keeps serving the last-good
-// snapshot — check "reload failures" on stderr).
+// snapshot — watch for "reload failed" log lines). All diagnostics go
+// through obs::Log (structured, rate-limited; DESIGN.md §5d); only the
+// machine-parsed "serving on port <n>" line stays on stdout.
 
 #include <signal.h>
 
@@ -36,7 +40,7 @@ void OnStopSignal(int) { g_stop = 1; }
 void OnReloadSignal(int) { g_reload = 1; }
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  obs::LogError("serverd", "fatal", {obs::Field("status", status.ToString())});
   return 1;
 }
 
@@ -53,11 +57,13 @@ Result<qb::Corpus> LoadCorpus(const std::string& path) {
 }
 
 void Usage() {
+  // Usage text is CLI output, not logging: it stays on raw stderr.
   std::fputs(
       "usage: rdfcube_serverd <corpus.(ttl|bin)> [--port=N] [--workers=N]\n"
       "       [--queue=N] [--retry-after-ms=N] [--default-deadline=S]\n"
-      "       [--max-deadline=S] [--build-deadline=S]\n",
-      stderr);
+      "       [--max-deadline=S] [--build-deadline=S] [--slowlog=N]\n"
+      "       [--log-json]\n",
+      stderr);  // lint:allow(no-raw-stderr)
 }
 
 }  // namespace
@@ -108,8 +114,12 @@ int main(int argc, char** argv) {
       options.max_deadline_seconds = dbl_value;
     } else if (key == "--build-deadline" && has_dbl) {
       build_deadline_seconds = dbl_value;
+    } else if (key == "--slowlog" && has_u64) {
+      options.slowlog_capacity = static_cast<std::size_t>(u64_value);
+    } else if (key == "--log-json") {
+      obs::Logger::Global().SetJsonLines(true);
     } else {
-      std::fprintf(stderr, "bad option: %s\n", arg.c_str());
+      obs::LogError("serverd", "bad option", {obs::Field("arg", arg)});
       Usage();
       return 1;
     }
@@ -126,12 +136,18 @@ int main(int argc, char** argv) {
   Result<server::SnapshotPtr> snap =
       core::RelationshipSnapshot::Build(std::move(corpus).value(), build);
   if (!snap.ok()) return Fail(snap.status());
-  std::fprintf(stderr, "snapshot v%llu: %zu observations, %zu full, %zu "
-               "partial, %zu complementary\n",
-               static_cast<unsigned long long>(snap.value()->version()),
-               snap.value()->num_observations(), snap.value()->num_full(),
-               snap.value()->num_partial(),
-               snap.value()->num_complementary());
+  obs::LogInfo("serverd", "snapshot built",
+               {obs::Field("version", snap.value()->version()),
+                obs::Field("observations",
+                           static_cast<uint64_t>(
+                               snap.value()->num_observations())),
+                obs::Field("full",
+                           static_cast<uint64_t>(snap.value()->num_full())),
+                obs::Field("partial",
+                           static_cast<uint64_t>(snap.value()->num_partial())),
+                obs::Field("complementary",
+                           static_cast<uint64_t>(
+                               snap.value()->num_complementary()))});
 
   server::Server srv(options);
   const Status started = srv.Start(std::move(snap).value());
@@ -157,26 +173,23 @@ int main(int argc, char** argv) {
                                       : Deadline())
                      : fresh.status();
       if (reloaded.ok()) {
-        std::fprintf(stderr, "reloaded: now v%llu\n",
-                     static_cast<unsigned long long>(
-                         srv.store().Current()->version()));
+        obs::LogInfo("serverd", "reloaded",
+                     {obs::Field("version",
+                                 srv.store().Current()->version())});
       } else {
-        std::fprintf(stderr,
-                     "reload failed (%s); keeping last-good snapshot "
-                     "(%llu failures so far)\n",
-                     reloaded.ToString().c_str(),
-                     static_cast<unsigned long long>(
-                         srv.store().reload_failures()));
+        obs::LogWarn(
+            "serverd", "reload failed; keeping last-good snapshot",
+            {obs::Field("status", reloaded.ToString()),
+             obs::Field("failures", srv.store().reload_failures())});
       }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
-  std::fprintf(stderr, "draining...\n");
+  obs::LogInfo("serverd", "draining");
   srv.Stop();
-  std::fprintf(stderr,
-               "drained: %llu requests, %llu shed, %llu deadline-expired\n",
-               static_cast<unsigned long long>(srv.requests_total()),
-               static_cast<unsigned long long>(srv.shed_total()),
-               static_cast<unsigned long long>(srv.deadline_expired_total()));
+  obs::LogInfo("serverd", "drained",
+               {obs::Field("requests", srv.requests_total()),
+                obs::Field("shed", srv.shed_total()),
+                obs::Field("deadline_expired", srv.deadline_expired_total())});
   return 0;
 }
