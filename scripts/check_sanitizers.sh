@@ -10,7 +10,8 @@
 # submit/error races, concurrent masking runs, checkpoint storms, admission
 # queue and snapshot-swap storms) plus the fault-injected server soak; the
 # address/undefined passes add server_test, whose protocol fuzzers push
-# hostile frames through the wire decoders. Uses separate build trees so the
+# hostile frames through the wire decoders, and snapshot_fuzz_test, which
+# mutates every byte of a snapshot file through LoadFrom. Uses separate build trees so the
 # sanitized builds never pollute the main ./build.
 #
 # Usage: scripts/check_sanitizers.sh [sanitizer ...]
@@ -23,7 +24,7 @@ cd "$(dirname "$0")/.."
 for san in $sanitizers; do
   case "$san" in
     thread) targets="race_stress_test fault_test robustness_test server_soak_test" ;;
-    *)      targets="robustness_test fault_test binary_io_test server_test" ;;
+    *)      targets="robustness_test fault_test binary_io_test server_test snapshot_fuzz_test" ;;
   esac
   regex="$(echo "$targets" | tr ' ' '|')"
   dir="build-$(echo "$san" | cut -c1-4)"

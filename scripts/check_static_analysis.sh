@@ -19,7 +19,14 @@
 #      reaches an allocation or lock. Exports <build>/callgraph.{json,dot}
 #      and <build>/hot_path_report.json for artifact upload. (The same gate
 #      runs inside rdfcube_lint as the hot-path-alloc/hot-path-lock checks;
-#      this stage additionally produces the graph artifacts.)
+#      this stage additionally produces the graph artifacts.) The same
+#      invocation carries the taint gate (DESIGN.md §5h): forward taint
+#      propagation from RDFCUBE_TAINT_SOURCE decode entry points proves no
+#      untrusted byte count reaches a sized sink (resize/reserve/assign/
+#      new[]/memcpy-family) without a limit comparison, and that size
+#      arithmetic on tainted values goes through util/safe_math. Findings
+#      fail the gate with source-to-sink witness chains; the full taint
+#      state lands in <build>/taint_report.json for artifact upload.
 #   2. scripts/check_deps.sh — the architecture gate proper: rdfcube_deps
 #      re-runs the layer checks standalone (a missing tools/layers.txt is an
 #      error here, where rdfcube_lint merely skips the layer checks) and
@@ -65,12 +72,18 @@ if [ "$lint_status" -ne 0 ]; then
 fi
 echo "rdfcube_lint: clean ($build/lint_report.json)"
 
-echo "== call-graph / hot-path gate (rdfcube_callgraph) =="
-"$build/tools/rdfcube_callgraph" . \
-  --json="$build/callgraph.json" \
-  --dot="$build/callgraph.dot" \
-  --hot-report="$build/hot_path_report.json"
-echo "call graph exported ($build/callgraph.json, $build/hot_path_report.json)"
+echo "== call-graph / hot-path + taint gate (rdfcube_callgraph) =="
+if [ -x "$build/tools/rdfcube_callgraph" ]; then
+  "$build/tools/rdfcube_callgraph" . \
+    --json="$build/callgraph.json" \
+    --dot="$build/callgraph.dot" \
+    --hot-report="$build/hot_path_report.json" \
+    --taint-report="$build/taint_report.json"
+  echo "call graph exported ($build/callgraph.json," \
+       "$build/hot_path_report.json, $build/taint_report.json)"
+else
+  echo "== rdfcube_callgraph binary missing; hot-path/taint gate skipped =="
+fi
 
 echo "== architecture gate (rdfcube_deps) =="
 scripts/check_deps.sh "$build"

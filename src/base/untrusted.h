@@ -1,0 +1,46 @@
+// Taint annotations for the cross-TU input-flow gate (DESIGN.md §5h).
+//
+// RDFCUBE_TAINT_SOURCE marks a function *definition* as a decode entry point:
+// its inputs are untrusted bytes (a network frame, a snapshot/corpus file,
+// turtle or CSV text), so every length, count, offset, or id it produces is
+// attacker-controlled until validated. The callgraph analyzer
+// (tools/callgraph, lint checks untrusted-size-sink / unchecked-size-arith /
+// missing-limit-clamp) propagates taint from source functions through their
+// transitive callees and requires a visible bounds guard (a comparison
+// against a named limit constant, a .size()/Remaining() check, or
+// util/safe_math CheckedAdd/CheckedMul) in any tainted function that feeds a
+// sized sink (resize/reserve/new T[n]/memcpy/arithmetic subscripts).
+//
+// RDFCUBE_TAINT_BARRIER is the validated boundary: a function that only ever
+// receives fully validated values (or validates everything itself before
+// fanning out). Taint propagation stops at barrier functions — neither the
+// barrier nor its callees inherit taint through that edge. Marking a barrier
+// is an auditable assertion, the taint-gate analogue of RDFCUBE_COLD: prefer
+// adding a real guard; reach for the barrier only when the validation
+// genuinely lives at a different layer (e.g. ids pre-checked by the caller).
+//
+// Both must sit on the *definition* (the declaration carrying the `{` body):
+// the analyzer is lexical and reads the annotation from the function header
+// it extracts. Annotating only a forward declaration does nothing. The
+// macros expand to nothing — they exist purely for the analyzer (and the
+// human reader).
+//
+// Usage:
+//   RDFCUBE_TAINT_SOURCE Result<Request> DecodeRequest(
+//       const std::string& payload) { ... }
+//   RDFCUBE_TAINT_BARRIER Status ApplyValidatedDelta(const Delta& d) { ... }
+
+#ifndef RDFCUBE_BASE_UNTRUSTED_H_
+#define RDFCUBE_BASE_UNTRUSTED_H_
+
+/// Marks a function definition as a decode entry point over untrusted bytes:
+/// enrolls it (and its transitive callees) in the taint gate — sized sinks
+/// reached from here must carry a visible bounds guard (DESIGN.md §5h).
+#define RDFCUBE_TAINT_SOURCE
+
+/// Marks a function definition as a validated boundary: taint propagation
+/// stops here. An auditable assertion that every value crossing this call
+/// has already been bounds-checked.
+#define RDFCUBE_TAINT_BARRIER
+
+#endif  // RDFCUBE_BASE_UNTRUSTED_H_

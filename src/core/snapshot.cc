@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/hot.h"
+#include "base/untrusted.h"
 #include "core/checkpoint.h"
 #include "core/snapshot_io.h"
 #include "obs/metrics.h"
@@ -183,8 +184,8 @@ Status RelationshipSnapshot::SaveTo(const std::string& path) const {
   return AtomicWriteFile(out, path);
 }
 
-Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::LoadFrom(
-    const std::string& path) {
+RDFCUBE_TAINT_SOURCE Result<RelationshipSnapshot::Ptr>
+RelationshipSnapshot::LoadFrom(const std::string& path) {
   std::string bytes;  // pre-initialized: gcc-12 maybe-uninitialized
   RDFCUBE_ASSIGN_OR_RETURN(bytes, ReadFileBytes(path));
   if (bytes.size() < sizeof(kSnapshotMagic) ||
@@ -205,10 +206,15 @@ Result<RelationshipSnapshot::Ptr> RelationshipSnapshot::LoadFrom(
   if (selector_bits > 0xfu) return Corrupt("selector bits out of range");
   uint64_t len;
   std::string corpus_bytes, state_bytes;
-  if (!r.GetU64(&len) || !r.GetBytes(len, &corpus_bytes)) {
+  // Clamp each section length against the bytes actually present before
+  // handing it to GetBytes: a forged 64-bit length must not be narrowed to
+  // size_t (32-bit hosts) or charged against the allocator.
+  if (!r.GetU64(&len) || len > r.Remaining() ||
+      !r.GetBytes(static_cast<std::size_t>(len), &corpus_bytes)) {
     return Corrupt("corpus payload");
   }
-  if (!r.GetU64(&len) || !r.GetBytes(len, &state_bytes)) {
+  if (!r.GetU64(&len) || len > r.Remaining() ||
+      !r.GetBytes(static_cast<std::size_t>(len), &state_bytes)) {
     return Corrupt("engine state payload");
   }
   if (!r.AtEnd()) return Corrupt("trailing bytes");

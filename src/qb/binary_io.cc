@@ -7,10 +7,25 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/untrusted.h"
+#include "util/safe_math.h"
+
 namespace rdfcube {
 namespace qb {
 
 namespace {
+
+// Schema limits for untrusted count fields (the taint gate, DESIGN.md §5h):
+// dimension/measure counts must fit the 64-bit presence masks, and
+// element-count fields are additionally clamped against the bytes actually
+// present so a forged count cannot drive a huge loop over a tiny payload.
+constexpr uint32_t kMaxDimensions = 64;
+constexpr uint32_t kMaxMeasures = 64;
+// Smallest possible encodings: dataset = empty iri (4) + two masks (16);
+// observation = empty iri (4) + dataset id (4) + dim count (4) + value
+// count (4).
+constexpr uint64_t kMinDatasetRecordBytes = 20;
+constexpr uint64_t kMinObservationRecordBytes = 16;
 
 // --- Little-endian primitives ------------------------------------------------
 
@@ -78,6 +93,8 @@ class Reader {
   }
 
   bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  std::size_t Remaining() const { return bytes_.size() - pos_; }
 
  private:
   const std::string& bytes_;
@@ -159,7 +176,8 @@ Result<std::string> SerializeCorpus(const Corpus& corpus) {
   return out;
 }
 
-Result<Corpus> DeserializeCorpus(const std::string& bytes) {
+RDFCUBE_TAINT_SOURCE Result<Corpus> DeserializeCorpus(
+    const std::string& bytes) {
   if (bytes.size() < sizeof(kBinaryMagic) ||
       std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
     return Corrupt("bad magic");
@@ -176,7 +194,7 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
 
   uint32_t num_dims;
   if (!r.GetU32(&num_dims)) return Corrupt("dimension count");
-  if (num_dims > 64) return Corrupt("dimension count out of range");
+  if (num_dims > kMaxDimensions) return Corrupt("dimension count out of range");
   for (uint32_t d = 0; d < num_dims; ++d) {
     std::string iri;
     if (!r.GetString(&iri)) return Corrupt("dimension iri");
@@ -204,7 +222,7 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
 
   uint32_t num_measures;
   if (!r.GetU32(&num_measures)) return Corrupt("measure count");
-  if (num_measures > 64) return Corrupt("measure count out of range");
+  if (num_measures > kMaxMeasures) return Corrupt("measure count out of range");
   for (uint32_t m = 0; m < num_measures; ++m) {
     std::string iri;
     if (!r.GetString(&iri)) return Corrupt("measure iri");
@@ -214,6 +232,14 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
   corpus.observations = std::make_unique<ObservationSet>(corpus.space.get());
   uint32_t num_datasets;
   if (!r.GetU32(&num_datasets)) return Corrupt("dataset count");
+  // Overflow-checked feasibility clamp: num_datasets records need at least
+  // num_datasets * kMinDatasetRecordBytes bytes, so a forged count either
+  // overflows the multiply or exceeds what the payload can hold.
+  const auto dataset_bytes =
+      util::CheckedMul<uint64_t>(num_datasets, kMinDatasetRecordBytes);
+  if (!dataset_bytes.ok() || *dataset_bytes > r.Remaining()) {
+    return Corrupt("dataset count out of range");
+  }
   for (uint32_t ds = 0; ds < num_datasets; ++ds) {
     std::string iri;
     uint64_t dim_mask, measure_mask;
@@ -239,6 +265,11 @@ Result<Corpus> DeserializeCorpus(const std::string& bytes) {
 
   uint32_t num_obs;
   if (!r.GetU32(&num_obs)) return Corrupt("observation count");
+  const auto obs_bytes =
+      util::CheckedMul<uint64_t>(num_obs, kMinObservationRecordBytes);
+  if (!obs_bytes.ok() || *obs_bytes > r.Remaining()) {
+    return Corrupt("observation count out of range");
+  }
   for (uint32_t i = 0; i < num_obs; ++i) {
     std::string iri;
     uint32_t dataset, present;

@@ -8,11 +8,18 @@
 
 #include "rdf/vocab.h"
 #include "base/result.h"
+#include "base/untrusted.h"
 
 namespace rdfcube {
 namespace rdf {
 
 namespace {
+
+// Hard cap on any single accumulated term (IRI, local name, literal value).
+// Real vocabulary terms are a few hundred bytes; a malicious document must
+// not grow an unbounded std::string one byte at a time (taint gate,
+// DESIGN.md §5h).
+constexpr std::size_t kMaxTermBytes = std::size_t{1} << 20;
 
 // Recursive-descent parser over the raw text. Keeps a prefix map and a base
 // IRI; produces triples directly into the store.
@@ -207,6 +214,7 @@ class Parser {
     std::string iri;
     while (!AtEnd() && Peek() != '>') {
       if (Peek() == '\n') return ErrorHere("newline inside IRI");
+      if (iri.size() >= kMaxTermBytes) return ErrorHere("IRI too long");
       iri.push_back(Advance());
     }
     if (AtEnd()) return ErrorHere("unterminated IRI");
@@ -239,6 +247,9 @@ class Parser {
       if (Peek() == '.') {
         const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : ' ';
         if (!IsNameChar(next) || next == '.') break;
+      }
+      if (local.size() >= kMaxTermBytes) {
+        return ErrorHere("local name too long");
       }
       local.push_back(Advance());
     }
@@ -306,6 +317,9 @@ class Parser {
         continue;
       }
       if (c == '\n') ++line_;
+      if (value.size() >= kMaxTermBytes) {
+        return ErrorHere("string literal too long");
+      }
       value.push_back(c);
     }
     if (AtEnd()) return ErrorHere("unterminated string literal");
@@ -385,7 +399,8 @@ class Parser {
 
 }  // namespace
 
-Status ParseTurtle(std::string_view text, TripleStore* store) {
+RDFCUBE_TAINT_SOURCE Status ParseTurtle(std::string_view text,
+                                        TripleStore* store) {
   Parser parser(text, store);
   return parser.Run();
 }

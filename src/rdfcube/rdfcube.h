@@ -23,6 +23,7 @@
 #include "base/status.h"                   // IWYU pragma: export
 #include "base/stopwatch.h"                // IWYU pragma: export
 #include "base/thread_annotations.h"       // IWYU pragma: export
+#include "base/untrusted.h"                // IWYU pragma: export
 #include "cluster/agglomerative.h"         // IWYU pragma: export
 #include "cluster/canopy.h"                // IWYU pragma: export
 #include "cluster/kmeans.h"                // IWYU pragma: export
@@ -90,6 +91,7 @@
 #include "util/fault.h"                    // IWYU pragma: export
 #include "util/random.h"                   // IWYU pragma: export
 #include "util/result.h"                   // IWYU pragma: export
+#include "util/safe_math.h"                // IWYU pragma: export
 #include "util/status.h"                   // IWYU pragma: export
 #include "util/stopwatch.h"                // IWYU pragma: export
 #include "util/string_util.h"              // IWYU pragma: export

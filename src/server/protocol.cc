@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/untrusted.h"
 #include "core/snapshot_io.h"
 #include "qb/observation_set.h"
 
@@ -50,7 +51,7 @@ std::string EncodeRequest(const Request& req) {
   return out;
 }
 
-Result<Request> DecodeRequest(const std::string& payload) {
+RDFCUBE_TAINT_SOURCE Result<Request> DecodeRequest(const std::string& payload) {
   ByteReader r(payload);
   uint8_t version, op;
   if (!r.GetU8(&version)) return Malformed("empty request");
@@ -102,7 +103,8 @@ std::string EncodeResponse(const Response& resp) {
   return out;
 }
 
-Result<Response> DecodeResponse(const std::string& payload) {
+RDFCUBE_TAINT_SOURCE Result<Response> DecodeResponse(
+    const std::string& payload) {
   ByteReader r(payload);
   uint8_t version, code;
   if (!r.GetU8(&version)) return Malformed("empty response");

@@ -10,6 +10,7 @@
 
 #include <cstring>
 
+#include "base/untrusted.h"
 #include "util/fault.h"
 
 namespace rdfcube {
@@ -180,8 +181,9 @@ Status WriteFrame(int fd, const std::string& payload,
   return WriteAll(fd, frame.data(), frame.size(), deadline);
 }
 
-Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes,
-                 const Deadline& deadline) {
+RDFCUBE_TAINT_SOURCE Status ReadFrame(int fd, std::string* payload,
+                                      uint32_t max_frame_bytes,
+                                      const Deadline& deadline) {
   if (FaultTriggered(kFaultNetRead)) {
     return Status::IOError("injected network read failure");
   }

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "base/untrusted.h"
+
 namespace rdfcube {
 
 namespace {
@@ -71,7 +73,8 @@ bool NeedsQuoting(std::string_view field, char sep) {
 
 }  // namespace
 
-Result<CsvTable> ParseCsv(std::string_view text, char sep) {
+RDFCUBE_TAINT_SOURCE Result<CsvTable> ParseCsv(std::string_view text,
+                                               char sep) {
   CsvTable table;
   std::size_t pos = 0;
   Status error;

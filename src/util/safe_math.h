@@ -1,0 +1,47 @@
+// Overflow-checked size arithmetic for decode paths (DESIGN.md §5h).
+//
+// Lengths and counts read from untrusted bytes must not feed `a * b` or
+// `a + b` into an allocation size: the multiplication can wrap and the
+// subsequent bounds check then passes on a tiny value while the loop it
+// guards runs to the original huge count. CheckedAdd/CheckedMul return the
+// exact result or OutOfRange, never a wrapped value; the taint gate's
+// unchecked-size-arith check (tools/callgraph) recognizes a call to them as
+// the sanctioned form of size arithmetic in tainted functions.
+
+#ifndef RDFCUBE_UTIL_SAFE_MATH_H_
+#define RDFCUBE_UTIL_SAFE_MATH_H_
+
+#include <type_traits>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace rdfcube {
+namespace util {
+
+/// Returns `a + b`, or OutOfRange when the sum does not fit in T.
+template <typename T>
+[[nodiscard]] Result<T> CheckedAdd(T a, T b) {
+  static_assert(std::is_integral_v<T>, "CheckedAdd needs an integral type");
+  T out{};
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer overflow in checked add");
+  }
+  return out;
+}
+
+/// Returns `a * b`, or OutOfRange when the product does not fit in T.
+template <typename T>
+[[nodiscard]] Result<T> CheckedMul(T a, T b) {
+  static_assert(std::is_integral_v<T>, "CheckedMul needs an integral type");
+  T out{};
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::OutOfRange("integer overflow in checked multiply");
+  }
+  return out;
+}
+
+}  // namespace util
+}  // namespace rdfcube
+
+#endif  // RDFCUBE_UTIL_SAFE_MATH_H_

@@ -374,6 +374,242 @@ TEST(CallGraphTest, ExportsRenderHotFunctionsAndEdges) {
   EXPECT_NE(report.find("Kernel"), std::string::npos);
 }
 
+// --- taint gate (DESIGN.md §5h) ----------------------------------------------
+
+TEST(FunctionFactsTest, RecordsSizedSinkAndArithFacts) {
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "void Decode(std::string* out, size_t a, size_t b) {\n"
+         "  out->resize(a * b);\n"
+         "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kSizedSink));
+  EXPECT_TRUE(HasFact(fns[0], FactKind::kSizeArith));
+  EXPECT_FALSE(fns[0].has_limit_guard);
+}
+
+TEST(FunctionFactsTest, StaticSizeofMemcpyIsNotASink) {
+  // The double<->uint64 bit-cast idiom: size is statically sizeof, nothing
+  // untrusted steers it. With identifier arithmetic it stays a sink.
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "void BitCast(double v) {\n"
+         "  uint64_t bits;\n"
+         "  std::memcpy(&bits, &v, sizeof(bits));\n"
+         "}\n"
+         "void Copy(char* dst, const char* src, size_t n) {\n"
+         "  std::memcpy(dst, src, n * sizeof(uint32_t));\n"
+         "}\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_FALSE(HasFact(fns[0], FactKind::kSizedSink));
+  EXPECT_TRUE(HasFact(fns[1], FactKind::kSizedSink));
+  EXPECT_TRUE(HasFact(fns[1], FactKind::kSizeArith));
+}
+
+TEST(FunctionFactsTest, LimitComparisonAndCheckedMathSetSanitizerBits) {
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "bool Guarded(size_t n, std::string* out) {\n"
+         "  if (n > kMaxPayloadBytes) return false;\n"
+         "  out->resize(n);\n"
+         "  return true;\n"
+         "}\n"
+         "bool Checked(size_t a, size_t b, std::string* out) {\n"
+         "  auto n = CheckedMul<size_t>(a, b);\n"
+         "  out->resize(n.value());\n"
+         "  return true;\n"
+         "}\n"
+         "void Arrow(Foo* p) { p->next->val = 1; }\n"));
+  ASSERT_EQ(fns.size(), 3u);
+  EXPECT_TRUE(fns[0].has_limit_guard);
+  EXPECT_FALSE(fns[0].has_checked_math);
+  EXPECT_TRUE(fns[1].has_checked_math);
+  EXPECT_TRUE(fns[1].has_limit_guard);
+  // `->` alone is not a comparison; without a limit token + comparator the
+  // guard bit stays clear.
+  EXPECT_FALSE(fns[2].has_limit_guard);
+}
+
+TEST(FunctionFactsTest, ParsesTaintAnnotations) {
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "RDFCUBE_TAINT_SOURCE int Decode(const std::string& b) {\n"
+         "  return Helper(b);\n"
+         "}\n"
+         "RDFCUBE_TAINT_BARRIER int Validated(int n) { return n; }\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_TRUE(fns[0].taint_source);
+  EXPECT_FALSE(fns[0].taint_barrier);
+  EXPECT_TRUE(fns[1].taint_barrier);
+}
+
+TEST(CallGraphTest, TaintFlowsForwardFromSourceToSink) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "void Fill(std::string* out, size_t n) {\n"
+          "  out->resize(n);\n"
+          "}\n"
+          "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+          "                                 std::string* out) {\n"
+          "  if (b.size() > kMaxBytes) return;\n"
+          "  Fill(out, b.size());\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int fill = IndexOf(graph, "Fill");
+  const int decode = IndexOf(graph, "Decode");
+  ASSERT_GE(fill, 0);
+  ASSERT_GE(decode, 0);
+  EXPECT_TRUE(summaries[static_cast<std::size_t>(decode)].taint.tainted);
+  EXPECT_TRUE(summaries[static_cast<std::size_t>(fill)].taint.tainted);
+
+  const auto violations = EvaluateTaintGate(graph, summaries);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "untrusted-size-sink");
+  EXPECT_EQ(violations[0].fn, fill);
+  EXPECT_EQ(violations[0].line, 2u);
+  // Witness reads source-first and names the sink.
+  EXPECT_NE(violations[0].witness.find("Decode"), std::string::npos);
+  EXPECT_NE(violations[0].witness.find("-> Fill"), std::string::npos);
+  EXPECT_NE(violations[0].witness.find("sized sink 'resize' at src/a/x.cc:2"),
+            std::string::npos);
+}
+
+TEST(CallGraphTest, LimitGuardSilencesSink) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+          "                                 std::string* out) {\n"
+          "  size_t n = b.size();\n"
+          "  if (n > kMaxBytes) return;\n"
+          "  out->resize(n);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  EXPECT_TRUE(EvaluateTaintGate(graph, summaries).empty());
+}
+
+TEST(CallGraphTest, BarrierStopsTaintPropagation) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_TAINT_BARRIER void Fill(std::string* out, size_t n) {\n"
+          "  out->resize(n);\n"
+          "}\n"
+          "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+          "                                 std::string* out) {\n"
+          "  if (b.size() > kMaxBytes) return;\n"
+          "  Fill(out, b.size());\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int fill = IndexOf(graph, "Fill");
+  ASSERT_GE(fill, 0);
+  EXPECT_FALSE(summaries[static_cast<std::size_t>(fill)].taint.tainted);
+  EXPECT_TRUE(EvaluateTaintGate(graph, summaries).empty());
+}
+
+TEST(CallGraphTest, TaintCrossesTranslationUnits) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/util.h",
+          "inline void Grow(std::string* out, size_t n) {\n"
+          "  out->resize(n);\n"
+          "}\n"),
+       SF("src/b/decode.cc",
+          "#include \"a/util.h\"\n"
+          "RDFCUBE_TAINT_SOURCE void Parse(const std::string& b,\n"
+          "                                std::string* out) {\n"
+          "  if (b.size() > kMaxBytes) return;\n"
+          "  Grow(out, b.size());\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const int grow = IndexOf(graph, "Grow");
+  ASSERT_GE(grow, 0);
+  ASSERT_TRUE(summaries[static_cast<std::size_t>(grow)].taint.tainted);
+  const auto violations = EvaluateTaintGate(graph, summaries);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "untrusted-size-sink");
+  EXPECT_NE(violations[0].witness.find(
+                "Parse (src/b/decode.cc:2) -> Grow (src/a/util.h:1)"),
+            std::string::npos);
+}
+
+TEST(CallGraphTest, UncheckedSizeArithFiresAndCheckedMathSilences) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_TAINT_SOURCE void Raw(size_t rows, size_t cols,\n"
+          "                              std::string* out) {\n"
+          "  if (rows > kMaxRows) return;\n"
+          "  out->resize(rows * cols);\n"
+          "}\n"
+          "RDFCUBE_TAINT_SOURCE void Safe(size_t rows, size_t cols,\n"
+          "                               std::string* out) {\n"
+          "  auto n = CheckedMul<size_t>(rows, cols);\n"
+          "  if (!n.ok() || n.value() > kMaxBytes) return;\n"
+          "  out->resize(n.value());\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateTaintGate(graph, summaries);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "unchecked-size-arith");
+  EXPECT_NE(violations[0].witness.find("Raw"), std::string::npos);
+}
+
+TEST(CallGraphTest, MissingLimitClampFlagsClamplessDecoder) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "int Step(int v) { return v + 1; }\n"
+          "RDFCUBE_TAINT_SOURCE int Decode(const std::string& b) {\n"
+          "  return Step(static_cast<int>(b[0]));\n"
+          "}\n"
+          "RDFCUBE_TAINT_SOURCE int Clamped(const std::string& b) {\n"
+          "  if (b.size() > kMaxBytes) return -1;\n"
+          "  return Step(static_cast<int>(b[0]));\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateTaintGate(graph, summaries);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "missing-limit-clamp");
+  const int decode = IndexOf(graph, "Decode");
+  EXPECT_EQ(violations[0].fn, decode);
+  EXPECT_NE(violations[0].witness.find("compares against a limit"),
+            std::string::npos);
+}
+
+TEST(CallGraphTest, ClampInCalleeSatisfiesMissingLimitClamp) {
+  // The source body itself has no comparison, but a helper in its closure
+  // does — the closure-wide check accepts delegating decoders.
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "bool CheckSize(size_t n) { return n <= kMaxBytes; }\n"
+          "RDFCUBE_TAINT_SOURCE int Decode(const std::string& b) {\n"
+          "  return CheckSize(b.size()) ? 1 : -1;\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  EXPECT_TRUE(EvaluateTaintGate(graph, summaries).empty());
+}
+
+TEST(CallGraphTest, TaintReportJsonListsSourcesAndViolations) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_TAINT_BARRIER void Emit(int v) { (void)v; }\n"
+          "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+          "                                 std::string* out) {\n"
+          "  out->resize(b.size());\n"
+          "  Emit(1);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateTaintGate(graph, summaries);
+  const std::string report = TaintReportJson(graph, summaries, violations);
+  EXPECT_NE(report.find("\"sources\""), std::string::npos);
+  EXPECT_NE(report.find("Decode"), std::string::npos);
+  EXPECT_NE(report.find("\"barriers\": [\"Emit\"]"), std::string::npos);
+  EXPECT_NE(report.find("\"tainted_total\": 1"), std::string::npos);
+  // Decode resizes by an untrusted length with no clamp anywhere: both the
+  // per-sink check and the closure-wide clamp check fire.
+  EXPECT_NE(report.find("\"violations_total\": 2"), std::string::npos);
+  const std::string json = GraphToJson(graph, summaries);
+  EXPECT_NE(json.find("\"taint_source\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"taint_barrier\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"tainted\": true"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace callgraph
 }  // namespace rdfcube

@@ -770,9 +770,105 @@ TEST_F(LintTest, RecursionOutsideSparqlAndRulesDoesNotFire) {
   EXPECT_FALSE(Fired("unbounded-recursion"));
 }
 
+// --- taint gate (untrusted bytes vs sized sinks, DESIGN.md §5h) ---------------
+
+TEST_F(LintTest, UntrustedSizeSinkFiresDownstreamOfADecoder) {
+  WriteCleanTree();
+  // The decoder itself clamps (so missing-limit-clamp stays quiet), but the
+  // helper it feeds resizes on a tainted count with no comparison in sight.
+  WriteFile("src/qb/decode.cc",
+            "void Fill(const std::string& b, std::string* out) {\n"
+            "  out->resize(n);\n"
+            "}\n"
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+            "                                 std::string* out) {\n"
+            "  if (b.size() > kMaxPayloadBytes) return;\n"
+            "  Fill(b, out);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("untrusted-size-sink"));
+  EXPECT_FALSE(Fired("missing-limit-clamp"));
+}
+
+TEST_F(LintTest, UntrustedSizeSinkSilencedByALimitComparison) {
+  WriteCleanTree();
+  WriteFile("src/qb/decode.cc",
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+            "                                 std::string* out) {\n"
+            "  if (b.size() > kMaxPayloadBytes) return;\n"
+            "  out->resize(b.size());\n"
+            "}\n");
+  EXPECT_FALSE(Fired("untrusted-size-sink"));
+  EXPECT_FALSE(Fired("missing-limit-clamp"));
+}
+
+TEST_F(LintTest, UncheckedSizeArithFiresOnMultipliedCounts) {
+  WriteCleanTree();
+  // The row-count clamp satisfies the sink check, but rows*cols can still
+  // overflow before any comparison sees the product.
+  WriteFile("src/qb/decode.cc",
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+            "                                 std::string* out) {\n"
+            "  if (rows > kMaxRows) return;\n"
+            "  out->resize(rows * cols);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("unchecked-size-arith"));
+  EXPECT_FALSE(Fired("untrusted-size-sink"));
+}
+
+TEST_F(LintTest, CheckedMulSilencesUncheckedSizeArith) {
+  WriteCleanTree();
+  WriteFile("src/qb/decode.cc",
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+            "                                 std::string* out) {\n"
+            "  const auto bytes = util::CheckedMul<uint64_t>(rows, cols);\n"
+            "  if (!bytes.ok() || *bytes > kMaxBytes) return;\n"
+            "  out->resize(rows * cols);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("unchecked-size-arith"));
+  EXPECT_FALSE(Fired("untrusted-size-sink"));
+}
+
+TEST_F(LintTest, MissingLimitClampFiresOnAClamplessDecoder) {
+  WriteCleanTree();
+  WriteFile("src/qb/decode.cc",
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b) {\n"
+            "  Dispatch(b);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("missing-limit-clamp"));
+  EXPECT_FALSE(Fired("untrusted-size-sink"));
+}
+
+TEST_F(LintTest, ClampInACalleeSilencesMissingLimitClamp) {
+  WriteCleanTree();
+  WriteFile("src/qb/decode.cc",
+            "void Check(const std::string& b) {\n"
+            "  if (b.size() > kMaxPayloadBytes) return;\n"
+            "}\n"
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b) {\n"
+            "  Check(b);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("missing-limit-clamp"));
+}
+
+TEST_F(LintTest, UntrustedSizeSinkSuppressedOnTheSinkLine) {
+  WriteCleanTree();
+  // Taint findings anchor at the sink, so that is where the allow lives.
+  WriteFile("src/qb/decode.cc",
+            "void Fill(const std::string& b, std::string* out) {\n"
+            "  out->resize(n);  "
+            "// lint:allow(untrusted-size-sink): bounded upstream\n"
+            "}\n"
+            "RDFCUBE_TAINT_SOURCE void Decode(const std::string& b,\n"
+            "                                 std::string* out) {\n"
+            "  if (b.size() > kMaxPayloadBytes) return;\n"
+            "  Fill(b, out);\n"
+            "}\n");
+  EXPECT_FALSE(Fired("untrusted-size-sink"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all eighteen, none masking another.
+  // all twenty-one, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/qb/diag.cc", "void F() { fprintf(stderr, \"x\\n\"); }\n");
@@ -826,6 +922,13 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
             "void Reach() { Boom(); }\n");
   WriteFile("src/sparql/recur.cc",
             "int EvalLoop(int x) { return EvalLoop(x - 1); }\n");
+  // Taint gate: a clamp-less decoder whose multiplied count feeds a resize
+  // trips all three taint checks at once.
+  WriteFile("src/qb/taintleak.cc",
+            "RDFCUBE_TAINT_SOURCE void DecodeBlob(const std::string& b,\n"
+            "                                     std::string* out) {\n"
+            "  out->resize(rows * cols);\n"
+            "}\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
@@ -833,12 +936,13 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
         "lock-annotation", "obs-shadowing", "metric-name", "no-raw-stderr",
         "checked-value", "layer-dag", "include-cycle", "iwyu-direct",
         "hot-path-alloc", "hot-path-lock", "no-throw-transitive",
-        "unbounded-recursion"}) {
+        "unbounded-recursion", "untrusted-size-sink", "unchecked-size-arith",
+        "missing-limit-clamp"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 18u);
+  EXPECT_EQ(names.size(), 21u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

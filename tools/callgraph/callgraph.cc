@@ -114,7 +114,9 @@ const Reach* ReachFor(const FunctionSummary& s, FactKind kind) {
     case FactKind::kThrow:
       return &s.thrown;
     case FactKind::kDispatch:
-      return nullptr;
+    case FactKind::kSizedSink:
+    case FactKind::kSizeArith:
+      return nullptr;  // sink facts are consumed by the taint gate
   }
   return nullptr;
 }
@@ -145,6 +147,45 @@ void Propagate(const CallGraph& graph, std::vector<Reach>* reach) {
       r.via = f;
       r.via_line = e->line;
       worklist.push_back(e->caller);
+    }
+  }
+}
+
+// Fixpoint FORWARD propagation of taint (caller -> callee): a decoder's
+// helpers all see untrusted values. Seeded with RDFCUBE_TAINT_SOURCE
+// definitions; RDFCUBE_TAINT_BARRIER callees never become tainted (the
+// validated-boundary assertion), mirroring how RDFCUBE_COLD absorbs facts
+// in the reverse direction.
+void PropagateTaint(const CallGraph& graph, std::vector<Taint>* taint) {
+  std::vector<int> worklist;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    if (fn.taint_source && !fn.taint_barrier) {
+      (*taint)[i].tainted = true;
+      (*taint)[i].source = static_cast<int>(i);
+      (*taint)[i].via = -1;
+      worklist.push_back(static_cast<int>(i));
+    }
+  }
+  // Forward adjacency: caller -> outgoing edges.
+  std::vector<std::vector<const Edge*>> adj(graph.functions.size());
+  for (const Edge& e : graph.edges) {
+    adj[static_cast<std::size_t>(e.caller)].push_back(&e);
+  }
+  while (!worklist.empty()) {
+    const int f = worklist.back();
+    worklist.pop_back();
+    for (const Edge* e : adj[static_cast<std::size_t>(f)]) {
+      if (graph.functions[static_cast<std::size_t>(e->callee)].taint_barrier) {
+        continue;  // validated boundary: taint stops here
+      }
+      Taint& t = (*taint)[static_cast<std::size_t>(e->callee)];
+      if (t.tainted) continue;
+      t.tainted = true;
+      t.source = (*taint)[static_cast<std::size_t>(f)].source;
+      t.via = f;
+      t.via_line = e->line;
+      worklist.push_back(e->callee);
     }
   }
 }
@@ -308,6 +349,9 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
         case FactKind::kDispatch:
           out[i].calls_virtual = true;
           break;
+        case FactKind::kSizedSink:
+        case FactKind::kSizeArith:
+          break;  // not Reach-propagated; EvaluateTaintGate reads them raw
       }
       if (r != nullptr && !r->reaches) {
         r->reaches = true;
@@ -328,6 +372,9 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
   Propagate(graph, &lock);
   Propagate(graph, &thrown);
 
+  std::vector<Taint> taint(n);
+  PropagateTaint(graph, &taint);
+
   int num_sccs = 0;
   const std::vector<int> comp = DirectSccs(graph, &num_sccs);
   std::vector<std::vector<int>> members(static_cast<std::size_t>(num_sccs));
@@ -344,6 +391,7 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
     out[i].alloc = alloc[i];
     out[i].lock = lock[i];
     out[i].thrown = thrown[i];
+    out[i].taint = taint[i];
     const std::vector<int>& scc = members[static_cast<std::size_t>(comp[i])];
     if (scc.size() > 1 || self_loop[i]) {
       out[i].recursive = true;
@@ -420,6 +468,10 @@ std::string GraphToJson(const CallGraph& graph,
     out += ", \"line\": " + std::to_string(fn.line);
     out += std::string(", \"hot\": ") + (fn.hot ? "true" : "false");
     out += std::string(", \"cold\": ") + (fn.cold ? "true" : "false");
+    out += std::string(", \"taint_source\": ") +
+           (fn.taint_source ? "true" : "false");
+    out += std::string(", \"taint_barrier\": ") +
+           (fn.taint_barrier ? "true" : "false");
     out += ", \"facts\": [";
     for (std::size_t j = 0; j < fn.facts.size(); ++j) {
       const BodyFact& fact = fn.facts[j];
@@ -435,6 +487,8 @@ std::string GraphToJson(const CallGraph& graph,
     out += s.lock.reaches ? "true" : "false";
     out += ", \"reaches_throw\": ";
     out += s.thrown.reaches ? "true" : "false";
+    out += ", \"tainted\": ";
+    out += s.taint.tainted ? "true" : "false";
     out += ", \"recursive\": ";
     out += s.recursive ? "true" : "false";
     out += ", \"calls_virtual\": ";
@@ -515,6 +569,157 @@ std::string HotPathReportJson(const CallGraph& graph,
     obs::AppendJsonString(&out, fn.qualified);
   }
   out += "],\n  \"violations_total\": " + std::to_string(violations.size()) +
+         "\n}\n";
+  return out;
+}
+
+std::string TaintWitnessChain(const CallGraph& graph,
+                              const std::vector<FunctionSummary>& summaries,
+                              int fn, std::size_t sink_line,
+                              const std::string& sink_detail) {
+  if (!summaries[static_cast<std::size_t>(fn)].taint.tainted) return "";
+  // Collect the chain sink-end-first by following via (one step towards the
+  // source), then print source-first: taint flows source -> ... -> fn.
+  std::vector<int> chain;
+  int cur = fn;
+  for (std::size_t guard = 0; guard <= graph.functions.size(); ++guard) {
+    chain.push_back(cur);
+    const Taint& t = summaries[static_cast<std::size_t>(cur)].taint;
+    if (t.via < 0) break;
+    cur = t.via;
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const FunctionInfo& info = graph.functions[static_cast<std::size_t>(*it)];
+    if (!out.empty()) out += " -> ";
+    out += info.qualified + " (" + Location(info) + ")";
+  }
+  const FunctionInfo& last = graph.functions[static_cast<std::size_t>(fn)];
+  out += " -> sized sink '" + sink_detail + "' at " + last.file + ":" +
+         std::to_string(sink_line);
+  return out;
+}
+
+std::vector<TaintViolation> EvaluateTaintGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries) {
+  std::vector<TaintViolation> out;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    if (!summaries[i].taint.tainted) continue;
+    for (const BodyFact& fact : fn.facts) {
+      if (fact.kind == FactKind::kSizedSink && !fn.has_limit_guard) {
+        out.push_back({static_cast<int>(i), "untrusted-size-sink", fact.line,
+                       TaintWitnessChain(graph, summaries, static_cast<int>(i),
+                                         fact.line, fact.detail)});
+      }
+      if (fact.kind == FactKind::kSizeArith && !fn.has_checked_math) {
+        out.push_back({static_cast<int>(i), "unchecked-size-arith", fact.line,
+                       TaintWitnessChain(graph, summaries, static_cast<int>(i),
+                                         fact.line, fact.detail)});
+      }
+    }
+  }
+  // missing-limit-clamp: a declared source whose whole barrier-free forward
+  // closure never compares against a limit — the decoder clamps nothing.
+  std::vector<std::vector<int>> adj(graph.functions.size());
+  for (const Edge& e : graph.edges) {
+    adj[static_cast<std::size_t>(e.caller)].push_back(e.callee);
+  }
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    if (!fn.taint_source || fn.taint_barrier) continue;
+    std::vector<bool> seen(graph.functions.size(), false);
+    std::vector<int> stack{static_cast<int>(i)};
+    seen[i] = true;
+    bool clamped = false;
+    std::size_t closure = 0;
+    while (!stack.empty() && !clamped) {
+      const int f = stack.back();
+      stack.pop_back();
+      ++closure;
+      if (graph.functions[static_cast<std::size_t>(f)].has_limit_guard) {
+        clamped = true;
+        break;
+      }
+      for (const int t : adj[static_cast<std::size_t>(f)]) {
+        const std::size_t tu = static_cast<std::size_t>(t);
+        if (seen[tu] || graph.functions[tu].taint_barrier) continue;
+        seen[tu] = true;
+        stack.push_back(t);
+      }
+    }
+    if (!clamped) {
+      out.push_back(
+          {static_cast<int>(i), "missing-limit-clamp", fn.line,
+           fn.qualified + " (" + Location(fn) +
+               ") is RDFCUBE_TAINT_SOURCE but no function in its " +
+               std::to_string(closure) +
+               "-function barrier-free call closure compares against a "
+               "limit"});
+    }
+  }
+  return out;
+}
+
+std::string TaintReportJson(const CallGraph& graph,
+                            const std::vector<FunctionSummary>& summaries,
+                            const std::vector<TaintViolation>& violations) {
+  std::string out = "{\n  \"sources\": [\n";
+  bool first = true;
+  for (const FunctionInfo& fn : graph.functions) {
+    if (!fn.taint_source) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"qualified\": ";
+    obs::AppendJsonString(&out, fn.qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(fn.line) + "}";
+  }
+  out += "\n  ],\n  \"barriers\": [";
+  first = true;
+  for (const FunctionInfo& fn : graph.functions) {
+    if (!fn.taint_barrier) continue;
+    if (!first) out += ", ";
+    first = false;
+    obs::AppendJsonString(&out, fn.qualified);
+  }
+  out += "],\n  \"tainted_functions\": [\n";
+  first = true;
+  std::size_t tainted_total = 0;
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    if (!summaries[i].taint.tainted) continue;
+    ++tainted_total;
+    if (!first) out += ",\n";
+    first = false;
+    const FunctionInfo& fn = graph.functions[i];
+    out += "    {\"qualified\": ";
+    obs::AppendJsonString(&out, fn.qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(fn.line);
+    out += ", \"source\": ";
+    obs::AppendJsonString(
+        &out, graph.functions[static_cast<std::size_t>(summaries[i].taint.source)]
+                  .qualified);
+    out += "}";
+  }
+  out += "\n  ],\n  \"violations\": [\n";
+  first = true;
+  for (const TaintViolation& v : violations) {
+    if (!first) out += ",\n";
+    first = false;
+    const FunctionInfo& fn = graph.functions[static_cast<std::size_t>(v.fn)];
+    out += "    {\"kind\": \"" + v.kind + "\", \"qualified\": ";
+    obs::AppendJsonString(&out, fn.qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(v.line) + ", \"witness\": ";
+    obs::AppendJsonString(&out, v.witness);
+    out += "}";
+  }
+  out += "\n  ],\n  \"tainted_total\": " + std::to_string(tainted_total) +
+         ",\n  \"violations_total\": " + std::to_string(violations.size()) +
          "\n}\n";
   return out;
 }

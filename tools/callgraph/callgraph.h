@@ -18,11 +18,19 @@
 //   calls_virtual
 //       informational: the function calls a name declared `virtual`
 //       somewhere in the corpus, or through a std::function parameter.
+//   taint
+//       the function is an RDFCUBE_TAINT_SOURCE decode entry point, or is
+//       reachable from one along *forward* call edges (caller -> callee:
+//       taint flows down into the helpers a decoder hands its values to).
+//       Propagation stops at RDFCUBE_TAINT_BARRIER callees (the validated-
+//       boundary assertion, base/untrusted.h) and records a witness chain
+//       from the source down to the tainted function.
 //
 // The gate consumers: lint checks hot-path-alloc / hot-path-lock /
-// no-throw-transitive / unbounded-recursion (tools/lint_checks.cc) and the
+// no-throw-transitive / unbounded-recursion / untrusted-size-sink /
+// unchecked-size-arith / missing-limit-clamp (tools/lint_checks.cc) and the
 // rdfcube_callgraph CLI (DOT/JSON export, reachability queries,
-// hot_path_report.json).
+// hot_path_report.json, taint_report.json).
 
 #ifndef RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
 #define RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
@@ -67,11 +75,22 @@ struct Reach {
   std::string fact_detail;     ///< Token of the originating fact.
 };
 
+/// \brief How untrusted input reaches one function (forward propagation
+/// from RDFCUBE_TAINT_SOURCE definitions; see DESIGN.md §5h).
+struct Taint {
+  bool tainted = false;
+  int source = -1;          ///< The RDFCUBE_TAINT_SOURCE function.
+  int via = -1;             ///< Caller one step back towards the source
+                            ///< (-1 = this function is the source).
+  std::size_t via_line = 0; ///< Call-site line in `via` towards this fn.
+};
+
 /// \brief Transitive summary of one function.
 struct FunctionSummary {
   Reach alloc;   ///< kAlloc facts plus unreserved kGrowth.
   Reach lock;
   Reach thrown;  ///< ("throw" is a keyword.)
+  Taint taint;   ///< Untrusted-input reachability (taint gate).
   bool recursive = false;   ///< Member of a direct-call cycle.
   std::vector<int> cycle;   ///< The strongly connected component (when
                             ///< recursive), sorted.
@@ -119,6 +138,42 @@ std::vector<HotPathViolation> EvaluateHotGate(
 std::string HotPathReportJson(const CallGraph& graph,
                               const std::vector<FunctionSummary>& summaries,
                               const std::vector<HotPathViolation>& violations);
+
+/// Human-readable taint witness chain from the source decoder down to
+/// function `fn`, ending at the given sink: "DecodeRequest (file:line) ->
+/// GetBytes (file:line) -> sized sink 'resize' at file:line". Empty when
+/// `fn` is not tainted.
+std::string TaintWitnessChain(const CallGraph& graph,
+                              const std::vector<FunctionSummary>& summaries,
+                              int fn, std::size_t sink_line,
+                              const std::string& sink_detail);
+
+/// \brief One taint-gate finding (also surfaced as a lint Violation).
+struct TaintViolation {
+  int fn = -1;
+  std::string kind;      ///< "untrusted-size-sink", "unchecked-size-arith"
+                         ///< or "missing-limit-clamp".
+  std::size_t line = 0;  ///< Sink line (per-sink kinds) or definition line.
+  std::string witness;   ///< TaintWitnessChain output / closure diagnosis.
+};
+
+/// Evaluates the taint gate (DESIGN.md §5h) over every tainted function:
+///   untrusted-size-sink   a tainted, non-barrier function contains a sized
+///                         sink and no limit-shaped comparison in its body;
+///   unchecked-size-arith  a tainted function computes a sink size with
+///                         identifier arithmetic and never calls
+///                         CheckedAdd/CheckedMul;
+///   missing-limit-clamp   an RDFCUBE_TAINT_SOURCE function whose entire
+///                         barrier-free call closure contains no limit-shaped
+///                         comparison at all (a decoder that clamps nothing).
+std::vector<TaintViolation> EvaluateTaintGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries);
+
+/// JSON report for the gate artifact (taint_report.json): declared sources
+/// and barriers, tainted-function count, and violations with witnesses.
+std::string TaintReportJson(const CallGraph& graph,
+                            const std::vector<FunctionSummary>& summaries,
+                            const std::vector<TaintViolation>& violations);
 
 }  // namespace callgraph
 }  // namespace rdfcube

@@ -46,6 +46,8 @@ struct HeadClass {
   std::size_t name_line = 0; // 1-based line of the name token
   bool hot = false;
   bool cold = false;
+  bool taint_source = false;
+  bool taint_barrier = false;
 };
 
 // Classifies the declaration text accumulated since the last statement
@@ -138,6 +140,10 @@ HeadClass ClassifyHead(const std::string& pending,
   out.name_line = begin < pending_line.size() ? pending_line[begin] : 0;
   out.hot = pending.find("RDFCUBE_HOT") != std::string::npos;
   out.cold = pending.find("RDFCUBE_COLD") != std::string::npos;
+  out.taint_source =
+      pending.find("RDFCUBE_TAINT_SOURCE") != std::string::npos;
+  out.taint_barrier =
+      pending.find("RDFCUBE_TAINT_BARRIER") != std::string::npos;
   return out;
 }
 
@@ -161,6 +167,35 @@ struct BodyLine {
   std::string text;
 };
 
+// Identifier-on-identifier `+`/`*` arithmetic ("a + b", "n * x.size()"):
+// the overflow-prone shape. Literal offsets ("n + 1") deliberately do not
+// match — they cannot overflow past one element's worth.
+bool HasIdentArith(const std::string& text) {
+  static const std::regex kIdentArith(
+      R"([A-Za-z_][\w.]*(?:\(\s*\))?\s*[+*]\s*[A-Za-z_])");
+  return std::regex_search(text, kIdentArith);
+}
+
+// True when `text` compares something against a limit-shaped expression:
+// a relational/equality operator on the same line as a named constant
+// (kFooMax), sizeof, a .size()/.length()/Remaining() call, or an identifier
+// containing max/limit/cap. `->`, `<<` and `>>` are blanked first so member
+// access and shifts cannot masquerade as comparisons.
+bool HasLimitComparison(const std::string& text) {
+  static const std::regex kLimitToken(
+      R"(\bk[A-Z]\w*|\bsizeof\b|[.>]\s*(size|length|capacity|Remaining|remaining)\s*\(|\b\w*([Mm]ax|MAX|[Ll]imit|LIMIT|[Cc]ap\b)\w*)");
+  if (!std::regex_search(text, kLimitToken)) return false;
+  std::string flat = text;
+  for (const char* op : {"->", "<<", ">>"}) {
+    for (std::size_t at = flat.find(op); at != std::string::npos;
+         at = flat.find(op, at)) {
+      flat[at] = flat[at + 1] = ' ';
+    }
+  }
+  static const std::regex kCompare(R"(<=|>=|==|!=|<|>)");
+  return std::regex_search(flat, kCompare);
+}
+
 // Scans the collected body lines of one function for facts and call sites.
 void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   static const std::regex kAlloc(
@@ -171,6 +206,16 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   static const std::regex kLock(
       R"(\bMutexLock\b|\block_guard\b|\bunique_lock\b|\bscoped_lock\b|[.>](Lock|lock)\s*\()");
   static const std::regex kReserve(R"(\breserve\s*\()");
+  static const std::regex kCheckedMath(R"(\bChecked(Add|Mul|Sub)\s*[<(])");
+  // Sized sinks (taint gate, DESIGN.md §5h): size-taking memory operations.
+  static const std::regex kSizedCall(
+      R"([.>](resize|reserve|assign)\s*\(|\b(memcpy|memmove|memset|strncpy)\s*\()");
+  static const std::regex kNewArray(R"(\bnew\s+[A-Za-z_][\w:<> ]*\[)");
+  // Subscript whose index mixes two identifiers (`buf[a + b]`): an
+  // unchecked-offset access. Plain `buf[i]` and literal offsets are not
+  // sinks — the gate is a tripwire for computed offsets, not an index proof.
+  static const std::regex kIndexArith(
+      R"(\[[^\[\]]*[A-Za-z_][\w.]*(?:\(\s*\))?\s*[+*]\s*[A-Za-z_][^\[\]]*\])");
   static const std::regex kCall(R"(((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)\s*\()");
   static const std::set<std::string> kKeywords = {
       "if",      "for",     "while",    "switch",  "return", "catch",
@@ -183,6 +228,13 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   for (const BodyLine& bl : body) {
     const std::string& text = bl.text;
     if (std::regex_search(text, kReserve)) fn->has_reserve = true;
+    if (std::regex_search(text, kCheckedMath)) {
+      fn->has_checked_math = true;
+      fn->has_limit_guard = true;
+    }
+    if (!fn->has_limit_guard && HasLimitComparison(text)) {
+      fn->has_limit_guard = true;
+    }
 
     // Statements starting with `static` are one-time initialization (the
     // DefaultCounter idiom): no facts, no call edges, until the ';'.
@@ -215,6 +267,48 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
           {FactKind::kLock, bl.line,
            m[1].matched ? m[1].str() : m[0].str()});
     }
+    // Sized sinks and their size-expression arithmetic. The size expression
+    // is approximated as the rest of the line up to the matching ')'/']' —
+    // the witness is the sink itself, not a parse of the argument.
+    const auto arg_text = [&text](std::size_t from, char open, char close) {
+      int depth = 1;
+      std::size_t end = from;
+      for (; end < text.size() && depth > 0; ++end) {
+        if (text[end] == open) ++depth;
+        if (text[end] == close) --depth;
+      }
+      return text.substr(from, end - from);
+    };
+    if (std::regex_search(text, m, kSizedCall)) {
+      const std::string token = m[1].matched ? m[1].str() : m[2].str();
+      const std::size_t after =
+          static_cast<std::size_t>(m.position(0) + m.length(0));
+      const std::string args = arg_text(after, '(', ')');
+      const bool arith = HasIdentArith(args);
+      // A size expression that is a plain sizeof (the double<->uint64
+      // bit-cast idiom, `memcpy(&bits, &v, sizeof(bits))`) is statically
+      // sized — nothing untrusted can steer it. `n * sizeof(T)` still has
+      // identifier arithmetic and stays a sink.
+      if (args.find("sizeof") == std::string::npos || arith) {
+        fn->facts.push_back({FactKind::kSizedSink, bl.line, token});
+        if (arith) {
+          fn->facts.push_back({FactKind::kSizeArith, bl.line, token});
+        }
+      }
+    }
+    if (std::regex_search(text, m, kNewArray)) {
+      fn->facts.push_back({FactKind::kSizedSink, bl.line, "new[]"});
+      const std::size_t after =
+          static_cast<std::size_t>(m.position(0) + m.length(0));
+      if (HasIdentArith(arg_text(after, '[', ']'))) {
+        fn->facts.push_back({FactKind::kSizeArith, bl.line, "new[]"});
+      }
+    }
+    if (!std::regex_search(text, m, kSizedCall) &&
+        !std::regex_search(text, m, kNewArray) &&
+        std::regex_search(text, m, kIndexArith)) {
+      fn->facts.push_back({FactKind::kSizedSink, bl.line, "operator[]"});
+    }
     for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
          it != std::sregex_iterator(); ++it) {
       const std::string name = (*it)[1];
@@ -243,6 +337,8 @@ const char* FactKindName(FactKind kind) {
     case FactKind::kThrow: return "throw";
     case FactKind::kLock: return "lock";
     case FactKind::kDispatch: return "dispatch";
+    case FactKind::kSizedSink: return "sized_sink";
+    case FactKind::kSizeArith: return "size_arith";
   }
   return "unknown";
 }
@@ -305,6 +401,8 @@ std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file) {
           fn.params = head.params;
           fn.hot = head.hot;
           fn.cold = head.cold;
+          fn.taint_source = head.taint_source;
+          fn.taint_barrier = head.taint_barrier;
           fn.qualified.clear();
           for (const Scope& sc : scopes) {
             if ((sc.kind == Scope::kNamespace || sc.kind == Scope::kClass) &&

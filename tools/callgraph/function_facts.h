@@ -18,6 +18,27 @@
 //       dispatch  a call through a std::function-typed parameter (virtual
 //                 dispatch is resolved at link time in callgraph.h, where the
 //                 corpus-wide set of virtual method names is known)
+//       sized_sink  a size-taking memory operation: .resize()/.reserve()/
+//                 .assign(), new T[n], memcpy/memmove/memset/strncpy, or a
+//                 subscript whose index mixes two identifiers (`buf[a + b]`).
+//                 Feeding one from untrusted input requires a visible bounds
+//                 guard (the taint gate, DESIGN.md §5h).
+//       size_arith  a sized sink whose size expression itself contains
+//                 identifier-on-identifier `+`/`*` arithmetic (`resize(a*b)`)
+//                 — overflow-prone; the sanctioned form in tainted code is
+//                 util/safe_math CheckedAdd/CheckedMul.
+//
+// Alongside the facts, each function records header annotations
+// (RDFCUBE_HOT/RDFCUBE_COLD from base/hot.h, RDFCUBE_TAINT_SOURCE/
+// RDFCUBE_TAINT_BARRIER from base/untrusted.h) and two body-wide sanitizer
+// bits consumed by the taint gate:
+//   has_limit_guard   some line compares against a limit-shaped expression
+//                     (a kNamedConstant, sizeof, .size()/.length()/
+//                     Remaining(), or an identifier containing max/limit) —
+//                     the lexical signature of a bounds check — or calls
+//                     CheckedAdd/CheckedMul.
+//   has_checked_math  the body calls util/safe_math CheckedAdd/CheckedMul/
+//                     CheckedSub (exempts size_arith findings).
 //
 // Deliberate lexical semantics (documented limits, chosen so the gate is
 // satisfiable on idiomatic code):
@@ -46,7 +67,15 @@ namespace rdfcube {
 namespace callgraph {
 
 /// \brief Kind of a per-body fact (see the file comment for the vocabulary).
-enum class FactKind { kAlloc, kGrowth, kThrow, kLock, kDispatch };
+enum class FactKind {
+  kAlloc,
+  kGrowth,
+  kThrow,
+  kLock,
+  kDispatch,
+  kSizedSink,
+  kSizeArith,
+};
 
 /// Stable lowercase name of a FactKind ("alloc", "growth", ...).
 const char* FactKindName(FactKind kind);
@@ -76,7 +105,12 @@ struct FunctionInfo {
   std::string params;     ///< Parameter-list text (single line, normalized).
   bool hot = false;       ///< Header carries RDFCUBE_HOT.
   bool cold = false;      ///< Header carries RDFCUBE_COLD.
+  bool taint_source = false;   ///< Header carries RDFCUBE_TAINT_SOURCE.
+  bool taint_barrier = false;  ///< Header carries RDFCUBE_TAINT_BARRIER.
   bool has_reserve = false;  ///< Body calls reserve() (growth exemption).
+  bool has_limit_guard = false;  ///< Body compares against a limit-shaped
+                                 ///< expression (taint-gate sanitizer).
+  bool has_checked_math = false;  ///< Body calls CheckedAdd/CheckedMul/...
   std::vector<BodyFact> facts;
   std::vector<CallSite> calls;
 };

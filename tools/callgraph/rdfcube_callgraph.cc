@@ -1,19 +1,23 @@
 // rdfcube_callgraph: the cross-TU call-graph analyzer CLI (DESIGN.md §5g).
 // Extracts every function definition under <root>/src through the shared
 // tokenizer, links call sites across translation units, computes transitive
-// fact summaries (alloc / lock / throw / recursion / virtual dispatch), and
-// evaluates the RDFCUBE_HOT purity gate.
+// fact summaries (alloc / lock / throw / recursion / virtual dispatch /
+// taint), and evaluates the RDFCUBE_HOT purity gate and the untrusted-input
+// taint gate (DESIGN.md §5h).
 //
 // Usage: rdfcube_callgraph [root] [options]
-//   --json=FILE        write the full graph as JSON ("-" = stdout)
-//   --dot=FILE         write the graph as Graphviz DOT ("-" = stdout)
-//   --hot-report=FILE  write hot_path_report.json ("-" = stdout)
-//   --reach=NAME       print why alloc/lock/throw facts reach the function(s)
-//                      whose qualified name ends with NAME
-//   --callers=NAME     print the direct callers of the function(s) NAME
+//   --json=FILE          write the full graph as JSON ("-" = stdout)
+//   --dot=FILE           write the graph as Graphviz DOT ("-" = stdout)
+//   --hot-report=FILE    write hot_path_report.json ("-" = stdout)
+//   --taint-report=FILE  write taint_report.json ("-" = stdout)
+//   --format=sarif       print every gate violation (hot + taint) as a
+//                        SARIF 2.1.0 log on stdout (code-scanning UIs)
+//   --reach=NAME         print why alloc/lock/throw facts reach the
+//                        function(s) whose qualified name ends with NAME
+//   --callers=NAME       print the direct callers of the function(s) NAME
 // With no output option, prints a one-line summary.
-// Exit status: 0 when every RDFCUBE_HOT function is clean, 1 when the hot
-// gate found violations, 2 on usage error.
+// Exit status: 0 when both gates are clean, 1 when either the hot gate or
+// the taint gate found violations, 2 on usage error.
 
 #include <algorithm>
 #include <cstdio>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "tools/callgraph/callgraph.h"
+#include "tools/lint_checks.h"
 #include "tools/source_text.h"
 
 namespace {
@@ -33,7 +38,8 @@ namespace fs = std::filesystem;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [repo-root] [--json=FILE] [--dot=FILE] "
-               "[--hot-report=FILE] [--reach=NAME] [--callers=NAME]\n",
+               "[--hot-report=FILE] [--taint-report=FILE] [--format=sarif] "
+               "[--reach=NAME] [--callers=NAME]\n",
                argv0);
   return 2;
 }
@@ -75,7 +81,9 @@ std::vector<rdfcube::lint::SourceFile> LoadSrc(const std::string& root) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  std::string json_path, dot_path, report_path, reach_name, callers_name;
+  std::string json_path, dot_path, report_path, taint_path, reach_name,
+      callers_name;
+  std::string format = "text";
   bool root_set = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -90,6 +98,11 @@ int main(int argc, char** argv) {
       dot_path = arg.substr(6);
     } else if (arg.rfind("--hot-report=", 0) == 0) {
       report_path = arg.substr(13);
+    } else if (arg.rfind("--taint-report=", 0) == 0) {
+      taint_path = arg.substr(15);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "sarif") return Usage(argv[0]);
     } else if (arg.rfind("--reach=", 0) == 0) {
       reach_name = arg.substr(8);
     } else if (arg.rfind("--callers=", 0) == 0) {
@@ -117,6 +130,8 @@ int main(int argc, char** argv) {
       cg::ComputeSummaries(graph);
   const std::vector<cg::HotPathViolation> violations =
       cg::EvaluateHotGate(graph, summaries);
+  const std::vector<cg::TaintViolation> taint_violations =
+      cg::EvaluateTaintGate(graph, summaries);
 
   if (!json_path.empty() &&
       !WriteOut(json_path, cg::GraphToJson(graph, summaries))) {
@@ -135,6 +150,12 @@ int main(int argc, char** argv) {
                  report_path.c_str());
     return 2;
   }
+  if (!taint_path.empty() &&
+      !WriteOut(taint_path,
+                cg::TaintReportJson(graph, summaries, taint_violations))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0], taint_path.c_str());
+    return 2;
+  }
 
   if (!reach_name.empty()) {
     const std::vector<int> ids = graph.FindBySuffix(reach_name);
@@ -144,11 +165,13 @@ int main(int argc, char** argv) {
     }
     for (const int id : ids) {
       const std::size_t u = static_cast<std::size_t>(id);
-      std::printf("%s (%s:%zu)%s%s\n",
+      std::printf("%s (%s:%zu)%s%s%s%s\n",
                   graph.functions[u].qualified.c_str(),
                   graph.functions[u].file.c_str(), graph.functions[u].line,
                   graph.functions[u].hot ? " [hot]" : "",
-                  graph.functions[u].cold ? " [cold]" : "");
+                  graph.functions[u].cold ? " [cold]" : "",
+                  graph.functions[u].taint_source ? " [taint-source]" : "",
+                  graph.functions[u].taint_barrier ? " [taint-barrier]" : "");
       for (const cg::FactKind kind :
            {cg::FactKind::kAlloc, cg::FactKind::kLock, cg::FactKind::kThrow}) {
         const std::string chain =
@@ -158,6 +181,12 @@ int main(int argc, char** argv) {
         } else {
           std::printf("  %s: %s\n", cg::FactKindName(kind), chain.c_str());
         }
+      }
+      if (summaries[u].taint.tainted) {
+        const cg::FunctionInfo& src = graph.functions[static_cast<std::size_t>(
+            summaries[u].taint.source)];
+        std::printf("  tainted: from %s (%s:%zu)\n", src.qualified.c_str(),
+                    src.file.c_str(), src.line);
       }
       if (summaries[u].recursive) {
         std::printf("  recursive: cycle of %zu function(s)\n",
@@ -186,22 +215,43 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (json_path.empty() && dot_path.empty() && report_path.empty() &&
-      reach_name.empty() && callers_name.empty()) {
-    std::size_t hot = 0, cold = 0;
-    for (const cg::FunctionInfo& fn : graph.functions) {
-      if (fn.hot) ++hot;
-      if (fn.cold) ++cold;
+  if (format == "sarif") {
+    // Reuse the lint SARIF emitter: both gates' findings become Violations.
+    std::vector<rdfcube::lint::Violation> all;
+    for (const cg::HotPathViolation& v : violations) {
+      const cg::FunctionInfo& fn =
+          graph.functions[static_cast<std::size_t>(v.fn)];
+      all.push_back({v.kind, fn.file, fn.line, v.witness});
+    }
+    for (const cg::TaintViolation& v : taint_violations) {
+      const cg::FunctionInfo& fn =
+          graph.functions[static_cast<std::size_t>(v.fn)];
+      all.push_back({v.kind, fn.file, v.line, v.witness});
+    }
+    std::fputs(rdfcube::lint::ViolationsToSarif(all).c_str(), stdout);
+  } else if (json_path.empty() && dot_path.empty() && report_path.empty() &&
+             taint_path.empty() && reach_name.empty() &&
+             callers_name.empty()) {
+    std::size_t hot = 0, cold = 0, sources = 0, tainted = 0;
+    for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+      if (graph.functions[i].hot) ++hot;
+      if (graph.functions[i].cold) ++cold;
+      if (graph.functions[i].taint_source) ++sources;
+      if (summaries[i].taint.tainted) ++tainted;
     }
     std::printf(
         "rdfcube_callgraph: %zu functions, %zu edges, %zu hot, %zu cold, "
-        "%zu hot-path violation(s)\n",
-        graph.functions.size(), graph.edges.size(), hot, cold,
-        violations.size());
+        "%zu taint source(s), %zu tainted, %zu hot-path violation(s), "
+        "%zu taint violation(s)\n",
+        graph.functions.size(), graph.edges.size(), hot, cold, sources,
+        tainted, violations.size(), taint_violations.size());
   }
 
   for (const cg::HotPathViolation& v : violations) {
     std::fprintf(stderr, "[%s] %s\n", v.kind.c_str(), v.witness.c_str());
   }
-  return violations.empty() ? 0 : 1;
+  for (const cg::TaintViolation& v : taint_violations) {
+    std::fprintf(stderr, "[%s] %s\n", v.kind.c_str(), v.witness.c_str());
+  }
+  return violations.empty() && taint_violations.empty() ? 0 : 1;
 }

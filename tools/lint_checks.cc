@@ -639,11 +639,14 @@ void CheckCheckedValue(const std::vector<SourceFile>& corpus,
 
 // --- call-graph checks (tools/callgraph; see DESIGN.md §5g) ------------------
 
-// hot-path-alloc / hot-path-lock / no-throw-transitive / unbounded-recursion.
-// All four run over the linked cross-TU call graph of src/ (tools/ and bench/
+// hot-path-alloc / hot-path-lock / no-throw-transitive / unbounded-recursion
+// plus the taint gate (untrusted-size-sink / unchecked-size-arith /
+// missing-limit-clamp, DESIGN.md §5h).
+// All run over the linked cross-TU call graph of src/ (tools/ and bench/
 // carry no RDFCUBE_HOT kernels and would only add name-collision noise).
-// Findings anchor at the flagged function's definition line, which is also
-// where `lint:allow(<check>)` suppresses them.
+// Findings anchor at the flagged function's definition line — except the
+// per-sink taint findings, which anchor at the sink line — and
+// `lint:allow(<check>)` suppresses them at that anchor line.
 void CheckCallGraph(const std::vector<SourceFile>& corpus,
                     std::vector<Violation>* out) {
   std::vector<SourceFile> src;
@@ -710,6 +713,33 @@ void CheckCallGraph(const std::vector<SourceFile>& corpus,
                           "recursion bound; thread an explicit "
                           "depth/budget parameter through the cycle"});
     }
+  }
+
+  const auto line_suppressed = [&by_path](const std::string& file,
+                                          std::size_t line,
+                                          const std::string& check) {
+    const auto it = by_path.find(file);
+    return it != by_path.end() && line > 0 &&
+           LineSuppressed(*it->second, line - 1, check);
+  };
+  for (const callgraph::TaintViolation& v :
+       callgraph::EvaluateTaintGate(graph, summaries)) {
+    const callgraph::FunctionInfo& fn =
+        graph.functions[static_cast<std::size_t>(v.fn)];
+    if (line_suppressed(fn.file, v.line, v.kind)) continue;
+    std::string msg;
+    if (v.kind == "untrusted-size-sink") {
+      msg = "sized sink fed from untrusted input with no limit comparison "
+            "in `" + fn.qualified + "`; clamp against a named limit (or "
+            "assert the boundary with RDFCUBE_TAINT_BARRIER): " + v.witness;
+    } else if (v.kind == "unchecked-size-arith") {
+      msg = "size arithmetic on untrusted values in `" + fn.qualified +
+            "` can overflow before the bounds check; use util/safe_math "
+            "CheckedAdd/CheckedMul: " + v.witness;
+    } else {
+      msg = "decoder clamps nothing: " + v.witness;
+    }
+    out->push_back({v.kind, fn.file, v.line, msg});
   }
 }
 

@@ -81,6 +81,22 @@
 //                         recursion bound (depth/budget/fuel/limit/
 //                         remaining); thread an explicit bound like
 //                         Evaluator::EvalGroup's `depth`.
+//   untrusted-size-sink   a function reachable from an RDFCUBE_TAINT_SOURCE
+//                         decoder (forward, caller->callee; barriers stop
+//                         propagation — base/untrusted.h, DESIGN.md §5h)
+//                         contains a sized sink (resize/reserve/assign,
+//                         new T[n], memcpy-family, arithmetic subscript) but
+//                         no limit-shaped comparison in its body. Anchors at
+//                         the sink line; fix by clamping against a named
+//                         limit / Remaining() before the sink.
+//   unchecked-size-arith  a tainted function computes a sink size with
+//                         identifier arithmetic (`resize(a * b)`) and never
+//                         calls util/safe_math CheckedAdd/CheckedMul — the
+//                         product can wrap before any bounds check.
+//   missing-limit-clamp   an RDFCUBE_TAINT_SOURCE function whose whole
+//                         barrier-free call closure contains no limit-shaped
+//                         comparison at all: the decoder trusts every length
+//                         field it reads. Anchors at the definition line.
 //
 // Walk roots: src/ and tools/ and bench/ (per-check subsets documented
 // above; bench/ is included so harness code obeys checked-parse and the

@@ -161,16 +161,13 @@ int CmdRelate(const std::string& path, const std::vector<std::string>& args) {
     } else if (StartsWith(arg, "--out=")) {
       out_path = arg.substr(6);
     } else if (StartsWith(arg, "--timeout=")) {
-      const std::string value = arg.substr(10);
-      char* end = nullptr;
-      const double seconds = std::strtod(value.c_str(), &end);
-      if (value.empty() || end != value.c_str() + value.size() ||
-          seconds < 0.0) {
+      Result<double> seconds = ParseDouble(arg.substr(10));
+      if (!seconds.ok() || seconds.value() < 0.0) {
         std::fprintf(stderr, "--timeout expects a non-negative number: %s\n",
-                     value.c_str());
+                     arg.substr(10).c_str());
         return 1;
       }
-      options.deadline = rdfcube::Deadline(seconds);
+      options.deadline = rdfcube::Deadline(seconds.value());
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return 1;

@@ -34,6 +34,8 @@ const std::set<std::string> kKnownChecks = {
     "iwyu-direct",    "lint",
     "hot-path-alloc", "hot-path-lock",
     "no-throw-transitive", "unbounded-recursion",
+    "untrusted-size-sink", "unchecked-size-arith",
+    "missing-limit-clamp",
 };
 
 int Usage(const char* argv0) {
@@ -64,7 +66,9 @@ int main(int argc, char** argv) {
           "checked-parse, bare-stopwatch, lock-annotation, obs-shadowing,\n"
           "metric-name, checked-value; architecture: layer-dag,\n"
           "include-cycle, iwyu-direct; call-graph: hot-path-alloc,\n"
-          "hot-path-lock, no-throw-transitive, unbounded-recursion).\n"
+          "hot-path-lock, no-throw-transitive, unbounded-recursion;\n"
+          "taint gate: untrusted-size-sink, unchecked-size-arith,\n"
+          "missing-limit-clamp).\n"
           "Exits 0 when clean, 1 when violations were found, 2 on usage\n"
           "error.\n",
           argv[0]);
