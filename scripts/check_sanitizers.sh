@@ -37,7 +37,12 @@ for san in $sanitizers; do
   echo "== $san: ctest -R '$regex' =="
   # TSan aborts with exit 66 on the first data race (halt_on_error default
   # varies by toolchain); pin the options so a race always fails the run.
-  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  # detect_deadlocks=1 turns on TSan's runtime lock-order graph — the
+  # dynamic twin of the static lock-order gate (rdfcube_callgraph
+  # lock-order-cycle vs tools/lock_order.txt, DESIGN.md §5i): any
+  # inversion the race_stress lock-order section manages to interleave
+  # fails the run with both acquisition stacks (second_deadlock_stack=1).
+  TSAN_OPTIONS="halt_on_error=1 detect_deadlocks=1 second_deadlock_stack=1" \
     ctest --test-dir "$dir" -R "$regex" --output-on-failure
 done
 

@@ -26,7 +26,15 @@
 #      new[]/memcpy-family) without a limit comparison, and that size
 #      arithmetic on tainted values goes through util/safe_math. Findings
 #      fail the gate with source-to-sink witness chains; the full taint
-#      state lands in <build>/taint_report.json for artifact upload.
+#      state lands in <build>/taint_report.json for artifact upload. The
+#      same invocation also carries the lock gate (DESIGN.md §5i): it
+#      replays every MutexLock scope, links the acquisitions into a global
+#      lock-order graph, and fails on lock-order-cycle (nesting not declared
+#      in tools/lock_order.txt, or any cycle), blocking-under-lock
+#      (RDFCUBE_BLOCKING primitive reachable with a Mutex held), and
+#      callback-under-lock (std::function/virtual dispatch with a Mutex
+#      held). The lock graph + findings land in <build>/lock_report.json
+#      (and <build>/lock_graph.dot) for artifact upload.
 #   2. scripts/check_deps.sh — the architecture gate proper: rdfcube_deps
 #      re-runs the layer checks standalone (a missing tools/layers.txt is an
 #      error here, where rdfcube_lint merely skips the layer checks) and
@@ -49,7 +57,50 @@
 #      callable) and everything else is -Werror. Skipped with a notice when
 #      g++ is absent.
 #
+# After the lint stage the merged SARIF (every lexical, architecture,
+# call-graph, taint, and lock finding in one SARIF 2.1.0 run) is written to
+# <build>/analysis.sarif — emitted on failure too, so CI can upload the
+# findings that failed the gate.
+#
 # Usage: scripts/check_static_analysis.sh [build-dir]   (default: build)
+#
+# Exit codes: 0 = every stage that ran passed; non-zero = the first failing
+# stage's status (stage 1 lint findings, 1b call-graph/taint/lock findings,
+# 2 architecture violations, 3-5 compiler diagnostics under -Werror).
+# Stages 3-5 are skipped with a notice when their toolchain is absent;
+# skipping is not a failure.
+usage() {
+  cat <<'EOF'
+Usage: scripts/check_static_analysis.sh [build-dir]   (default: build)
+
+Stages, in order:
+  1   rdfcube_lint            lexical + architecture + call-graph checks;
+                              writes <build>/lint_report.json and the merged
+                              <build>/analysis.sarif (all findings, SARIF
+                              2.1.0; written on failure too)
+  1b  rdfcube_callgraph       hot-path purity + taint + lock-order gates;
+                              writes <build>/callgraph.{json,dot},
+                              <build>/hot_path_report.json,
+                              <build>/taint_report.json,
+                              <build>/lock_report.json,
+                              <build>/lock_graph.dot
+  2   scripts/check_deps.sh   architecture gate standalone (missing
+                              tools/layers.txt is an error here); writes
+                              <build>/deps_graph.{dot,json}
+  3   clang-tidy              chunked over compile_commands.json (skipped
+                              when not installed)
+  4   clang -Wthread-safety   capability-annotation proof in build-tsafe
+                              (skipped when clang++ absent)
+  5   gcc -fanalyzer          path-sensitive pass over leaf libraries
+                              (skipped when g++ absent)
+
+Exit codes: 0 on success; otherwise the first failing stage's exit status.
+Toolchain-absent skips (stages 3-5) do not fail the gate.
+EOF
+}
+case "${1:-}" in
+  -h|--help) usage; exit 0 ;;
+esac
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -62,27 +113,33 @@ cmake -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$build" -j1 --target rdfcube_lint rdfcube_callgraph
 
 echo "== rdfcube_lint =="
-# One JSON run for the artifact, then the human-readable listing on failure.
+# One JSON run for the artifact, one SARIF run for the merged code-scanning
+# upload (both carry the full finding set — lexical, architecture,
+# call-graph, taint, lock), then the human-readable listing on failure.
 lint_status=0
 "$build/tools/rdfcube_lint" . --format=json > "$build/lint_report.json" ||
   lint_status=$?
+"$build/tools/rdfcube_lint" . --format=sarif > "$build/analysis.sarif" || true
 if [ "$lint_status" -ne 0 ]; then
   "$build/tools/rdfcube_lint" . || true
   exit "$lint_status"
 fi
-echo "rdfcube_lint: clean ($build/lint_report.json)"
+echo "rdfcube_lint: clean ($build/lint_report.json, $build/analysis.sarif)"
 
-echo "== call-graph / hot-path + taint gate (rdfcube_callgraph) =="
+echo "== call-graph / hot-path + taint + lock gate (rdfcube_callgraph) =="
 if [ -x "$build/tools/rdfcube_callgraph" ]; then
   "$build/tools/rdfcube_callgraph" . \
     --json="$build/callgraph.json" \
     --dot="$build/callgraph.dot" \
     --hot-report="$build/hot_path_report.json" \
-    --taint-report="$build/taint_report.json"
+    --taint-report="$build/taint_report.json" \
+    --lock-report="$build/lock_report.json" \
+    --lock-dot="$build/lock_graph.dot"
   echo "call graph exported ($build/callgraph.json," \
-       "$build/hot_path_report.json, $build/taint_report.json)"
+       "$build/hot_path_report.json, $build/taint_report.json," \
+       "$build/lock_report.json)"
 else
-  echo "== rdfcube_callgraph binary missing; hot-path/taint gate skipped =="
+  echo "== rdfcube_callgraph binary missing; hot/taint/lock gate skipped =="
 fi
 
 echo "== architecture gate (rdfcube_deps) =="

@@ -1,0 +1,43 @@
+// Blocking annotation for the cross-TU lock-order gate (DESIGN.md §5i).
+//
+// RDFCUBE_BLOCKING marks a function *definition* as one that can park the
+// calling thread for an unbounded (or deadline-bounded) time: socket I/O
+// (server/socket_io.h ConnectTo/WriteFrame/ReadFrame), ThreadPool
+// submit-and-wait, condition-variable waits (MutexLock::Wait*), sleeps, and
+// anything else that hands the CPU back to the scheduler while other threads
+// may be spinning on a lock this thread holds.
+//
+// The callgraph analyzer (tools/callgraph, lint check blocking-under-lock)
+// propagates the blocking summary backwards through transitive callers —
+// exactly like the hot-path alloc/lock facts — and fails when any blocking
+// function is *reachable* from a call site that executes with a
+// rdfcube::Mutex held. Holding a lock across a block inflates tail latency
+// for every thread contending on that lock and, combined with a second lock,
+// is the classic lost-wakeup/deadlock recipe.
+//
+// One sanctioned exception the analyzer grants automatically: waiting on a
+// condition variable *through the lock being held* (`lock.Wait(cv)` /
+// `lock.WaitWithDeadline(cv, d)` where `lock` is the active MutexLock).
+// That wait releases the mutex for its duration, so the held set at the wait
+// site excludes that mutex. Waiting on a *different* MutexLock's condvar
+// while this one stays held is still a finding.
+//
+// The macro must sit on the *definition* (the declaration carrying the `{`
+// body): the analyzer is lexical and reads the annotation from the function
+// header it extracts. It expands to nothing — it exists purely for the
+// analyzer (and the human reader).
+//
+// Usage:
+//   RDFCUBE_BLOCKING Status WriteFrame(int fd, const std::string& payload,
+//                                      const Deadline& deadline) { ... }
+
+#ifndef RDFCUBE_BASE_BLOCKING_H_
+#define RDFCUBE_BASE_BLOCKING_H_
+
+/// Marks a function definition as one that can park the calling thread
+/// (socket/file I/O, condvar waits, sleeps, ThreadPool waits): enrolls it in
+/// the blocking-under-lock gate — no call path may reach it while a
+/// rdfcube::Mutex is held (DESIGN.md §5i).
+#define RDFCUBE_BLOCKING
+
+#endif  // RDFCUBE_BASE_BLOCKING_H_

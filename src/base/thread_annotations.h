@@ -39,6 +39,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "base/blocking.h"
 #include "base/stopwatch.h"
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -166,7 +167,11 @@ class RDFCUBE_SCOPED_CAPABILITY MutexLock {
   /// Atomically releases the mutex and sleeps on `cv`; holds the mutex again
   /// when this returns. Spurious wakeups propagate — loop on the predicate:
   ///   while (!ready_) lock.Wait(ready_cv_);
-  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+  /// RDFCUBE_BLOCKING (DESIGN.md §5i): waiting on *this* lock's mutex is the
+  /// sanctioned condvar idiom and exempt; calling it while a *different*
+  /// MutexLock stays held parks the thread with that lock taken and is a
+  /// blocking-under-lock finding.
+  RDFCUBE_BLOCKING void Wait(std::condition_variable& cv) { cv.wait(lock_); }
 
   /// Wait() bounded by `deadline`: sleeps on `cv` until notified or the
   /// deadline expires, holding the mutex again either way. Returns false iff
@@ -181,8 +186,8 @@ class RDFCUBE_SCOPED_CAPABILITY MutexLock {
   /// A limitless Deadline degrades to a plain Wait() (never times out); an
   /// already-expired one still atomically releases and reacquires the mutex
   /// but sleeps no longer than the implementation's zero-timeout wait.
-  [[nodiscard]] bool WaitWithDeadline(std::condition_variable& cv,
-                                      const Deadline& deadline) {
+  RDFCUBE_BLOCKING [[nodiscard]] bool WaitWithDeadline(
+      std::condition_variable& cv, const Deadline& deadline) {
     if (!deadline.HasLimit()) {  // infinity sentinel: wait_for would overflow
       cv.wait(lock_);
       return true;

@@ -111,30 +111,47 @@ void Logger::Log(LogLevel level, std::string_view module,
     return;
   }
   const double now = clock_.ElapsedSeconds();
-  MutexLock lock(&mu_);
-  const uint64_t window = static_cast<uint64_t>(now);
-  if (window != window_index_) {
-    if (window_suppressed_ > 0) {
-      WriteLine(LogLevel::kWarn, "obs", "rate limit engaged",
-                {Field("suppressed_lines", window_suppressed_)}, now);
+  // Copy-then-release (callback-under-lock, DESIGN.md §5i): format and
+  // snapshot the sink under mu_, but invoke the virtual Write outside it,
+  // so a slow or re-entrant sink can never stall or deadlock concurrent
+  // loggers. Consequence: two racing Log calls may interleave their Write
+  // calls — sinks own their thread-safety (see the LogSink contract).
+  std::string summary_line, line;
+  LogSink* sink = nullptr;
+  {
+    MutexLock lock(&mu_);
+    const uint64_t window = static_cast<uint64_t>(now);
+    if (window != window_index_) {
+      if (window_suppressed_ > 0) {
+        summary_line =
+            FormatLine(LogLevel::kWarn, "obs", "rate limit engaged",
+                       {Field("suppressed_lines", window_suppressed_)}, now);
+      }
+      window_index_ = window;
+      window_emitted_ = 0;
+      window_suppressed_ = 0;
     }
-    window_index_ = window;
-    window_emitted_ = 0;
-    window_suppressed_ = 0;
+    if (rate_limit_ > 0 && window_emitted_ >= rate_limit_) {
+      ++window_suppressed_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++window_emitted_;
+    line = FormatLine(level, module, message, fields, now);
+    sink = sink_ != nullptr ? sink_ : &DefaultStderrSink();
   }
-  if (rate_limit_ > 0 && window_emitted_ >= rate_limit_) {
-    ++window_suppressed_;
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+  if (!summary_line.empty()) {
+    sink->Write(summary_line);
+    emitted_.fetch_add(1, std::memory_order_relaxed);
   }
-  ++window_emitted_;
-  WriteLine(level, module, message, fields, now);
+  sink->Write(line);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Logger::WriteLine(LogLevel level, std::string_view module,
-                       std::string_view message,
-                       const std::vector<LogField>& fields,
-                       double uptime_seconds) {
+std::string Logger::FormatLine(LogLevel level, std::string_view module,
+                               std::string_view message,
+                               const std::vector<LogField>& fields,
+                               double uptime_seconds) {
   std::string line;
   line.reserve(64 + message.size());
   char uptime[32];
@@ -185,9 +202,7 @@ void Logger::WriteLine(LogLevel level, std::string_view module,
     }
     line.push_back('\n');
   }
-  LogSink* sink = sink_ != nullptr ? sink_ : &DefaultStderrSink();
-  sink->Write(line);
-  emitted_.fetch_add(1, std::memory_order_relaxed);
+  return line;
 }
 
 uint64_t Logger::dropped() const {

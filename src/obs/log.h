@@ -56,9 +56,13 @@ struct LogField {
 
 /// \brief Destination for formatted log lines (newline included).
 ///
-/// Implementations must tolerate concurrent-looking call sequences only in
-/// the sense that the owning Logger serializes Write() calls under its own
-/// mutex; a sink never needs internal locking when used through one Logger.
+/// The owning Logger formats under its mutex but calls Write() with no lock
+/// held (callback-under-lock, DESIGN.md §5i): a virtual sink must never run
+/// under mu_, or a slow/re-entrant implementation could stall or deadlock
+/// every concurrent logger. Consequently Write() may be invoked from several
+/// threads at once — implementations own their thread-safety. The default
+/// stderr sink relies on stdio's per-call locking; single-threaded test
+/// sinks need nothing.
 class LogSink {
  public:
   virtual ~LogSink() = default;
@@ -115,9 +119,13 @@ class Logger {
   [[nodiscard]] uint64_t emitted() const;
 
  private:
-  void WriteLine(LogLevel level, std::string_view module,
-                 std::string_view message, const std::vector<LogField>& fields,
-                 double uptime_seconds) RDFCUBE_REQUIRES(mu_);
+  /// Formats one line (text or JSON per json_lines_). Reads the format
+  /// settings under mu_; the caller writes the result to the sink *after*
+  /// releasing the lock.
+  std::string FormatLine(LogLevel level, std::string_view module,
+                         std::string_view message,
+                         const std::vector<LogField>& fields,
+                         double uptime_seconds) RDFCUBE_REQUIRES(mu_);
 
   Stopwatch clock_;
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};

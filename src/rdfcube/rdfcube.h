@@ -18,6 +18,7 @@
 // enforces it); internal-only headers opt out with an "rdfcube:internal"
 // marker comment near their top.
 #include "align/matcher.h"                 // IWYU pragma: export
+#include "base/blocking.h"                 // IWYU pragma: export
 #include "base/hot.h"                      // IWYU pragma: export
 #include "base/result.h"                   // IWYU pragma: export
 #include "base/status.h"                   // IWYU pragma: export

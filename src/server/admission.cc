@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "base/blocking.h"
 #include "obs/metrics.h"
 
 namespace rdfcube {
@@ -29,7 +30,7 @@ Admission AdmissionQueue::TryPush(std::function<void()> job) {
   return Admission::kAdmitted;
 }
 
-std::optional<std::function<void()>> AdmissionQueue::Pop(
+RDFCUBE_BLOCKING std::optional<std::function<void()>> AdmissionQueue::Pop(
     const Deadline& deadline) {
   static obs::Gauge& depth = obs::DefaultGauge(
       "rdfcube_server_queue_depth", "Jobs currently in the admission queue");

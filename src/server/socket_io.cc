@@ -10,6 +10,7 @@
 
 #include <cstring>
 
+#include "base/blocking.h"
 #include "base/untrusted.h"
 #include "util/fault.h"
 
@@ -132,7 +133,7 @@ Result<uint16_t> LocalPort(const Fd& listener) {
   return static_cast<uint16_t>(ntohs(addr.sin_port));
 }
 
-Result<Fd> ConnectTo(const std::string& host, uint16_t port,
+RDFCUBE_BLOCKING Result<Fd> ConnectTo(const std::string& host, uint16_t port,
                      const Deadline& deadline) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Errno("socket");
@@ -163,7 +164,7 @@ Result<Fd> ConnectTo(const std::string& host, uint16_t port,
   return fd;
 }
 
-Status WriteFrame(int fd, const std::string& payload,
+RDFCUBE_BLOCKING Status WriteFrame(int fd, const std::string& payload,
                   const Deadline& deadline) {
   if (FaultTriggered(kFaultNetWrite)) {
     return Status::IOError("injected network write failure");
@@ -181,9 +182,9 @@ Status WriteFrame(int fd, const std::string& payload,
   return WriteAll(fd, frame.data(), frame.size(), deadline);
 }
 
-RDFCUBE_TAINT_SOURCE Status ReadFrame(int fd, std::string* payload,
-                                      uint32_t max_frame_bytes,
-                                      const Deadline& deadline) {
+RDFCUBE_BLOCKING RDFCUBE_TAINT_SOURCE Status ReadFrame(
+    int fd, std::string* payload, uint32_t max_frame_bytes,
+    const Deadline& deadline) {
   if (FaultTriggered(kFaultNetRead)) {
     return Status::IOError("injected network read failure");
   }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "base/blocking.h"
 #include "base/stopwatch.h"
 
 namespace rdfcube {
@@ -73,7 +74,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
+RDFCUBE_BLOCKING void ThreadPool::Wait() {
   MutexLock lock(&mu_);
   // Explicit predicate loop (not the lambda overload): the guarded read of
   // in_flight_ stays in this function's scope, where the analysis sees the
@@ -134,8 +135,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ParallelFor(ThreadPool* pool, std::size_t n,
-                 const std::function<void(std::size_t)>& fn) {
+RDFCUBE_BLOCKING void ParallelFor(ThreadPool* pool, std::size_t n,
+                                  const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t shards = pool->num_threads() * 4;
   const std::size_t chunk = (n + shards - 1) / shards;
@@ -148,8 +149,9 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   pool->Wait();
 }
 
-Status TryParallelFor(ThreadPool* pool, std::size_t n,
-                      const std::function<Status(std::size_t)>& fn) {
+RDFCUBE_BLOCKING Status TryParallelFor(
+    ThreadPool* pool, std::size_t n,
+    const std::function<Status(std::size_t)>& fn) {
   if (n == 0) return Status::OK();
   std::atomic<bool> failed{false};
   Mutex error_mu;

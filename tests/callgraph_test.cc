@@ -1,10 +1,12 @@
 // Unit tests for the cross-TU call-graph analyzer (tools/callgraph,
 // DESIGN.md §5g): the function-level fact extractor, TU-visibility-filtered
-// linking, transitive summaries with witness chains, and the hot-path purity
-// gate — all over synthetic in-memory translation units, so every documented
+// linking, transitive summaries with witness chains, the hot-path purity
+// gate, the taint gate (§5h), and the lock gate (§5i: lock-scope dataflow,
+// the derived lock-order graph, and the cycle/blocking/callback checks) —
+// all over synthetic in-memory translation units, so every documented
 // semantic (static-init exemption, reserve exemption, cold absorption,
-// direct-call-only recursion, virtual dispatch non-linking) has a pinned
-// proof.
+// direct-call-only recursion, virtual dispatch non-linking, Wait-own-lock
+// exemption, manifest gating) has a pinned proof.
 
 #include <gtest/gtest.h>
 
@@ -608,6 +610,328 @@ TEST(CallGraphTest, TaintReportJsonListsSourcesAndViolations) {
   EXPECT_NE(json.find("\"taint_source\": true"), std::string::npos);
   EXPECT_NE(json.find("\"taint_barrier\": true"), std::string::npos);
   EXPECT_NE(json.find("\"tainted\": true"), std::string::npos);
+}
+
+// --- lock-scope dataflow + the lock gate (DESIGN.md §5i) ----------------------
+
+const CallSite* FindCall(const FunctionInfo& fn, const std::string& name) {
+  for (const CallSite& c : fn.calls) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(FunctionFactsTest, ExtractsClassScopeMutexMembersQualified) {
+  std::vector<MutexMember> mutexes;
+  (void)ExtractFunctions(SF("src/a/store.h",
+                            "namespace rdfcube {\n"
+                            "class Store {\n"
+                            " public:\n"
+                            "  void Put();\n"
+                            " private:\n"
+                            "  mutable Mutex mu_;\n"
+                            "  struct Shard {\n"
+                            "    Mutex mu;\n"
+                            "  };\n"
+                            "};\n"
+                            "}  // namespace rdfcube\n"),
+                         &mutexes);
+  std::vector<std::string> qualified;
+  for (const MutexMember& m : mutexes) qualified.push_back(m.qualified);
+  std::sort(qualified.begin(), qualified.end());
+  ASSERT_EQ(qualified.size(), 2u);
+  EXPECT_EQ(qualified[0], "rdfcube::Store::Shard::mu");
+  EXPECT_EQ(qualified[1], "rdfcube::Store::mu_");
+}
+
+TEST(FunctionFactsTest, HeldLocksAttributeToSitesInsideTheScopeOnly) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "void Run() {\n"
+                                       "  Before();\n"
+                                       "  {\n"
+                                       "    MutexLock lock(&mu_);\n"
+                                       "    During();\n"
+                                       "  }\n"
+                                       "  After();\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  const CallSite* before = FindCall(fns[0], "Before");
+  const CallSite* during = FindCall(fns[0], "During");
+  const CallSite* after = FindCall(fns[0], "After");
+  ASSERT_TRUE(before != nullptr && during != nullptr && after != nullptr);
+  EXPECT_TRUE(before->held.empty());
+  ASSERT_EQ(during->held.size(), 1u);
+  EXPECT_EQ(during->held[0], "mu_");
+  EXPECT_TRUE(after->held.empty());
+  // The acquisition itself is recorded, with nothing held at its decl.
+  ASSERT_EQ(fns[0].lock_acquisitions.size(), 1u);
+  EXPECT_EQ(fns[0].lock_acquisitions[0].expr, "mu_");
+  EXPECT_TRUE(fns[0].lock_acquisitions[0].held.empty());
+}
+
+TEST(FunctionFactsTest, RequiresTransfersHeldLocksAcrossTheWholeBody) {
+  const auto fns = ExtractFunctions(
+      SF("src/a/x.cc",
+         "void Flush() RDFCUBE_REQUIRES(mu_) {\n"
+         "  Sink();\n"
+         "}\n"));
+  ASSERT_EQ(fns.size(), 1u);
+  ASSERT_EQ(fns[0].requires_locks.size(), 1u);
+  EXPECT_EQ(fns[0].requires_locks[0], "mu_");
+  const CallSite* sink = FindCall(fns[0], "Sink");
+  ASSERT_TRUE(sink != nullptr);
+  ASSERT_EQ(sink->held.size(), 1u);
+  EXPECT_EQ(sink->held[0], "mu_");
+}
+
+TEST(FunctionFactsTest, WaitOnTheHeldLockReleasesOnlyThatLock) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "void Pump() {\n"
+                                       "  MutexLock lock(&mu_);\n"
+                                       "  lock.Wait(ready_);\n"
+                                       "}\n"
+                                       "void Mixed() {\n"
+                                       "  MutexLock a(&a_mu_);\n"
+                                       "  MutexLock b(&b_mu_);\n"
+                                       "  b.Wait(ready_);\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  // Pump: the wait releases the only held lock — sanctioned, held empty.
+  const CallSite* own = FindCall(fns[0], "Wait");
+  ASSERT_TRUE(own != nullptr);
+  EXPECT_TRUE(own->held.empty());
+  // Mixed: waiting on b while a stays held keeps a_mu_ in the held set.
+  const CallSite* other = FindCall(fns[1], "Wait");
+  ASSERT_TRUE(other != nullptr);
+  ASSERT_EQ(other->held.size(), 1u);
+  EXPECT_EQ(other->held[0], "a_mu_");
+}
+
+TEST(FunctionFactsTest, BlockingAnnotationAndLocalMutexesAreRecorded) {
+  const auto fns = ExtractFunctions(SF("src/a/x.cc",
+                                       "RDFCUBE_BLOCKING void WaitFrame() {}\n"
+                                       "void Scatter() {\n"
+                                       "  Mutex error_mu;\n"
+                                       "  MutexLock lock(&error_mu);\n"
+                                       "}\n"));
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_TRUE(fns[0].blocking);
+  EXPECT_FALSE(fns[1].blocking);
+  ASSERT_EQ(fns[1].local_mutexes.size(), 1u);
+  EXPECT_EQ(fns[1].local_mutexes[0], "error_mu");
+}
+
+TEST(CallGraphTest, LockGraphRecordsIntraFunctionNestings) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/x.cc",
+          "#include \"a/pair.h\"\n"
+          "void Nest(Pair* p) {\n"
+          "  MutexLock la(&p->a_);\n"
+          "  MutexLock lb(&p->b_);\n"
+          "}\n")});
+  const LockGraph lock_graph = BuildLockGraph(graph);
+  ASSERT_EQ(lock_graph.edges.size(), 1u);
+  EXPECT_EQ(lock_graph.edges[0].held, "Pair::a_");
+  EXPECT_EQ(lock_graph.edges[0].acquired, "Pair::b_");
+  EXPECT_EQ(lock_graph.edges[0].line, 4u);
+}
+
+TEST(CallGraphTest, LockGraphFollowsHeldCallsAcrossTranslationUnits) {
+  // inner.h declares Inner, so outer.cc's call may link to the definition
+  // in the sibling source inner.cc (the cross-TU visibility rule).
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/inner.h",
+          "#include \"a/pair.h\"\n"
+          "void Inner(Pair* p);\n"),
+       SF("src/a/inner.cc",
+          "#include \"a/inner.h\"\n"
+          "void Inner(Pair* p) {\n"
+          "  MutexLock lb(&p->b_);\n"
+          "}\n"),
+       SF("src/b/outer.cc",
+          "#include \"a/inner.h\"\n"
+          "void Outer(Pair* p) {\n"
+          "  MutexLock la(&p->a_);\n"
+          "  Inner(p);\n"
+          "}\n")});
+  const LockGraph lock_graph = BuildLockGraph(graph);
+  ASSERT_EQ(lock_graph.edges.size(), 1u);
+  EXPECT_EQ(lock_graph.edges[0].held, "Pair::a_");
+  EXPECT_EQ(lock_graph.edges[0].acquired, "Pair::b_");
+  // The witness walks holder -> callee -> acquisition.
+  EXPECT_NE(lock_graph.edges[0].witness.find("Outer"), std::string::npos);
+  EXPECT_NE(lock_graph.edges[0].witness.find("Inner"), std::string::npos);
+  EXPECT_NE(lock_graph.edges[0].witness.find("src/a/inner.cc:3"),
+            std::string::npos);
+}
+
+TEST(CallGraphTest, AbbaNestingAcrossTusIsALockOrderCycle) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/ab.cc",
+          "#include \"a/pair.h\"\n"
+          "void OrderAb(Pair* p) {\n"
+          "  MutexLock la(&p->a_);\n"
+          "  MutexLock lb(&p->b_);\n"
+          "}\n"),
+       SF("src/b/ba.cc",
+          "#include \"a/pair.h\"\n"
+          "void OrderBa(Pair* p) {\n"
+          "  MutexLock lb(&p->b_);\n"
+          "  MutexLock la(&p->a_);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const LockGraph lock_graph = BuildLockGraph(graph);
+  ASSERT_EQ(lock_graph.edges.size(), 2u);
+  const auto violations =
+      EvaluateLockGate(graph, summaries, lock_graph, LockOrderManifest{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "lock-order-cycle");
+  EXPECT_NE(violations[0].witness.find("Pair::a_"), std::string::npos);
+  EXPECT_NE(violations[0].witness.find("Pair::b_"), std::string::npos);
+  EXPECT_NE(violations[0].witness.find("ABBA"), std::string::npos);
+}
+
+TEST(CallGraphTest, DoubleLockIsASelfLoopFinding) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/x.cc",
+          "#include \"a/pair.h\"\n"
+          "void Re(Pair* p) {\n"
+          "  MutexLock outer(&p->a_);\n"
+          "  MutexLock inner(&p->a_);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateLockGate(
+      graph, summaries, BuildLockGraph(graph), LockOrderManifest{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "lock-order-cycle");
+  EXPECT_NE(violations[0].witness.find("double lock"), std::string::npos);
+}
+
+TEST(CallGraphTest, ManifestSanctionsDeclaredNestingsOnly) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/x.cc",
+          "#include \"a/pair.h\"\n"
+          "void Nest(Pair* p) {\n"
+          "  MutexLock la(&p->a_);\n"
+          "  MutexLock lb(&p->b_);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const LockGraph lock_graph = BuildLockGraph(graph);
+
+  // Absent manifest: the consistent nesting passes (cycles would still fire).
+  EXPECT_TRUE(
+      EvaluateLockGate(graph, summaries, lock_graph, LockOrderManifest{})
+          .empty());
+
+  // Present manifest declaring the edge (by qualified suffix): passes.
+  LockOrderManifest declared;
+  declared.present = true;
+  declared.path = "tools/lock_order.txt";
+  declared.edges = {{"Pair::a_", "Pair::b_"}};
+  EXPECT_TRUE(
+      EvaluateLockGate(graph, summaries, lock_graph, declared).empty());
+
+  // Present manifest without the edge: the observed nesting is undeclared.
+  LockOrderManifest empty;
+  empty.present = true;
+  empty.path = "tools/lock_order.txt";
+  const auto undeclared =
+      EvaluateLockGate(graph, summaries, lock_graph, empty);
+  ASSERT_EQ(undeclared.size(), 1u);
+  EXPECT_EQ(undeclared[0].kind, "lock-order-cycle");
+  EXPECT_NE(undeclared[0].witness.find("not declared"), std::string::npos);
+
+  // A cycle among the declarations themselves is rejected even when the
+  // observed graph is clean; the finding anchors at the manifest (fn < 0).
+  LockOrderManifest cyclic;
+  cyclic.present = true;
+  cyclic.path = "tools/lock_order.txt";
+  cyclic.edges = {{"Pair::a_", "Pair::b_"}, {"Pair::b_", "Pair::a_"}};
+  const auto bad = EvaluateLockGate(graph, summaries, lock_graph, cyclic);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].fn, -1);
+  EXPECT_EQ(bad[0].file, "tools/lock_order.txt");
+  EXPECT_NE(bad[0].witness.find("no consistent global order"),
+            std::string::npos);
+}
+
+TEST(CallGraphTest, BlockingUnderLockFlagsHeldReachesOnly) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/x.cc",
+          "RDFCUBE_BLOCKING void WaitFrame() {}\n"
+          "void Guarded() {\n"
+          "  MutexLock lock(&mu_);\n"
+          "  WaitFrame();\n"
+          "}\n"
+          "void Free() {\n"
+          "  WaitFrame();\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateLockGate(
+      graph, summaries, BuildLockGraph(graph), LockOrderManifest{});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, "blocking-under-lock");
+  EXPECT_EQ(violations[0].fn, IndexOf(graph, "Guarded"));
+  EXPECT_EQ(violations[0].line, 4u);
+  EXPECT_NE(violations[0].witness.find("WaitFrame"), std::string::npos);
+}
+
+TEST(CallGraphTest, CallbackUnderLockFlagsDispatchAndVirtualCalls) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/sink.h",
+          "class Sink {\n"
+          " public:\n"
+          "  virtual void Write(int v) = 0;\n"
+          "};\n"),
+       SF("src/a/x.cc",
+          "#include \"a/sink.h\"\n"
+          "void Notify(const std::function<void()>& cb) {\n"
+          "  MutexLock lock(&mu_);\n"
+          "  cb();\n"
+          "}\n"
+          "void Emit(Sink* sink) {\n"
+          "  MutexLock lock(&mu_);\n"
+          "  sink->Write(1);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const auto violations = EvaluateLockGate(
+      graph, summaries, BuildLockGraph(graph), LockOrderManifest{});
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, "callback-under-lock");
+  EXPECT_EQ(violations[1].kind, "callback-under-lock");
+}
+
+TEST(CallGraphTest, LockReportJsonListsLocksEdgesManifestAndViolations) {
+  const CallGraph graph = BuildCallGraph(
+      {SF("src/a/pair.h", "struct Pair {\n  Mutex a_;\n  Mutex b_;\n};\n"),
+       SF("src/a/x.cc",
+          "#include \"a/pair.h\"\n"
+          "void Nest(Pair* p) {\n"
+          "  MutexLock la(&p->a_);\n"
+          "  MutexLock lb(&p->b_);\n"
+          "}\n")});
+  const std::vector<FunctionSummary> summaries = ComputeSummaries(graph);
+  const LockGraph lock_graph = BuildLockGraph(graph);
+  LockOrderManifest manifest;
+  manifest.present = true;
+  manifest.path = "tools/lock_order.txt";
+  const auto violations =
+      EvaluateLockGate(graph, summaries, lock_graph, manifest);
+  const std::string report =
+      LockReportJson(graph, lock_graph, manifest, violations);
+  EXPECT_NE(report.find("\"locks\""), std::string::npos);
+  EXPECT_NE(report.find("Pair::a_"), std::string::npos);
+  EXPECT_NE(report.find("\"manifest\": {\"present\": true"),
+            std::string::npos);
+  EXPECT_NE(report.find("\"violations_total\": 1"), std::string::npos);
+  const std::string dot = LockGraphToDot(lock_graph);
+  EXPECT_NE(dot.find("digraph rdfcube_lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("Pair::b_"), std::string::npos);
 }
 
 }  // namespace

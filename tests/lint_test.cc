@@ -866,9 +866,151 @@ TEST_F(LintTest, UntrustedSizeSinkSuppressedOnTheSinkLine) {
   EXPECT_FALSE(Fired("untrusted-size-sink"));
 }
 
+// --- lock gate (lock order / blocking / callbacks under a Mutex, §5i) ---------
+
+TEST_F(LintTest, LockOrderCycleFiresOnAbbaAcrossTwoTus) {
+  WriteCleanTree();
+  // The shared header gives both TUs the same two class-scope Mutexes; the
+  // TUs then nest them in opposite orders — the classic ABBA deadlock. No
+  // lock_order.txt is needed: a cycle fails even without a manifest.
+  WriteFile("src/qb/locks.h",
+            "// rdfcube:internal\n"
+            "struct LockPair {\n"
+            "  Mutex a_;\n"
+            "  Mutex b_;\n"
+            "};\n");
+  WriteFile("src/qb/ab1.cc",
+            "#include \"qb/locks.h\"\n"
+            "void First(LockPair* p) {\n"
+            "  MutexLock la(&p->a_);\n"
+            "  MutexLock lb(&p->b_);\n"
+            "}\n");
+  WriteFile("src/qb/ab2.cc",
+            "#include \"qb/locks.h\"\n"
+            "void Second(LockPair* p) {\n"
+            "  MutexLock lb(&p->b_);\n"
+            "  MutexLock la(&p->a_);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("lock-order-cycle"));
+}
+
+TEST_F(LintTest, DeclaredNestingInTheManifestPasses) {
+  WriteCleanTree();
+  WriteFile("src/qb/locks.h",
+            "// rdfcube:internal\n"
+            "struct LockPair {\n"
+            "  Mutex a_;\n"
+            "  Mutex b_;\n"
+            "};\n");
+  WriteFile("src/qb/ab1.cc",
+            "#include \"qb/locks.h\"\n"
+            "void First(LockPair* p) {\n"
+            "  MutexLock la(&p->a_);\n"
+            "  MutexLock lb(&p->b_);\n"
+            "}\n");
+  WriteFile("tools/lock_order.txt",
+            "# sanctioned nesting\n"
+            "LockPair::a_ -> LockPair::b_\n");
+  EXPECT_FALSE(Fired("lock-order-cycle"));
+}
+
+TEST_F(LintTest, UndeclaredNestingFiresWhenAManifestExists) {
+  WriteCleanTree();
+  WriteFile("src/qb/locks.h",
+            "// rdfcube:internal\n"
+            "struct LockPair {\n"
+            "  Mutex a_;\n"
+            "  Mutex b_;\n"
+            "};\n");
+  WriteFile("src/qb/ab1.cc",
+            "#include \"qb/locks.h\"\n"
+            "void First(LockPair* p) {\n"
+            "  MutexLock la(&p->a_);\n"
+            "  MutexLock lb(&p->b_);\n"
+            "}\n");
+  // The manifest exists but declares nothing: the observed a_ -> b_ nesting
+  // is undocumented, which is exactly what the gate polices.
+  WriteFile("tools/lock_order.txt", "# no sanctioned nestings\n");
+  EXPECT_TRUE(Fired("lock-order-cycle"));
+}
+
+TEST_F(LintTest, BlockingUnderLockFiresThroughACallee) {
+  WriteCleanTree();
+  WriteFile("src/qb/blocked.cc",
+            "RDFCUBE_BLOCKING void WaitForWire() {}\n"
+            "void Guarded() {\n"
+            "  MutexLock lock(&mu_);\n"
+            "  WaitForWire();\n"
+            "}\n");
+  EXPECT_TRUE(Fired("blocking-under-lock"));
+}
+
+TEST_F(LintTest, BlockingOutsideTheCriticalSectionPasses) {
+  WriteCleanTree();
+  // The canonical fix shape: the critical section closes before the wait.
+  WriteFile("src/qb/blocked.cc",
+            "RDFCUBE_BLOCKING void WaitForWire() {}\n"
+            "void Guarded() {\n"
+            "  {\n"
+            "    MutexLock lock(&mu_);\n"
+            "  }\n"
+            "  WaitForWire();\n"
+            "}\n");
+  EXPECT_FALSE(Fired("blocking-under-lock"));
+}
+
+TEST_F(LintTest, SleepPrimitiveUnderLockFiresWithoutAnnotations) {
+  WriteCleanTree();
+  // The lexical blocking vocabulary (sleep/poll/select) needs no
+  // RDFCUBE_BLOCKING marker to be caught.
+  WriteFile("src/qb/sleepy.cc",
+            "void Guarded() {\n"
+            "  MutexLock lock(&mu_);\n"
+            "  std::this_thread::sleep_for(delay);\n"
+            "}\n");
+  EXPECT_TRUE(Fired("blocking-under-lock"));
+}
+
+TEST_F(LintTest, CallbackUnderLockFiresOnAHeldFunctionInvocation) {
+  WriteCleanTree();
+  WriteFile("src/qb/notify.cc",
+            "void Notify(const std::function<void()>& cb) {\n"
+            "  MutexLock lock(&mu_);\n"
+            "  cb();\n"
+            "}\n");
+  EXPECT_TRUE(Fired("callback-under-lock"));
+}
+
+TEST_F(LintTest, CopyThenReleaseSilencesCallbackUnderLock) {
+  WriteCleanTree();
+  // The sanctioned fix shape (Logger::Log): snapshot state under the lock,
+  // invoke the callback after the scope closes.
+  WriteFile("src/qb/notify.cc",
+            "void Notify(const std::function<void()>& cb) {\n"
+            "  std::string line;\n"
+            "  {\n"
+            "    MutexLock lock(&mu_);\n"
+            "    line = Format();\n"
+            "  }\n"
+            "  cb();\n"
+            "}\n");
+  EXPECT_FALSE(Fired("callback-under-lock"));
+}
+
+TEST_F(LintTest, CallbackUnderLockSuppressedOnTheDefinitionLine) {
+  WriteCleanTree();
+  WriteFile("src/qb/notify.cc",
+            "void Notify(const std::function<void()>& cb) {  "
+            "// lint:allow(callback-under-lock): closed callee set\n"
+            "  MutexLock lock(&mu_);\n"
+            "  cb();\n"
+            "}\n");
+  EXPECT_FALSE(Fired("callback-under-lock"));
+}
+
 TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
   // One tree carrying one violation of every class: the checker must report
-  // all twenty-one, none masking another.
+  // all twenty-four, none masking another.
   WriteCleanTree();
   WriteFile("src/core/bad.cc", "void F() { throw 42; }\n");
   WriteFile("src/qb/diag.cc", "void F() { fprintf(stderr, \"x\\n\"); }\n");
@@ -929,6 +1071,39 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
             "                                     std::string* out) {\n"
             "  out->resize(rows * cols);\n"
             "}\n");
+  // Lock gate: an ABBA nesting across two TUs (fires with no lock_order.txt
+  // manifest — cycles always fail), a blocking annotated callee reached
+  // under a lock, and a std::function invoked under a lock.
+  WriteFile("src/qb/abba.h",
+            "// rdfcube:internal\n"
+            "/// \\brief Two Mutexes the TUs below nest in opposite orders.\n"
+            "struct AbbaPair {\n"
+            "  Mutex first_;\n"
+            "  Mutex second_;\n"
+            "};\n");
+  WriteFile("src/qb/abba1.cc",
+            "#include \"qb/abba.h\"\n"
+            "void OrderAb(AbbaPair* p) {\n"
+            "  MutexLock la(&p->first_);\n"
+            "  MutexLock lb(&p->second_);\n"
+            "}\n");
+  WriteFile("src/qb/abba2.cc",
+            "#include \"qb/abba.h\"\n"
+            "void OrderBa(AbbaPair* p) {\n"
+            "  MutexLock lb(&p->second_);\n"
+            "  MutexLock la(&p->first_);\n"
+            "}\n");
+  WriteFile("src/qb/blockheld.cc",
+            "RDFCUBE_BLOCKING void WaitForWire() {}\n"
+            "void GuardedWait() {\n"
+            "  MutexLock lock(&wait_mu_);\n"
+            "  WaitForWire();\n"
+            "}\n");
+  WriteFile("src/qb/cbheld.cc",
+            "void NotifyHeld(const std::function<void()>& cb) {\n"
+            "  MutexLock lock(&cb_mu_);\n"
+            "  cb();\n"
+            "}\n");
   const auto names = ChecksFired();
   for (const char* expected :
        {"no-throw", "std-function-callback", "umbrella-sync",
@@ -937,12 +1112,13 @@ TEST_F(LintTest, EverySeededViolationClassFiresAtOnce) {
         "checked-value", "layer-dag", "include-cycle", "iwyu-direct",
         "hot-path-alloc", "hot-path-lock", "no-throw-transitive",
         "unbounded-recursion", "untrusted-size-sink", "unchecked-size-arith",
-        "missing-limit-clamp"}) {
+        "missing-limit-clamp", "lock-order-cycle", "blocking-under-lock",
+        "callback-under-lock"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
                 names.end())
         << "check did not fire: " << expected;
   }
-  EXPECT_EQ(names.size(), 21u);
+  EXPECT_EQ(names.size(), 24u);
 }
 
 TEST_F(LintTest, ViolationsAreSortedByFileAndLine) {

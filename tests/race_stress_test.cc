@@ -628,6 +628,110 @@ TEST(ServerRaceStressTest, SnapshotStoreSwapStormServesConsistentViews) {
   EXPECT_GT(reads.load(), 0u);
 }
 
+// --- Lock-order stress (TSan deadlock detection) ------------------------------
+// scripts/check_sanitizers.sh runs this binary with
+// TSAN_OPTIONS=detect_deadlocks=1: TSan builds a runtime lock-order graph
+// from the interleavings below — the dynamic twin of the static gate
+// (rdfcube_callgraph lock-order-cycle vs tools/lock_order.txt, DESIGN.md
+// §5i). These tests deliberately hold several unrelated Mutexes hot at
+// once, in every combination the tree actually uses, so an order inversion
+// introduced anywhere in AdmissionQueue / SnapshotStore / TraceCollector
+// shows up as a reported deadlock cycle with both acquisition stacks.
+
+TEST(LockOrderStressTest, MixedLockSurfacesKeepOneGlobalOrder) {
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  collector.Enable(/*ring_capacity=*/256);
+  server::AdmissionQueue queue(16);
+  server::SnapshotStore store;
+  qb::Corpus corpus = MakeRandomCorpus(61, 30);
+  core::RelationshipSnapshot::BuildOptions options;
+  options.version = 7;
+  auto snap = core::RelationshipSnapshot::Build(std::move(corpus), options);
+  ASSERT_TRUE(snap.ok());
+  store.Publish(snap.value());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> admitted{0}, executed{0};
+
+  // Producers: each admitted job publishes + reads the snapshot store and
+  // records a trace span. AdmissionQueue releases its mutex before handing
+  // the job to the consumer, so the job's own acquisitions (store.mu_, the
+  // span's ThreadTrace::mu) must never nest under the queue lock — exactly
+  // the ordering TSan verifies while the consumers below also block inside
+  // Pop's condvar wait on the same mutex.
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 1500; ++i) {
+        if (queue.TryPush([&] {
+              obs::TraceSpan span("lockstress/job");
+              store.Publish(snap.value());
+              const server::SnapshotPtr current = store.Current();
+              EXPECT_NE(current, nullptr);
+              executed.fetch_add(1, std::memory_order_relaxed);
+            }) == server::Admission::kAdmitted) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        if (auto job = queue.Pop(Deadline(0.01))) (*job)();
+      }
+      while (auto job = queue.Pop(Deadline(0.0))) (*job)();
+    });
+  }
+  // Registry walker: Snapshot()/Clear() exercise the one sanctioned nesting
+  // in the tree (registry_mu_ -> ThreadTrace::mu) against the span-recording
+  // jobs above, interleaved with the queue and store locks.
+  std::thread walker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)collector.Snapshot();
+      collector.Clear();
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : consumers) t.join();
+  walker.join();
+  while (auto job = queue.Pop(Deadline(0.0))) (*job)();
+  queue.Close();
+  collector.Disable();
+  EXPECT_EQ(executed.load(), admitted.load());
+  EXPECT_GT(executed.load(), 0u);
+}
+
+TEST(LockOrderStressTest, CollectorLifecycleStormNeverInvertsRegistryOrder) {
+  // Enable/Disable/Clear resize and walk the per-thread rings under
+  // registry_mu_ while spans take only their own ThreadTrace::mu. The
+  // reverse nesting (ring lock -> registry lock) must never occur; with
+  // detect_deadlocks=1 TSan proves it over thousands of interleavings.
+  obs::TraceCollector& collector = obs::TraceCollector::Global();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> spanners;
+  for (int t = 0; t < 3; ++t) {
+    spanners.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        obs::TraceSpan outer("lockstress/outer");
+        obs::TraceSpan inner("lockstress/inner");
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    collector.Enable(/*ring_capacity=*/(i % 2 == 0) ? 64 : 256);
+    (void)collector.Snapshot();
+    if (i % 5 == 4) collector.Clear();
+    if (i % 25 == 24) collector.Disable();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : spanners) t.join();
+  collector.Disable();
+  (void)collector.dropped();
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace rdfcube

@@ -1,8 +1,11 @@
 #include "tools/callgraph/callgraph.h"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <regex>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "obs/json_writer.h"
@@ -113,7 +116,10 @@ const Reach* ReachFor(const FunctionSummary& s, FactKind kind) {
       return &s.lock;
     case FactKind::kThrow:
       return &s.thrown;
+    case FactKind::kBlocking:
+      return &s.blocking;
     case FactKind::kDispatch:
+      return &s.dispatch;
     case FactKind::kSizedSink:
     case FactKind::kSizeArith:
       return nullptr;  // sink facts are consumed by the taint gate
@@ -190,14 +196,13 @@ void PropagateTaint(const CallGraph& graph, std::vector<Taint>* taint) {
   }
 }
 
-// Iterative Tarjan SCC over the direct-call subgraph. Returns the component
-// id of every function; components with >1 member or a self-loop are cycles.
-std::vector<int> DirectSccs(const CallGraph& graph, int* num_sccs) {
-  const std::size_t n = graph.functions.size();
-  std::vector<std::vector<int>> adj(n);
-  for (const Edge& e : graph.edges) {
-    if (e.direct) adj[static_cast<std::size_t>(e.caller)].push_back(e.callee);
-  }
+// Iterative Tarjan SCC over an arbitrary adjacency list. Returns the
+// component id of every node; components with >1 member or a self-loop are
+// cycles. Shared by the direct-call recursion detector and the lock-order
+// graph (DESIGN.md §5i).
+std::vector<int> Sccs(const std::vector<std::vector<int>>& adj,
+                      int* num_sccs) {
+  const std::size_t n = adj.size();
   std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
   std::vector<bool> on_stack(n, false);
   std::vector<int> stack;
@@ -252,6 +257,63 @@ std::vector<int> DirectSccs(const CallGraph& graph, int* num_sccs) {
   return comp;
 }
 
+// Tarjan over the direct-call subgraph (recursion detection).
+std::vector<int> DirectSccs(const CallGraph& graph, int* num_sccs) {
+  std::vector<std::vector<int>> adj(graph.functions.size());
+  for (const Edge& e : graph.edges) {
+    if (e.direct) adj[static_cast<std::size_t>(e.caller)].push_back(e.callee);
+  }
+  return Sccs(adj, num_sccs);
+}
+
+// Resolves a raw lock expression from the extractor against the corpus
+// Mutex members, to a stable lock id (DESIGN.md §5i):
+//   1. a function-local `Mutex x;` shadows everything: "<fn>::x";
+//   2. a receiver expression ("s->a_", "trace->mu") resolves by its final
+//      member token when exactly one corpus member has that name;
+//   3. a plain identifier resolves against the enclosing class of `fn`,
+//      then against a corpus-unique member name;
+//   4. otherwise "<fn>::<expr>" — a private identity that can never create
+//      a false cross-function cycle (but may miss a real shared one; the
+//      TSan deadlock twin covers the dynamic side).
+std::string ResolveLockExpr(const FunctionInfo& fn, const std::string& expr,
+                            const std::vector<MutexMember>& mutexes) {
+  if (expr.empty()) return expr;
+  std::size_t tok_at = 0;
+  for (std::size_t i = 0; i + 1 < expr.size(); ++i) {
+    if (expr[i] == '-' && expr[i + 1] == '>') tok_at = i + 2;
+    if (expr[i] == '.') tok_at = i + 1;
+  }
+  const std::string tok = expr.substr(tok_at);
+  const bool has_receiver = tok_at != 0;
+
+  const auto unique_member = [&mutexes](const std::string& name)
+      -> const MutexMember* {
+    const MutexMember* found = nullptr;
+    for (const MutexMember& m : mutexes) {
+      if (m.member != name) continue;
+      if (found != nullptr) return nullptr;  // ambiguous
+      found = &m;
+    }
+    return found;
+  };
+
+  if (!has_receiver) {
+    for (const std::string& local : fn.local_mutexes) {
+      if (local == tok) return fn.qualified + "::" + tok;
+    }
+    const std::size_t sep = fn.qualified.rfind("::");
+    if (sep != std::string::npos) {
+      const std::string member_id = fn.qualified.substr(0, sep) + "::" + tok;
+      for (const MutexMember& m : mutexes) {
+        if (m.qualified == member_id) return member_id;
+      }
+    }
+  }
+  if (const MutexMember* m = unique_member(tok)) return m->qualified;
+  return fn.qualified + "::" + expr;
+}
+
 }  // namespace
 
 std::vector<int> CallGraph::FindBySuffix(const std::string& suffix) const {
@@ -267,10 +329,34 @@ std::vector<int> CallGraph::FindBySuffix(const std::string& suffix) const {
 CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
   CallGraph graph;
   for (const lint::SourceFile& file : corpus) {
-    std::vector<FunctionInfo> fns = ExtractFunctions(file);
+    std::vector<FunctionInfo> fns = ExtractFunctions(file, &graph.mutexes);
     for (FunctionInfo& fn : fns) graph.functions.push_back(std::move(fn));
     for (std::string& name : VirtualMethodNames(file)) {
       graph.virtual_names.insert(std::move(name));
+    }
+  }
+
+  // Resolve every raw lock expression (held sets, acquisition sites) to a
+  // corpus-wide lock id now that all Mutex members are known.
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    FunctionInfo& fn = graph.functions[i];
+    const auto resolve_all = [&fn, &graph](std::vector<std::string>* held) {
+      for (std::string& expr : *held) {
+        expr = ResolveLockExpr(fn, expr, graph.mutexes);
+      }
+      std::sort(held->begin(), held->end());
+      held->erase(std::unique(held->begin(), held->end()), held->end());
+    };
+    for (BodyFact& fact : fn.facts) resolve_all(&fact.held);
+    for (CallSite& call : fn.calls) resolve_all(&call.held);
+    for (const LockAcquisition& acq : fn.lock_acquisitions) {
+      LockAcquire resolved;
+      resolved.fn = static_cast<int>(i);
+      resolved.lock = ResolveLockExpr(fn, acq.expr, graph.mutexes);
+      resolved.line = acq.line;
+      resolved.held = acq.held;
+      resolve_all(&resolved.held);
+      graph.acquisitions.push_back(std::move(resolved));
     }
   }
 
@@ -281,7 +367,10 @@ CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
     by_name[graph.functions[i].name].push_back(static_cast<int>(i));
   }
 
-  std::map<std::pair<int, int>, std::size_t> edge_index;
+  // Deduplication key includes the held signature: a locked and an unlocked
+  // call to the same callee must stay separate edges, or the lock gate
+  // would charge (or forgive) the wrong site.
+  std::map<std::tuple<int, int, std::string>, std::size_t> edge_index;
   for (std::size_t i = 0; i < graph.functions.size(); ++i) {
     const int caller_file = visibility.IndexOf(graph.functions[i].file);
     for (const CallSite& call : graph.functions[i].calls) {
@@ -297,6 +386,11 @@ CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
       if (call.member && graph.virtual_names.count(last) != 0) continue;
       const auto it = by_name.find(last);
       if (it == by_name.end()) continue;
+      std::string held_sig;
+      for (const std::string& h : call.held) {
+        held_sig += h;
+        held_sig += ',';
+      }
       for (const int callee : it->second) {
         const FunctionInfo& target =
             graph.functions[static_cast<std::size_t>(callee)];
@@ -309,7 +403,8 @@ CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
           continue;
         }
         const bool direct = !call.member;
-        const auto key = std::make_pair(static_cast<int>(i), callee);
+        const auto key =
+            std::make_tuple(static_cast<int>(i), callee, held_sig);
         const auto found = edge_index.find(key);
         if (found != edge_index.end()) {
           graph.edges[found->second].direct |= direct;
@@ -317,7 +412,7 @@ CallGraph BuildCallGraph(const std::vector<lint::SourceFile>& corpus) {
         }
         edge_index.emplace(key, graph.edges.size());
         graph.edges.push_back(
-            {static_cast<int>(i), callee, call.line, direct});
+            {static_cast<int>(i), callee, call.line, direct, call.held});
       }
     }
   }
@@ -328,9 +423,21 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
   const std::size_t n = graph.functions.size();
   std::vector<FunctionSummary> out(n);
 
-  std::vector<Reach> alloc(n), lock(n), thrown(n);
+  std::vector<Reach> alloc(n), lock(n), thrown(n), blocking(n), dispatch(n);
+  const auto seed = [](Reach* r, int i, std::size_t line,
+                       const std::string& detail) {
+    if (r->reaches) return;
+    r->reaches = true;
+    r->source = i;
+    r->via = -1;
+    r->fact_line = line;
+    r->fact_detail = detail;
+  };
   for (std::size_t i = 0; i < n; ++i) {
     const FunctionInfo& fn = graph.functions[i];
+    if (fn.blocking) {
+      seed(&blocking[i], static_cast<int>(i), fn.line, "RDFCUBE_BLOCKING");
+    }
     for (const BodyFact& fact : fn.facts) {
       Reach* r = nullptr;
       switch (fact.kind) {
@@ -346,31 +453,40 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
         case FactKind::kThrow:
           r = &thrown[i];
           break;
+        case FactKind::kBlocking:
+          r = &blocking[i];
+          break;
         case FactKind::kDispatch:
           out[i].calls_virtual = true;
+          r = &dispatch[i];
           break;
         case FactKind::kSizedSink:
         case FactKind::kSizeArith:
           break;  // not Reach-propagated; EvaluateTaintGate reads them raw
       }
-      if (r != nullptr && !r->reaches) {
-        r->reaches = true;
-        r->source = static_cast<int>(i);
-        r->via = -1;
-        r->fact_line = fact.line;
-        r->fact_detail = fact.detail;
+      if (r != nullptr) {
+        seed(r, static_cast<int>(i), fact.line, fact.detail);
       }
     }
     for (const CallSite& call : fn.calls) {
       const std::size_t sep = call.name.rfind(':');
       const std::string last =
           sep == std::string::npos ? call.name : call.name.substr(sep + 1);
-      if (graph.virtual_names.count(last) != 0) out[i].calls_virtual = true;
+      if (call.member && graph.virtual_names.count(last) != 0) {
+        out[i].calls_virtual = true;
+        // Virtual dispatch has no static target; it seeds the dispatch
+        // Reach here instead of creating an edge (callback-under-lock).
+        seed(&dispatch[i], static_cast<int>(i), call.line, last);
+      } else if (graph.virtual_names.count(last) != 0) {
+        out[i].calls_virtual = true;
+      }
     }
   }
   Propagate(graph, &alloc);
   Propagate(graph, &lock);
   Propagate(graph, &thrown);
+  Propagate(graph, &blocking);
+  Propagate(graph, &dispatch);
 
   std::vector<Taint> taint(n);
   PropagateTaint(graph, &taint);
@@ -391,6 +507,8 @@ std::vector<FunctionSummary> ComputeSummaries(const CallGraph& graph) {
     out[i].alloc = alloc[i];
     out[i].lock = lock[i];
     out[i].thrown = thrown[i];
+    out[i].blocking = blocking[i];
+    out[i].dispatch = dispatch[i];
     out[i].taint = taint[i];
     const std::vector<int>& scc = members[static_cast<std::size_t>(comp[i])];
     if (scc.size() > 1 || self_loop[i]) {
@@ -472,6 +590,7 @@ std::string GraphToJson(const CallGraph& graph,
            (fn.taint_source ? "true" : "false");
     out += std::string(", \"taint_barrier\": ") +
            (fn.taint_barrier ? "true" : "false");
+    out += std::string(", \"blocking\": ") + (fn.blocking ? "true" : "false");
     out += ", \"facts\": [";
     for (std::size_t j = 0; j < fn.facts.size(); ++j) {
       const BodyFact& fact = fn.facts[j];
@@ -487,6 +606,10 @@ std::string GraphToJson(const CallGraph& graph,
     out += s.lock.reaches ? "true" : "false";
     out += ", \"reaches_throw\": ";
     out += s.thrown.reaches ? "true" : "false";
+    out += ", \"reaches_blocking\": ";
+    out += s.blocking.reaches ? "true" : "false";
+    out += ", \"reaches_dispatch\": ";
+    out += s.dispatch.reaches ? "true" : "false";
     out += ", \"tainted\": ";
     out += s.taint.tainted ? "true" : "false";
     out += ", \"recursive\": ";
@@ -502,7 +625,16 @@ std::string GraphToJson(const CallGraph& graph,
     out += "    {\"caller\": " + std::to_string(e.caller) +
            ", \"callee\": " + std::to_string(e.callee) +
            ", \"line\": " + std::to_string(e.line) + ", \"direct\": " +
-           (e.direct ? "true" : "false") + "}";
+           (e.direct ? "true" : "false");
+    if (!e.held.empty()) {
+      out += ", \"held\": [";
+      for (std::size_t j = 0; j < e.held.size(); ++j) {
+        if (j != 0) out += ", ";
+        obs::AppendJsonString(&out, e.held[j]);
+      }
+      out += "]";
+    }
+    out += "}";
     out += i + 1 == graph.edges.size() ? "\n" : ",\n";
   }
   out += "  ],\n  \"num_functions\": " +
@@ -721,6 +853,430 @@ std::string TaintReportJson(const CallGraph& graph,
   out += "\n  ],\n  \"tainted_total\": " + std::to_string(tainted_total) +
          ",\n  \"violations_total\": " + std::to_string(violations.size()) +
          "\n}\n";
+  return out;
+}
+
+namespace {
+
+// Renders a held set as "[a, b]" for witness text.
+std::string HeldText(const std::vector<std::string>& held) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += held[i];
+  }
+  out += "]";
+  return out;
+}
+
+// Walks a raw per-lock Reach via-chain from `fn` towards its source and
+// appends the acquisition tail: "A (f:1) -> B (g:2) -> acquires <L> at g:3".
+std::string LockReachWitness(const CallGraph& graph,
+                             const std::vector<Reach>& reach, int fn) {
+  std::string out;
+  int cur = fn;
+  for (std::size_t guard = 0; guard <= graph.functions.size(); ++guard) {
+    const FunctionInfo& info = graph.functions[static_cast<std::size_t>(cur)];
+    out += info.qualified + " (" + Location(info) + ")";
+    const Reach& step = reach[static_cast<std::size_t>(cur)];
+    if (step.via < 0) {
+      const Reach& src = reach[static_cast<std::size_t>(step.source)];
+      out += " -> acquires " + src.fact_detail + " at " + info.file + ":" +
+             std::to_string(src.fact_line);
+      break;
+    }
+    out += " -> ";
+    cur = step.via;
+  }
+  return out;
+}
+
+}  // namespace
+
+LockGraph BuildLockGraph(const CallGraph& graph) {
+  LockGraph out;
+
+  std::set<std::string> lock_ids;
+  for (const MutexMember& m : graph.mutexes) lock_ids.insert(m.qualified);
+  for (const LockAcquire& a : graph.acquisitions) {
+    lock_ids.insert(a.lock);
+    for (const std::string& h : a.held) lock_ids.insert(h);
+  }
+
+  std::map<std::pair<std::string, std::string>, std::size_t> edge_index;
+  const auto add_edge = [&out, &edge_index](const std::string& held,
+                                            const std::string& acquired,
+                                            int fn, std::size_t line,
+                                            std::string witness) {
+    const auto key = std::make_pair(held, acquired);
+    if (edge_index.count(key) != 0) return;  // first witness wins
+    edge_index.emplace(key, out.edges.size());
+    out.edges.push_back({held, acquired, fn, line, std::move(witness)});
+  };
+
+  // Intra-function edges: an acquisition with a non-empty held set nests
+  // directly under each held lock.
+  for (const LockAcquire& a : graph.acquisitions) {
+    const FunctionInfo& fn = graph.functions[static_cast<std::size_t>(a.fn)];
+    for (const std::string& h : a.held) {
+      add_edge(h, a.lock, a.fn, a.line,
+               fn.qualified + " (" + Location(fn) + ") acquires " + a.lock +
+                   " at " + fn.file + ":" + std::to_string(a.line) +
+                   " while holding " + h);
+    }
+  }
+
+  // Cross-TU edges: a call made with locks held, whose (non-cold) callee
+  // transitively reaches an acquisition of another lock. One Reach
+  // propagation per lock id keeps witnesses exact.
+  std::map<std::string, std::vector<const LockAcquire*>> by_lock;
+  for (const LockAcquire& a : graph.acquisitions) {
+    by_lock[a.lock].push_back(&a);
+  }
+  for (const auto& [lock, acqs] : by_lock) {
+    std::vector<Reach> reach(graph.functions.size());
+    for (const LockAcquire* a : acqs) {
+      Reach& r = reach[static_cast<std::size_t>(a->fn)];
+      if (r.reaches) continue;
+      r.reaches = true;
+      r.source = a->fn;
+      r.via = -1;
+      r.fact_line = a->line;
+      r.fact_detail = lock;
+    }
+    Propagate(graph, &reach);
+    for (const Edge& e : graph.edges) {
+      if (e.held.empty()) continue;
+      const std::size_t callee = static_cast<std::size_t>(e.callee);
+      if (graph.functions[callee].cold) continue;  // deliberate slow path
+      if (!reach[callee].reaches) continue;
+      const FunctionInfo& caller =
+          graph.functions[static_cast<std::size_t>(e.caller)];
+      for (const std::string& h : e.held) {
+        add_edge(h, lock, e.caller, e.line,
+                 caller.qualified + " (" + Location(caller) + ") holds " + h +
+                     " at call (" + caller.file + ":" +
+                     std::to_string(e.line) + ") -> " +
+                     LockReachWitness(graph, reach, e.callee));
+      }
+    }
+  }
+
+  out.locks.assign(lock_ids.begin(), lock_ids.end());
+  return out;
+}
+
+LockOrderManifest LoadLockOrderManifest(const std::string& path) {
+  LockOrderManifest manifest;
+  manifest.path = path;
+  std::ifstream in(path);
+  if (!in) return manifest;
+  manifest.present = true;
+  const auto trim = [](std::string s) {
+    const std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return std::string();
+    const std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+  };
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t arrow = line.find("->");
+    if (arrow == std::string::npos) continue;
+    const std::string held = trim(line.substr(0, arrow));
+    const std::string acquired = trim(line.substr(arrow + 2));
+    if (held.empty() || acquired.empty()) continue;
+    manifest.edges.emplace_back(held, acquired);
+  }
+  return manifest;
+}
+
+std::vector<LockViolation> EvaluateLockGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries,
+    const LockGraph& lock_graph, const LockOrderManifest& manifest) {
+  std::vector<LockViolation> out;
+
+  const auto anchor_file = [&graph](int fn) {
+    return fn < 0 ? std::string()
+                  : graph.functions[static_cast<std::size_t>(fn)].file;
+  };
+
+  // --- lock-order-cycle: SCCs and self-loops in the observed graph ---
+  {
+    std::map<std::string, int> id;
+    const auto node = [&id](const std::string& lock) {
+      return id.emplace(lock, static_cast<int>(id.size())).first->second;
+    };
+    for (const LockEdge& e : lock_graph.edges) {
+      node(e.held);
+      node(e.acquired);
+    }
+    std::vector<std::vector<int>> adj(id.size());
+    for (const LockEdge& e : lock_graph.edges) {
+      if (e.held == e.acquired) {
+        out.push_back({e.fn, "lock-order-cycle", anchor_file(e.fn), e.line,
+                       "double lock: " + e.held +
+                           " is acquired while already held — " + e.witness});
+        continue;
+      }
+      adj[static_cast<std::size_t>(node(e.held))].push_back(node(e.acquired));
+    }
+    int num_sccs = 0;
+    const std::vector<int> comp = Sccs(adj, &num_sccs);
+    std::vector<int> scc_size(static_cast<std::size_t>(num_sccs), 0);
+    for (const int c : comp) ++scc_size[static_cast<std::size_t>(c)];
+    std::set<int> reported;
+    for (const LockEdge& e : lock_graph.edges) {
+      if (e.held == e.acquired) continue;
+      const int ch = comp[static_cast<std::size_t>(id.at(e.held))];
+      if (ch != comp[static_cast<std::size_t>(id.at(e.acquired))]) continue;
+      if (scc_size[static_cast<std::size_t>(ch)] < 2) continue;
+      // One finding per cycle, anchored at its first edge; the witness
+      // lists every edge participating in the SCC.
+      if (!reported.insert(ch).second) continue;
+      std::string witness =
+          "lock-order cycle (potential ABBA deadlock) among {";
+      bool first = true;
+      for (const auto& [lock, n] : id) {
+        if (comp[static_cast<std::size_t>(n)] != ch) continue;
+        if (!first) witness += ", ";
+        first = false;
+        witness += lock;
+      }
+      witness += "}:";
+      for (const LockEdge& cyc : lock_graph.edges) {
+        if (cyc.held == cyc.acquired) continue;
+        if (comp[static_cast<std::size_t>(id.at(cyc.held))] != ch ||
+            comp[static_cast<std::size_t>(id.at(cyc.acquired))] != ch) {
+          continue;
+        }
+        witness += "\n    " + cyc.held + " -> " + cyc.acquired + ": " +
+                   cyc.witness;
+      }
+      out.push_back(
+          {e.fn, "lock-order-cycle", anchor_file(e.fn), e.line, witness});
+    }
+  }
+
+  // --- lock-order-cycle: observed edges missing from the manifest ---
+  // Gated on the manifest existing, mirroring layer-dag: no manifest means
+  // cycles still fail but nesting is otherwise unconstrained.
+  if (manifest.present) {
+    for (const LockEdge& e : lock_graph.edges) {
+      if (e.held == e.acquired) continue;  // already a double-lock finding
+      bool declared = false;
+      for (const auto& [held, acquired] : manifest.edges) {
+        if (QualifiedSuffixMatch(e.held, held) &&
+            QualifiedSuffixMatch(e.acquired, acquired)) {
+          declared = true;
+          break;
+        }
+      }
+      if (declared) continue;
+      out.push_back({e.fn, "lock-order-cycle", anchor_file(e.fn), e.line,
+                     "observed lock nesting " + e.held + " -> " + e.acquired +
+                         " is not declared in " + manifest.path + ": " +
+                         e.witness});
+    }
+
+    // --- lock-order-cycle: cycles among the declared edges themselves ---
+    std::map<std::string, int> id;
+    const auto node = [&id](const std::string& lock) {
+      return id.emplace(lock, static_cast<int>(id.size())).first->second;
+    };
+    for (const auto& [held, acquired] : manifest.edges) {
+      node(held);
+      node(acquired);
+    }
+    std::vector<std::vector<int>> adj(id.size());
+    for (const auto& [held, acquired] : manifest.edges) {
+      if (held == acquired) {
+        out.push_back({-1, "lock-order-cycle", manifest.path, 1,
+                       "declared lock-order edge " + held + " -> " +
+                           acquired + " is a self-loop"});
+        continue;
+      }
+      adj[static_cast<std::size_t>(node(held))].push_back(node(acquired));
+    }
+    int num_sccs = 0;
+    const std::vector<int> comp = Sccs(adj, &num_sccs);
+    std::vector<int> scc_size(static_cast<std::size_t>(num_sccs), 0);
+    for (const int c : comp) ++scc_size[static_cast<std::size_t>(c)];
+    std::set<int> reported;
+    for (const auto& [lock, n] : id) {
+      const int c = comp[static_cast<std::size_t>(n)];
+      if (scc_size[static_cast<std::size_t>(c)] < 2) continue;
+      if (!reported.insert(c).second) continue;
+      std::string witness = "the declared edges in " + manifest.path +
+                            " form a cycle among {";
+      bool first = true;
+      for (const auto& [other, m] : id) {
+        if (comp[static_cast<std::size_t>(m)] != c) continue;
+        if (!first) witness += ", ";
+        first = false;
+        witness += other;
+      }
+      witness += "} — no consistent global order exists";
+      (void)lock;
+      out.push_back({-1, "lock-order-cycle", manifest.path, 1, witness});
+    }
+  }
+
+  // --- blocking-under-lock / callback-under-lock ---
+  std::set<std::tuple<std::string, int, std::size_t>> seen;
+  const auto add = [&out, &seen, &anchor_file](const char* kind, int fn,
+                                               std::size_t line,
+                                               std::string witness) {
+    if (!seen.insert({kind, fn, line}).second) return;
+    out.push_back({fn, kind, anchor_file(fn), line, std::move(witness)});
+  };
+  for (std::size_t i = 0; i < graph.functions.size(); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    const std::string at = fn.qualified + " (" + Location(fn) + ")";
+    for (const BodyFact& fact : fn.facts) {
+      if (fact.held.empty()) continue;
+      if (fact.kind == FactKind::kBlocking) {
+        add("blocking-under-lock", static_cast<int>(i), fact.line,
+            at + " calls blocking '" + fact.detail + "' at " + fn.file + ":" +
+                std::to_string(fact.line) + " while holding " +
+                HeldText(fact.held));
+      }
+      if (fact.kind == FactKind::kDispatch) {
+        add("callback-under-lock", static_cast<int>(i), fact.line,
+            at + " invokes std::function '" + fact.detail + "' at " +
+                fn.file + ":" + std::to_string(fact.line) +
+                " while holding " + HeldText(fact.held));
+      }
+    }
+    // Virtual member calls never become edges (no static target), so a
+    // held virtual call is flagged here directly.
+    for (const CallSite& call : fn.calls) {
+      if (call.held.empty() || !call.member) continue;
+      const std::size_t sep = call.name.rfind(':');
+      const std::string last =
+          sep == std::string::npos ? call.name : call.name.substr(sep + 1);
+      if (graph.virtual_names.count(last) == 0) continue;
+      add("callback-under-lock", static_cast<int>(i), call.line,
+          at + " virtual-dispatches '" + last + "' at " + fn.file + ":" +
+              std::to_string(call.line) + " while holding " +
+              HeldText(call.held));
+    }
+  }
+  for (const Edge& e : graph.edges) {
+    if (e.held.empty()) continue;
+    const std::size_t callee = static_cast<std::size_t>(e.callee);
+    if (graph.functions[callee].cold) continue;  // deliberate slow path
+    const FunctionInfo& caller =
+        graph.functions[static_cast<std::size_t>(e.caller)];
+    const std::string prefix = caller.qualified + " (" + Location(caller) +
+                               ") holds " + HeldText(e.held) + " at call (" +
+                               caller.file + ":" + std::to_string(e.line) +
+                               ") -> ";
+    if (summaries[callee].blocking.reaches) {
+      add("blocking-under-lock", e.caller, e.line,
+          prefix +
+              WitnessChain(graph, summaries, e.callee, FactKind::kBlocking));
+    }
+    if (summaries[callee].dispatch.reaches) {
+      add("callback-under-lock", e.caller, e.line,
+          prefix +
+              WitnessChain(graph, summaries, e.callee, FactKind::kDispatch));
+    }
+  }
+  return out;
+}
+
+std::string LockReportJson(const CallGraph& graph,
+                           const LockGraph& lock_graph,
+                           const LockOrderManifest& manifest,
+                           const std::vector<LockViolation>& violations) {
+  std::string out = "{\n  \"locks\": [";
+  for (std::size_t i = 0; i < lock_graph.locks.size(); ++i) {
+    if (i != 0) out += ", ";
+    obs::AppendJsonString(&out, lock_graph.locks[i]);
+  }
+  out += "],\n  \"edges\": [\n";
+  bool first = true;
+  for (const LockEdge& e : lock_graph.edges) {
+    if (!first) out += ",\n";
+    first = false;
+    const FunctionInfo& fn = graph.functions[static_cast<std::size_t>(e.fn)];
+    out += "    {\"held\": ";
+    obs::AppendJsonString(&out, e.held);
+    out += ", \"acquired\": ";
+    obs::AppendJsonString(&out, e.acquired);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, fn.file);
+    out += ", \"line\": " + std::to_string(e.line) + ", \"witness\": ";
+    obs::AppendJsonString(&out, e.witness);
+    out += "}";
+  }
+  out += "\n  ],\n  \"manifest\": {\"present\": ";
+  out += manifest.present ? "true" : "false";
+  out += ", \"path\": ";
+  obs::AppendJsonString(&out, manifest.path);
+  out += ", \"edges\": [";
+  first = true;
+  for (const auto& [held, acquired] : manifest.edges) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"held\": ";
+    obs::AppendJsonString(&out, held);
+    out += ", \"acquired\": ";
+    obs::AppendJsonString(&out, acquired);
+    out += "}";
+  }
+  out += "]},\n  \"violations\": [\n";
+  first = true;
+  for (const LockViolation& v : violations) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"kind\": \"" + v.kind + "\", \"function\": ";
+    obs::AppendJsonString(
+        &out, v.fn < 0 ? std::string("<manifest>")
+                       : graph.functions[static_cast<std::size_t>(v.fn)]
+                             .qualified);
+    out += ", \"file\": ";
+    obs::AppendJsonString(&out, v.file);
+    out += ", \"line\": " + std::to_string(v.line) + ", \"witness\": ";
+    obs::AppendJsonString(&out, v.witness);
+    out += "}";
+  }
+  out += "\n  ],\n  \"locks_total\": " +
+         std::to_string(lock_graph.locks.size()) +
+         ",\n  \"edges_total\": " + std::to_string(lock_graph.edges.size()) +
+         ",\n  \"violations_total\": " + std::to_string(violations.size()) +
+         "\n}\n";
+  return out;
+}
+
+std::string LockGraphToDot(const LockGraph& lock_graph) {
+  std::string out = "digraph rdfcube_lock_order {\n  rankdir=LR;\n"
+                    "  node [shape=box, fontsize=9];\n";
+  std::map<std::string, std::size_t> id;
+  for (const std::string& lock : lock_graph.locks) {
+    const std::size_t n = id.emplace(lock, id.size()).first->second;
+    out += "  l" + std::to_string(n) + " [label=";
+    obs::AppendJsonString(&out, lock);
+    out += "];\n";
+  }
+  const auto node = [&out, &id](const std::string& lock) {
+    const auto [it, inserted] = id.emplace(lock, id.size());
+    if (inserted) {
+      out += "  l" + std::to_string(it->second) + " [label=";
+      obs::AppendJsonString(&out, lock);
+      out += "];\n";
+    }
+    return it->second;
+  };
+  for (const LockEdge& e : lock_graph.edges) {
+    const std::size_t held = node(e.held);
+    const std::size_t acquired = node(e.acquired);
+    out += "  l" + std::to_string(held) + " -> l" + std::to_string(acquired) +
+           " [label=\"line " + std::to_string(e.line) + "\"];\n";
+  }
+  out += "}\n";
   return out;
 }
 

@@ -25,12 +25,29 @@
 //       Propagation stops at RDFCUBE_TAINT_BARRIER callees (the validated-
 //       boundary assertion, base/untrusted.h) and records a witness chain
 //       from the source down to the tainted function.
+//   reaches_blocking / reaches_dispatch
+//       the lock-gate summaries (DESIGN.md §5i): the function is — or
+//       transitively calls — an RDFCUBE_BLOCKING definition / lexical
+//       blocking call (sleeps, ::poll), respectively a std::function or
+//       virtual-dispatch invocation. Same reverse propagation and
+//       RDFCUBE_COLD absorption as the hot-path facts.
+//
+// Lock-order graph (DESIGN.md §5i): every call edge carries the resolved
+// lock ids held at its site (from the extractor's lock-scope dataflow), and
+// every MutexLock acquisition is resolved against the corpus-wide Mutex
+// members. BuildLockGraph derives the global order graph — edge A -> B when
+// B is acquired (directly or through non-cold callees) while A is held —
+// and EvaluateLockGate runs Tarjan over it: any SCC or self-loop is a
+// potential ABBA deadlock (lock-order-cycle); blocking-under-lock and
+// callback-under-lock ban parking the thread or running unknown code while
+// a Mutex is held. Sanctioned orders are declared in tools/lock_order.txt.
 //
 // The gate consumers: lint checks hot-path-alloc / hot-path-lock /
 // no-throw-transitive / unbounded-recursion / untrusted-size-sink /
-// unchecked-size-arith / missing-limit-clamp (tools/lint_checks.cc) and the
+// unchecked-size-arith / missing-limit-clamp / lock-order-cycle /
+// blocking-under-lock / callback-under-lock (tools/lint_checks.cc) and the
 // rdfcube_callgraph CLI (DOT/JSON export, reachability queries,
-// hot_path_report.json, taint_report.json).
+// hot_path_report.json, taint_report.json, lock_report.json).
 
 #ifndef RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
 #define RDFCUBE_TOOLS_CALLGRAPH_CALLGRAPH_H_
@@ -52,6 +69,19 @@ struct Edge {
   int callee = -1;
   std::size_t line = 0;  ///< 1-based call-site line in the caller's file.
   bool direct = false;   ///< Receiver-less call written as a plain name.
+  /// Resolved lock ids held at the call site (empty = lock-free call).
+  /// Edges are deduplicated per held signature, so a locked and an unlocked
+  /// call to the same callee stay distinct.
+  std::vector<std::string> held;
+};
+
+/// \brief One resolved MutexLock acquisition site.
+struct LockAcquire {
+  int fn = -1;            ///< Acquiring function.
+  std::string lock;       ///< Resolved lock id (qualified Mutex member or
+                          ///< function-local identity).
+  std::size_t line = 0;   ///< 1-based acquisition line in fn's file.
+  std::vector<std::string> held;  ///< Resolved lock ids held at the decl.
 };
 
 /// \brief The linked cross-TU call graph.
@@ -59,6 +89,8 @@ struct CallGraph {
   std::vector<FunctionInfo> functions;  ///< All extracted definitions.
   std::vector<Edge> edges;              ///< Resolved, deduplicated edges.
   std::set<std::string> virtual_names;  ///< Names declared virtual anywhere.
+  std::vector<MutexMember> mutexes;     ///< Corpus-wide Mutex data members.
+  std::vector<LockAcquire> acquisitions;  ///< Resolved MutexLock sites.
 
   /// Indices of functions whose qualified name ends with `suffix`
   /// (or equals it). Empty when none match.
@@ -90,6 +122,8 @@ struct FunctionSummary {
   Reach alloc;   ///< kAlloc facts plus unreserved kGrowth.
   Reach lock;
   Reach thrown;  ///< ("throw" is a keyword.)
+  Reach blocking;  ///< RDFCUBE_BLOCKING definitions + lexical kBlocking.
+  Reach dispatch;  ///< std::function params + virtual member calls.
   Taint taint;   ///< Untrusted-input reachability (taint gate).
   bool recursive = false;   ///< Member of a direct-call cycle.
   std::vector<int> cycle;   ///< The strongly connected component (when
@@ -174,6 +208,80 @@ std::vector<TaintViolation> EvaluateTaintGate(
 std::string TaintReportJson(const CallGraph& graph,
                             const std::vector<FunctionSummary>& summaries,
                             const std::vector<TaintViolation>& violations);
+
+/// \brief One edge of the global lock-order graph: `acquired` is taken
+/// while `held` is held, somewhere in the corpus.
+struct LockEdge {
+  std::string held;
+  std::string acquired;
+  int fn = -1;           ///< Function whose acquisition realizes the edge.
+  std::size_t line = 0;  ///< Acquisition line (in fn's file).
+  std::string witness;   ///< Holder site -> ... -> acquisition chain.
+};
+
+/// \brief The derived global lock-order graph (DESIGN.md §5i).
+struct LockGraph {
+  std::vector<std::string> locks;  ///< Sorted unique lock ids.
+  std::vector<LockEdge> edges;     ///< Deduplicated by (held, acquired).
+};
+
+/// Derives the lock-order graph: intra-function edges from acquisitions
+/// with a non-empty held set, plus cross-TU edges where a held call site
+/// reaches (through non-cold callees) a function that acquires another
+/// lock. RDFCUBE_COLD callees absorb, mirroring the hot-path gate.
+LockGraph BuildLockGraph(const CallGraph& graph);
+
+/// \brief Parsed tools/lock_order.txt: the sanctioned lock-order edges.
+/// Entry names match lock ids by qualified-suffix (layers.txt idiom:
+/// "TraceCollector::registry_mu_ -> TraceCollector::ThreadTrace::mu").
+struct LockOrderManifest {
+  bool present = false;  ///< The manifest file existed and was read.
+  std::string path;      ///< As given to LoadLockOrderManifest.
+  std::vector<std::pair<std::string, std::string>> edges;  ///< held, acquired
+};
+
+/// Reads a lock-order manifest ('#' comments, "A -> B" lines). A missing
+/// file yields present == false: cycle findings still fire, undeclared-edge
+/// findings are skipped (the layer-dag manifest-gating idiom).
+LockOrderManifest LoadLockOrderManifest(const std::string& path);
+
+/// \brief One lock-gate finding (also surfaced as a lint Violation).
+struct LockViolation {
+  int fn = -1;           ///< Anchor function; -1 for manifest-level findings.
+  std::string kind;      ///< "lock-order-cycle", "blocking-under-lock" or
+                         ///< "callback-under-lock".
+  std::string file;      ///< Anchor file (fn's file, or the manifest path).
+  std::size_t line = 0;  ///< Anchor line.
+  std::string witness;
+};
+
+/// Evaluates the lock gate (DESIGN.md §5i):
+///   lock-order-cycle      an SCC or self-loop in the observed lock graph
+///                         (potential ABBA deadlock / double lock), an
+///                         observed edge missing from the manifest (only
+///                         when one is present), or a cycle among the
+///                         declared manifest edges themselves;
+///   blocking-under-lock   a blocking call (RDFCUBE_BLOCKING or lexical) is
+///                         made — or reached through non-cold callees —
+///                         while a Mutex is held. `lock.Wait(cv)` on the
+///                         held lock itself is exempt (the wait releases it);
+///   callback-under-lock   a std::function parameter or virtual method is
+///                         invoked — or reached — while a Mutex is held
+///                         (re-entrancy / priority-inversion hazard).
+std::vector<LockViolation> EvaluateLockGate(
+    const CallGraph& graph, const std::vector<FunctionSummary>& summaries,
+    const LockGraph& lock_graph, const LockOrderManifest& manifest);
+
+/// JSON report for the gate artifact (lock_report.json): every lock id,
+/// every observed order edge with its witness, manifest status, and
+/// violations.
+std::string LockReportJson(const CallGraph& graph,
+                           const LockGraph& lock_graph,
+                           const LockOrderManifest& manifest,
+                           const std::vector<LockViolation>& violations);
+
+/// Graphviz DOT rendering of the lock-order graph.
+std::string LockGraphToDot(const LockGraph& lock_graph);
 
 }  // namespace callgraph
 }  // namespace rdfcube

@@ -38,6 +38,17 @@ struct Scope {
   int function = -1;    // index into the result vector for kFunction
 };
 
+// Canonicalizes a raw lock expression: strips '&' and whitespace, and drops
+// an explicit `this->` (the same member as the unqualified spelling).
+std::string CanonLockExpr(std::string_view expr) {
+  std::string out;
+  for (char c : expr) {
+    if (c != '&' && c != ' ' && c != '\t') out.push_back(c);
+  }
+  if (out.rfind("this->", 0) == 0) out.erase(0, 6);
+  return out;
+}
+
 // What a pending declaration head turned out to be when its '{' arrived.
 struct HeadClass {
   Scope::Kind kind = Scope::kOther;
@@ -48,6 +59,8 @@ struct HeadClass {
   bool cold = false;
   bool taint_source = false;
   bool taint_barrier = false;
+  bool blocking = false;
+  std::vector<std::string> requires_locks;  // RDFCUBE_REQUIRES arguments
 };
 
 // Classifies the declaration text accumulated since the last statement
@@ -57,7 +70,11 @@ HeadClass ClassifyHead(const std::string& pending,
   HeadClass out;
   static const std::regex kNamespaceRe(R"(\bnamespace\b)");
   static const std::regex kEnumRe(R"(\benum\b)");
-  static const std::regex kClassRe(R"(\b(class|struct|union)\s+([A-Za-z_]\w*))");
+  // Class-head name: skip ALL_CAPS attribute macros (optionally with a
+  // parenthesized argument, e.g. RDFCUBE_CAPABILITY("mutex")) and accept a
+  // ::-qualified name (out-of-line nested classes, `struct Outer::Inner`).
+  static const std::regex kClassRe(
+      R"(\b(class|struct|union)\s+(?:[A-Z][A-Z_0-9]*\s*(?:\([^()]*\))?\s+)*([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*))");
 
   if (std::regex_search(pending, kEnumRe)) return out;
   if (std::regex_search(pending, kNamespaceRe)) {
@@ -78,45 +95,62 @@ HeadClass ClassifyHead(const std::string& pending,
     return out;
   }
 
-  // '=' outside parentheses means an initializer (array/aggregate/lambda
-  // assignment), not a function header. '=' inside parens is a default
-  // argument and fine. "operator=" is exempted below by the paren rule:
-  // its '=' sits before the '(' we find, so check only up to the first '('.
-  const std::size_t paren = pending.find('(');
-  if (paren == std::string::npos) return out;
-  int depth = 0;
-  for (std::size_t i = 0; i < paren; ++i) {
-    const char c = pending[i];
-    if (c == '(') ++depth;
-    if (c == ')') --depth;
-    if (c == '=' && depth == 0) {
-      // "operator=" / "operator==" name a function; any other top-level '='
-      // before the parameter list means an initializer.
-      std::size_t b = i;
-      while (b > 0 && pending[b - 1] == '=') --b;
-      const bool names_operator =
-          b >= 8 && pending.compare(b - 8, 8, "operator") == 0;
-      if (!names_operator) return out;
-    }
-  }
-
   // Function shape: identifier (possibly ::-qualified, possibly a dtor ~)
-  // immediately before the first '('.
-  std::size_t end = paren;
-  while (end > 0 && pending[end - 1] == ' ') --end;
-  std::size_t begin = end;
-  while (begin > 0 && (IsIdentChar(pending[begin - 1]) ||
-                       pending[begin - 1] == ':' || pending[begin - 1] == '~')) {
-    --begin;
-  }
-  if (begin == end) return out;
-  std::string name = pending.substr(begin, end - begin);
-  while (!name.empty() && name.front() == ':') name.erase(name.begin());
-  if (name.empty()) return out;
+  // immediately before a '('. A '(' whose preceding identifier is a type
+  // keyword is part of the return type, not the header (`std::optional<
+  // std::function<void()>> AdmissionQueue::Pop(...)` — the name is Pop, not
+  // void), so such candidates are skipped and the scan resumes at the next
+  // '('.
+  static const std::set<std::string> kTypeKeyword = {
+      "void", "bool", "char", "int",    "long",     "short",   "float",
+      "double", "auto", "signed", "unsigned", "wchar_t", "char16_t",
+      "char32_t"};
   // Control keywords can only appear inside function bodies, but be safe.
   static const std::set<std::string> kNotAFunction = {
       "if", "for", "while", "switch", "catch", "return", "sizeof",
       "alignas", "alignof", "decltype", "noexcept"};
+  std::size_t paren = pending.find('(');
+  std::size_t begin = 0, end = 0;
+  std::string name;
+  while (paren != std::string::npos) {
+    // '=' outside parentheses means an initializer (array/aggregate/lambda
+    // assignment), not a function header. '=' inside parens is a default
+    // argument and fine. "operator=" is exempted by the paren rule: its '='
+    // sits before the '(' we find, so check only up to the candidate '('.
+    int depth = 0;
+    for (std::size_t i = 0; i < paren; ++i) {
+      const char c = pending[i];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == '=' && depth == 0) {
+        // "operator=" / "operator==" name a function; any other top-level
+        // '=' before the parameter list means an initializer.
+        std::size_t b = i;
+        while (b > 0 && pending[b - 1] == '=') --b;
+        const bool names_operator =
+            b >= 8 && pending.compare(b - 8, 8, "operator") == 0;
+        if (!names_operator) return out;
+      }
+    }
+    end = paren;
+    while (end > 0 && pending[end - 1] == ' ') --end;
+    begin = end;
+    while (begin > 0 &&
+           (IsIdentChar(pending[begin - 1]) || pending[begin - 1] == ':' ||
+            pending[begin - 1] == '~')) {
+      --begin;
+    }
+    if (begin == end) return out;
+    name = pending.substr(begin, end - begin);
+    while (!name.empty() && name.front() == ':') name.erase(name.begin());
+    if (name.empty()) return out;
+    if (kTypeKeyword.count(name) != 0) {
+      paren = pending.find('(', paren + 1);
+      continue;
+    }
+    break;
+  }
+  if (paren == std::string::npos || name.empty()) return out;
   const std::string last =
       name.substr(name.rfind(':') == std::string::npos
                       ? 0
@@ -144,6 +178,24 @@ HeadClass ClassifyHead(const std::string& pending,
       pending.find("RDFCUBE_TAINT_SOURCE") != std::string::npos;
   out.taint_barrier =
       pending.find("RDFCUBE_TAINT_BARRIER") != std::string::npos;
+  out.blocking = pending.find("RDFCUBE_BLOCKING") != std::string::npos;
+  // RDFCUBE_REQUIRES(mu_) on the header transfers the caller's lock into
+  // the body: every fact and call site inherits it as held (DESIGN.md §5i).
+  static const std::regex kRequiresRe(R"(RDFCUBE_REQUIRES\s*\(([^()]*)\))");
+  std::smatch rq;
+  if (std::regex_search(pending, rq, kRequiresRe)) {
+    const std::string args = rq[1];
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      const std::size_t comma = args.find(',', start);
+      const std::size_t len =
+          comma == std::string::npos ? std::string::npos : comma - start;
+      std::string one = CanonLockExpr(args.substr(start, len));
+      if (!one.empty()) out.requires_locks.push_back(std::move(one));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
   return out;
 }
 
@@ -196,6 +248,13 @@ bool HasLimitComparison(const std::string& text) {
   return std::regex_search(flat, kCompare);
 }
 
+// One MutexLock RAII scope currently open during the body walk.
+struct ActiveLock {
+  std::string var;   // the MutexLock variable name
+  std::string expr;  // canonicalized lock expression ("mu_", "s->a_")
+  int depth = 0;     // brace depth at the declaration
+};
+
 // Scans the collected body lines of one function for facts and call sites.
 void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   static const std::regex kAlloc(
@@ -205,6 +264,16 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   static const std::regex kThrow(R"(\bthrow\b)");
   static const std::regex kLock(
       R"(\bMutexLock\b|\block_guard\b|\bunique_lock\b|\bscoped_lock\b|[.>](Lock|lock)\s*\()");
+  // Lexical blocking seeds (most blocking entry points carry RDFCUBE_BLOCKING
+  // instead): sleeps and readiness waits park the thread in the kernel.
+  static const std::regex kBlockingCall(
+      R"(\b(sleep_for|sleep_until|usleep|nanosleep|poll|select|epoll_wait)\s*\()");
+  // A MutexLock RAII declaration with its lock argument on one line (the
+  // idiomatic form; a wrapped argument list is not tracked as a scope).
+  static const std::regex kMutexLockDecl(
+      R"(\bMutexLock\s+([A-Za-z_]\w*)\s*\(([^();]*)\))");
+  // A function-local `Mutex x;` (a lock identity scoped to this function).
+  static const std::regex kLocalMutex(R"(\bMutex\s+([A-Za-z_]\w*)\s*;)");
   static const std::regex kReserve(R"(\breserve\s*\()");
   static const std::regex kCheckedMath(R"(\bChecked(Add|Mul|Sub)\s*[<(])");
   // Sized sinks (taint gate, DESIGN.md §5h): size-taking memory operations.
@@ -220,13 +289,79 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
   static const std::set<std::string> kKeywords = {
       "if",      "for",     "while",    "switch",  "return", "catch",
       "sizeof",  "alignof", "decltype", "noexcept", "alignas", "new",
-      "delete",  "static_assert", "defined", "assert", "throw"};
+      "delete",  "static_assert", "defined", "assert", "throw",
+      // Type keywords before '(' are functional casts / function types
+      // (`std::function<void()>`), never call sites.
+      "void",    "bool",    "char",     "int",     "long",   "short",
+      "float",   "double",  "auto",     "signed",  "unsigned"};
 
   const std::set<std::string> fn_params = FunctionTypedParams(fn->params);
 
+  std::vector<ActiveLock> active;  // MutexLock scopes open at line start
+  int depth = 0;                   // brace depth at line start
   bool in_static_stmt = false;
   for (const BodyLine& bl : body) {
     const std::string& text = bl.text;
+
+    // Lock-scope events on this line, in character order: nested braces
+    // (body_append keeps them) and MutexLock declarations. The line-start
+    // state plus a replay answers "what is held at position p".
+    struct LockEvent {
+      std::size_t pos = 0;
+      enum Kind { kOpen, kClose, kAcquire } kind = kOpen;
+      std::string var;
+      std::string expr;
+    };
+    std::vector<LockEvent> events;
+    for (std::size_t p = 0; p < text.size(); ++p) {
+      if (text[p] == '{') events.push_back({p, LockEvent::kOpen, "", ""});
+      if (text[p] == '}') events.push_back({p, LockEvent::kClose, "", ""});
+    }
+    for (auto it =
+             std::sregex_iterator(text.begin(), text.end(), kMutexLockDecl);
+         it != std::sregex_iterator(); ++it) {
+      events.push_back({static_cast<std::size_t>(it->position(0)),
+                        LockEvent::kAcquire, (*it)[1],
+                        CanonLockExpr((*it)[2].str())});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const LockEvent& a, const LockEvent& b) {
+                return a.pos < b.pos;
+              });
+    // Replays this line's events from the line-start state up to — strictly
+    // before — `pos`: a MutexLock's own `lock` fact sees only outer locks.
+    const auto active_at = [&](std::size_t pos) {
+      std::vector<ActiveLock> held = active;
+      int d = depth;
+      for (const LockEvent& e : events) {
+        if (e.pos >= pos) break;
+        if (e.kind == LockEvent::kOpen) {
+          ++d;
+        } else if (e.kind == LockEvent::kClose) {
+          --d;
+          while (!held.empty() && held.back().depth > d) held.pop_back();
+        } else if (!e.expr.empty()) {
+          held.push_back({e.var, e.expr, d});
+        }
+      }
+      return held;
+    };
+    const auto held_at = [&](std::size_t pos) {
+      std::vector<std::string> out = fn->requires_locks;
+      for (const ActiveLock& l : active_at(pos)) out.push_back(l.expr);
+      return out;
+    };
+    for (const LockEvent& e : events) {
+      if (e.kind == LockEvent::kAcquire && !e.expr.empty()) {
+        fn->lock_acquisitions.push_back({e.expr, bl.line, held_at(e.pos)});
+      }
+    }
+    for (auto it =
+             std::sregex_iterator(text.begin(), text.end(), kLocalMutex);
+         it != std::sregex_iterator(); ++it) {
+      fn->local_mutexes.push_back((*it)[1]);
+    }
+
     if (std::regex_search(text, kReserve)) fn->has_reserve = true;
     if (std::regex_search(text, kCheckedMath)) {
       fn->has_checked_math = true;
@@ -250,80 +385,115 @@ void ScanBody(const std::vector<BodyLine>& body, FunctionInfo* fn) {
     if (in_static_stmt && text.find(';') != std::string::npos) {
       in_static_stmt = false;
     }
-    if (skip) continue;
 
-    std::smatch m;
-    if (std::regex_search(text, m, kAlloc)) {
-      fn->facts.push_back({FactKind::kAlloc, bl.line, m[0]});
-    }
-    if (std::regex_search(text, m, kGrowth)) {
-      fn->facts.push_back({FactKind::kGrowth, bl.line, m[1]});
-    }
-    if (std::regex_search(text, m, kThrow)) {
-      fn->facts.push_back({FactKind::kThrow, bl.line, "throw"});
-    }
-    if (std::regex_search(text, m, kLock)) {
-      fn->facts.push_back(
-          {FactKind::kLock, bl.line,
-           m[1].matched ? m[1].str() : m[0].str()});
-    }
-    // Sized sinks and their size-expression arithmetic. The size expression
-    // is approximated as the rest of the line up to the matching ')'/']' —
-    // the witness is the sink itself, not a parse of the argument.
-    const auto arg_text = [&text](std::size_t from, char open, char close) {
-      int depth = 1;
-      std::size_t end = from;
-      for (; end < text.size() && depth > 0; ++end) {
-        if (text[end] == open) ++depth;
-        if (text[end] == close) --depth;
+    if (!skip) {
+      std::smatch m;
+      if (std::regex_search(text, m, kAlloc)) {
+        fn->facts.push_back({FactKind::kAlloc, bl.line, m[0], {}});
       }
-      return text.substr(from, end - from);
-    };
-    if (std::regex_search(text, m, kSizedCall)) {
-      const std::string token = m[1].matched ? m[1].str() : m[2].str();
-      const std::size_t after =
-          static_cast<std::size_t>(m.position(0) + m.length(0));
-      const std::string args = arg_text(after, '(', ')');
-      const bool arith = HasIdentArith(args);
-      // A size expression that is a plain sizeof (the double<->uint64
-      // bit-cast idiom, `memcpy(&bits, &v, sizeof(bits))`) is statically
-      // sized — nothing untrusted can steer it. `n * sizeof(T)` still has
-      // identifier arithmetic and stays a sink.
-      if (args.find("sizeof") == std::string::npos || arith) {
-        fn->facts.push_back({FactKind::kSizedSink, bl.line, token});
-        if (arith) {
-          fn->facts.push_back({FactKind::kSizeArith, bl.line, token});
+      if (std::regex_search(text, m, kGrowth)) {
+        fn->facts.push_back({FactKind::kGrowth, bl.line, m[1], {}});
+      }
+      if (std::regex_search(text, m, kThrow)) {
+        fn->facts.push_back({FactKind::kThrow, bl.line, "throw", {}});
+      }
+      if (std::regex_search(text, m, kLock)) {
+        fn->facts.push_back(
+            {FactKind::kLock, bl.line,
+             m[1].matched ? m[1].str() : m[0].str(), {}});
+      }
+      if (std::regex_search(text, m, kBlockingCall)) {
+        fn->facts.push_back(
+            {FactKind::kBlocking, bl.line, m[1],
+             held_at(static_cast<std::size_t>(m.position(0)))});
+      }
+      // Sized sinks and their size-expression arithmetic. The size
+      // expression is approximated as the rest of the line up to the
+      // matching ')'/']' — the witness is the sink itself, not a parse of
+      // the argument.
+      const auto arg_text = [&text](std::size_t from, char open, char close) {
+        int nest = 1;
+        std::size_t end = from;
+        for (; end < text.size() && nest > 0; ++end) {
+          if (text[end] == open) ++nest;
+          if (text[end] == close) --nest;
+        }
+        return text.substr(from, end - from);
+      };
+      if (std::regex_search(text, m, kSizedCall)) {
+        const std::string token = m[1].matched ? m[1].str() : m[2].str();
+        const std::size_t after =
+            static_cast<std::size_t>(m.position(0) + m.length(0));
+        const std::string args = arg_text(after, '(', ')');
+        const bool arith = HasIdentArith(args);
+        // A size expression that is a plain sizeof (the double<->uint64
+        // bit-cast idiom, `memcpy(&bits, &v, sizeof(bits))`) is statically
+        // sized — nothing untrusted can steer it. `n * sizeof(T)` still has
+        // identifier arithmetic and stays a sink.
+        if (args.find("sizeof") == std::string::npos || arith) {
+          fn->facts.push_back({FactKind::kSizedSink, bl.line, token, {}});
+          if (arith) {
+            fn->facts.push_back({FactKind::kSizeArith, bl.line, token, {}});
+          }
         }
       }
-    }
-    if (std::regex_search(text, m, kNewArray)) {
-      fn->facts.push_back({FactKind::kSizedSink, bl.line, "new[]"});
-      const std::size_t after =
-          static_cast<std::size_t>(m.position(0) + m.length(0));
-      if (HasIdentArith(arg_text(after, '[', ']'))) {
-        fn->facts.push_back({FactKind::kSizeArith, bl.line, "new[]"});
+      if (std::regex_search(text, m, kNewArray)) {
+        fn->facts.push_back({FactKind::kSizedSink, bl.line, "new[]", {}});
+        const std::size_t after =
+            static_cast<std::size_t>(m.position(0) + m.length(0));
+        if (HasIdentArith(arg_text(after, '[', ']'))) {
+          fn->facts.push_back({FactKind::kSizeArith, bl.line, "new[]", {}});
+        }
+      }
+      if (!std::regex_search(text, m, kSizedCall) &&
+          !std::regex_search(text, m, kNewArray) &&
+          std::regex_search(text, m, kIndexArith)) {
+        fn->facts.push_back({FactKind::kSizedSink, bl.line, "operator[]", {}});
+      }
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1];
+        if (kKeywords.count(name) != 0) continue;
+        const std::size_t name_pos = static_cast<std::size_t>(it->position(1));
+        if (fn_params.count(name) != 0) {
+          fn->facts.push_back(
+              {FactKind::kDispatch, bl.line, name, held_at(name_pos)});
+          continue;
+        }
+        // A receiver (`x.f(` / `p->f(`) marks a member call; only direct
+        // (receiver-less) calls participate in recursion detection.
+        std::size_t before = name_pos;
+        while (before > 0 && text[before - 1] == ' ') --before;
+        const bool member =
+            before > 0 && (text[before - 1] == '.' || text[before - 1] == '>');
+        std::vector<std::string> held = held_at(name_pos);
+        // Sanctioned condvar idiom: `lock.Wait(cv)` on an active MutexLock
+        // releases that lock's mutex for the wait — exclude it from the
+        // site's held set. A wait while a *different* lock stays held keeps
+        // that other lock and stays a finding.
+        if (member && !held.empty() &&
+            (name == "Wait" || name == "WaitWithDeadline") && before > 0 &&
+            text[before - 1] == '.') {
+          std::size_t rbegin = before - 1;
+          while (rbegin > 0 && IsIdentChar(text[rbegin - 1])) --rbegin;
+          const std::string receiver =
+              text.substr(rbegin, before - 1 - rbegin);
+          for (const ActiveLock& l : active_at(name_pos)) {
+            if (l.var == receiver) {
+              held.erase(std::remove(held.begin(), held.end(), l.expr),
+                         held.end());
+            }
+          }
+        }
+        fn->calls.push_back({name, bl.line, member, std::move(held)});
       }
     }
-    if (!std::regex_search(text, m, kSizedCall) &&
-        !std::regex_search(text, m, kNewArray) &&
-        std::regex_search(text, m, kIndexArith)) {
-      fn->facts.push_back({FactKind::kSizedSink, bl.line, "operator[]"});
-    }
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), kCall);
-         it != std::sregex_iterator(); ++it) {
-      const std::string name = (*it)[1];
-      if (kKeywords.count(name) != 0) continue;
-      if (fn_params.count(name) != 0) {
-        fn->facts.push_back({FactKind::kDispatch, bl.line, name});
-        continue;
-      }
-      // A receiver (`x.f(` / `p->f(`) marks a member call; only direct
-      // (receiver-less) calls participate in recursion detection.
-      std::size_t before = static_cast<std::size_t>(it->position(1));
-      while (before > 0 && text[before - 1] == ' ') --before;
-      const bool member =
-          before > 0 && (text[before - 1] == '.' || text[before - 1] == '>');
-      fn->calls.push_back({name, bl.line, member});
+
+    // Commit this line's lock-scope state for the next line.
+    active = active_at(text.size() + 1);
+    for (const LockEvent& e : events) {
+      if (e.kind == LockEvent::kOpen) ++depth;
+      if (e.kind == LockEvent::kClose) --depth;
     }
   }
 }
@@ -339,11 +509,17 @@ const char* FactKindName(FactKind kind) {
     case FactKind::kDispatch: return "dispatch";
     case FactKind::kSizedSink: return "sized_sink";
     case FactKind::kSizeArith: return "size_arith";
+    case FactKind::kBlocking: return "blocking";
   }
   return "unknown";
 }
 
 std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file) {
+  return ExtractFunctions(file, nullptr);
+}
+
+std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file,
+                                           std::vector<MutexMember>* mutexes) {
   std::vector<FunctionInfo> out;
   std::vector<Scope> scopes;
   std::string pending;
@@ -403,6 +579,8 @@ std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file) {
           fn.cold = head.cold;
           fn.taint_source = head.taint_source;
           fn.taint_barrier = head.taint_barrier;
+          fn.blocking = head.blocking;
+          fn.requires_locks = head.requires_locks;
           fn.qualified.clear();
           for (const Scope& sc : scopes) {
             if ((sc.kind == Scope::kNamespace || sc.kind == Scope::kClass) &&
@@ -435,6 +613,34 @@ std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file) {
       } else if (current_fn >= 0) {
         body_append(c, line1);
       } else if (c == ';' && pending_paren == 0) {
+        // A statement boundary at class scope: the flushed declaration may
+        // be a `Mutex` data member — a corpus-wide lock identity the
+        // lock-order graph resolves held expressions against.
+        if (mutexes != nullptr && !scopes.empty() &&
+            scopes.back().kind == Scope::kClass) {
+          static const std::regex kMutexMemberRe(
+              R"(\bMutex\s+([A-Za-z_]\w*)\s*$)");
+          std::string decl = pending;
+          while (!decl.empty() && decl.back() == ' ') decl.pop_back();
+          std::smatch mm;
+          if (std::regex_search(decl, mm, kMutexMemberRe)) {
+            MutexMember member;
+            member.member = mm[1];
+            for (const Scope& sc : scopes) {
+              if ((sc.kind == Scope::kNamespace ||
+                   sc.kind == Scope::kClass) &&
+                  !sc.name.empty()) {
+                member.qualified += sc.name;
+                member.qualified += "::";
+              }
+            }
+            member.qualified += member.member;
+            member.file = file.path;
+            const std::size_t at = static_cast<std::size_t>(mm.position(1));
+            member.line = at < pending_line.size() ? pending_line[at] : line1;
+            mutexes->push_back(std::move(member));
+          }
+        }
         clear_pending();
       } else {
         if (c == '(') ++pending_paren;

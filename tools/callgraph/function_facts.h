@@ -27,6 +27,27 @@
 //                 identifier-on-identifier `+`/`*` arithmetic (`resize(a*b)`)
 //                 — overflow-prone; the sanctioned form in tainted code is
 //                 util/safe_math CheckedAdd/CheckedMul.
+//       blocking  a thread-parking call (sleep_for/sleep_until/usleep/
+//                 nanosleep, ::poll/select/epoll_wait) — the lexical seeds
+//                 of the blocking-under-lock gate (DESIGN.md §5i); most
+//                 blocking entry points are instead annotated
+//                 RDFCUBE_BLOCKING (base/blocking.h) on their definitions.
+//
+// Lock-scope dataflow (DESIGN.md §5i): the extractor additionally tracks
+// which `MutexLock` RAII scopes are open at every fact and call site. Each
+// BodyFact/CallSite carries `held` — the raw lock expressions (e.g. "mu_",
+// "s->a_") held at that point — and each function records its MutexLock
+// acquisition sites (with the locks held *at* each acquisition: the raw
+// material of the lock-order graph), its RDFCUBE_REQUIRES-transferred locks
+// (held across the whole body), and its function-local `Mutex` variables.
+// Expressions stay raw here; tools/callgraph/callgraph.cc resolves them to
+// corpus-wide Mutex member identities. Two sanctioned idioms are built in:
+//   - `lock.Wait(cv)` / `lock.WaitWithDeadline(cv, d)` on an active
+//     MutexLock excludes *that* lock's mutex from the site's held set (the
+//     wait releases it); waiting while a different lock stays held is not
+//     exempt.
+//   - A MutexLock declaration's own `lock` fact sees only the *outer* locks
+//     (strictly-before position), so single-lock scopes have empty held.
 //
 // Alongside the facts, each function records header annotations
 // (RDFCUBE_HOT/RDFCUBE_COLD from base/hot.h, RDFCUBE_TAINT_SOURCE/
@@ -75,6 +96,7 @@ enum class FactKind {
   kDispatch,
   kSizedSink,
   kSizeArith,
+  kBlocking,
 };
 
 /// Stable lowercase name of a FactKind ("alloc", "growth", ...).
@@ -85,6 +107,7 @@ struct BodyFact {
   FactKind kind = FactKind::kAlloc;
   std::size_t line = 0;  ///< 1-based line of the fact.
   std::string detail;    ///< The token that matched, e.g. "push_back".
+  std::vector<std::string> held;  ///< Raw lock exprs held at the fact.
 };
 
 /// \brief One call site: an identifier (possibly qualified) before a '('.
@@ -92,6 +115,24 @@ struct CallSite {
   std::string name;      ///< As written, e.g. "CoversRange" or "Status::OK".
   std::size_t line = 0;  ///< 1-based line of the call.
   bool member = false;   ///< Written with a receiver (`x.f(...)`/`p->f(...)`).
+  std::vector<std::string> held;  ///< Raw lock exprs held at the call.
+};
+
+/// \brief One Mutex-typed data member: a corpus-wide lock identity that raw
+/// held expressions resolve against (tools/callgraph/callgraph.cc).
+struct MutexMember {
+  std::string member;     ///< Member name as written, e.g. "mu_".
+  std::string qualified;  ///< Scoped, e.g. "rdfcube::obs::Logger::mu_".
+  std::string file;       ///< Root-relative path of the declaring header/TU.
+  std::size_t line = 0;   ///< 1-based line of the member token.
+};
+
+/// \brief One MutexLock acquisition site inside a function body.
+struct LockAcquisition {
+  std::string expr;      ///< Lock expression, '&'-stripped: "mu_", "s->a_".
+  std::size_t line = 0;  ///< 1-based line of the MutexLock declaration.
+  std::vector<std::string> held;  ///< Raw lock exprs held *at* the decl —
+                                  ///< each is a lock-order edge held→expr.
 };
 
 /// \brief One extracted function definition and its lexical facts.
@@ -107,18 +148,33 @@ struct FunctionInfo {
   bool cold = false;      ///< Header carries RDFCUBE_COLD.
   bool taint_source = false;   ///< Header carries RDFCUBE_TAINT_SOURCE.
   bool taint_barrier = false;  ///< Header carries RDFCUBE_TAINT_BARRIER.
+  bool blocking = false;       ///< Header carries RDFCUBE_BLOCKING.
   bool has_reserve = false;  ///< Body calls reserve() (growth exemption).
   bool has_limit_guard = false;  ///< Body compares against a limit-shaped
                                  ///< expression (taint-gate sanitizer).
   bool has_checked_math = false;  ///< Body calls CheckedAdd/CheckedMul/...
   std::vector<BodyFact> facts;
   std::vector<CallSite> calls;
+  /// Raw lock exprs from RDFCUBE_REQUIRES on the header: the caller
+  /// transfers these held into the whole body (DESIGN.md §5i).
+  std::vector<std::string> requires_locks;
+  /// MutexLock acquisition sites, each with the locks held at its decl.
+  std::vector<LockAcquisition> lock_acquisitions;
+  /// Function-local `Mutex x;` variables (lock identities scoped to this
+  /// function, e.g. TryParallelFor's error collector).
+  std::vector<std::string> local_mutexes;
 };
 
 /// Extracts every function definition (with body) from the code view of
 /// `file`. Declarations without bodies, `= default`/`= delete` functions and
 /// aggregate initializers are skipped.
 std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file);
+
+/// As above; additionally appends every `Mutex`-typed data member declared
+/// at class scope in `file` to `*mutexes` (the corpus-wide lock identities
+/// the lock-order graph is built over).
+std::vector<FunctionInfo> ExtractFunctions(const lint::SourceFile& file,
+                                           std::vector<MutexMember>* mutexes);
 
 /// Names declared `virtual` anywhere in `file` (methods a call could
 /// dynamically dispatch to). Unqualified.

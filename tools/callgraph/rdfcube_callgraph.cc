@@ -3,21 +3,26 @@
 // tokenizer, links call sites across translation units, computes transitive
 // fact summaries (alloc / lock / throw / recursion / virtual dispatch /
 // taint), and evaluates the RDFCUBE_HOT purity gate and the untrusted-input
-// taint gate (DESIGN.md §5h).
+// taint gate (DESIGN.md §5h), and the lock-order gate (DESIGN.md §5i):
+// the held-lock dataflow builds the global lock-order graph, proves it
+// acyclic against tools/lock_order.txt, and bans blocking calls and
+// callback dispatch while a Mutex is held.
 //
 // Usage: rdfcube_callgraph [root] [options]
 //   --json=FILE          write the full graph as JSON ("-" = stdout)
 //   --dot=FILE           write the graph as Graphviz DOT ("-" = stdout)
 //   --hot-report=FILE    write hot_path_report.json ("-" = stdout)
 //   --taint-report=FILE  write taint_report.json ("-" = stdout)
-//   --format=sarif       print every gate violation (hot + taint) as a
-//                        SARIF 2.1.0 log on stdout (code-scanning UIs)
+//   --lock-report=FILE   write lock_report.json ("-" = stdout)
+//   --lock-dot=FILE      write the lock-order graph as Graphviz DOT
+//   --format=sarif       print every gate violation (hot + taint + lock) as
+//                        a SARIF 2.1.0 log on stdout (code-scanning UIs)
 //   --reach=NAME         print why alloc/lock/throw facts reach the
 //                        function(s) whose qualified name ends with NAME
 //   --callers=NAME       print the direct callers of the function(s) NAME
 // With no output option, prints a one-line summary.
-// Exit status: 0 when both gates are clean, 1 when either the hot gate or
-// the taint gate found violations, 2 on usage error.
+// Exit status: 0 when all three gates are clean, 1 when the hot gate, the
+// taint gate, or the lock gate found violations, 2 on usage error.
 
 #include <algorithm>
 #include <cstdio>
@@ -38,7 +43,8 @@ namespace fs = std::filesystem;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [repo-root] [--json=FILE] [--dot=FILE] "
-               "[--hot-report=FILE] [--taint-report=FILE] [--format=sarif] "
+               "[--hot-report=FILE] [--taint-report=FILE] "
+               "[--lock-report=FILE] [--lock-dot=FILE] [--format=sarif] "
                "[--reach=NAME] [--callers=NAME]\n",
                argv0);
   return 2;
@@ -81,8 +87,8 @@ std::vector<rdfcube::lint::SourceFile> LoadSrc(const std::string& root) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  std::string json_path, dot_path, report_path, taint_path, reach_name,
-      callers_name;
+  std::string json_path, dot_path, report_path, taint_path, lock_path,
+      lock_dot_path, reach_name, callers_name;
   std::string format = "text";
   bool root_set = false;
 
@@ -100,6 +106,10 @@ int main(int argc, char** argv) {
       report_path = arg.substr(13);
     } else if (arg.rfind("--taint-report=", 0) == 0) {
       taint_path = arg.substr(15);
+    } else if (arg.rfind("--lock-report=", 0) == 0) {
+      lock_path = arg.substr(14);
+    } else if (arg.rfind("--lock-dot=", 0) == 0) {
+      lock_dot_path = arg.substr(11);
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
       if (format != "text" && format != "sarif") return Usage(argv[0]);
@@ -132,6 +142,11 @@ int main(int argc, char** argv) {
       cg::EvaluateHotGate(graph, summaries);
   const std::vector<cg::TaintViolation> taint_violations =
       cg::EvaluateTaintGate(graph, summaries);
+  const cg::LockGraph lock_graph = cg::BuildLockGraph(graph);
+  const cg::LockOrderManifest manifest = cg::LoadLockOrderManifest(
+      (fs::path(root) / "tools" / "lock_order.txt").string());
+  const std::vector<cg::LockViolation> lock_violations =
+      cg::EvaluateLockGate(graph, summaries, lock_graph, manifest);
 
   if (!json_path.empty() &&
       !WriteOut(json_path, cg::GraphToJson(graph, summaries))) {
@@ -154,6 +169,19 @@ int main(int argc, char** argv) {
       !WriteOut(taint_path,
                 cg::TaintReportJson(graph, summaries, taint_violations))) {
     std::fprintf(stderr, "%s: cannot write %s\n", argv[0], taint_path.c_str());
+    return 2;
+  }
+
+  if (!lock_path.empty() &&
+      !WriteOut(lock_path, cg::LockReportJson(graph, lock_graph, manifest,
+                                              lock_violations))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0], lock_path.c_str());
+    return 2;
+  }
+  if (!lock_dot_path.empty() &&
+      !WriteOut(lock_dot_path, cg::LockGraphToDot(lock_graph))) {
+    std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                 lock_dot_path.c_str());
     return 2;
   }
 
@@ -228,9 +256,13 @@ int main(int argc, char** argv) {
           graph.functions[static_cast<std::size_t>(v.fn)];
       all.push_back({v.kind, fn.file, v.line, v.witness});
     }
+    for (const cg::LockViolation& v : lock_violations) {
+      all.push_back({v.kind, v.file, v.line, v.witness});
+    }
     std::fputs(rdfcube::lint::ViolationsToSarif(all).c_str(), stdout);
   } else if (json_path.empty() && dot_path.empty() && report_path.empty() &&
-             taint_path.empty() && reach_name.empty() &&
+             taint_path.empty() && lock_path.empty() &&
+             lock_dot_path.empty() && reach_name.empty() &&
              callers_name.empty()) {
     std::size_t hot = 0, cold = 0, sources = 0, tainted = 0;
     for (std::size_t i = 0; i < graph.functions.size(); ++i) {
@@ -241,10 +273,12 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "rdfcube_callgraph: %zu functions, %zu edges, %zu hot, %zu cold, "
-        "%zu taint source(s), %zu tainted, %zu hot-path violation(s), "
-        "%zu taint violation(s)\n",
+        "%zu taint source(s), %zu tainted, %zu lock(s), %zu lock-order "
+        "edge(s), %zu hot-path violation(s), %zu taint violation(s), "
+        "%zu lock violation(s)\n",
         graph.functions.size(), graph.edges.size(), hot, cold, sources,
-        tainted, violations.size(), taint_violations.size());
+        tainted, lock_graph.locks.size(), lock_graph.edges.size(),
+        violations.size(), taint_violations.size(), lock_violations.size());
   }
 
   for (const cg::HotPathViolation& v : violations) {
@@ -253,5 +287,11 @@ int main(int argc, char** argv) {
   for (const cg::TaintViolation& v : taint_violations) {
     std::fprintf(stderr, "[%s] %s\n", v.kind.c_str(), v.witness.c_str());
   }
-  return violations.empty() && taint_violations.empty() ? 0 : 1;
+  for (const cg::LockViolation& v : lock_violations) {
+    std::fprintf(stderr, "[%s] %s\n", v.kind.c_str(), v.witness.c_str());
+  }
+  return violations.empty() && taint_violations.empty() &&
+                 lock_violations.empty()
+             ? 0
+             : 1;
 }

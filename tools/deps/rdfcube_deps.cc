@@ -6,11 +6,15 @@
 // export the graph for dashboards and CI artifacts.
 //
 // Usage: rdfcube_deps [root] [--manifest=PATH] [--dot=FILE] [--json=FILE]
+//                      [--format=text|sarif]
 //   root        repo root containing src/ and tools/ (default: .)
 //   --manifest  layer manifest, relative to root (default: tools/layers.txt).
 //               Unlike rdfcube_lint, a missing manifest FAILS the gate here.
 //   --dot       write the module-level graph as Graphviz DOT to FILE
 //   --json      write the full graph (files, modules, edges) as JSON to FILE
+//   --format    violation output: `text` (default, one line per finding on
+//               stderr) or `sarif` (SARIF 2.1.0 run on stdout — same schema
+//               rdfcube_lint --format=sarif emits, for code-scanning UIs)
 // Graph exports are written even when the gate fails, so CI can attach the
 // offending graph to the failure. Exit: 0 clean, 1 violations, 2 usage/IO.
 
@@ -25,7 +29,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [repo-root] [--manifest=PATH] [--dot=FILE] "
-               "[--json=FILE]\n",
+               "[--json=FILE] [--format=text|sarif]\n",
                argv0);
   return 2;
 }
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string dot_path;
   std::string json_path;
+  std::string format = "text";
   rdfcube::deps::DepsOptions options;
   options.require_manifest = true;
   bool root_set = false;
@@ -55,11 +60,13 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [repo-root] [--manifest=PATH] [--dot=FILE] "
-          "[--json=FILE]\n"
+          "[--json=FILE] [--format=text|sarif]\n"
           "Architecture gate: extracts the #include graph of src/, tools/,\n"
           "and bench/, and checks it against the layer DAG declared in\n"
           "tools/layers.txt (checks: layer-dag, include-cycle, iwyu-direct).\n"
           "Writes the module graph as DOT/JSON when asked (also on failure).\n"
+          "--format=sarif prints the violations as a SARIF 2.1.0 run on\n"
+          "stdout (exit status is unchanged).\n"
           "Exits 0 when clean, 1 on violations, 2 on usage/IO errors.\n",
           argv[0]);
       return 0;
@@ -70,6 +77,9 @@ int main(int argc, char** argv) {
       dot_path = arg.substr(6);
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "sarif") return Usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);
     } else if (!root_set) {
@@ -93,8 +103,15 @@ int main(int argc, char** argv) {
                                  rdfcube::deps::GraphToJson(report.graph));
   }
 
-  for (const auto& v : report.violations) {
-    std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+  if (format == "sarif") {
+    // SARIF goes to stdout whole (clean runs emit an empty results array);
+    // the exit status still reports the gate verdict.
+    std::fputs(rdfcube::lint::ViolationsToSarif(report.violations).c_str(),
+               stdout);
+  } else {
+    for (const auto& v : report.violations) {
+      std::fprintf(stderr, "%s\n", rdfcube::lint::FormatViolation(v).c_str());
+    }
   }
   if (!io_ok) return 2;
   if (!report.violations.empty()) {
@@ -102,7 +119,9 @@ int main(int argc, char** argv) {
                  report.violations.size());
     return 1;
   }
-  std::printf("rdfcube_deps: architecture gate clean (%zu files)\n",
-              report.graph.files.size());
+  if (format != "sarif") {
+    std::printf("rdfcube_deps: architecture gate clean (%zu files)\n",
+                report.graph.files.size());
+  }
   return 0;
 }

@@ -641,13 +641,18 @@ void CheckCheckedValue(const std::vector<SourceFile>& corpus,
 
 // hot-path-alloc / hot-path-lock / no-throw-transitive / unbounded-recursion
 // plus the taint gate (untrusted-size-sink / unchecked-size-arith /
-// missing-limit-clamp, DESIGN.md §5h).
+// missing-limit-clamp, DESIGN.md §5h) and the lock gate (lock-order-cycle /
+// blocking-under-lock / callback-under-lock, DESIGN.md §5i; the sanctioned
+// nesting manifest is tools/lock_order.txt under `root`).
 // All run over the linked cross-TU call graph of src/ (tools/ and bench/
 // carry no RDFCUBE_HOT kernels and would only add name-collision noise).
 // Findings anchor at the flagged function's definition line — except the
-// per-sink taint findings, which anchor at the sink line — and
-// `lint:allow(<check>)` suppresses them at that anchor line.
-void CheckCallGraph(const std::vector<SourceFile>& corpus,
+// per-sink taint findings and the per-site lock findings, which anchor at
+// the sink/call line — and `lint:allow(<check>)` suppresses them at that
+// anchor line (lock findings also honor one on the definition line, for
+// contracts that hold for every call site of the function).
+void CheckCallGraph(const std::string& root,
+                    const std::vector<SourceFile>& corpus,
                     std::vector<Violation>* out) {
   std::vector<SourceFile> src;
   for (const SourceFile& f : corpus) {
@@ -741,6 +746,40 @@ void CheckCallGraph(const std::vector<SourceFile>& corpus,
     }
     out->push_back({v.kind, fn.file, v.line, msg});
   }
+
+  // Lock gate (DESIGN.md §5i): the observed lock-order graph must be
+  // acyclic and declared, and nothing blocking or virtually-dispatched may
+  // run while a Mutex is held.
+  const callgraph::LockGraph lock_graph = callgraph::BuildLockGraph(graph);
+  const callgraph::LockOrderManifest manifest =
+      callgraph::LoadLockOrderManifest(
+          (fs::path(root) / "tools" / "lock_order.txt").string());
+  for (const callgraph::LockViolation& v :
+       callgraph::EvaluateLockGate(graph, summaries, lock_graph, manifest)) {
+    if (v.fn < 0) {
+      // Manifest-level finding (declared-edge cycle / self-loop).
+      out->push_back({v.kind, "tools/lock_order.txt", v.line, v.witness});
+      continue;
+    }
+    const callgraph::FunctionInfo& fn =
+        graph.functions[static_cast<std::size_t>(v.fn)];
+    if (line_suppressed(v.file, v.line, v.kind) || suppressed(fn, v.kind)) {
+      continue;
+    }
+    std::string msg;
+    if (v.kind == "blocking-under-lock") {
+      msg = "blocking call reachable while a Mutex is held (move the wait/"
+            "I/O outside the critical section): " + v.witness;
+    } else if (v.kind == "callback-under-lock") {
+      msg = "std::function/virtual dispatch reachable while a Mutex is held "
+            "(copy-then-release: snapshot under the lock, invoke outside): " +
+            v.witness;
+    } else {
+      msg = v.witness + " — sanction a deliberate nesting by declaring it "
+            "in tools/lock_order.txt";
+    }
+    out->push_back({v.kind, v.file, v.line, msg});
+  }
 }
 
 }  // namespace
@@ -765,7 +804,7 @@ std::vector<Violation> RunAllChecks(const std::string& root) {
   CheckMetricNames(corpus, &out);
   CheckNoRawStderr(corpus, &out);
   CheckCheckedValue(corpus, &out);
-  CheckCallGraph(corpus, &out);
+  CheckCallGraph(root, corpus, &out);
 
   // Architecture checks (tools/deps): layer-dag (skipped when the tree
   // declares no tools/layers.txt), include-cycle, iwyu-direct.

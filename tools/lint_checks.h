@@ -97,6 +97,26 @@
 //                         barrier-free call closure contains no limit-shaped
 //                         comparison at all: the decoder trusts every length
 //                         field it reads. Anchors at the definition line.
+//   lock-order-cycle      the observed lock-order graph (edge A -> B when B
+//                         is acquired — transitively, across TUs — while A
+//                         is held) has a cycle or self-loop (potential ABBA
+//                         deadlock / double lock), or an observed nesting is
+//                         not declared in tools/lock_order.txt, or the
+//                         declarations themselves form a cycle (DESIGN.md
+//                         §5i). Anchors at the acquiring call/decl line.
+//   blocking-under-lock   an RDFCUBE_BLOCKING primitive (base/blocking.h:
+//                         socket/file I/O, ThreadPool waits, sleeps, condvar
+//                         waits on a *different* mutex) is reachable while a
+//                         Mutex is held; move the wait outside the critical
+//                         section. MutexLock::Wait on the lock's own mutex
+//                         is the sanctioned exception.
+//   callback-under-lock   a std::function invocation or virtual dispatch is
+//                         reachable while a Mutex is held — arbitrary user
+//                         code under a lock can stall or re-enter and
+//                         deadlock it. Fix with copy-then-release (snapshot
+//                         under the lock, invoke outside, as Logger::Log
+//                         does) or suppress on the definition line when the
+//                         callee set is closed and lock-free.
 //
 // Walk roots: src/ and tools/ and bench/ (per-check subsets documented
 // above; bench/ is included so harness code obeys checked-parse and the
